@@ -1,0 +1,96 @@
+"""Figure 5 — items read vs number of attributes (brute force vs single-pass).
+
+The paper plots, for growing attribute subsets of UniProt, the total number
+of value items read from the sorted files.  The single-pass algorithm reads
+every file at most once; brute force re-reads files per candidate.  Both
+curves grow roughly linearly (most candidates are refuted after a few items),
+but brute force sits far above single-pass, and the gap widens with the
+attribute count — those are the assertions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.bench.reporting import ascii_series, format_table
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import apply_pretests, generate_unique_ref_candidates
+from repro.core.single_pass import SinglePassValidator
+from repro.db.stats import collect_column_stats
+from repro.storage.exporter import export_database
+
+
+def _series(db, fractions=(0.25, 0.5, 0.75, 1.0)):
+    stats = collect_column_stats(db)
+    attributes = [ref for ref, st in stats.items() if not st.dtype.is_lob]
+    attributes.sort()
+    points = []
+    with tempfile.TemporaryDirectory(prefix="repro-fig5-") as tmp:
+        spool, _ = export_database(db, tmp)
+        for fraction in fractions:
+            count = max(2, int(len(attributes) * fraction))
+            subset = set(attributes[:count])
+            subset_stats = {r: s for r, s in stats.items() if r in subset}
+            candidates, _ = apply_pretests(
+                generate_unique_ref_candidates(subset_stats), subset_stats
+            )
+            candidates = [
+                c for c in candidates
+                if c.dependent in spool and c.referenced in spool
+            ]
+            brute = BruteForceValidator(spool).validate(candidates)
+            single = SinglePassValidator(spool).validate(candidates)
+            assert brute.decisions == single.decisions
+            points.append(
+                (
+                    count,
+                    len(candidates),
+                    brute.stats.items_read,
+                    single.stats.items_read,
+                )
+            )
+    return points
+
+
+def test_figure5_io_series(benchmark, workloads, report):
+    dataset = workloads.biosql()
+    points = benchmark.pedantic(lambda: _series(dataset.db), rounds=1, iterations=1)
+    rows = [
+        [n_attrs, n_cands, brute, single, f"{brute / max(1, single):.1f}x"]
+        for n_attrs, n_cands, brute, single in points
+    ]
+    report(
+        "== Figure 5 / items read: brute force vs single pass ==\n"
+        + format_table(
+            ["attributes", "candidates", "brute force", "single pass", "ratio"],
+            rows,
+        )
+        + "\n"
+        + ascii_series(
+            [(n, brute) for n, _, brute, _ in points], label="brute force"
+        )
+        + "\n"
+        + ascii_series(
+            [(n, single) for n, _, _, single in points], label="single pass"
+        )
+    )
+    # Single-pass reads no more than brute force at every subset size...
+    for _, _, brute, single in points:
+        assert single <= brute
+    # ...and the absolute gap widens as the schema grows (paper's Figure 5).
+    gaps = [brute - single for _, _, brute, single in points]
+    assert gaps[-1] > gaps[0], f"I/O gap did not widen: {gaps}"
+    # The paper notes brute-force I/O "seems to grow only linearly with the
+    # number of attributes, although the number of IND candidates grows
+    # quadratic" — most candidates are refuted after a few items.  The robust
+    # form of that observation (measured on the two largest subsets, where
+    # the asymptotic regime holds): I/O grows strictly slower than the
+    # candidate count.
+    _, prev_cands, prev_brute, _ = points[-2]
+    _, last_cands, last_brute, _ = points[-1]
+    candidate_ratio = last_cands / max(1, prev_cands)
+    io_ratio = last_brute / max(1, prev_brute)
+    assert io_ratio < candidate_ratio, (
+        f"brute-force I/O ({io_ratio:.2f}x) outgrew the candidate count "
+        f"({candidate_ratio:.2f}x) on the largest subsets"
+    )

@@ -1,0 +1,155 @@
+"""Table 2 — external algorithms vs the best SQL approach.
+
+Paper numbers (Tab. 2): brute force needs 2 min 38 s on UniProt vs 15 min
+for join; on the PDB fractions the SQL approach never finishes while the
+external algorithms do (3 h 13 m brute force on the 2.7 GB fraction).  The
+observer single-pass is *slower in wall-clock* than brute force despite
+reading far fewer items — the paper attributes this to the synchronisation
+overhead of the object-oriented implementation.
+
+Shape assertions here: identical IND sets across all validators, external
+validation beats every SQL approach on validation time, and the observer
+single-pass reads no more items than brute force (the Fig. 5 direction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import RESULT_HEADERS, run_strategy
+from repro.bench.reporting import format_table, paper_vs_measured, seconds
+
+_EXTERNAL = ("brute-force", "single-pass", "merge-single-pass")
+
+_PAPER_RUNTIMES = {
+    "UniProt(BioSQL)": {
+        "sql-join": "15 min 03 s",
+        "brute-force": "2 min 38 s",
+        "single-pass": "3 min 08 s",
+    },
+    "SCOP": {
+        "sql-join": "7.3 s",
+        "brute-force": "10.7 s",
+        "single-pass": "13.0 s",
+    },
+    "PDB(OpenMMS)": {
+        "sql-join": "> 7 days",
+        "brute-force": "3 h 13 min",
+        "single-pass": "(see Sec. 4: too many open files)",
+    },
+}
+
+
+@pytest.mark.parametrize("strategy", _EXTERNAL)
+@pytest.mark.parametrize("dataset_key", ["biosql", "scop", "openmms"])
+def test_table2_external_algorithm(benchmark, workloads, report, dataset_key, strategy):
+    dataset = getattr(workloads, dataset_key)()
+    name = {
+        "biosql": "UniProt(BioSQL)",
+        "scop": "SCOP",
+        "openmms": "PDB(OpenMMS)",
+    }[dataset_key]
+    outcome = benchmark.pedantic(
+        lambda: run_strategy(name, dataset.db, strategy),
+        rounds=1,
+        iterations=1,
+    )
+    paper_time = _PAPER_RUNTIMES[name].get(strategy, "n/a")
+    report(
+        paper_vs_measured(
+            f"Table 2 / {name} / {strategy}",
+            [
+                ("# IND candidates", "-", f"{outcome.candidates:,}"),
+                ("# satisfied INDs", "-", f"{outcome.satisfied:,}"),
+                ("runtime", paper_time, seconds(outcome.total_seconds)),
+                ("items read", "n/a", f"{outcome.items_read:,}"),
+                (
+                    "peak open files",
+                    "-",
+                    f"{outcome.result.validator_stats.peak_open_files:,}",
+                ),
+            ],
+        )
+    )
+    assert outcome.satisfied > 0
+    assert outcome.items_read > 0
+
+
+def test_table2_shape_external_beats_sql(benchmark, workloads, report):
+    """The paper's headline: database-external beats in-database SQL."""
+    dataset = workloads.biosql()
+    sql = benchmark.pedantic(
+        lambda: run_strategy("UniProt(BioSQL)", dataset.db, "sql-join"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [sql.row()]
+    externals = {}
+    for strategy in _EXTERNAL:
+        outcome = run_strategy("UniProt(BioSQL)", dataset.db, strategy)
+        externals[strategy] = outcome
+        rows.append(outcome.row())
+        assert {str(i) for i in outcome.result.satisfied} == {
+            str(i) for i in sql.result.satisfied
+        }, f"{strategy} disagrees with sql-join"
+    report(
+        "== Table 2 / UniProt shape (validation seconds) ==\n"
+        + format_table(RESULT_HEADERS, rows)
+    )
+    for strategy, outcome in externals.items():
+        assert outcome.validate_seconds < sql.validate_seconds, (
+            f"paper shape violated: {strategy} validation "
+            f"({seconds(outcome.validate_seconds)}) should beat sql-join "
+            f"({seconds(sql.validate_seconds)})"
+        )
+    # Fig. 5 direction: single-pass I/O <= brute-force I/O.
+    assert (
+        externals["single-pass"].items_read <= externals["brute-force"].items_read
+    )
+    assert (
+        externals["merge-single-pass"].items_read
+        <= externals["brute-force"].items_read
+    )
+
+
+def test_table2_observer_overhead_vs_merge(benchmark, workloads, report):
+    """The paper's 'surprising' finding, and the fix it announces.
+
+    The observer implementation pays synchronisation overhead per value; the
+    heap-merge reformulation removes it.  We assert the merge variant is at
+    least as fast as the observer variant (robust), and report the
+    brute-force-vs-observer relation the paper found (wall-clock order can
+    depend on scale, so it is reported, not asserted).
+    """
+    dataset = workloads.openmms()
+    brute = run_strategy("PDB(OpenMMS)", dataset.db, "brute-force")
+    observer = benchmark.pedantic(
+        lambda: run_strategy("PDB(OpenMMS)", dataset.db, "single-pass"),
+        rounds=1,
+        iterations=1,
+    )
+    merge = run_strategy("PDB(OpenMMS)", dataset.db, "merge-single-pass")
+    report(
+        paper_vs_measured(
+            "Table 2 / synchronisation overhead (OpenMMS)",
+            [
+                (
+                    "brute force",
+                    "1 h 29 min (2.6GB fraction)",
+                    seconds(brute.validate_seconds),
+                ),
+                (
+                    "single-pass (observer)",
+                    "3 h 06 min",
+                    seconds(observer.validate_seconds),
+                ),
+                ("single-pass (heap merge)", "(future work)", seconds(merge.validate_seconds)),
+                ("items read: brute", "-", f"{brute.items_read:,}"),
+                ("items read: observer", "-", f"{observer.items_read:,}"),
+            ],
+            note="paper: observer slower than brute force despite reading "
+            "fewer items; the merge variant removes the overhead",
+        )
+    )
+    assert merge.validate_seconds <= observer.validate_seconds
+    assert observer.items_read < brute.items_read

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default ``tiny``).  Every
+benchmark appends a paper-style report block through the ``report`` fixture;
+the blocks are printed in the terminal summary, so the teed
+``bench_output.txt`` contains the regenerated tables next to
+pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import Workloads
+
+_REPORT_BLOCKS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def workloads() -> Workloads:
+    return Workloads()
+
+
+@pytest.fixture()
+def report():
+    """Callable collecting paper-style report blocks for the summary."""
+
+    def _add(block: str) -> None:
+        _REPORT_BLOCKS.append(block)
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _REPORT_BLOCKS:
+        return
+    terminalreporter.write_sep("=", "paper-style experiment reports")
+    for block in _REPORT_BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

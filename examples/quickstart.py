@@ -1,0 +1,56 @@
+"""Quickstart: discover inclusion dependencies in an undocumented CSV dump.
+
+Generates a small synthetic BioSQL-style database, writes it out as plain
+CSVs *without any schema information* (the undocumented-source scenario the
+paper targets), loads it back, and runs IND discovery.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DiscoveryConfig, discover_inds, load_csv_directory, write_csv_directory
+from repro.datagen import generate_biosql
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as workdir:
+        # 1. Simulate receiving an undocumented dump: write CSVs, drop the
+        #    schema sidecar so no constraints or types survive.
+        dump = Path(workdir) / "dump"
+        write_csv_directory(generate_biosql("tiny").db, dump)
+        (dump / "_schema.json").unlink()
+
+        # 2. Load with type inference only — no keys, no foreign keys.
+        db = load_csv_directory(dump, name="mystery_source")
+        print(f"loaded {db.name}: {db.summary()}")
+
+        # 3. Discover all satisfied unary INDs (heap-merge single pass).
+        result = discover_inds(db, DiscoveryConfig(strategy="merge-single-pass"))
+        print(
+            f"\n{result.raw_candidates} raw candidates, "
+            f"{result.candidates_after_pretests} after pretests, "
+            f"{result.satisfied_count} satisfied INDs "
+            f"in {result.timings.total_seconds:.2f}s:"
+        )
+        for ind in result.satisfied:
+            print(f"  {ind}")
+
+        # 4. The same result with the paper's brute-force algorithm — and the
+        #    I/O difference between the two (the paper's Figure 5).
+        brute = discover_inds(db, DiscoveryConfig(strategy="brute-force"))
+        assert {str(i) for i in brute.satisfied} == {
+            str(i) for i in result.satisfied
+        }
+        print(
+            f"\nitems read: merge single-pass "
+            f"{result.validator_stats.items_read:,} vs brute force "
+            f"{brute.validator_stats.items_read:,}"
+        )
+
+
+if __name__ == "__main__":
+    main()

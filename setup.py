@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern setups uses PEP 660 and works directly from
+``pyproject.toml``.  On minimal/offline environments (setuptools present but
+``wheel`` absent) fall back to ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

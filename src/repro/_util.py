@@ -1,0 +1,82 @@
+"""Small shared helpers used across the ``repro`` package."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (``1 h 53 min``)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    if seconds < 1:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < 60:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{int(minutes)} min {secs:04.1f} s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours} h {minutes:02d} min"
+
+
+def format_count(value: int) -> str:
+    """Render an integer with thousands separators, as the paper prints them."""
+    return f"{value:,}"
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count using binary units (``17 MB`` style)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes!r}")
+    size = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if size < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time via ``perf_counter``.
+
+    >>> with Stopwatch() as clock:
+    ...     pass
+    >>> clock.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+def chunked(items: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Yield consecutive lists of at most ``size`` items.
+
+    Used by the block-wise single-pass validator to partition attribute sets.
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size!r}")
+    batch: list[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -1,0 +1,20 @@
+"""Benchmark harness: workload construction and paper-style reporting.
+
+The actual benchmark entry points live in ``benchmarks/`` (pytest files, one
+per paper table/figure); this package provides what they share — cached
+dataset builders, strategy runners, and ASCII report rendering that prints
+the same rows the paper's tables do.
+"""
+
+from repro.bench.harness import StrategyOutcome, run_strategy
+from repro.bench.reporting import format_table, paper_vs_measured
+from repro.bench.workloads import Workloads, bench_scale
+
+__all__ = [
+    "StrategyOutcome",
+    "Workloads",
+    "bench_scale",
+    "format_table",
+    "paper_vs_measured",
+    "run_strategy",
+]

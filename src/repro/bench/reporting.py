@@ -1,0 +1,62 @@
+"""ASCII report rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro._util import format_duration
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a fixed-width table (right-aligned numbers, left-aligned text)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def paper_vs_measured(
+    title: str, rows: list[tuple[str, str, str]], note: str = ""
+) -> str:
+    """The EXPERIMENTS.md-style three-column comparison block."""
+    table = format_table(
+        ["metric", "paper", "measured"], [list(r) for r in rows]
+    )
+    parts = [f"== {title} ==", table]
+    if note:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def seconds(value: float) -> str:
+    """Human duration for report cells."""
+    return format_duration(value)
+
+
+def ascii_series(
+    points: list[tuple[int, int]], width: int = 48, label: str = ""
+) -> str:
+    """A crude horizontal bar chart for Figure-5-style series."""
+    if not points:
+        return "(no data)"
+    peak = max(value for _, value in points) or 1
+    lines = [f"-- {label} --"] if label else []
+    for x, value in points:
+        bar = "#" * max(1, round(width * value / peak)) if value else ""
+        lines.append(f"{x:>6}  {value:>12,}  {bar}")
+    return "\n".join(lines)

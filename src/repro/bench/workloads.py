@@ -1,0 +1,56 @@
+"""Cached benchmark workloads.
+
+Datasets are deterministic (seeded) and cached per scale, so every benchmark
+in a session profiles the *same* instances.  The scale is selected with the
+``REPRO_BENCH_SCALE`` environment variable.  The default is ``small`` — large
+enough that the paper's orderings (external beats SQL, join beats the other
+SQL statements) emerge from data volume rather than fixed costs; ``tiny``
+runs the suite in well under a minute for smoke checks, ``medium`` sharpens
+the gaps further.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.datagen import (
+    GeneratedDataset,
+    generate_biosql,
+    generate_openmms,
+    generate_scop,
+)
+
+_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale() -> str:
+    return os.environ.get(_ENV_VAR, "small")
+
+
+class Workloads:
+    """Session-scoped builder/cache of the three paper datasets."""
+
+    def __init__(self, scale: str | None = None) -> None:
+        self.scale = scale or bench_scale()
+        self._cache: dict[str, GeneratedDataset] = {}
+
+    def biosql(self) -> GeneratedDataset:
+        return self._get("biosql", lambda: generate_biosql(self.scale))
+
+    def scop(self) -> GeneratedDataset:
+        return self._get("scop", lambda: generate_scop(self.scale))
+
+    def openmms(self) -> GeneratedDataset:
+        return self._get("openmms", lambda: generate_openmms(self.scale))
+
+    def all_three(self) -> dict[str, GeneratedDataset]:
+        return {
+            "UniProt(BioSQL)": self.biosql(),
+            "SCOP": self.scop(),
+            "PDB(OpenMMS)": self.openmms(),
+        }
+
+    def _get(self, key: str, builder) -> GeneratedDataset:
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]

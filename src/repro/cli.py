@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-ind``.
+
+Subcommands:
+
+* ``generate`` — write one of the synthetic paper datasets as a CSV directory;
+* ``profile``  — per-column statistics of a CSV directory;
+* ``discover`` — run IND discovery with any strategy, optionally dumping JSON;
+* ``accession`` — list accession-number candidates (strict or softened);
+* ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps.
+
+Everything the CLI does goes through the public library API, so it doubles as
+executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro._util import format_count, format_duration
+from repro.core.candidates import PretestConfig
+from repro.core.runner import ALL_STRATEGIES, DiscoveryConfig, discover_inds
+from repro.datagen import generate_biosql, generate_openmms, generate_scop
+from repro.datagen.sizes import SCALES
+from repro.db.csvio import load_csv_directory, write_csv_directory
+from repro.db.stats import collect_column_stats
+from repro.discovery.accession import AccessionRule, find_accession_candidates
+from repro.discovery.pipeline import AladinPipeline
+from repro.errors import ReproError
+
+_GENERATORS = {
+    "biosql": generate_biosql,
+    "scop": generate_scop,
+    "openmms": generate_openmms,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ind",
+        description="Unary IND discovery for schema discovery "
+        "(Bauckmann/Leser/Naumann, ICDE 2006 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset as CSV")
+    gen.add_argument("dataset", choices=sorted(_GENERATORS))
+    gen.add_argument("directory", help="output CSV directory")
+    gen.add_argument("--scale", choices=sorted(SCALES), default="small")
+    gen.add_argument("--seed", type=int, default=7)
+
+    prof = sub.add_parser("profile", help="per-column statistics of a CSV dump")
+    prof.add_argument("directory")
+
+    disc = sub.add_parser("discover", help="discover satisfied INDs")
+    disc.add_argument("directory")
+    disc.add_argument(
+        "--strategy", choices=sorted(ALL_STRATEGIES), default="merge-single-pass"
+    )
+    disc.add_argument("--no-max-value-pretest", action="store_true")
+    disc.add_argument("--sampling-size", type=int, default=0)
+    disc.add_argument("--transitivity", action="store_true")
+    disc.add_argument("--json", dest="json_path", help="write full result JSON")
+
+    acc = sub.add_parser("accession", help="list accession-number candidates")
+    acc.add_argument("directory")
+    acc.add_argument(
+        "--min-fraction",
+        type=float,
+        default=1.0,
+        help="softened rule threshold (paper: 0.9998); 1.0 = strict",
+    )
+
+    pipe = sub.add_parser("pipeline", help="run the Aladin pipeline")
+    pipe.add_argument("directories", nargs="+", help="one CSV dump per source")
+    pipe.add_argument("--no-surrogate-filter", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "discover":
+        return _cmd_discover(args)
+    if args.command == "accession":
+        return _cmd_accession(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _GENERATORS[args.dataset](args.scale, seed=args.seed)
+    path = write_csv_directory(dataset.db, args.directory)
+    summary = dataset.db.summary()
+    print(
+        f"wrote {args.dataset} ({args.scale}) to {path}: "
+        f"{summary['tables']} tables, {summary['attributes']} attributes, "
+        f"{format_count(summary['rows'])} rows"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    db = load_csv_directory(args.directory)
+    stats = collect_column_stats(db)
+    print(f"{'attribute':40} {'type':8} {'rows':>8} {'nulls':>7} "
+          f"{'distinct':>9} {'unique':>6}")
+    for ref in sorted(stats):
+        st = stats[ref]
+        print(
+            f"{ref.qualified:40} {st.dtype.value:8} {st.row_count:>8} "
+            f"{st.null_count:>7} {st.distinct_count:>9} "
+            f"{'yes' if st.is_unique else 'no':>6}"
+        )
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    db = load_csv_directory(args.directory)
+    config = DiscoveryConfig(
+        strategy=args.strategy,
+        pretests=PretestConfig(
+            cardinality=True, max_value=not args.no_max_value_pretest
+        ),
+        sampling_size=args.sampling_size,
+        use_transitivity=args.transitivity,
+    )
+    result = discover_inds(db, config)
+    print(
+        f"{result.database}: {result.raw_candidates} candidates, "
+        f"{result.candidates_after_pretests} after pretests, "
+        f"{result.satisfied_count} satisfied INDs "
+        f"({format_duration(result.timings.total_seconds)}, "
+        f"strategy={result.strategy})"
+    )
+    for ind in result.satisfied:
+        print(f"  {ind}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"full result written to {args.json_path}")
+    return 0
+
+
+def _cmd_accession(args: argparse.Namespace) -> int:
+    db = load_csv_directory(args.directory)
+    rule = AccessionRule(min_fraction=args.min_fraction)
+    candidates = find_accession_candidates(db, rule)
+    if not candidates:
+        print("no accession-number candidates")
+        return 0
+    for profile in candidates:
+        print(
+            f"{profile.ref.qualified}: {profile.conforming_values}/"
+            f"{profile.total_values} conforming, spread "
+            f"{profile.length_spread:.2%}"
+        )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    databases = [load_csv_directory(d) for d in args.directories]
+    pipeline = AladinPipeline(
+        apply_surrogate_filter=not args.no_surrogate_filter
+    )
+    report = pipeline.run(databases)
+    for name, db_report in report.databases.items():
+        primary = db_report.primary_relation
+        shortlist = ", ".join(primary.shortlist) or "(none)"
+        print(f"[{name}] {db_report.summary['tables']} tables, "
+              f"{len(db_report.inds)} satisfied INDs")
+        print(f"  primary relation shortlist: {shortlist}")
+        if db_report.surrogate_report is not None:
+            print(
+                f"  surrogate filter: kept {len(db_report.surrogate_report.kept)}, "
+                f"filtered {db_report.surrogate_report.filtered_count}"
+            )
+        for guess in db_report.fk_guesses[:10]:
+            print(f"  FK guess: {guess}")
+        if db_report.duplicate_rows:
+            print(f"  duplicate rows: {db_report.duplicate_rows}")
+    for link in report.links:
+        print(f"link: {link}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

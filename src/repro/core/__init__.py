@@ -1,0 +1,75 @@
+"""Core IND discovery: candidates, pretests, validators, and the runner.
+
+The package implements every approach from the paper plus the extensions it
+names as current/future work:
+
+===================  =====================================================
+``brute_force``      Sec. 3.1, Algorithm 1 — one candidate at a time over
+                     sorted value files, early stop on first mismatch.
+``single_pass``      Sec. 3.2, Algorithms 2-3 — all candidates in parallel,
+                     faithful subject-observer implementation.
+``merge_single_pass``The heap-based reformulation of the single-pass idea
+                     (the "speed up the single-pass implementation"
+                     direction of Sec. 7; what later became SPIDER).
+``blockwise``        Sec. 4.2 — single-pass under an open-file budget.
+``sql_approaches``   Sec. 2 — the join / minus / not-in statements executed
+                     on the SQL substrate.
+``candidates``       Sec. 1.2 + Sec. 2 candidate generation and pretests
+                     (cardinality, max-value, min-value, datatype).
+``pruning``          Sec. 4.1 / Sec. 6 — transitivity pruning and the
+                     sampling pretest.
+``partial_inds``     Sec. 7 — partial INDs on dirty data.
+``concatenated``     Sec. 7 — INDs between prefixed/concatenated values.
+``reference``        In-memory set-containment oracle used for testing and
+                     as a simple API for small inputs.
+``runner``           End-to-end orchestration (profile → candidates →
+                     spool → validate).
+"""
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.blockwise import BlockwiseValidator
+from repro.core.candidates import (
+    Candidate,
+    PretestReport,
+    apply_pretests,
+    generate_all_pairs_candidates,
+    generate_unique_ref_candidates,
+)
+from repro.core.ind import IND, INDSet
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.partial_inds import PartialIND, PartialINDCalculator
+from repro.core.reference import ReferenceValidator
+from repro.core.results import DiscoveryResult
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.core.single_pass import SinglePassValidator
+from repro.core.sql_approaches import (
+    SqlJoinValidator,
+    SqlMinusValidator,
+    SqlNotInValidator,
+)
+from repro.core.stats import ValidationResult, ValidatorStats
+
+__all__ = [
+    "BlockwiseValidator",
+    "BruteForceValidator",
+    "Candidate",
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "IND",
+    "INDSet",
+    "MergeSinglePassValidator",
+    "PartialIND",
+    "PartialINDCalculator",
+    "PretestReport",
+    "ReferenceValidator",
+    "SinglePassValidator",
+    "SqlJoinValidator",
+    "SqlMinusValidator",
+    "SqlNotInValidator",
+    "ValidationResult",
+    "ValidatorStats",
+    "apply_pretests",
+    "discover_inds",
+    "generate_all_pairs_candidates",
+    "generate_unique_ref_candidates",
+]

@@ -1,0 +1,109 @@
+"""Block-wise single-pass validation under an open-file budget (Sec. 4.2).
+
+The single-pass algorithm opens every dependent and referenced file in
+parallel; on the paper's PDB fraction that meant 2,560 simultaneous open
+files, beyond their system limit, so the full single-pass run was infeasible.
+The fix the paper names as further work is implemented here: partition the
+dependent attributes (and, if necessary, the referenced attributes) into
+blocks, and run the single-pass engine once per block pair.  Every candidate
+is still decided by a genuine single-pass run; only the grouping changes.
+
+Reads increase with the number of referenced blocks (each referenced file is
+scanned once *per dependent block* it is paired with), which the scalability
+benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from repro._util import Stopwatch, chunked
+from repro.core.candidates import Candidate
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.single_pass import SinglePassValidator
+from repro.core.stats import DecisionCollector, ValidationResult
+from repro.errors import ValidatorError
+from repro.storage.sorted_sets import SpoolDirectory
+
+_ENGINES = {
+    "observer": SinglePassValidator,
+    "merge": MergeSinglePassValidator,
+}
+
+
+class BlockwiseValidator:
+    """Runs a single-pass engine over blocks that respect a file budget."""
+
+    name = "blockwise-single-pass"
+
+    def __init__(
+        self,
+        spool: SpoolDirectory,
+        max_open_files: int = 64,
+        engine: str = "merge",
+    ) -> None:
+        if max_open_files < 2:
+            raise ValidatorError(
+                f"max_open_files must be at least 2, got {max_open_files}"
+            )
+        if engine not in _ENGINES:
+            raise ValidatorError(
+                f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+            )
+        self._spool = spool
+        self._max_open_files = max_open_files
+        self._engine_name = engine
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        collector = DecisionCollector(candidates, self.name)
+        deps = sorted({c.dependent for c in collector.candidates})
+        refs = sorted({c.referenced for c in collector.candidates})
+        # Budget split: half the files for dependents, half for references,
+        # degrading gracefully when one side is small.
+        dep_block = max(1, min(len(deps), self._max_open_files // 2))
+        ref_block = max(1, self._max_open_files - dep_block)
+        by_pair: dict[Candidate, bool] = {}
+        sub_runs = 0
+        with Stopwatch() as clock:
+            for dep_chunk in chunked(deps, dep_block):
+                dep_set = set(dep_chunk)
+                for ref_chunk in chunked(refs, ref_block):
+                    ref_set = set(ref_chunk)
+                    subset = [
+                        c
+                        for c in collector.candidates
+                        if c.dependent in dep_set and c.referenced in ref_set
+                    ]
+                    if not subset:
+                        continue
+                    sub_runs += 1
+                    engine = _ENGINES[self._engine_name](self._spool)
+                    sub_result = engine.validate(subset)
+                    by_pair.update(sub_result.decisions)
+                    self._merge_stats(collector, sub_result)
+        for candidate in collector.candidates:
+            decision = by_pair.get(candidate)
+            if decision is None:
+                raise ValidatorError(
+                    f"block-wise validation never decided {candidate}"
+                )
+            collector.record(candidate, decision)
+        # Sub-run collectors already counted tested/satisfied; keep the outer
+        # collector's view (it recounted on record) and the I/O sums.
+        collector.stats.elapsed_seconds = clock.elapsed
+        collector.stats.extra["sub_runs"] = float(sub_runs)
+        collector.stats.extra["dep_block_size"] = float(dep_block)
+        collector.stats.extra["ref_block_size"] = float(ref_block)
+        if collector.stats.peak_open_files > self._max_open_files:
+            raise ValidatorError(
+                f"block-wise run exceeded its file budget: "
+                f"{collector.stats.peak_open_files} > {self._max_open_files}"
+            )
+        return collector.result()
+
+    @staticmethod
+    def _merge_stats(collector: DecisionCollector, sub_result) -> None:
+        stats = collector.stats
+        sub = sub_result.stats
+        stats.comparisons += sub.comparisons
+        stats.items_read += sub.items_read
+        stats.files_opened += sub.files_opened
+        stats.peak_open_files = max(stats.peak_open_files, sub.peak_open_files)

@@ -1,0 +1,215 @@
+"""IND candidate generation and the metadata pretests.
+
+Two generation modes from the paper:
+
+* **unique-ref mode** (Sec. 2, the mode behind all experiments): potentially
+  *dependent* attributes are non-empty columns of any type except LOB;
+  potentially *referenced* attributes are non-empty **unique** columns.  Every
+  dependent is paired with every referenced attribute (except itself).
+
+* **all-pairs mode** (Sec. 1.2): every unordered pair of non-empty non-LOB
+  attributes yields one candidate, directed from the smaller distinct set to
+  the larger (equal cardinalities test set equivalence via one direction).
+
+The pretests are metadata-only filters, evaluated from
+:class:`~repro.db.stats.ColumnStats` without touching the data again:
+
+* cardinality (Sec. 2 "first phase"): ``|s(dep)| <= |s(ref)|``;
+* max-value (Sec. 4.1): ``max(s(dep)) <= max(s(ref))``;
+* min-value (the complementary Bell & Brockhausen test; extension);
+* datatype (mentioned and *rejected* by Sec. 4.1 for life-science data —
+  implemented so the ablation benchmark can demonstrate why: it prunes true
+  INDs between INTEGER and VARCHAR columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.schema import AttributeRef
+from repro.db.stats import ColumnStats
+from repro.db.types import DataType
+from repro.core.ind import IND
+
+
+@dataclass(frozen=True, order=True)
+class Candidate:
+    """An unverified IND candidate ``dependent ⊆ referenced``."""
+
+    dependent: AttributeRef
+    referenced: AttributeRef
+
+    def as_ind(self) -> IND:
+        return IND(self.dependent, self.referenced)
+
+    def __str__(self) -> str:
+        return f"{self.dependent.qualified} [=? {self.referenced.qualified}"
+
+
+@dataclass
+class PretestReport:
+    """How many candidates each pretest removed (Sec. 4.1 reporting)."""
+
+    initial: int = 0
+    removed_by_cardinality: int = 0
+    removed_by_max_value: int = 0
+    removed_by_min_value: int = 0
+    removed_by_datatype: int = 0
+    remaining: int = 0
+
+    @property
+    def removed_total(self) -> int:
+        return self.initial - self.remaining
+
+
+def dependent_attributes(
+    stats: dict[AttributeRef, ColumnStats]
+) -> list[AttributeRef]:
+    """Potentially dependent attributes: non-empty, any type except LOB."""
+    return sorted(
+        ref
+        for ref, st in stats.items()
+        if not st.is_empty and not st.dtype.is_lob
+    )
+
+
+def referenced_attributes(
+    stats: dict[AttributeRef, ColumnStats]
+) -> list[AttributeRef]:
+    """Potentially referenced attributes: non-empty unique columns.
+
+    Per the paper every referenced attribute is also a dependent attribute,
+    so LOB columns are excluded here as well.
+    """
+    return sorted(
+        ref
+        for ref, st in stats.items()
+        if st.is_unique and not st.dtype.is_lob
+    )
+
+
+def generate_unique_ref_candidates(
+    stats: dict[AttributeRef, ColumnStats]
+) -> list[Candidate]:
+    """Sec. 2 candidate generation: every dependent × every unique referenced."""
+    deps = dependent_attributes(stats)
+    refs = referenced_attributes(stats)
+    return [
+        Candidate(dep, ref) for dep in deps for ref in refs if dep != ref
+    ]
+
+
+def generate_all_pairs_candidates(
+    stats: dict[AttributeRef, ColumnStats]
+) -> list[Candidate]:
+    """Sec. 1.2 candidate generation: (n² - n) / 2 directed tests.
+
+    For each unordered pair the test runs from the smaller distinct set into
+    the larger one; at equal cardinality one direction suffices (it then tests
+    set equivalence), and we pick the lexicographically smaller dependent for
+    determinism.
+    """
+    attrs = dependent_attributes(stats)
+    out: list[Candidate] = []
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1 :]:
+            if stats[a].distinct_count <= stats[b].distinct_count:
+                out.append(Candidate(a, b))
+            else:
+                out.append(Candidate(b, a))
+    return out
+
+
+# -------------------------------------------------------------------- pretests
+def cardinality_pretest(
+    candidate: Candidate, stats: dict[AttributeRef, ColumnStats]
+) -> bool:
+    """True when the candidate survives: ``|s(dep)| <= |s(ref)|``."""
+    return (
+        stats[candidate.dependent].distinct_count
+        <= stats[candidate.referenced].distinct_count
+    )
+
+
+def max_value_pretest(
+    candidate: Candidate, stats: dict[AttributeRef, ColumnStats]
+) -> bool:
+    """True when ``max(s(dep)) <= max(s(ref))`` (rendered, Sec. 4.1)."""
+    dep_max = stats[candidate.dependent].max_value
+    ref_max = stats[candidate.referenced].max_value
+    if dep_max is None or ref_max is None:
+        return False  # an empty side can never satisfy a non-trivial IND test
+    return dep_max <= ref_max
+
+
+def min_value_pretest(
+    candidate: Candidate, stats: dict[AttributeRef, ColumnStats]
+) -> bool:
+    """True when ``min(s(dep)) >= min(s(ref))`` (Bell & Brockhausen)."""
+    dep_min = stats[candidate.dependent].min_value
+    ref_min = stats[candidate.referenced].min_value
+    if dep_min is None or ref_min is None:
+        return False
+    return dep_min >= ref_min
+
+
+_TYPE_CLASSES: dict[DataType, str] = {
+    DataType.INTEGER: "numeric",
+    DataType.FLOAT: "numeric",
+    DataType.VARCHAR: "string",
+    DataType.DATE: "date",
+    DataType.CLOB: "lob",
+    DataType.BLOB: "lob",
+}
+
+
+def datatype_pretest(
+    candidate: Candidate, stats: dict[AttributeRef, ColumnStats]
+) -> bool:
+    """True when both attributes belong to the same coarse type class.
+
+    Deliberately strict: the Sec. 4.1 observation is that this pretest is
+    *unsafe* in domains where numbers live in string columns.  The ablation
+    benchmark uses it to show the resulting false negatives.
+    """
+    return (
+        _TYPE_CLASSES[stats[candidate.dependent].dtype]
+        == _TYPE_CLASSES[stats[candidate.referenced].dtype]
+    )
+
+
+@dataclass
+class PretestConfig:
+    """Which metadata pretests to apply, in the order the paper applies them."""
+
+    cardinality: bool = True
+    max_value: bool = False
+    min_value: bool = False
+    datatype: bool = False
+
+
+def apply_pretests(
+    candidates: list[Candidate],
+    stats: dict[AttributeRef, ColumnStats],
+    config: PretestConfig | None = None,
+) -> tuple[list[Candidate], PretestReport]:
+    """Filter candidates by the configured pretests; returns survivors + report."""
+    cfg = config or PretestConfig()
+    report = PretestReport(initial=len(candidates))
+    survivors: list[Candidate] = []
+    for candidate in candidates:
+        if cfg.cardinality and not cardinality_pretest(candidate, stats):
+            report.removed_by_cardinality += 1
+            continue
+        if cfg.max_value and not max_value_pretest(candidate, stats):
+            report.removed_by_max_value += 1
+            continue
+        if cfg.min_value and not min_value_pretest(candidate, stats):
+            report.removed_by_min_value += 1
+            continue
+        if cfg.datatype and not datatype_pretest(candidate, stats):
+            report.removed_by_datatype += 1
+            continue
+        survivors.append(candidate)
+    report.remaining = len(survivors)
+    return survivors, report

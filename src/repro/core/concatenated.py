@@ -1,0 +1,168 @@
+"""INDs between concatenated/prefixed values (Sec. 7 future work).
+
+The paper's closing example: one database stores PDB codes as ``144f``,
+another as ``PDB-144f`` — set inclusion fails although the link is real.
+This module detects such INDs *modulo a constant prefix*:
+
+* :func:`detect_common_prefix` finds the longest constant prefix shared by
+  every value of an attribute, provided it ends at a separator character
+  (``-``, ``_``, ``:``, ``/``, ``|``, space) — a bare common first letter is
+  not evidence of concatenation;
+* :class:`PrefixedINDFinder` tests ``strip(dep) ⊆ ref`` and
+  ``dep ⊆ strip(ref)`` for candidates that fail as exact INDs.
+
+Stripping a *constant* prefix preserves lexicographic order, so the stripped
+stream can be fed straight into the Algorithm-1 merge — no re-sort needed.
+(That is exactly why detection insists on a constant prefix.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.brute_force import check_inclusion
+from repro.core.candidates import Candidate
+from repro.errors import ValidatorError
+from repro.storage.cursors import IOStats, ValueCursor
+from repro.storage.sorted_sets import SpoolDirectory
+
+SEPARATORS = "-_:/| "
+
+
+@dataclass(frozen=True)
+class PrefixedIND:
+    """An IND that holds after stripping a constant prefix from one side."""
+
+    candidate: Candidate
+    prefix: str
+    stripped_side: str  # "dependent" or "referenced"
+
+    def __str__(self) -> str:
+        if self.stripped_side == "dependent":
+            return (
+                f"strip({self.candidate.dependent.qualified}, {self.prefix!r}) "
+                f"[= {self.candidate.referenced.qualified}"
+            )
+        return (
+            f"{self.candidate.dependent.qualified} [= "
+            f"strip({self.candidate.referenced.qualified}, {self.prefix!r})"
+        )
+
+
+class _StrippingCursor:
+    """Wraps a cursor, removing a constant prefix from every value."""
+
+    def __init__(self, inner: ValueCursor, prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def next_value(self) -> str:
+        value = self._inner.next_value()
+        if not value.startswith(self._prefix):
+            raise ValidatorError(
+                f"value {value!r} lacks the expected prefix {self._prefix!r}"
+            )
+        return value[len(self._prefix) :]
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def detect_common_prefix(
+    values: ValueCursor, max_scan: int | None = None
+) -> str | None:
+    """Longest constant prefix (ending at a separator) shared by all values.
+
+    Scans up to ``max_scan`` values (all when ``None``).  Returns ``None``
+    when no separator-terminated constant prefix exists or the set is empty.
+    """
+    prefix: str | None = None
+    scanned = 0
+    while values.has_next():
+        value = values.next_value()
+        scanned += 1
+        if prefix is None:
+            prefix = value
+        else:
+            limit = min(len(prefix), len(value))
+            i = 0
+            while i < limit and prefix[i] == value[i]:
+                i += 1
+            prefix = prefix[:i]
+        if not prefix:
+            return None
+        if max_scan is not None and scanned >= max_scan:
+            break
+    if prefix is None:
+        return None
+    # Trim back to the last separator so "PDB-1abc" / "PDB-2xyz" yields
+    # "PDB-" rather than the meaningless "PDB-…common letters…".
+    cut = -1
+    for i, ch in enumerate(prefix):
+        if ch in SEPARATORS:
+            cut = i
+    if cut == -1:
+        return None
+    return prefix[: cut + 1]
+
+
+class PrefixedINDFinder:
+    """Finds prefix-tolerant INDs among otherwise-refuted candidates."""
+
+    name = "prefixed-ind"
+
+    def __init__(self, spool: SpoolDirectory, prefix_scan_limit: int = 1000) -> None:
+        self._spool = spool
+        self._prefix_scan_limit = prefix_scan_limit
+        self._prefix_cache: dict = {}
+
+    def _prefix_of(self, ref) -> str | None:
+        if ref not in self._prefix_cache:
+            cursor = self._spool.open_cursor(ref)
+            try:
+                self._prefix_cache[ref] = detect_common_prefix(
+                    cursor, self._prefix_scan_limit
+                )
+            finally:
+                cursor.close()
+        return self._prefix_cache[ref]
+
+    def check(self, candidate: Candidate, io: IOStats | None = None) -> PrefixedIND | None:
+        """Test both stripping directions; returns the first match or None."""
+        dep_prefix = self._prefix_of(candidate.dependent)
+        if dep_prefix:
+            if self._holds_with_strip(candidate, dep_prefix, "dependent", io):
+                return PrefixedIND(candidate, dep_prefix, "dependent")
+        ref_prefix = self._prefix_of(candidate.referenced)
+        if ref_prefix:
+            if self._holds_with_strip(candidate, ref_prefix, "referenced", io):
+                return PrefixedIND(candidate, ref_prefix, "referenced")
+        return None
+
+    def _holds_with_strip(
+        self, candidate: Candidate, prefix: str, side: str, io: IOStats | None
+    ) -> bool:
+        dep_cursor: ValueCursor = self._spool.open_cursor(candidate.dependent, io)
+        ref_cursor: ValueCursor = self._spool.open_cursor(candidate.referenced, io)
+        if side == "dependent":
+            dep_cursor = _StrippingCursor(dep_cursor, prefix)
+        else:
+            ref_cursor = _StrippingCursor(ref_cursor, prefix)
+        try:
+            return check_inclusion(dep_cursor, ref_cursor)
+        finally:
+            dep_cursor.close()
+            ref_cursor.close()
+
+    def find_all(
+        self, candidates: list[Candidate], io: IOStats | None = None
+    ) -> list[PrefixedIND]:
+        found: list[PrefixedIND] = []
+        for candidate in candidates:
+            hit = self.check(candidate, io)
+            if hit is not None:
+                found.append(hit)
+        return found

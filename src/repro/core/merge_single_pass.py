@@ -1,0 +1,202 @@
+"""Heap-based single-pass validation — the paper's "current work" direction.
+
+Sec. 7 closes with "in our current work we concentrate on improving the
+performance of the single-pass algorithm"; the synchronisation overhead of the
+subject–observer design is what made it lose to brute force in Tab. 2 despite
+its better I/O profile (Fig. 5).  This module implements the natural
+reformulation (which the authors later published as SPIDER): a k-way merge
+over all attribute cursors driven by a min-heap.
+
+Each attribute contributes one cursor.  The loop repeatedly pops the globally
+smallest value ``v`` and the set ``S`` of attributes whose cursors currently
+hold ``v``.  For every dependent attribute ``a ∈ S`` the surviving reference
+set shrinks to ``refs(a) ∩ S`` — any reference not positioned at ``v`` cannot
+contain it.  A dependent whose cursor exhausts with a non-empty reference set
+has every one of its values matched: those candidates are satisfied.
+
+The semantics and decisions are *identical* to the observer implementation
+(property tests assert agreement); only the synchronisation differs — there
+is none.  Attributes whose candidates are all decided close their cursors
+early, matching the observer protocol's I/O behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro._util import Stopwatch
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+from repro.storage.cursors import IOStats
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+class _AttributeCursor:
+    """One attribute's position in the global merge."""
+
+    __slots__ = ("ref", "cursor", "live_refs", "ref_usage", "closed")
+
+    def __init__(self, ref: AttributeRef, cursor) -> None:
+        self.ref = ref
+        self.cursor = cursor
+        # Candidates where this attribute is the dependent side.
+        self.live_refs: set[AttributeRef] = set()
+        # Number of undecided candidates where this attribute is referenced.
+        self.ref_usage = 0
+        self.closed = False
+
+    @property
+    def is_needed(self) -> bool:
+        return bool(self.live_refs) or self.ref_usage > 0
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.cursor.close()
+
+
+class MergeSinglePassValidator:
+    """All candidates in one synchronisation-free pass over every file."""
+
+    name = "merge-single-pass"
+
+    def __init__(self, spool: SpoolDirectory) -> None:
+        self._spool = spool
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        collector = DecisionCollector(candidates, self.name)
+        io = IOStats()
+        with Stopwatch() as clock:
+            self._run(collector, io)
+        collector.stats.elapsed_seconds = clock.elapsed
+        collector.stats.absorb_io(io)
+        return collector.result()
+
+    def _run(self, collector: DecisionCollector, io: IOStats) -> None:
+        attrs: dict[AttributeRef, _AttributeCursor] = {}
+        for candidate in collector.candidates:
+            if candidate.dependent == candidate.referenced:
+                raise ValidatorError(
+                    f"trivial candidate {candidate} must not reach the validator"
+                )
+            for side in (candidate.dependent, candidate.referenced):
+                if side not in attrs:
+                    attrs[side] = _AttributeCursor(
+                        side, self._spool.open_cursor(side, io)
+                    )
+            attrs[candidate.dependent].live_refs.add(candidate.referenced)
+            attrs[candidate.referenced].ref_usage += 1
+
+        # Decide empty-dependent candidates up front (vacuously satisfied),
+        # exactly as the observer implementation does.
+        for state in attrs.values():
+            if not state.cursor.has_next() and state.live_refs:
+                for ref in sorted(state.live_refs):
+                    collector.record(Candidate(state.ref, ref), True, vacuous=True)
+                    attrs[ref].ref_usage -= 1
+                state.live_refs.clear()
+        for state in attrs.values():
+            if not state.is_needed:
+                state.close()
+
+        # Seed the heap with each needed attribute's first value.
+        heap: list[tuple[str, AttributeRef]] = []
+        for state in attrs.values():
+            if state.closed:
+                continue
+            if state.cursor.has_next():
+                heapq.heappush(heap, (state.cursor.next_value(), state.ref))
+            else:
+                # Empty attribute that is only referenced: every dependent
+                # with a value will drop it at its first merge step; an empty
+                # referenced set can also be decided immediately.
+                self._refute_all_into(state.ref, attrs, collector)
+                state.close()
+
+        group: list[AttributeRef] = []
+        while heap:
+            value, ref = heapq.heappop(heap)
+            group.clear()
+            group.append(ref)
+            while heap and heap[0][0] == value:
+                group.append(heapq.heappop(heap)[1])
+            self._process_group(value, group, attrs, collector)
+            for member in group:
+                state = attrs[member]
+                if state.closed or not state.is_needed:
+                    state.close()
+                    continue
+                if state.cursor.has_next():
+                    heapq.heappush(heap, (state.cursor.next_value(), state.ref))
+                else:
+                    self._exhaust(state, attrs, collector)
+
+        undecided = collector.undecided
+        if undecided:
+            raise ValidatorError(
+                "merge single-pass finished with undecided candidates: "
+                + ", ".join(str(c) for c in undecided[:5])
+            )
+        for state in attrs.values():
+            state.close()
+
+    def _process_group(
+        self,
+        value: str,
+        group: list[AttributeRef],
+        attrs: dict[AttributeRef, _AttributeCursor],
+        collector: DecisionCollector,
+    ) -> None:
+        """Intersect every dependent's surviving references with the group."""
+        present = set(group)
+        for member in group:
+            state = attrs[member]
+            if not state.live_refs:
+                continue
+            collector.stats.comparisons += len(state.live_refs)
+            dropped = [r for r in state.live_refs if r not in present]
+            for ref in sorted(dropped):
+                state.live_refs.discard(ref)
+                collector.record(Candidate(state.ref, ref), False)
+                self._release_ref(attrs[ref], attrs, collector)
+
+    def _exhaust(
+        self,
+        state: _AttributeCursor,
+        attrs: dict[AttributeRef, _AttributeCursor],
+        collector: DecisionCollector,
+    ) -> None:
+        """A dependent ran out of values: its surviving candidates hold."""
+        for ref in sorted(state.live_refs):
+            collector.record(Candidate(state.ref, ref), True)
+            self._release_ref(attrs[ref], attrs, collector)
+        state.live_refs.clear()
+        if not state.is_needed:
+            state.close()
+
+    def _release_ref(
+        self,
+        ref_state: _AttributeCursor,
+        attrs: dict[AttributeRef, _AttributeCursor],
+        collector: DecisionCollector,
+    ) -> None:
+        ref_state.ref_usage -= 1
+        if not ref_state.is_needed:
+            ref_state.close()
+
+    def _refute_all_into(
+        self,
+        empty_ref: AttributeRef,
+        attrs: dict[AttributeRef, _AttributeCursor],
+        collector: DecisionCollector,
+    ) -> None:
+        """An empty referenced attribute refutes all non-vacuous candidates."""
+        for state in attrs.values():
+            if empty_ref in state.live_refs:
+                state.live_refs.discard(empty_ref)
+                collector.record(Candidate(state.ref, empty_ref), False)
+                attrs[empty_ref].ref_usage -= 1
+                if not state.is_needed:
+                    state.close()

@@ -1,0 +1,55 @@
+"""In-memory reference validator: the trivially correct oracle.
+
+Materialises both distinct value sets and checks ``s(dep) <= s(ref)`` with
+Python set containment.  This is how one *would* implement IND checking if
+memory were free and I/O irrelevant — useful as (a) the ground truth that
+every optimised validator is property-tested against, and (b) a convenient
+API for small inputs.
+"""
+
+from __future__ import annotations
+
+from repro._util import Stopwatch
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+from repro.storage.codec import render_value
+
+
+class ReferenceValidator:
+    """Set-containment oracle over an in-memory database."""
+
+    name = "reference"
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._cache: dict[AttributeRef, frozenset[str]] = {}
+
+    def _value_set(self, ref: AttributeRef) -> frozenset[str]:
+        if ref not in self._cache:
+            values = self._db.attribute_values(ref)
+            self._cache[ref] = frozenset(render_value(v) for v in values)
+        return self._cache[ref]
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        collector = DecisionCollector(candidates, self.name)
+        with Stopwatch() as clock:
+            for candidate in collector.candidates:
+                if candidate.dependent == candidate.referenced:
+                    raise ValidatorError(
+                        f"trivial candidate {candidate} must not reach the validator"
+                    )
+                dep_set = self._value_set(candidate.dependent)
+                ref_set = self._value_set(candidate.referenced)
+                collector.record(
+                    candidate, dep_set <= ref_set, vacuous=not dep_set
+                )
+        collector.stats.elapsed_seconds = clock.elapsed
+        return collector.result()
+
+    def validate_one(self, candidate: Candidate) -> bool:
+        return self._value_set(candidate.dependent) <= self._value_set(
+            candidate.referenced
+        )

@@ -1,0 +1,103 @@
+"""The result object returned by :func:`repro.core.runner.discover_inds`."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.candidates import PretestReport
+from repro.core.ind import INDSet
+from repro.core.stats import ValidatorStats
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per pipeline phase."""
+
+    profile_seconds: float = 0.0
+    candidate_seconds: float = 0.0
+    export_seconds: float = 0.0
+    validate_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.profile_seconds
+            + self.candidate_seconds
+            + self.export_seconds
+            + self.validate_seconds
+        )
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything one IND discovery run produced.
+
+    ``satisfied`` is the payload; the remaining fields carry the numbers the
+    paper reports in its tables (candidate counts, pretest reductions,
+    runtimes, I/O counters).
+    """
+
+    database: str
+    strategy: str
+    attribute_count: int
+    dependent_count: int
+    referenced_count: int
+    raw_candidates: int
+    pretest_report: PretestReport
+    satisfied: INDSet
+    validator_stats: ValidatorStats
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    sampling_refuted: int = 0
+    transitivity_inferred_satisfied: int = 0
+    transitivity_inferred_refuted: int = 0
+    spool_path: str | None = None
+    export_values_scanned: int = 0
+    export_values_written: int = 0
+
+    @property
+    def satisfied_count(self) -> int:
+        return len(self.satisfied)
+
+    @property
+    def candidates_after_pretests(self) -> int:
+        return self.pretest_report.remaining
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (INDs as qualified-name pairs)."""
+        return {
+            "database": self.database,
+            "strategy": self.strategy,
+            "attribute_count": self.attribute_count,
+            "dependent_count": self.dependent_count,
+            "referenced_count": self.referenced_count,
+            "raw_candidates": self.raw_candidates,
+            "pretests": asdict(self.pretest_report),
+            "satisfied_count": self.satisfied_count,
+            "satisfied": [
+                [ind.dependent.qualified, ind.referenced.qualified]
+                for ind in self.satisfied
+            ],
+            "validator": {
+                "name": self.validator_stats.validator,
+                "candidates_tested": self.validator_stats.candidates_tested,
+                "comparisons": self.validator_stats.comparisons,
+                "items_read": self.validator_stats.items_read,
+                "files_opened": self.validator_stats.files_opened,
+                "peak_open_files": self.validator_stats.peak_open_files,
+                "sql_rows_scanned": self.validator_stats.sql_rows_scanned,
+                "sql_statements": self.validator_stats.sql_statements,
+                "elapsed_seconds": self.validator_stats.elapsed_seconds,
+            },
+            "timings": {
+                "profile_seconds": self.timings.profile_seconds,
+                "candidate_seconds": self.timings.candidate_seconds,
+                "export_seconds": self.timings.export_seconds,
+                "validate_seconds": self.timings.validate_seconds,
+                "total_seconds": self.timings.total_seconds,
+            },
+            "sampling_refuted": self.sampling_refuted,
+            "transitivity_inferred_satisfied": self.transitivity_inferred_satisfied,
+            "transitivity_inferred_refuted": self.transitivity_inferred_refuted,
+            "export_values_scanned": self.export_values_scanned,
+            "export_values_written": self.export_values_written,
+        }

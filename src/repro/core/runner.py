@@ -1,0 +1,274 @@
+"""End-to-end IND discovery: profile → candidates → pretests → validate.
+
+:func:`discover_inds` is the main public entry point of the library.  It
+wires together the catalog profiling, candidate generation, the metadata
+pretests of Sec. 4.1, the optional sampling pretest and transitivity pruning,
+the spool export, and one of the seven validators.
+
+    >>> from repro.core import DiscoveryConfig, discover_inds
+    >>> result = discover_inds(db, DiscoveryConfig(strategy="brute-force"))
+    >>> for ind in result.satisfied:
+    ...     print(ind)
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._util import Stopwatch
+from repro.core.blockwise import BlockwiseValidator
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import (
+    Candidate,
+    PretestConfig,
+    apply_pretests,
+    dependent_attributes,
+    generate_all_pairs_candidates,
+    generate_unique_ref_candidates,
+    referenced_attributes,
+)
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.pruning import SamplingPretest, TransitivityPruner
+from repro.core.reference import ReferenceValidator
+from repro.core.results import DiscoveryResult, PhaseTimings
+from repro.core.single_pass import SinglePassValidator
+from repro.core.sql_approaches import (
+    SqlJoinValidator,
+    SqlMinusValidator,
+    SqlNotInValidator,
+)
+from repro.core.stats import DecisionCollector, ValidationResult
+from repro.db.database import Database
+from repro.db.stats import collect_column_stats
+from repro.errors import DiscoveryError
+from repro.storage.cursors import IOStats
+from repro.storage.exporter import export_database
+from repro.storage.external_sort import DEFAULT_RUN_SIZE
+from repro.storage.sorted_sets import SpoolDirectory
+
+EXTERNAL_STRATEGIES = frozenset(
+    {"brute-force", "single-pass", "merge-single-pass", "blockwise"}
+)
+SQL_STRATEGIES = frozenset({"sql-join", "sql-minus", "sql-notin"})
+SEQUENTIAL_STRATEGIES = frozenset({"brute-force", *SQL_STRATEGIES})
+ALL_STRATEGIES = frozenset({*EXTERNAL_STRATEGIES, *SQL_STRATEGIES, "reference"})
+
+
+@dataclass
+class DiscoveryConfig:
+    """Tuning knobs for one discovery run; defaults are the sensible ones."""
+
+    strategy: str = "merge-single-pass"
+    candidate_mode: str = "unique-ref"  # or "all-pairs"
+    pretests: PretestConfig = field(
+        default_factory=lambda: PretestConfig(cardinality=True, max_value=True)
+    )
+    use_transitivity: bool = False  # sequential strategies only
+    sampling_size: int = 0  # 0 disables the sampling pretest
+    sampling_seed: int = 0
+    spool_dir: str | None = None  # temporary directory when None
+    keep_spool: bool = False
+    max_items_in_memory: int = DEFAULT_RUN_SIZE
+    max_open_files: int = 64  # blockwise strategy only
+    blockwise_engine: str = "merge"
+    sql_null_safe: bool = True
+
+    def validated(self) -> "DiscoveryConfig":
+        if self.strategy not in ALL_STRATEGIES:
+            raise DiscoveryError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {sorted(ALL_STRATEGIES)}"
+            )
+        if self.candidate_mode not in ("unique-ref", "all-pairs"):
+            raise DiscoveryError(
+                f"unknown candidate mode {self.candidate_mode!r}"
+            )
+        if self.use_transitivity and self.strategy not in SEQUENTIAL_STRATEGIES:
+            raise DiscoveryError(
+                "transitivity pruning requires a sequential strategy "
+                f"({sorted(SEQUENTIAL_STRATEGIES)}), not {self.strategy!r}"
+            )
+        if self.sampling_size and self.strategy not in EXTERNAL_STRATEGIES:
+            raise DiscoveryError(
+                "the sampling pretest reads spool files and therefore "
+                f"requires an external strategy, not {self.strategy!r}"
+            )
+        if self.sampling_size < 0:
+            raise DiscoveryError("sampling_size must be >= 0")
+        if self.candidate_mode == "all-pairs" and self.strategy == "sql-join":
+            raise DiscoveryError(
+                "the join approach requires unique referenced attributes and "
+                "therefore cannot run in all-pairs candidate mode"
+            )
+        return self
+
+
+def discover_inds(
+    db: Database, config: DiscoveryConfig | None = None
+) -> DiscoveryResult:
+    """Discover all satisfied unary INDs of ``db`` under ``config``."""
+    cfg = (config or DiscoveryConfig()).validated()
+    timings = PhaseTimings()
+
+    with Stopwatch() as clock:
+        column_stats = collect_column_stats(db)
+    timings.profile_seconds = clock.elapsed
+
+    with Stopwatch() as clock:
+        if cfg.candidate_mode == "unique-ref":
+            raw = generate_unique_ref_candidates(column_stats)
+        else:
+            raw = generate_all_pairs_candidates(column_stats)
+        candidates, pretest_report = apply_pretests(raw, column_stats, cfg.pretests)
+    timings.candidate_seconds = clock.elapsed
+
+    deps = dependent_attributes(column_stats)
+    refs = referenced_attributes(column_stats)
+
+    spool: SpoolDirectory | None = None
+    spool_path: str | None = None
+    export_scanned = 0
+    export_written = 0
+    cleanup_dir: tempfile.TemporaryDirectory | None = None
+    sampling_refuted = 0
+    inferred_sat = 0
+    inferred_unsat = 0
+    try:
+        if cfg.strategy in EXTERNAL_STRATEGIES:
+            with Stopwatch() as clock:
+                spool, spool_path, cleanup_dir, export_stats = _export(
+                    db, cfg, candidates
+                )
+            timings.export_seconds = clock.elapsed
+            export_scanned = export_stats.values_scanned
+            export_written = export_stats.values_written
+
+        with Stopwatch() as clock:
+            if cfg.sampling_size and spool is not None:
+                candidates, sampling_refuted_list = _sampling_pretest(
+                    spool, cfg, candidates
+                )
+                sampling_refuted = len(sampling_refuted_list)
+            if cfg.use_transitivity:
+                validation, inferred_sat, inferred_unsat = _validate_sequential(
+                    db, cfg, spool, candidates, column_stats
+                )
+            else:
+                validator = _build_validator(db, cfg, spool, column_stats)
+                validation = validator.validate(candidates)
+        timings.validate_seconds = clock.elapsed
+    finally:
+        if cleanup_dir is not None and not cfg.keep_spool:
+            cleanup_dir.cleanup()
+            spool_path = None
+
+    return DiscoveryResult(
+        database=db.name,
+        strategy=cfg.strategy,
+        attribute_count=len(column_stats),
+        dependent_count=len(deps),
+        referenced_count=len(refs),
+        raw_candidates=len(raw),
+        pretest_report=pretest_report,
+        satisfied=validation.satisfied,
+        validator_stats=validation.stats,
+        timings=timings,
+        sampling_refuted=sampling_refuted,
+        transitivity_inferred_satisfied=inferred_sat,
+        transitivity_inferred_refuted=inferred_unsat,
+        spool_path=spool_path if cfg.keep_spool else None,
+        export_values_scanned=export_scanned,
+        export_values_written=export_written,
+    )
+
+
+# ------------------------------------------------------------------ internals
+def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
+    """Spool exactly the attributes the surviving candidates touch."""
+    needed = sorted(
+        {c.dependent for c in candidates} | {c.referenced for c in candidates}
+    )
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if cfg.spool_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-spool-")
+        root = cleanup.name
+    else:
+        root = cfg.spool_dir
+        Path(root).mkdir(parents=True, exist_ok=True)
+    spool, export_stats = export_database(
+        db,
+        root,
+        attributes=needed,
+        max_items_in_memory=cfg.max_items_in_memory,
+    )
+    return spool, root, cleanup, export_stats
+
+
+def _build_validator(db, cfg, spool, column_stats):
+    if cfg.strategy == "brute-force":
+        return BruteForceValidator(spool)
+    if cfg.strategy == "single-pass":
+        return SinglePassValidator(spool)
+    if cfg.strategy == "merge-single-pass":
+        return MergeSinglePassValidator(spool)
+    if cfg.strategy == "blockwise":
+        return BlockwiseValidator(
+            spool, max_open_files=cfg.max_open_files, engine=cfg.blockwise_engine
+        )
+    if cfg.strategy == "sql-join":
+        return SqlJoinValidator(db, column_stats)
+    if cfg.strategy == "sql-minus":
+        return SqlMinusValidator(db, column_stats)
+    if cfg.strategy == "sql-notin":
+        return SqlNotInValidator(db, column_stats, null_safe=cfg.sql_null_safe)
+    if cfg.strategy == "reference":
+        return ReferenceValidator(db)
+    raise DiscoveryError(f"unhandled strategy {cfg.strategy!r}")
+
+
+def _sampling_pretest(spool, cfg, candidates):
+    """Drop candidates the sampling pretest refutes; they are refuted INDs."""
+    sampler = SamplingPretest(
+        spool, sample_size=cfg.sampling_size, seed=cfg.sampling_seed
+    )
+    survivors: list[Candidate] = []
+    refuted: list[Candidate] = []
+    for candidate in candidates:
+        if sampler.pretest(candidate):
+            survivors.append(candidate)
+        else:
+            refuted.append(candidate)
+    return survivors, refuted
+
+
+def _validate_sequential(db, cfg, spool, candidates, column_stats):
+    """Sequential validation with online transitivity pruning (Sec. 6)."""
+    pruner = TransitivityPruner()
+    validator = _build_validator(db, cfg, spool, column_stats)
+    collector = DecisionCollector(candidates, f"{cfg.strategy}+transitivity")
+    io = IOStats()
+    with Stopwatch() as clock:
+        for candidate in collector.candidates:
+            inferred = pruner.infer(candidate)
+            if inferred is None:
+                if cfg.strategy == "brute-force":
+                    outcome = validator.validate_one(
+                        candidate, io=io, stats=collector.stats
+                    )
+                else:
+                    outcome = validator.validate_one(candidate)
+                collector.record(candidate, outcome)
+            else:
+                outcome = inferred
+                collector.record(candidate, outcome, vacuous=True)
+            pruner.record(candidate, outcome)
+    collector.stats.elapsed_seconds = clock.elapsed
+    collector.stats.absorb_io(io)
+    if cfg.strategy in SQL_STRATEGIES:
+        engine = validator._engine  # noqa: SLF001 - deliberate introspection
+        collector.stats.sql_rows_scanned = engine.total_stats.rows_scanned
+        collector.stats.sql_statements = engine.total_stats.statements
+    result: ValidationResult = collector.result()
+    return result, pruner.inferred_satisfied, pruner.inferred_refuted

@@ -1,0 +1,186 @@
+"""The three SQL approaches of Sec. 2: ``join``, ``minus`` and ``not in``.
+
+Each validator issues one statement per candidate against the SQL substrate
+— the paper's exact templates (Figures 2-4), aliased ``dep`` / ``ref`` so a
+candidate between two columns of the *same* table remains unambiguous.
+
+Why these are slow (and measured as such by the benchmarks) is structural,
+not simulated: the engine materialises every query block, so
+
+* the ``join`` statement always computes the complete join;
+* ``minus`` computes the complete set difference before ``ROWNUM < 2``
+  truncates it;
+* ``not in`` materialises the subquery and filters every dependent row.
+
+No sorted set is ever reused between statements — each candidate pays the
+full data cost again, which is the second structural problem the paper
+identifies with SQL-based IND checking.
+
+``not in`` carries the classic three-valued-logic trap: if the referenced
+column contains a NULL, ``x NOT IN (...)`` is never TRUE and the statement
+reports *every* candidate as satisfied.  The validator defaults to the
+NULL-safe variant (matching the paper's report that all approaches computed
+correct results on their data); ``null_safe=False`` reproduces the raw
+template, and a dedicated test demonstrates the trap.
+"""
+
+from __future__ import annotations
+
+from repro._util import Stopwatch
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.db.stats import ColumnStats, collect_column_stats
+from repro.errors import ValidatorError
+from repro.sql.engine import SqlEngine
+
+
+def _check_identifier(name: str) -> str:
+    if not name.isidentifier():
+        raise ValidatorError(
+            f"{name!r} cannot be used in generated SQL; rename the schema "
+            "element or use a database-external validator"
+        )
+    return name
+
+
+class _SqlApproachBase:
+    """Shared plumbing: one statement per candidate, instrumented."""
+
+    name = "sql-base"
+
+    def __init__(
+        self,
+        db: Database,
+        column_stats: dict[AttributeRef, ColumnStats] | None = None,
+    ) -> None:
+        self._db = db
+        self._stats = column_stats or collect_column_stats(db)
+        self._engine = SqlEngine(db)
+
+    def statement_for(self, candidate: Candidate) -> str:
+        raise NotImplementedError
+
+    def _is_satisfied(self, candidate: Candidate, scalar: int) -> bool:
+        raise NotImplementedError
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        collector = DecisionCollector(candidates, self.name)
+        with Stopwatch() as clock:
+            for candidate in collector.candidates:
+                if candidate.dependent == candidate.referenced:
+                    raise ValidatorError(
+                        f"trivial candidate {candidate} must not reach the validator"
+                    )
+                satisfied = self.validate_one(candidate)
+                collector.record(candidate, satisfied)
+        collector.stats.elapsed_seconds = clock.elapsed
+        collector.stats.sql_rows_scanned = self._engine.total_stats.rows_scanned
+        collector.stats.sql_statements = self._engine.total_stats.statements
+        return collector.result()
+
+    def validate_one(self, candidate: Candidate) -> bool:
+        result = self._engine.execute(self.statement_for(candidate))
+        scalar = result.scalar()
+        assert isinstance(scalar, int)
+        return self._is_satisfied(candidate, scalar)
+
+
+class SqlJoinValidator(_SqlApproachBase):
+    """Figure 2: join the two attributes, compare the match count.
+
+    Correct only when the referenced attribute is unique (each dependent row
+    then joins with at most one referenced row) — which the paper's candidate
+    generation guarantees.  The validator enforces it rather than silently
+    over-counting.
+    """
+
+    name = "sql-join"
+
+    def statement_for(self, candidate: Candidate) -> str:
+        dep, ref = candidate.dependent, candidate.referenced
+        return (
+            "select count(*) as matchedDeps\n"
+            f"from ({_check_identifier(dep.table)} dep "
+            f"JOIN {_check_identifier(ref.table)} ref\n"
+            f"  on dep.{_check_identifier(dep.column)} = "
+            f"ref.{_check_identifier(ref.column)})"
+        )
+
+    def validate_one(self, candidate: Candidate) -> bool:
+        self.statement_for(candidate)  # identifier validation first
+        ref_stats = self._stats.get(candidate.referenced)
+        if ref_stats is None:
+            raise ValidatorError(
+                f"unknown referenced attribute {candidate.referenced}"
+            )
+        if not ref_stats.is_unique:
+            raise ValidatorError(
+                f"join approach requires a unique referenced attribute, "
+                f"but {candidate.referenced} is not unique"
+            )
+        return super().validate_one(candidate)
+
+    def _is_satisfied(self, candidate: Candidate, scalar: int) -> bool:
+        non_null_deps = self._stats[candidate.dependent].non_null_count
+        return scalar == non_null_deps
+
+
+class SqlMinusValidator(_SqlApproachBase):
+    """Figure 3: dependent values MINUS referenced values, count survivors."""
+
+    name = "sql-minus"
+
+    def statement_for(self, candidate: Candidate) -> str:
+        dep, ref = candidate.dependent, candidate.referenced
+        return (
+            "select count(*) as unmatchedDeps from\n"
+            "  ( select /*+ first_rows(1) */ *\n"
+            "    from\n"
+            f"    ( select to_char({_check_identifier(dep.column)})\n"
+            f"      from {_check_identifier(dep.table)}\n"
+            f"      where {dep.column} is not null\n"
+            "      MINUS\n"
+            f"      select to_char({_check_identifier(ref.column)})\n"
+            f"      from {_check_identifier(ref.table)} )\n"
+            "    where rownum < 2)"
+        )
+
+    def _is_satisfied(self, candidate: Candidate, scalar: int) -> bool:
+        return scalar == 0
+
+
+class SqlNotInValidator(_SqlApproachBase):
+    """Figure 4: dependent values that are NOT IN the referenced values."""
+
+    name = "sql-notin"
+
+    def __init__(
+        self,
+        db: Database,
+        column_stats: dict[AttributeRef, ColumnStats] | None = None,
+        null_safe: bool = True,
+    ) -> None:
+        super().__init__(db, column_stats)
+        self._null_safe = null_safe
+
+    def statement_for(self, candidate: Candidate) -> str:
+        dep, ref = candidate.dependent, candidate.referenced
+        null_guard = (
+            f" where {_check_identifier(ref.column)} is not null"
+            if self._null_safe
+            else ""
+        )
+        return (
+            "select count(*) as unmatchedDeps from\n"
+            f"  ( select /*+ first_rows(1) */ {_check_identifier(dep.column)}\n"
+            f"    from {_check_identifier(dep.table)}\n"
+            f"    where {dep.column} NOT IN\n"
+            f"      ( select {ref.column}\n"
+            f"        from {_check_identifier(ref.table)}{null_guard} )\n"
+            "    and rownum < 2 )"
+        )
+
+    def _is_satisfied(self, candidate: Candidate, scalar: int) -> bool:
+        return scalar == 0

@@ -1,0 +1,93 @@
+"""Validator instrumentation: the counters behind Figure 5 and Sec. 4.2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.candidates import Candidate
+from repro.core.ind import IND, INDSet
+from repro.storage.cursors import IOStats
+
+
+@dataclass
+class ValidatorStats:
+    """Everything a validation run measured.
+
+    ``items_read`` counts values read from spool files (external approaches);
+    ``sql_rows_scanned`` counts base-table rows read by the SQL substrate
+    (SQL approaches).  Exactly one of the two is non-zero for any validator,
+    and the benchmarks report them side by side.
+    """
+
+    validator: str = ""
+    candidates_total: int = 0
+    candidates_tested: int = 0
+    satisfied_count: int = 0
+    refuted_count: int = 0
+    vacuous_count: int = 0  # candidates decided without data access
+    comparisons: int = 0
+    items_read: int = 0
+    files_opened: int = 0
+    peak_open_files: int = 0
+    sql_rows_scanned: int = 0
+    sql_statements: int = 0
+    elapsed_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def absorb_io(self, io: IOStats) -> None:
+        self.items_read += io.items_read
+        self.files_opened += io.files_opened
+        self.peak_open_files = max(self.peak_open_files, io.peak_open_files)
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating a list of candidates."""
+
+    satisfied: INDSet
+    decisions: dict[Candidate, bool]
+    stats: ValidatorStats
+
+    @property
+    def satisfied_inds(self) -> list[IND]:
+        return list(self.satisfied)
+
+    def is_satisfied(self, candidate: Candidate) -> bool:
+        return self.decisions.get(candidate, False)
+
+
+class DecisionCollector:
+    """Shared bookkeeping for validators: records decisions exactly once."""
+
+    def __init__(self, candidates: list[Candidate], validator_name: str) -> None:
+        self.candidates = list(dict.fromkeys(candidates))  # de-dupe, keep order
+        self.decisions: dict[Candidate, bool] = {}
+        self.satisfied = INDSet()
+        self.stats = ValidatorStats(
+            validator=validator_name, candidates_total=len(self.candidates)
+        )
+
+    def record(self, candidate: Candidate, satisfied: bool, vacuous: bool = False) -> None:
+        if candidate in self.decisions:
+            return
+        self.decisions[candidate] = satisfied
+        if satisfied:
+            self.satisfied.add(candidate.as_ind())
+            self.stats.satisfied_count += 1
+        else:
+            self.stats.refuted_count += 1
+        if vacuous:
+            self.stats.vacuous_count += 1
+        else:
+            self.stats.candidates_tested += 1
+
+    @property
+    def undecided(self) -> list[Candidate]:
+        return [c for c in self.candidates if c not in self.decisions]
+
+    def result(self) -> ValidationResult:
+        return ValidationResult(
+            satisfied=self.satisfied,
+            decisions=self.decisions,
+            stats=self.stats,
+        )

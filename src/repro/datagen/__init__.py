@@ -1,0 +1,30 @@
+"""Synthetic datasets mirroring the paper's three test databases.
+
+The paper evaluates on UniProt (BioSQL schema), SCOP and PDB (OpenMMS
+schema).  None of those can be downloaded here, so each generator produces a
+seeded synthetic instance with the *structural properties the algorithms
+react to* — FK topology, key uniqueness, surrogate-ID ranges, accession-number
+shapes, value-set overlaps — at configurable scale.  DESIGN.md §2 records the
+substitution argument per dataset.
+
+Every generator returns a :class:`GeneratedDataset` bundling the database,
+the gold-standard foreign keys, and the expectations the Sec. 5 benchmarks
+score against.
+"""
+
+from repro.datagen.biosql import generate_biosql
+from repro.datagen.dataset import GeneratedDataset
+from repro.datagen.generic import random_database
+from repro.datagen.openmms import generate_openmms
+from repro.datagen.scop import generate_scop
+from repro.datagen.sizes import SCALES, Scale
+
+__all__ = [
+    "GeneratedDataset",
+    "SCALES",
+    "Scale",
+    "generate_biosql",
+    "generate_openmms",
+    "generate_scop",
+    "random_database",
+]

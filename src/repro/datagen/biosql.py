@@ -1,0 +1,605 @@
+"""Synthetic UniProt in the BioSQL schema (the paper's first test database).
+
+Shape: 16 tables, 85 attributes, declared foreign keys (the paper uses
+BioSQL's FK definitions as the Sec. 5 gold standard).  Properties the
+generator engineers deliberately, with the paper observation they reproduce:
+
+* **Global ID sequence.**  Every surrogate key draws from one database-wide
+  counter, so ID ranges of different tables are disjoint unless an FK copies
+  them.  This reproduces the paper's BioSQL result of *zero false-positive
+  INDs* (contrast with OpenMMS, where all IDs start at 1).
+* **1:1 biosequence.**  Every bioentry has exactly one biosequence row, so
+  ``sg_biosequence.bioentry_id`` equals ``sg_bioentry.bioentry_id`` as a value
+  set — the source of the "INDs in the transitive closure of the foreign key
+  definitions" the paper reports (11 on real UniProt; the expected list for
+  this instance is computed exactly).
+* **Three accession-number candidates.**  ``sg_bioentry.accession``,
+  ``sg_reference.crc`` and ``sg_ontology.name`` satisfy the strict Sec. 5
+  heuristic; every other string column is forced to violate it (length spread
+  > 20 %, values < 4 chars, or no letters) — matching the paper's exact list.
+* **Two FKs on an empty table.**  ``sg_seqfeature_qualifier_value`` is empty;
+  its two FKs are declared but undiscoverable from data, as in the paper.
+* **Primary relation** ``sg_bioentry``: the most-referenced table among those
+  holding an accession candidate (Heuristic 2 resolves it unambiguously).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen import text
+from repro.datagen.dataset import GeneratedDataset
+from repro.datagen.sizes import Scale, get_scale
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, ForeignKey, TableSchema
+from repro.db.types import DataType
+
+_ID_BASE = 10_000_000  # global sequence start: keeps IDs clear of data values
+_TREE_BASE = 5_000_000  # nested-set numbering base for sg_taxon
+_GI_BASE = 7_000_000  # bioentry.identifier (GI-number style)
+_TERM_ID_BASE = 8_500_000  # term.identifier numeric strings
+_MEDLINE_BASE = 80_000_000
+_PUBMED_BASE = 90_000_000
+
+_DIVISIONS = ["PRO", "EUK", "VRT", "INV", "PLN"]
+_ALPHABETS = ["protein", "dna", "rna"]  # "dna"/"rna" < 4 chars: heuristic fails
+_NODE_RANKS = ["species", "genus", "subfamily", "order"]
+_NAME_CLASSES = ["scientific name", "synonym", "common name"]
+_RELEASES = ["rel_12", "release_2004_07", "r2005", "release_2005_11_beta"]
+_DB_NAMES = ["embl", "genbank", "swissprot", "uniprot"]
+
+
+class _Sequence:
+    """The database-wide surrogate-key sequence."""
+
+    def __init__(self, start: int = _ID_BASE) -> None:
+        self._next = start
+
+    def take(self, count: int) -> list[int]:
+        block = list(range(self._next, self._next + count))
+        self._next += count
+        return block
+
+
+def _schemas() -> list[TableSchema]:
+    """The 16-table BioSQL-style schema (85 attributes)."""
+    i, f, v, d, c = (
+        DataType.INTEGER,
+        DataType.FLOAT,
+        DataType.VARCHAR,
+        DataType.DATE,
+        DataType.CLOB,
+    )
+    del f  # BioSQL carries no float columns; kept for readability above
+
+    def fk(table: str, column: str, ref_table: str, ref_column: str) -> ForeignKey:
+        return ForeignKey(table, column, ref_table, ref_column)
+
+    return [
+        TableSchema(
+            "sg_biodatabase",
+            [
+                Column("biodatabase_id", i),
+                Column("name", v, nullable=False),
+                Column("authority", v),
+                Column("description", v),
+                Column("release", v),
+            ],
+            primary_key="biodatabase_id",
+        ),
+        TableSchema(
+            "sg_taxon",
+            [
+                Column("taxon_id", i),
+                Column("ncbi_taxon_id", i, unique=True),
+                Column("parent_taxon_id", i),
+                Column("node_rank", v),
+                Column("genetic_code", i),
+                Column("mito_genetic_code", i),
+                Column("left_value", i, unique=True),
+                Column("right_value", i, unique=True),
+            ],
+            primary_key="taxon_id",
+            foreign_keys=[fk("sg_taxon", "parent_taxon_id", "sg_taxon", "taxon_id")],
+        ),
+        TableSchema(
+            "sg_taxon_name",
+            [
+                Column("taxon_id", i, nullable=False),
+                Column("name", v, nullable=False),
+                Column("name_class", v, nullable=False),
+            ],
+            foreign_keys=[fk("sg_taxon_name", "taxon_id", "sg_taxon", "taxon_id")],
+        ),
+        TableSchema(
+            "sg_bioentry",
+            [
+                Column("bioentry_id", i),
+                Column("biodatabase_id", i, nullable=False),
+                Column("taxon_id", i),
+                Column("name", v, nullable=False),
+                Column("accession", v, nullable=False, unique=True),
+                Column("identifier", v, unique=True),
+                Column("division", v),
+                Column("description", v),
+                Column("version", i, nullable=False),
+                Column("created_date", d),
+                Column("updated_date", d),
+            ],
+            primary_key="bioentry_id",
+            foreign_keys=[
+                fk("sg_bioentry", "biodatabase_id", "sg_biodatabase", "biodatabase_id"),
+                fk("sg_bioentry", "taxon_id", "sg_taxon", "taxon_id"),
+            ],
+        ),
+        TableSchema(
+            "sg_biosequence",
+            [
+                Column("bioentry_id", i),
+                Column("version", i),
+                Column("length", i),
+                Column("alphabet", v),
+                Column("seq", c),
+            ],
+            primary_key="bioentry_id",
+            foreign_keys=[
+                fk("sg_biosequence", "bioentry_id", "sg_bioentry", "bioentry_id")
+            ],
+        ),
+        TableSchema(
+            "sg_dbxref",
+            [
+                Column("dbxref_id", i),
+                Column("dbname", v, nullable=False),
+                Column("accession", v, nullable=False),
+                Column("version", i, nullable=False),
+                Column("description", v),
+            ],
+            primary_key="dbxref_id",
+        ),
+        TableSchema(
+            "sg_bioentry_dbxref",
+            [
+                Column("bioentry_id", i, nullable=False),
+                Column("dbxref_id", i, nullable=False),
+                Column("rank", i),
+            ],
+            foreign_keys=[
+                fk("sg_bioentry_dbxref", "bioentry_id", "sg_bioentry", "bioentry_id"),
+                fk("sg_bioentry_dbxref", "dbxref_id", "sg_dbxref", "dbxref_id"),
+            ],
+        ),
+        TableSchema(
+            "sg_ontology",
+            [
+                Column("ontology_id", i),
+                Column("name", v, nullable=False, unique=True),
+                Column("definition", v),
+            ],
+            primary_key="ontology_id",
+        ),
+        TableSchema(
+            "sg_term",
+            [
+                Column("term_id", i),
+                Column("name", v, nullable=False),
+                Column("definition", v),
+                Column("identifier", v, unique=True),
+                Column("is_obsolete", i),
+                Column("ontology_id", i, nullable=False),
+            ],
+            primary_key="term_id",
+            foreign_keys=[fk("sg_term", "ontology_id", "sg_ontology", "ontology_id")],
+        ),
+        TableSchema(
+            "sg_term_synonym",
+            [
+                Column("synonym", v, nullable=False),
+                Column("term_id", i, nullable=False),
+            ],
+            foreign_keys=[fk("sg_term_synonym", "term_id", "sg_term", "term_id")],
+        ),
+        TableSchema(
+            "sg_reference",
+            [
+                Column("reference_id", i),
+                Column("location", v, nullable=False),
+                Column("title", v),
+                Column("authors", v, nullable=False),
+                Column("crc", v, unique=True),
+                Column("medline_id", i, unique=True),
+                Column("pubmed_id", i, unique=True),
+            ],
+            primary_key="reference_id",
+        ),
+        TableSchema(
+            "sg_bioentry_reference",
+            [
+                Column("bioentry_id", i, nullable=False),
+                Column("reference_id", i, nullable=False),
+                Column("start_pos", i),
+                Column("end_pos", i),
+                Column("rank", i, nullable=False),
+            ],
+            foreign_keys=[
+                fk(
+                    "sg_bioentry_reference",
+                    "bioentry_id",
+                    "sg_bioentry",
+                    "bioentry_id",
+                ),
+                fk(
+                    "sg_bioentry_reference",
+                    "reference_id",
+                    "sg_reference",
+                    "reference_id",
+                ),
+            ],
+        ),
+        TableSchema(
+            "sg_seqfeature",
+            [
+                Column("seqfeature_id", i),
+                Column("bioentry_id", i, nullable=False),
+                Column("type_term_id", i, nullable=False),
+                Column("source_term_id", i, nullable=False),
+                Column("display_name", v),
+                Column("rank", i, nullable=False),
+            ],
+            primary_key="seqfeature_id",
+            foreign_keys=[
+                fk("sg_seqfeature", "bioentry_id", "sg_bioentry", "bioentry_id"),
+                fk("sg_seqfeature", "type_term_id", "sg_term", "term_id"),
+                fk("sg_seqfeature", "source_term_id", "sg_term", "term_id"),
+            ],
+        ),
+        TableSchema(
+            "sg_location",
+            [
+                Column("location_id", i),
+                Column("seqfeature_id", i, nullable=False),
+                Column("term_id", i),
+                Column("start_pos", i),
+                Column("end_pos", i),
+                Column("strand", i),
+                Column("rank", i, nullable=False),
+            ],
+            primary_key="location_id",
+            foreign_keys=[
+                fk("sg_location", "seqfeature_id", "sg_seqfeature", "seqfeature_id"),
+                fk("sg_location", "term_id", "sg_term", "term_id"),
+            ],
+        ),
+        TableSchema(
+            "sg_comment",
+            [
+                Column("comment_id", i),
+                Column("bioentry_id", i, nullable=False),
+                Column("comment_text", v, nullable=False),
+                Column("rank", i, nullable=False),
+                Column("created_date", d),
+            ],
+            primary_key="comment_id",
+            foreign_keys=[
+                fk("sg_comment", "bioentry_id", "sg_bioentry", "bioentry_id")
+            ],
+        ),
+        TableSchema(
+            "sg_seqfeature_qualifier_value",  # stays empty: the 2 lost FKs
+            [
+                Column("seqfeature_id", i, nullable=False),
+                Column("term_id", i, nullable=False),
+                Column("rank", i, nullable=False),
+                Column("value", v),
+            ],
+            foreign_keys=[
+                fk(
+                    "sg_seqfeature_qualifier_value",
+                    "seqfeature_id",
+                    "sg_seqfeature",
+                    "seqfeature_id",
+                ),
+                fk(
+                    "sg_seqfeature_qualifier_value",
+                    "term_id",
+                    "sg_term",
+                    "term_id",
+                ),
+            ],
+        ),
+    ]
+
+
+def generate_biosql(
+    scale: str | Scale = "small", seed: int = 7
+) -> GeneratedDataset:
+    """Generate the BioSQL-style UniProt stand-in at the given scale."""
+    cfg = get_scale(scale)
+    rng = random.Random(f"biosql-{seed}")
+    seq = _Sequence()
+    db = Database("uniprot_biosql")
+    for schema in _schemas():
+        db.create_table(schema)
+
+    n_entries = cfg.entities
+    n_taxa = max(4, n_entries // 5)
+    n_terms = max(12, min(120, n_entries // 3))
+    n_dbxrefs = max(6, n_entries // 2)
+    n_references = max(5, n_entries // 3)
+
+    # ---------------------------------------------------------- dimensions
+    # Free-text columns get an "na" missing-marker in their first row: a
+    # 2-character value deterministically disqualifies the column from the
+    # accession-number heuristic (the paper found exactly three candidates).
+    biodatabase_ids = seq.take(4)
+    for idx, bid in enumerate(biodatabase_ids):
+        db.table("sg_biodatabase").insert(
+            {
+                "biodatabase_id": bid,
+                "name": _DB_NAMES[idx],
+                "authority": "na" if idx == 1 else (
+                    text.description(rng) if idx % 2 else None
+                ),
+                "description": "na" if idx == 0 else text.description(rng, 3, 9),
+                "release": _RELEASES[idx],
+            }
+        )
+
+    taxon_ids = seq.take(n_taxa)
+    ncbi_pool = rng.sample(range(100_000, 3_000_000), n_taxa)
+    for idx, tid in enumerate(taxon_ids):
+        parent = None if idx == 0 else rng.choice(taxon_ids[:idx])
+        db.table("sg_taxon").insert(
+            {
+                "taxon_id": tid,
+                "ncbi_taxon_id": ncbi_pool[idx],
+                "parent_taxon_id": parent,
+                "node_rank": rng.choice(_NODE_RANKS),
+                "genetic_code": rng.randint(1, 15),
+                "mito_genetic_code": rng.randint(1, 15),
+                "left_value": _TREE_BASE + 2 * idx,
+                "right_value": _TREE_BASE + 2 * idx + 1,
+            }
+        )
+    # Fixed-name rows defeat the accession heuristic deterministically
+    # (length spread > 20 % regardless of the random draw).
+    fixed_taxon_names = ["Homo sapiens", "Pyrococcus furiosus strain DSM 3638"]
+    for idx, tid in enumerate(taxon_ids):
+        names = 1 + (idx % 2)
+        for k in range(names):
+            name = (
+                fixed_taxon_names[idx]
+                if idx < len(fixed_taxon_names) and k == 0
+                else text.organism(rng)
+            )
+            db.table("sg_taxon_name").insert(
+                {
+                    "taxon_id": tid,
+                    "name": name,
+                    "name_class": _NAME_CLASSES[k % len(_NAME_CLASSES)],
+                }
+            )
+
+    ontology_ids = seq.take(5)
+    for idx, oid in enumerate(ontology_ids):
+        db.table("sg_ontology").insert(
+            {
+                "ontology_id": oid,
+                "name": text.ontology_name(rng, idx),
+                "definition": "na" if idx == 1 else (
+                    text.description(rng, 3, 10) if idx % 2 else None
+                ),
+            }
+        )
+
+    term_ids = seq.take(n_terms)
+    fixed_term_names = ["beta", "transcription"]  # spread > 20 % guaranteed
+    for idx, tid in enumerate(term_ids):
+        name = (
+            fixed_term_names[idx]
+            if idx < len(fixed_term_names)
+            else text.description(rng, 1, 2)
+        )
+        db.table("sg_term").insert(
+            {
+                "term_id": tid,
+                "name": name,
+                "definition": "na" if idx == 1 else (
+                    text.description(rng, 4, 12) if idx % 3 else None
+                ),
+                "identifier": str(_TERM_ID_BASE + idx),
+                "is_obsolete": 1 if idx % 17 == 0 else 0,
+                "ontology_id": rng.choice(ontology_ids),
+            }
+        )
+    for idx in range(min(20, n_terms)):
+        db.table("sg_term_synonym").insert(
+            {
+                "synonym": "na" if idx == 0 else text.description(rng, 1, 3),
+                "term_id": rng.choice(term_ids),
+            }
+        )
+
+    dbxref_ids = seq.take(n_dbxrefs)
+    for idx, did in enumerate(dbxref_ids):
+        dbname, accession = text.go_style_dbxref(rng)
+        db.table("sg_dbxref").insert(
+            {
+                "dbxref_id": did,
+                "dbname": dbname,
+                "accession": accession,
+                "version": rng.randint(0, 3),
+                # "na" (2 chars) keeps this column out of the accession
+                # candidate set deterministically.
+                "description": "na" if idx == 0 else (
+                    text.description(rng, 1, 5) if idx % 2 else None
+                ),
+            }
+        )
+
+    reference_ids = seq.take(n_references)
+    seen_crc: set[str] = set()
+    for idx, rid in enumerate(reference_ids):
+        crc = text.crc_checksum(rng)
+        while crc in seen_crc:
+            crc = text.crc_checksum(rng)
+        seen_crc.add(crc)
+        journal = ["Nature", "J. Mol. Biol.", "Proc. Natl. Acad. Sci. U.S.A."][
+            idx % 3
+        ]
+        db.table("sg_reference").insert(
+            {
+                "reference_id": rid,
+                "location": f"{journal} {rng.randint(100, 500)} "
+                f"({rng.randint(1, 6)}), {rng.randint(1, 900)}-{rng.randint(901, 1800)}",
+                "title": "na" if idx == 1 else (
+                    text.description(rng, 4, 12) if idx % 5 else None
+                ),
+                "authors": "Kim J." if idx == 0 else text.author_list(rng),
+                "crc": crc,
+                "medline_id": _MEDLINE_BASE + idx,
+                "pubmed_id": _PUBMED_BASE + idx,
+            }
+        )
+
+    # ------------------------------------------------------------- entries
+    bioentry_ids = seq.take(n_entries)
+    seen_accessions: set[str] = set()
+    fixed_entry_names = ["KIN_EC", "TRANSCRIPTION_FACTOR"]  # lengths 6 vs 20
+    fixed_entry_descriptions = [
+        "putative protein",
+        "conserved hypothetical transcription factor subunit complex",
+    ]
+    for idx, bid in enumerate(bioentry_ids):
+        accession = text.uniprot_accession(rng)
+        while accession in seen_accessions:
+            accession = text.uniprot_accession(rng)
+        seen_accessions.add(accession)
+        db.table("sg_bioentry").insert(
+            {
+                "bioentry_id": bid,
+                "biodatabase_id": rng.choice(biodatabase_ids),
+                "taxon_id": rng.choice(taxon_ids) if idx % 11 else None,
+                "name": (
+                    fixed_entry_names[idx]
+                    if idx < len(fixed_entry_names)
+                    else f"{text.description(rng, 1, 1).upper()}_{rng.randint(1, 99)}"
+                ),
+                "accession": accession,
+                "identifier": str(_GI_BASE + idx),
+                "division": rng.choice(_DIVISIONS),
+                "description": (
+                    fixed_entry_descriptions[idx]
+                    if idx < len(fixed_entry_descriptions)
+                    else text.description(rng, 2, 8)
+                ),
+                "version": rng.randint(0, 3),
+                "created_date": f"200{rng.randint(0, 3)}-"
+                f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                "updated_date": f"200{rng.randint(4, 5)}-"
+                f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            }
+        )
+        # 1:1 biosequence — the value-set equality behind the closure INDs.
+        db.table("sg_biosequence").insert(
+            {
+                "bioentry_id": bid,
+                "version": rng.randint(0, 3),
+                "length": rng.randint(40, 400),
+                "alphabet": _ALPHABETS[idx % len(_ALPHABETS)],
+                "seq": text.protein_sequence(rng),
+            }
+        )
+
+    # ----------------------------------------------------------- satellites
+    seqfeature_ids = seq.take(n_entries * cfg.annotations_per_entity)
+    for idx, sid in enumerate(seqfeature_ids):
+        db.table("sg_seqfeature").insert(
+            {
+                "seqfeature_id": sid,
+                "bioentry_id": rng.choice(bioentry_ids),
+                "type_term_id": rng.choice(term_ids),
+                "source_term_id": rng.choice(term_ids),
+                "display_name": "na" if idx == 1 else (
+                    text.description(rng, 1, 3) if idx % 4 else None
+                ),
+                "rank": idx % 7,
+            }
+        )
+    # 1-2 locations per seqfeature; the first feature always gets two, so
+    # sg_location.seqfeature_id is provably non-unique (it must not become a
+    # referenced attribute, which would surface a non-FK equality IND).
+    location_targets: list[int] = []
+    for idx, sid in enumerate(seqfeature_ids):
+        copies = 2 if idx == 0 else rng.randint(1, 2)
+        location_targets.extend([sid] * copies)
+    location_ids = seq.take(len(location_targets))
+    for idx, lid in enumerate(location_ids):
+        start = rng.randint(1, 1500)
+        db.table("sg_location").insert(
+            {
+                "location_id": lid,
+                "seqfeature_id": location_targets[idx],
+                "term_id": rng.choice(term_ids) if idx % 3 else None,
+                "start_pos": start,
+                "end_pos": start + rng.randint(1, 400),
+                "strand": rng.choice([-1, 1]),
+                "rank": idx % 5,
+            }
+        )
+    comment_ids = seq.take(max(3, n_entries // 2))
+    for idx, cid in enumerate(comment_ids):
+        db.table("sg_comment").insert(
+            {
+                "comment_id": cid,
+                "bioentry_id": rng.choice(bioentry_ids),
+                "comment_text": "na" if idx == 0 else text.description(rng, 3, 15),
+                "rank": idx % 4,
+                "created_date": f"200{rng.randint(3, 5)}-"
+                f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            }
+        )
+    for idx in range(n_entries):
+        db.table("sg_bioentry_dbxref").insert(
+            {
+                "bioentry_id": rng.choice(bioentry_ids),
+                "dbxref_id": rng.choice(dbxref_ids),
+                "rank": idx % 3,
+            }
+        )
+    for idx in range(max(4, (2 * n_entries) // 3)):
+        db.table("sg_bioentry_reference").insert(
+            {
+                "bioentry_id": rng.choice(bioentry_ids),
+                "reference_id": rng.choice(reference_ids),
+                "start_pos": rng.randint(1, 200),
+                "end_pos": rng.randint(201, 400),
+                "rank": idx % 3,
+            }
+        )
+
+    return GeneratedDataset(
+        db=db,
+        foreign_keys=db.declared_foreign_keys(),
+        expected_accession_candidates=[
+            AttributeRef("sg_bioentry", "accession"),
+            AttributeRef("sg_ontology", "name"),
+            AttributeRef("sg_reference", "crc"),
+        ],
+        expected_primary_relations=["sg_bioentry"],
+        expected_extra_inds=[
+            # The 1:1 biosequence makes its bioentry_id equal (as a value
+            # set) to sg_bioentry.bioentry_id, so everything included in the
+            # latter is included in the former — the "INDs in the transitive
+            # closure of the foreign key definitions" phenomenon of Sec. 5.
+            ("sg_bioentry.bioentry_id", "sg_biosequence.bioentry_id"),
+            ("sg_bioentry_dbxref.bioentry_id", "sg_biosequence.bioentry_id"),
+            ("sg_bioentry_reference.bioentry_id", "sg_biosequence.bioentry_id"),
+            ("sg_comment.bioentry_id", "sg_biosequence.bioentry_id"),
+            ("sg_seqfeature.bioentry_id", "sg_biosequence.bioentry_id"),
+        ],
+        notes={
+            "paper_shape": "16 tables / 85 attributes, FK gold standard, "
+            "2 FKs on the empty sg_seqfeature_qualifier_value table",
+        },
+    )

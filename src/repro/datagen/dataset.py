@@ -1,0 +1,46 @@
+"""The container generators return: database + gold standard + expectations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, ForeignKey
+
+
+@dataclass
+class GeneratedDataset:
+    """A synthetic database plus everything the benchmarks score against."""
+
+    db: Database
+    #: Declared foreign keys (the Sec. 5 gold standard).  Includes FKs on
+    #: empty tables, which no instance-based method can recover.
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    #: Attributes expected to pass the strict accession-number heuristic.
+    expected_accession_candidates: list[AttributeRef] = field(default_factory=list)
+    #: Additional attributes expected only under the softened (99.98 %) rule.
+    expected_soft_accession_candidates: list[AttributeRef] = field(
+        default_factory=list
+    )
+    #: The table(s) Heuristic 2 should shortlist, best first.
+    expected_primary_relations: list[str] = field(default_factory=list)
+    #: Satisfied INDs beyond the FKs that the instance provably implies
+    #: (value-set equalities / transitive closure), as qualified-name pairs.
+    expected_extra_inds: list[tuple[str, str]] = field(default_factory=list)
+    #: Free-form notes displayed by the benchmark reports.
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def recoverable_foreign_keys(self) -> list[ForeignKey]:
+        """Gold-standard FKs whose dependent table holds at least one row."""
+        return [
+            fk
+            for fk in self.foreign_keys
+            if not self.db.table(fk.table).is_empty
+        ]
+
+    @property
+    def empty_table_foreign_keys(self) -> list[ForeignKey]:
+        return [
+            fk for fk in self.foreign_keys if self.db.table(fk.table).is_empty
+        ]

@@ -1,0 +1,96 @@
+"""Random databases with planted INDs, for property and agreement testing.
+
+Unlike the named generators, :func:`random_database` makes no promises about
+*which* INDs hold — tests compare validators against the in-memory oracle.
+It does guarantee interesting structure: unique columns (so the unique-ref
+candidate mode has referenced attributes), planted subset relationships (so
+satisfied INDs exist), NULLs, type mixtures, empty tables and empty columns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.database import Database
+from repro.db.schema import Column, TableSchema
+from repro.db.types import DataType
+
+
+def random_database(
+    seed: int,
+    max_tables: int = 5,
+    max_columns: int = 5,
+    max_rows: int = 40,
+    null_probability: float = 0.12,
+    planted_subset_probability: float = 0.5,
+) -> Database:
+    """A seeded random database designed to exercise IND edge cases."""
+    rng = random.Random(f"generic-{seed}")
+    db = Database(f"random_{seed}")
+    value_pools: list[list] = [
+        [rng.randint(0, 20) for _ in range(15)],
+        [rng.choice("abcdefg") * rng.randint(1, 3) for _ in range(12)],
+        [str(rng.randint(0, 20)) for _ in range(15)],  # TO_CHAR collisions
+        [f"k{idx}" for idx in range(25)],
+    ]
+    unique_pool = [f"u{idx:03d}" for idx in range(200)]
+    rng.shuffle(unique_pool)
+    unique_taken = 0
+
+    n_tables = rng.randint(1, max_tables)
+    for t in range(n_tables):
+        n_cols = rng.randint(1, max_columns)
+        columns: list[Column] = []
+        for c in range(n_cols):
+            dtype = rng.choice(
+                [DataType.INTEGER, DataType.VARCHAR, DataType.VARCHAR, DataType.FLOAT]
+            )
+            columns.append(Column(f"c{c}", dtype))
+        table = db.create_table(TableSchema(f"t{t}", columns))
+        n_rows = rng.choice([0, rng.randint(1, max_rows)])
+        col_plans = []
+        for col in columns:
+            kind = rng.random()
+            if kind < 0.2:
+                # Unique column: a fresh slice of the unique pool.
+                slice_ = unique_pool[unique_taken : unique_taken + n_rows]
+                unique_taken += n_rows
+                col_plans.append(("unique", slice_))
+            elif kind < 0.2 + planted_subset_probability:
+                col_plans.append(("pool", rng.choice(value_pools)))
+            elif kind < 0.85:
+                col_plans.append(("random", None))
+            else:
+                col_plans.append(("all_null", None))
+        for r in range(n_rows):
+            row = {}
+            for col, (kind, payload) in zip(columns, col_plans):
+                if kind == "all_null":
+                    row[col.name] = None
+                    continue
+                if kind != "unique" and rng.random() < null_probability:
+                    row[col.name] = None
+                    continue
+                if kind == "unique":
+                    value: object = payload[r] if r < len(payload) else f"x{t}_{r}"
+                elif kind == "pool":
+                    value = rng.choice(payload)
+                else:
+                    value = rng.randint(0, 100)
+                row[col.name] = _coerce(value, col.dtype)
+            table.insert(row)
+    return db
+
+
+def _coerce(value: object, dtype: DataType) -> object:
+    if dtype is DataType.INTEGER:
+        if isinstance(value, int):
+            return value
+        if isinstance(value, str) and value.lstrip("-").isdigit():
+            return int(value)
+        return abs(hash(value)) % 1000
+    if dtype is DataType.FLOAT:
+        if isinstance(value, (int, float)):
+            return float(value)
+        return float(abs(hash(value)) % 1000)
+    return str(value)

@@ -1,0 +1,351 @@
+"""Synthetic PDB in the OpenMMS schema (the paper's large test database).
+
+The OpenMMS schema is the stress case of the paper: no declared foreign keys
+at all, surrogate integer primary keys that **all start at 1**, and a long
+tail of mmCIF category tables.  Consequences the paper reports and this
+generator reproduces:
+
+* **Surrogate-key false positives.**  Because every ID column is a dense
+  range ``1..n``, ``id_A ⊆ id_B`` holds whenever ``n_A <= n_B`` — "INDs
+  between almost all of these ID attributes", ~30k satisfied INDs on the real
+  PDB fraction.  The Sec. 5 range filter targets exactly these.
+* **Nine strict accession candidates.**  Nine per-entry tables carry a
+  4-character ``entry_id`` (PDB code); ten satellite tables carry an entry
+  code column polluted with a single mmCIF ``?`` missing marker, so they only
+  qualify under the *softened* heuristic (the paper's 99.98 % rule; the
+  threshold scales with row count here).
+* **A three-way Heuristic-2 tie.**  ``struct``, ``exptl`` and
+  ``struct_keywords`` have one row per entry with identical ID ranges and
+  entry-ID sets, so the IND counts into them tie — the paper's exact
+  shortlist, from which a human picks ``struct``.  The other six accession
+  tables cover only a subset of entries and attract strictly fewer INDs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen import text
+from repro.datagen.dataset import GeneratedDataset
+from repro.datagen.sizes import Scale, get_scale
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, TableSchema
+from repro.db.types import DataType
+
+_METHODS = ["X-RAY DIFFRACTION", "NMR", "ELECTRON MICROSCOPY", "NEUTRON DIFFRACTION"]
+_KEYWORDS = ["DNA", "DNA BINDING PROTEIN", "HYDROLASE", "TRANSFERASE COMPLEX", "RNA"]
+_SPACE_GROUPS = ["P 1", "P 21 21 21", "C 2", "P 43 21 2", "I 4"]
+_STATUS_CODES = ["REL", "OBS", "HPUB"]
+_ATOM_LABELS = ["CA", "CB", "N", "C", "O", "P"]
+_ENTITY_TYPES = ["polymer", "non-polymer", "water"]
+_COMP_CODES = ["ALA", "GLY", "LEU", "SER", "HOH", "ATP"]
+
+#: mmCIF-flavoured satellite category names; cycled (with numeric suffixes)
+#: when the requested scale asks for more tables than the list holds.
+_SATELLITE_NAMES = [
+    "entity_poly", "struct_conf", "struct_sheet", "struct_site",
+    "pdbx_struct_assembly", "struct_conn", "entity_src_gen", "struct_ref",
+    "pdbx_nonpoly_scheme", "struct_biol", "pdbx_poly_seq", "atom_type",
+    "struct_mon_prot", "pdbx_struct_oper", "entity_name_com", "struct_ncs_dom",
+    "pdbx_refine_tls", "struct_site_gen", "pdbx_struct_sheet_hbond",
+    "pdbx_validate_close_contact", "pdbx_unobs_or_zero_occ_residues",
+    "pdbx_struct_special_symmetry", "pdbx_distant_solvent_atoms",
+    "pdbx_validate_torsion", "pdbx_validate_rmsd_bond",
+]
+
+#: Number of satellites that get a *dirty* entry-code column (softened
+#: accession candidates); the paper reports 19 softened vs 9 strict.
+_SOFT_ACCESSION_SATELLITES = 10
+
+
+def generate_openmms(
+    scale: str | Scale = "small", seed: int = 23
+) -> GeneratedDataset:
+    cfg = get_scale(scale)
+    rng = random.Random(f"openmms-{seed}")
+    db = Database("pdb_openmms")
+
+    n_entries = cfg.entities
+    entry_codes = _unique_entry_codes(rng, n_entries)
+
+    strict_accession: list[AttributeRef] = []
+    soft_accession: list[AttributeRef] = []
+
+    # ------------------------------------------------ per-entry core tables
+    # The three full-coverage tables (the Heuristic-2 tie).
+    _per_entry_table(
+        db, rng, "struct", entry_codes, strict_accession,
+        extra=[
+            Column("title", DataType.VARCHAR),
+            Column("pdbx_descriptor", DataType.VARCHAR),
+        ],
+        extra_values=lambda idx: {
+            "title": _varying_text(rng, idx),
+            "pdbx_descriptor": _varying_text(rng, idx + 1),
+        },
+    )
+    _per_entry_table(
+        db, rng, "exptl", entry_codes, strict_accession,
+        extra=[
+            Column("method", DataType.VARCHAR, nullable=False),
+            Column("crystals_number", DataType.INTEGER),
+        ],
+        extra_values=lambda idx: {
+            "method": rng.choice(_METHODS),
+            "crystals_number": rng.randint(1, 4),
+        },
+    )
+    _per_entry_table(
+        db, rng, "struct_keywords", entry_codes, strict_accession,
+        extra=[
+            Column("pdbx_keywords", DataType.VARCHAR),
+            Column("keyword_text", DataType.VARCHAR),
+        ],
+        extra_values=lambda idx: {
+            "pdbx_keywords": rng.choice(_KEYWORDS),
+            "keyword_text": _varying_text(rng, idx),
+        },
+    )
+    # Six partial-coverage accession tables (strictly fewer INDs into them).
+    partial_specs = [
+        ("cell", 0.9, [
+            Column("length_a", DataType.FLOAT), Column("length_b", DataType.FLOAT),
+            Column("length_c", DataType.FLOAT), Column("angle_beta", DataType.FLOAT),
+        ]),
+        ("symmetry", 0.9, [
+            Column("space_group", DataType.VARCHAR),
+            Column("cell_setting", DataType.VARCHAR),
+        ]),
+        ("database_2", 0.85, [Column("database_code", DataType.VARCHAR)]),
+        ("refine", 0.7, [
+            Column("resolution", DataType.FLOAT), Column("r_factor", DataType.FLOAT),
+        ]),
+        ("audit", 0.8, [Column("revision_date", DataType.DATE)]),
+        ("pdbx_database_status", 0.95, [Column("status_code", DataType.VARCHAR)]),
+    ]
+    for name, coverage, extra_cols in partial_specs:
+        count = max(1, int(n_entries * coverage))
+        codes = entry_codes[:count]
+        def values(idx: int, _name=name) -> dict:
+            if _name == "cell":
+                return {
+                    "length_a": round(rng.uniform(20, 200), 3),
+                    "length_b": round(rng.uniform(20, 200), 3),
+                    "length_c": round(rng.uniform(20, 200), 3),
+                    "angle_beta": round(rng.uniform(60, 120), 2),
+                }
+            if _name == "symmetry":
+                return {
+                    "space_group": rng.choice(_SPACE_GROUPS),
+                    "cell_setting": rng.choice(["triclinic", "cubic", "na"]),
+                }
+            if _name == "database_2":
+                return {"database_code": rng.choice(["PDB", "NDB", "EBI"])}
+            if _name == "refine":
+                return {
+                    "resolution": round(rng.uniform(0.9, 4.5), 2),
+                    "r_factor": round(rng.uniform(0.12, 0.35), 3),
+                }
+            if _name == "audit":
+                return {
+                    "revision_date": f"19{rng.randint(90, 99)}-"
+                    f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+                }
+            return {"status_code": rng.choice(_STATUS_CODES)}
+        _per_entry_table(
+            db, rng, name, codes, strict_accession,
+            extra=extra_cols, extra_values=values,
+        )
+
+    # ------------------------------------------------------- bulky tables
+    n_entities = 2 * n_entries
+    entity = db.create_table(TableSchema(
+        "entity",
+        [
+            Column("entity_id", DataType.INTEGER),
+            Column("struct_ref", DataType.INTEGER, nullable=False),
+            Column("entity_type", DataType.VARCHAR, nullable=False),
+            Column("formula_weight", DataType.FLOAT),
+        ],
+        primary_key="entity_id",
+    ))
+    for eid in range(1, n_entities + 1):
+        entity.insert({
+            "entity_id": eid,
+            "struct_ref": rng.randint(1, n_entries),
+            "entity_type": rng.choice(_ENTITY_TYPES),
+            "formula_weight": round(rng.uniform(18.0, 60000.0), 2),
+        })
+
+    n_atoms = n_entries * max(4, cfg.annotations_per_entity * 4)
+    atom_site = db.create_table(TableSchema(
+        "atom_site",
+        [
+            Column("atom_site_id", DataType.INTEGER),
+            Column("entity_key", DataType.INTEGER, nullable=False),
+            Column("label_atom_id", DataType.VARCHAR, nullable=False),
+            Column("cartn_x", DataType.FLOAT),
+            Column("cartn_y", DataType.FLOAT),
+            Column("cartn_z", DataType.FLOAT),
+            Column("occupancy", DataType.FLOAT),
+        ],
+        primary_key="atom_site_id",
+    ))
+    for aid in range(1, n_atoms + 1):
+        atom_site.insert({
+            "atom_site_id": aid,
+            "entity_key": rng.randint(1, n_entities),
+            "label_atom_id": rng.choice(_ATOM_LABELS),
+            "cartn_x": round(rng.uniform(-90, 90), 3),
+            "cartn_y": round(rng.uniform(-90, 90), 3),
+            "cartn_z": round(rng.uniform(-90, 90), 3),
+            "occupancy": rng.choice([1.0, 0.5, 0.25]),
+        })
+
+    citation = db.create_table(TableSchema(
+        "citation",
+        [
+            Column("citation_id", DataType.INTEGER),
+            Column("struct_ref", DataType.INTEGER, nullable=False),
+            Column("title", DataType.VARCHAR),
+            Column("journal", DataType.VARCHAR),
+            Column("year", DataType.INTEGER),
+        ],
+        primary_key="citation_id",
+    ))
+    for cid in range(1, max(2, (3 * n_entries) // 2) + 1):
+        citation.insert({
+            "citation_id": cid,
+            "struct_ref": rng.randint(1, n_entries),
+            "title": _varying_text(rng, cid),
+            "journal": rng.choice(["Nature", "J Mol Biol", "Science", "PNAS", "na"]),
+            "year": rng.randint(1985, 2005),
+        })
+
+    chem_comp = db.create_table(TableSchema(
+        "chem_comp",
+        [
+            Column("chem_comp_id", DataType.INTEGER),
+            Column("comp_code", DataType.VARCHAR, nullable=False),
+            Column("name", DataType.VARCHAR),
+            Column("formula", DataType.VARCHAR),
+        ],
+        primary_key="chem_comp_id",
+    ))
+    for kid in range(1, len(_COMP_CODES) + 1):
+        chem_comp.insert({
+            "chem_comp_id": kid,
+            "comp_code": _COMP_CODES[kid - 1],
+            "name": "na" if kid == 1 else _varying_text(rng, kid),
+            # Water's short formula keeps the length spread above 20 %, so
+            # the column cannot masquerade as an accession candidate.
+            "formula": "H2 O" if kid == 1 else (
+                f"C{rng.randint(10, 30)} H{rng.randint(10, 60)}"
+            ),
+        })
+
+    # ----------------------------------------------------------- satellites
+    for sat_index in range(cfg.satellite_tables):
+        base = _SATELLITE_NAMES[sat_index % len(_SATELLITE_NAMES)]
+        name = base if sat_index < len(_SATELLITE_NAMES) else (
+            f"{base}_{sat_index // len(_SATELLITE_NAMES) + 1}"
+        )
+        soft = sat_index < _SOFT_ACCESSION_SATELLITES
+        rows = max(2, int(n_entries * rng.choice([0.5, 0.8, 1.2, 2.0, 3.0])))
+        columns = [
+            Column(f"{name}_id", DataType.INTEGER),
+            Column("struct_ref", DataType.INTEGER, nullable=False),
+            Column("ordinal", DataType.INTEGER, nullable=False),
+            Column("detail_text", DataType.VARCHAR),
+        ]
+        if soft:
+            columns.insert(1, Column("entry_code", DataType.VARCHAR))
+        extra_payloads = rng.randint(0, 3)
+        for p in range(extra_payloads):
+            columns.append(
+                Column(
+                    f"value_{p}",
+                    rng.choice([DataType.INTEGER, DataType.FLOAT, DataType.VARCHAR]),
+                )
+            )
+        table = db.create_table(TableSchema(name, columns, primary_key=f"{name}_id"))
+        dirty_row = rng.randrange(rows) if soft else -1
+        for rid in range(1, rows + 1):
+            row: dict = {
+                f"{name}_id": rid,
+                "struct_ref": rng.randint(1, n_entries),
+                "ordinal": rid % 9,
+                # "na" disqualifies the column from the accession heuristic
+                # deterministically (2 chars), like a real missing marker.
+                "detail_text": "na" if rid == 1 else _varying_text(rng, rid),
+            }
+            if soft:
+                row["entry_code"] = (
+                    "?" if rid - 1 == dirty_row else rng.choice(entry_codes)
+                )
+            for p in range(extra_payloads):
+                dtype = table.schema.column(f"value_{p}").dtype
+                if dtype is DataType.INTEGER:
+                    row[f"value_{p}"] = rng.randint(-5, 10_000_000)
+                elif dtype is DataType.FLOAT:
+                    row[f"value_{p}"] = round(rng.uniform(-1000, 1000), 4)
+                else:
+                    row[f"value_{p}"] = "na" if rid == 2 else _varying_text(rng, rid)
+            table.insert(row)
+        if soft:
+            soft_accession.append(AttributeRef(name, "entry_code"))
+
+    return GeneratedDataset(
+        db=db,
+        foreign_keys=[],  # OpenMMS declares none — the paper's point
+        expected_accession_candidates=sorted(strict_accession),
+        expected_soft_accession_candidates=sorted(soft_accession),
+        expected_primary_relations=["struct", "exptl", "struct_keywords"],
+        notes={
+            "paper_shape": "surrogate keys all start at 1 (mass IND false "
+            "positives); 9 strict / +10 softened accession candidates; "
+            "Heuristic 2 ties struct/exptl/struct_keywords",
+        },
+    )
+
+
+# -------------------------------------------------------------------- helpers
+def _unique_entry_codes(rng: random.Random, count: int) -> list[str]:
+    codes: list[str] = []
+    seen: set[str] = set()
+    while len(codes) < count:
+        code = text.pdb_code(rng)
+        if code not in seen:
+            seen.add(code)
+            codes.append(code)
+    return codes
+
+
+def _varying_text(rng: random.Random, idx: int) -> str:
+    """Free text whose length provably varies (defeats the accession rule)."""
+    if idx % 7 == 0:
+        return "na"
+    return text.description(rng, 1, 6)
+
+
+def _per_entry_table(
+    db: Database,
+    rng: random.Random,
+    name: str,
+    entry_codes: list[str],
+    strict_accession: list[AttributeRef],
+    extra: list[Column],
+    extra_values,
+) -> None:
+    """One surrogate-keyed row per entry, with a strict accession column."""
+    columns = [
+        Column(f"{name}_id", DataType.INTEGER),
+        Column("entry_id", DataType.VARCHAR, nullable=False, unique=True),
+        *extra,
+    ]
+    table = db.create_table(TableSchema(name, columns, primary_key=f"{name}_id"))
+    for idx, code in enumerate(entry_codes):
+        row = {f"{name}_id": idx + 1, "entry_id": code}
+        row.update(extra_values(idx))
+        table.insert(row)
+    strict_accession.append(AttributeRef(name, "entry_id"))

@@ -1,0 +1,230 @@
+"""Synthetic SCOP (the paper's second, small test database).
+
+SCOP ships as flat classification files; the paper parsed them into 4 tables
+with 22 attributes and found 43 IND candidates of which 11 were satisfied.
+The tables mirror the real SCOP file family:
+
+* ``scop_cla`` — one row per domain: the classification record with the
+  sunid of every hierarchy level (cl/cf/sf/fa/dm/sp/px);
+* ``scop_des`` — one row per sunid: descriptions of all hierarchy nodes;
+* ``scop_hie`` — the parent/child hierarchy over sunids;
+* ``scop_com`` — free-text comments attached to sunids.
+
+The satisfied INDs are the natural ones (every sunid column is contained in
+``scop_des.sunid``; hierarchy columns nest), the same flavour the paper
+reports.  Note there are no declared constraints at all — SCOP is file data —
+so, as in the paper, the FK list here is what a curator would write down.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen import text
+from repro.datagen.dataset import GeneratedDataset
+from repro.datagen.sizes import Scale, get_scale
+from repro.db.database import Database
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import DataType
+
+_SUNID_BASE = 40_000  # SCOP sunids are 5-6 digit integers
+
+
+def _schemas() -> list[TableSchema]:
+    i, v = DataType.INTEGER, DataType.VARCHAR
+    return [
+        TableSchema(
+            "scop_cla",
+            [
+                Column("sid", v, nullable=False, unique=True),
+                Column("pdb_id", v, nullable=False),
+                Column("chain", v),
+                Column("sccs", v, nullable=False),
+                Column("sunid", i, nullable=False, unique=True),
+                Column("cl_id", i, nullable=False),
+                Column("cf_id", i, nullable=False),
+                Column("sf_id", i, nullable=False),
+                Column("fa_id", i, nullable=False),
+                Column("dm_id", i, nullable=False),
+                Column("sp_id", i, nullable=False),
+            ],
+            foreign_keys=[
+                ForeignKey("scop_cla", "sunid", "scop_des", "sunid"),
+            ],
+        ),
+        TableSchema(
+            "scop_des",
+            [
+                Column("sunid", i),
+                Column("entry_type", v, nullable=False),
+                Column("sccs", v),
+                Column("sid", v),
+                Column("description", v),
+            ],
+            primary_key="sunid",
+        ),
+        TableSchema(
+            "scop_hie",
+            [
+                Column("sunid", i, nullable=False, unique=True),
+                Column("parent_sunid", i),
+                Column("child_count", i),
+            ],
+            foreign_keys=[
+                ForeignKey("scop_hie", "sunid", "scop_des", "sunid"),
+                ForeignKey("scop_hie", "parent_sunid", "scop_des", "sunid"),
+            ],
+        ),
+        TableSchema(
+            "scop_com",
+            [
+                Column("sunid", i, nullable=False),
+                Column("comment_text", v, nullable=False),
+                Column("rank", i, nullable=False),
+            ],
+            foreign_keys=[ForeignKey("scop_com", "sunid", "scop_des", "sunid")],
+        ),
+    ]
+
+
+def generate_scop(scale: str | Scale = "small", seed: int = 11) -> GeneratedDataset:
+    cfg = get_scale(scale)
+    rng = random.Random(f"scop-{seed}")
+    db = Database("scop")
+    for schema in _schemas():
+        db.create_table(schema)
+
+    n_domains = cfg.entities
+    # Hierarchy sizes: a handful of classes, more folds, etc.
+    n_classes = 4
+    n_folds = max(6, n_domains // 20)
+    n_superfams = max(8, n_domains // 10)
+    n_families = max(10, n_domains // 6)
+    n_dms = max(12, n_domains // 4)
+    n_species = max(14, n_domains // 3)
+
+    sunid_counter = _SUNID_BASE
+    def take_sunids(count: int) -> list[int]:
+        nonlocal sunid_counter
+        block = list(range(sunid_counter, sunid_counter + count))
+        sunid_counter += count
+        return block
+
+    class_ids = take_sunids(n_classes)
+    fold_ids = take_sunids(n_folds)
+    superfam_ids = take_sunids(n_superfams)
+    family_ids = take_sunids(n_families)
+    dm_ids = take_sunids(n_dms)
+    species_ids = take_sunids(n_species)
+    domain_ids = take_sunids(n_domains)
+
+    des = db.table("scop_des")
+    hie = db.table("scop_hie")
+    com = db.table("scop_com")
+    cla = db.table("scop_cla")
+
+    fold_parent = {f: rng.choice(class_ids) for f in fold_ids}
+    superfam_parent = {s: rng.choice(fold_ids) for s in superfam_ids}
+    family_parent = {f: rng.choice(superfam_ids) for f in family_ids}
+    dm_parent = {d: rng.choice(family_ids) for d in dm_ids}
+    species_parent = {s: rng.choice(dm_ids) for s in species_ids}
+
+    levels = [
+        ("cl", class_ids, {c: None for c in class_ids}),
+        ("cf", fold_ids, fold_parent),
+        ("sf", superfam_ids, superfam_parent),
+        ("fa", family_ids, family_parent),
+        ("dm", dm_ids, dm_parent),
+        ("sp", species_ids, species_parent),
+    ]
+    for entry_type, ids, parents in levels:
+        for node in ids:
+            des.insert(
+                {
+                    "sunid": node,
+                    "entry_type": entry_type,
+                    "sccs": text.sccs_code(
+                        node % 4, node % 11 + 1, node % 7 + 1, node % 5 + 1
+                    ),
+                    "sid": None,
+                    "description": text.description(rng, 2, 6),
+                }
+            )
+            hie.insert(
+                {
+                    "sunid": node,
+                    "parent_sunid": parents[node],
+                    "child_count": rng.randint(1, 30),
+                }
+            )
+            if rng.random() < 0.3:
+                com.insert(
+                    {
+                        "sunid": node,
+                        "comment_text": text.description(rng, 3, 10),
+                        "rank": 0,
+                    }
+                )
+
+    seen_sids: set[str] = set()
+    for idx, dom in enumerate(domain_ids):
+        species = rng.choice(species_ids)
+        dm = species_parent[species]
+        family = dm_parent[dm]
+        superfam = family_parent[family]
+        fold = superfam_parent[superfam]
+        cls = fold_parent[fold]
+        pdb = text.pdb_code(rng)
+        chain = rng.choice("abcdef")
+        sid = text.scop_sid(pdb, chain, rng)
+        while sid in seen_sids:
+            pdb = text.pdb_code(rng)
+            sid = text.scop_sid(pdb, chain, rng)
+        seen_sids.add(sid)
+        sccs = text.sccs_code(
+            class_ids.index(cls), fold % 11 + 1, superfam % 7 + 1, family % 5 + 1
+        )
+        des.insert(
+            {
+                "sunid": dom,
+                "entry_type": "px",
+                "sccs": sccs,
+                "sid": sid,
+                "description": f"{pdb} {chain}:",
+            }
+        )
+        hie.insert({"sunid": dom, "parent_sunid": species, "child_count": 0})
+        cla.insert(
+            {
+                "sid": sid,
+                "pdb_id": pdb,
+                "chain": chain,
+                "sccs": sccs,
+                "sunid": dom,
+                "cl_id": cls,
+                "cf_id": fold,
+                "sf_id": superfam,
+                "fa_id": family,
+                "dm_id": dm,
+                "sp_id": species,
+            }
+        )
+        if idx % 9 == 0:
+            com.insert(
+                {
+                    "sunid": dom,
+                    "comment_text": text.description(rng, 3, 10),
+                    "rank": 0,
+                }
+            )
+
+    return GeneratedDataset(
+        db=db,
+        foreign_keys=db.declared_foreign_keys(),
+        expected_accession_candidates=[],
+        expected_primary_relations=["scop_des"],
+        notes={
+            "paper_shape": "4 tables / 22 attributes, parsed flat files, "
+            "no declared constraints in the original"
+        },
+    )

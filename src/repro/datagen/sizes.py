@@ -1,0 +1,52 @@
+"""Scale presets for the generators.
+
+``tiny`` keeps unit tests fast, ``small`` is the default for examples and
+benchmarks, ``medium`` stresses the algorithms visibly, and ``paper-shape``
+reproduces the *schema* dimensions of the paper's datasets (85 attributes /
+16 tables for UniProt-BioSQL, 115 tables for PDB-OpenMMS) with row counts
+scaled to laptop budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Multipliers applied by the generators."""
+
+    name: str
+    #: Primary-object count (bioentries / SCOP domains / PDB entries).
+    entities: int
+    #: Approximate annotation rows per entity.
+    annotations_per_entity: int
+    #: Satellite table count for OpenMMS (the schema's long tail).
+    satellite_tables: int
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale("tiny", entities=40, annotations_per_entity=2, satellite_tables=4),
+    "small": Scale(
+        "small", entities=200, annotations_per_entity=3, satellite_tables=10
+    ),
+    "medium": Scale(
+        "medium", entities=1000, annotations_per_entity=4, satellite_tables=25
+    ),
+    "paper-shape": Scale(
+        "paper-shape", entities=4000, annotations_per_entity=5, satellite_tables=100
+    ),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Seeded text/value helpers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import random
+import string
+
+_AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+_WORDS = (
+    "protein kinase receptor binding domain transferase synthase membrane "
+    "transport oxidase reductase ribosomal nuclear mitochondrial putative "
+    "hypothetical conserved regulatory transcription factor helicase ligase "
+    "polymerase inhibitor activator channel signal peptide chain alpha beta "
+    "gamma subunit complex homolog precursor fragment variant isoform"
+).split()
+
+_ORGANISM_GENUS = (
+    "Escherichia Homo Mus Rattus Saccharomyces Drosophila Arabidopsis "
+    "Bacillus Thermus Pyrococcus Methanococcus Caenorhabditis Danio Xenopus"
+).split()
+_ORGANISM_SPECIES = (
+    "coli sapiens musculus norvegicus cerevisiae melanogaster thaliana "
+    "subtilis aquaticus furiosus jannaschii elegans rerio laevis"
+).split()
+
+
+def uniprot_accession(rng: random.Random) -> str:
+    """A UniProt-style accession: letter + 5 alphanumerics, e.g. ``Q9H2X1``."""
+    first = rng.choice("OPQ")
+    rest = "".join(rng.choices(string.ascii_uppercase + string.digits, k=5))
+    return first + rest
+
+
+def pdb_code(rng: random.Random) -> str:
+    """A PDB-style entry code: digit + 3 lowercase alphanumerics, e.g. ``1dlw``.
+
+    At least one of the trailing characters is forced to be a letter so the
+    column satisfies the accession-number heuristic's per-value rules (an
+    all-digit code would contain no letter and poison the whole column).
+    """
+    tail = rng.choices(string.ascii_lowercase + string.digits, k=3)
+    if not any(ch.isalpha() for ch in tail):
+        tail[rng.randrange(3)] = rng.choice(string.ascii_lowercase)
+    return rng.choice(string.digits[1:]) + "".join(tail)
+
+
+def scop_sid(pdb: str, chain: str, rng: random.Random) -> str:
+    """A SCOP domain identifier, e.g. ``d1dlwa_``."""
+    suffix = rng.choice("_123")
+    return f"d{pdb}{chain}{suffix}"
+
+
+def sccs_code(cl: int, cf: int, sf: int, fa: int) -> str:
+    """A SCOP concise classification string, e.g. ``a.1.1.2``."""
+    return f"{string.ascii_lowercase[cl % 26]}.{cf}.{sf}.{fa}"
+
+
+def protein_sequence(rng: random.Random, min_len: int = 40, max_len: int = 400) -> str:
+    return "".join(
+        rng.choices(_AMINO_ACIDS, k=rng.randint(min_len, max_len))
+    )
+
+
+def description(rng: random.Random, min_words: int = 2, max_words: int = 8) -> str:
+    return " ".join(rng.choices(_WORDS, k=rng.randint(min_words, max_words)))
+
+
+def organism(rng: random.Random) -> str:
+    return f"{rng.choice(_ORGANISM_GENUS)} {rng.choice(_ORGANISM_SPECIES)}"
+
+
+def author_list(rng: random.Random) -> str:
+    surnames = (
+        "Smith Mueller Tanaka Garcia Ivanov Kim Nguyen Rossi Silva Kowalski"
+    ).split()
+    n = rng.randint(1, 4)
+    return ", ".join(
+        f"{rng.choice(surnames)} {rng.choice(string.ascii_uppercase)}."
+        for _ in range(n)
+    )
+
+
+def crc_checksum(rng: random.Random) -> str:
+    """A fixed-width hex checksum (BioSQL's ``reference.crc`` style).
+
+    Fixed width + guaranteed letter: passes the accession-number heuristic,
+    which is exactly why the paper reports ``sg_reference.crc`` as one of the
+    three (false) accession candidates in BioSQL.
+    """
+    value = "".join(rng.choices("0123456789ABCDEF", k=16))
+    if not any(ch.isalpha() for ch in value):
+        value = "A" + value[1:]
+    return value
+
+
+def ontology_name(rng: random.Random, index: int) -> str:
+    """Controlled-vocabulary names such as ``seqfeature_keys``.
+
+    Underscore-joined lowercase words of similar length: these pass the
+    accession heuristic too (the paper's third candidate, ``sg_ontology.name``).
+    """
+    stems = ["seqfeature", "annotation", "bioentry", "reference", "location"]
+    kinds = ["keys", "tags", "sources", "types", "terms"]
+    return f"{stems[index % len(stems)]}_{kinds[(index // len(stems)) % len(kinds)]}"
+
+
+def go_style_dbxref(rng: random.Random) -> tuple[str, str]:
+    """(dbname, accession) pairs with deliberately *varying* widths.
+
+    The width spread keeps ``sg_dbxref.accession`` out of the accession
+    candidate set, mirroring the paper's finding of exactly three candidates.
+    """
+    choice = rng.randrange(3)
+    if choice == 0:
+        return "GO", f"GO:{rng.randrange(10_000_000):07d}"
+    if choice == 1:
+        return "InterPro", f"IPR{rng.randrange(1_000_000):06d}"
+    return "EC", f"{rng.randint(1, 6)}.{rng.randint(1, 20)}.{rng.randint(1, 30)}"

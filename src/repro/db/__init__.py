@@ -1,0 +1,33 @@
+"""Relational substrate: typed tables, catalogs, CSV I/O and column statistics.
+
+This package stands in for the commercial RDBMS the paper ran against.  It is
+deliberately small but real: values are typed and validated, uniqueness is
+enforced where declared, and the catalog exposes the metadata the IND
+algorithms need (which columns exist, which are non-empty, which are unique).
+
+The SQL front-end lives in :mod:`repro.sql` and executes against
+:class:`~repro.db.database.Database` instances from this package.
+"""
+
+from repro.db.csvio import load_csv_directory, write_csv_directory
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, ForeignKey, TableSchema
+from repro.db.stats import ColumnStats, collect_column_stats
+from repro.db.table import Table
+from repro.db.types import DataType, infer_type, validate_value
+
+__all__ = [
+    "AttributeRef",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "Database",
+    "ForeignKey",
+    "Table",
+    "TableSchema",
+    "collect_column_stats",
+    "infer_type",
+    "load_csv_directory",
+    "validate_value",
+    "write_csv_directory",
+]

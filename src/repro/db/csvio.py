@@ -1,0 +1,192 @@
+"""CSV import/export for whole databases.
+
+A database is persisted as a directory with one ``<table>.csv`` per table and
+a ``_schema.json`` sidecar describing types, primary keys and (for generated
+gold-standard datasets) foreign keys.  Loading works with or without the
+sidecar: without it, column types are inferred from the data — exactly the
+situation the paper targets, an undocumented dump with no declared
+constraints.
+
+Conventions: CSV cells are text; the empty cell is NULL.  BLOB columns are
+hex-encoded.  This convention makes the empty string indistinguishable from
+NULL, which matches the behaviour of Oracle (the paper's RDBMS), where
+``'' IS NULL`` holds.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.db.types import DataType, infer_type, parse_typed
+from repro.errors import CsvFormatError
+
+_SCHEMA_FILE = "_schema.json"
+
+
+def write_csv_directory(db: Database, directory: str | Path) -> Path:
+    """Dump ``db`` into ``directory`` (created if needed); returns the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    schema_doc = {"database": db.name, "tables": []}
+    for table in db.tables():
+        schema_doc["tables"].append(_schema_to_doc(table.schema))
+        with open(path / f"{table.name}.csv", "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(table.schema.column_names)
+            for row in table.rows():
+                writer.writerow(
+                    [_cell(row[name]) for name in table.schema.column_names]
+                )
+    with open(path / _SCHEMA_FILE, "w", encoding="utf-8") as fh:
+        json.dump(schema_doc, fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_csv_directory(directory: str | Path, name: str | None = None) -> Database:
+    """Load a database from a CSV directory.
+
+    With ``_schema.json`` present the declared types/keys are honoured;
+    otherwise each ``*.csv`` becomes a table with inferred column types and no
+    constraints (the undocumented-source scenario).
+    """
+    path = Path(directory)
+    if not path.is_dir():
+        raise CsvFormatError(f"{path} is not a directory")
+    schema_path = path / _SCHEMA_FILE
+    if schema_path.exists():
+        return _load_with_schema(path, schema_path, name)
+    return _load_inferred(path, name)
+
+
+# ----------------------------------------------------------------- internals
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _schema_to_doc(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "columns": [
+            {
+                "name": c.name,
+                "type": c.dtype.value,
+                "nullable": c.nullable,
+                "unique": c.unique,
+            }
+            for c in schema.columns
+        ],
+        "foreign_keys": [
+            {
+                "column": fk.column,
+                "ref_table": fk.ref_table,
+                "ref_column": fk.ref_column,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _doc_to_schema(doc: dict) -> TableSchema:
+    try:
+        columns = [
+            Column(
+                c["name"],
+                DataType(c["type"]),
+                nullable=c.get("nullable", True),
+                unique=c.get("unique", False),
+            )
+            for c in doc["columns"]
+        ]
+        fks = [
+            ForeignKey(doc["name"], fk["column"], fk["ref_table"], fk["ref_column"])
+            for fk in doc.get("foreign_keys", [])
+        ]
+        return TableSchema(
+            doc["name"],
+            columns,
+            primary_key=doc.get("primary_key"),
+            foreign_keys=fks,
+        )
+    except (KeyError, ValueError) as exc:
+        raise CsvFormatError(f"malformed schema entry: {exc}") from exc
+
+
+def _read_rows(csv_path: Path) -> tuple[list[str], list[list[str]]]:
+    with open(csv_path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CsvFormatError(f"{csv_path} is empty (missing header)") from None
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise CsvFormatError(
+                    f"{csv_path}:{lineno}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            rows.append(row)
+    return header, rows
+
+
+def _load_with_schema(path: Path, schema_path: Path, name: str | None) -> Database:
+    with open(schema_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    db = Database(name or doc.get("database", path.name))
+    for table_doc in doc.get("tables", []):
+        schema = _doc_to_schema(table_doc)
+        table = db.create_table(schema)
+        csv_path = path / f"{schema.name}.csv"
+        if not csv_path.exists():
+            raise CsvFormatError(f"schema declares {schema.name!r} but {csv_path} "
+                                 "is missing")
+        header, rows = _read_rows(csv_path)
+        if header != schema.column_names:
+            raise CsvFormatError(
+                f"{csv_path}: header {header!r} does not match schema columns "
+                f"{schema.column_names!r}"
+            )
+        _insert_parsed(table, schema, rows)
+    return db
+
+
+def _insert_parsed(table: Table, schema: TableSchema, rows: list[list[str]]) -> None:
+    dtypes = [schema.column(c).dtype for c in schema.column_names]
+    for row in rows:
+        table.insert(
+            {
+                name: parse_typed(dtype, cell)
+                for name, dtype, cell in zip(schema.column_names, dtypes, row)
+            }
+        )
+
+
+def _load_inferred(path: Path, name: str | None) -> Database:
+    db = Database(name or path.name)
+    csv_files = sorted(p for p in path.glob("*.csv"))
+    if not csv_files:
+        raise CsvFormatError(f"{path} contains no .csv files")
+    for csv_path in csv_files:
+        header, rows = _read_rows(csv_path)
+        if len(set(header)) != len(header):
+            raise CsvFormatError(f"{csv_path}: duplicate column names in header")
+        columns = []
+        for idx, col_name in enumerate(header):
+            cells = [row[idx] if row[idx] != "" else None for row in rows]
+            columns.append(Column(col_name, infer_type(cells)))
+        schema = TableSchema(csv_path.stem, columns)
+        table = db.create_table(schema)
+        _insert_parsed(table, schema, rows)
+    return db

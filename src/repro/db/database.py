@@ -1,0 +1,121 @@
+"""The database catalog: a named collection of tables.
+
+This is the object every pipeline stage passes around.  It exposes exactly the
+catalog views the paper's algorithms need: all attributes, non-empty tables,
+per-attribute access to value bags, and (for generated datasets) the declared
+foreign keys used as gold standard in Sec. 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.db.schema import AttributeRef, ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.errors import CatalogError
+
+
+class Database:
+    """A catalog of :class:`~repro.db.table.Table` objects."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise CatalogError("database name must be non-empty")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------ DDL
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    # -------------------------------------------------------------- lookups
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        for name in self.table_names:
+            yield self._tables[name]
+
+    def non_empty_tables(self) -> Iterator[Table]:
+        for table in self.tables():
+            if not table.is_empty:
+                yield table
+
+    # ----------------------------------------------------------- attributes
+    def attributes(self, include_empty_tables: bool = False) -> list[AttributeRef]:
+        """All attributes in the catalog, in deterministic order."""
+        refs: list[AttributeRef] = []
+        for table in self.tables():
+            if table.is_empty and not include_empty_tables:
+                continue
+            refs.extend(table.schema.attributes)
+        return refs
+
+    def attribute_values(self, ref: AttributeRef) -> list[Any]:
+        """The bag ``v(a)`` of non-NULL values of an attribute."""
+        return self.table(ref.table).non_null_values(ref.column)
+
+    def attribute_distinct(self, ref: AttributeRef) -> set[Any]:
+        """The set of distinct non-NULL values ``s(a)`` (unsorted)."""
+        return self.table(ref.table).distinct_values(ref.column)
+
+    def resolve(self, ref: AttributeRef) -> AttributeRef:
+        """Validate that ``ref`` exists in the catalog and return it."""
+        table = self.table(ref.table)
+        if not table.schema.has_column(ref.column):
+            raise CatalogError(
+                f"table {ref.table!r} has no column {ref.column!r}"
+            )
+        return ref
+
+    # -------------------------------------------------------- gold standard
+    def declared_foreign_keys(self) -> list[ForeignKey]:
+        """All foreign keys declared by table schemas (the Sec. 5 gold standard)."""
+        fks: list[ForeignKey] = []
+        for table in self.tables():
+            fks.extend(table.schema.foreign_keys)
+        return fks
+
+    # -------------------------------------------------------------- summary
+    @property
+    def attribute_count(self) -> int:
+        return sum(len(t.schema.columns) for t in self.non_empty_tables())
+
+    @property
+    def total_rows(self) -> int:
+        return sum(t.row_count for t in self.tables())
+
+    def summary(self) -> dict[str, int]:
+        """Catalog totals as reported in the paper's dataset descriptions."""
+        non_empty = list(self.non_empty_tables())
+        return {
+            "tables": len(self._tables),
+            "non_empty_tables": len(non_empty),
+            "attributes": sum(len(t.schema.columns) for t in non_empty),
+            "rows": self.total_rows,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={len(self._tables)})"

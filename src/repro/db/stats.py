@@ -1,0 +1,117 @@
+"""Per-column statistics: the catalog metadata behind candidate generation.
+
+The paper's candidate generation (Sec. 2) and pretests need, per attribute:
+row/null counts, the number of distinct values (cardinality pretest), whether
+the column is unique over its non-NULL values (referenced attributes must be),
+and the minimum/maximum *rendered* value (max-value pretest, Sec. 4.1).
+Everything is computed in one pass per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.db.types import DataType
+from repro.storage.codec import render_value
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Profile of one attribute, as the discovery pipeline consumes it."""
+
+    ref: AttributeRef
+    dtype: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    min_value: str | None  # rendered; None iff the column is all-NULL/empty
+    max_value: str | None
+    min_length: int | None  # length of shortest rendered value
+    max_length: int | None
+    #: Numeric bounds, present only when every non-NULL value is numeric.
+    #: The rendered min/max above follow the paper's lexicographic order
+    #: ("99" > "150"); range analysis (Sec. 5) needs the numeric ones.
+    numeric_min: float | None = None
+    numeric_max: float | None = None
+
+    @property
+    def non_null_count(self) -> int:
+        return self.row_count - self.null_count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the column holds no non-NULL value at all."""
+        return self.non_null_count == 0
+
+    @property
+    def is_unique(self) -> bool:
+        """Measured uniqueness over non-NULL values (SQL UNIQUE semantics).
+
+        The paper profiles *undocumented* schemas, so uniqueness is measured
+        from the instance, not read from declarations.  Empty columns are not
+        unique for our purposes — they cannot be referenced attributes since
+        referenced attributes must be non-empty.
+        """
+        return self.non_null_count > 0 and self.distinct_count == self.non_null_count
+
+
+def profile_column(db: Database, ref: AttributeRef) -> ColumnStats:
+    """Compute :class:`ColumnStats` for one attribute."""
+    table = db.table(ref.table)
+    column = table.column_def(ref.column)
+    values = table.column_values(ref.column)
+    null_count = 0
+    distinct: set[str] = set()
+    min_len: int | None = None
+    max_len: int | None = None
+    numeric_min: float | None = None
+    numeric_max: float | None = None
+    all_numeric = True
+    for value in values:
+        if value is None:
+            null_count += 1
+            continue
+        rendered = render_value(value)
+        distinct.add(rendered)
+        length = len(rendered)
+        if min_len is None or length < min_len:
+            min_len = length
+        if max_len is None or length > max_len:
+            max_len = length
+        if all_numeric and isinstance(value, (int, float)):
+            numeric = float(value)
+            if numeric_min is None or numeric < numeric_min:
+                numeric_min = numeric
+            if numeric_max is None or numeric > numeric_max:
+                numeric_max = numeric
+        else:
+            all_numeric = False
+    return ColumnStats(
+        ref=ref,
+        dtype=column.dtype,
+        row_count=len(values),
+        null_count=null_count,
+        distinct_count=len(distinct),
+        min_value=min(distinct) if distinct else None,
+        max_value=max(distinct) if distinct else None,
+        min_length=min_len,
+        max_length=max_len,
+        numeric_min=numeric_min if all_numeric else None,
+        numeric_max=numeric_max if all_numeric else None,
+    )
+
+
+def collect_column_stats(
+    db: Database, include_empty_tables: bool = False
+) -> dict[AttributeRef, ColumnStats]:
+    """Profile every attribute of the database.
+
+    Note the distinct-count here reflects TO_CHAR rendering, i.e. it is the
+    cardinality of ``s(a)`` exactly as the external algorithms will see it.
+    """
+    return {
+        ref: profile_column(db, ref)
+        for ref in db.attributes(include_empty_tables=include_empty_tables)
+    }

@@ -1,0 +1,53 @@
+"""Schema discovery on top of discovered INDs (Sec. 5 and the Aladin steps).
+
+* :mod:`repro.discovery.keys` — primary-key candidates (Aladin step 2);
+* :mod:`repro.discovery.foreign_keys` — FK guessing from INDs and scoring
+  against a gold standard (closure-aware);
+* :mod:`repro.discovery.accession` — the accession-number heuristic, strict
+  and softened;
+* :mod:`repro.discovery.primary_relation` — Heuristic 2;
+* :mod:`repro.discovery.surrogate_filter` — the range-analysis filter the
+  paper proposes against surrogate-key false positives;
+* :mod:`repro.discovery.links` — inter-database link discovery (step 4);
+* :mod:`repro.discovery.pipeline` — the five Aladin steps end to end.
+"""
+
+from repro.discovery.accession import (
+    AccessionProfile,
+    AccessionRule,
+    find_accession_candidates,
+)
+from repro.discovery.foreign_keys import (
+    FkEvaluation,
+    FkGuess,
+    evaluate_against_gold,
+    rank_fk_candidates,
+)
+from repro.discovery.keys import PrimaryKeyCandidate, find_primary_key_candidates
+from repro.discovery.links import CrossDatabaseLink, discover_links
+from repro.discovery.pipeline import AladinPipeline, PipelineReport
+from repro.discovery.primary_relation import (
+    PrimaryRelationReport,
+    identify_primary_relation,
+)
+from repro.discovery.surrogate_filter import SurrogateFilterReport, filter_surrogate_inds
+
+__all__ = [
+    "AccessionProfile",
+    "AccessionRule",
+    "AladinPipeline",
+    "CrossDatabaseLink",
+    "FkEvaluation",
+    "FkGuess",
+    "PipelineReport",
+    "PrimaryKeyCandidate",
+    "PrimaryRelationReport",
+    "SurrogateFilterReport",
+    "evaluate_against_gold",
+    "discover_links",
+    "filter_surrogate_inds",
+    "find_accession_candidates",
+    "find_primary_key_candidates",
+    "identify_primary_relation",
+    "rank_fk_candidates",
+]

@@ -1,0 +1,135 @@
+"""Accession-number candidate detection (Sec. 5, Heuristic 1).
+
+The paper's domain-specific rule for identifying identifier columns in life
+science databases: *"all values of this attribute are at least four characters
+long, contain at least one character, and must not differ in length more than
+20%"* — where "character" means an alphabetic character (pure numbers are
+surrogate values, not accession numbers).
+
+The softened variant requires only a fraction of the values (99.98 % in the
+paper, on multi-million-row columns) to satisfy the per-value criteria —
+tolerating stray missing-data markers such as mmCIF's ``?``.  The length
+spread is then computed over the conforming values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.errors import DiscoveryError
+from repro.storage.codec import render_value
+
+
+@dataclass(frozen=True)
+class AccessionRule:
+    """The tunable knobs of the heuristic; defaults are the paper's."""
+
+    min_length: int = 4
+    require_letter: bool = True
+    max_length_spread: float = 0.2
+    #: Fraction of values that must satisfy the per-value criteria.
+    #: 1.0 is the strict rule; the paper's softened run used 0.9998.
+    min_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_fraction <= 1.0:
+            raise DiscoveryError(
+                f"min_fraction must be in (0, 1], got {self.min_fraction}"
+            )
+        if self.max_length_spread < 0:
+            raise DiscoveryError("max_length_spread must be non-negative")
+
+    def value_conforms(self, rendered: str) -> bool:
+        if len(rendered) < self.min_length:
+            return False
+        if self.require_letter and not any(ch.isalpha() for ch in rendered):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class AccessionProfile:
+    """Per-attribute outcome of the heuristic."""
+
+    ref: AttributeRef
+    total_values: int  # non-NULL values inspected
+    conforming_values: int
+    min_conforming_length: int | None
+    max_conforming_length: int | None
+
+    @property
+    def fraction(self) -> float:
+        if self.total_values == 0:
+            return 0.0
+        return self.conforming_values / self.total_values
+
+    @property
+    def length_spread(self) -> float:
+        """Relative length spread over conforming values (0 = fixed width)."""
+        if not self.max_conforming_length:
+            return 0.0
+        return (
+            self.max_conforming_length - self.min_conforming_length
+        ) / self.max_conforming_length
+
+    def passes(self, rule: AccessionRule) -> bool:
+        """Column-level verdict: enough conforming values, bounded spread.
+
+        Empty columns never pass — a vacuous 'all values conform' would turn
+        every empty attribute into a candidate.
+        """
+        if self.total_values == 0 or self.conforming_values == 0:
+            return False
+        return (
+            self.fraction >= rule.min_fraction
+            and self.length_spread <= rule.max_length_spread
+        )
+
+
+def profile_attribute(
+    db: Database, ref: AttributeRef, rule: AccessionRule
+) -> AccessionProfile:
+    """Apply the per-value criteria to one attribute."""
+    total = 0
+    conforming = 0
+    min_len: int | None = None
+    max_len: int | None = None
+    for value in db.attribute_values(ref):
+        rendered = render_value(value)
+        total += 1
+        if not rule.value_conforms(rendered):
+            continue
+        conforming += 1
+        length = len(rendered)
+        if min_len is None or length < min_len:
+            min_len = length
+        if max_len is None or length > max_len:
+            max_len = length
+    return AccessionProfile(
+        ref=ref,
+        total_values=total,
+        conforming_values=conforming,
+        min_conforming_length=min_len,
+        max_conforming_length=max_len,
+    )
+
+
+def find_accession_candidates(
+    db: Database, rule: AccessionRule | None = None
+) -> list[AccessionProfile]:
+    """All attributes passing the heuristic, in deterministic order.
+
+    LOB columns are skipped (they hold payloads, not identifiers), matching
+    the candidate-generation convention of Sec. 2.
+    """
+    rule = rule or AccessionRule()
+    out: list[AccessionProfile] = []
+    for ref in db.attributes():
+        if db.table(ref.table).column_def(ref.column).dtype.is_lob:
+            continue
+        profile = profile_attribute(db, ref, rule)
+        if profile.passes(rule):
+            out.append(profile)
+    return sorted(out, key=lambda p: p.ref)

@@ -1,0 +1,162 @@
+"""Foreign-key guessing from INDs, and closure-aware gold-standard scoring.
+
+Two jobs:
+
+* :func:`evaluate_against_gold` reproduces the Sec. 5 BioSQL analysis:
+  partition the discovered INDs into **matched** foreign keys, INDs **implied**
+  by the FK graph (transitive closure, extended by discovered value-set
+  equalities such as the 1:1 ``biosequence``), and genuine **false
+  positives**; report which gold FKs were **missed** and which were
+  **unrecoverable** (defined on empty tables — "obviously cannot be found when
+  regarding the data").
+
+* :func:`rank_fk_candidates` serves the undocumented-database case (OpenMMS):
+  score each IND by how foreign-key-like it is, using the catalog evidence a
+  human would — the referenced side being a key, name affinity between the
+  dependent column and the referenced table/column, and value coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ind import IND, INDSet
+from repro.db.schema import AttributeRef, ForeignKey
+from repro.db.stats import ColumnStats
+
+
+@dataclass
+class FkEvaluation:
+    """The Sec. 5-style comparison of discovered INDs to declared FKs."""
+
+    matched: list[IND] = field(default_factory=list)
+    implied: list[IND] = field(default_factory=list)  # closure / equality
+    false_positives: list[IND] = field(default_factory=list)
+    missed: list[ForeignKey] = field(default_factory=list)
+    unrecoverable: list[ForeignKey] = field(default_factory=list)  # empty tables
+
+    @property
+    def recall(self) -> float:
+        """Recovered fraction of the FKs recoverable from the instance."""
+        recoverable = len(self.matched) + len(self.missed)
+        if recoverable == 0:
+            return 1.0
+        return len(self.matched) / recoverable
+
+    @property
+    def precision(self) -> float:
+        """Fraction of discovered INDs that are FKs or implied by them."""
+        total = len(self.matched) + len(self.implied) + len(self.false_positives)
+        if total == 0:
+            return 1.0
+        return (len(self.matched) + len(self.implied)) / total
+
+
+def evaluate_against_gold(
+    inds: INDSet,
+    gold: list[ForeignKey],
+    empty_tables: set[str] | frozenset[str] = frozenset(),
+) -> FkEvaluation:
+    """Partition discovered INDs against the declared foreign keys."""
+    evaluation = FkEvaluation()
+    gold_inds = {IND(fk.dependent, fk.referenced) for fk in gold}
+    for fk in gold:
+        ind = IND(fk.dependent, fk.referenced)
+        if fk.table in empty_tables:
+            evaluation.unrecoverable.append(fk)
+        elif ind in inds:
+            evaluation.matched.append(ind)
+        else:
+            evaluation.missed.append(fk)
+
+    # The implication graph: declared FKs, plus the reverse of any FK whose
+    # reverse IND was discovered too (a value-set equality like the 1:1
+    # biosequence), closed under transitivity.
+    implication = INDSet(gold_inds)
+    for gold_ind in gold_inds:
+        if gold_ind.reversed() in inds:
+            implication.add(gold_ind.reversed())
+    closure = implication.transitive_closure()
+
+    for ind in inds:
+        if ind in gold_inds:
+            continue
+        if ind in closure:
+            evaluation.implied.append(ind)
+        else:
+            evaluation.false_positives.append(ind)
+    return evaluation
+
+
+@dataclass(frozen=True)
+class FkGuess:
+    """A ranked foreign-key guess for an undocumented schema."""
+
+    ind: IND
+    score: float
+    referenced_is_key: bool
+    name_affinity: float
+    coverage: float
+
+    def __str__(self) -> str:
+        return f"{self.ind} (score={self.score:.2f})"
+
+
+def _name_affinity(dep: AttributeRef, ref: AttributeRef) -> float:
+    """Cheap lexical evidence that ``dep`` points at ``ref``.
+
+    1.0  the dependent column repeats the referenced column name
+         (``bioentry_id`` → ``bioentry.bioentry_id``);
+    0.7  it contains the referenced table's name stem;
+    0.3  both columns share an ``_id``-style suffix;
+    0.0  otherwise.
+    """
+    dep_col = dep.column.lower()
+    ref_col = ref.column.lower()
+    ref_table = ref.table.lower()
+    if dep_col == ref_col and dep.table != ref.table:
+        return 1.0
+    stem = ref_table.split("_")[-1]
+    if len(stem) >= 3 and stem in dep_col:
+        return 0.7
+    if dep_col.endswith("_id") and ref_col.endswith("_id"):
+        return 0.3
+    return 0.0
+
+
+def rank_fk_candidates(
+    inds: INDSet,
+    column_stats: dict[AttributeRef, ColumnStats],
+    min_score: float = 0.0,
+) -> list[FkGuess]:
+    """Score every discovered IND by foreign-key plausibility, best first."""
+    guesses: list[FkGuess] = []
+    for ind in inds:
+        ref_stats = column_stats[ind.referenced]
+        dep_stats = column_stats[ind.dependent]
+        referenced_is_key = (
+            ref_stats.is_unique and ref_stats.null_count == 0
+        )
+        affinity = _name_affinity(ind.dependent, ind.referenced)
+        coverage = (
+            dep_stats.distinct_count / ref_stats.distinct_count
+            if ref_stats.distinct_count
+            else 0.0
+        )
+        score = (
+            (0.4 if referenced_is_key else 0.0)
+            + 0.4 * affinity
+            + 0.2 * min(coverage, 1.0)
+        )
+        if score >= min_score:
+            guesses.append(
+                FkGuess(
+                    ind=ind,
+                    score=round(score, 4),
+                    referenced_is_key=referenced_is_key,
+                    name_affinity=affinity,
+                    coverage=round(coverage, 4),
+                )
+            )
+    guesses.sort(key=lambda g: (-g.score, g.ind))
+    return guesses

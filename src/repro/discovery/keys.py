@@ -1,0 +1,66 @@
+"""Primary-key candidate discovery (Aladin step 2).
+
+"Candidates for primary keys are computed using the uniqueness constraint for
+keys" — every measured-unique, non-empty attribute is a candidate, ranked by
+how key-like it is: NULL-free first, then higher coverage of its table's
+rows, integers before strings (surrogate-key convention), shorter rendered
+values before longer ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.db.stats import ColumnStats, collect_column_stats
+from repro.db.types import DataType
+
+
+@dataclass(frozen=True)
+class PrimaryKeyCandidate:
+    ref: AttributeRef
+    null_free: bool
+    distinct_count: int
+    row_count: int
+    dtype: DataType
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the table's rows carrying a (unique) value."""
+        if self.row_count == 0:
+            return 0.0
+        return self.distinct_count / self.row_count
+
+    @property
+    def score(self) -> tuple:
+        """Sort key: better candidates sort first."""
+        return (
+            0 if self.null_free else 1,
+            -self.coverage,
+            0 if self.dtype is DataType.INTEGER else 1,
+            self.ref,
+        )
+
+
+def find_primary_key_candidates(
+    db: Database,
+    column_stats: dict[AttributeRef, ColumnStats] | None = None,
+) -> dict[str, list[PrimaryKeyCandidate]]:
+    """Per table: unique attributes ranked by key plausibility."""
+    stats = column_stats if column_stats is not None else collect_column_stats(db)
+    per_table: dict[str, list[PrimaryKeyCandidate]] = {}
+    for ref, st in stats.items():
+        if not st.is_unique or st.dtype.is_lob:
+            continue
+        candidate = PrimaryKeyCandidate(
+            ref=ref,
+            null_free=st.null_count == 0,
+            distinct_count=st.distinct_count,
+            row_count=st.row_count,
+            dtype=st.dtype,
+        )
+        per_table.setdefault(ref.table, []).append(candidate)
+    for table in per_table:
+        per_table[table].sort(key=lambda c: c.score)
+    return per_table

@@ -1,0 +1,170 @@
+"""Inter-database link discovery (Aladin step 4).
+
+"Relationships between data sources are inferred by again using set inclusion
+and domain-specific heuristics.  This step only considers primary relations
+as targets, thus drastically reducing the search space."
+
+Given several databases, the targets are the accession-number candidates
+inside each database's primary-relation shortlist; the sources are string
+attributes of every *other* database.  Inclusion is tested on rendered value
+sets, and — implementing the paper's closing future-work example — a failed
+exact test is retried modulo a constant prefix, so ``"PDB-144f"`` links to
+``"144f"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.concatenated import SEPARATORS
+from repro.core.ind import INDSet
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.db.types import DataType
+from repro.discovery.accession import AccessionRule, find_accession_candidates
+from repro.discovery.primary_relation import identify_primary_relation
+from repro.errors import DiscoveryError
+from repro.storage.codec import render_value
+
+
+@dataclass(frozen=True)
+class CrossDatabaseLink:
+    """A discovered link: source attribute ⊆ target accession attribute."""
+
+    source_db: str
+    source: AttributeRef
+    target_db: str
+    target: AttributeRef
+    #: Constant prefix stripped from the source values; None for exact links.
+    stripped_prefix: str | None = None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.stripped_prefix is None
+
+    def __str__(self) -> str:
+        source = f"{self.source_db}:{self.source.qualified}"
+        if self.stripped_prefix:
+            source = f"strip({source}, {self.stripped_prefix!r})"
+        return f"{source} [= {self.target_db}:{self.target.qualified}"
+
+
+def discover_links(
+    databases: list[Database],
+    rule: AccessionRule | None = None,
+    intra_inds: dict[str, INDSet] | None = None,
+    allow_prefixed: bool = True,
+    min_source_values: int = 2,
+) -> list[CrossDatabaseLink]:
+    """Find inclusion links between the given databases.
+
+    ``intra_inds`` may carry precomputed per-database IND sets (keyed by
+    database name); missing entries are computed with the default runner.
+    """
+    if len({db.name for db in databases}) != len(databases):
+        raise DiscoveryError("databases must have distinct names for linking")
+    rule = rule or AccessionRule()
+    targets: dict[str, list[AttributeRef]] = {}
+    for db in databases:
+        inds = (intra_inds or {}).get(db.name)
+        if inds is None:
+            inds = discover_inds(db, DiscoveryConfig()).satisfied
+        candidates = find_accession_candidates(db, rule)
+        report = identify_primary_relation(
+            db, inds, accession_candidates=candidates
+        )
+        shortlist = set(report.shortlist)
+        targets[db.name] = [
+            profile.ref
+            for profile in candidates
+            if profile.ref.table in shortlist
+        ]
+
+    links: list[CrossDatabaseLink] = []
+    for target_db in databases:
+        target_sets = {
+            ref: _rendered_set(target_db, ref) for ref in targets[target_db.name]
+        }
+        for source_db in databases:
+            if source_db.name == target_db.name:
+                continue
+            for source_ref in _source_attributes(source_db):
+                source_set = _rendered_set(source_db, source_ref)
+                if len(source_set) < min_source_values:
+                    continue
+                for target_ref, target_set in target_sets.items():
+                    link = _test_link(
+                        source_db.name,
+                        source_ref,
+                        source_set,
+                        target_db.name,
+                        target_ref,
+                        target_set,
+                        allow_prefixed,
+                    )
+                    if link is not None:
+                        links.append(link)
+    return sorted(
+        links, key=lambda l: (l.source_db, l.source, l.target_db, l.target)
+    )
+
+
+# -------------------------------------------------------------------- helpers
+def _source_attributes(db: Database) -> list[AttributeRef]:
+    out: list[AttributeRef] = []
+    for ref in db.attributes():
+        if db.table(ref.table).column_def(ref.column).dtype is DataType.VARCHAR:
+            out.append(ref)
+    return out
+
+
+def _rendered_set(db: Database, ref: AttributeRef) -> frozenset[str]:
+    return frozenset(render_value(v) for v in db.attribute_values(ref))
+
+
+def _test_link(
+    source_db: str,
+    source: AttributeRef,
+    source_set: frozenset[str],
+    target_db: str,
+    target: AttributeRef,
+    target_set: frozenset[str],
+    allow_prefixed: bool,
+) -> CrossDatabaseLink | None:
+    if source_set <= target_set:
+        return CrossDatabaseLink(source_db, source, target_db, target)
+    if not allow_prefixed:
+        return None
+    prefix = _common_prefix(source_set)
+    if prefix is None:
+        return None
+    stripped = {value[len(prefix):] for value in source_set}
+    if stripped <= target_set:
+        return CrossDatabaseLink(
+            source_db, source, target_db, target, stripped_prefix=prefix
+        )
+    return None
+
+
+def _common_prefix(values: frozenset[str]) -> str | None:
+    """Longest separator-terminated constant prefix of all values."""
+    iterator = iter(values)
+    prefix = next(iterator, None)
+    if prefix is None:
+        return None
+    for value in iterator:
+        limit = min(len(prefix), len(value))
+        i = 0
+        while i < limit and prefix[i] == value[i]:
+            i += 1
+        prefix = prefix[:i]
+        if not prefix:
+            return None
+    cut = -1
+    for i, ch in enumerate(prefix):
+        if ch in SEPARATORS:
+            cut = i
+    if cut == -1:
+        return None
+    return prefix[: cut + 1]

@@ -1,0 +1,147 @@
+"""The Aladin integration pipeline (Sec. 1.1, Figure 1), steps 1-5.
+
+1. **Import** — the caller supplies :class:`~repro.db.database.Database`
+   objects (built programmatically or via :func:`repro.db.load_csv_directory`;
+   the paper's only manual step).
+2. **Key candidates** — measured-unique attributes per table.
+3. **Intra-source relationships** — IND discovery with the configured
+   strategy, FK ranking, and (optionally) the surrogate-range filter.
+4. **Inter-source relationships** — links into other databases' primary
+   relations, exact or prefix-tolerant.
+5. **Duplicate flagging** — exact duplicate rows per table (the paper defers
+   real object-level duplicate detection to [4]; this step rounds off the
+   pipeline with the cheap exact check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ind import INDSet
+from repro.core.results import DiscoveryResult
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.db.database import Database
+from repro.db.stats import collect_column_stats
+from repro.discovery.accession import AccessionRule, find_accession_candidates
+from repro.discovery.foreign_keys import FkGuess, rank_fk_candidates
+from repro.discovery.keys import PrimaryKeyCandidate, find_primary_key_candidates
+from repro.discovery.links import CrossDatabaseLink, discover_links
+from repro.discovery.primary_relation import (
+    PrimaryRelationReport,
+    identify_primary_relation,
+)
+from repro.discovery.surrogate_filter import (
+    SurrogateFilterReport,
+    filter_surrogate_inds,
+)
+from repro.errors import DiscoveryError
+
+
+@dataclass
+class DatabaseReport:
+    """Per-database results of steps 2-3 (and the step-5 duplicate counts)."""
+
+    name: str
+    summary: dict[str, int]
+    key_candidates: dict[str, list[PrimaryKeyCandidate]]
+    discovery: DiscoveryResult
+    inds: INDSet
+    fk_guesses: list[FkGuess]
+    surrogate_report: SurrogateFilterReport | None
+    primary_relation: PrimaryRelationReport
+    duplicate_rows: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineReport:
+    """Everything the pipeline produced, per database plus the global links."""
+
+    databases: dict[str, DatabaseReport] = field(default_factory=dict)
+    links: list[CrossDatabaseLink] = field(default_factory=list)
+
+
+class AladinPipeline:
+    """Configurable end-to-end schema discovery across one or more sources."""
+
+    def __init__(
+        self,
+        discovery_config: DiscoveryConfig | None = None,
+        accession_rule: AccessionRule | None = None,
+        apply_surrogate_filter: bool = True,
+        allow_prefixed_links: bool = True,
+        min_fk_score: float = 0.4,
+    ) -> None:
+        self._discovery_config = discovery_config or DiscoveryConfig()
+        self._accession_rule = accession_rule or AccessionRule()
+        self._apply_surrogate_filter = apply_surrogate_filter
+        self._allow_prefixed_links = allow_prefixed_links
+        self._min_fk_score = min_fk_score
+
+    def run(self, databases: list[Database]) -> PipelineReport:
+        if not databases:
+            raise DiscoveryError("the pipeline needs at least one database")
+        report = PipelineReport()
+        intra_inds: dict[str, INDSet] = {}
+        for db in databases:
+            db_report = self._run_single(db)
+            report.databases[db.name] = db_report
+            intra_inds[db.name] = db_report.inds
+        if len(databases) > 1:
+            report.links = discover_links(
+                databases,
+                rule=self._accession_rule,
+                intra_inds=intra_inds,
+                allow_prefixed=self._allow_prefixed_links,
+            )
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _run_single(self, db: Database) -> DatabaseReport:
+        column_stats = collect_column_stats(db)
+        key_candidates = find_primary_key_candidates(db, column_stats)
+        discovery = discover_inds(db, self._discovery_config)
+        inds = discovery.satisfied
+        surrogate_report: SurrogateFilterReport | None = None
+        if self._apply_surrogate_filter:
+            surrogate_report = filter_surrogate_inds(inds, column_stats)
+            effective_inds = surrogate_report.kept
+        else:
+            effective_inds = inds
+        fk_guesses = rank_fk_candidates(
+            effective_inds, column_stats, min_score=self._min_fk_score
+        )
+        accession_candidates = find_accession_candidates(db, self._accession_rule)
+        primary = identify_primary_relation(
+            db, inds, accession_candidates=accession_candidates
+        )
+        return DatabaseReport(
+            name=db.name,
+            summary=db.summary(),
+            key_candidates=key_candidates,
+            discovery=discovery,
+            inds=inds,
+            fk_guesses=fk_guesses,
+            surrogate_report=surrogate_report,
+            primary_relation=primary,
+            duplicate_rows=_exact_duplicates(db),
+        )
+
+
+def _exact_duplicates(db: Database) -> dict[str, int]:
+    """Step 5 (simplified): count exact duplicate rows per table."""
+    out: dict[str, int] = {}
+    for table in db.non_empty_tables():
+        seen: set[tuple] = set()
+        duplicates = 0
+        names = table.schema.column_names
+        for row in table.rows():
+            key = tuple(
+                None if row[n] is None else repr(row[n]) for n in names
+            )
+            if key in seen:
+                duplicates += 1
+            else:
+                seen.add(key)
+        if duplicates:
+            out[table.name] = duplicates
+    return out

@@ -1,0 +1,81 @@
+"""Primary-relation identification (Sec. 5, Heuristic 2).
+
+Life science databases hold one major class of objects with annotations
+around it; inter-database links target its *primary relation*.  The paper's
+two-step rule:
+
+1. a primary relation must contain an accession-number candidate
+   (Heuristic 1, :mod:`repro.discovery.accession`);
+2. among those tables, the primary relation is the one whose attributes are
+   referenced by the *most* satisfied INDs.
+
+On BioSQL this picks ``sg_bioentry`` unambiguously; on OpenMMS it produces a
+three-way shortlist (``exptl``, ``struct``, ``struct_keywords``) that a human
+resolves — both outcomes the benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ind import INDSet
+from repro.db.database import Database
+from repro.discovery.accession import (
+    AccessionProfile,
+    AccessionRule,
+    find_accession_candidates,
+)
+
+
+@dataclass
+class PrimaryRelationReport:
+    """Outcome of the two heuristics, with all intermediate evidence."""
+
+    accession_candidates: list[AccessionProfile]
+    #: tables holding at least one accession candidate → referencing-IND count
+    ind_counts: dict[str, int] = field(default_factory=dict)
+    #: tables with the maximal count (the shortlist a human would review)
+    shortlist: list[str] = field(default_factory=list)
+
+    @property
+    def primary_relation(self) -> str | None:
+        """The unambiguous winner, or ``None`` when the shortlist ties."""
+        if len(self.shortlist) == 1:
+            return self.shortlist[0]
+        return None
+
+    def ranked(self) -> list[tuple[str, int]]:
+        return sorted(
+            self.ind_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+
+
+def identify_primary_relation(
+    db: Database,
+    inds: INDSet,
+    rule: AccessionRule | None = None,
+    accession_candidates: list[AccessionProfile] | None = None,
+) -> PrimaryRelationReport:
+    """Apply Heuristics 1 and 2 and return the full evidence trail.
+
+    ``accession_candidates`` can be passed in when already computed (the
+    pipeline computes them once and reuses them here).
+    """
+    candidates = (
+        accession_candidates
+        if accession_candidates is not None
+        else find_accession_candidates(db, rule)
+    )
+    candidate_tables = sorted({profile.ref.table for profile in candidates})
+    ind_counts = {
+        table: len(inds.inds_into_table(table)) for table in candidate_tables
+    }
+    shortlist: list[str] = []
+    if ind_counts:
+        best = max(ind_counts.values())
+        shortlist = sorted(t for t, n in ind_counts.items() if n == best)
+    return PrimaryRelationReport(
+        accession_candidates=candidates,
+        ind_counts=ind_counts,
+        shortlist=shortlist,
+    )

@@ -1,0 +1,103 @@
+"""Range analysis against surrogate-key false positives (Sec. 5 future work).
+
+On OpenMMS the paper found "INDs between almost all of these ID attributes"
+because every surrogate key is a dense integer range starting at 1, and
+closes with: "One idea is to analyze the ranges of attributes."  This module
+implements that idea.
+
+An attribute is *surrogate-like* when it is integer-typed, its minimum is 0
+or 1, and its distinct values fill the range densely.  An IND both of whose
+sides are surrogate-like carries no evidence — any smaller dense range is a
+subset of any larger one — so it is filtered, **unless** lexical name
+affinity rescues it (``struct_ref ⊆ struct.struct_id`` is a real link even
+though both sides are dense ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ind import IND, INDSet
+from repro.db.schema import AttributeRef
+from repro.db.stats import ColumnStats
+from repro.db.types import DataType
+from repro.discovery.foreign_keys import _name_affinity
+
+
+@dataclass(frozen=True)
+class SurrogateProfile:
+    ref: AttributeRef
+    is_surrogate_like: bool
+    min_value: int | None = None
+    max_value: int | None = None
+    density: float = 0.0
+
+
+@dataclass
+class SurrogateFilterReport:
+    kept: INDSet = field(default_factory=INDSet)
+    filtered: INDSet = field(default_factory=INDSet)
+    rescued_by_name: list[IND] = field(default_factory=list)
+    profiles: dict[AttributeRef, SurrogateProfile] = field(default_factory=dict)
+
+    @property
+    def filtered_count(self) -> int:
+        return len(self.filtered)
+
+
+def profile_surrogate(
+    ref: AttributeRef,
+    stats: ColumnStats,
+    origin_values: tuple[int, ...] = (0, 1),
+    min_density: float = 0.9,
+) -> SurrogateProfile:
+    """Classify one attribute from its statistics.
+
+    Uses the *numeric* bounds of :class:`ColumnStats` — the rendered min/max
+    follow the paper's lexicographic order (``"99" > "150"``) and would
+    mis-measure the range.
+    """
+    if stats.dtype is not DataType.INTEGER:
+        return SurrogateProfile(ref, False)
+    if stats.numeric_min is None or stats.numeric_max is None:
+        return SurrogateProfile(ref, False)
+    lo = int(stats.numeric_min)
+    hi = int(stats.numeric_max)
+    span = hi - lo + 1
+    density = stats.distinct_count / span if span > 0 else 0.0
+    is_surrogate = lo in origin_values and density >= min_density
+    return SurrogateProfile(
+        ref, is_surrogate, min_value=lo, max_value=hi, density=round(density, 4)
+    )
+
+
+def filter_surrogate_inds(
+    inds: INDSet,
+    column_stats: dict[AttributeRef, ColumnStats],
+    origin_values: tuple[int, ...] = (0, 1),
+    min_density: float = 0.9,
+    rescue_by_name: bool = True,
+) -> SurrogateFilterReport:
+    """Remove INDs whose both sides are dense shared-origin integer ranges."""
+    report = SurrogateFilterReport()
+    for ind in inds:
+        profiles = []
+        for side in (ind.dependent, ind.referenced):
+            if side not in report.profiles:
+                report.profiles[side] = profile_surrogate(
+                    side,
+                    column_stats[side],
+                    origin_values=origin_values,
+                    min_density=min_density,
+                )
+            profiles.append(report.profiles[side])
+        dep_profile, ref_profile = profiles
+        if dep_profile.is_surrogate_like and ref_profile.is_surrogate_like:
+            if rescue_by_name and _name_affinity(ind.dependent, ind.referenced) >= 0.7:
+                report.rescued_by_name.append(ind)
+                report.kept.add(ind)
+            else:
+                report.filtered.add(ind)
+        else:
+            report.kept.add(ind)
+    return report

@@ -1,0 +1,19 @@
+"""SQL substrate: the in-process stand-in for the paper's commercial RDBMS.
+
+Supports exactly the dialect fragment the paper's three IND statements use
+(Figures 2-4): SELECT / DISTINCT / JOIN ... ON / WHERE / ``MINUS`` /
+``NOT IN`` / ``IS [NOT] NULL`` / ``ROWNUM`` / ``TO_CHAR`` / ``COUNT`` /
+``ORDER BY`` / optimizer hints (parsed, recorded, and — faithfully to the
+paper's observations — ignored).
+
+The executor **materialises every query block before applying ROWNUM**.
+That is the behaviour Bauckmann et al. measured on their RDBMS ("the rownum
+function obviously is not merged with the inner queries during query
+rewriting", Sec. 2.2) and it is what makes the ``minus``/``not in`` early-stop
+attempts ineffective.  This is a modelling decision, not an accident; see
+DESIGN.md §2.
+"""
+
+from repro.sql.engine import ExecStats, SqlEngine, SqlResult
+
+__all__ = ["ExecStats", "SqlEngine", "SqlResult"]

@@ -1,0 +1,164 @@
+"""AST node definitions for the supported SQL fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# --------------------------------------------------------------- expressions
+@dataclass(frozen=True)
+class ColumnRef:
+    """``name`` or ``qualifier.name`` (qualifier = table name or alias)."""
+
+    qualifier: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RowNum:
+    """Oracle's ROWNUM pseudo-column."""
+
+    def __str__(self) -> str:
+        return "ROWNUM"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # upper-case: COUNT, TO_CHAR
+    args: tuple["Expr", ...]
+    star: bool = False  # COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # = < > <= >= <>
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # AND | OR
+    operands: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(f"({o})" for o in self.operands)
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expr"
+    negated: bool
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {suffix}"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    operand: "Expr"
+    query: "Query"
+    negated: bool
+
+    def __str__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"{self.operand} {keyword} (<subquery>)"
+
+
+Expr = Union[
+    ColumnRef, Literal, RowNum, FuncCall, Comparison, BoolOp, NotOp, IsNull, InSubquery
+]
+
+
+# ---------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class StarItem:
+    """A bare ``*`` in the select list."""
+
+
+@dataclass(frozen=True)
+class FromTable:
+    name: str
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class FromSubquery:
+    query: "Query"
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class Join:
+    left: "FromItem"
+    right: "FromItem"
+    on: Expr
+
+
+FromItem = Union[FromTable, FromSubquery, Join]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    # Either a 1-based output-column position (ORDER BY 1) or an expression.
+    position: int | None
+    expr: Expr | None
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem | StarItem, ...]
+    from_item: FromItem
+    where: Expr | None = None
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    hints: tuple[str, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class SetOpStmt:
+    op: str  # MINUS | UNION | UNION ALL | INTERSECT
+    left: "Query"
+    right: "Query"
+    order_by: tuple[OrderItem, ...] = ()
+
+
+Query = Union[SelectStmt, SetOpStmt]

@@ -1,0 +1,61 @@
+"""The SQL engine facade: parse → plan → execute with instrumentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.errors import SqlExecutionError
+from repro.sql.operators import ExecStats
+from repro.sql.parser import parse
+from repro.sql.planner import count_hints, plan_query
+
+__all__ = ["ExecStats", "SqlEngine", "SqlResult"]
+
+
+@dataclass
+class SqlResult:
+    """Result of one statement: column names, rows, and that run's counters."""
+
+    columns: list[str]
+    rows: list[tuple]
+    stats: ExecStats
+
+    def scalar(self) -> object:
+        """The single value of a 1×1 result (e.g. ``SELECT COUNT(*) ...``)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} row(s) x "
+                f"{len(self.columns)} column(s)"
+            )
+        return self.rows[0][0]
+
+
+class SqlEngine:
+    """Executes SQL statements against a :class:`~repro.db.database.Database`.
+
+    The engine keeps cumulative :class:`ExecStats` across statements (the
+    benchmarks report how many tuples the SQL approaches ground through), and
+    every :class:`SqlResult` additionally carries the per-statement counters.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.total_stats = ExecStats()
+
+    def execute(self, sql: str) -> SqlResult:
+        query = parse(sql)
+        run_stats = ExecStats()
+        run_stats.statements = 1
+        run_stats.hints_ignored = count_hints(query)
+        plan = plan_query(query, self.db)
+        relation = plan.execute(run_stats)
+        self.total_stats.merge(run_stats)
+        return SqlResult(
+            columns=relation.column_names,
+            rows=relation.rows,
+            stats=run_stats,
+        )
+
+    def scalar(self, sql: str) -> object:
+        return self.execute(sql).scalar()

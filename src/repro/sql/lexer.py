@@ -1,0 +1,152 @@
+"""Tokenizer for the supported SQL fragment.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Identifiers and keywords are case-insensitive (folded to upper for keywords,
+lower for identifiers, matching how this project names tables).  Optimizer
+hints (``/*+ ... */``) become HINT tokens so the engine can *record* that a
+hint was given and ignore it — which is precisely what the paper observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlLexError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "JOIN", "INNER", "ON",
+        "AND", "OR", "NOT", "IN", "IS", "NULL",
+        "MINUS", "UNION", "INTERSECT", "ALL", "AS",
+        "ORDER", "BY", "ASC", "DESC", "ROWNUM",
+    }
+)
+
+_SIMPLE_TOKENS = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    "*": "STAR",
+    "=": "EQ",
+    "+": "PLUS",
+    "-": "MINUSOP",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, HINT, EQ, LT, ... , EOF
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlLexError` on unknown input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- line comment
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # /*+ hint */ and /* comment */
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlLexError(f"unterminated comment at offset {i}")
+            body = sql[i + 2 : end]
+            if body.startswith("+"):
+                tokens.append(Token("HINT", body[1:].strip(), i))
+            i = end + 2
+            continue
+        if ch == "'":
+            text, i = _lex_string(sql, i)
+            tokens.append(Token("STRING", text, i))
+            continue
+        if ch.isdigit():
+            text, kind, i = _lex_number(sql, i)
+            tokens.append(Token(kind, text, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word.lower(), start))
+            continue
+        if sql.startswith("<=", i):
+            tokens.append(Token("LE", "<=", i))
+            i += 2
+            continue
+        if sql.startswith(">=", i):
+            tokens.append(Token("GE", ">=", i))
+            i += 2
+            continue
+        if sql.startswith("<>", i):
+            tokens.append(Token("NE", "<>", i))
+            i += 2
+            continue
+        if sql.startswith("!=", i):
+            tokens.append(Token("NE", "!=", i))
+            i += 2
+            continue
+        if ch == "<":
+            tokens.append(Token("LT", "<", i))
+            i += 1
+            continue
+        if ch == ">":
+            tokens.append(Token("GT", ">", i))
+            i += 1
+            continue
+        if ch in _SIMPLE_TOKENS:
+            tokens.append(Token(_SIMPLE_TOKENS[ch], ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _lex_string(sql: str, start: int) -> tuple[str, int]:
+    """Lex a single-quoted string with ``''`` as the escaped quote."""
+    out: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlLexError(f"unterminated string literal starting at offset {start}")
+
+
+def _lex_number(sql: str, start: int) -> tuple[str, str, int]:
+    i = start
+    n = len(sql)
+    while i < n and sql[i].isdigit():
+        i += 1
+    if i < n and sql[i] == "." and i + 1 < n and sql[i + 1].isdigit():
+        i += 1
+        while i < n and sql[i].isdigit():
+            i += 1
+        return sql[start:i], "FLOATNUM", i
+    return sql[start:i], "INTNUM", i

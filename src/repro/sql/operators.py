@@ -1,0 +1,602 @@
+"""Physical operators and expression evaluation for the SQL substrate.
+
+Design notes (both deliberate, see DESIGN.md §2):
+
+* **Materialising execution.**  Every operator consumes its child completely
+  before producing output.  In particular :class:`RowNumLimitOp` truncates an
+  already-materialised input — reproducing the paper's observation that the
+  ``rownum < 2`` trick does *not* stop the inner ``MINUS``/``NOT IN`` early.
+
+* **TO_CHAR comparison semantics.**  Values of different types compare via
+  their rendered strings (``144`` = ``'144'``), consistent with the codec used
+  by the external algorithms, so all five approaches agree on which INDs hold.
+
+SQL three-valued logic is represented as ``True`` / ``False`` / ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.table import Table
+from repro.errors import SqlExecutionError
+from repro.sql.ast_nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InSubquery,
+    IsNull,
+    Literal,
+    NotOp,
+    RowNum,
+)
+from repro.storage.codec import render_value
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated while executing one or more statements."""
+
+    statements: int = 0
+    rows_scanned: int = 0  # rows read from base tables
+    rows_materialized: int = 0  # rows produced by all operators combined
+    joins: int = 0
+    set_ops: int = 0
+    subqueries_materialized: int = 0
+    sorts: int = 0
+    hints_ignored: int = 0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.statements += other.statements
+        self.rows_scanned += other.rows_scanned
+        self.rows_materialized += other.rows_materialized
+        self.joins += other.joins
+        self.set_ops += other.set_ops
+        self.subqueries_materialized += other.subqueries_materialized
+        self.sorts += other.sorts
+        self.hints_ignored += other.hints_ignored
+
+
+@dataclass(frozen=True)
+class ColHeader:
+    name: str
+    qualifier: str | None
+
+
+@dataclass
+class Relation:
+    columns: list[ColHeader]
+    rows: list[tuple]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+# ------------------------------------------------------------ value semantics
+def _null_safe_key(row: tuple) -> tuple:
+    """Hashable key treating NULLs as equal (DISTINCT / set-op semantics)."""
+    return tuple(
+        ("null",) if v is None else ("val", render_value(v)) for v in row
+    )
+
+
+def sql_equal(a: Any, b: Any) -> bool | None:
+    """SQL ``=`` with TO_CHAR cross-type semantics; NULL yields UNKNOWN."""
+    if a is None or b is None:
+        return None
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a == b
+    return render_value(a) == render_value(b)
+
+
+def sql_less(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a < b
+    return render_value(a) < render_value(b)
+
+
+def sql_compare(op: str, a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    if op == "=":
+        return sql_equal(a, b)
+    if op == "<>":
+        eq = sql_equal(a, b)
+        return None if eq is None else not eq
+    if op == "<":
+        return sql_less(a, b)
+    if op == ">":
+        return sql_less(b, a)
+    if op == "<=":
+        return not sql_less(b, a)
+    if op == ">=":
+        return not sql_less(a, b)
+    raise SqlExecutionError(f"unsupported comparison operator {op!r}")
+
+
+# --------------------------------------------------------------- resolution
+class Resolver:
+    """Maps column references to row positions for one relation."""
+
+    def __init__(self, columns: list[ColHeader]) -> None:
+        self._by_name: dict[str, list[int]] = {}
+        self._by_qualified: dict[tuple[str, str], list[int]] = {}
+        for idx, col in enumerate(columns):
+            self._by_name.setdefault(col.name, []).append(idx)
+            if col.qualifier is not None:
+                self._by_qualified.setdefault(
+                    (col.qualifier, col.name), []
+                ).append(idx)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        if ref.qualifier is not None:
+            hits = self._by_qualified.get((ref.qualifier, ref.name), [])
+        else:
+            hits = self._by_name.get(ref.name, [])
+        if not hits:
+            raise SqlExecutionError(f"unknown column {ref}")
+        if len(hits) > 1:
+            raise SqlExecutionError(f"ambiguous column reference {ref}")
+        return hits[0]
+
+    def try_resolve(self, ref: ColumnRef) -> int | None:
+        try:
+            return self.resolve(ref)
+        except SqlExecutionError:
+            return None
+
+
+@dataclass
+class SubqueryValueSet:
+    """Materialised IN-subquery result: rendered values + NULL flag."""
+
+    rendered: set[str]
+    has_null: bool
+    is_empty: bool
+
+
+class Evaluator:
+    """Evaluates expressions against one row of a relation (3-valued logic)."""
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        subquery_sets: dict[int, SubqueryValueSet] | None = None,
+    ) -> None:
+        self._resolver = resolver
+        self._subquery_sets = subquery_sets or {}
+
+    def value(self, expr: Expr, row: tuple) -> Any:
+        """Evaluate a scalar expression; SQL NULL is Python ``None``."""
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return row[self._resolver.resolve(expr)]
+        if isinstance(expr, FuncCall):
+            if expr.name == "TO_CHAR":
+                if len(expr.args) != 1:
+                    raise SqlExecutionError("TO_CHAR takes exactly one argument")
+                inner = self.value(expr.args[0], row)
+                return None if inner is None else render_value(inner)
+            raise SqlExecutionError(
+                f"function {expr.name} is not valid in this context"
+            )
+        if isinstance(expr, RowNum):
+            raise SqlExecutionError(
+                "ROWNUM is only supported in top-level WHERE conjuncts"
+            )
+        # Predicates used as scalars (SELECT a = b) are not in the fragment.
+        truth = self.truth(expr, row)
+        return truth
+
+    def truth(self, expr: Expr, row: tuple) -> bool | None:
+        """Evaluate a predicate to TRUE/FALSE/UNKNOWN."""
+        if isinstance(expr, Comparison):
+            return sql_compare(
+                expr.op, self.value(expr.left, row), self.value(expr.right, row)
+            )
+        if isinstance(expr, BoolOp):
+            results = [self.truth(op, row) for op in expr.operands]
+            if expr.op == "AND":
+                if any(r is False for r in results):
+                    return False
+                if any(r is None for r in results):
+                    return None
+                return True
+            if any(r is True for r in results):
+                return True
+            if any(r is None for r in results):
+                return None
+            return False
+        if isinstance(expr, NotOp):
+            inner = self.truth(expr.operand, row)
+            return None if inner is None else not inner
+        if isinstance(expr, IsNull):
+            is_null = self.value(expr.operand, row) is None
+            return (not is_null) if expr.negated else is_null
+        if isinstance(expr, InSubquery):
+            return self._in_subquery(expr, row)
+        raise SqlExecutionError(f"expression {expr!r} is not a predicate")
+
+    def _in_subquery(self, expr: InSubquery, row: tuple) -> bool | None:
+        try:
+            values = self._subquery_sets[id(expr)]
+        except KeyError:
+            raise SqlExecutionError(
+                "IN subquery was not materialised before evaluation"
+            ) from None
+        operand = self.value(expr.operand, row)
+        # SQL 92 semantics: IN over the empty set is FALSE even for NULL.
+        if values.is_empty:
+            result: bool | None = False
+        elif operand is None:
+            result = None
+        elif render_value(operand) in values.rendered:
+            result = True
+        elif values.has_null:
+            # No match, but the set contains NULL: the comparison with that
+            # NULL is UNKNOWN, so the IN is UNKNOWN — the classic NOT IN trap.
+            result = None
+        else:
+            result = False
+        if expr.negated:
+            return None if result is None else not result
+        return result
+
+
+# ------------------------------------------------------------------ operators
+class Operator:
+    """Base class; subclasses implement :meth:`execute`."""
+
+    def execute(self, stats: ExecStats) -> Relation:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class TableScanOp(Operator):
+    table: Table
+    qualifier: str
+
+    def execute(self, stats: ExecStats) -> Relation:
+        columns = [
+            ColHeader(name, self.qualifier) for name in self.table.schema.column_names
+        ]
+        rows = [
+            tuple(row[name] for name in self.table.schema.column_names)
+            for row in self.table.rows()
+        ]
+        stats.rows_scanned += len(rows)
+        stats.rows_materialized += len(rows)
+        return Relation(columns, rows)
+
+
+@dataclass
+class SubqueryOp(Operator):
+    child: Operator
+    alias: str | None
+
+    def execute(self, stats: ExecStats) -> Relation:
+        stats.subqueries_materialized += 1
+        relation = self.child.execute(stats)
+        # A derived table hides the inner qualifiers behind its alias.
+        columns = [ColHeader(c.name, self.alias) for c in relation.columns]
+        return Relation(columns, relation.rows)
+
+
+@dataclass
+class HashJoinOp(Operator):
+    left: Operator
+    right: Operator
+    on: Expr
+
+    def execute(self, stats: ExecStats) -> Relation:
+        left_rel = self.left.execute(stats)
+        right_rel = self.right.execute(stats)
+        left_keys, right_keys, residual = self._split_condition(left_rel, right_rel)
+        stats.joins += 1
+        # Build on the right side, probe with the left (the planner does not
+        # reorder; candidate SQL always joins dep JOIN ref).
+        index: dict[tuple, list[tuple]] = {}
+        for row in right_rel.rows:
+            key = _join_key(row, right_keys)
+            if key is None:
+                continue
+            index.setdefault(key, []).append(row)
+        out_columns = left_rel.columns + right_rel.columns
+        out_rows: list[tuple] = []
+        residual_eval: Evaluator | None = None
+        if residual is not None:
+            residual_eval = Evaluator(Resolver(out_columns))
+        for row in left_rel.rows:
+            key = _join_key(row, left_keys)
+            if key is None:
+                continue
+            for match in index.get(key, ()):
+                combined = row + match
+                if residual_eval is not None:
+                    if residual_eval.truth(residual, combined) is not True:
+                        continue
+                out_rows.append(combined)
+        stats.rows_materialized += len(out_rows)
+        return Relation(out_columns, out_rows)
+
+    def _split_condition(
+        self, left_rel: Relation, right_rel: Relation
+    ) -> tuple[list[int], list[int], Expr | None]:
+        """Extract equi-join key positions from the ON condition."""
+        conjuncts = split_conjuncts(self.on)
+        left_resolver = Resolver(left_rel.columns)
+        right_resolver = Resolver(right_rel.columns)
+        left_keys: list[int] = []
+        right_keys: list[int] = []
+        residual: list[Expr] = []
+        for conj in conjuncts:
+            pair = self._equi_pair(conj, left_resolver, right_resolver)
+            if pair is None:
+                residual.append(conj)
+            else:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+        if not left_keys:
+            raise SqlExecutionError(
+                "JOIN requires at least one equi-join condition"
+            )
+        if not residual:
+            return left_keys, right_keys, None
+        if len(residual) == 1:
+            return left_keys, right_keys, residual[0]
+        return left_keys, right_keys, BoolOp(op="AND", operands=tuple(residual))
+
+    @staticmethod
+    def _equi_pair(
+        conj: Expr, left: Resolver, right: Resolver
+    ) -> tuple[int, int] | None:
+        if not isinstance(conj, Comparison) or conj.op != "=":
+            return None
+        if not isinstance(conj.left, ColumnRef) or not isinstance(
+            conj.right, ColumnRef
+        ):
+            return None
+        l_idx, r_idx = left.try_resolve(conj.left), right.try_resolve(conj.right)
+        if l_idx is not None and r_idx is not None:
+            return l_idx, r_idx
+        l_idx, r_idx = left.try_resolve(conj.right), right.try_resolve(conj.left)
+        if l_idx is not None and r_idx is not None:
+            return l_idx, r_idx
+        return None
+
+
+def _join_key(row: tuple, positions: list[int]) -> tuple | None:
+    """Rendered join key; ``None`` when any key column is NULL (no match)."""
+    key = []
+    for pos in positions:
+        value = row[pos]
+        if value is None:
+            return None
+        key.append(render_value(value))
+    return tuple(key)
+
+
+@dataclass
+class FilterOp(Operator):
+    child: Operator
+    predicate: Expr
+    subquery_plans: dict[int, Operator] = field(default_factory=dict)
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        subquery_sets: dict[int, SubqueryValueSet] = {}
+        for key, plan in self.subquery_plans.items():
+            sub_rel = plan.execute(stats)
+            stats.subqueries_materialized += 1
+            if len(sub_rel.columns) != 1:
+                raise SqlExecutionError("IN subquery must produce one column")
+            rendered: set[str] = set()
+            has_null = False
+            for row in sub_rel.rows:
+                if row[0] is None:
+                    has_null = True
+                else:
+                    rendered.add(render_value(row[0]))
+            subquery_sets[key] = SubqueryValueSet(
+                rendered=rendered,
+                has_null=has_null,
+                is_empty=not sub_rel.rows,
+            )
+        evaluator = Evaluator(Resolver(relation.columns), subquery_sets)
+        rows = [
+            row for row in relation.rows
+            if evaluator.truth(self.predicate, row) is True
+        ]
+        stats.rows_materialized += len(rows)
+        return Relation(relation.columns, rows)
+
+
+@dataclass
+class RowNumLimitOp(Operator):
+    """Oracle ROWNUM semantics applied to a fully materialised child.
+
+    The child has already done all of its work by the time the limit applies;
+    this models the paper's finding that the ``rownum`` filter is not merged
+    into the inner query.
+    """
+
+    child: Operator
+    limit: int
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        rows = relation.rows[: self.limit]
+        stats.rows_materialized += len(rows)
+        return Relation(relation.columns, rows)
+
+
+@dataclass
+class ProjectOp(Operator):
+    child: Operator
+    items: list[tuple[Expr, str]]  # (expression, output name)
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        evaluator = Evaluator(Resolver(relation.columns))
+        columns = [ColHeader(name, None) for _, name in self.items]
+        rows = [
+            tuple(evaluator.value(expr, row) for expr, _ in self.items)
+            for row in relation.rows
+        ]
+        stats.rows_materialized += len(rows)
+        return Relation(columns, rows)
+
+
+@dataclass
+class AggregateCountOp(Operator):
+    child: Operator
+    items: list[tuple[FuncCall, str]]  # COUNT calls with output names
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        evaluator = Evaluator(Resolver(relation.columns))
+        values: list[int] = []
+        for call, _ in self.items:
+            if call.star:
+                values.append(len(relation.rows))
+            else:
+                if len(call.args) != 1:
+                    raise SqlExecutionError("COUNT takes exactly one argument")
+                arg = call.args[0]
+                values.append(
+                    sum(
+                        1 for row in relation.rows
+                        if evaluator.value(arg, row) is not None
+                    )
+                )
+        columns = [ColHeader(name, None) for _, name in self.items]
+        stats.rows_materialized += 1
+        return Relation(columns, [tuple(values)])
+
+
+@dataclass
+class DistinctOp(Operator):
+    child: Operator
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        seen: set[tuple] = set()
+        rows: list[tuple] = []
+        for row in relation.rows:
+            key = _null_safe_key(row)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        stats.rows_materialized += len(rows)
+        return Relation(relation.columns, rows)
+
+
+@dataclass
+class SetOp(Operator):
+    """MINUS / UNION / UNION ALL / INTERSECT with SQL set semantics."""
+
+    op: str
+    left: Operator
+    right: Operator
+
+    def execute(self, stats: ExecStats) -> Relation:
+        left_rel = self.left.execute(stats)
+        right_rel = self.right.execute(stats)
+        if len(left_rel.columns) != len(right_rel.columns):
+            raise SqlExecutionError(
+                f"{self.op}: operands have different column counts"
+            )
+        stats.set_ops += 1
+        if self.op == "UNION ALL":
+            rows = left_rel.rows + right_rel.rows
+        elif self.op == "UNION":
+            rows = _dedupe(left_rel.rows + right_rel.rows)
+        elif self.op == "MINUS":
+            right_keys = {_null_safe_key(r) for r in right_rel.rows}
+            rows = [
+                r for r in _dedupe(left_rel.rows)
+                if _null_safe_key(r) not in right_keys
+            ]
+        elif self.op == "INTERSECT":
+            right_keys = {_null_safe_key(r) for r in right_rel.rows}
+            rows = [
+                r for r in _dedupe(left_rel.rows)
+                if _null_safe_key(r) in right_keys
+            ]
+        else:
+            raise SqlExecutionError(f"unsupported set operation {self.op!r}")
+        stats.rows_materialized += len(rows)
+        return Relation(left_rel.columns, rows)
+
+
+@dataclass
+class SortOp(Operator):
+    """ORDER BY over the output relation (positional or by output column name)."""
+
+    child: Operator
+    order_items: list  # list[OrderItem]; resolved against the child's output
+
+    def execute(self, stats: ExecStats) -> Relation:
+        relation = self.child.execute(stats)
+        stats.sorts += 1
+        keys = [
+            (self._position(item, relation), item.ascending)
+            for item in self.order_items
+        ]
+        rows = relation.rows
+        # Stable sort applied per key, last key first.
+        for position, ascending in reversed(keys):
+            rows = sorted(
+                rows, key=lambda r: _sort_key(r[position]), reverse=not ascending
+            )
+        stats.rows_materialized += len(rows)
+        return Relation(relation.columns, rows)
+
+    @staticmethod
+    def _position(item: Any, relation: Relation) -> int:
+        if item.position is not None:
+            if not 1 <= item.position <= len(relation.columns):
+                raise SqlExecutionError(
+                    f"ORDER BY position {item.position} is out of range"
+                )
+            return item.position - 1
+        if isinstance(item.expr, ColumnRef):
+            return Resolver(relation.columns).resolve(item.expr)
+        raise SqlExecutionError(
+            "ORDER BY supports output positions and column names only"
+        )
+
+
+def _sort_key(value: Any) -> tuple:
+    """NULLS LAST, remaining values in rendered (code-point) order."""
+    if value is None:
+        return (1, "")
+    return (0, render_value(value))
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for row in rows:
+        key = _null_safe_key(row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [expr]

@@ -1,0 +1,341 @@
+"""Recursive-descent parser for the supported SQL fragment.
+
+Grammar (informal; case-insensitive keywords):
+
+    query       := select { (MINUS | UNION [ALL] | INTERSECT) select }
+                   [ORDER BY order_list]
+    select      := SELECT [HINT] [DISTINCT] select_list FROM from_item
+                   [WHERE expr]
+    select_list := '*' | item { ',' item }
+    item        := expr [[AS] IDENT]
+    from_item   := from_primary { [INNER] JOIN from_primary ON expr }
+    from_primary:= IDENT [IDENT] | '(' query ')' [IDENT] | '(' from_item ')'
+    expr        := and_expr { OR and_expr }
+    and_expr    := not_expr { AND not_expr }
+    not_expr    := [NOT] predicate
+    predicate   := operand [ cmp_op operand
+                           | IS [NOT] NULL
+                           | [NOT] IN '(' query ')' ]
+    operand     := NUMBER | STRING | ROWNUM | NULL
+                 | IDENT '(' ( '*' | expr {',' expr} ) ')'
+                 | IDENT ['.' IDENT] | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlParseError
+from repro.sql.ast_nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FromItem,
+    FromSubquery,
+    FromTable,
+    FuncCall,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    NotOp,
+    OrderItem,
+    Query,
+    RowNum,
+    SelectItem,
+    SelectStmt,
+    SetOpStmt,
+    StarItem,
+)
+from repro.sql.lexer import Token, tokenize
+
+_CMP_TOKENS = {"EQ": "=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">=", "NE": "<>"}
+_SUPPORTED_FUNCTIONS = {"COUNT", "TO_CHAR"}
+
+
+def parse(sql: str) -> Query:
+    """Parse one SQL statement into its AST."""
+    return _Parser(tokenize(sql), sql).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._pos = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.text in words
+
+    def _accept_keyword(self, *words: str) -> Token | None:
+        if self._check_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._accept_keyword(word)
+        if token is None:
+            raise self._error(f"expected {word}")
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise self._error(f"expected {kind}")
+        return self._advance()
+
+    def _error(self, message: str) -> SqlParseError:
+        token = self._peek()
+        found = token.text or "<end of input>"
+        return SqlParseError(
+            f"{message}, found {found!r} at offset {token.pos} in: {self._sql!r}"
+        )
+
+    # ------------------------------------------------------------ statements
+    def parse_statement(self) -> Query:
+        query = self._parse_query()
+        if self._peek().kind != "EOF":
+            raise self._error("unexpected trailing input")
+        return query
+
+    def _parse_query(self) -> Query:
+        query: Query = self._parse_select()
+        while self._check_keyword("MINUS", "UNION", "INTERSECT"):
+            op_token = self._advance()
+            op = op_token.text
+            if op == "UNION" and self._accept_keyword("ALL"):
+                op = "UNION ALL"
+            right = self._parse_select()
+            query = SetOpStmt(op=op, left=query, right=right)
+        order_by = self._parse_order_by()
+        if order_by:
+            if isinstance(query, SelectStmt):
+                query = SelectStmt(
+                    items=query.items,
+                    from_item=query.from_item,
+                    where=query.where,
+                    distinct=query.distinct,
+                    order_by=order_by,
+                    hints=query.hints,
+                )
+            else:
+                query = SetOpStmt(
+                    op=query.op, left=query.left, right=query.right, order_by=order_by
+                )
+        return query
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        hints: list[str] = []
+        while self._peek().kind == "HINT":
+            hints.append(self._advance().text)
+        distinct = self._accept_keyword("DISTINCT") is not None
+        items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        from_item = self._parse_from_item()
+        where: Expr | None = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+        return SelectStmt(
+            items=tuple(items),
+            from_item=from_item,
+            where=where,
+            distinct=distinct,
+            hints=tuple(hints),
+        )
+
+    def _parse_order_by(self) -> tuple[OrderItem, ...]:
+        if not self._accept_keyword("ORDER"):
+            return ()
+        self._expect_keyword("BY")
+        items: list[OrderItem] = []
+        while True:
+            if self._peek().kind == "INTNUM":
+                position = int(self._advance().text)
+                item = OrderItem(position=position, expr=None)
+            else:
+                item = OrderItem(position=None, expr=self._parse_expr())
+            ascending = True
+            if self._accept_keyword("DESC"):
+                ascending = False
+            else:
+                self._accept_keyword("ASC")
+            items.append(
+                OrderItem(position=item.position, expr=item.expr, ascending=ascending)
+            )
+            if self._peek().kind != "COMMA":
+                break
+            self._advance()
+        return tuple(items)
+
+    def _parse_select_list(self) -> list[SelectItem | StarItem]:
+        if self._peek().kind == "STAR":
+            self._advance()
+            return [StarItem()]
+        items: list[SelectItem | StarItem] = []
+        while True:
+            expr = self._parse_expr()
+            alias: str | None = None
+            if self._accept_keyword("AS"):
+                alias = self._expect("IDENT").text
+            elif self._peek().kind == "IDENT":
+                alias = self._advance().text
+            items.append(SelectItem(expr=expr, alias=alias))
+            if self._peek().kind != "COMMA":
+                break
+            self._advance()
+        return items
+
+    # ------------------------------------------------------------------ FROM
+    def _parse_from_item(self) -> FromItem:
+        item = self._parse_from_primary()
+        while self._check_keyword("JOIN", "INNER"):
+            self._accept_keyword("INNER")
+            self._expect_keyword("JOIN")
+            right = self._parse_from_primary()
+            self._expect_keyword("ON")
+            on = self._parse_expr()
+            item = Join(left=item, right=right, on=on)
+        return item
+
+    def _parse_from_primary(self) -> FromItem:
+        token = self._peek()
+        if token.kind == "IDENT":
+            name = self._advance().text
+            alias = None
+            if self._peek().kind == "IDENT":
+                alias = self._advance().text
+            return FromTable(name=name, alias=alias)
+        if token.kind == "LPAREN":
+            self._advance()
+            if self._check_keyword("SELECT"):
+                query = self._parse_query()
+                self._expect("RPAREN")
+                alias = None
+                if self._peek().kind == "IDENT":
+                    alias = self._advance().text
+                return FromSubquery(query=query, alias=alias)
+            inner = self._parse_from_item()
+            self._expect("RPAREN")
+            return inner
+        raise self._error("expected table name or subquery in FROM")
+
+    # ----------------------------------------------------------- expressions
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp(op="OR", operands=tuple(operands))
+
+    def _parse_and(self) -> Expr:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp(op="AND", operands=tuple(operands))
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return NotOp(operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_operand()
+        token = self._peek()
+        if token.kind in _CMP_TOKENS:
+            self._advance()
+            right = self._parse_operand()
+            return Comparison(op=_CMP_TOKENS[token.kind], left=left, right=right)
+        if self._check_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return IsNull(operand=left, negated=negated)
+        if self._check_keyword("NOT"):
+            # lookahead: NOT IN
+            saved = self._pos
+            self._advance()
+            if self._check_keyword("IN"):
+                self._advance()
+                return self._parse_in_tail(left, negated=True)
+            self._pos = saved
+            raise self._error("expected IN after NOT")
+        if self._check_keyword("IN"):
+            self._advance()
+            return self._parse_in_tail(left, negated=False)
+        return left
+
+    def _parse_in_tail(self, left: Expr, negated: bool) -> Expr:
+        self._expect("LPAREN")
+        if not self._check_keyword("SELECT"):
+            raise self._error("only IN (subquery) is supported")
+        query = self._parse_query()
+        self._expect("RPAREN")
+        return InSubquery(operand=left, query=query, negated=negated)
+
+    def _parse_operand(self) -> Expr:
+        token = self._peek()
+        if token.kind == "INTNUM":
+            self._advance()
+            return Literal(int(token.text))
+        if token.kind == "FLOATNUM":
+            self._advance()
+            return Literal(float(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "KEYWORD" and token.text == "ROWNUM":
+            self._advance()
+            return RowNum()
+        if token.kind == "KEYWORD" and token.text == "NULL":
+            self._advance()
+            return Literal(None)
+        if token.kind == "LPAREN":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect("RPAREN")
+            return expr
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if self._peek().kind == "LPAREN":
+                return self._parse_func_call(name)
+            if self._peek().kind == "DOT":
+                self._advance()
+                column = self._expect("IDENT").text
+                return ColumnRef(qualifier=name, name=column)
+            return ColumnRef(qualifier=None, name=name)
+        raise self._error("expected expression")
+
+    def _parse_func_call(self, name: str) -> Expr:
+        upper = name.upper()
+        if upper not in _SUPPORTED_FUNCTIONS:
+            raise self._error(f"unsupported function {name!r}")
+        self._expect("LPAREN")
+        if self._peek().kind == "STAR":
+            self._advance()
+            self._expect("RPAREN")
+            if upper != "COUNT":
+                raise self._error(f"{name}(*) is not valid")
+            return FuncCall(name=upper, args=(), star=True)
+        args = [self._parse_expr()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            args.append(self._parse_expr())
+        self._expect("RPAREN")
+        return FuncCall(name=upper, args=tuple(args))

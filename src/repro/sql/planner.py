@@ -1,0 +1,244 @@
+"""Translation of parsed queries into physical operator trees."""
+
+from __future__ import annotations
+
+import math
+
+from repro.db.database import Database
+from repro.errors import CatalogError, SqlPlanError
+from repro.sql.ast_nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FromItem,
+    FromSubquery,
+    FromTable,
+    FuncCall,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    NotOp,
+    Query,
+    RowNum,
+    SelectItem,
+    SelectStmt,
+    SetOpStmt,
+    StarItem,
+)
+from repro.sql.operators import (
+    AggregateCountOp,
+    DistinctOp,
+    FilterOp,
+    HashJoinOp,
+    Operator,
+    ProjectOp,
+    RowNumLimitOp,
+    SetOp,
+    SortOp,
+    SubqueryOp,
+    TableScanOp,
+    split_conjuncts,
+)
+
+_UNLIMITED = math.inf
+
+
+def plan_query(query: Query, db: Database) -> Operator:
+    """Build the physical plan for a parsed query."""
+    if isinstance(query, SetOpStmt):
+        plan: Operator = SetOp(
+            op=query.op,
+            left=plan_query(_strip_order(query.left), db),
+            right=plan_query(_strip_order(query.right), db),
+        )
+        if query.order_by:
+            plan = SortOp(plan, list(query.order_by))
+        return plan
+    return _plan_select(query, db)
+
+
+def _strip_order(query: Query) -> Query:
+    return query
+
+
+def _plan_select(stmt: SelectStmt, db: Database) -> Operator:
+    plan = _plan_from(stmt.from_item, db)
+    if stmt.where is not None:
+        plan = _plan_where(plan, stmt.where, db)
+    plan = _plan_select_list(plan, list(stmt.items), db)
+    if stmt.distinct:
+        plan = DistinctOp(plan)
+    if stmt.order_by:
+        plan = SortOp(plan, list(stmt.order_by))
+    return plan
+
+
+def _plan_from(item: FromItem, db: Database) -> Operator:
+    if isinstance(item, FromTable):
+        try:
+            table = db.table(item.name)
+        except CatalogError as exc:
+            raise SqlPlanError(str(exc)) from exc
+        return TableScanOp(table=table, qualifier=item.alias or item.name)
+    if isinstance(item, FromSubquery):
+        return SubqueryOp(child=plan_query(item.query, db), alias=item.alias)
+    if isinstance(item, Join):
+        return HashJoinOp(
+            left=_plan_from(item.left, db),
+            right=_plan_from(item.right, db),
+            on=item.on,
+        )
+    raise SqlPlanError(f"unsupported FROM item {item!r}")
+
+
+# ----------------------------------------------------------------- WHERE
+def _plan_where(plan: Operator, where: Expr, db: Database) -> Operator:
+    """Split ROWNUM conjuncts from the rest; apply filter, then the limit.
+
+    Applying the limit *after* the (materialising) filter mirrors the RDBMS
+    behaviour the paper measured: the rownum predicate never stops the inner
+    work early.
+    """
+    conjuncts = split_conjuncts(where)
+    normal: list[Expr] = []
+    limit = _UNLIMITED
+    for conj in conjuncts:
+        if _mentions_rownum(conj):
+            limit = min(limit, _rownum_limit(conj))
+        else:
+            normal.append(conj)
+    if normal:
+        predicate = normal[0] if len(normal) == 1 else BoolOp("AND", tuple(normal))
+        subquery_plans = {
+            id(node): plan_query(node.query, db)
+            for node in _collect_in_subqueries(predicate)
+        }
+        plan = FilterOp(plan, predicate, subquery_plans)
+    if limit is not _UNLIMITED:
+        plan = RowNumLimitOp(plan, int(limit))
+    return plan
+
+
+def _mentions_rownum(expr: Expr) -> bool:
+    if isinstance(expr, RowNum):
+        return True
+    if isinstance(expr, Comparison):
+        return _mentions_rownum(expr.left) or _mentions_rownum(expr.right)
+    if isinstance(expr, BoolOp):
+        return any(_mentions_rownum(op) for op in expr.operands)
+    if isinstance(expr, NotOp):
+        return _mentions_rownum(expr.operand)
+    if isinstance(expr, (IsNull, InSubquery)):
+        return _mentions_rownum(expr.operand)
+    return False
+
+
+def _rownum_limit(conj: Expr) -> float:
+    """Translate a ``ROWNUM <op> k`` conjunct into a row limit.
+
+    Implements Oracle's famously asymmetric semantics: ``ROWNUM < k`` and
+    ``ROWNUM <= k`` limit the result, ``ROWNUM = 1`` keeps one row, while
+    ``ROWNUM > k`` for any k >= 1 can never be satisfied (the first candidate
+    row would get rownum 1, fail the test, and the counter never advances).
+    """
+    if not isinstance(conj, Comparison):
+        raise SqlPlanError(
+            "ROWNUM may only appear in simple comparison conjuncts"
+        )
+    op, bound = conj.op, conj.right
+    if isinstance(conj.left, RowNum) and isinstance(bound, Literal):
+        pass
+    elif isinstance(conj.right, RowNum) and isinstance(conj.left, Literal):
+        bound = conj.left
+        op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(conj.op, conj.op)
+    else:
+        raise SqlPlanError("ROWNUM must be compared against a literal")
+    if not isinstance(bound.value, (int, float)):
+        raise SqlPlanError("ROWNUM must be compared against a number")
+    k = bound.value
+    if op == "<":
+        return max(0, math.ceil(k) - 1)
+    if op == "<=":
+        return max(0, math.floor(k))
+    if op == "=":
+        return 1 if k == 1 else 0
+    if op == ">":
+        return _UNLIMITED if k < 1 else 0
+    if op == ">=":
+        return _UNLIMITED if k <= 1 else 0
+    raise SqlPlanError(f"unsupported ROWNUM comparison {op!r}")
+
+
+def _collect_in_subqueries(expr: Expr) -> list[InSubquery]:
+    out: list[InSubquery] = []
+    if isinstance(expr, InSubquery):
+        out.append(expr)
+        return out
+    if isinstance(expr, BoolOp):
+        for operand in expr.operands:
+            out.extend(_collect_in_subqueries(operand))
+    elif isinstance(expr, NotOp):
+        out.extend(_collect_in_subqueries(expr.operand))
+    elif isinstance(expr, Comparison):
+        out.extend(_collect_in_subqueries(expr.left))
+        out.extend(_collect_in_subqueries(expr.right))
+    return out
+
+
+# ------------------------------------------------------------- SELECT list
+def _plan_select_list(
+    plan: Operator, items: list[SelectItem | StarItem], db: Database
+) -> Operator:
+    if len(items) == 1 and isinstance(items[0], StarItem):
+        return plan
+    if any(isinstance(item, StarItem) for item in items):
+        raise SqlPlanError("'*' cannot be mixed with other select items")
+    select_items = [item for item in items if isinstance(item, SelectItem)]
+    counts = [
+        item for item in select_items
+        if isinstance(item.expr, FuncCall) and item.expr.name == "COUNT"
+    ]
+    if counts:
+        if len(counts) != len(select_items):
+            raise SqlPlanError(
+                "COUNT cannot be mixed with non-aggregate select items"
+            )
+        return AggregateCountOp(
+            plan,
+            [(item.expr, _output_name(item)) for item in counts],
+        )
+    return ProjectOp(
+        plan,
+        [(item.expr, _output_name(item)) for item in select_items],
+    )
+
+
+def _output_name(item: SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name
+    return str(item.expr).lower()
+
+
+def count_hints(query: Query) -> int:
+    """Number of optimizer hints in the statement (recorded, then ignored)."""
+    if isinstance(query, SetOpStmt):
+        return count_hints(query.left) + count_hints(query.right)
+    total = len(query.hints)
+    total += _hints_in_from(query.from_item)
+    if query.where is not None:
+        total += sum(
+            count_hints(node.query) for node in _collect_in_subqueries(query.where)
+        )
+    return total
+
+
+def _hints_in_from(item: FromItem) -> int:
+    if isinstance(item, FromSubquery):
+        return count_hints(item.query)
+    if isinstance(item, Join):
+        return _hints_in_from(item.left) + _hints_in_from(item.right)
+    return 0

@@ -1,0 +1,42 @@
+"""Sorted value-set storage: the database-external half of the paper.
+
+The external algorithms (Sec. 3) operate on *sorted files of distinct
+attribute values* extracted once from the database.  This package provides:
+
+* :mod:`repro.storage.codec` — TO_CHAR-style value rendering and the escaped
+  line format of the spool files;
+* :mod:`repro.storage.external_sort` — bounded-memory external merge sort;
+* :mod:`repro.storage.sorted_sets` — one sorted, distinct value file per
+  attribute plus a JSON metadata sidecar;
+* :mod:`repro.storage.cursors` — forward cursors with item-read accounting
+  (the counters behind Figure 5);
+* :mod:`repro.storage.exporter` — extraction of a whole database into a
+  spool directory.
+"""
+
+from repro.storage.codec import escape_line, render_value, unescape_line
+from repro.storage.cursors import (
+    CountingCursor,
+    FileValueCursor,
+    IOStats,
+    MemoryValueCursor,
+    ValueCursor,
+)
+from repro.storage.exporter import export_database
+from repro.storage.external_sort import external_sort
+from repro.storage.sorted_sets import SortedValueFile, SpoolDirectory
+
+__all__ = [
+    "CountingCursor",
+    "FileValueCursor",
+    "IOStats",
+    "MemoryValueCursor",
+    "SortedValueFile",
+    "SpoolDirectory",
+    "ValueCursor",
+    "escape_line",
+    "export_database",
+    "external_sort",
+    "render_value",
+    "unescape_line",
+]

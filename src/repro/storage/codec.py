@@ -1,0 +1,101 @@
+"""Value rendering and the escaped line format of sorted value files.
+
+Two decisions from the paper are encoded here:
+
+* **TO_CHAR semantics.**  The ``minus`` SQL statement (Fig. 3) casts both
+  sides with ``to_char`` before comparing, and Sec. 4.1 notes that in the life
+  sciences "even attributes containing solely integers are represented as
+  string".  We therefore compare *rendered strings*: integer ``144`` and
+  string ``"144"`` are the same value for IND purposes.
+
+* **Lexicographic order.**  Sec. 3.2: "We can use lexicographic sorting for
+  all values including numeric values, because the actual order of values is
+  irrelevant as long as it is consistent over all sets."  Spool files are
+  sorted by plain Python string comparison (code-point order), which is a
+  total order and consistent everywhere.
+
+The escaped line format makes the newline-delimited spool files loss-free for
+arbitrary strings (including embedded newlines and backslashes).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SpoolError
+
+
+def render_value(value: Any) -> str:
+    """Render a stored value to its canonical comparison string.
+
+    NULLs never reach the spool files, so ``None`` is a programming error
+    here.  Floats with integral value render without a fractional part, as
+    ``TO_CHAR`` would (``1.0`` → ``"1"``); other floats use ``repr``, the
+    shortest round-tripping form.  Bytes (BLOB) render as lowercase hex —
+    BLOBs are excluded from candidates but still appear in statistics.
+    """
+    if value is None:
+        raise SpoolError("NULL values cannot be rendered into a value set")
+    if isinstance(value, bool):
+        raise SpoolError(f"boolean value {value!r} has no TO_CHAR rendering")
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, bytes):
+        return value.hex()
+    raise SpoolError(f"cannot render value of type {type(value).__name__}")
+
+
+def escape_line(text: str) -> str:
+    r"""Escape a rendered value so it occupies exactly one file line.
+
+    Backslash becomes ``\\``, newline ``\n``, carriage return ``\r``.  The
+    mapping is injective, so sorting escaped lines is *not* guaranteed to sort
+    the underlying values — which is why the spool writer sorts values first
+    and escapes second.
+    """
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\r")
+    )
+
+
+def unescape_line(line: str) -> str:
+    r"""Inverse of :func:`escape_line`."""
+    out: list[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise SpoolError(f"dangling escape at end of line: {line!r}")
+        nxt = line[i + 1]
+        if nxt == "\\":
+            out.append("\\")
+        elif nxt == "n":
+            out.append("\n")
+        elif nxt == "r":
+            out.append("\r")
+        else:
+            raise SpoolError(f"unknown escape sequence \\{nxt} in {line!r}")
+        i += 2
+    return "".join(out)
+
+
+def render_distinct_sorted(values: list[Any]) -> list[str]:
+    """Render a bag of non-NULL values into the sorted set ``s(a)``.
+
+    This is the in-memory path; :mod:`repro.storage.external_sort` provides
+    the bounded-memory path for sets that do not fit.
+    """
+    return sorted({render_value(v) for v in values})

@@ -1,0 +1,192 @@
+"""Forward value cursors with item-read accounting.
+
+Both external algorithms consume sorted value sets strictly front-to-back, so
+the cursor protocol is minimal: ``has_next`` / ``next_value`` / ``close``.
+Every ``next_value`` call increments the shared :class:`IOStats`, which is the
+measurement behind the paper's Figure 5 ("number of items read") and the
+open-file accounting behind Sec. 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, Iterator, Protocol
+
+from repro.errors import SpoolError
+from repro.storage.codec import unescape_line
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters shared by all cursors of one validation run."""
+
+    items_read: int = 0
+    files_opened: int = 0
+    open_files: int = 0
+    peak_open_files: int = 0
+    reads_per_attribute: dict[str, int] = field(default_factory=dict)
+
+    def record_open(self) -> None:
+        self.files_opened += 1
+        self.open_files += 1
+        if self.open_files > self.peak_open_files:
+            self.peak_open_files = self.open_files
+
+    def record_close(self) -> None:
+        if self.open_files > 0:
+            self.open_files -= 1
+
+    def record_read(self, label: str) -> None:
+        self.items_read += 1
+        self.reads_per_attribute[label] = self.reads_per_attribute.get(label, 0) + 1
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold another run's counters into this one (block-wise validation)."""
+        self.items_read += other.items_read
+        self.files_opened += other.files_opened
+        self.peak_open_files = max(self.peak_open_files, other.peak_open_files)
+        for label, count in other.reads_per_attribute.items():
+            self.reads_per_attribute[label] = (
+                self.reads_per_attribute.get(label, 0) + count
+            )
+
+
+class ValueCursor(Protocol):
+    """Forward-only cursor over a sorted set of rendered values."""
+
+    def has_next(self) -> bool: ...
+
+    def next_value(self) -> str: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryValueCursor:
+    """Cursor over an in-memory list of rendered values (tests, small sets)."""
+
+    def __init__(
+        self, values: list[str], stats: IOStats | None = None, label: str = "<memory>"
+    ) -> None:
+        self._values = values
+        self._pos = 0
+        self._stats = stats
+        self._label = label
+        if stats is not None:
+            stats.record_open()
+        self._closed = False
+
+    def has_next(self) -> bool:
+        return self._pos < len(self._values)
+
+    def next_value(self) -> str:
+        if self._closed:
+            raise SpoolError(f"cursor {self._label} used after close")
+        if self._pos >= len(self._values):
+            raise SpoolError(f"cursor {self._label} read past end")
+        value = self._values[self._pos]
+        self._pos += 1
+        if self._stats is not None:
+            self._stats.record_read(self._label)
+        return value
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._stats is not None:
+                self._stats.record_close()
+
+
+class FileValueCursor:
+    """Cursor over an escaped, newline-delimited sorted value file.
+
+    Reads lazily (one line ahead) so a refuted candidate never pays for the
+    rest of the file — the early-stop behaviour SQL could not express.
+    """
+
+    def __init__(
+        self, path: str, stats: IOStats | None = None, label: str | None = None
+    ) -> None:
+        self._label = label or path
+        self._stats = stats
+        try:
+            self._fh: IO[str] | None = open(path, encoding="utf-8")
+        except OSError as exc:
+            raise SpoolError(f"cannot open value file {path}: {exc}") from exc
+        if stats is not None:
+            stats.record_open()
+        self._buffered: str | None = None
+        self._exhausted = False
+        self._advance_buffer()
+
+    def _advance_buffer(self) -> None:
+        assert self._fh is not None
+        line = self._fh.readline()
+        if line == "":
+            self._buffered = None
+            self._exhausted = True
+        else:
+            self._buffered = unescape_line(line.rstrip("\n"))
+
+    def has_next(self) -> bool:
+        return not self._exhausted
+
+    def next_value(self) -> str:
+        if self._fh is None:
+            raise SpoolError(f"cursor {self._label} used after close")
+        if self._buffered is None:
+            raise SpoolError(f"cursor {self._label} read past end")
+        value = self._buffered
+        self._advance_buffer()
+        if self._stats is not None:
+            self._stats.record_read(self._label)
+        return value
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            if self._stats is not None:
+                self._stats.record_close()
+
+
+class CountingCursor:
+    """Adapter exposing any string iterator through the cursor protocol."""
+
+    def __init__(
+        self,
+        values: Iterator[str],
+        stats: IOStats | None = None,
+        label: str = "<iterator>",
+    ) -> None:
+        self._iter = iter(values)
+        self._stats = stats
+        self._label = label
+        if stats is not None:
+            stats.record_open()
+        self._buffered: str | None = None
+        self._exhausted = False
+        self._pull()
+
+    def _pull(self) -> None:
+        try:
+            self._buffered = next(self._iter)
+        except StopIteration:
+            self._buffered = None
+            self._exhausted = True
+
+    def has_next(self) -> bool:
+        return not self._exhausted
+
+    def next_value(self) -> str:
+        if self._buffered is None:
+            raise SpoolError(f"cursor {self._label} read past end")
+        value = self._buffered
+        self._pull()
+        if self._stats is not None:
+            self._stats.record_read(self._label)
+        return value
+
+    def close(self) -> None:
+        if self._stats is not None:
+            self._stats.record_close()
+            self._stats = None

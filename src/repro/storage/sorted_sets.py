@@ -1,0 +1,199 @@
+"""Sorted, distinct value files — one per attribute — and their directory.
+
+This is the paper's central data structure: "All value sets are extracted from
+the database and stored in sorted files" (Sec. 3.2).  A
+:class:`SpoolDirectory` holds one :class:`SortedValueFile` per attribute plus
+an ``index.json`` with per-attribute metadata (distinct count, min/max value,
+source type).  The metadata is what makes the Sec. 4.1 pretests free: the
+cardinality and max-value tests read the index, not the files.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.db.schema import AttributeRef
+from repro.errors import SpoolError
+from repro.storage.codec import escape_line
+from repro.storage.cursors import FileValueCursor, IOStats
+
+_INDEX_FILE = "index.json"
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+@dataclass(frozen=True)
+class SortedValueFile:
+    """One attribute's sorted distinct value set on disk, plus its metadata."""
+
+    ref: AttributeRef
+    path: str
+    count: int
+    min_value: str | None
+    max_value: str | None
+    dtype: str
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def open_cursor(self, stats: IOStats | None = None) -> FileValueCursor:
+        return FileValueCursor(self.path, stats=stats, label=self.ref.qualified)
+
+    def values(self) -> list[str]:
+        """Read the whole file into memory (tests and small sets only)."""
+        cursor = self.open_cursor()
+        try:
+            out: list[str] = []
+            while cursor.has_next():
+                out.append(cursor.next_value())
+            return out
+        finally:
+            cursor.close()
+
+
+class SpoolDirectory:
+    """A directory of sorted value files, addressable by attribute.
+
+    Create with :meth:`create`, populate with :meth:`add_values`, persist with
+    :meth:`save_index`, reopen later with :meth:`open`.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._files: dict[AttributeRef, SortedValueFile] = {}
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def create(cls, root: str | Path) -> "SpoolDirectory":
+        path = Path(root)
+        path.mkdir(parents=True, exist_ok=True)
+        return cls(path)
+
+    @classmethod
+    def open(cls, root: str | Path) -> "SpoolDirectory":
+        path = Path(root)
+        index_path = path / _INDEX_FILE
+        if not index_path.exists():
+            raise SpoolError(f"{path} is not a spool directory (no {_INDEX_FILE})")
+        spool = cls(path)
+        with open(index_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for entry in doc.get("attributes", []):
+            ref = AttributeRef(entry["table"], entry["column"])
+            file_path = path / entry["file"]
+            if not file_path.exists():
+                raise SpoolError(f"spool index references missing file {file_path}")
+            spool._files[ref] = SortedValueFile(
+                ref=ref,
+                path=str(file_path),
+                count=entry["count"],
+                min_value=entry.get("min"),
+                max_value=entry.get("max"),
+                dtype=entry.get("dtype", "VARCHAR"),
+            )
+        return spool
+
+    def add_values(
+        self,
+        ref: AttributeRef,
+        sorted_distinct_values: Iterable[str],
+        dtype: str = "VARCHAR",
+    ) -> SortedValueFile:
+        """Write one attribute's sorted distinct values to its spool file.
+
+        The input **must already be sorted and duplicate-free**; this is
+        verified while writing (cheap, one comparison per value) because a
+        mis-sorted spool file silently breaks every validator.
+        """
+        if ref in self._files:
+            raise SpoolError(f"attribute {ref} already spooled")
+        file_name = self._file_name(ref)
+        file_path = self.root / file_name
+        count = 0
+        first: str | None = None
+        last: str | None = None
+        with open(file_path, "w", encoding="utf-8") as fh:
+            for value in sorted_distinct_values:
+                if last is not None and value <= last:
+                    raise SpoolError(
+                        f"values for {ref} are not strictly ascending: "
+                        f"{value!r} after {last!r}"
+                    )
+                if first is None:
+                    first = value
+                last = value
+                fh.write(escape_line(value))
+                fh.write("\n")
+                count += 1
+        svf = SortedValueFile(
+            ref=ref,
+            path=str(file_path),
+            count=count,
+            min_value=first,
+            max_value=last,
+            dtype=dtype,
+        )
+        self._files[ref] = svf
+        return svf
+
+    def save_index(self) -> None:
+        doc = {
+            "attributes": [
+                {
+                    "table": ref.table,
+                    "column": ref.column,
+                    "file": Path(svf.path).name,
+                    "count": svf.count,
+                    "min": svf.min_value,
+                    "max": svf.max_value,
+                    "dtype": svf.dtype,
+                }
+                for ref, svf in sorted(self._files.items())
+            ]
+        }
+        with open(self.root / _INDEX_FILE, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+
+    def _file_name(self, ref: AttributeRef) -> str:
+        base = _SAFE_NAME.sub("_", f"{ref.table}__{ref.column}")
+        candidate = f"{base}.vals"
+        existing = {Path(f.path).name for f in self._files.values()}
+        suffix = 1
+        while candidate in existing:
+            suffix += 1
+            candidate = f"{base}__{suffix}.vals"
+        return candidate
+
+    def discard(self, ref: AttributeRef) -> None:
+        """Remove an attribute's spool file (used to drop empty attributes)."""
+        svf = self._files.pop(ref, None)
+        if svf is not None:
+            Path(svf.path).unlink(missing_ok=True)
+
+    # --------------------------------------------------------------- lookups
+    def __contains__(self, ref: AttributeRef) -> bool:
+        return ref in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def get(self, ref: AttributeRef) -> SortedValueFile:
+        try:
+            return self._files[ref]
+        except KeyError:
+            raise SpoolError(f"attribute {ref} is not in the spool") from None
+
+    def attributes(self) -> list[AttributeRef]:
+        return sorted(self._files)
+
+    def open_cursor(
+        self, ref: AttributeRef, stats: IOStats | None = None
+    ) -> FileValueCursor:
+        return self.get(ref).open_cursor(stats)
+
+    def total_values(self) -> int:
+        return sum(f.count for f in self._files.values())

@@ -1,0 +1,129 @@
+"""Tests for Algorithm 1 (brute-force validation)."""
+
+import pytest
+
+from repro.core.brute_force import BruteForceValidator, check_inclusion
+from repro.core.candidates import Candidate
+from repro.core.stats import ValidatorStats
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+from repro.storage.cursors import IOStats, MemoryValueCursor
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+def check(dep: list[str], ref: list[str]) -> bool:
+    return check_inclusion(MemoryValueCursor(dep), MemoryValueCursor(ref))
+
+
+class TestAlgorithm1:
+    def test_satisfied_subset(self):
+        assert check(["b", "d"], ["a", "b", "c", "d"])
+
+    def test_equal_sets(self):
+        assert check(["a", "b"], ["a", "b"])
+
+    def test_refuted_value_missing_in_middle(self):
+        assert not check(["a", "c"], ["a", "b", "d"])
+
+    def test_refuted_dep_below_ref(self):
+        assert not check(["a"], ["b"])
+
+    def test_refuted_ref_exhausted(self):
+        assert not check(["a", "z"], ["a", "b"])
+
+    def test_empty_dep_is_vacuously_satisfied(self):
+        assert check([], ["a"])
+        assert check([], [])
+
+    def test_empty_ref_refutes_nonempty_dep(self):
+        assert not check(["a"], [])
+
+    def test_single_matching_value(self):
+        assert check(["x"], ["x"])
+
+    def test_dep_larger_than_ref_always_refuted(self):
+        assert not check(["a", "b", "c"], ["a", "b"])
+
+    def test_early_stop_reads_nothing_after_refutation(self):
+        stats = IOStats()
+        dep = MemoryValueCursor(["a", "b", "c"], stats, label="dep")
+        ref = MemoryValueCursor(["b", "c", "d"], stats, label="ref")
+        assert not check_inclusion(dep, ref)
+        # dep read "a", ref read "b" -> stop: 2 items total.
+        assert stats.items_read == 2
+
+    def test_comparison_counter(self):
+        stats = ValidatorStats()
+        check_inclusion(
+            MemoryValueCursor(["a", "b"]), MemoryValueCursor(["a", "b"]), stats
+        )
+        assert stats.comparisons == 2
+
+
+class TestBruteForceValidator:
+    @pytest.fixture()
+    def spool(self, tmp_path) -> SpoolDirectory:
+        s = SpoolDirectory.create(tmp_path / "s")
+        s.add_values(AttributeRef("t", "dep_in"), ["b", "c"])
+        s.add_values(AttributeRef("t", "dep_out"), ["b", "x"])
+        s.add_values(AttributeRef("t", "ref"), ["a", "b", "c", "d"])
+        return s
+
+    def test_validate_decides_all(self, spool):
+        candidates = [
+            Candidate(AttributeRef("t", "dep_in"), AttributeRef("t", "ref")),
+            Candidate(AttributeRef("t", "dep_out"), AttributeRef("t", "ref")),
+        ]
+        result = BruteForceValidator(spool).validate(candidates)
+        assert result.is_satisfied(candidates[0])
+        assert not result.is_satisfied(candidates[1])
+        assert result.stats.satisfied_count == 1
+        assert result.stats.refuted_count == 1
+        assert result.stats.candidates_tested == 2
+
+    def test_files_reread_per_candidate(self, spool):
+        candidates = [
+            Candidate(AttributeRef("t", "dep_in"), AttributeRef("t", "ref")),
+            Candidate(AttributeRef("t", "dep_out"), AttributeRef("t", "ref")),
+        ]
+        result = BruteForceValidator(spool).validate(candidates)
+        # Two candidates -> four file opens (the brute-force I/O profile).
+        assert result.stats.files_opened == 4
+        assert result.stats.peak_open_files == 2
+
+    def test_duplicate_candidates_collapse(self, spool):
+        c = Candidate(AttributeRef("t", "dep_in"), AttributeRef("t", "ref"))
+        result = BruteForceValidator(spool).validate([c, c])
+        assert result.stats.candidates_total == 1
+
+    def test_trivial_candidate_rejected(self, spool):
+        ref = AttributeRef("t", "ref")
+        with pytest.raises(ValidatorError, match="trivial"):
+            BruteForceValidator(spool).validate([Candidate(ref, ref)])
+
+    def test_missing_attribute_raises(self, spool):
+        candidate = Candidate(
+            AttributeRef("t", "ghost"), AttributeRef("t", "ref")
+        )
+        with pytest.raises(Exception):
+            BruteForceValidator(spool).validate([candidate])
+
+    def test_validate_one(self, spool):
+        validator = BruteForceValidator(spool)
+        assert validator.validate_one(
+            Candidate(AttributeRef("t", "dep_in"), AttributeRef("t", "ref"))
+        )
+        io = IOStats()
+        stats = ValidatorStats()
+        assert not validator.validate_one(
+            Candidate(AttributeRef("t", "dep_out"), AttributeRef("t", "ref")),
+            io=io,
+            stats=stats,
+        )
+        assert io.items_read > 0
+        assert stats.comparisons > 0
+
+    def test_empty_candidate_list(self, spool):
+        result = BruteForceValidator(spool).validate([])
+        assert len(result.satisfied) == 0
+        assert result.stats.candidates_total == 0

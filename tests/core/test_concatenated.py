@@ -1,0 +1,104 @@
+"""Tests for prefix-tolerant (concatenated-value) IND detection."""
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.core.concatenated import (
+    PrefixedINDFinder,
+    detect_common_prefix,
+)
+from repro.db.schema import AttributeRef
+from repro.storage.cursors import MemoryValueCursor
+from repro.storage.sorted_sets import SpoolDirectory
+
+DEP = AttributeRef("t", "dep")
+REF = AttributeRef("t", "ref")
+
+
+def prefix_of(values: list[str], max_scan=None) -> str | None:
+    return detect_common_prefix(MemoryValueCursor(values), max_scan)
+
+
+class TestDetectCommonPrefix:
+    def test_separator_terminated(self):
+        assert prefix_of(["PDB-1abc", "PDB-2xyz"]) == "PDB-"
+
+    def test_no_separator_means_no_prefix(self):
+        assert prefix_of(["PDBA1abc", "PDBA2xyz"]) is None
+
+    def test_prefix_cut_at_last_separator(self):
+        assert prefix_of(["GO:A:1", "GO:A:2"]) == "GO:A:"
+
+    def test_empty_common_prefix(self):
+        assert prefix_of(["abc", "xyz"]) is None
+
+    def test_empty_input(self):
+        assert prefix_of([]) is None
+
+    def test_single_value(self):
+        # A single value's prefix up to its last separator.
+        assert prefix_of(["PDB-1abc"]) == "PDB-"
+
+    def test_scan_limit(self):
+        values = ["P-1", "P-2", "X9"]
+        assert prefix_of(values, max_scan=2) == "P-"
+        assert prefix_of(values) is None
+
+    @pytest.mark.parametrize("sep", list("-_:/| "))
+    def test_all_separators(self, sep):
+        assert prefix_of([f"AB{sep}1", f"AB{sep}2"]) == f"AB{sep}"
+
+
+class TestPrefixedINDFinder:
+    @pytest.fixture()
+    def spool(self, tmp_path) -> SpoolDirectory:
+        s = SpoolDirectory.create(tmp_path / "s")
+        codes = [f"{i}abc"[:4] for i in range(1, 6)]
+        codes = sorted({f"{i}ab{i}" for i in range(1, 6)})
+        s.add_values(REF, codes)
+        s.add_values(DEP, sorted(f"PDB-{c}" for c in codes))
+        s.add_values(AttributeRef("t", "other"), ["zzz"])
+        return s
+
+    def test_strip_dependent_prefix(self, spool):
+        finder = PrefixedINDFinder(spool)
+        hit = finder.check(Candidate(DEP, REF))
+        assert hit is not None
+        assert hit.prefix == "PDB-"
+        assert hit.stripped_side == "dependent"
+        assert "strip" in str(hit)
+
+    def test_strip_referenced_prefix(self, spool):
+        finder = PrefixedINDFinder(spool)
+        hit = finder.check(Candidate(REF, DEP))
+        assert hit is not None
+        assert hit.stripped_side == "referenced"
+
+    def test_no_match_returns_none(self, spool):
+        finder = PrefixedINDFinder(spool)
+        assert finder.check(
+            Candidate(AttributeRef("t", "other"), REF)
+        ) is None
+
+    def test_find_all(self, spool):
+        finder = PrefixedINDFinder(spool)
+        hits = finder.find_all(
+            [
+                Candidate(DEP, REF),
+                Candidate(AttributeRef("t", "other"), REF),
+            ]
+        )
+        assert len(hits) == 1
+
+    def test_prefix_cache(self, spool):
+        finder = PrefixedINDFinder(spool)
+        finder.check(Candidate(DEP, REF))
+        assert finder._prefix_cache[DEP] == "PDB-"
+
+    def test_partial_prefixed_set_refuted(self, tmp_path):
+        # Stripped values must ALL be present; one miss refutes.
+        s = SpoolDirectory.create(tmp_path / "s2")
+        s.add_values(REF, ["1aaa"])
+        s.add_values(DEP, ["PDB-1aaa", "PDB-9zzz"])
+        finder = PrefixedINDFinder(s)
+        assert finder.check(Candidate(DEP, REF)) is None

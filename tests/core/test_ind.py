@@ -1,0 +1,117 @@
+"""Tests for INDs and IND sets (closure operations)."""
+
+from repro.core.ind import IND, INDSet
+from repro.db.schema import AttributeRef
+
+A = AttributeRef("t1", "a")
+B = AttributeRef("t2", "b")
+C = AttributeRef("t3", "c")
+D = AttributeRef("t4", "d")
+
+
+class TestIND:
+    def test_trivial(self):
+        assert IND(A, A).is_trivial
+        assert not IND(A, B).is_trivial
+
+    def test_reversed(self):
+        assert IND(A, B).reversed() == IND(B, A)
+
+    def test_str(self):
+        assert str(IND(A, B)) == "t1.a [= t2.b"
+
+    def test_ordering_deterministic(self):
+        assert sorted([IND(B, A), IND(A, B)]) == [IND(A, B), IND(B, A)]
+
+
+class TestINDSetBasics:
+    def test_add_and_contains(self):
+        s = INDSet()
+        s.add(IND(A, B))
+        assert IND(A, B) in s
+        assert IND(B, A) not in s
+        assert len(s) == 1
+
+    def test_iteration_sorted(self):
+        s = INDSet([IND(B, C), IND(A, B)])
+        assert list(s) == [IND(A, B), IND(B, C)]
+
+    def test_set_operations(self):
+        s1 = INDSet([IND(A, B), IND(B, C)])
+        s2 = INDSet([IND(B, C), IND(C, D)])
+        assert len(s1.union(s2)) == 3
+        assert list(s1.intersection(s2)) == [IND(B, C)]
+        assert list(s1.difference(s2)) == [IND(A, B)]
+
+    def test_equality(self):
+        assert INDSet([IND(A, B)]) == INDSet([IND(A, B)])
+        assert INDSet([IND(A, B)]) != INDSet([IND(B, A)])
+
+    def test_views(self):
+        s = INDSet([IND(A, B), IND(C, B), IND(A, C)])
+        assert s.referenced_by(A) == [B, C]
+        assert s.dependents_of(B) == [A, C]
+
+    def test_inds_into_table(self):
+        s = INDSet([IND(A, B), IND(C, B), IND(B, C)])
+        assert s.inds_into_table("t2") == [IND(A, B), IND(C, B)]
+        assert s.inds_into_table("ghost") == []
+
+    def test_attributes(self):
+        s = INDSet([IND(A, B)])
+        assert s.attributes() == {A, B}
+
+
+class TestClosure:
+    def test_chain_closure(self):
+        s = INDSet([IND(A, B), IND(B, C)])
+        closure = s.transitive_closure()
+        assert IND(A, C) in closure
+        assert len(closure) == 3
+
+    def test_cycle_closure_excludes_trivial(self):
+        s = INDSet([IND(A, B), IND(B, A)])
+        closure = s.transitive_closure()
+        assert IND(A, A) not in closure
+        assert len(closure) == 2
+
+    def test_cycle_closure_includes_trivial_on_request(self):
+        s = INDSet([IND(A, B), IND(B, A)])
+        closure = s.transitive_closure(include_trivial=True)
+        assert IND(A, A) in closure
+
+    def test_long_chain(self):
+        s = INDSet([IND(A, B), IND(B, C), IND(C, D)])
+        closure = s.transitive_closure()
+        assert IND(A, D) in closure
+        assert len(closure) == 6
+
+    def test_implies(self):
+        s = INDSet([IND(A, B), IND(B, C)])
+        assert s.implies(IND(A, C))
+        assert s.implies(IND(A, A))  # reflexivity
+        assert not s.implies(IND(C, A))
+
+
+class TestReduction:
+    def test_removes_transitive_edge(self):
+        s = INDSet([IND(A, B), IND(B, C), IND(A, C)])
+        reduced = s.transitive_reduction()
+        assert IND(A, C) not in reduced
+        assert len(reduced) == 2
+
+    def test_preserves_closure(self):
+        s = INDSet([IND(A, B), IND(B, C), IND(A, C), IND(C, D), IND(A, D)])
+        reduced = s.transitive_reduction()
+        assert reduced.transitive_closure() == s.transitive_closure()
+
+    def test_cycle_kept_as_ring(self):
+        s = INDSet([IND(A, B), IND(B, A)])
+        reduced = s.transitive_reduction()
+        assert reduced.transitive_closure() == s.transitive_closure()
+
+    def test_cycle_plus_tail(self):
+        s = INDSet([IND(A, B), IND(B, A), IND(B, C), IND(A, C)])
+        reduced = s.transitive_reduction()
+        assert reduced.transitive_closure() == s.transitive_closure()
+        assert len(reduced) < len(s.transitive_closure())

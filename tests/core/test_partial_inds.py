@@ -1,0 +1,101 @@
+"""Tests for partial IND computation (dirty data)."""
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.core.partial_inds import PartialINDCalculator, count_containment
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+from repro.storage.cursors import MemoryValueCursor
+from repro.storage.sorted_sets import SpoolDirectory
+
+A = AttributeRef("t", "a")
+B = AttributeRef("t", "b")
+
+
+def counts(dep: list[str], ref: list[str]) -> tuple[int, int]:
+    return count_containment(MemoryValueCursor(dep), MemoryValueCursor(ref))
+
+
+class TestCountContainment:
+    def test_full_containment(self):
+        assert counts(["a", "b"], ["a", "b", "c"]) == (2, 2)
+
+    def test_partial(self):
+        assert counts(["a", "b", "x"], ["a", "b", "c"]) == (3, 2)
+
+    def test_no_overlap(self):
+        assert counts(["x", "y"], ["a", "b"]) == (2, 0)
+
+    def test_empty_dep(self):
+        assert counts([], ["a"]) == (0, 0)
+
+    def test_empty_ref(self):
+        assert counts(["a"], []) == (1, 0)
+
+    def test_dep_values_beyond_ref(self):
+        assert counts(["a", "z"], ["a", "b"]) == (2, 1)
+
+    def test_interleaved(self):
+        assert counts(["b", "d", "f"], ["a", "b", "c", "d", "e"]) == (3, 2)
+
+
+class TestPartialIND:
+    @pytest.fixture()
+    def spool(self, tmp_path) -> SpoolDirectory:
+        s = SpoolDirectory.create(tmp_path / "s")
+        # 9 of 10 dep values exist in ref: strength 0.9 (one dirty value).
+        s.add_values(A, sorted([f"{i:02d}" for i in range(9)] + ["zz"]))
+        s.add_values(B, [f"{i:02d}" for i in range(20)])
+        return s
+
+    def test_strength(self, spool):
+        partial = PartialINDCalculator(spool).measure(Candidate(A, B))
+        assert partial.dependent_count == 10
+        assert partial.contained_count == 9
+        assert partial.strength == pytest.approx(0.9)
+        assert not partial.is_exact
+
+    def test_exact_ind_strength_one(self, tmp_path):
+        s = SpoolDirectory.create(tmp_path / "e")
+        s.add_values(A, ["a"])
+        s.add_values(B, ["a", "b"])
+        partial = PartialINDCalculator(s).measure(Candidate(A, B))
+        assert partial.strength == 1.0
+        assert partial.is_exact
+
+    def test_trivial_rejected(self, spool):
+        with pytest.raises(ValidatorError, match="trivial"):
+            PartialINDCalculator(spool).measure(Candidate(A, A))
+
+    def test_measure_all_threshold(self, spool):
+        calc = PartialINDCalculator(spool)
+        kept, stats = calc.measure_all(
+            [Candidate(A, B), Candidate(B, A)], threshold=0.8
+        )
+        assert len(kept) == 1  # A->B at 0.9; B->A at 10/20=0.5
+        assert stats.candidates_tested == 2
+        assert stats.satisfied_count == 1
+        assert stats.refuted_count == 1
+        assert stats.items_read > 0
+
+    def test_measure_all_zero_threshold_keeps_everything(self, spool):
+        kept, _ = PartialINDCalculator(spool).measure_all(
+            [Candidate(A, B), Candidate(B, A)], threshold=0.0
+        )
+        assert len(kept) == 2
+
+    def test_invalid_threshold(self, spool):
+        with pytest.raises(ValidatorError, match="threshold"):
+            PartialINDCalculator(spool).measure_all([], threshold=1.5)
+
+    def test_str_rendering(self, spool):
+        partial = PartialINDCalculator(spool).measure(Candidate(A, B))
+        assert "0.900" in str(partial)
+
+    def test_strength_of_empty_dep_is_one(self, tmp_path):
+        s = SpoolDirectory.create(tmp_path / "v")
+        s.add_values(A, [])
+        s.add_values(B, ["x"])
+        partial = PartialINDCalculator(s).measure(Candidate(A, B))
+        assert partial.strength == 1.0

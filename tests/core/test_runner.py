@@ -1,0 +1,181 @@
+"""Tests for the end-to-end discovery runner."""
+
+import pytest
+
+from repro.core.candidates import PretestConfig
+from repro.core.runner import ALL_STRATEGIES, DiscoveryConfig, discover_inds
+from repro.errors import DiscoveryError
+
+
+class TestConfigValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(DiscoveryError, match="unknown strategy"):
+            DiscoveryConfig(strategy="magic").validated()
+
+    def test_unknown_candidate_mode(self):
+        with pytest.raises(DiscoveryError, match="candidate mode"):
+            DiscoveryConfig(candidate_mode="wild").validated()
+
+    def test_transitivity_needs_sequential(self):
+        with pytest.raises(DiscoveryError, match="sequential"):
+            DiscoveryConfig(
+                strategy="single-pass", use_transitivity=True
+            ).validated()
+
+    def test_transitivity_with_brute_force_ok(self):
+        DiscoveryConfig(strategy="brute-force", use_transitivity=True).validated()
+
+    def test_sampling_needs_external(self):
+        with pytest.raises(DiscoveryError, match="sampling"):
+            DiscoveryConfig(strategy="sql-join", sampling_size=5).validated()
+
+    def test_negative_sampling(self):
+        with pytest.raises(DiscoveryError, match=">= 0"):
+            DiscoveryConfig(
+                strategy="merge-single-pass", sampling_size=-1
+            ).validated()
+
+    def test_all_pairs_join_rejected(self):
+        with pytest.raises(DiscoveryError, match="all-pairs"):
+            DiscoveryConfig(
+                strategy="sql-join", candidate_mode="all-pairs"
+            ).validated()
+
+
+class TestStrategies:
+    def test_all_strategies_agree(self, fk_db):
+        results = {}
+        for strategy in sorted(ALL_STRATEGIES):
+            result = discover_inds(fk_db, DiscoveryConfig(strategy=strategy))
+            results[strategy] = {str(i) for i in result.satisfied}
+        baseline = results["reference"]
+        for strategy, inds in results.items():
+            assert inds == baseline, f"{strategy} disagrees"
+
+    def test_fk_found(self, fk_db):
+        result = discover_inds(fk_db)
+        assert "child.pid [= parent.id" in {str(i) for i in result.satisfied}
+
+    def test_counts_consistent(self, fk_db):
+        result = discover_inds(fk_db)
+        stats = result.validator_stats
+        assert (
+            stats.satisfied_count + stats.refuted_count
+            == result.candidates_after_pretests
+        )
+        assert result.raw_candidates >= result.candidates_after_pretests
+
+
+class TestPhases:
+    def test_timings_populated(self, fk_db):
+        result = discover_inds(fk_db)
+        assert result.timings.profile_seconds >= 0
+        assert result.timings.validate_seconds > 0
+        assert result.timings.total_seconds >= result.timings.validate_seconds
+
+    def test_export_counts(self, fk_db):
+        result = discover_inds(fk_db)
+        assert result.export_values_scanned > 0
+        assert result.export_values_written > 0
+
+    def test_sql_strategy_skips_export(self, fk_db):
+        result = discover_inds(fk_db, DiscoveryConfig(strategy="sql-join"))
+        assert result.export_values_scanned == 0
+        assert result.timings.export_seconds == 0
+
+
+class TestSpoolHandling:
+    def test_spool_temp_cleaned(self, fk_db, tmp_path):
+        import glob
+        import tempfile
+
+        before = set(glob.glob(tempfile.gettempdir() + "/repro-spool-*"))
+        discover_inds(fk_db)
+        after = set(glob.glob(tempfile.gettempdir() + "/repro-spool-*"))
+        assert before == after
+
+    def test_keep_spool_in_directory(self, fk_db, tmp_path):
+        spool_dir = tmp_path / "keep"
+        result = discover_inds(
+            fk_db,
+            DiscoveryConfig(spool_dir=str(spool_dir), keep_spool=True),
+        )
+        assert result.spool_path == str(spool_dir)
+        from repro.storage.sorted_sets import SpoolDirectory
+
+        spool = SpoolDirectory.open(spool_dir)
+        assert len(spool) > 0
+
+
+class TestOptionsEndToEnd:
+    def test_transitivity_same_result(self, fk_db):
+        plain = discover_inds(fk_db, DiscoveryConfig(strategy="brute-force"))
+        pruned = discover_inds(
+            fk_db,
+            DiscoveryConfig(strategy="brute-force", use_transitivity=True),
+        )
+        assert {str(i) for i in plain.satisfied} == {
+            str(i) for i in pruned.satisfied
+        }
+
+    def test_sql_transitivity(self, fk_db):
+        result = discover_inds(
+            fk_db, DiscoveryConfig(strategy="sql-join", use_transitivity=True)
+        )
+        plain = discover_inds(fk_db, DiscoveryConfig(strategy="sql-join"))
+        assert {str(i) for i in result.satisfied} == {
+            str(i) for i in plain.satisfied
+        }
+        assert result.validator_stats.sql_statements <= (
+            plain.validator_stats.sql_statements
+        )
+
+    def test_sampling_same_result(self, fk_db):
+        plain = discover_inds(fk_db)
+        sampled = discover_inds(
+            fk_db,
+            DiscoveryConfig(strategy="merge-single-pass", sampling_size=3),
+        )
+        assert {str(i) for i in plain.satisfied} == {
+            str(i) for i in sampled.satisfied
+        }
+
+    def test_all_pairs_mode(self, fk_db):
+        result = discover_inds(
+            fk_db,
+            DiscoveryConfig(
+                strategy="merge-single-pass", candidate_mode="all-pairs"
+            ),
+        )
+        # all-pairs tests each unordered pair once, directed by cardinality.
+        assert result.raw_candidates == 10  # C(5,2) usable attributes
+        assert "child.pid [= parent.id" in {str(i) for i in result.satisfied}
+
+    def test_blockwise_strategy(self, fk_db):
+        result = discover_inds(
+            fk_db,
+            DiscoveryConfig(strategy="blockwise", max_open_files=3),
+        )
+        plain = discover_inds(fk_db)
+        assert {str(i) for i in result.satisfied} == {
+            str(i) for i in plain.satisfied
+        }
+
+    def test_disable_all_pretests(self, fk_db):
+        result = discover_inds(
+            fk_db,
+            DiscoveryConfig(pretests=PretestConfig(cardinality=False)),
+        )
+        assert result.raw_candidates == result.candidates_after_pretests
+
+
+class TestResultSerialisation:
+    def test_to_dict_roundtrips_to_json(self, fk_db):
+        import json
+
+        result = discover_inds(fk_db)
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["database"] == "fk_db"
+        assert doc["satisfied_count"] == len(result.satisfied)
+        assert ["child.pid", "parent.id"] in doc["satisfied"]
+        assert doc["timings"]["total_seconds"] >= 0

@@ -1,0 +1,175 @@
+"""Tests for the subject-observer single-pass validator (Algorithms 2-3)."""
+
+import pytest
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.core.single_pass import SinglePassValidator
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+def build_spool(tmp_path, columns: dict[str, list[str]]) -> SpoolDirectory:
+    spool = SpoolDirectory.create(tmp_path / "spool")
+    for name, values in columns.items():
+        spool.add_values(AttributeRef("t", name), sorted(set(values)))
+    return spool
+
+
+def candidates_between(names: list[str]) -> list[Candidate]:
+    refs = [AttributeRef("t", n) for n in names]
+    return [Candidate(d, r) for d in refs for r in refs if d != r]
+
+
+class TestBasicDecisions:
+    def test_all_pairs_small(self, tmp_path):
+        spool = build_spool(
+            tmp_path,
+            {
+                "a": ["1", "2"],
+                "b": ["1", "2", "3"],
+                "c": ["2", "3"],
+            },
+        )
+        result = SinglePassValidator(spool).validate(
+            candidates_between(["a", "b", "c"])
+        )
+        sat = {str(i) for i in result.satisfied}
+        assert sat == {"t.a [= t.b", "t.c [= t.b"}
+        assert result.stats.refuted_count == 4
+
+    def test_agrees_with_brute_force(self, tmp_path):
+        spool = build_spool(
+            tmp_path,
+            {
+                "w": ["m", "n", "o"],
+                "x": ["m", "o"],
+                "y": ["m", "z"],
+                "z": ["a", "m", "n", "o", "z"],
+            },
+        )
+        cands = candidates_between(["w", "x", "y", "z"])
+        single = SinglePassValidator(spool).validate(cands)
+        brute = BruteForceValidator(spool).validate(cands)
+        assert single.decisions == brute.decisions
+
+    def test_equal_value_sets_both_directions(self, tmp_path):
+        spool = build_spool(tmp_path, {"a": ["x", "y"], "b": ["x", "y"]})
+        result = SinglePassValidator(spool).validate(candidates_between(["a", "b"]))
+        assert result.stats.satisfied_count == 2
+
+    def test_disjoint_sets_refuted(self, tmp_path):
+        spool = build_spool(tmp_path, {"a": ["1"], "b": ["2"]})
+        result = SinglePassValidator(spool).validate(candidates_between(["a", "b"]))
+        assert result.stats.satisfied_count == 0
+
+
+class TestEdgeCases:
+    def test_empty_dependent_vacuous(self, tmp_path):
+        spool = build_spool(tmp_path, {"empty": [], "full": ["a"]})
+        candidate = Candidate(AttributeRef("t", "empty"), AttributeRef("t", "full"))
+        result = SinglePassValidator(spool).validate([candidate])
+        assert result.is_satisfied(candidate)
+        assert result.stats.vacuous_count == 1
+
+    def test_empty_referenced_refuted(self, tmp_path):
+        spool = build_spool(tmp_path, {"empty": [], "full": ["a"]})
+        candidate = Candidate(AttributeRef("t", "full"), AttributeRef("t", "empty"))
+        result = SinglePassValidator(spool).validate([candidate])
+        assert not result.is_satisfied(candidate)
+
+    def test_both_empty_vacuous(self, tmp_path):
+        spool = build_spool(tmp_path, {"e1": [], "e2": []})
+        candidate = Candidate(AttributeRef("t", "e1"), AttributeRef("t", "e2"))
+        result = SinglePassValidator(spool).validate([candidate])
+        assert result.is_satisfied(candidate)
+
+    def test_trivial_candidate_rejected(self, tmp_path):
+        spool = build_spool(tmp_path, {"a": ["1"]})
+        ref = AttributeRef("t", "a")
+        with pytest.raises(ValidatorError, match="trivial"):
+            SinglePassValidator(spool).validate([Candidate(ref, ref)])
+
+    def test_shared_attribute_in_both_roles(self, tmp_path):
+        # b is referenced by a and depends on c simultaneously.
+        spool = build_spool(
+            tmp_path, {"a": ["1"], "b": ["1", "2"], "c": ["1", "2", "3"]}
+        )
+        cands = [
+            Candidate(AttributeRef("t", "a"), AttributeRef("t", "b")),
+            Candidate(AttributeRef("t", "b"), AttributeRef("t", "c")),
+        ]
+        result = SinglePassValidator(spool).validate(cands)
+        assert result.stats.satisfied_count == 2
+
+    def test_single_candidate(self, tmp_path):
+        spool = build_spool(tmp_path, {"a": ["1", "3"], "b": ["1", "2", "3"]})
+        candidate = Candidate(AttributeRef("t", "a"), AttributeRef("t", "b"))
+        result = SinglePassValidator(spool).validate([candidate])
+        assert result.is_satisfied(candidate)
+
+
+class TestIOBehaviour:
+    def test_each_file_read_at_most_once_per_role(self, tmp_path):
+        columns = {f"c{i}": [f"v{j}" for j in range(i + 1)] for i in range(6)}
+        spool = build_spool(tmp_path, columns)
+        cands = candidates_between(sorted(columns))
+        result = SinglePassValidator(spool).validate(cands)
+        for ref, reads in result.stats.__dict__.items():
+            pass  # reads tracked in IOStats below
+        # Upper bound: every attribute read once as dependent + once as
+        # referenced = 2x total values.
+        assert result.stats.items_read <= 2 * spool.total_values()
+
+    def test_reads_fewer_items_than_brute_force(self, tmp_path):
+        columns = {
+            f"c{i}": [f"{j:02d}" for j in range(0, 20 + i)] for i in range(8)
+        }
+        spool = build_spool(tmp_path, columns)
+        cands = candidates_between(sorted(columns))
+        single = SinglePassValidator(spool).validate(cands)
+        brute = BruteForceValidator(spool).validate(cands)
+        assert single.decisions == brute.decisions
+        assert single.stats.items_read < brute.stats.items_read
+
+    def test_opens_all_files_in_parallel(self, tmp_path):
+        columns = {f"c{i}": ["v"] for i in range(5)}
+        spool = build_spool(tmp_path, columns)
+        cands = candidates_between(sorted(columns))
+        result = SinglePassValidator(spool).validate(cands)
+        # 5 deps + 5 refs cursors open simultaneously (Sec. 4.2's problem).
+        assert result.stats.peak_open_files == 10
+
+
+class TestProtocolRobustness:
+    def test_interleaved_values_no_deadlock(self, tmp_path):
+        # Values engineered so every dependent alternately waits on a
+        # different referenced object (the Theorem 3.1 scenario).
+        spool = build_spool(
+            tmp_path,
+            {
+                "d1": ["a", "d", "g"],
+                "d2": ["b", "e", "h"],
+                "d3": ["c", "f", "i"],
+                "r1": ["a", "e", "i"],
+                "r2": ["b", "f", "g"],
+                "r3": ["c", "d", "h"],
+            },
+        )
+        deps = ["d1", "d2", "d3"]
+        refs = ["r1", "r2", "r3"]
+        cands = [
+            Candidate(AttributeRef("t", d), AttributeRef("t", r))
+            for d in deps
+            for r in refs
+        ]
+        result = SinglePassValidator(spool).validate(cands)
+        assert len(result.decisions) == 9
+
+    def test_many_identical_columns(self, tmp_path):
+        columns = {f"same{i}": ["p", "q", "r"] for i in range(5)}
+        spool = build_spool(tmp_path, columns)
+        cands = candidates_between(sorted(columns))
+        result = SinglePassValidator(spool).validate(cands)
+        assert result.stats.satisfied_count == len(cands)

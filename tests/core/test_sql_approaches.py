@@ -1,0 +1,149 @@
+"""Tests for the three SQL approach validators (Sec. 2)."""
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.core.reference import ReferenceValidator
+from repro.core.sql_approaches import (
+    SqlJoinValidator,
+    SqlMinusValidator,
+    SqlNotInValidator,
+)
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.errors import ValidatorError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("sqlapp")
+    dep = database.create_table(
+        TableSchema(
+            "dep_t",
+            [Column("inc", DataType.INTEGER), Column("out", DataType.INTEGER)],
+        )
+    )
+    ref = database.create_table(
+        TableSchema("ref_t", [Column("k", DataType.VARCHAR, unique=True)])
+    )
+    for i in [1, 2, 2, 3, None]:
+        dep.insert({"inc": i, "out": 99 if i is None else i})
+    for k in ["1", "2", "3", "4"]:
+        ref.insert({"k": k})
+    return database
+
+
+INC = Candidate(AttributeRef("dep_t", "inc"), AttributeRef("ref_t", "k"))
+OUT = Candidate(AttributeRef("dep_t", "out"), AttributeRef("ref_t", "k"))
+
+
+@pytest.mark.parametrize(
+    "validator_cls", [SqlJoinValidator, SqlMinusValidator, SqlNotInValidator]
+)
+class TestAllApproaches:
+    def test_satisfied_candidate(self, db, validator_cls):
+        result = validator_cls(db).validate([INC])
+        assert result.is_satisfied(INC)
+
+    def test_refuted_candidate(self, db, validator_cls):
+        result = validator_cls(db).validate([OUT])
+        assert not result.is_satisfied(OUT)
+
+    def test_agrees_with_reference(self, db, validator_cls):
+        cands = [INC, OUT]
+        sql_result = validator_cls(db).validate(cands)
+        oracle = ReferenceValidator(db).validate(cands)
+        assert sql_result.decisions == oracle.decisions
+
+    def test_statement_is_parseable_sql(self, db, validator_cls):
+        from repro.sql.parser import parse
+
+        statement = validator_cls(db).statement_for(INC)
+        parse(statement)  # must not raise
+
+    def test_stats_populated(self, db, validator_cls):
+        result = validator_cls(db).validate([INC, OUT])
+        assert result.stats.sql_statements == 2
+        assert result.stats.sql_rows_scanned > 0
+        assert result.stats.items_read == 0  # no spool involved
+
+    def test_trivial_rejected(self, db, validator_cls):
+        ref = AttributeRef("ref_t", "k")
+        with pytest.raises(ValidatorError, match="trivial"):
+            validator_cls(db).validate([Candidate(ref, ref)])
+
+    def test_unsafe_identifier_rejected(self, db, validator_cls):
+        bad = Candidate(
+            AttributeRef("dep_t", "inc"), AttributeRef("ref t", "k")
+        )
+        with pytest.raises(ValidatorError):
+            validator_cls(db).validate_one(bad)
+
+
+class TestJoinSpecifics:
+    def test_requires_unique_referenced(self, db):
+        # dep_t.inc is not unique; using it as referenced must be rejected.
+        candidate = Candidate(
+            AttributeRef("ref_t", "k"), AttributeRef("dep_t", "inc")
+        )
+        with pytest.raises(ValidatorError, match="unique"):
+            SqlJoinValidator(db).validate([candidate])
+
+    def test_null_dep_values_ignored(self, db):
+        # inc has one NULL; the join count must compare against non-null rows.
+        result = SqlJoinValidator(db).validate([INC])
+        assert result.is_satisfied(INC)
+
+
+class TestNotInNullTrap:
+    def test_raw_template_wrong_with_null_in_ref(self):
+        """Faithful Figure-4 SQL reports 'satisfied' when ref contains NULL."""
+        db = Database("trap")
+        dep = db.create_table(TableSchema("d", [Column("v", DataType.INTEGER)]))
+        ref = db.create_table(TableSchema("r", [Column("k", DataType.INTEGER)]))
+        dep.insert({"v": 1})
+        dep.insert({"v": 99})  # 99 is NOT in r: the IND is false
+        ref.insert({"k": 1})
+        ref.insert({"k": None})
+        candidate = Candidate(AttributeRef("d", "v"), AttributeRef("r", "k"))
+
+        oracle = ReferenceValidator(db).validate([candidate])
+        assert not oracle.is_satisfied(candidate)
+
+        null_safe = SqlNotInValidator(db, null_safe=True).validate([candidate])
+        assert not null_safe.is_satisfied(candidate)
+
+        faithful = SqlNotInValidator(db, null_safe=False).validate([candidate])
+        # Three-valued logic swallows the counter-example: wrong answer.
+        assert faithful.is_satisfied(candidate)
+
+    def test_null_safe_is_default(self, db):
+        assert SqlNotInValidator(db)._null_safe
+
+
+class TestCrossTypeSemantics:
+    def test_integer_dep_included_in_varchar_ref(self, db):
+        """TO_CHAR comparison: INTEGER {1,2,3} [= VARCHAR {'1'..'4'}."""
+        for validator_cls in (SqlJoinValidator, SqlMinusValidator,
+                              SqlNotInValidator):
+            result = validator_cls(db).validate([INC])
+            assert result.is_satisfied(INC), validator_cls.name
+
+    def test_same_table_candidate(self):
+        db = Database("self")
+        t = db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("small", DataType.INTEGER),
+                    Column("big", DataType.INTEGER, unique=True),
+                ],
+            )
+        )
+        for i in range(6):
+            t.insert({"small": i % 3, "big": i})
+        candidate = Candidate(AttributeRef("t", "small"), AttributeRef("t", "big"))
+        for validator_cls in (SqlJoinValidator, SqlMinusValidator,
+                              SqlNotInValidator):
+            result = validator_cls(db).validate([candidate])
+            assert result.is_satisfied(candidate), validator_cls.name

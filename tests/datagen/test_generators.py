@@ -1,0 +1,201 @@
+"""Tests for the three paper-dataset generators."""
+
+import pytest
+
+from repro.core import DiscoveryConfig, discover_inds
+from repro.datagen import (
+    SCALES,
+    generate_biosql,
+    generate_openmms,
+    generate_scop,
+    random_database,
+)
+from repro.datagen.sizes import get_scale
+from repro.errors import BenchmarkError
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "paper-shape"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("tiny").name == "tiny"
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["small"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(BenchmarkError, match="unknown scale"):
+            get_scale("galactic")
+
+
+class TestBioSQL:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_biosql("tiny")
+
+    def test_paper_shape(self, dataset):
+        summary = dataset.db.summary()
+        assert summary["tables"] == 16
+        total_attrs = sum(
+            len(t.schema.columns) for t in dataset.db.tables()
+        )
+        assert total_attrs == 85
+
+    def test_exactly_one_empty_table_with_two_fks(self, dataset):
+        empty = [t for t in dataset.db.tables() if t.is_empty]
+        assert [t.name for t in empty] == ["sg_seqfeature_qualifier_value"]
+        assert len(dataset.empty_table_foreign_keys) == 2
+
+    def test_fk_data_is_consistent(self, dataset):
+        """Every declared FK on a non-empty table actually holds in the data."""
+        from repro.storage.codec import render_value
+
+        for fk in dataset.recoverable_foreign_keys:
+            dep = {
+                render_value(v)
+                for v in dataset.db.attribute_values(fk.dependent)
+            }
+            ref = {
+                render_value(v)
+                for v in dataset.db.attribute_values(fk.referenced)
+            }
+            assert dep <= ref, f"FK violated in generated data: {fk}"
+
+    def test_deterministic(self):
+        a = generate_biosql("tiny", seed=5)
+        b = generate_biosql("tiny", seed=5)
+        row_a = a.db.table("sg_bioentry").row(3)
+        row_b = b.db.table("sg_bioentry").row(3)
+        assert row_a == row_b
+
+    def test_seed_changes_data(self):
+        a = generate_biosql("tiny", seed=5)
+        b = generate_biosql("tiny", seed=6)
+        assert (
+            a.db.table("sg_bioentry").row(3)["accession"]
+            != b.db.table("sg_bioentry").row(3)["accession"]
+        )
+
+    def test_biosequence_is_one_to_one(self, dataset):
+        assert (
+            dataset.db.table("sg_biosequence").row_count
+            == dataset.db.table("sg_bioentry").row_count
+        )
+
+    def test_no_unexpected_inds(self, dataset):
+        result = discover_inds(dataset.db, DiscoveryConfig(strategy="reference"))
+        found = {
+            (i.dependent.qualified, i.referenced.qualified)
+            for i in result.satisfied
+        }
+        fks = {
+            (fk.dependent.qualified, fk.referenced.qualified)
+            for fk in dataset.recoverable_foreign_keys
+        }
+        assert fks <= found, f"missing FK INDs: {fks - found}"
+        assert found - fks == set(dataset.expected_extra_inds)
+
+
+class TestScop:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_scop("tiny")
+
+    def test_paper_shape(self, dataset):
+        summary = dataset.db.summary()
+        assert summary["tables"] == 4
+        assert sum(len(t.schema.columns) for t in dataset.db.tables()) == 22
+
+    def test_every_sunid_described(self, dataset):
+        des_sunids = dataset.db.attribute_distinct(
+            dataset.db.table("scop_des").schema.attribute("sunid")
+        )
+        cla_sunids = dataset.db.attribute_distinct(
+            dataset.db.table("scop_cla").schema.attribute("sunid")
+        )
+        assert cla_sunids <= des_sunids
+
+    def test_hierarchy_parents_exist(self, dataset):
+        hie = dataset.db.table("scop_hie")
+        sunids = set(hie.distinct_values("sunid"))
+        parents = set(hie.distinct_values("parent_sunid"))
+        assert parents <= sunids
+
+    def test_deterministic(self):
+        assert (
+            generate_scop("tiny", seed=2).db.table("scop_cla").row(0)
+            == generate_scop("tiny", seed=2).db.table("scop_cla").row(0)
+        )
+
+
+class TestOpenMMS:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_openmms("tiny")
+
+    def test_surrogate_keys_start_at_one(self, dataset):
+        for table in dataset.db.non_empty_tables():
+            pk = table.schema.primary_key
+            if pk is None:
+                continue
+            values = table.non_null_values(pk)
+            if values and isinstance(values[0], int):
+                assert min(values) == 1, f"{table.name}.{pk} must start at 1"
+
+    def test_full_coverage_trio_same_rowcount(self, dataset):
+        counts = {
+            name: dataset.db.table(name).row_count
+            for name in ("struct", "exptl", "struct_keywords")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_no_declared_fks(self, dataset):
+        assert dataset.db.declared_foreign_keys() == []
+        assert dataset.foreign_keys == []
+
+    def test_soft_columns_have_one_dirty_value(self, dataset):
+        for ref in dataset.expected_soft_accession_candidates:
+            values = dataset.db.attribute_values(ref)
+            assert values.count("?") == 1
+
+    def test_entry_codes_shared_across_core_tables(self, dataset):
+        struct = dataset.db.attribute_distinct(
+            dataset.db.table("struct").schema.attribute("entry_id")
+        )
+        exptl = dataset.db.attribute_distinct(
+            dataset.db.table("exptl").schema.attribute("entry_id")
+        )
+        assert struct == exptl
+
+    def test_satellite_count_scales(self):
+        tiny = generate_openmms("tiny").db.summary()["tables"]
+        small = generate_openmms("small").db.summary()["tables"]
+        assert small > tiny
+
+    def test_deterministic(self):
+        a = generate_openmms("tiny", seed=1).db.table("struct").row(5)
+        b = generate_openmms("tiny", seed=1).db.table("struct").row(5)
+        assert a == b
+
+
+class TestRandomDatabase:
+    def test_deterministic(self):
+        a = random_database(7)
+        b = random_database(7)
+        assert a.table_names == b.table_names
+        for name in a.table_names:
+            assert list(a.table(name).rows()) == list(b.table(name).rows())
+
+    def test_varies_with_seed(self):
+        names = {tuple(random_database(s).table_names) for s in range(5)}
+        sizes = {random_database(s).total_rows for s in range(5)}
+        assert len(sizes) > 1 or len(names) > 1
+
+    def test_within_bounds(self):
+        db = random_database(3, max_tables=2, max_columns=3, max_rows=5)
+        assert len(db.table_names) <= 2
+        for table in db.tables():
+            assert len(table.schema.columns) <= 3
+            assert table.row_count <= 5

@@ -1,0 +1,101 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, ForeignKey, TableSchema
+from repro.db.types import DataType
+from repro.errors import CatalogError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("cat")
+    database.create_table(
+        TableSchema(
+            "a",
+            [Column("x", DataType.INTEGER), Column("y", DataType.VARCHAR)],
+            primary_key="x",
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "b",
+            [Column("z", DataType.INTEGER)],
+            foreign_keys=[ForeignKey("b", "z", "a", "x")],
+        )
+    )
+    database.create_table(TableSchema("empty_t", [Column("e", DataType.VARCHAR)]))
+    database.table("a").insert({"x": 1, "y": "one"})
+    database.table("b").insert({"z": 1})
+    return database
+
+
+class TestDdl:
+    def test_requires_name(self):
+        with pytest.raises(CatalogError):
+            Database("")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table(TableSchema("a", [Column("q", DataType.INTEGER)]))
+
+    def test_drop_table(self, db):
+        db.drop_table("empty_t")
+        assert not db.has_table("empty_t")
+
+    def test_drop_missing(self, db):
+        with pytest.raises(CatalogError):
+            db.drop_table("ghost")
+
+
+class TestLookups:
+    def test_table_names_sorted(self, db):
+        assert db.table_names == ["a", "b", "empty_t"]
+
+    def test_missing_table(self, db):
+        with pytest.raises(CatalogError, match="ghost"):
+            db.table("ghost")
+
+    def test_non_empty_tables(self, db):
+        assert [t.name for t in db.non_empty_tables()] == ["a", "b"]
+
+    def test_resolve_validates(self, db):
+        ref = AttributeRef("a", "x")
+        assert db.resolve(ref) == ref
+        with pytest.raises(CatalogError):
+            db.resolve(AttributeRef("a", "ghost"))
+        with pytest.raises(CatalogError):
+            db.resolve(AttributeRef("ghost", "x"))
+
+
+class TestAttributes:
+    def test_attributes_skip_empty_tables(self, db):
+        refs = db.attributes()
+        assert AttributeRef("empty_t", "e") not in refs
+        assert AttributeRef("a", "x") in refs
+
+    def test_attributes_with_empty(self, db):
+        refs = db.attributes(include_empty_tables=True)
+        assert AttributeRef("empty_t", "e") in refs
+
+    def test_attribute_values(self, db):
+        assert db.attribute_values(AttributeRef("a", "y")) == ["one"]
+
+    def test_attribute_distinct(self, db):
+        db.table("b").insert({"z": 1})
+        assert db.attribute_distinct(AttributeRef("b", "z")) == {1}
+
+
+class TestSummary:
+    def test_summary(self, db):
+        summary = db.summary()
+        assert summary["tables"] == 3
+        assert summary["non_empty_tables"] == 2
+        assert summary["attributes"] == 3  # a.x, a.y, b.z
+        assert summary["rows"] == 2
+
+    def test_declared_foreign_keys(self, db):
+        fks = db.declared_foreign_keys()
+        assert len(fks) == 1
+        assert fks[0].dependent == AttributeRef("b", "z")

@@ -1,0 +1,113 @@
+"""Tests for schema objects and attribute references."""
+
+import pytest
+
+from repro.db.schema import AttributeRef, Column, ForeignKey, TableSchema
+from repro.db.types import DataType
+from repro.errors import SchemaError
+
+
+class TestAttributeRef:
+    def test_qualified(self):
+        assert AttributeRef("t", "c").qualified == "t.c"
+
+    def test_parse_roundtrip(self):
+        ref = AttributeRef.parse("table.column")
+        assert ref == AttributeRef("table", "column")
+
+    def test_parse_column_with_dots(self):
+        ref = AttributeRef.parse("t.c.x")
+        assert ref.table == "t"
+        assert ref.column == "c.x"
+
+    def test_parse_rejects_bare_name(self):
+        with pytest.raises(SchemaError):
+            AttributeRef.parse("nodots")
+
+    def test_parse_rejects_empty_parts(self):
+        with pytest.raises(SchemaError):
+            AttributeRef.parse(".c")
+        with pytest.raises(SchemaError):
+            AttributeRef.parse("t.")
+
+    def test_ordering_is_deterministic(self):
+        refs = [AttributeRef("b", "x"), AttributeRef("a", "z"), AttributeRef("a", "a")]
+        assert sorted(refs) == [
+            AttributeRef("a", "a"),
+            AttributeRef("a", "z"),
+            AttributeRef("b", "x"),
+        ]
+
+    def test_hashable(self):
+        assert len({AttributeRef("t", "c"), AttributeRef("t", "c")}) == 1
+
+
+class TestColumn:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.INTEGER)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER),
+                              Column("a", DataType.VARCHAR)])
+
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("", [Column("a", DataType.INTEGER)])
+
+    def test_primary_key_normalises_column(self):
+        schema = TableSchema(
+            "t", [Column("id", DataType.INTEGER)], primary_key="id"
+        )
+        col = schema.column("id")
+        assert col.unique
+        assert not col.nullable
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER)], primary_key="b")
+
+    def test_foreign_key_table_must_match(self):
+        fk = ForeignKey("other", "a", "p", "id")
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER)], foreign_keys=[fk])
+
+    def test_foreign_key_column_must_exist(self):
+        fk = ForeignKey("t", "missing", "p", "id")
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER)], foreign_keys=[fk])
+
+    def test_attributes_listing(self):
+        schema = TableSchema(
+            "t", [Column("a", DataType.INTEGER), Column("b", DataType.VARCHAR)]
+        )
+        assert schema.attributes == [AttributeRef("t", "a"), AttributeRef("t", "b")]
+
+    def test_column_lookup_missing(self):
+        schema = TableSchema("t", [Column("a", DataType.INTEGER)])
+        with pytest.raises(SchemaError):
+            schema.column("zz")
+
+    def test_attribute_helper(self):
+        schema = TableSchema("t", [Column("a", DataType.INTEGER)])
+        assert schema.attribute("a") == AttributeRef("t", "a")
+        with pytest.raises(SchemaError):
+            schema.attribute("b")
+
+
+class TestForeignKey:
+    def test_endpoints(self):
+        fk = ForeignKey("child", "pid", "parent", "id")
+        assert fk.dependent == AttributeRef("child", "pid")
+        assert fk.referenced == AttributeRef("parent", "id")
+
+    def test_str(self):
+        fk = ForeignKey("child", "pid", "parent", "id")
+        assert str(fk) == "child.pid -> parent.id"

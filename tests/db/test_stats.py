@@ -1,0 +1,126 @@
+"""Tests for per-column statistics (profiling)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, TableSchema
+from repro.db.stats import collect_column_stats, profile_column
+from repro.db.types import DataType
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("stats")
+    t = database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("i", DataType.INTEGER),
+                Column("s", DataType.VARCHAR),
+                Column("f", DataType.FLOAT),
+                Column("all_null", DataType.VARCHAR),
+            ],
+        )
+    )
+    rows = [
+        {"i": 9, "s": "bb", "f": 1.5, "all_null": None},
+        {"i": 150, "s": "a", "f": 2.0, "all_null": None},
+        {"i": 9, "s": None, "f": None, "all_null": None},
+        {"i": None, "s": "ccc", "f": 2.0, "all_null": None},
+    ]
+    for row in rows:
+        t.insert(row)
+    return database
+
+
+class TestProfileColumn:
+    def test_counts(self, db):
+        st = profile_column(db, AttributeRef("t", "i"))
+        assert st.row_count == 4
+        assert st.null_count == 1
+        assert st.non_null_count == 3
+        assert st.distinct_count == 2  # {9, 150}
+
+    def test_rendered_minmax_is_lexicographic(self, db):
+        st = profile_column(db, AttributeRef("t", "i"))
+        # Paper semantics: lexicographic order over rendered values.
+        assert st.min_value == "150"
+        assert st.max_value == "9"
+
+    def test_numeric_minmax_is_numeric(self, db):
+        st = profile_column(db, AttributeRef("t", "i"))
+        assert st.numeric_min == 9
+        assert st.numeric_max == 150
+
+    def test_numeric_bounds_absent_for_strings(self, db):
+        st = profile_column(db, AttributeRef("t", "s"))
+        assert st.numeric_min is None
+        assert st.numeric_max is None
+
+    def test_float_rendering_drops_integral_fraction(self, db):
+        st = profile_column(db, AttributeRef("t", "f"))
+        # 2.0 renders as "2" (TO_CHAR semantics).
+        assert st.max_value == "2"
+        assert st.distinct_count == 2  # {1.5, 2.0}
+
+    def test_lengths(self, db):
+        st = profile_column(db, AttributeRef("t", "s"))
+        assert st.min_length == 1
+        assert st.max_length == 3
+
+    def test_empty_column(self, db):
+        st = profile_column(db, AttributeRef("t", "all_null"))
+        assert st.is_empty
+        assert st.distinct_count == 0
+        assert st.min_value is None and st.max_value is None
+        assert not st.is_unique  # empty columns are not referenced candidates
+
+
+class TestUniqueness:
+    def test_unique_measured_not_declared(self, db):
+        st = profile_column(db, AttributeRef("t", "s"))
+        assert st.is_unique  # bb, a, ccc all distinct
+
+    def test_duplicates_not_unique(self, db):
+        st = profile_column(db, AttributeRef("t", "i"))
+        assert not st.is_unique  # 9 appears twice
+
+    def test_unique_ignores_nulls(self):
+        database = Database("u")
+        t = database.create_table(
+            TableSchema("t", [Column("c", DataType.VARCHAR)])
+        )
+        t.insert({"c": "a"})
+        t.insert({"c": None})
+        t.insert({"c": None})
+        st = profile_column(database, AttributeRef("t", "c"))
+        assert st.is_unique
+
+    def test_to_char_collision_collapses_distinct(self):
+        """An INTEGER 1 and VARCHAR '1' in one column cannot happen, but a
+        FLOAT column holding 1.0 and 1 collapses to one rendered value."""
+        database = Database("c")
+        t = database.create_table(TableSchema("t", [Column("f", DataType.FLOAT)]))
+        t.insert({"f": 1})
+        t.insert({"f": 1.0})
+        st = profile_column(database, AttributeRef("t", "f"))
+        assert st.distinct_count == 1
+        assert not st.is_unique
+
+
+class TestCollect:
+    def test_collect_skips_empty_tables_by_default(self, db):
+        db.create_table(TableSchema("empty", [Column("x", DataType.INTEGER)]))
+        stats = collect_column_stats(db)
+        assert AttributeRef("empty", "x") not in stats
+        stats_all = collect_column_stats(db, include_empty_tables=True)
+        assert AttributeRef("empty", "x") in stats_all
+
+    def test_collect_covers_all_attributes(self, db):
+        stats = collect_column_stats(db)
+        assert set(stats) == {
+            AttributeRef("t", "i"),
+            AttributeRef("t", "s"),
+            AttributeRef("t", "f"),
+            AttributeRef("t", "all_null"),
+        }

@@ -1,0 +1,167 @@
+"""Tests for the accession-number heuristic (Sec. 5, Heuristic 1)."""
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.discovery.accession import (
+    AccessionProfile,
+    AccessionRule,
+    find_accession_candidates,
+    profile_attribute,
+)
+from repro.errors import DiscoveryError
+
+
+def single_column_db(values, dtype=DataType.VARCHAR) -> Database:
+    db = Database("acc")
+    t = db.create_table(TableSchema("t", [Column("c", dtype)]))
+    for v in values:
+        t.insert({"c": v})
+    return db
+
+
+REF = AttributeRef("t", "c")
+
+
+class TestRule:
+    def test_defaults_are_papers(self):
+        rule = AccessionRule()
+        assert rule.min_length == 4
+        assert rule.max_length_spread == 0.2
+        assert rule.min_fraction == 1.0
+
+    def test_value_conformance(self):
+        rule = AccessionRule()
+        assert rule.value_conforms("Q9H2X1")
+        assert not rule.value_conforms("abc")       # too short
+        assert not rule.value_conforms("123456")    # no letter
+        assert rule.value_conforms("1abc")
+
+    def test_letter_requirement_optional(self):
+        rule = AccessionRule(require_letter=False)
+        assert rule.value_conforms("123456")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DiscoveryError):
+            AccessionRule(min_fraction=0.0)
+        with pytest.raises(DiscoveryError):
+            AccessionRule(min_fraction=1.5)
+
+    def test_invalid_spread(self):
+        with pytest.raises(DiscoveryError):
+            AccessionRule(max_length_spread=-0.1)
+
+
+class TestProfile:
+    def test_uniform_accessions_pass(self):
+        db = single_column_db(["Q12345", "P99999", "O00001"])
+        profile = profile_attribute(db, REF, AccessionRule())
+        assert profile.passes(AccessionRule())
+        assert profile.fraction == 1.0
+        assert profile.length_spread == 0.0
+
+    def test_short_value_fails_strict(self):
+        db = single_column_db(["Q12345", "abc"])
+        profile = profile_attribute(db, REF, AccessionRule())
+        assert not profile.passes(AccessionRule())
+        assert profile.fraction == 0.5
+
+    def test_length_spread_limit(self):
+        # 8 vs 10 chars: spread 0.2 exactly -> passes; 7 vs 10 fails.
+        ok = single_column_db(["ABCDEFGH", "ABCDEFGHIJ"])
+        profile = profile_attribute(ok, REF, AccessionRule())
+        assert profile.passes(AccessionRule())
+        bad = single_column_db(["ABCDEFG", "ABCDEFGHIJ"])
+        profile = profile_attribute(bad, REF, AccessionRule())
+        assert not profile.passes(AccessionRule())
+
+    def test_numbers_fail_letter_rule(self):
+        db = single_column_db(["123456", "789012"])
+        assert not profile_attribute(db, REF, AccessionRule()).passes(
+            AccessionRule()
+        )
+
+    def test_integers_as_strings_fail(self):
+        db = single_column_db([123456, 789012], DataType.INTEGER)
+        assert not profile_attribute(db, REF, AccessionRule()).passes(
+            AccessionRule()
+        )
+
+    def test_empty_column_never_passes(self):
+        db = single_column_db([None, None])
+        profile = profile_attribute(db, REF, AccessionRule())
+        assert not profile.passes(AccessionRule())
+
+    def test_nulls_not_counted(self):
+        db = single_column_db(["Q12345", None, "P54321"])
+        profile = profile_attribute(db, REF, AccessionRule())
+        assert profile.total_values == 2
+        assert profile.passes(AccessionRule())
+
+
+class TestSoftened:
+    def test_one_dirty_value_fails_strict_passes_softened(self):
+        values = ["Q1234%d" % i for i in range(99)] + ["?"]
+        db = single_column_db(values)
+        strict = profile_attribute(db, REF, AccessionRule())
+        assert not strict.passes(AccessionRule())
+        soft_rule = AccessionRule(min_fraction=0.99)
+        assert strict.passes(soft_rule)
+
+    def test_spread_computed_on_conforming_values(self):
+        # The dirty "?" must not drag the length spread down.
+        values = ["ABCDEF"] * 50 + ["?"]
+        db = single_column_db(values)
+        profile = profile_attribute(db, REF, AccessionRule(min_fraction=0.9))
+        assert profile.length_spread == 0.0
+        assert profile.passes(AccessionRule(min_fraction=0.9))
+
+    def test_fraction_boundary_inclusive(self):
+        values = ["ABCDEF"] * 95 + ["?"] * 5
+        db = single_column_db(values)
+        profile = profile_attribute(db, REF, AccessionRule())
+        assert profile.fraction == 0.95
+        assert profile.passes(AccessionRule(min_fraction=0.95))
+        assert not profile.passes(AccessionRule(min_fraction=0.951))
+
+
+class TestFindCandidates:
+    def test_finds_only_qualifying_columns(self):
+        db = Database("multi")
+        t = db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("acc", DataType.VARCHAR),
+                    Column("free", DataType.VARCHAR),
+                    Column("num", DataType.INTEGER),
+                    Column("blob", DataType.BLOB),
+                ],
+            )
+        )
+        for i in range(10):
+            t.insert(
+                {
+                    "acc": f"Q{i:05d}",
+                    "free": "na" if i == 0 else "some longer description",
+                    "num": i,
+                    "blob": b"\x00",
+                }
+            )
+        candidates = find_accession_candidates(db)
+        assert [p.ref for p in candidates] == [AttributeRef("t", "acc")]
+
+    def test_lob_columns_skipped(self):
+        db = Database("lob")
+        t = db.create_table(TableSchema("t", [Column("c", DataType.CLOB)]))
+        t.insert({"c": "ABCDEF"})
+        assert find_accession_candidates(db) == []
+
+    def test_deterministic_order(self):
+        db = Database("order")
+        for name in ("zz", "aa"):
+            t = db.create_table(TableSchema(name, [Column("c", DataType.VARCHAR)]))
+            t.insert({"c": "ABCDEF"})
+        refs = [p.ref for p in find_accession_candidates(db)]
+        assert refs == [AttributeRef("aa", "c"), AttributeRef("zz", "c")]

@@ -1,0 +1,139 @@
+"""Tests for FK evaluation against gold standards and FK ranking."""
+
+import pytest
+
+from repro.core.ind import IND, INDSet
+from repro.db.schema import AttributeRef, ForeignKey
+from repro.db.stats import ColumnStats
+from repro.db.types import DataType
+from repro.discovery.foreign_keys import (
+    evaluate_against_gold,
+    rank_fk_candidates,
+)
+
+PARENT_ID = AttributeRef("parent", "id")
+CHILD_PID = AttributeRef("child", "pid")
+SEQ_ID = AttributeRef("seq", "parent_id")  # 1:1 with parent
+OTHER = AttributeRef("other", "x")
+
+FK_CHILD = ForeignKey("child", "pid", "parent", "id")
+FK_SEQ = ForeignKey("seq", "parent_id", "parent", "id")
+FK_EMPTY = ForeignKey("ghost", "gid", "parent", "id")
+
+
+class TestEvaluation:
+    def test_all_matched(self):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID), IND(SEQ_ID, PARENT_ID)])
+        ev = evaluate_against_gold(inds, [FK_CHILD, FK_SEQ])
+        assert len(ev.matched) == 2
+        assert ev.recall == 1.0
+        assert ev.precision == 1.0
+        assert not ev.missed and not ev.false_positives
+
+    def test_missed_fk(self):
+        ev = evaluate_against_gold(INDSet(), [FK_CHILD])
+        assert len(ev.missed) == 1
+        assert ev.recall == 0.0
+
+    def test_empty_table_fk_unrecoverable(self):
+        ev = evaluate_against_gold(INDSet(), [FK_EMPTY], empty_tables={"ghost"})
+        assert len(ev.unrecoverable) == 1
+        assert not ev.missed
+        assert ev.recall == 1.0  # nothing recoverable was missed
+
+    def test_equality_implied_inds(self):
+        # seq.parent_id == parent.id as value sets: the reverse IND and the
+        # chained INDs must classify as implied, not false positives.
+        inds = INDSet(
+            [
+                IND(CHILD_PID, PARENT_ID),
+                IND(SEQ_ID, PARENT_ID),
+                IND(PARENT_ID, SEQ_ID),  # reverse of FK_SEQ (equality)
+                IND(CHILD_PID, SEQ_ID),  # chained through the equality
+            ]
+        )
+        ev = evaluate_against_gold(inds, [FK_CHILD, FK_SEQ])
+        assert len(ev.matched) == 2
+        assert {str(i) for i in ev.implied} == {
+            "parent.id [= seq.parent_id",
+            "child.pid [= seq.parent_id",
+        }
+        assert not ev.false_positives
+        assert ev.precision == 1.0
+
+    def test_genuine_false_positive(self):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID), IND(OTHER, PARENT_ID)])
+        ev = evaluate_against_gold(inds, [FK_CHILD])
+        assert len(ev.false_positives) == 1
+        assert ev.precision == 0.5
+
+    def test_transitive_closure_of_declared_fks(self):
+        # a -> b declared, b -> c declared; discovered a -> c is implied.
+        a, b, c = (AttributeRef(t, "x") for t in "abc")
+        gold = [ForeignKey("a", "x", "b", "x"), ForeignKey("b", "x", "c", "x")]
+        inds = INDSet([IND(a, b), IND(b, c), IND(a, c)])
+        ev = evaluate_against_gold(inds, gold)
+        assert len(ev.matched) == 2
+        assert ev.implied == [IND(a, c)]
+
+    def test_empty_everything(self):
+        ev = evaluate_against_gold(INDSet(), [])
+        assert ev.recall == 1.0
+        assert ev.precision == 1.0
+
+
+def make_stats(ref, distinct, nulls=0, unique=False, dtype=DataType.INTEGER):
+    return ColumnStats(
+        ref=ref,
+        dtype=dtype,
+        row_count=distinct + nulls,
+        null_count=nulls,
+        distinct_count=distinct,
+        min_value="1",
+        max_value="9",
+        min_length=1,
+        max_length=1,
+    )
+
+
+class TestRanking:
+    @pytest.fixture()
+    def stats(self):
+        return {
+            PARENT_ID: make_stats(PARENT_ID, 100, unique=True),
+            CHILD_PID: make_stats(CHILD_PID, 80),
+            OTHER: make_stats(OTHER, 5),
+        }
+
+    def _fix_unique(self, stats):
+        # make_stats can't mark uniqueness directly; distinct == non-null does.
+        return stats
+
+    def test_name_affinity_boosts_matching_names(self, stats):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID), IND(OTHER, PARENT_ID)])
+        guesses = rank_fk_candidates(inds, stats)
+        assert guesses[0].ind == IND(CHILD_PID, PARENT_ID)
+        assert guesses[0].score > guesses[1].score
+
+    def test_min_score_filters(self, stats):
+        inds = INDSet([IND(OTHER, PARENT_ID)])
+        all_guesses = rank_fk_candidates(inds, stats, min_score=0.0)
+        assert len(all_guesses) == 1
+        none = rank_fk_candidates(inds, stats, min_score=0.99)
+        assert none == []
+
+    def test_coverage_component(self, stats):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID)])
+        guess = rank_fk_candidates(inds, stats)[0]
+        assert guess.coverage == pytest.approx(0.8)
+
+    def test_referenced_key_component(self, stats):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID)])
+        guess = rank_fk_candidates(inds, stats)[0]
+        assert guess.referenced_is_key
+
+    def test_deterministic_order(self, stats):
+        inds = INDSet([IND(CHILD_PID, PARENT_ID), IND(OTHER, PARENT_ID)])
+        first = rank_fk_candidates(inds, stats)
+        second = rank_fk_candidates(inds, stats)
+        assert [g.ind for g in first] == [g.ind for g in second]

@@ -1,0 +1,80 @@
+"""Tests for primary-key candidate discovery (Aladin step 2)."""
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.discovery.keys import find_primary_key_candidates
+
+
+def build_db() -> Database:
+    db = Database("keys")
+    t = db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER),        # unique, non-null
+                Column("code", DataType.VARCHAR),      # unique, non-null
+                Column("maybe", DataType.INTEGER),     # unique among non-null
+                Column("dup", DataType.INTEGER),       # duplicates
+                Column("payload", DataType.CLOB),      # LOB
+            ],
+        )
+    )
+    for i in range(10):
+        t.insert(
+            {
+                "id": i,
+                "code": f"c{i}",
+                "maybe": i if i % 2 == 0 else None,
+                "dup": i % 3,
+                "payload": "x" * 100,
+            }
+        )
+    return db
+
+
+class TestCandidates:
+    def test_unique_columns_found(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        refs = {c.ref.column for c in candidates}
+        assert refs == {"id", "code", "maybe"}
+
+    def test_duplicates_excluded(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        assert all(c.ref.column != "dup" for c in candidates)
+
+    def test_lob_excluded(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        assert all(c.ref.column != "payload" for c in candidates)
+
+    def test_ranking_null_free_first(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        # 'maybe' has NULLs: must rank behind both null-free columns.
+        assert candidates[-1].ref == AttributeRef("t", "maybe")
+        assert not candidates[-1].null_free
+
+    def test_ranking_integer_before_string(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        assert candidates[0].ref == AttributeRef("t", "id")
+        assert candidates[1].ref == AttributeRef("t", "code")
+
+    def test_coverage(self):
+        candidates = find_primary_key_candidates(build_db())["t"]
+        by_col = {c.ref.column: c for c in candidates}
+        assert by_col["id"].coverage == 1.0
+        assert by_col["maybe"].coverage == 0.5
+
+    def test_tables_without_candidates_absent(self):
+        db = Database("none")
+        t = db.create_table(TableSchema("t", [Column("d", DataType.INTEGER)]))
+        t.insert({"d": 1})
+        t.insert({"d": 1})
+        assert find_primary_key_candidates(db) == {}
+
+    def test_precomputed_stats_accepted(self):
+        from repro.db.stats import collect_column_stats
+
+        db = build_db()
+        stats = collect_column_stats(db)
+        assert find_primary_key_candidates(db, stats) == (
+            find_primary_key_candidates(db)
+        )

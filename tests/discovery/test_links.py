@@ -1,0 +1,136 @@
+"""Tests for inter-database link discovery (Aladin step 4)."""
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.discovery.links import discover_links
+from repro.errors import DiscoveryError
+
+
+def primary_db(name: str, codes: list[str]) -> Database:
+    """A database whose primary relation 'main' holds accession codes."""
+    db = Database(name)
+    main = db.create_table(
+        TableSchema(
+            "main",
+            [
+                Column("main_id", DataType.INTEGER),
+                Column("acc", DataType.VARCHAR, nullable=False, unique=True),
+            ],
+            primary_key="main_id",
+        )
+    )
+    anno = db.create_table(
+        TableSchema(
+            "anno",
+            [
+                Column("anno_id", DataType.INTEGER),
+                Column("main_ref", DataType.INTEGER, nullable=False),
+                Column("note", DataType.VARCHAR),
+            ],
+            primary_key="anno_id",
+        )
+    )
+    for i, code in enumerate(codes):
+        main.insert({"main_id": i + 1, "acc": code})
+    for i in range(len(codes) * 2):
+        anno.insert(
+            {
+                "anno_id": i + 1,
+                "main_ref": (i % len(codes)) + 1,
+                "note": "na" if i == 0 else "free text note",
+            }
+        )
+    return db
+
+
+CODES = [f"Q{i:05d}" for i in range(12)]
+
+
+@pytest.fixture()
+def target() -> Database:
+    return primary_db("target", CODES)
+
+
+def source_with_column(values, name="source") -> Database:
+    db = Database(name)
+    t = db.create_table(
+        TableSchema(
+            "xref",
+            [Column("x_id", DataType.INTEGER), Column("link", DataType.VARCHAR)],
+            primary_key="x_id",
+        )
+    )
+    for i, v in enumerate(values):
+        t.insert({"x_id": i + 1, "link": v})
+    return db
+
+
+class TestExactLinks:
+    def test_exact_subset_found(self, target):
+        source = source_with_column(CODES[:5])
+        links = discover_links([target, source])
+        assert any(
+            l.source.qualified == "xref.link" and l.target.qualified == "main.acc"
+            and l.is_exact
+            for l in links
+        )
+
+    def test_non_subset_not_linked(self, target):
+        source = source_with_column(["NOPE01", "NOPE02"])
+        links = discover_links([target, source])
+        assert all(l.source.qualified != "xref.link" for l in links)
+
+    def test_only_primary_relation_targets(self, target):
+        # anno.note is a string column of the target, but it is not in the
+        # primary relation: nothing may link INTO it.
+        source = source_with_column(["free text note"])
+        links = discover_links([target, source])
+        assert all(l.target.table == "main" for l in links)
+
+    def test_single_database_yields_nothing(self, target):
+        assert discover_links([target]) == []
+
+    def test_duplicate_names_rejected(self, target):
+        with pytest.raises(DiscoveryError, match="distinct names"):
+            discover_links([target, primary_db("target", CODES)])
+
+
+class TestPrefixedLinks:
+    def test_prefixed_values_link(self, target):
+        source = source_with_column([f"PDB-{c}" for c in CODES[:6]])
+        links = discover_links([target, source])
+        hit = next(l for l in links if l.source.qualified == "xref.link")
+        assert hit.stripped_prefix == "PDB-"
+        assert not hit.is_exact
+        assert "strip(" in str(hit)
+
+    def test_prefix_detection_disabled(self, target):
+        source = source_with_column([f"PDB-{c}" for c in CODES[:6]])
+        links = discover_links([target, source], allow_prefixed=False)
+        assert all(l.source.qualified != "xref.link" for l in links)
+
+    def test_mixed_prefixes_do_not_link(self, target):
+        source = source_with_column(
+            [f"PDB-{CODES[0]}", f"EMBL-{CODES[1]}"]
+        )
+        links = discover_links([target, source])
+        assert all(l.source.qualified != "xref.link" for l in links)
+
+    def test_min_source_values(self, target):
+        source = source_with_column([CODES[0]])
+        links = discover_links([target, source], min_source_values=2)
+        assert all(l.source.qualified != "xref.link" for l in links)
+
+
+class TestPrecomputedInds:
+    def test_intra_inds_passed_through(self, target):
+        from repro.core import DiscoveryConfig, discover_inds
+
+        source = source_with_column(CODES[:4])
+        intra = {
+            db.name: discover_inds(db, DiscoveryConfig()).satisfied
+            for db in (target, source)
+        }
+        links = discover_links([target, source], intra_inds=intra)
+        assert any(l.source.qualified == "xref.link" for l in links)

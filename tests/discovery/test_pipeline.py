@@ -1,0 +1,108 @@
+"""Tests for the end-to-end Aladin pipeline."""
+
+import pytest
+
+from repro.core.runner import DiscoveryConfig
+from repro.datagen import generate_biosql
+from repro.db import Column, Database, DataType, TableSchema
+from repro.discovery.pipeline import AladinPipeline
+from repro.errors import DiscoveryError
+
+
+@pytest.fixture(scope="module")
+def biosql_db():
+    return generate_biosql("tiny").db
+
+
+class TestSingleDatabase:
+    def test_full_report(self, biosql_db):
+        report = AladinPipeline().run([biosql_db])
+        db_report = report.databases["uniprot_biosql"]
+        assert db_report.summary["tables"] == 16
+        assert len(db_report.inds) > 0
+        assert db_report.fk_guesses
+        assert db_report.primary_relation.primary_relation == "sg_bioentry"
+        assert report.links == []
+
+    def test_key_candidates_cover_pk_tables(self, biosql_db):
+        report = AladinPipeline().run([biosql_db])
+        keys = report.databases["uniprot_biosql"].key_candidates
+        assert "sg_bioentry" in keys
+        best = keys["sg_bioentry"][0]
+        assert best.ref.column in ("bioentry_id", "accession", "identifier")
+
+    def test_surrogate_filter_optional(self, biosql_db):
+        with_filter = AladinPipeline(apply_surrogate_filter=True).run([biosql_db])
+        without = AladinPipeline(apply_surrogate_filter=False).run([biosql_db])
+        assert without.databases["uniprot_biosql"].surrogate_report is None
+        assert (
+            with_filter.databases["uniprot_biosql"].surrogate_report is not None
+        )
+
+    def test_requires_databases(self):
+        with pytest.raises(DiscoveryError, match="at least one"):
+            AladinPipeline().run([])
+
+    def test_custom_discovery_config(self, biosql_db):
+        report = AladinPipeline(
+            discovery_config=DiscoveryConfig(strategy="brute-force")
+        ).run([biosql_db])
+        assert (
+            report.databases["uniprot_biosql"].discovery.strategy == "brute-force"
+        )
+
+
+class TestDuplicateFlagging:
+    def test_exact_duplicates_counted(self):
+        db = Database("dups")
+        t = db.create_table(
+            TableSchema("t", [Column("a", DataType.INTEGER),
+                              Column("b", DataType.VARCHAR)])
+        )
+        t.insert({"a": 1, "b": "x"})
+        t.insert({"a": 1, "b": "x"})
+        t.insert({"a": 1, "b": "x"})
+        t.insert({"a": 2, "b": None})
+        t.insert({"a": 2, "b": None})
+        report = AladinPipeline().run([db])
+        assert report.databases["dups"].duplicate_rows == {"t": 3}
+
+    def test_no_duplicates_empty_map(self, biosql_db):
+        report = AladinPipeline().run([biosql_db])
+        # BioSQL tables carry unique surrogate keys: no exact duplicates.
+        assert report.databases["uniprot_biosql"].duplicate_rows == {}
+
+
+class TestMultiDatabase:
+    def test_links_computed_between_sources(self, biosql_db):
+        # Second source referencing bioentry accessions with a prefix.
+        accessions = [
+            row["accession"] for row in biosql_db.table("sg_bioentry").rows()
+        ][:10]
+        other = Database("microarray")
+        t = other.create_table(
+            TableSchema(
+                "probe",
+                [
+                    Column("probe_id", DataType.INTEGER),
+                    Column("uniprot_xref", DataType.VARCHAR),
+                    Column("descr", DataType.VARCHAR),
+                ],
+                primary_key="probe_id",
+            )
+        )
+        for i, acc in enumerate(accessions):
+            t.insert(
+                {
+                    "probe_id": i + 1,
+                    "uniprot_xref": f"UP:{acc}",
+                    "descr": "na" if i == 0 else "probe description",
+                }
+            )
+        report = AladinPipeline().run([biosql_db, other])
+        assert any(
+            link.source.qualified == "probe.uniprot_xref"
+            and link.target.qualified == "sg_bioentry.accession"
+            and link.stripped_prefix == "UP:"
+            for link in report.links
+        )

@@ -1,0 +1,96 @@
+"""Tests for primary-relation identification (Heuristic 2)."""
+
+from repro.core.ind import IND, INDSet
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.discovery.primary_relation import identify_primary_relation
+
+
+def build_db() -> Database:
+    db = Database("prim")
+    for name in ("main", "side", "noacc"):
+        t = db.create_table(
+            TableSchema(
+                name,
+                [Column("acc", DataType.VARCHAR), Column("v", DataType.INTEGER)],
+            )
+        )
+        for i in range(8):
+            # 'noacc' gets short values -> no accession candidate there.
+            acc = f"Q{i:05d}" if name != "noacc" else "ab"
+            t.insert({"acc": acc, "v": i})
+    return db
+
+
+MAIN_ACC = AttributeRef("main", "acc")
+SIDE_ACC = AttributeRef("side", "acc")
+NO_ACC = AttributeRef("noacc", "acc")
+MAIN_V = AttributeRef("main", "v")
+SIDE_V = AttributeRef("side", "v")
+NOACC_V = AttributeRef("noacc", "v")
+
+
+class TestHeuristic2:
+    def test_most_referenced_wins(self):
+        db = build_db()
+        inds = INDSet(
+            [
+                IND(SIDE_V, MAIN_V),
+                IND(NOACC_V, MAIN_V),
+                IND(NOACC_V, SIDE_V),
+            ]
+        )
+        report = identify_primary_relation(db, inds)
+        assert report.primary_relation == "main"
+        assert report.ind_counts == {"main": 2, "side": 1}
+
+    def test_tables_without_accession_excluded(self):
+        db = build_db()
+        # Everything references noacc, but it has no accession candidate.
+        inds = INDSet([IND(MAIN_V, NOACC_V), IND(SIDE_V, NOACC_V)])
+        report = identify_primary_relation(db, inds)
+        assert "noacc" not in report.ind_counts
+        assert report.primary_relation is None or report.primary_relation != "noacc"
+
+    def test_tie_produces_shortlist(self):
+        db = build_db()
+        inds = INDSet([IND(NOACC_V, MAIN_V), IND(NOACC_V, SIDE_V)])
+        report = identify_primary_relation(db, inds)
+        assert report.shortlist == ["main", "side"]
+        assert report.primary_relation is None
+
+    def test_ranked_output(self):
+        db = build_db()
+        inds = INDSet([IND(SIDE_V, MAIN_V)])
+        report = identify_primary_relation(db, inds)
+        ranked = report.ranked()
+        assert ranked[0] == ("main", 1)
+        assert ranked[1] == ("side", 0)
+
+    def test_no_accession_candidates_at_all(self):
+        db = Database("empty")
+        t = db.create_table(TableSchema("t", [Column("v", DataType.INTEGER)]))
+        t.insert({"v": 1})
+        report = identify_primary_relation(db, INDSet())
+        assert report.shortlist == []
+        assert report.primary_relation is None
+
+    def test_precomputed_candidates_respected(self):
+        db = build_db()
+        from repro.discovery.accession import find_accession_candidates
+
+        candidates = [
+            p for p in find_accession_candidates(db) if p.ref.table == "side"
+        ]
+        report = identify_primary_relation(
+            db, INDSet([IND(NOACC_V, MAIN_V)]), accession_candidates=candidates
+        )
+        # Only 'side' was offered, so 'main' cannot win.
+        assert report.shortlist == ["side"]
+
+    def test_inds_counted_into_any_attribute_of_table(self):
+        db = build_db()
+        # INDs into main.acc and main.v both count for table 'main'.
+        inds = INDSet([IND(SIDE_ACC, MAIN_ACC), IND(SIDE_V, MAIN_V)])
+        report = identify_primary_relation(db, inds)
+        assert report.ind_counts["main"] == 2

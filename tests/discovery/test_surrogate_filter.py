@@ -1,0 +1,142 @@
+"""Tests for the surrogate-key range filter."""
+
+import pytest
+
+from repro.core.ind import IND, INDSet
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.db.stats import collect_column_stats
+from repro.discovery.surrogate_filter import (
+    filter_surrogate_inds,
+    profile_surrogate,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("surr")
+    t = database.create_table(
+        TableSchema(
+            "a",
+            [
+                Column("a_id", DataType.INTEGER),     # 1..20 dense
+                Column("sparse", DataType.INTEGER),   # scattered
+                Column("text", DataType.VARCHAR),
+            ],
+        )
+    )
+    for i in range(20):
+        t.insert({"a_id": i + 1, "sparse": i * 37 + 5, "text": f"v{i}"})
+    u = database.create_table(
+        TableSchema(
+            "struct",
+            [
+                Column("struct_id", DataType.INTEGER),  # 1..40 dense
+                Column("zero_based", DataType.INTEGER),  # 0..39 dense
+            ],
+        )
+    )
+    for i in range(40):
+        u.insert({"struct_id": i + 1, "zero_based": i})
+    w = database.create_table(
+        TableSchema("ref_holder", [Column("struct_ref", DataType.INTEGER)])
+    )
+    for i in range(30):
+        w.insert({"struct_ref": (i % 40) + 1})
+    return database
+
+
+@pytest.fixture()
+def stats(db):
+    return collect_column_stats(db)
+
+
+A_ID = AttributeRef("a", "a_id")
+SPARSE = AttributeRef("a", "sparse")
+TEXT = AttributeRef("a", "text")
+STRUCT_ID = AttributeRef("struct", "struct_id")
+ZERO = AttributeRef("struct", "zero_based")
+STRUCT_REF = AttributeRef("ref_holder", "struct_ref")
+
+
+class TestProfile:
+    def test_dense_one_based(self, stats):
+        profile = profile_surrogate(A_ID, stats[A_ID])
+        assert profile.is_surrogate_like
+        assert profile.min_value == 1
+        assert profile.density == 1.0
+
+    def test_dense_zero_based(self, stats):
+        assert profile_surrogate(ZERO, stats[ZERO]).is_surrogate_like
+
+    def test_sparse_not_surrogate(self, stats):
+        profile = profile_surrogate(SPARSE, stats[SPARSE])
+        assert not profile.is_surrogate_like
+        assert profile.density < 0.1
+
+    def test_text_not_surrogate(self, stats):
+        assert not profile_surrogate(TEXT, stats[TEXT]).is_surrogate_like
+
+    def test_uses_numeric_not_rendered_bounds(self, stats):
+        # a_id 1..20: rendered max is "9", numeric max is 20.  A rendered
+        # implementation would compute density 20/9 > 1 and misbehave.
+        profile = profile_surrogate(A_ID, stats[A_ID])
+        assert profile.max_value == 20
+
+    def test_origin_configurable(self, stats):
+        profile = profile_surrogate(
+            ZERO, stats[ZERO], origin_values=(1,)
+        )
+        assert not profile.is_surrogate_like
+
+
+class TestFilter:
+    def test_surrogate_pair_filtered(self, stats):
+        inds = INDSet([IND(A_ID, STRUCT_ID)])
+        report = filter_surrogate_inds(inds, stats, rescue_by_name=False)
+        assert len(report.filtered) == 1
+        assert len(report.kept) == 0
+
+    def test_non_surrogate_side_kept(self, stats):
+        inds = INDSet([IND(SPARSE, STRUCT_ID)])
+        report = filter_surrogate_inds(inds, stats)
+        assert IND(SPARSE, STRUCT_ID) in report.kept
+
+    def test_name_affinity_rescues_real_link(self, stats):
+        # ref_holder.struct_ref [= struct.struct_id is a real link between
+        # two dense ranges: the name evidence must keep it.
+        ind = IND(STRUCT_REF, STRUCT_ID)
+        report = filter_surrogate_inds(INDSet([ind]), stats)
+        assert ind in report.kept
+        assert ind in report.rescued_by_name
+
+    def test_rescue_can_be_disabled(self, stats):
+        ind = IND(STRUCT_REF, STRUCT_ID)
+        report = filter_surrogate_inds(
+            INDSet([ind]), stats, rescue_by_name=False
+        )
+        assert ind in report.filtered
+
+    def test_mixed_set(self, stats):
+        inds = INDSet(
+            [
+                IND(A_ID, STRUCT_ID),      # noise: filtered
+                IND(SPARSE, STRUCT_ID),    # kept (sparse side)
+                IND(STRUCT_REF, STRUCT_ID),  # rescued
+            ]
+        )
+        report = filter_surrogate_inds(inds, stats)
+        assert report.filtered_count == 1
+        assert len(report.kept) == 2
+
+    def test_profiles_cached_in_report(self, stats):
+        inds = INDSet([IND(A_ID, STRUCT_ID), IND(A_ID, ZERO)])
+        report = filter_surrogate_inds(inds, stats)
+        assert A_ID in report.profiles
+        assert report.profiles[A_ID].is_surrogate_like
+
+    def test_density_threshold(self, stats):
+        # With an extreme density requirement nothing is surrogate-like.
+        inds = INDSet([IND(A_ID, STRUCT_ID)])
+        report = filter_surrogate_inds(inds, stats, min_density=1.01)
+        assert len(report.filtered) == 0

@@ -1,0 +1,295 @@
+"""End-to-end tests for the SQL engine (parse → plan → execute)."""
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.errors import SqlExecutionError, SqlPlanError
+from repro.sql.engine import SqlEngine
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("sql")
+    t = database.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("a", DataType.INTEGER),
+                Column("b", DataType.VARCHAR),
+            ],
+        )
+    )
+    for a, b in [(1, "x"), (2, "y"), (2, None), (None, "z")]:
+        t.insert({"a": a, "b": b})
+    u = database.create_table(
+        TableSchema("u", [Column("k", DataType.VARCHAR, unique=True)])
+    )
+    for k in ["1", "2", "3"]:
+        u.insert({"k": k})
+    return database
+
+
+@pytest.fixture()
+def engine(db) -> SqlEngine:
+    return SqlEngine(db)
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, engine):
+        result = engine.execute("select * from t")
+        assert len(result.rows) == 4
+        assert result.columns == ["a", "b"]
+
+    def test_select_column(self, engine):
+        result = engine.execute("select b from t where a = 2")
+        assert result.rows == [("y",), (None,)]
+
+    def test_where_excludes_unknown(self, engine):
+        # a = NULL row is UNKNOWN, not TRUE: must be filtered out.
+        result = engine.execute("select a from t where a < 10")
+        assert len(result.rows) == 3
+
+    def test_is_null(self, engine):
+        assert len(engine.execute("select * from t where a is null").rows) == 1
+
+    def test_is_not_null(self, engine):
+        assert len(engine.execute("select * from t where a is not null").rows) == 3
+
+    def test_comparison_null_literal_never_true(self, engine):
+        assert engine.execute("select * from t where a = null").rows == []
+
+    def test_and_or(self, engine):
+        result = engine.execute(
+            "select * from t where a = 1 or a = 2 and b = 'y'"
+        )
+        assert len(result.rows) == 2
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(SqlExecutionError, match="unknown column"):
+            engine.execute("select nope from t")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlPlanError, match="no table"):
+            engine.execute("select * from ghost")
+
+    def test_ambiguous_column(self, engine):
+        with pytest.raises(SqlExecutionError, match="ambiguous"):
+            engine.execute("select a from t t1 join t t2 on t1.a = t2.a")
+
+
+class TestAggregates:
+    def test_count_star(self, engine):
+        assert engine.scalar("select count(*) from t") == 4
+
+    def test_count_column_skips_nulls(self, engine):
+        assert engine.scalar("select count(a) from t") == 3
+
+    def test_multiple_counts(self, engine):
+        result = engine.execute("select count(a) as ca, count(b) as cb from t")
+        assert result.rows == [(3, 3)]
+        assert result.columns == ["ca", "cb"]
+
+    def test_count_mixed_with_column_rejected(self, engine):
+        with pytest.raises(SqlPlanError, match="mixed"):
+            engine.execute("select count(*), a from t")
+
+    def test_scalar_requires_1x1(self, engine):
+        with pytest.raises(SqlExecutionError, match="1x1"):
+            engine.execute("select * from t").scalar()
+
+
+class TestDistinctAndOrder:
+    def test_distinct(self, engine):
+        result = engine.execute("select distinct a from t")
+        assert len(result.rows) == 3  # 1, 2, NULL
+
+    def test_distinct_treats_nulls_equal(self, engine, db):
+        db.table("t").insert({"a": None, "b": None})
+        result = engine.execute("select distinct a from t")
+        assert len(result.rows) == 3
+
+    def test_order_by_position(self, engine):
+        result = engine.execute(
+            "select distinct to_char(a) from t where a is not null order by 1"
+        )
+        assert result.rows == [("1",), ("2",)]
+
+    def test_order_by_name_desc(self, engine):
+        result = engine.execute(
+            "select b from t where b is not null order by b desc"
+        )
+        assert [r[0] for r in result.rows] == ["z", "y", "x"]
+
+    def test_order_by_nulls_last(self, engine):
+        result = engine.execute("select b from t order by b")
+        assert result.rows[-1] == (None,)
+
+    def test_order_by_position_out_of_range(self, engine):
+        with pytest.raises(SqlExecutionError, match="out of range"):
+            engine.execute("select a from t order by 5")
+
+
+class TestToChar:
+    def test_to_char_int(self, engine):
+        result = engine.execute("select to_char(a) from t where a = 1")
+        assert result.rows == [("1",)]
+
+    def test_to_char_null_passthrough(self, engine):
+        result = engine.execute("select to_char(a) from t where a is null")
+        assert result.rows == [(None,)]
+
+    def test_cross_type_equality(self, engine):
+        # TO_CHAR semantics: INTEGER 1 equals VARCHAR '1'.
+        matched = engine.scalar(
+            "select count(*) from (t dep join u ref on dep.a = ref.k)"
+        )
+        assert matched == 3  # rows a=1, a=2, a=2
+
+
+class TestJoin:
+    def test_join_excludes_nulls(self, engine):
+        # The a=NULL row must not join with anything.
+        result = engine.execute("select * from (t join u on t.a = u.k)")
+        assert len(result.rows) == 3
+
+    def test_join_output_columns(self, engine):
+        result = engine.execute("select * from (t join u on t.a = u.k)")
+        assert result.columns == ["a", "b", "k"]
+
+    def test_join_requires_equi_condition(self, engine):
+        with pytest.raises(SqlExecutionError, match="equi-join"):
+            engine.execute("select * from (t join u on t.a < u.k)")
+
+    def test_join_with_residual_condition(self, engine):
+        result = engine.execute(
+            "select * from (t join u on t.a = u.k and t.b = 'y')"
+        )
+        assert len(result.rows) == 1
+
+    def test_self_join_with_aliases(self, engine):
+        result = engine.execute(
+            "select count(*) from (t t1 join t t2 on t1.a = t2.a)"
+        )
+        # a=1 matches itself (1), a=2 rows match each other (4).
+        assert result.rows == [(5,)]
+
+
+class TestSetOps:
+    def test_minus(self, engine):
+        result = engine.execute(
+            "select to_char(a) from t where a is not null minus "
+            "select k from u"
+        )
+        assert result.rows == []  # {1,2} - {1,2,3}
+
+    def test_minus_nonempty(self, engine):
+        result = engine.execute(
+            "select k from u minus select to_char(a) from t"
+        )
+        assert result.rows == [("3",)]
+
+    def test_minus_is_distinct(self, engine):
+        result = engine.execute(
+            "select to_char(a) from t minus select k from u where k = '9'"
+        )
+        # duplicates of a=2 collapse; NULL kept once.
+        assert sorted(result.rows, key=str) == [("1",), ("2",), (None,)]
+
+    def test_union(self, engine):
+        result = engine.execute("select k from u union select k from u")
+        assert len(result.rows) == 3
+
+    def test_union_all(self, engine):
+        result = engine.execute("select k from u union all select k from u")
+        assert len(result.rows) == 6
+
+    def test_intersect(self, engine):
+        result = engine.execute(
+            "select to_char(a) from t where a is not null intersect "
+            "select k from u"
+        )
+        assert sorted(result.rows) == [("1",), ("2",)]
+
+    def test_column_count_mismatch(self, engine):
+        with pytest.raises(SqlExecutionError, match="column counts"):
+            engine.execute("select a, b from t minus select k from u")
+
+
+class TestRowNum:
+    def test_rownum_limit(self, engine):
+        assert len(engine.execute("select * from t where rownum < 3").rows) == 2
+
+    def test_rownum_le(self, engine):
+        assert len(engine.execute("select * from t where rownum <= 3").rows) == 3
+
+    def test_rownum_eq_one(self, engine):
+        assert len(engine.execute("select * from t where rownum = 1").rows) == 1
+
+    def test_rownum_eq_two_is_empty(self, engine):
+        # Oracle's famous trap: rownum = 2 can never be satisfied.
+        assert engine.execute("select * from t where rownum = 2").rows == []
+
+    def test_rownum_greater_than_one_is_empty(self, engine):
+        assert engine.execute("select * from t where rownum > 1").rows == []
+
+    def test_rownum_reversed_literal(self, engine):
+        assert len(engine.execute("select * from t where 3 > rownum").rows) == 2
+
+    def test_rownum_combined_with_filter(self, engine):
+        result = engine.execute(
+            "select * from t where a = 2 and rownum < 2"
+        )
+        assert len(result.rows) == 1
+
+    def test_rownum_against_column_rejected(self, engine):
+        with pytest.raises(SqlPlanError, match="literal"):
+            engine.execute("select * from t where rownum < a")
+
+
+class TestNotInSemantics:
+    def test_not_in_basic(self, engine):
+        count = engine.scalar(
+            "select count(*) from (select k from u where k not in "
+            "(select to_char(a) from t where a is not null))"
+        )
+        assert count == 1  # only '3'
+
+    def test_not_in_with_null_in_subquery_yields_nothing(self, engine):
+        # The classic trap: subquery contains NULL -> NOT IN never TRUE.
+        count = engine.scalar(
+            "select count(*) from (select k from u where k not in "
+            "(select to_char(a) from t))"
+        )
+        assert count == 0
+
+    def test_in_with_empty_subquery_is_false(self, engine):
+        count = engine.scalar(
+            "select count(*) from (select k from u where k in "
+            "(select to_char(a) from t where a = 99))"
+        )
+        assert count == 0
+
+    def test_not_in_with_empty_subquery_keeps_all(self, engine):
+        count = engine.scalar(
+            "select count(*) from (select k from u where k not in "
+            "(select to_char(a) from t where a = 99))"
+        )
+        assert count == 3
+
+
+class TestInstrumentation:
+    def test_rows_scanned_accumulates(self, engine):
+        engine.execute("select * from t")
+        engine.execute("select * from u")
+        assert engine.total_stats.rows_scanned == 7
+        assert engine.total_stats.statements == 2
+
+    def test_hints_counted(self, engine):
+        result = engine.execute("select /*+ first_rows(1) */ * from t")
+        assert result.stats.hints_ignored == 1
+
+    def test_rownum_does_not_stop_scan(self, engine):
+        # The materialising executor reads the full table even under a
+        # rownum limit — the paper's measured behaviour.
+        result = engine.execute("select * from t where rownum < 2")
+        assert result.stats.rows_scanned == 4

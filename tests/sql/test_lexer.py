@@ -1,0 +1,89 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql: str) -> list[str]:
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql: str) -> list[str]:
+    return [t.text for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_fold_upper(self):
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_fold_lower(self):
+        tokens = tokenize("MyTable my_col")
+        assert tokens[0] == Token("IDENT", "mytable", 0)
+        assert tokens[1].text == "my_col"
+
+    def test_eof_always_present(self):
+        assert kinds("")[-1] == "EOF"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert (tokens[0].kind, tokens[0].text) == ("INTNUM", "42")
+        assert (tokens[1].kind, tokens[1].text) == ("FLOATNUM", "3.14")
+
+    def test_operators(self):
+        assert kinds("= < > <= >= <> !=")[:-1] == [
+            "EQ", "LT", "GT", "LE", "GE", "NE", "NE",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . *")[:-1] == [
+            "LPAREN", "RPAREN", "COMMA", "DOT", "STAR",
+        ]
+
+    def test_rownum_is_keyword(self):
+        assert tokenize("rownum")[0] == Token("KEYWORD", "ROWNUM", 0)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == "STRING"
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+    def test_unterminated(self):
+        with pytest.raises(SqlLexError, match="unterminated string"):
+            tokenize("'oops")
+
+
+class TestCommentsAndHints:
+    def test_line_comment_skipped(self):
+        assert texts("select -- comment\n1") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert texts("select /* anything */ 1") == ["SELECT", "1"]
+
+    def test_hint_preserved(self):
+        tokens = tokenize("select /*+ first_rows(1) */ x")
+        assert tokens[1].kind == "HINT"
+        assert tokens[1].text == "first_rows(1)"
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SqlLexError, match="unterminated comment"):
+            tokenize("select /* oops")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(SqlLexError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_offset_reported(self):
+        with pytest.raises(SqlLexError, match="offset 7"):
+            tokenize("select @")

@@ -1,0 +1,189 @@
+"""Unit tests for physical operators and SQL value semantics."""
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.errors import SqlExecutionError
+from repro.sql.ast_nodes import BoolOp, ColumnRef, Comparison, Literal
+from repro.sql.operators import (
+    ColHeader,
+    Evaluator,
+    ExecStats,
+    Relation,
+    Resolver,
+    split_conjuncts,
+    sql_compare,
+    sql_equal,
+    sql_less,
+)
+
+
+class TestSqlEqual:
+    def test_same_type(self):
+        assert sql_equal(1, 1) is True
+        assert sql_equal("a", "b") is False
+
+    def test_null_is_unknown(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal(1, None) is None
+        assert sql_equal(None, None) is None
+
+    def test_cross_type_to_char(self):
+        assert sql_equal(144, "144") is True
+        assert sql_equal(1.0, "1") is True
+        assert sql_equal(1.5, "1.5") is True
+
+    def test_numeric_comparison_stays_numeric(self):
+        assert sql_equal(1, 1.0) is True  # numerically, not "1" vs "1.0"
+
+
+class TestSqlLess:
+    def test_numeric(self):
+        assert sql_less(2, 10) is True
+
+    def test_rendered_strings_lexicographic(self):
+        # Cross-type falls back to rendered comparison: "10" < "9".
+        assert sql_less("10", 9) is True
+
+    def test_null(self):
+        assert sql_less(None, 1) is None
+
+
+class TestSqlCompare:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("=", 1, 1, True),
+            ("<>", 1, 2, True),
+            ("<", 1, 2, True),
+            (">", 2, 1, True),
+            ("<=", 2, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_operators(self, op, a, b, expected):
+        assert sql_compare(op, a, b) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(SqlExecutionError):
+            sql_compare("~", 1, 2)
+
+
+class TestResolver:
+    def make(self):
+        return Resolver(
+            [
+                ColHeader("a", "t1"),
+                ColHeader("b", "t1"),
+                ColHeader("a", "t2"),
+            ]
+        )
+
+    def test_qualified(self):
+        resolver = self.make()
+        assert resolver.resolve(ColumnRef("t1", "a")) == 0
+        assert resolver.resolve(ColumnRef("t2", "a")) == 2
+
+    def test_bare_unique(self):
+        assert self.make().resolve(ColumnRef(None, "b")) == 1
+
+    def test_bare_ambiguous(self):
+        with pytest.raises(SqlExecutionError, match="ambiguous"):
+            self.make().resolve(ColumnRef(None, "a"))
+
+    def test_unknown(self):
+        with pytest.raises(SqlExecutionError, match="unknown"):
+            self.make().resolve(ColumnRef(None, "zz"))
+
+    def test_try_resolve(self):
+        assert self.make().try_resolve(ColumnRef(None, "zz")) is None
+
+
+class TestEvaluator3VL:
+    def evaluator(self):
+        return Evaluator(Resolver([ColHeader("x", "t")]))
+
+    def test_and_kleene(self):
+        ev = self.evaluator()
+        # x = NULL -> UNKNOWN; UNKNOWN AND FALSE -> FALSE.
+        pred = BoolOp(
+            "AND",
+            (
+                Comparison("=", ColumnRef(None, "x"), Literal(1)),
+                Comparison("=", Literal(1), Literal(2)),
+            ),
+        )
+        assert ev.truth(pred, (None,)) is False
+
+    def test_and_unknown(self):
+        ev = self.evaluator()
+        pred = BoolOp(
+            "AND",
+            (
+                Comparison("=", ColumnRef(None, "x"), Literal(1)),
+                Comparison("=", Literal(1), Literal(1)),
+            ),
+        )
+        assert ev.truth(pred, (None,)) is None
+
+    def test_or_kleene(self):
+        ev = self.evaluator()
+        pred = BoolOp(
+            "OR",
+            (
+                Comparison("=", ColumnRef(None, "x"), Literal(1)),
+                Comparison("=", Literal(1), Literal(1)),
+            ),
+        )
+        assert ev.truth(pred, (None,)) is True
+
+    def test_rownum_outside_where_rejected(self):
+        from repro.sql.ast_nodes import RowNum
+
+        ev = self.evaluator()
+        with pytest.raises(SqlExecutionError, match="ROWNUM"):
+            ev.value(RowNum(), (1,))
+
+
+class TestSplitConjuncts:
+    def test_flattens_nested_ands(self):
+        a = Comparison("=", Literal(1), Literal(1))
+        b = Comparison("=", Literal(2), Literal(2))
+        c = Comparison("=", Literal(3), Literal(3))
+        expr = BoolOp("AND", (a, BoolOp("AND", (b, c))))
+        assert split_conjuncts(expr) == [a, b, c]
+
+    def test_or_not_split(self):
+        expr = BoolOp(
+            "OR",
+            (
+                Comparison("=", Literal(1), Literal(1)),
+                Comparison("=", Literal(2), Literal(2)),
+            ),
+        )
+        assert split_conjuncts(expr) == [expr]
+
+
+class TestStatsMerge:
+    def test_merge(self):
+        a = ExecStats(statements=1, rows_scanned=10)
+        b = ExecStats(statements=2, rows_scanned=5, joins=1)
+        a.merge(b)
+        assert a.statements == 3
+        assert a.rows_scanned == 15
+        assert a.joins == 1
+
+
+class TestScanInstrumentation:
+    def test_rows_scanned(self):
+        from repro.sql.operators import TableScanOp
+
+        db = Database("x")
+        t = db.create_table(TableSchema("t", [Column("a", DataType.INTEGER)]))
+        t.insert({"a": 1})
+        t.insert({"a": 2})
+        stats = ExecStats()
+        relation = TableScanOp(t, "t").execute(stats)
+        assert stats.rows_scanned == 2
+        assert relation.rows == [(1,), (2,)]
+        assert relation.column_names == ["a"]

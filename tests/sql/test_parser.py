@@ -1,0 +1,226 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql.ast_nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    FromSubquery,
+    FromTable,
+    FuncCall,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    NotOp,
+    RowNum,
+    SelectStmt,
+    SetOpStmt,
+    StarItem,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        stmt = parse("select * from t")
+        assert isinstance(stmt, SelectStmt)
+        assert isinstance(stmt.items[0], StarItem)
+        assert stmt.from_item == FromTable("t", None)
+
+    def test_select_columns_with_aliases(self):
+        stmt = parse("select a, b as bee, t.c cee from t")
+        assert stmt.items[0].expr == ColumnRef(None, "a")
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].expr == ColumnRef("t", "c")
+        assert stmt.items[2].alias == "cee"
+
+    def test_distinct(self):
+        assert parse("select distinct a from t").distinct
+
+    def test_table_alias(self):
+        stmt = parse("select * from my_table mt")
+        assert stmt.from_item == FromTable("my_table", "mt")
+
+    def test_case_insensitive(self):
+        stmt = parse("SELECT A FROM T WHERE A = 1")
+        assert stmt.items[0].expr == ColumnRef(None, "a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError, match="trailing"):
+            parse("select * from t where a = 1 2")
+
+    def test_bare_identifier_after_alias_rejected(self):
+        with pytest.raises(SqlParseError, match="trailing"):
+            parse("select * from t alias another")
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse("select * from t where a = 1")
+        assert stmt.where == Comparison("=", ColumnRef(None, "a"), Literal(1))
+
+    def test_and_or_precedence(self):
+        stmt = parse("select * from t where a = 1 or b = 2 and c = 3")
+        assert isinstance(stmt.where, BoolOp)
+        assert stmt.where.op == "OR"
+        right = stmt.where.operands[1]
+        assert isinstance(right, BoolOp) and right.op == "AND"
+
+    def test_not(self):
+        stmt = parse("select * from t where not a = 1")
+        assert isinstance(stmt.where, NotOp)
+
+    def test_is_null(self):
+        stmt = parse("select * from t where a is null")
+        assert stmt.where == IsNull(ColumnRef(None, "a"), negated=False)
+
+    def test_is_not_null(self):
+        stmt = parse("select * from t where a is not null")
+        assert stmt.where == IsNull(ColumnRef(None, "a"), negated=True)
+
+    def test_rownum(self):
+        stmt = parse("select * from t where rownum < 2")
+        assert stmt.where == Comparison("<", RowNum(), Literal(2))
+
+    def test_in_subquery(self):
+        stmt = parse("select * from t where a in (select b from u)")
+        assert isinstance(stmt.where, InSubquery)
+        assert not stmt.where.negated
+
+    def test_not_in_subquery(self):
+        stmt = parse("select * from t where a not in (select b from u)")
+        assert isinstance(stmt.where, InSubquery)
+        assert stmt.where.negated
+
+    def test_in_value_list_unsupported(self):
+        with pytest.raises(SqlParseError, match="subquery"):
+            parse("select * from t where a in (1, 2)")
+
+    def test_not_without_in_after_operand(self):
+        with pytest.raises(SqlParseError, match="IN"):
+            parse("select * from t where a not b")
+
+
+class TestJoins:
+    def test_simple_join(self):
+        stmt = parse("select * from a join b on a.x = b.y")
+        assert isinstance(stmt.from_item, Join)
+        assert stmt.from_item.left == FromTable("a", None)
+        assert stmt.from_item.right == FromTable("b", None)
+
+    def test_inner_join_keyword(self):
+        stmt = parse("select * from a inner join b on a.x = b.y")
+        assert isinstance(stmt.from_item, Join)
+
+    def test_parenthesised_join(self):
+        stmt = parse("select count(*) from (a dep join b ref on dep.x = ref.y)")
+        assert isinstance(stmt.from_item, Join)
+        assert stmt.from_item.left == FromTable("a", "dep")
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlParseError):
+            parse("select * from a join b")
+
+    def test_subquery_in_from(self):
+        stmt = parse("select * from (select a from t) sub")
+        assert isinstance(stmt.from_item, FromSubquery)
+        assert stmt.from_item.alias == "sub"
+
+
+class TestFunctionsAndLiterals:
+    def test_count_star(self):
+        stmt = parse("select count(*) from t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall) and call.star
+
+    def test_count_star_alias(self):
+        stmt = parse("select count(*) as n from t")
+        assert stmt.items[0].alias == "n"
+
+    def test_to_char(self):
+        stmt = parse("select to_char(a) from t")
+        call = stmt.items[0].expr
+        assert call == FuncCall("TO_CHAR", (ColumnRef(None, "a"),))
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlParseError, match="unsupported function"):
+            parse("select foo(a) from t")
+
+    def test_string_literal(self):
+        stmt = parse("select * from t where a = 'x''y'")
+        assert stmt.where.right == Literal("x'y")
+
+    def test_null_literal(self):
+        stmt = parse("select * from t where a = null")
+        assert stmt.where.right == Literal(None)
+
+    def test_float_literal(self):
+        stmt = parse("select * from t where a = 1.5")
+        assert stmt.where.right == Literal(1.5)
+
+
+class TestSetOpsAndOrder:
+    def test_minus(self):
+        stmt = parse("select a from t minus select b from u")
+        assert isinstance(stmt, SetOpStmt)
+        assert stmt.op == "MINUS"
+
+    def test_union_all(self):
+        stmt = parse("select a from t union all select b from u")
+        assert stmt.op == "UNION ALL"
+
+    def test_chained_left_associative(self):
+        stmt = parse("select a from t minus select b from u minus select c from v")
+        assert isinstance(stmt.left, SetOpStmt)
+
+    def test_order_by_position(self):
+        stmt = parse("select a from t order by 1")
+        assert stmt.order_by[0].position == 1
+        assert stmt.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        stmt = parse("select a from t order by a desc")
+        assert not stmt.order_by[0].ascending
+
+    def test_order_by_on_set_op(self):
+        stmt = parse("select a from t minus select b from u order by 1")
+        assert isinstance(stmt, SetOpStmt)
+        assert stmt.order_by[0].position == 1
+
+
+class TestHints:
+    def test_hint_recorded(self):
+        stmt = parse("select /*+ first_rows(1) */ a from t")
+        assert stmt.hints == ("first_rows(1)",)
+
+
+class TestPaperTemplates:
+    """The three statements of Figures 2-4 must parse as written."""
+
+    def test_join_template(self):
+        parse(
+            "select count(*) as matchedDeps "
+            "from (dep_table dep JOIN ref_table ref "
+            "on dep.dep_col = ref.ref_col)"
+        )
+
+    def test_minus_template(self):
+        parse(
+            "select count(*) as unmatchedDeps from "
+            "( select /*+ first_rows(1) */ * from "
+            "( select to_char(dep_col) from dep_table "
+            "  where dep_col is not null "
+            "  MINUS select to_char(ref_col) from ref_table ) "
+            "where rownum < 2)"
+        )
+
+    def test_not_in_template(self):
+        parse(
+            "select count(*) as unmatchedDeps from "
+            "( select /*+ first_rows(1) */ dep_col from dep_table "
+            "  where dep_col NOT IN ( select ref_col from ref_table ) "
+            "  and rownum < 2 )"
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for the planner's ROWNUM translation and plan shapes."""
+
+import math
+
+import pytest
+
+from repro.db import Column, Database, DataType, TableSchema
+from repro.errors import SqlPlanError
+from repro.sql.ast_nodes import Comparison, Literal, RowNum
+from repro.sql.operators import (
+    AggregateCountOp,
+    DistinctOp,
+    FilterOp,
+    HashJoinOp,
+    ProjectOp,
+    RowNumLimitOp,
+    SetOp,
+    SortOp,
+    SubqueryOp,
+    TableScanOp,
+)
+from repro.sql.parser import parse
+from repro.sql.planner import _rownum_limit, plan_query
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("plan")
+    t = database.create_table(TableSchema("t", [Column("a", DataType.INTEGER)]))
+    t.insert({"a": 1})
+    database.create_table(TableSchema("u", [Column("b", DataType.INTEGER)]))
+    return database
+
+
+def limit_for(op: str, k) -> float:
+    return _rownum_limit(Comparison(op, RowNum(), Literal(k)))
+
+
+class TestRownumLimits:
+    def test_less_than(self):
+        assert limit_for("<", 2) == 1
+        assert limit_for("<", 1) == 0
+
+    def test_less_equal(self):
+        assert limit_for("<=", 3) == 3
+        assert limit_for("<=", 0) == 0
+
+    def test_equal_one(self):
+        assert limit_for("=", 1) == 1
+
+    def test_equal_beyond_one_is_empty(self):
+        assert limit_for("=", 2) == 0
+
+    def test_greater_than(self):
+        assert limit_for(">", 1) == 0
+        assert limit_for(">", 0.5) == math.inf
+
+    def test_greater_equal(self):
+        assert limit_for(">=", 1) == math.inf
+        assert limit_for(">=", 2) == 0
+
+    def test_fractional_bound(self):
+        assert limit_for("<", 2.5) == 2
+
+    def test_reversed_operands(self):
+        conj = Comparison(">", Literal(2), RowNum())  # 2 > rownum
+        assert _rownum_limit(conj) == 1
+
+    def test_rejects_non_literal(self):
+        from repro.sql.ast_nodes import ColumnRef
+
+        conj = Comparison("<", RowNum(), ColumnRef(None, "a"))
+        with pytest.raises(SqlPlanError):
+            _rownum_limit(conj)
+
+    def test_rejects_string_literal(self):
+        conj = Comparison("<", RowNum(), Literal("2"))
+        with pytest.raises(SqlPlanError, match="number"):
+            _rownum_limit(conj)
+
+
+class TestPlanShapes:
+    def plan(self, sql, db):
+        return plan_query(parse(sql), db)
+
+    def test_simple_scan(self, db):
+        plan = self.plan("select * from t", db)
+        assert isinstance(plan, TableScanOp)
+
+    def test_filter_then_limit_order(self, db):
+        plan = self.plan("select * from t where a = 1 and rownum < 2", db)
+        # Limit sits ABOVE the filter: rownum counts filtered rows.
+        assert isinstance(plan, RowNumLimitOp)
+        assert isinstance(plan.child, FilterOp)
+
+    def test_projection(self, db):
+        plan = self.plan("select a from t", db)
+        assert isinstance(plan, ProjectOp)
+
+    def test_distinct_above_projection(self, db):
+        plan = self.plan("select distinct a from t", db)
+        assert isinstance(plan, DistinctOp)
+        assert isinstance(plan.child, ProjectOp)
+
+    def test_order_by_topmost(self, db):
+        plan = self.plan("select a from t order by 1", db)
+        assert isinstance(plan, SortOp)
+
+    def test_count_aggregate(self, db):
+        plan = self.plan("select count(*) from t", db)
+        assert isinstance(plan, AggregateCountOp)
+
+    def test_join_plan(self, db):
+        plan = self.plan("select * from t join u on t.a = u.b", db)
+        assert isinstance(plan, HashJoinOp)
+
+    def test_subquery_plan(self, db):
+        plan = self.plan("select * from (select a from t) s", db)
+        assert isinstance(plan, SubqueryOp)
+
+    def test_minus_plan(self, db):
+        plan = self.plan("select a from t minus select b from u", db)
+        assert isinstance(plan, SetOp)
+        assert plan.op == "MINUS"
+
+    def test_rownum_only_where(self, db):
+        plan = self.plan("select * from t where rownum < 5", db)
+        assert isinstance(plan, RowNumLimitOp)
+        assert isinstance(plan.child, TableScanOp)
+
+    def test_unknown_table_rejected_at_plan_time(self, db):
+        with pytest.raises(SqlPlanError):
+            self.plan("select * from ghost", db)
+
+    def test_rownum_under_or_rejected(self, db):
+        with pytest.raises(SqlPlanError, match="conjunct"):
+            self.plan("select * from t where rownum < 2 or a = 1", db)

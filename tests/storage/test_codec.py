@@ -1,0 +1,89 @@
+"""Tests for TO_CHAR-style rendering and the escaped line format."""
+
+import pytest
+
+from repro.errors import SpoolError
+from repro.storage.codec import (
+    escape_line,
+    render_distinct_sorted,
+    render_value,
+    unescape_line,
+)
+
+
+class TestRenderValue:
+    def test_strings_pass_through(self):
+        assert render_value("abc") == "abc"
+
+    def test_ints(self):
+        assert render_value(144) == "144"
+        assert render_value(-7) == "-7"
+
+    def test_integral_float_drops_fraction(self):
+        assert render_value(1.0) == "1"
+        assert render_value(-3.0) == "-3"
+
+    def test_fractional_float(self):
+        assert render_value(1.5) == "1.5"
+
+    def test_float_round_trip_shortest(self):
+        assert render_value(0.1) == "0.1"
+
+    def test_nan_and_inf(self):
+        assert render_value(float("nan")) == "nan"
+        assert render_value(float("inf")) == "inf"
+
+    def test_to_char_cross_type_equality(self):
+        # The heart of the paper's value semantics: 144 == "144".
+        assert render_value(144) == render_value("144")
+
+    def test_bytes_as_hex(self):
+        assert render_value(b"\x01\xff") == "01ff"
+
+    def test_none_rejected(self):
+        with pytest.raises(SpoolError):
+            render_value(None)
+
+    def test_bool_rejected(self):
+        with pytest.raises(SpoolError):
+            render_value(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpoolError):
+            render_value(object())
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "text",
+        ["plain", "", "tab\tok", "new\nline", "carriage\rreturn",
+         "back\\slash", "\\n literal", "mix\\\n\r\\r"],
+    )
+    def test_roundtrip(self, text):
+        assert unescape_line(escape_line(text)) == text
+
+    def test_escaped_has_no_newlines(self):
+        assert "\n" not in escape_line("a\nb")
+        assert "\r" not in escape_line("a\rb")
+
+    def test_unescape_rejects_dangling(self):
+        with pytest.raises(SpoolError):
+            unescape_line("abc\\")
+
+    def test_unescape_rejects_unknown_escape(self):
+        with pytest.raises(SpoolError):
+            unescape_line("ab\\x")
+
+
+class TestRenderDistinctSorted:
+    def test_dedupes_and_sorts(self):
+        out = render_distinct_sorted([3, 1, 2, 1, "1"])
+        # "1" and 1 collapse; lexicographic order.
+        assert out == ["1", "2", "3"]
+
+    def test_lexicographic_not_numeric(self):
+        out = render_distinct_sorted([9, 10, 100])
+        assert out == ["10", "100", "9"]
+
+    def test_empty(self):
+        assert render_distinct_sorted([]) == []

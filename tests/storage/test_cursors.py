@@ -1,0 +1,147 @@
+"""Tests for value cursors and I/O accounting."""
+
+import pytest
+
+from repro.errors import SpoolError
+from repro.storage.codec import escape_line
+from repro.storage.cursors import (
+    CountingCursor,
+    FileValueCursor,
+    IOStats,
+    MemoryValueCursor,
+)
+
+
+def write_value_file(path, values):
+    with open(path, "w", encoding="utf-8") as fh:
+        for value in values:
+            fh.write(escape_line(value) + "\n")
+    return str(path)
+
+
+class TestIOStats:
+    def test_open_close_tracking(self):
+        stats = IOStats()
+        stats.record_open()
+        stats.record_open()
+        assert stats.files_opened == 2
+        assert stats.open_files == 2
+        assert stats.peak_open_files == 2
+        stats.record_close()
+        stats.record_open()
+        assert stats.open_files == 2
+        assert stats.peak_open_files == 2  # never exceeded two concurrently
+
+    def test_reads_per_attribute(self):
+        stats = IOStats()
+        stats.record_read("a")
+        stats.record_read("a")
+        stats.record_read("b")
+        assert stats.items_read == 3
+        assert stats.reads_per_attribute == {"a": 2, "b": 1}
+
+    def test_merge(self):
+        a, b = IOStats(), IOStats()
+        a.record_open()
+        a.record_read("x")
+        b.record_open()
+        b.record_open()
+        b.record_read("x")
+        b.record_read("y")
+        a.merge(b)
+        assert a.items_read == 3
+        assert a.files_opened == 3
+        assert a.peak_open_files == 2
+        assert a.reads_per_attribute == {"x": 2, "y": 1}
+
+
+class TestMemoryValueCursor:
+    def test_iteration(self):
+        cursor = MemoryValueCursor(["a", "b"])
+        out = []
+        while cursor.has_next():
+            out.append(cursor.next_value())
+        assert out == ["a", "b"]
+
+    def test_read_past_end(self):
+        cursor = MemoryValueCursor([])
+        assert not cursor.has_next()
+        with pytest.raises(SpoolError):
+            cursor.next_value()
+
+    def test_counts_reads(self):
+        stats = IOStats()
+        cursor = MemoryValueCursor(["a", "b"], stats, label="m")
+        cursor.next_value()
+        assert stats.items_read == 1
+        cursor.close()
+        assert stats.open_files == 0
+
+    def test_use_after_close(self):
+        cursor = MemoryValueCursor(["a"])
+        cursor.close()
+        with pytest.raises(SpoolError):
+            cursor.next_value()
+
+    def test_double_close_is_safe(self):
+        stats = IOStats()
+        cursor = MemoryValueCursor(["a"], stats)
+        cursor.close()
+        cursor.close()
+        assert stats.open_files == 0
+
+
+class TestFileValueCursor:
+    def test_reads_escaped_lines(self, tmp_path):
+        path = write_value_file(tmp_path / "v.vals", ["a\nb", "plain"])
+        cursor = FileValueCursor(path)
+        assert cursor.next_value() == "a\nb"
+        assert cursor.next_value() == "plain"
+        assert not cursor.has_next()
+        cursor.close()
+
+    def test_empty_file(self, tmp_path):
+        path = write_value_file(tmp_path / "v.vals", [])
+        cursor = FileValueCursor(path)
+        assert not cursor.has_next()
+        with pytest.raises(SpoolError):
+            cursor.next_value()
+        cursor.close()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpoolError, match="cannot open"):
+            FileValueCursor(str(tmp_path / "missing.vals"))
+
+    def test_stats_label(self, tmp_path):
+        path = write_value_file(tmp_path / "v.vals", ["x"])
+        stats = IOStats()
+        cursor = FileValueCursor(path, stats, label="t.c")
+        cursor.next_value()
+        cursor.close()
+        assert stats.reads_per_attribute == {"t.c": 1}
+        assert stats.files_opened == 1
+        assert stats.open_files == 0
+
+    def test_use_after_close(self, tmp_path):
+        path = write_value_file(tmp_path / "v.vals", ["x"])
+        cursor = FileValueCursor(path)
+        cursor.close()
+        with pytest.raises(SpoolError):
+            cursor.next_value()
+
+
+class TestCountingCursor:
+    def test_wraps_iterator(self):
+        stats = IOStats()
+        cursor = CountingCursor(iter(["a", "b"]), stats)
+        values = []
+        while cursor.has_next():
+            values.append(cursor.next_value())
+        assert values == ["a", "b"]
+        assert stats.items_read == 2
+
+    def test_empty_iterator(self):
+        cursor = CountingCursor(iter([]))
+        assert not cursor.has_next()
+        with pytest.raises(SpoolError):
+            cursor.next_value()

@@ -1,0 +1,85 @@
+"""Tests for the bounded-memory external merge sort."""
+
+import os
+
+import pytest
+
+from repro.storage.external_sort import external_sort
+
+
+class TestInMemoryPath:
+    def test_sorts_and_dedupes(self):
+        assert list(external_sort(["b", "a", "b", "c"])) == ["a", "b", "c"]
+
+    def test_empty_input(self):
+        assert list(external_sort([])) == []
+
+    def test_single_value(self):
+        assert list(external_sort(["x"])) == ["x"]
+
+
+class TestSpillPath:
+    def test_multi_run_merge(self, tmp_path):
+        values = [f"v{i:03d}" for i in range(100)]
+        import random
+
+        rng = random.Random(3)
+        shuffled = values * 2
+        rng.shuffle(shuffled)
+        out = list(
+            external_sort(shuffled, max_items_in_memory=7, tmp_dir=str(tmp_path))
+        )
+        assert out == values
+
+    def test_duplicates_across_runs_removed(self, tmp_path):
+        # The same value in different runs must merge to one occurrence.
+        data = ["dup"] * 50 + ["aaa", "zzz"]
+        out = list(
+            external_sort(data, max_items_in_memory=5, tmp_dir=str(tmp_path))
+        )
+        assert out == ["aaa", "dup", "zzz"]
+
+    def test_run_files_cleaned_up(self, tmp_path):
+        list(
+            external_sort(
+                [str(i) for i in range(40)],
+                max_items_in_memory=4,
+                tmp_dir=str(tmp_path),
+            )
+        )
+        assert os.listdir(tmp_path) == []
+
+    def test_run_files_cleaned_on_partial_consumption(self, tmp_path):
+        gen = external_sort(
+            [str(i) for i in range(40)], max_items_in_memory=4,
+            tmp_dir=str(tmp_path),
+        )
+        next(gen)
+        gen.close()  # abandon the generator mid-stream
+        assert os.listdir(tmp_path) == []
+
+    def test_values_with_newlines_survive_spill(self, tmp_path):
+        data = ["a\nb", "a", "a\\nb", "z\r"]
+        out = list(
+            external_sort(data, max_items_in_memory=2, tmp_dir=str(tmp_path))
+        )
+        assert out == sorted(set(data))
+
+
+class TestValidation:
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ValueError):
+            list(external_sort(["a"], max_items_in_memory=0))
+
+    def test_matches_in_memory_reference(self, tmp_path):
+        import random
+
+        rng = random.Random(11)
+        data = [rng.choice("abcdefgh") * rng.randint(1, 4) for _ in range(500)]
+        expected = sorted(set(data))
+        for limit in (1, 3, 10, 1000):
+            got = list(
+                external_sort(data, max_items_in_memory=limit,
+                              tmp_dir=str(tmp_path))
+            )
+            assert got == expected, f"limit={limit}"

@@ -1,0 +1,58 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench.harness import RESULT_HEADERS, run_strategy
+from repro.bench.workloads import Workloads, bench_scale
+
+
+class TestWorkloads:
+    def test_caching(self):
+        workloads = Workloads("tiny")
+        assert workloads.biosql() is workloads.biosql()
+
+    def test_all_three_names(self):
+        workloads = Workloads("tiny")
+        assert set(workloads.all_three()) == {
+            "UniProt(BioSQL)",
+            "SCOP",
+            "PDB(OpenMMS)",
+        }
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert bench_scale() == "medium"
+        assert Workloads().scale == "medium"
+
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "small"
+
+
+class TestRunStrategy:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return Workloads("tiny").scop()
+
+    def test_outcome_row_matches_headers(self, dataset):
+        outcome = run_strategy("SCOP", dataset.db, "merge-single-pass")
+        assert len(outcome.row()) == len(RESULT_HEADERS)
+        assert outcome.dataset == "SCOP"
+        assert outcome.satisfied > 0
+
+    def test_paper_default_pretests(self, dataset):
+        # Default = cardinality only (the Sec. 2/3 setup).
+        plain = run_strategy("SCOP", dataset.db, "merge-single-pass")
+        pruned = run_strategy(
+            "SCOP", dataset.db, "merge-single-pass", max_value_pretest=True
+        )
+        assert pruned.candidates <= plain.candidates
+        assert {str(i) for i in pruned.result.satisfied} == {
+            str(i) for i in plain.result.satisfied
+        }
+
+    def test_items_vs_sql_rows_exclusive(self, dataset):
+        external = run_strategy("SCOP", dataset.db, "brute-force")
+        sql = run_strategy("SCOP", dataset.db, "sql-join")
+        assert external.items_read > 0 and external.sql_rows_scanned == 0
+        assert sql.sql_rows_scanned > 0 and sql.items_read == 0

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def biosql_dump(tmp_path):
+    path = tmp_path / "dump"
+    assert main(["generate", "biosql", str(path), "--scale", "tiny"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_csvs(self, tmp_path, capsys):
+        path = tmp_path / "scop"
+        assert main(["generate", "scop", str(path), "--scale", "tiny"]) == 0
+        assert (path / "scop_cla.csv").exists()
+        assert (path / "_schema.json").exists()
+        out = capsys.readouterr().out
+        assert "4 tables" in out
+
+    def test_generate_seed(self, tmp_path):
+        main(["generate", "scop", str(tmp_path / "a"), "--scale", "tiny",
+              "--seed", "1"])
+        main(["generate", "scop", str(tmp_path / "b"), "--scale", "tiny",
+              "--seed", "1"])
+        assert (
+            (tmp_path / "a" / "scop_cla.csv").read_text()
+            == (tmp_path / "b" / "scop_cla.csv").read_text()
+        )
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nosuch", str(tmp_path / "x")])
+
+
+class TestProfile:
+    def test_profile_lists_columns(self, biosql_dump, capsys):
+        assert main(["profile", str(biosql_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "sg_bioentry.accession" in out
+        assert "unique" in out
+
+    def test_missing_directory_is_error(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiscover:
+    def test_discover_prints_inds(self, biosql_dump, capsys):
+        assert main(["discover", str(biosql_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "satisfied INDs" in out
+        assert "sg_biosequence.bioentry_id [= sg_bioentry.bioentry_id" in out
+
+    def test_discover_json(self, biosql_dump, tmp_path, capsys):
+        json_path = tmp_path / "result.json"
+        assert main(
+            ["discover", str(biosql_dump), "--json", str(json_path)]
+        ) == 0
+        doc = json.loads(json_path.read_text())
+        assert doc["satisfied_count"] > 0
+
+    def test_discover_strategy_flag(self, biosql_dump, capsys):
+        assert main(
+            ["discover", str(biosql_dump), "--strategy", "brute-force"]
+        ) == 0
+        assert "strategy=brute-force" in capsys.readouterr().out
+
+    def test_discover_transitivity_with_batch_strategy_is_error(
+        self, biosql_dump, capsys
+    ):
+        assert main(
+            ["discover", str(biosql_dump), "--strategy", "single-pass",
+             "--transitivity"]
+        ) == 2
+        assert "sequential" in capsys.readouterr().err
+
+
+class TestAccession:
+    def test_accession_strict(self, biosql_dump, capsys):
+        assert main(["accession", str(biosql_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "sg_bioentry.accession" in out
+        assert "sg_reference.crc" in out
+
+    def test_accession_no_candidates(self, tmp_path, capsys):
+        d = tmp_path / "plain"
+        d.mkdir()
+        (d / "t.csv").write_text("a\n1\n2\n")
+        assert main(["accession", str(d)]) == 0
+        assert "no accession-number candidates" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_pipeline_single_source(self, biosql_dump, capsys):
+        assert main(["pipeline", str(biosql_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "primary relation shortlist: sg_bioentry" in out
+        assert "FK guess" in out
+
+    def test_pipeline_surrogate_filter_toggle(self, biosql_dump, capsys):
+        assert main(
+            ["pipeline", str(biosql_dump), "--no-surrogate-filter"]
+        ) == 0
+        assert "surrogate filter" not in capsys.readouterr().out

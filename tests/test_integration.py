@@ -1,0 +1,98 @@
+"""Cross-module integration tests on the three paper datasets (tiny scale)."""
+
+import pytest
+
+from repro.core import DiscoveryConfig, discover_inds
+from repro.datagen import generate_biosql, generate_openmms, generate_scop
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        "biosql": generate_biosql("tiny"),
+        "scop": generate_scop("tiny"),
+        "openmms": generate_openmms("tiny"),
+    }
+
+
+@pytest.mark.parametrize("name", ["biosql", "scop", "openmms"])
+def test_external_strategies_agree_on_paper_datasets(datasets, name):
+    db = datasets[name].db
+    results = {}
+    for strategy in ("reference", "brute-force", "single-pass",
+                     "merge-single-pass", "blockwise"):
+        result = discover_inds(db, DiscoveryConfig(strategy=strategy))
+        results[strategy] = {str(i) for i in result.satisfied}
+    baseline = results["reference"]
+    for strategy, inds in results.items():
+        assert inds == baseline, f"{strategy} disagrees on {name}"
+
+
+@pytest.mark.parametrize("name", ["biosql", "scop"])
+def test_sql_strategies_agree_on_paper_datasets(datasets, name):
+    db = datasets[name].db
+    baseline = {
+        str(i)
+        for i in discover_inds(db, DiscoveryConfig(strategy="reference")).satisfied
+    }
+    for strategy in ("sql-join", "sql-minus", "sql-notin"):
+        result = discover_inds(db, DiscoveryConfig(strategy=strategy))
+        assert {str(i) for i in result.satisfied} == baseline, strategy
+
+
+def test_roundtrip_through_csv_preserves_inds(datasets, tmp_path):
+    """CSV export → reload (schema-less!) → identical discovered INDs."""
+    from repro.db import load_csv_directory, write_csv_directory
+
+    db = datasets["scop"].db
+    original = {
+        str(i)
+        for i in discover_inds(db, DiscoveryConfig()).satisfied
+    }
+    path = write_csv_directory(db, tmp_path / "dump")
+    (path / "_schema.json").unlink()
+    reloaded = load_csv_directory(path, name="reloaded")
+    recovered = {
+        str(i)
+        for i in discover_inds(reloaded, DiscoveryConfig()).satisfied
+    }
+    assert recovered == original
+
+
+def test_pretest_combinations_are_sound(datasets):
+    """Any combination of sound pretests must never change the result."""
+    from repro.core.candidates import PretestConfig
+
+    db = datasets["scop"].db
+    baseline = {
+        str(i)
+        for i in discover_inds(
+            db,
+            DiscoveryConfig(pretests=PretestConfig(cardinality=False)),
+        ).satisfied
+    }
+    for cardinality in (False, True):
+        for max_value in (False, True):
+            for min_value in (False, True):
+                config = DiscoveryConfig(
+                    pretests=PretestConfig(
+                        cardinality=cardinality,
+                        max_value=max_value,
+                        min_value=min_value,
+                    )
+                )
+                got = {str(i) for i in discover_inds(db, config).satisfied}
+                assert got == baseline, (cardinality, max_value, min_value)
+
+
+def test_openmms_blockwise_small_budget(datasets):
+    """The Sec. 4.2 scenario end-to-end: tight file budget, same INDs."""
+    db = datasets["openmms"].db
+    unbounded = discover_inds(db, DiscoveryConfig(strategy="merge-single-pass"))
+    blocked = discover_inds(
+        db, DiscoveryConfig(strategy="blockwise", max_open_files=8)
+    )
+    assert {str(i) for i in blocked.satisfied} == {
+        str(i) for i in unbounded.satisfied
+    }
+    assert blocked.validator_stats.peak_open_files <= 8

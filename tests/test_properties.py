@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property of the whole library: **every validator computes exactly
+the set-containment relation** over rendered values — brute force, both
+single-pass variants, the block-wise wrapper, and the three SQL statements
+must agree with the trivial in-memory oracle on arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.blockwise import BlockwiseValidator
+from repro.core.brute_force import BruteForceValidator, check_inclusion
+from repro.core.candidates import Candidate, apply_pretests, generate_unique_ref_candidates
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.partial_inds import count_containment
+from repro.core.pruning import TransitivityPruner
+from repro.core.reference import ReferenceValidator
+from repro.core.single_pass import SinglePassValidator
+from repro.core.sql_approaches import (
+    SqlJoinValidator,
+    SqlMinusValidator,
+    SqlNotInValidator,
+)
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.schema import AttributeRef
+from repro.db.stats import collect_column_stats
+from repro.storage.codec import escape_line, render_value, unescape_line
+from repro.storage.cursors import MemoryValueCursor
+from repro.storage.exporter import export_database
+from repro.storage.external_sort import external_sort
+
+# ----------------------------------------------------------------- strategies
+value_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=8
+)
+value_sets = st.sets(value_text, max_size=12)
+
+
+@st.composite
+def small_databases(draw):
+    """A database of one table with 2-4 string/int columns, nulls included."""
+    n_cols = draw(st.integers(2, 4))
+    n_rows = draw(st.integers(0, 12))
+    db = Database("prop")
+    columns = []
+    for i in range(n_cols):
+        is_int = draw(st.booleans())
+        columns.append(
+            Column(f"c{i}", DataType.INTEGER if is_int else DataType.VARCHAR)
+        )
+    table = db.create_table(TableSchema("t", columns))
+    for _ in range(n_rows):
+        row = {}
+        for col in columns:
+            kind = draw(st.integers(0, 3))
+            if kind == 0:
+                row[col.name] = None
+            elif col.dtype is DataType.INTEGER:
+                row[col.name] = draw(st.integers(0, 6))
+            else:
+                row[col.name] = draw(
+                    st.sampled_from(["a", "b", "0", "1", "2", "xy"])
+                )
+        table.insert(row)
+    return db
+
+
+# ------------------------------------------------------------------ codec
+class TestCodecProperties:
+    @given(value_text)
+    def test_escape_roundtrip(self, text):
+        assert unescape_line(escape_line(text)) == text
+
+    @given(value_text)
+    def test_escaped_is_single_line(self, text):
+        escaped = escape_line(text)
+        assert "\n" not in escaped and "\r" not in escaped
+
+    @given(st.integers())
+    def test_int_rendering_injective_on_ints(self, value):
+        assert render_value(value) == str(value)
+
+    @given(st.lists(st.one_of(st.integers(-50, 50), value_text), max_size=30))
+    def test_external_sort_equals_sorted_set(self, values):
+        rendered = [render_value(v) if not isinstance(v, str) else v
+                    for v in values]
+        expected = sorted(set(rendered))
+        assert list(external_sort(rendered, max_items_in_memory=3)) == expected
+
+
+# ------------------------------------------------------------ algorithm 1
+class TestInclusionProperties:
+    @given(value_sets, value_sets)
+    def test_check_inclusion_is_set_containment(self, dep, ref):
+        result = check_inclusion(
+            MemoryValueCursor(sorted(dep)), MemoryValueCursor(sorted(ref))
+        )
+        assert result == (dep <= ref)
+
+    @given(value_sets, value_sets)
+    def test_count_containment_matches_intersection(self, dep, ref):
+        dep_count, matched = count_containment(
+            MemoryValueCursor(sorted(dep)), MemoryValueCursor(sorted(ref))
+        )
+        assert dep_count == len(dep)
+        assert matched == len(dep & ref)
+
+
+# ----------------------------------------------------- validator agreement
+def _spool_and_candidates(db, tmp):
+    spool, _ = export_database(db, tmp)
+    stats = collect_column_stats(db)
+    candidates, _ = apply_pretests(
+        generate_unique_ref_candidates(stats), stats
+    )
+    candidates = [
+        c for c in candidates if c.dependent in spool and c.referenced in spool
+    ]
+    return spool, stats, candidates
+
+
+class TestValidatorAgreement:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(small_databases())
+    def test_external_validators_match_oracle(self, db):
+        oracle = ReferenceValidator(db)
+        with tempfile.TemporaryDirectory() as tmp:
+            spool, _, candidates = _spool_and_candidates(db, tmp)
+            if not candidates:
+                return
+            expected = oracle.validate(candidates).decisions
+            for validator in (
+                BruteForceValidator(spool),
+                SinglePassValidator(spool),
+                MergeSinglePassValidator(spool),
+                BlockwiseValidator(spool, max_open_files=3),
+            ):
+                got = validator.validate(candidates).decisions
+                assert got == expected, type(validator).__name__
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(small_databases())
+    def test_sql_validators_match_oracle(self, db):
+        oracle = ReferenceValidator(db)
+        stats = collect_column_stats(db)
+        candidates, _ = apply_pretests(
+            generate_unique_ref_candidates(stats), stats
+        )
+        if not candidates:
+            return
+        expected = oracle.validate(candidates).decisions
+        for validator in (
+            SqlJoinValidator(db, stats),
+            SqlMinusValidator(db, stats),
+            SqlNotInValidator(db, stats),
+        ):
+            got = validator.validate(candidates).decisions
+            assert got == expected, type(validator).__name__
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(small_databases())
+    def test_single_pass_io_never_exceeds_brute_force(self, db):
+        with tempfile.TemporaryDirectory() as tmp:
+            spool, _, candidates = _spool_and_candidates(db, tmp)
+            if not candidates:
+                return
+            brute = BruteForceValidator(spool).validate(candidates)
+            single = SinglePassValidator(spool).validate(candidates)
+            assert single.stats.items_read <= brute.stats.items_read
+
+
+# ------------------------------------------------------------ transitivity
+class TestTransitivityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(list("abcde")),
+            st.frozensets(st.integers(0, 6)),
+            min_size=2,
+            max_size=5,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_inferences_always_sound(self, sets, rng):
+        attrs = {name: AttributeRef("t", name) for name in sets}
+        candidates = [
+            Candidate(attrs[d], attrs[r])
+            for d in sets
+            for r in sets
+            if d != r
+        ]
+        rng.shuffle(candidates)
+        pruner = TransitivityPruner()
+        for candidate in candidates:
+            truth = (
+                sets[candidate.dependent.column]
+                <= sets[candidate.referenced.column]
+            )
+            inferred = pruner.infer(candidate)
+            if inferred is not None:
+                assert inferred == truth
+            pruner.record(candidate, truth)
+
+
+# ------------------------------------------------------------ spool invariants
+class TestSpoolProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(value_sets)
+    def test_spool_roundtrip(self, values):
+        from repro.storage.sorted_sets import SpoolDirectory
+
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = SpoolDirectory.create(tmp)
+            ref = AttributeRef("t", "c")
+            spool.add_values(ref, sorted(values))
+            assert spool.get(ref).values() == sorted(values)
