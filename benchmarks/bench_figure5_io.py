@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import tempfile
 
+import pytest
+
 from repro.bench.reporting import ascii_series, format_table
 from repro.core.brute_force import BruteForceValidator
 from repro.core.candidates import apply_pretests, generate_unique_ref_candidates
@@ -20,13 +22,13 @@ from repro.db.stats import collect_column_stats
 from repro.storage.exporter import export_database
 
 
-def _series(db, fractions=(0.25, 0.5, 0.75, 1.0)):
+def _series(db, fractions=(0.25, 0.5, 0.75, 1.0), spool_format="binary"):
     stats = collect_column_stats(db)
     attributes = [ref for ref, st in stats.items() if not st.dtype.is_lob]
     attributes.sort()
     points = []
     with tempfile.TemporaryDirectory(prefix="repro-fig5-") as tmp:
-        spool, _ = export_database(db, tmp)
+        spool, _ = export_database(db, tmp, spool_format=spool_format)
         for fraction in fractions:
             count = max(2, int(len(attributes) * fraction))
             subset = set(attributes[:count])
@@ -52,15 +54,21 @@ def _series(db, fractions=(0.25, 0.5, 0.75, 1.0)):
     return points
 
 
-def test_figure5_io_series(benchmark, workloads, report):
+@pytest.mark.parametrize("spool_format", ["text", "binary"])
+def test_figure5_io_series(benchmark, workloads, report, spool_format):
     dataset = workloads.biosql()
-    points = benchmark.pedantic(lambda: _series(dataset.db), rounds=1, iterations=1)
+    points = benchmark.pedantic(
+        lambda: _series(dataset.db, spool_format=spool_format),
+        rounds=1,
+        iterations=1,
+    )
     rows = [
         [n_attrs, n_cands, brute, single, f"{brute / max(1, single):.1f}x"]
         for n_attrs, n_cands, brute, single in points
     ]
     report(
-        "== Figure 5 / items read: brute force vs single pass ==\n"
+        f"== Figure 5 / items read ({spool_format} spools): "
+        "brute force vs single pass ==\n"
         + format_table(
             ["attributes", "candidates", "brute force", "single pass", "ratio"],
             rows,
@@ -94,3 +102,16 @@ def test_figure5_io_series(benchmark, workloads, report):
         f"brute-force I/O ({io_ratio:.2f}x) outgrew the candidate count "
         f"({candidate_ratio:.2f}x) on the largest subsets"
     )
+
+
+def test_figure5_items_read_format_invariant(workloads):
+    """The Fig. 5 measurement must not depend on the spool layout.
+
+    ``items_read`` counts values logically consumed by the algorithms; the
+    v2 block format only changes the physical batching, so every point of
+    the series must be identical between text and binary spools.
+    """
+    dataset = workloads.scop()
+    text_points = _series(dataset.db, fractions=(0.5, 1.0), spool_format="text")
+    binary_points = _series(dataset.db, fractions=(0.5, 1.0), spool_format="binary")
+    assert text_points == binary_points

@@ -61,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--no-max-value-pretest", action="store_true")
     disc.add_argument("--sampling-size", type=int, default=0)
     disc.add_argument("--transitivity", action="store_true")
+    disc.add_argument(
+        "--spool-format",
+        choices=("text", "binary"),
+        default="binary",
+        help="value-file layout: v1 newline-delimited text or v2 binary "
+        "blocks (default: binary)",
+    )
+    disc.add_argument(
+        "--export-workers",
+        type=int,
+        default=1,
+        help="spool this many attributes in parallel during export",
+    )
     disc.add_argument("--json", dest="json_path", help="write full result JSON")
 
     acc = sub.add_parser("accession", help="list accession-number candidates")
@@ -137,6 +150,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         ),
         sampling_size=args.sampling_size,
         use_transitivity=args.transitivity,
+        spool_format=args.spool_format,
+        export_workers=args.export_workers,
     )
     result = discover_inds(db, config)
     print(

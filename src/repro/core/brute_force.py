@@ -17,7 +17,7 @@ from repro._util import Stopwatch
 from repro.core.candidates import Candidate
 from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
 from repro.errors import ValidatorError
-from repro.storage.cursors import IOStats, ValueCursor
+from repro.storage.cursors import DEFAULT_BATCH_SIZE, IOStats, ValueCursor
 from repro.storage.sorted_sets import SpoolDirectory
 
 
@@ -25,28 +25,54 @@ def check_inclusion(
     dep_cursor: ValueCursor,
     ref_cursor: ValueCursor,
     stats: ValidatorStats | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> bool:
     """Algorithm 1: is the (sorted, distinct) dep stream ⊆ the ref stream?
 
-    Both cursors must yield strictly ascending values.  The function is the
-    paper's pseudo-code line by line; the only liberty taken is Python-style
-    cursor tests instead of exceptions on exhausted iterators.
+    Both cursors must yield strictly ascending values.  The comparison logic
+    is the paper's pseudo-code; the reads go through the cursors' batched
+    protocol (``peek_batch`` / ``advance``) so the merge runs over plain
+    Python lists.  Consumption — and with it the ``items_read`` accounting —
+    is exactly that of the value-at-a-time formulation: values are committed
+    only up to the point where the candidate was decided.
     """
-    while dep_cursor.has_next():
-        current_dep = dep_cursor.next_value()
-        if not ref_cursor.has_next():
-            return False
+    comparisons = 0
+    dep_buf = dep_cursor.peek_batch(batch_size)
+    dep_pos = 0
+    ref_buf = ref_cursor.peek_batch(batch_size)
+    ref_pos = 0
+    result: bool | None = None
+    while result is None:
+        if dep_pos == len(dep_buf):
+            dep_cursor.advance(dep_pos)
+            dep_buf = dep_cursor.peek_batch(batch_size)
+            dep_pos = 0
+            if not dep_buf:
+                result = True  # every dep value found its match
+                break
+        current_dep = dep_buf[dep_pos]
+        dep_pos += 1
         while True:
-            current_ref = ref_cursor.next_value()
-            if stats is not None:
-                stats.comparisons += 1
+            if ref_pos == len(ref_buf):
+                ref_cursor.advance(ref_pos)
+                ref_buf = ref_cursor.peek_batch(batch_size)
+                ref_pos = 0
+                if not ref_buf:
+                    result = False  # refValues exhausted
+                    break
+            current_ref = ref_buf[ref_pos]
+            ref_pos += 1
+            comparisons += 1
             if current_dep == current_ref:
                 break  # test next item in depValues
             if current_dep < current_ref:
-                return False  # currentDep cannot occur in refValues anymore
-            if not ref_cursor.has_next():
-                return False
-    return True
+                result = False  # currentDep cannot occur in refValues anymore
+                break
+    dep_cursor.advance(dep_pos)
+    ref_cursor.advance(ref_pos)
+    if stats is not None:
+        stats.comparisons += comparisons
+    return result
 
 
 class BruteForceValidator:

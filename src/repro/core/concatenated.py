@@ -60,12 +60,45 @@ class _StrippingCursor:
         return self._inner.has_next()
 
     def next_value(self) -> str:
-        value = self._inner.next_value()
+        return self._strip(self._inner.next_value())
+
+    def _strip(self, value: str) -> str:
         if not value.startswith(self._prefix):
             raise ValidatorError(
                 f"value {value!r} lacks the expected prefix {self._prefix!r}"
             )
         return value[len(self._prefix) :]
+
+    def peek_batch(self, max_items: int) -> list[str]:
+        """Strip the peeked lookahead, truncating at a non-conforming value.
+
+        Lookahead must never raise for values the caller may not consume:
+        the prefix is detected from a bounded scan, so a value past the scan
+        horizon can legitimately lack it.  The batch is cut just before the
+        first such value; only when it is the *next* value to be consumed
+        (batch would be empty while the cursor has values) does the error
+        fire — exactly when the per-value path would have raised.
+        """
+        raw = self._inner.peek_batch(max_items)
+        out: list[str] = []
+        prefix = self._prefix
+        for value in raw:
+            if not value.startswith(prefix):
+                if not out:
+                    raise ValidatorError(
+                        f"value {value!r} lacks the expected prefix {prefix!r}"
+                    )
+                break
+            out.append(value[len(prefix):])
+        return out
+
+    def advance(self, count: int) -> None:
+        self._inner.advance(count)
+
+    def read_batch(self, max_items: int) -> list[str]:
+        batch = self.peek_batch(max_items)
+        self.advance(len(batch))
+        return batch
 
     def close(self) -> None:
         self._inner.close()

@@ -17,7 +17,10 @@ has every one of its values matched: those candidates are satisfied.
 The semantics and decisions are *identical* to the observer implementation
 (property tests assert agreement); only the synchronisation differs — there
 is none.  Attributes whose candidates are all decided close their cursors
-early, matching the observer protocol's I/O behaviour.
+early, matching the observer protocol's I/O behaviour.  Values are pulled
+through the cursors' batched protocol (:class:`repro.storage.cursors.BatchReader`),
+so per-value cost on the hot path is a list index, not a file read — while
+the lazy, exact commit keeps ``items_read`` identical to the per-value loop.
 """
 
 from __future__ import annotations
@@ -29,20 +32,20 @@ from repro.core.candidates import Candidate
 from repro.core.stats import DecisionCollector, ValidationResult
 from repro.db.schema import AttributeRef
 from repro.errors import ValidatorError
-from repro.storage.cursors import IOStats
+from repro.storage.cursors import BatchReader, IOStats
 from repro.storage.sorted_sets import SpoolDirectory
 
 
 class _AttributeCursor:
-    """One attribute's position in the global merge."""
+    """One attribute's position in the global merge (batched reads)."""
 
-    __slots__ = ("ref", "cursor", "live_refs", "ref_usage", "closed")
+    __slots__ = ("ref", "reader", "live_refs", "ref_usage", "closed")
 
     def __init__(self, ref: AttributeRef, cursor) -> None:
         self.ref = ref
-        self.cursor = cursor
-        # Candidates where this attribute is the dependent side.
-        self.live_refs: set[AttributeRef] = set()
+        self.reader = BatchReader(cursor)
+        # Ids of surviving referenced attributes of this dependent side.
+        self.live_refs: set[int] = set()
         # Number of undecided candidates where this attribute is referenced.
         self.ref_usage = 0
         self.closed = False
@@ -54,7 +57,7 @@ class _AttributeCursor:
     def close(self) -> None:
         if not self.closed:
             self.closed = True
-            self.cursor.close()
+            self.reader.close()
 
 
 class MergeSinglePassValidator:
@@ -75,63 +78,77 @@ class MergeSinglePassValidator:
         return collector.result()
 
     def _run(self, collector: DecisionCollector, io: IOStats) -> None:
-        attrs: dict[AttributeRef, _AttributeCursor] = {}
+        # Attributes are interned as dense integer ids for the duration of
+        # the pass: heap entries, membership sets and usage counters all work
+        # on ints, which keeps hashing and tuple tie-breaks off the per-value
+        # hot path.  Ids follow the sorted attribute order, so every
+        # tie-break and record sequence matches the AttributeRef-keyed
+        # formulation exactly.
+        involved: set[AttributeRef] = set()
         for candidate in collector.candidates:
             if candidate.dependent == candidate.referenced:
                 raise ValidatorError(
                     f"trivial candidate {candidate} must not reach the validator"
                 )
-            for side in (candidate.dependent, candidate.referenced):
-                if side not in attrs:
-                    attrs[side] = _AttributeCursor(
-                        side, self._spool.open_cursor(side, io)
-                    )
-            attrs[candidate.dependent].live_refs.add(candidate.referenced)
-            attrs[candidate.referenced].ref_usage += 1
+            involved.add(candidate.dependent)
+            involved.add(candidate.referenced)
+        order = sorted(involved)
+        index = {ref: aid for aid, ref in enumerate(order)}
+        states = [
+            _AttributeCursor(ref, self._spool.open_cursor(ref, io))
+            for ref in order
+        ]
+        for candidate in collector.candidates:
+            states[index[candidate.dependent]].live_refs.add(
+                index[candidate.referenced]
+            )
+            states[index[candidate.referenced]].ref_usage += 1
 
         # Decide empty-dependent candidates up front (vacuously satisfied),
         # exactly as the observer implementation does.
-        for state in attrs.values():
-            if not state.cursor.has_next() and state.live_refs:
-                for ref in sorted(state.live_refs):
-                    collector.record(Candidate(state.ref, ref), True, vacuous=True)
-                    attrs[ref].ref_usage -= 1
+        for state in states:
+            if state.live_refs and not state.reader.has_more():
+                for rid in sorted(state.live_refs):
+                    collector.record(
+                        Candidate(state.ref, states[rid].ref), True, vacuous=True
+                    )
+                    states[rid].ref_usage -= 1
                 state.live_refs.clear()
-        for state in attrs.values():
+        for state in states:
             if not state.is_needed:
                 state.close()
 
         # Seed the heap with each needed attribute's first value.
-        heap: list[tuple[str, AttributeRef]] = []
-        for state in attrs.values():
+        heap: list[tuple[str, int]] = []
+        for aid, state in enumerate(states):
             if state.closed:
                 continue
-            if state.cursor.has_next():
-                heapq.heappush(heap, (state.cursor.next_value(), state.ref))
+            if state.reader.has_more():
+                heapq.heappush(heap, (state.reader.next(), aid))
             else:
                 # Empty attribute that is only referenced: every dependent
                 # with a value will drop it at its first merge step; an empty
                 # referenced set can also be decided immediately.
-                self._refute_all_into(state.ref, attrs, collector)
+                self._refute_all_into(aid, states, collector)
                 state.close()
 
-        group: list[AttributeRef] = []
+        group: list[int] = []
         while heap:
-            value, ref = heapq.heappop(heap)
+            value, aid = heapq.heappop(heap)
             group.clear()
-            group.append(ref)
+            group.append(aid)
             while heap and heap[0][0] == value:
                 group.append(heapq.heappop(heap)[1])
-            self._process_group(value, group, attrs, collector)
+            self._process_group(group, states, collector)
             for member in group:
-                state = attrs[member]
+                state = states[member]
                 if state.closed or not state.is_needed:
                     state.close()
                     continue
-                if state.cursor.has_next():
-                    heapq.heappush(heap, (state.cursor.next_value(), state.ref))
+                if state.reader.has_more():
+                    heapq.heappush(heap, (state.reader.next(), member))
                 else:
-                    self._exhaust(state, attrs, collector)
+                    self._exhaust(state, states, collector)
 
         undecided = collector.undecided
         if undecided:
@@ -139,64 +156,62 @@ class MergeSinglePassValidator:
                 "merge single-pass finished with undecided candidates: "
                 + ", ".join(str(c) for c in undecided[:5])
             )
-        for state in attrs.values():
+        for state in states:
             state.close()
 
     def _process_group(
         self,
-        value: str,
-        group: list[AttributeRef],
-        attrs: dict[AttributeRef, _AttributeCursor],
+        group: list[int],
+        states: list[_AttributeCursor],
         collector: DecisionCollector,
     ) -> None:
         """Intersect every dependent's surviving references with the group."""
         present = set(group)
         for member in group:
-            state = attrs[member]
+            state = states[member]
             if not state.live_refs:
                 continue
             collector.stats.comparisons += len(state.live_refs)
-            dropped = [r for r in state.live_refs if r not in present]
-            for ref in sorted(dropped):
-                state.live_refs.discard(ref)
-                collector.record(Candidate(state.ref, ref), False)
-                self._release_ref(attrs[ref], attrs, collector)
+            dropped = state.live_refs - present
+            for rid in sorted(dropped):
+                state.live_refs.discard(rid)
+                collector.record(Candidate(state.ref, states[rid].ref), False)
+                self._release_ref(states[rid])
 
     def _exhaust(
         self,
         state: _AttributeCursor,
-        attrs: dict[AttributeRef, _AttributeCursor],
+        states: list[_AttributeCursor],
         collector: DecisionCollector,
     ) -> None:
         """A dependent ran out of values: its surviving candidates hold."""
-        for ref in sorted(state.live_refs):
-            collector.record(Candidate(state.ref, ref), True)
-            self._release_ref(attrs[ref], attrs, collector)
+        for rid in sorted(state.live_refs):
+            collector.record(Candidate(state.ref, states[rid].ref), True)
+            self._release_ref(states[rid])
         state.live_refs.clear()
         if not state.is_needed:
             state.close()
 
-    def _release_ref(
-        self,
-        ref_state: _AttributeCursor,
-        attrs: dict[AttributeRef, _AttributeCursor],
-        collector: DecisionCollector,
-    ) -> None:
+    @staticmethod
+    def _release_ref(ref_state: _AttributeCursor) -> None:
         ref_state.ref_usage -= 1
         if not ref_state.is_needed:
             ref_state.close()
 
     def _refute_all_into(
         self,
-        empty_ref: AttributeRef,
-        attrs: dict[AttributeRef, _AttributeCursor],
+        empty_rid: int,
+        states: list[_AttributeCursor],
         collector: DecisionCollector,
     ) -> None:
         """An empty referenced attribute refutes all non-vacuous candidates."""
-        for state in attrs.values():
-            if empty_ref in state.live_refs:
-                state.live_refs.discard(empty_ref)
-                collector.record(Candidate(state.ref, empty_ref), False)
-                attrs[empty_ref].ref_usage -= 1
+        empty_state = states[empty_rid]
+        for state in states:
+            if empty_rid in state.live_refs:
+                state.live_refs.discard(empty_rid)
+                collector.record(
+                    Candidate(state.ref, empty_state.ref), False
+                )
+                empty_state.ref_usage -= 1
                 if not state.is_needed:
                     state.close()

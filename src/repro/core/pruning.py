@@ -123,15 +123,21 @@ class SamplingPretest:
             try:
                 reservoir: list[str] = []
                 seen = 0
-                while cursor.has_next():
-                    value = cursor.next_value()
-                    seen += 1
-                    if len(reservoir) < self._sample_size:
-                        reservoir.append(value)
-                    else:
-                        slot = rng.randrange(seen)
-                        if slot < self._sample_size:
-                            reservoir[slot] = value
+                while True:
+                    # The reservoir scan consumes the whole file, so the
+                    # batched read path is safe and an order of magnitude
+                    # cheaper than per-value cursor calls.
+                    batch = cursor.read_batch(1024)
+                    if not batch:
+                        break
+                    for value in batch:
+                        seen += 1
+                        if len(reservoir) < self._sample_size:
+                            reservoir.append(value)
+                        else:
+                            slot = rng.randrange(seen)
+                            if slot < self._sample_size:
+                                reservoir[slot] = value
             finally:
                 cursor.close()
             self._samples[ref] = sorted(reservoir)

@@ -43,10 +43,11 @@ from repro.core.stats import DecisionCollector, ValidationResult
 from repro.db.database import Database
 from repro.db.stats import collect_column_stats
 from repro.errors import DiscoveryError
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.cursors import IOStats
 from repro.storage.exporter import export_database
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
-from repro.storage.sorted_sets import SpoolDirectory
+from repro.storage.sorted_sets import FORMAT_BINARY, SPOOL_FORMATS, SpoolDirectory
 
 EXTERNAL_STRATEGIES = frozenset(
     {"brute-force", "single-pass", "merge-single-pass", "blockwise"}
@@ -70,6 +71,9 @@ class DiscoveryConfig:
     sampling_seed: int = 0
     spool_dir: str | None = None  # temporary directory when None
     keep_spool: bool = False
+    spool_format: str = FORMAT_BINARY  # "binary" (v2 blocks) or "text" (v1)
+    spool_block_size: int = DEFAULT_BLOCK_SIZE  # values per v2 block
+    export_workers: int = 1  # parallel attribute spooling
     max_items_in_memory: int = DEFAULT_RUN_SIZE
     max_open_files: int = 64  # blockwise strategy only
     blockwise_engine: str = "merge"
@@ -97,6 +101,15 @@ class DiscoveryConfig:
             )
         if self.sampling_size < 0:
             raise DiscoveryError("sampling_size must be >= 0")
+        if self.spool_format not in SPOOL_FORMATS:
+            raise DiscoveryError(
+                f"unknown spool format {self.spool_format!r}; "
+                f"choose from {sorted(SPOOL_FORMATS)}"
+            )
+        if self.spool_block_size < 1:
+            raise DiscoveryError("spool_block_size must be >= 1")
+        if self.export_workers < 1:
+            raise DiscoveryError("export_workers must be >= 1")
         if self.candidate_mode == "all-pairs" and self.strategy == "sql-join":
             raise DiscoveryError(
                 "the join approach requires unique referenced attributes and "
@@ -202,6 +215,9 @@ def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
         root,
         attributes=needed,
         max_items_in_memory=cfg.max_items_in_memory,
+        spool_format=cfg.spool_format,
+        block_size=cfg.spool_block_size,
+        workers=cfg.export_workers,
     )
     return spool, root, cleanup, export_stats
 

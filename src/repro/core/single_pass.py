@@ -37,7 +37,7 @@ from repro.core.candidates import Candidate
 from repro.core.stats import DecisionCollector, ValidationResult
 from repro.db.schema import AttributeRef
 from repro.errors import ValidatorError
-from repro.storage.cursors import IOStats
+from repro.storage.cursors import BatchReader, IOStats
 from repro.storage.sorted_sets import SpoolDirectory
 
 
@@ -66,7 +66,7 @@ class _ReferencedObject:
         self, ref: AttributeRef, spool: SpoolDirectory, io: IOStats, monitor: _Monitor
     ) -> None:
         self.ref = ref
-        self._cursor = spool.open_cursor(ref, io)
+        self._reader = BatchReader(spool.open_cursor(ref, io))
         self._monitor = monitor
         self.attached: set["_DependentObject"] = set()
         self._pending: set["_DependentObject"] = set()
@@ -78,7 +78,7 @@ class _ReferencedObject:
 
     def want_next_value(self, dep_obj: "_DependentObject") -> bool:
         """Algorithm 2's ``wantNextValue``: request a move; False = exhausted."""
-        if not self._cursor.has_next():
+        if self._closed or not self._reader.has_more():
             return False
         self._pending.add(dep_obj)
         self._maybe_ready()
@@ -96,7 +96,7 @@ class _ReferencedObject:
         """Read the next value and push it to every attached dependent."""
         if self._closed or not self._ready():
             return
-        value = self._cursor.next_value()
+        value = self._reader.next()
         self._pending.clear()
         # Snapshot: updates may detach receivers from *this* object, but each
         # receiver must still see the value it requested.
@@ -114,7 +114,7 @@ class _ReferencedObject:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
-            self._cursor.close()
+            self._reader.close()
 
 
 class _DependentObject:
@@ -128,7 +128,7 @@ class _DependentObject:
         collector: DecisionCollector,
     ) -> None:
         self.dep = dep
-        self._cursor = spool.open_cursor(dep, io)
+        self._reader = BatchReader(spool.open_cursor(dep, io))
         self._collector = collector
         self._current_value: str | None = None
         self._current_waiting: set[_ReferencedObject] = set()
@@ -139,7 +139,7 @@ class _DependentObject:
     # ----------------------------------------------------------- lifecycle
     def start(self, ref_objects: list[_ReferencedObject]) -> None:
         """Issue the initial requests: compare first dep value with each ref."""
-        if not self._cursor.has_next():
+        if not self._reader.has_more():
             # Empty dependent set: every candidate is vacuously satisfied.
             for ref_obj in ref_objects:
                 ref_obj.detach(self)
@@ -148,7 +148,7 @@ class _DependentObject:
                 )
             self._finish()
             return
-        self._current_value = self._cursor.next_value()
+        self._current_value = self._reader.next()
         for ref_obj in ref_objects:
             if ref_obj.want_next_value(self):
                 self._current_waiting.add(ref_obj)
@@ -161,7 +161,7 @@ class _DependentObject:
     def _finish(self) -> None:
         if not self._finished:
             self._finished = True
-            self._cursor.close()
+            self._reader.close()
 
     # ------------------------------------------------------------ protocol
     def receive(self, ref_obj: _ReferencedObject, value: str) -> None:
@@ -186,12 +186,12 @@ class _DependentObject:
                 return
             # Invariant (from Algorithm 2): entries only reach nextWaiting /
             # next when a next dependent value exists.
-            if not self._cursor.has_next():
+            if not self._reader.has_more():
                 raise ValidatorError(
                     f"single-pass protocol error: {self.dep} must advance "
                     "but its cursor is exhausted"
                 )
-            self._current_value = self._cursor.next_value()
+            self._current_value = self._reader.next()
             self._current_waiting = self._next_waiting
             self._next_waiting = set()
             delivered = self._next_delivered
@@ -207,7 +207,7 @@ class _DependentObject:
         dep_value = self._current_value
         assert dep_value is not None
         if dep_value == ref_value:
-            if self._cursor.has_next():
+            if self._reader.has_more():
                 if ref_obj.want_next_value(self):
                     self._next_waiting.add(ref_obj)
                 else:

@@ -26,6 +26,16 @@ class AttributeRef:
     table: str
     column: str
 
+    def __hash__(self) -> int:
+        # Attribute refs key every hot dict and set in the validators, and a
+        # ref is hashed orders of magnitude more often than it is created —
+        # cache the (salted, per-process) hash on first use.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.table, self.column))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def qualified(self) -> str:
         return f"{self.table}.{self.column}"

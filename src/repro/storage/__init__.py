@@ -3,19 +3,35 @@
 The external algorithms (Sec. 3) operate on *sorted files of distinct
 attribute values* extracted once from the database.  This package provides:
 
-* :mod:`repro.storage.codec` — TO_CHAR-style value rendering and the escaped
-  line format of the spool files;
+* :mod:`repro.storage.codec` — TO_CHAR-style value rendering plus the escaped
+  line (v1) and binary block (v2) codecs of the spool files;
+* :mod:`repro.storage.blockio` — framing of the v2 length-prefixed block
+  files (writer, magic, per-block metadata);
 * :mod:`repro.storage.external_sort` — bounded-memory external merge sort;
 * :mod:`repro.storage.sorted_sets` — one sorted, distinct value file per
-  attribute plus a JSON metadata sidecar;
-* :mod:`repro.storage.cursors` — forward cursors with item-read accounting
-  (the counters behind Figure 5);
+  attribute plus a JSON metadata sidecar with format sniffing;
+* :mod:`repro.storage.cursors` — forward cursors with batched reads and
+  item-read accounting (the counters behind Figure 5);
 * :mod:`repro.storage.exporter` — extraction of a whole database into a
-  spool directory.
+  spool directory, optionally with parallel workers.
 """
 
-from repro.storage.codec import escape_line, render_value, unescape_line
+from repro.storage.blockio import (
+    DEFAULT_BLOCK_SIZE,
+    BlockFileWriter,
+    BlockMeta,
+    sniff_block_file,
+)
+from repro.storage.codec import (
+    decode_block,
+    encode_block,
+    escape_line,
+    render_value,
+    unescape_line,
+)
 from repro.storage.cursors import (
+    BatchReader,
+    BlockFileValueCursor,
     CountingCursor,
     FileValueCursor,
     IOStats,
@@ -24,19 +40,36 @@ from repro.storage.cursors import (
 )
 from repro.storage.exporter import export_database
 from repro.storage.external_sort import external_sort
-from repro.storage.sorted_sets import SortedValueFile, SpoolDirectory
+from repro.storage.sorted_sets import (
+    FORMAT_BINARY,
+    FORMAT_TEXT,
+    SPOOL_FORMATS,
+    SortedValueFile,
+    SpoolDirectory,
+)
 
 __all__ = [
+    "BatchReader",
+    "BlockFileValueCursor",
+    "BlockFileWriter",
+    "BlockMeta",
     "CountingCursor",
+    "DEFAULT_BLOCK_SIZE",
+    "FORMAT_BINARY",
+    "FORMAT_TEXT",
     "FileValueCursor",
     "IOStats",
     "MemoryValueCursor",
+    "SPOOL_FORMATS",
     "SortedValueFile",
     "SpoolDirectory",
     "ValueCursor",
+    "decode_block",
+    "encode_block",
     "escape_line",
     "export_database",
     "external_sort",
     "render_value",
+    "sniff_block_file",
     "unescape_line",
 ]

@@ -1,0 +1,138 @@
+"""Framing of spool format v2: length-prefixed binary block files.
+
+A v2 value file is::
+
+    MAGIC (8 bytes)  [block]*
+
+where each block is::
+
+    header  = struct '<II'  → (payload_bytes, value_count)
+    payload = encode_block(values)   (see repro.storage.codec)
+
+Blocks hold a fixed number of values (``block_size``, the last block may be
+short), so a cursor amortises one read + decode over thousands of values —
+the batched-read design the paper's follow-up work points at (Sec. 7).  The
+writer records per-block value counts and min/max values; the spool index
+persists them, which later enables skip-scans without touching the file.
+
+Empty attributes produce a file holding only the magic — a zero-block file is
+valid and distinct from a missing or truncated one.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import IO
+
+from repro.errors import SpoolError
+from repro.storage.codec import encode_block
+
+#: File magic of spool format v2 value files ("RSPL2" + version byte + pad).
+MAGIC = b"RSPL2\x02\x00\n"
+
+#: Per-block frame header: little-endian (payload_bytes, value_count).
+BLOCK_HEADER = struct.Struct("<II")
+
+#: Default number of values per block.  Large enough that per-block Python
+#: overhead vanishes, small enough that early-stopping validators rarely
+#: decode values they never look at.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Per-block metadata recorded by the writer and persisted in the index."""
+
+    count: int
+    min_value: str
+    max_value: str
+
+    def to_doc(self) -> dict:
+        return {"count": self.count, "min": self.min_value, "max": self.max_value}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "BlockMeta":
+        return cls(
+            count=doc["count"], min_value=doc["min"], max_value=doc["max"]
+        )
+
+
+class BlockFileWriter:
+    """Streams sorted values into a v2 block file.
+
+    The caller feeds values one at a time (they must already be sorted and
+    distinct — :class:`~repro.storage.sorted_sets.SpoolDirectory` verifies
+    that); the writer packs them into ``block_size``-value blocks and tracks
+    the per-block metadata.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size < 1:
+            raise SpoolError(f"block_size must be >= 1, got {block_size!r}")
+        self.path = path
+        self.block_size = block_size
+        self.count = 0
+        self.min_value: str | None = None
+        self.max_value: str | None = None
+        self.blocks: list[BlockMeta] = []
+        self._pending: list[str] = []
+        try:
+            self._fh: IO[bytes] | None = open(path, "wb")
+        except OSError as exc:
+            raise SpoolError(f"cannot create value file {path}: {exc}") from exc
+        self._fh.write(MAGIC)
+
+    def write(self, value: str) -> None:
+        if self._fh is None:
+            raise SpoolError(f"block writer {self.path} used after close")
+        self._pending.append(value)
+        if len(self._pending) >= self.block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        values = self._pending
+        if not values:
+            return
+        assert self._fh is not None
+        payload = encode_block(values)
+        self._fh.write(BLOCK_HEADER.pack(len(payload), len(values)))
+        self._fh.write(payload)
+        self.blocks.append(
+            BlockMeta(count=len(values), min_value=values[0], max_value=values[-1])
+        )
+        self.count += len(values)
+        if self.min_value is None:
+            self.min_value = values[0]
+        self.max_value = values[-1]
+        self._pending = []
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._flush_block()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "BlockFileWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_magic(fh: IO[bytes], path: str) -> None:
+    """Consume and verify the v2 magic at the start of ``fh``."""
+    head = fh.read(len(MAGIC))
+    if head != MAGIC:
+        raise SpoolError(
+            f"{path} is not a spool v2 value file (bad magic {head!r})"
+        )
+
+
+def sniff_block_file(path: str) -> bool:
+    """True when ``path`` starts with the v2 magic (format sniffing helper)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError as exc:
+        raise SpoolError(f"cannot open value file {path}: {exc}") from exc

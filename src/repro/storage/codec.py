@@ -1,4 +1,4 @@
-"""Value rendering and the escaped line format of sorted value files.
+"""Value rendering and the on-disk codecs of sorted value files.
 
 Two decisions from the paper are encoded here:
 
@@ -16,6 +16,15 @@ Two decisions from the paper are encoded here:
 
 The escaped line format makes the newline-delimited spool files loss-free for
 arbitrary strings (including embedded newlines and backslashes).
+
+Two codecs share the escaping rules:
+
+* **v1 (text)** — one escaped value per line, the whole file is one stream of
+  lines (:func:`escape_line` / :func:`unescape_line` per value);
+* **v2 (binary blocks)** — escaped values are packed into length-prefixed
+  blocks (:func:`encode_block` / :func:`decode_block`), so a reader decodes a
+  few thousand values with one ``bytes.decode`` + ``str.split`` instead of one
+  Python-level line read per value.  See ``docs/spool_format.md``.
 """
 
 from __future__ import annotations
@@ -90,6 +99,38 @@ def unescape_line(line: str) -> str:
             raise SpoolError(f"unknown escape sequence \\{nxt} in {line!r}")
         i += 2
     return "".join(out)
+
+
+def encode_block(values: list[str]) -> bytes:
+    r"""Encode a batch of values into one v2 block payload.
+
+    The payload is the escaped values joined by ``\n`` and UTF-8 encoded.
+    Escaping guarantees the separator never occurs inside a value, so the
+    decoder can split the whole payload at C speed.  The value *count* is not
+    part of the payload — the block frame (see :mod:`repro.storage.blockio`)
+    carries it, which is what disambiguates the empty payload of a zero-value
+    block from a block holding one empty string.
+    """
+    return "\n".join(escape_line(value) for value in values).encode("utf-8")
+
+
+def decode_block(payload: bytes, count: int) -> list[str]:
+    """Inverse of :func:`encode_block` for a block of ``count`` values."""
+    if count == 0:
+        if payload:
+            raise SpoolError(
+                f"zero-value block carries {len(payload)} payload bytes"
+            )
+        return []
+    lines = payload.decode("utf-8").split("\n")
+    if len(lines) != count:
+        raise SpoolError(
+            f"corrupt block: header promises {count} values, "
+            f"payload holds {len(lines)}"
+        )
+    # Values without escape sequences (the overwhelming majority) skip the
+    # per-character unescape loop entirely.
+    return [unescape_line(line) if "\\" in line else line for line in lines]
 
 
 def render_distinct_sorted(values: list[Any]) -> list[str]:

@@ -11,19 +11,28 @@ Two extraction paths exist:
 * an optional SQL path that issues
   ``SELECT DISTINCT TO_CHAR(col) FROM t WHERE col IS NOT NULL ORDER BY 1``
   through :mod:`repro.sql`, for parity with the paper's setup.  Both paths
-  produce byte-identical spool files; tests assert this.
+  produce identical spool files; tests assert this.
+
+Export is embarrassingly parallel — every attribute's render → external sort
+→ write chain is independent — so ``workers=N`` fans the attributes out over
+a thread pool.  The spool registry is the only shared state and
+:class:`~repro.storage.sorted_sets.SpoolDirectory` guards it with a lock;
+statistics are folded in submission order, so the resulting index and
+:class:`ExportStats` are deterministic regardless of scheduling.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.db.database import Database
 from repro.db.schema import AttributeRef
 from repro.errors import SpoolError
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.codec import render_value
 from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
-from repro.storage.sorted_sets import SpoolDirectory
+from repro.storage.sorted_sets import FORMAT_BINARY, SortedValueFile, SpoolDirectory
 
 
 @dataclass
@@ -44,17 +53,27 @@ def export_database(
     max_items_in_memory: int = DEFAULT_RUN_SIZE,
     include_empty: bool = False,
     use_sql_engine: bool = False,
+    spool_format: str = FORMAT_BINARY,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workers: int = 1,
 ) -> tuple[SpoolDirectory, ExportStats]:
     """Spool the sorted distinct value set of every attribute of ``db``.
 
     ``attributes`` restricts the export (used by the Figure 5 benchmark that
     grows the attribute subset).  Empty attributes are skipped unless
     ``include_empty`` is set — the paper's candidate rules only ever consider
-    non-empty columns, so their files would never be read.
+    non-empty columns, so their files would never be read.  ``spool_format``
+    selects between the v1 text and v2 binary block layouts; ``workers``
+    spools that many attributes concurrently.
     """
-    spool = SpoolDirectory.create(spool_root)
+    if workers < 1:
+        raise SpoolError(f"workers must be >= 1, got {workers!r}")
+    spool = SpoolDirectory.create(
+        spool_root, format=spool_format, block_size=block_size
+    )
     stats = ExportStats()
     targets = attributes if attributes is not None else db.attributes()
+    jobs: list[tuple[AttributeRef, str]] = []
     for ref in targets:
         db.resolve(ref)
         dtype = db.table(ref.table).column_def(ref.column).dtype
@@ -62,18 +81,29 @@ def export_database(
             # LOB columns are excluded from dependent *and* referenced sides
             # (Sec. 2); spooling them would be wasted I/O.
             continue
-        if use_sql_engine:
-            rendered = _extract_via_sql(db, ref)
-            stats.values_scanned += len(rendered)
-            sorted_values = iter(rendered)
-        else:
-            values = db.attribute_values(ref)
-            stats.values_scanned += len(values)
-            sorted_values = external_sort(
-                (render_value(v) for v in values),
-                max_items_in_memory=max_items_in_memory,
-            )
-        svf = spool.add_values(ref, sorted_values, dtype=dtype.value)
+        jobs.append((ref, dtype.value))
+
+    if workers == 1 or len(jobs) <= 1:
+        outcomes = [
+            _export_one(db, spool, ref, dtype, max_items_in_memory, use_sql_engine)
+            for ref, dtype in jobs
+        ]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(jobs)),
+            thread_name_prefix="repro-export",
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _export_one,
+                    db, spool, ref, dtype, max_items_in_memory, use_sql_engine,
+                )
+                for ref, dtype in jobs
+            ]
+            outcomes = [future.result() for future in futures]
+
+    for ref, svf, scanned in outcomes:
+        stats.values_scanned += scanned
         if svf.is_empty and not include_empty:
             spool.discard(ref)
             stats.skipped_empty += 1
@@ -83,6 +113,30 @@ def export_database(
         stats.per_attribute_counts[ref.qualified] = svf.count
     spool.save_index()
     return spool, stats
+
+
+def _export_one(
+    db: Database,
+    spool: SpoolDirectory,
+    ref: AttributeRef,
+    dtype: str,
+    max_items_in_memory: int,
+    use_sql_engine: bool,
+) -> tuple[AttributeRef, SortedValueFile, int]:
+    """Extract, sort and spool a single attribute (thread-pool work unit)."""
+    if use_sql_engine:
+        rendered = _extract_via_sql(db, ref)
+        scanned = len(rendered)
+        sorted_values = iter(rendered)
+    else:
+        values = db.attribute_values(ref)
+        scanned = len(values)
+        sorted_values = external_sort(
+            (render_value(v) for v in values),
+            max_items_in_memory=max_items_in_memory,
+        )
+    svf = spool.add_values(ref, sorted_values, dtype=dtype)
+    return ref, svf, scanned
 
 
 def _extract_via_sql(db: Database, ref: AttributeRef) -> list[str]:

@@ -6,23 +6,44 @@ the database and stored in sorted files" (Sec. 3.2).  A
 an ``index.json`` with per-attribute metadata (distinct count, min/max value,
 source type).  The metadata is what makes the Sec. 4.1 pretests free: the
 cardinality and max-value tests read the index, not the files.
+
+Two on-disk formats coexist (``docs/spool_format.md``):
+
+* **v1 (text)** — one escaped value per line, ``.vals`` files;
+* **v2 (binary)** — length-prefixed blocks of escaped values, ``.valsb``
+  files, with per-block value counts and min/max persisted in the index.
+
+The ``version`` field of ``index.json`` is the format sniff: a v1 index has
+no such field and is read as text.  Directories of either format open through
+the same API and feed the same cursors, so every validator runs unchanged on
+legacy spools.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.db.schema import AttributeRef
 from repro.errors import SpoolError
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE, BlockFileWriter, BlockMeta
 from repro.storage.codec import escape_line
-from repro.storage.cursors import FileValueCursor, IOStats
+from repro.storage.cursors import BlockFileValueCursor, FileValueCursor, IOStats
 
 _INDEX_FILE = "index.json"
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+#: Spool format identifiers and the current index schema version.
+FORMAT_TEXT = "text"
+FORMAT_BINARY = "binary"
+SPOOL_FORMATS = (FORMAT_TEXT, FORMAT_BINARY)
+INDEX_VERSION = 2
+
+_EXTENSIONS = {FORMAT_TEXT: ".vals", FORMAT_BINARY: ".valsb"}
 
 
 @dataclass(frozen=True)
@@ -35,12 +56,20 @@ class SortedValueFile:
     min_value: str | None
     max_value: str | None
     dtype: str
+    format: str = FORMAT_TEXT
+    blocks: tuple[BlockMeta, ...] = field(default=())
 
     @property
     def is_empty(self) -> bool:
         return self.count == 0
 
-    def open_cursor(self, stats: IOStats | None = None) -> FileValueCursor:
+    def open_cursor(
+        self, stats: IOStats | None = None
+    ) -> FileValueCursor | BlockFileValueCursor:
+        if self.format == FORMAT_BINARY:
+            return BlockFileValueCursor(
+                self.path, stats=stats, label=self.ref.qualified
+            )
         return FileValueCursor(self.path, stats=stats, label=self.ref.qualified)
 
     def values(self) -> list[str]:
@@ -48,9 +77,11 @@ class SortedValueFile:
         cursor = self.open_cursor()
         try:
             out: list[str] = []
-            while cursor.has_next():
-                out.append(cursor.next_value())
-            return out
+            while True:
+                batch = cursor.read_batch(4096)
+                if not batch:
+                    return out
+                out.extend(batch)
         finally:
             cursor.close()
 
@@ -59,19 +90,42 @@ class SpoolDirectory:
     """A directory of sorted value files, addressable by attribute.
 
     Create with :meth:`create`, populate with :meth:`add_values`, persist with
-    :meth:`save_index`, reopen later with :meth:`open`.
+    :meth:`save_index`, reopen later with :meth:`open` (which sniffs the
+    format from the index ``version`` field).  :meth:`add_values` is
+    thread-safe so the exporter can spool attributes in parallel — each
+    attribute writes its own file; only the registry is shared.
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self,
+        root: Path,
+        format: str = FORMAT_TEXT,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if format not in SPOOL_FORMATS:
+            raise SpoolError(
+                f"unknown spool format {format!r}; choose from {SPOOL_FORMATS}"
+            )
+        if block_size < 1:
+            raise SpoolError(f"block_size must be >= 1, got {block_size!r}")
         self.root = root
+        self.format = format
+        self.block_size = block_size
         self._files: dict[AttributeRef, SortedValueFile] = {}
+        self._reserved: dict[AttributeRef, str] = {}
+        self._lock = threading.Lock()
 
     # ---------------------------------------------------------- construction
     @classmethod
-    def create(cls, root: str | Path) -> "SpoolDirectory":
+    def create(
+        cls,
+        root: str | Path,
+        format: str = FORMAT_TEXT,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "SpoolDirectory":
         path = Path(root)
         path.mkdir(parents=True, exist_ok=True)
-        return cls(path)
+        return cls(path, format=format, block_size=block_size)
 
     @classmethod
     def open(cls, root: str | Path) -> "SpoolDirectory":
@@ -79,14 +133,33 @@ class SpoolDirectory:
         index_path = path / _INDEX_FILE
         if not index_path.exists():
             raise SpoolError(f"{path} is not a spool directory (no {_INDEX_FILE})")
-        spool = cls(path)
         with open(index_path, encoding="utf-8") as fh:
             doc = json.load(fh)
+        version = doc.get("version", 1)
+        if version == 1:
+            format = FORMAT_TEXT
+            block_size = DEFAULT_BLOCK_SIZE
+        elif version == INDEX_VERSION:
+            format = doc.get("format", FORMAT_TEXT)
+            if format not in SPOOL_FORMATS:
+                raise SpoolError(
+                    f"spool index of {path} names unknown format {format!r}"
+                )
+            block_size = doc.get("block_size", DEFAULT_BLOCK_SIZE)
+        else:
+            raise SpoolError(
+                f"spool index version {version!r} of {path} is not supported "
+                f"(this build reads versions 1 and {INDEX_VERSION})"
+            )
+        spool = cls(path, format=format, block_size=block_size)
         for entry in doc.get("attributes", []):
             ref = AttributeRef(entry["table"], entry["column"])
             file_path = path / entry["file"]
             if not file_path.exists():
                 raise SpoolError(f"spool index references missing file {file_path}")
+            blocks = tuple(
+                BlockMeta.from_doc(b) for b in entry.get("blocks", [])
+            )
             spool._files[ref] = SortedValueFile(
                 ref=ref,
                 path=str(file_path),
@@ -94,6 +167,8 @@ class SpoolDirectory:
                 min_value=entry.get("min"),
                 max_value=entry.get("max"),
                 dtype=entry.get("dtype", "VARCHAR"),
+                format=format,
+                blocks=blocks,
             )
         return spool
 
@@ -109,68 +184,123 @@ class SpoolDirectory:
         verified while writing (cheap, one comparison per value) because a
         mis-sorted spool file silently breaks every validator.
         """
-        if ref in self._files:
-            raise SpoolError(f"attribute {ref} already spooled")
-        file_name = self._file_name(ref)
+        with self._lock:
+            if ref in self._files or ref in self._reserved:
+                raise SpoolError(f"attribute {ref} already spooled")
+            file_name = self._file_name(ref)
+            self._reserved[ref] = file_name
         file_path = self.root / file_name
+        try:
+            if self.format == FORMAT_BINARY:
+                svf = self._write_binary(ref, file_path, sorted_distinct_values, dtype)
+            else:
+                svf = self._write_text(ref, file_path, sorted_distinct_values, dtype)
+        except BaseException:
+            with self._lock:
+                self._reserved.pop(ref, None)
+            file_path.unlink(missing_ok=True)
+            raise
+        with self._lock:
+            self._reserved.pop(ref, None)
+            self._files[ref] = svf
+        return svf
+
+    def _checked_ascending(self, ref: AttributeRef, values: Iterable[str]):
+        last: str | None = None
+        for value in values:
+            if last is not None and value <= last:
+                raise SpoolError(
+                    f"values for {ref} are not strictly ascending: "
+                    f"{value!r} after {last!r}"
+                )
+            last = value
+            yield value
+
+    def _write_text(
+        self, ref: AttributeRef, file_path: Path, values: Iterable[str], dtype: str
+    ) -> SortedValueFile:
         count = 0
         first: str | None = None
         last: str | None = None
         with open(file_path, "w", encoding="utf-8") as fh:
-            for value in sorted_distinct_values:
-                if last is not None and value <= last:
-                    raise SpoolError(
-                        f"values for {ref} are not strictly ascending: "
-                        f"{value!r} after {last!r}"
-                    )
+            for value in self._checked_ascending(ref, values):
                 if first is None:
                     first = value
                 last = value
                 fh.write(escape_line(value))
                 fh.write("\n")
                 count += 1
-        svf = SortedValueFile(
+        return SortedValueFile(
             ref=ref,
             path=str(file_path),
             count=count,
             min_value=first,
             max_value=last,
             dtype=dtype,
+            format=FORMAT_TEXT,
         )
-        self._files[ref] = svf
-        return svf
+
+    def _write_binary(
+        self, ref: AttributeRef, file_path: Path, values: Iterable[str], dtype: str
+    ) -> SortedValueFile:
+        with BlockFileWriter(str(file_path), block_size=self.block_size) as writer:
+            for value in self._checked_ascending(ref, values):
+                writer.write(value)
+        return SortedValueFile(
+            ref=ref,
+            path=str(file_path),
+            count=writer.count,
+            min_value=writer.min_value,
+            max_value=writer.max_value,
+            dtype=dtype,
+            format=FORMAT_BINARY,
+            blocks=tuple(writer.blocks),
+        )
 
     def save_index(self) -> None:
-        doc = {
-            "attributes": [
-                {
-                    "table": ref.table,
-                    "column": ref.column,
-                    "file": Path(svf.path).name,
-                    "count": svf.count,
-                    "min": svf.min_value,
-                    "max": svf.max_value,
-                    "dtype": svf.dtype,
-                }
-                for ref, svf in sorted(self._files.items())
-            ]
+        doc: dict = {
+            "version": INDEX_VERSION,
+            "format": self.format,
         }
+        if self.format == FORMAT_BINARY:
+            doc["block_size"] = self.block_size
+        doc["attributes"] = [
+            self._entry(ref, svf) for ref, svf in sorted(self._files.items())
+        ]
         with open(self.root / _INDEX_FILE, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
 
+    @staticmethod
+    def _entry(ref: AttributeRef, svf: SortedValueFile) -> dict:
+        entry = {
+            "table": ref.table,
+            "column": ref.column,
+            "file": Path(svf.path).name,
+            "count": svf.count,
+            "min": svf.min_value,
+            "max": svf.max_value,
+            "dtype": svf.dtype,
+        }
+        if svf.format == FORMAT_BINARY:
+            entry["blocks"] = [block.to_doc() for block in svf.blocks]
+        return entry
+
     def _file_name(self, ref: AttributeRef) -> str:
         base = _SAFE_NAME.sub("_", f"{ref.table}__{ref.column}")
-        candidate = f"{base}.vals"
+        extension = _EXTENSIONS[self.format]
+        candidate = f"{base}{extension}"
         existing = {Path(f.path).name for f in self._files.values()}
+        existing.update(self._reserved.values())
         suffix = 1
         while candidate in existing:
             suffix += 1
-            candidate = f"{base}__{suffix}.vals"
+            candidate = f"{base}__{suffix}{extension}"
         return candidate
 
     def discard(self, ref: AttributeRef) -> None:
         """Remove an attribute's spool file (used to drop empty attributes)."""
-        svf = self._files.pop(ref, None)
+        with self._lock:
+            svf = self._files.pop(ref, None)
         if svf is not None:
             Path(svf.path).unlink(missing_ok=True)
 
@@ -192,7 +322,7 @@ class SpoolDirectory:
 
     def open_cursor(
         self, ref: AttributeRef, stats: IOStats | None = None
-    ) -> FileValueCursor:
+    ) -> FileValueCursor | BlockFileValueCursor:
         return self.get(ref).open_cursor(stats)
 
     def total_values(self) -> int:

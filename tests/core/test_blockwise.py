@@ -71,6 +71,48 @@ class TestBudget:
             BlockwiseValidator(spool, engine="quantum")
 
 
+class TestOpenFileAccounting:
+    """Sec. 4.2 regression: peak-open-file accounting across merged runs.
+
+    ``IOStats.merge`` used to drop ``open_files`` when folding a sub-run's
+    counters, so a consumer merging mid-flight stats would under-report the
+    true open-file peak — the very quantity the blockwise budget exists to
+    bound.  These tests pin the corrected behaviour at the validator level.
+    """
+
+    def test_peak_equals_max_over_subruns(self, spool, candidates):
+        budget = 6
+        result = BlockwiseValidator(
+            spool, max_open_files=budget
+        ).validate(candidates)
+        # The merged peak is the max over sub-runs: within the budget, but
+        # genuinely reflecting concurrent opens (> 1 whenever work happened).
+        assert 2 <= result.stats.peak_open_files <= budget
+        # Every sub-run closed its cursors; a validator-level merge must not
+        # manufacture phantom open files either.
+        assert result.stats.files_opened >= result.stats.peak_open_files
+
+    def test_merged_stats_are_settled(self, spool, candidates):
+        """After validation no cursor is left open in the merged counters."""
+        from repro.storage.cursors import IOStats
+
+        outer = IOStats()
+        peaks = []
+        for budget in (2, 5):
+            sub = IOStats()
+            result = BlockwiseValidator(
+                spool, max_open_files=budget
+            ).validate(candidates)
+            sub.items_read = result.stats.items_read
+            sub.files_opened = result.stats.files_opened
+            sub.peak_open_files = result.stats.peak_open_files
+            peaks.append(result.stats.peak_open_files)
+            outer.merge(sub)
+        assert outer.open_files == 0
+        assert outer.peak_open_files == max(peaks)
+        assert outer.files_opened > 0
+
+
 class TestStats:
     def test_counts_aggregate(self, spool, candidates):
         result = BlockwiseValidator(spool, max_open_files=4).validate(candidates)

@@ -102,3 +102,32 @@ class TestPrefixedINDFinder:
         s.add_values(DEP, ["PDB-1aaa", "PDB-9zzz"])
         finder = PrefixedINDFinder(s)
         assert finder.check(Candidate(DEP, REF)) is None
+
+    def test_nonconforming_value_beyond_scan_limit(self, tmp_path):
+        """Regression: batched lookahead must not choke on unscanned values.
+
+        The prefix is detected from a bounded scan, so a value past the scan
+        horizon may lack it.  When the candidate is decided before that
+        value is ever consumed, the check must complete normally — the
+        batched cursor protocol peeks far ahead but only *consumed* values
+        may be prefix-checked.
+        """
+        s = SpoolDirectory.create(tmp_path / "s3")
+        # Prefix "PDB-" detected from the first 3 values; "ZZZ-x" (beyond the
+        # scan limit) does not conform.  The candidate is refuted on the very
+        # first stripped value ("1aaa" not in REF), long before "ZZZ-x".
+        s.add_values(DEP, ["PDB-1aaa", "PDB-2bbb", "PDB-3ccc", "ZZZ-x"])
+        s.add_values(REF, ["0zzz"])
+        finder = PrefixedINDFinder(s, prefix_scan_limit=3)
+        assert finder.check(Candidate(DEP, REF)) is None  # refuted, no crash
+
+    def test_nonconforming_value_that_is_consumed_still_raises(self, tmp_path):
+        from repro.errors import ValidatorError
+
+        s = SpoolDirectory.create(tmp_path / "s4")
+        s.add_values(DEP, ["PDB-1aaa", "PDB-2bbb", "ZZZ-x"])
+        # Both stripped values present, so the scan must consume "ZZZ-x".
+        s.add_values(REF, ["1aaa", "2bbb", "3ccc"])
+        finder = PrefixedINDFinder(s, prefix_scan_limit=2)
+        with pytest.raises(ValidatorError, match="lacks the expected prefix"):
+            finder.check(Candidate(DEP, REF))

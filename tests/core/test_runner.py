@@ -41,6 +41,18 @@ class TestConfigValidation:
                 strategy="sql-join", candidate_mode="all-pairs"
             ).validated()
 
+    def test_unknown_spool_format(self):
+        with pytest.raises(DiscoveryError, match="spool format"):
+            DiscoveryConfig(spool_format="parquet").validated()
+
+    def test_bad_block_size(self):
+        with pytest.raises(DiscoveryError, match="spool_block_size"):
+            DiscoveryConfig(spool_block_size=0).validated()
+
+    def test_bad_export_workers(self):
+        with pytest.raises(DiscoveryError, match="export_workers"):
+            DiscoveryConfig(export_workers=0).validated()
+
 
 class TestStrategies:
     def test_all_strategies_agree(self, fk_db):
@@ -55,6 +67,21 @@ class TestStrategies:
     def test_fk_found(self, fk_db):
         result = discover_inds(fk_db)
         assert "child.pid [= parent.id" in {str(i) for i in result.satisfied}
+
+    def test_spool_format_and_workers_reach_export(self, fk_db, tmp_path):
+        import json
+
+        for fmt in ("text", "binary"):
+            config = DiscoveryConfig(
+                spool_dir=str(tmp_path / fmt),
+                keep_spool=True,
+                spool_format=fmt,
+                export_workers=2,
+            )
+            result = discover_inds(fk_db, config)
+            assert result.satisfied_count > 0
+            doc = json.loads((tmp_path / fmt / "index.json").read_text())
+            assert doc["format"] == fmt
 
     def test_counts_consistent(self, fk_db):
         result = discover_inds(fk_db)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import SpoolError
 from repro.storage.codec import (
+    decode_block,
+    encode_block,
     escape_line,
     render_distinct_sorted,
     render_value,
@@ -73,6 +75,47 @@ class TestEscaping:
     def test_unescape_rejects_unknown_escape(self):
         with pytest.raises(SpoolError):
             unescape_line("ab\\x")
+
+
+class TestBlockCodec:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [""],
+            ["plain"],
+            ["a", "b", "c"],
+            ["new\nline", "back\\slash", "carriage\rreturn"],
+            ["nul\x00byte", "tab\tok", "ünïcode", "0"],
+            ["", "", ""],  # repeated empties survive the count framing
+        ],
+    )
+    def test_roundtrip(self, values):
+        assert decode_block(encode_block(values), len(values)) == values
+
+    def test_payload_of_plain_values_is_join(self):
+        # The fast path: no escapes, decode is one split, byte-transparent.
+        assert encode_block(["a", "b"]) == b"a\nb"
+
+    def test_escaped_values_have_no_raw_separators(self):
+        payload = encode_block(["x\ny", "z"])
+        assert payload.count(b"\n") == 1  # only the separator survives
+
+    def test_count_mismatch_rejected(self):
+        payload = encode_block(["a", "b"])
+        with pytest.raises(SpoolError, match="promises 3 values"):
+            decode_block(payload, 3)
+
+    def test_zero_count_with_payload_rejected(self):
+        with pytest.raises(SpoolError, match="zero-value block"):
+            decode_block(b"junk", 0)
+
+    def test_zero_count_empty_payload(self):
+        assert decode_block(b"", 0) == []
+
+    def test_large_block_roundtrip(self):
+        values = [f"value-{i:05d}" for i in range(5000)]
+        assert decode_block(encode_block(values), 5000) == values
 
 
 class TestRenderDistinctSorted:

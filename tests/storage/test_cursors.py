@@ -1,10 +1,11 @@
-"""Tests for value cursors and I/O accounting."""
+"""Tests for value cursors, batched reads, and I/O accounting."""
 
 import pytest
 
 from repro.errors import SpoolError
 from repro.storage.codec import escape_line
 from repro.storage.cursors import (
+    BatchReader,
     CountingCursor,
     FileValueCursor,
     IOStats,
@@ -51,8 +52,44 @@ class TestIOStats:
         a.merge(b)
         assert a.items_read == 3
         assert a.files_opened == 3
-        assert a.peak_open_files == 2
+        # Both runs still hold their files: after the merge three files are
+        # genuinely open at once, and the peak must reflect that.
+        assert a.open_files == 3
+        assert a.peak_open_files == 3
         assert a.reads_per_attribute == {"x": 2, "y": 1}
+
+    def test_merge_carries_open_files_regression(self):
+        """Regression: ``merge`` used to drop ``open_files``.
+
+        A fresh stats object that absorbed a mid-flight run would report
+        ``open_files == 0`` while ``files_opened`` said the cursors existed,
+        and every subsequent ``record_open`` under-counted the true peak —
+        exactly the Sec. 4.2 open-file budget the blockwise validator is
+        built around.
+        """
+        outer, sub = IOStats(), IOStats()
+        sub.record_open()
+        sub.record_open()
+        outer.merge(sub)
+        assert outer.open_files == 2
+        assert outer.peak_open_files == 2
+        # A later open on the merged stats must see the carried-over files.
+        outer.record_open()
+        assert outer.peak_open_files == 3
+        assert outer.files_opened == 3
+
+    def test_merge_of_completed_runs_keeps_peak_max(self):
+        """Completed block runs (all cursors closed) merge peaks by max."""
+        a, b = IOStats(), IOStats()
+        for stats, opens in ((a, 2), (b, 3)):
+            for _ in range(opens):
+                stats.record_open()
+            for _ in range(opens):
+                stats.record_close()
+        a.merge(b)
+        assert a.open_files == 0
+        assert a.peak_open_files == 3
+        assert a.files_opened == 5
 
 
 class TestMemoryValueCursor:
@@ -128,6 +165,128 @@ class TestFileValueCursor:
         cursor.close()
         with pytest.raises(SpoolError):
             cursor.next_value()
+
+
+def _all_cursor_kinds(tmp_path, values, stats=None):
+    """One cursor of every kind over the same values."""
+    path = write_value_file(tmp_path / "batch.vals", values)
+    return [
+        MemoryValueCursor(list(values), stats, label="m"),
+        FileValueCursor(path, stats, label="f"),
+        CountingCursor(iter(values), stats, label="i"),
+    ]
+
+
+class TestBatchedProtocol:
+    def test_read_batch_consumes_and_counts(self, tmp_path):
+        values = [f"{i:02d}" for i in range(10)]
+        stats = IOStats()
+        for cursor in _all_cursor_kinds(tmp_path, values, stats):
+            before = stats.items_read
+            assert cursor.read_batch(4) == values[:4]
+            assert cursor.read_batch(100) == values[4:]
+            assert cursor.read_batch(5) == []
+            assert stats.items_read - before == 10
+            cursor.close()
+        assert stats.open_files == 0
+        assert stats.files_opened == 3
+
+    def test_peek_is_free_and_stable(self, tmp_path):
+        values = ["a", "b", "c"]
+        stats = IOStats()
+        for cursor in _all_cursor_kinds(tmp_path, values, stats):
+            before = stats.items_read
+            assert cursor.peek_batch(2) == ["a", "b"]
+            assert cursor.peek_batch(2) == ["a", "b"]  # idempotent
+            assert stats.items_read == before
+            cursor.advance(1)
+            assert stats.items_read == before + 1
+            assert cursor.peek_batch(2) == ["b", "c"]
+            cursor.close()
+
+    def test_advance_beyond_peeked_rejected(self, tmp_path):
+        for cursor in _all_cursor_kinds(tmp_path, ["a", "b"]):
+            cursor.peek_batch(2)
+            with pytest.raises(SpoolError, match="cannot advance"):
+                cursor.advance(3)
+            cursor.close()
+
+    def test_batched_and_single_reads_interleave(self, tmp_path):
+        values = [f"{i}" for i in range(6)]
+        for cursor in _all_cursor_kinds(tmp_path, values):
+            assert cursor.next_value() == "0"
+            assert cursor.read_batch(2) == ["1", "2"]
+            assert cursor.next_value() == "3"
+            assert cursor.peek_batch(5) == ["4", "5"]
+            assert cursor.read_batch(5) == ["4", "5"]
+            assert not cursor.has_next()
+            cursor.close()
+
+    def test_peek_after_close_rejected(self, tmp_path):
+        for cursor in _all_cursor_kinds(tmp_path, ["a"]):
+            cursor.close()
+            with pytest.raises(SpoolError, match="after close"):
+                cursor.peek_batch(1)
+
+    def test_mixed_accounting_equals_per_value(self, tmp_path):
+        """Batched and per-value consumption must report identical stats."""
+        values = [f"{i:03d}" for i in range(25)]
+        batched, single = IOStats(), IOStats()
+        cursor = MemoryValueCursor(list(values), batched, label="x")
+        while cursor.read_batch(7):
+            pass
+        cursor.close()
+        cursor = MemoryValueCursor(list(values), single, label="x")
+        while cursor.has_next():
+            cursor.next_value()
+        cursor.close()
+        assert batched.items_read == single.items_read
+        assert batched.reads_per_attribute == single.reads_per_attribute
+        assert batched.files_opened == single.files_opened
+
+
+class TestBatchReader:
+    def test_iterates_all_values(self):
+        stats = IOStats()
+        reader = BatchReader(MemoryValueCursor(["a", "b", "c"], stats, "m"),
+                             batch_size=2)
+        out = []
+        while reader.has_more():
+            out.append(reader.next())
+        assert out == ["a", "b", "c"]
+        reader.close()
+        assert stats.items_read == 3
+        assert stats.open_files == 0
+
+    def test_lazy_commit_flushes_on_close(self):
+        stats = IOStats()
+        reader = BatchReader(MemoryValueCursor(["a", "b", "c"], stats, "m"),
+                             batch_size=10)
+        reader.next()
+        reader.next()
+        # Consumption is committed lazily — but close() must settle it.
+        reader.close()
+        assert stats.items_read == 2
+
+    def test_flush_keeps_cursor_open(self):
+        stats = IOStats()
+        cursor = MemoryValueCursor(["a", "b"], stats, "m")
+        reader = BatchReader(cursor, batch_size=10)
+        reader.next()
+        reader.flush()
+        assert stats.items_read == 1
+        assert cursor.next_value() == "b"  # cursor still usable
+        cursor.close()
+
+    def test_read_past_end(self):
+        reader = BatchReader(MemoryValueCursor([]))
+        assert not reader.has_more()
+        with pytest.raises(SpoolError, match="past end"):
+            reader.next()
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(SpoolError, match="batch_size"):
+            BatchReader(MemoryValueCursor([]), batch_size=0)
 
 
 class TestCountingCursor:

@@ -66,6 +66,71 @@ class TestSpillPath:
         assert out == sorted(set(data))
 
 
+class TestSpillStress:
+    """The spill path at the tightest possible memory bounds (1..3 items)."""
+
+    @pytest.mark.parametrize("limit", [1, 2, 3])
+    def test_tight_memory_matches_reference(self, tmp_path, limit):
+        import random
+
+        rng = random.Random(limit)
+        data = [f"{rng.randint(0, 30):02d}" for _ in range(200)]
+        out = list(
+            external_sort(data, max_items_in_memory=limit, tmp_dir=str(tmp_path))
+        )
+        assert out == sorted(set(data))
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("limit", [1, 2, 3])
+    def test_duplicate_heavy_input(self, tmp_path, limit):
+        # 97% duplicates: every run holds the same value, the k-way merge
+        # must still emit it exactly once.
+        data = ["dup"] * 300 + ["aa", "zz"] + ["dup"] * 100
+        out = list(
+            external_sort(data, max_items_in_memory=limit, tmp_dir=str(tmp_path))
+        )
+        assert out == ["aa", "dup", "zz"]
+        assert os.listdir(tmp_path) == []
+
+    def test_all_identical_values(self, tmp_path):
+        out = list(
+            external_sort(["x"] * 50, max_items_in_memory=1, tmp_dir=str(tmp_path))
+        )
+        assert out == ["x"]
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("limit", [1, 2, 3])
+    @pytest.mark.parametrize("consumed", [0, 1, 5])
+    def test_abandoned_iterator_cleans_runs(self, tmp_path, limit, consumed):
+        """Run files must vanish however early the consumer walks away."""
+        gen = external_sort(
+            [f"{i:02d}" for i in range(60)] * 2,
+            max_items_in_memory=limit,
+            tmp_dir=str(tmp_path),
+        )
+        for _ in range(consumed):
+            next(gen)
+        # While the generator is live its run files exist on disk...
+        if consumed:
+            assert len(os.listdir(tmp_path)) > 0
+        gen.close()
+        # ...abandoning it mid-stream must remove every one of them.
+        assert os.listdir(tmp_path) == []
+
+    def test_abandoned_by_garbage_collection(self, tmp_path):
+        import gc
+
+        gen = external_sort(
+            [f"{i:02d}" for i in range(40)],
+            max_items_in_memory=2,
+            tmp_dir=str(tmp_path),
+        )
+        next(gen)
+        del gen
+        gc.collect()
+        assert os.listdir(tmp_path) == []
+
+
 class TestValidation:
     def test_rejects_zero_memory(self):
         with pytest.raises(ValueError):

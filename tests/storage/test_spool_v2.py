@@ -1,0 +1,373 @@
+"""Tests for spool format v2: block files, format sniffing, parallel export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.db.database import Database
+from repro.db.schema import AttributeRef, Column, TableSchema
+from repro.db.types import DataType
+from repro.errors import SpoolError
+from repro.storage.blockio import (
+    MAGIC,
+    BlockFileWriter,
+    sniff_block_file,
+)
+from repro.storage.codec import escape_line
+from repro.storage.cursors import BlockFileValueCursor, IOStats
+from repro.storage.exporter import export_database
+from repro.storage.sorted_sets import (
+    FORMAT_BINARY,
+    FORMAT_TEXT,
+    SpoolDirectory,
+)
+
+A = AttributeRef("t", "a")
+B = AttributeRef("t", "b")
+
+AWKWARD = sorted(["", "a\nb", "a\\nb", "back\\slash", "nul\x00byte", "z\r"])
+
+
+# --------------------------------------------------------------- block files
+class TestBlockFileRoundTrip:
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 1000])
+    def test_values_survive(self, tmp_path, block_size):
+        path = str(tmp_path / "v.valsb")
+        values = [f"v{i:03d}" for i in range(17)]
+        with BlockFileWriter(path, block_size=block_size) as writer:
+            for value in values:
+                writer.write(value)
+        cursor = BlockFileValueCursor(path)
+        out = []
+        while cursor.has_next():
+            out.append(cursor.next_value())
+        cursor.close()
+        assert out == values
+
+    @pytest.mark.parametrize("block_size", [1, 2, 5])
+    def test_awkward_values(self, tmp_path, block_size):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path, block_size=block_size) as writer:
+            for value in AWKWARD:
+                writer.write(value)
+        cursor = BlockFileValueCursor(path)
+        assert cursor.read_batch(100) == AWKWARD
+        cursor.close()
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path) as writer:
+            pass
+        assert writer.count == 0 and writer.blocks == []
+        cursor = BlockFileValueCursor(path)
+        assert not cursor.has_next()
+        with pytest.raises(SpoolError, match="read past end"):
+            cursor.next_value()
+        cursor.close()
+
+    def test_block_metadata(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path, block_size=2) as writer:
+            for value in ["a", "b", "c", "d", "e"]:
+                writer.write(value)
+        assert [b.count for b in writer.blocks] == [2, 2, 1]
+        assert [(b.min_value, b.max_value) for b in writer.blocks] == [
+            ("a", "b"), ("c", "d"), ("e", "e"),
+        ]
+        assert writer.count == 5
+        assert writer.min_value == "a"
+        assert writer.max_value == "e"
+
+    def test_batches_straddle_block_boundaries(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        values = [f"{i:02d}" for i in range(20)]
+        with BlockFileWriter(path, block_size=3) as writer:
+            for value in values:
+                writer.write(value)
+        cursor = BlockFileValueCursor(path)
+        # 7-value batches over 3-value blocks: every read crosses a boundary.
+        out = []
+        while True:
+            batch = cursor.read_batch(7)
+            if not batch:
+                break
+            assert len(batch) == 7 or len(batch) == len(values) - len(out)
+            out.extend(batch)
+        cursor.close()
+        assert out == values
+
+    def test_peek_does_not_consume_across_blocks(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path, block_size=2) as writer:
+            for value in ["a", "b", "c", "d", "e"]:
+                writer.write(value)
+        stats = IOStats()
+        cursor = BlockFileValueCursor(path, stats)
+        assert cursor.peek_batch(5) == ["a", "b", "c", "d", "e"]
+        assert stats.items_read == 0  # peeking is never charged
+        cursor.advance(3)
+        assert stats.items_read == 3
+        assert cursor.read_batch(10) == ["d", "e"]
+        assert stats.items_read == 5
+        cursor.close()
+
+    def test_writer_rejects_bad_block_size(self, tmp_path):
+        with pytest.raises(SpoolError, match="block_size"):
+            BlockFileWriter(str(tmp_path / "v.valsb"), block_size=0)
+
+    def test_write_after_close(self, tmp_path):
+        writer = BlockFileWriter(str(tmp_path / "v.valsb"))
+        writer.close()
+        with pytest.raises(SpoolError, match="after close"):
+            writer.write("x")
+
+
+class TestBlockFileCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "v.valsb"
+        path.write_bytes(b"not a block file")
+        with pytest.raises(SpoolError, match="bad magic"):
+            BlockFileValueCursor(str(path))
+        assert not sniff_block_file(str(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "v.valsb"
+        path.write_bytes(MAGIC + b"\x01\x02")
+        cursor = BlockFileValueCursor(str(path))
+        with pytest.raises(SpoolError, match="truncated block header"):
+            cursor.has_next()
+        cursor.close()
+
+    def test_truncated_payload(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path, block_size=10) as writer:
+            for value in ["aaa", "bbb"]:
+                writer.write(value)
+        data = open(path, "rb").read()
+        trimmed = tmp_path / "trimmed.valsb"
+        trimmed.write_bytes(data[:-2])
+        cursor = BlockFileValueCursor(str(trimmed))
+        with pytest.raises(SpoolError, match="truncated block"):
+            cursor.has_next()
+        cursor.close()
+
+    def test_sniff_detects_v2(self, tmp_path):
+        path = str(tmp_path / "v.valsb")
+        with BlockFileWriter(path) as writer:
+            writer.write("x")
+        assert sniff_block_file(path)
+        text = tmp_path / "v.vals"
+        text.write_text("x\n")
+        assert not sniff_block_file(str(text))
+
+
+# ------------------------------------------------------------ spool directory
+class TestBinarySpoolDirectory:
+    def test_round_trip_and_reopen(self, tmp_path):
+        spool = SpoolDirectory.create(
+            tmp_path / "s", format=FORMAT_BINARY, block_size=2
+        )
+        spool.add_values(A, AWKWARD)
+        spool.add_values(B, [])
+        spool.save_index()
+        reopened = SpoolDirectory.open(tmp_path / "s")
+        assert reopened.format == FORMAT_BINARY
+        assert reopened.block_size == 2
+        assert reopened.get(A).values() == AWKWARD
+        assert reopened.get(B).values() == []
+        assert reopened.get(A).format == FORMAT_BINARY
+
+    def test_index_carries_version_and_blocks(self, tmp_path):
+        spool = SpoolDirectory.create(
+            tmp_path / "s", format=FORMAT_BINARY, block_size=2
+        )
+        spool.add_values(A, ["a", "b", "c"])
+        spool.save_index()
+        doc = json.loads((tmp_path / "s" / "index.json").read_text())
+        assert doc["version"] == 2
+        assert doc["format"] == "binary"
+        assert doc["block_size"] == 2
+        (entry,) = doc["attributes"]
+        assert entry["file"].endswith(".valsb")
+        assert entry["blocks"] == [
+            {"count": 2, "min": "a", "max": "b"},
+            {"count": 1, "min": "c", "max": "c"},
+        ]
+
+    def test_text_v2_index_has_version_but_no_blocks(self, tmp_path):
+        spool = SpoolDirectory.create(tmp_path / "s", format=FORMAT_TEXT)
+        spool.add_values(A, ["a"])
+        spool.save_index()
+        doc = json.loads((tmp_path / "s" / "index.json").read_text())
+        assert doc["version"] == 2
+        assert doc["format"] == "text"
+        assert "blocks" not in doc["attributes"][0]
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(SpoolError, match="unknown spool format"):
+            SpoolDirectory.create(tmp_path / "s", format="parquet")
+
+    def test_binary_rejects_unsorted(self, tmp_path):
+        spool = SpoolDirectory.create(tmp_path / "s", format=FORMAT_BINARY)
+        with pytest.raises(SpoolError, match="strictly ascending"):
+            spool.add_values(A, ["b", "a"])
+        # The failed write never leaks a half-written file or a reservation.
+        assert A not in spool
+        spool.add_values(A, ["a", "b"])
+        assert spool.get(A).values() == ["a", "b"]
+
+    def test_cursor_accounting_matches_text(self, tmp_path):
+        values = [f"{i:02d}" for i in range(10)]
+        per_format = {}
+        for fmt in (FORMAT_TEXT, FORMAT_BINARY):
+            spool = SpoolDirectory.create(
+                tmp_path / fmt, format=fmt, block_size=3
+            )
+            spool.add_values(A, values)
+            stats = IOStats()
+            cursor = spool.open_cursor(A, stats)
+            cursor.read_batch(4)
+            cursor.next_value()
+            cursor.close()
+            per_format[fmt] = (
+                stats.items_read,
+                stats.files_opened,
+                stats.reads_per_attribute,
+            )
+        assert per_format[FORMAT_TEXT] == per_format[FORMAT_BINARY] == (
+            5, 1, {"t.a": 5},
+        )
+
+
+class TestV1BackwardCompat:
+    def _write_v1_directory(self, root):
+        """Hand-build a spool directory exactly as the v1 code wrote it."""
+        root.mkdir(parents=True)
+        values = {"a": ["1", "5", "x\ny"], "b": ["1", "5", "9", "x\ny"]}
+        entries = []
+        for column, vals in values.items():
+            file_name = f"t__{column}.vals"
+            with open(root / file_name, "w", encoding="utf-8") as fh:
+                for value in vals:
+                    fh.write(escape_line(value) + "\n")
+            entries.append(
+                {
+                    "table": "t",
+                    "column": column,
+                    "file": file_name,
+                    "count": len(vals),
+                    "min": vals[0],
+                    "max": vals[-1],
+                    "dtype": "VARCHAR",
+                }
+            )
+        # v1 index: no "version", no "format", no "block_size".
+        (root / "index.json").write_text(
+            json.dumps({"attributes": entries})
+        )
+        return values
+
+    def test_v1_directory_opens_as_text(self, tmp_path):
+        values = self._write_v1_directory(tmp_path / "v1")
+        spool = SpoolDirectory.open(tmp_path / "v1")
+        assert spool.format == FORMAT_TEXT
+        assert spool.get(A).values() == values["a"]
+        assert spool.get(B).values() == values["b"]
+
+    def test_v1_directory_validates(self, tmp_path):
+        self._write_v1_directory(tmp_path / "v1")
+        spool = SpoolDirectory.open(tmp_path / "v1")
+        result = BruteForceValidator(spool).validate(
+            [Candidate(A, B), Candidate(B, A)]
+        )
+        assert result.decisions[Candidate(A, B)] is True
+        assert result.decisions[Candidate(B, A)] is False
+
+    def test_future_version_rejected(self, tmp_path):
+        root = tmp_path / "v9"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"version": 9, "attributes": []})
+        )
+        with pytest.raises(SpoolError, match="version 9"):
+            SpoolDirectory.open(root)
+
+    def test_unknown_index_format_rejected(self, tmp_path):
+        root = tmp_path / "weird"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"version": 2, "format": "parquet", "attributes": []})
+        )
+        with pytest.raises(SpoolError, match="parquet"):
+            SpoolDirectory.open(root)
+
+
+# ------------------------------------------------------------ parallel export
+def _sample_db(columns=8, rows=120) -> Database:
+    db = Database("par")
+    cols = [Column(f"c{i}", DataType.INTEGER) for i in range(columns)]
+    table = db.create_table(TableSchema("t", cols))
+    for r in range(rows):
+        table.insert({f"c{i}": (r * (i + 1)) % 97 for i in range(columns)})
+    return db
+
+
+class TestParallelExport:
+    @pytest.mark.parametrize("spool_format", [FORMAT_TEXT, FORMAT_BINARY])
+    def test_workers_match_sequential(self, tmp_path, spool_format):
+        db = _sample_db()
+        seq, seq_stats = export_database(
+            db, str(tmp_path / "seq"), spool_format=spool_format
+        )
+        par, par_stats = export_database(
+            db, str(tmp_path / "par"), spool_format=spool_format, workers=4
+        )
+        assert seq.attributes() == par.attributes()
+        for ref in seq.attributes():
+            assert seq.get(ref).values() == par.get(ref).values()
+        assert seq_stats.per_attribute_counts == par_stats.per_attribute_counts
+        assert seq_stats.values_scanned == par_stats.values_scanned
+        assert seq_stats.values_written == par_stats.values_written
+
+    def test_parallel_index_is_deterministic(self, tmp_path):
+        db = _sample_db(columns=6, rows=40)
+        docs = []
+        for run in range(2):
+            export_database(
+                db, str(tmp_path / f"run{run}"), workers=3,
+            )
+            docs.append(
+                json.loads((tmp_path / f"run{run}" / "index.json").read_text())
+            )
+        assert docs[0] == docs[1]
+
+    def test_workers_validation(self, tmp_path):
+        with pytest.raises(SpoolError, match="workers"):
+            export_database(_sample_db(2, 4), str(tmp_path / "s"), workers=0)
+
+    def test_concurrent_add_values_thread_safety(self, tmp_path):
+        """Direct hammering of the registry lock from many threads."""
+        spool = SpoolDirectory.create(tmp_path / "s", format=FORMAT_BINARY)
+        errors = []
+
+        def add(i):
+            try:
+                spool.add_values(
+                    AttributeRef("t", f"c{i}"),
+                    [f"{i}-{j:02d}" for j in range(50)],
+                )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=add, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(spool) == 16
+        names = {spool.get(AttributeRef("t", f"c{i}")).path for i in range(16)}
+        assert len(names) == 16  # no file-name collisions under concurrency

@@ -80,6 +80,34 @@ class TestDiscover:
         ) == 2
         assert "sequential" in capsys.readouterr().err
 
+    def test_discover_spool_format_flag(self, biosql_dump, capsys):
+        outputs = []
+        for fmt in ("text", "binary"):
+            assert main(
+                ["discover", str(biosql_dump), "--spool-format", fmt]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "satisfied INDs" in out
+            outputs.append(sorted(l for l in out.splitlines() if "[=" in l))
+        # The spool layout must never change what discovery finds.
+        assert outputs[0] == outputs[1]
+
+    def test_discover_export_workers_flag(self, biosql_dump, capsys):
+        assert main(
+            ["discover", str(biosql_dump), "--export-workers", "4"]
+        ) == 0
+        assert "satisfied INDs" in capsys.readouterr().out
+
+    def test_discover_rejects_unknown_spool_format(self, biosql_dump):
+        with pytest.raises(SystemExit):
+            main(["discover", str(biosql_dump), "--spool-format", "parquet"])
+
+    def test_discover_rejects_bad_workers(self, biosql_dump, capsys):
+        assert main(
+            ["discover", str(biosql_dump), "--export-workers", "0"]
+        ) == 2
+        assert "export_workers" in capsys.readouterr().err
+
 
 class TestAccession:
     def test_accession_strict(self, biosql_dump, capsys):

@@ -1,0 +1,213 @@
+"""Cross-validator agreement harness over randomized seeded databases.
+
+The central invariant of the whole library, tested end to end: **every
+strategy computes exactly the set-containment relation** over rendered
+values.  For each seeded random database, all seven non-oracle strategies
+(four external, three SQL) must return the satisfied/violated candidate sets
+of the in-memory reference oracle — and the external ones must do so on both
+spool formats (v1 text and v2 binary), with tiny block sizes so batches
+straddle block boundaries constantly.
+
+``tests/test_properties.py`` covers the same ground with hypothesis-shrunken
+micro-inputs; this suite complements it with larger, multi-table databases
+with messy values (newlines, backslashes, NULs, cross-type collisions) and
+with the full ``discover_inds`` pipeline including parallel export.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.blockwise import BlockwiseValidator
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import apply_pretests, generate_unique_ref_candidates
+from repro.core.candidates import PretestConfig
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.reference import ReferenceValidator
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.core.single_pass import SinglePassValidator
+from repro.core.sql_approaches import (
+    SqlJoinValidator,
+    SqlMinusValidator,
+    SqlNotInValidator,
+)
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.stats import collect_column_stats
+from repro.storage.exporter import export_database
+
+SPOOL_FORMATS = ("text", "binary")
+SEEDS = tuple(range(10))
+
+# Small value pools force collisions across columns (satisfied INDs) while
+# awkward strings exercise the codecs; integers collide with their rendered
+# string forms (the paper's TO_CHAR semantics).
+_STRING_POOL = [
+    "a", "b", "ab", "0", "1", "7", "42",
+    "x\ny", "back\\slash", "nul\x00byte", "tab\tchar", "",
+]
+
+
+def build_random_db(seed: int) -> Database:
+    """A deterministic random database of 1-3 tables with messy values.
+
+    Every table gets an id-like first column (unique, drawn from overlapping
+    integer ranges so inter-table INDs arise) plus random payload columns, so
+    the unique-ref candidate generator always has work to do.
+    """
+    rng = random.Random(seed)
+    db = Database(f"agree{seed}")
+    for t in range(rng.randint(1, 3)):
+        columns = [Column("id", DataType.INTEGER, unique=True)]
+        columns += [
+            Column(
+                f"c{i}",
+                rng.choice([DataType.INTEGER, DataType.VARCHAR]),
+            )
+            for i in range(rng.randint(1, 3))
+        ]
+        table = db.create_table(TableSchema(f"t{t}", columns))
+        offset = rng.choice([0, 0, 3, 10])
+        for row_index in range(rng.randint(1, 30)):
+            row = {"id": offset + row_index}
+            for col in columns[1:]:
+                roll = rng.random()
+                if roll < 0.15:
+                    row[col.name] = None
+                elif col.dtype is DataType.INTEGER:
+                    # Overlaps the id ranges: integer payloads are often
+                    # included in some table's id column, and vice versa.
+                    row[col.name] = rng.randint(0, 12)
+                else:
+                    row[col.name] = rng.choice(_STRING_POOL)
+            table.insert(row)
+    return db
+
+
+def _candidates(db: Database):
+    stats = collect_column_stats(db)
+    raw = generate_unique_ref_candidates(stats)
+    candidates, _ = apply_pretests(
+        raw, stats, PretestConfig(cardinality=True, max_value=False)
+    )
+    return stats, candidates
+
+
+def _decision_key(decisions) -> dict[str, bool]:
+    return {str(c): ok for c, ok in decisions.items()}
+
+
+class TestExternalStrategiesAgree:
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_external_validators_match_oracle(
+        self, seed, spool_format, tmp_path
+    ):
+        db = build_random_db(seed)
+        _, candidates = _candidates(db)
+        if not candidates:
+            pytest.skip(f"seed {seed} generated no candidates")
+        expected = ReferenceValidator(db).validate(candidates).decisions
+        spool, _ = export_database(
+            db,
+            str(tmp_path / "spool"),
+            spool_format=spool_format,
+            block_size=3,  # tiny blocks: every batch straddles boundaries
+            workers=3,
+        )
+        live = [
+            c for c in candidates
+            if c.dependent in spool and c.referenced in spool
+        ]
+        assert live == candidates  # pretests never pass an empty attribute
+        validators = [
+            BruteForceValidator(spool),
+            SinglePassValidator(spool),
+            MergeSinglePassValidator(spool),
+            BlockwiseValidator(spool, max_open_files=4),
+            BlockwiseValidator(spool, max_open_files=4, engine="observer"),
+        ]
+        for validator in validators:
+            got = validator.validate(candidates).decisions
+            assert _decision_key(got) == _decision_key(expected), (
+                f"{type(validator).__name__} disagrees with the oracle "
+                f"on seed {seed} ({spool_format} spools)"
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_items_read_identical_across_formats(self, seed, tmp_path):
+        """The Fig. 5 metric counts logical consumption, not physical blocks."""
+        db = build_random_db(seed)
+        _, candidates = _candidates(db)
+        if not candidates:
+            pytest.skip(f"seed {seed} generated no candidates")
+        per_format = {}
+        for fmt in SPOOL_FORMATS:
+            spool, _ = export_database(
+                db, str(tmp_path / fmt), spool_format=fmt, block_size=2
+            )
+            per_format[fmt] = {
+                name: validator.validate(candidates).stats.items_read
+                for name, validator in (
+                    ("brute", BruteForceValidator(spool)),
+                    ("observer", SinglePassValidator(spool)),
+                    ("merge", MergeSinglePassValidator(spool)),
+                )
+            }
+        assert per_format["text"] == per_format["binary"]
+
+
+class TestSqlStrategiesAgree:
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_sql_validators_match_oracle(self, seed):
+        db = build_random_db(seed)
+        stats, candidates = _candidates(db)
+        if not candidates:
+            pytest.skip(f"seed {seed} generated no candidates")
+        expected = ReferenceValidator(db).validate(candidates).decisions
+        for validator in (
+            SqlJoinValidator(db, stats),
+            SqlMinusValidator(db, stats),
+            SqlNotInValidator(db, stats),
+        ):
+            got = validator.validate(candidates).decisions
+            assert _decision_key(got) == _decision_key(expected), (
+                f"{type(validator).__name__} disagrees on seed {seed}"
+            )
+
+
+class TestPipelineAgreement:
+    """End-to-end agreement through ``discover_inds`` for every strategy."""
+
+    STRATEGIES = (
+        "brute-force",
+        "single-pass",
+        "merge-single-pass",
+        "blockwise",
+        "sql-join",
+        "sql-minus",
+        "sql-notin",
+        "reference",
+    )
+
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("seed", (1, 4))
+    def test_all_strategies_same_satisfied_set(self, seed, spool_format):
+        db = build_random_db(seed)
+        results = {}
+        for strategy in self.STRATEGIES:
+            config = DiscoveryConfig(
+                strategy=strategy,
+                spool_format=spool_format,
+                spool_block_size=4,
+                export_workers=2,
+            )
+            result = discover_inds(db, config)
+            results[strategy] = {str(ind) for ind in result.satisfied}
+        reference = results["reference"]
+        for strategy, satisfied in results.items():
+            assert satisfied == reference, (
+                f"{strategy} found {satisfied ^ reference} differently "
+                f"(seed {seed}, {spool_format} spools)"
+            )
