@@ -78,3 +78,34 @@ def run_strategy(
     )
     result = discover_inds(db, config)
     return StrategyOutcome(dataset=dataset_name, strategy=strategy, result=result)
+
+
+def run_parallel_curve(
+    dataset_name: str,
+    db: Database,
+    strategy: str = "brute-force",
+    workers: tuple[int, ...] = (1, 2, 4),
+    **config_kwargs,
+) -> dict[int, StrategyOutcome]:
+    """One discovery run per worker count — the parallel speedup curve.
+
+    Keyed by worker count; ``workers`` must include 1 if the caller wants to
+    compute speedups against the sequential run with :func:`speedup_curve`.
+    """
+    return {
+        n: run_strategy(
+            dataset_name, db, strategy, validation_workers=n, **config_kwargs
+        )
+        for n in workers
+    }
+
+
+def speedup_curve(outcomes: dict[int, StrategyOutcome]) -> dict[int, float]:
+    """Validation-phase speedup of every run relative to the 1-worker run."""
+    if 1 not in outcomes:
+        raise ValueError("speedup needs the 1-worker baseline in the curve")
+    base = outcomes[1].validate_seconds
+    return {
+        n: (base / outcome.validate_seconds if outcome.validate_seconds else 1.0)
+        for n, outcome in sorted(outcomes.items())
+    }

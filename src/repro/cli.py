@@ -74,6 +74,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="spool this many attributes in parallel during export",
     )
+    disc.add_argument(
+        "--validation-workers",
+        type=int,
+        default=1,
+        help="validate in this many worker processes "
+        "(brute-force and merge-single-pass strategies)",
+    )
+    disc.add_argument(
+        "--skip-scans",
+        action="store_true",
+        help="let brute-force seek past spool blocks below the sought value "
+        "(binary spools)",
+    )
+    disc.add_argument(
+        "--reuse-spool",
+        action="store_true",
+        help="reuse a cached spool when the database catalog is unchanged, "
+        "and cache this run's spool otherwise",
+    )
+    disc.add_argument(
+        "--cache-dir",
+        default=None,
+        help="spool cache root for --reuse-spool "
+        "(default: ~/.cache/repro-ind/spools)",
+    )
     disc.add_argument("--json", dest="json_path", help="write full result JSON")
 
     acc = sub.add_parser("accession", help="list accession-number candidates")
@@ -152,6 +177,10 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         use_transitivity=args.transitivity,
         spool_format=args.spool_format,
         export_workers=args.export_workers,
+        validation_workers=args.validation_workers,
+        skip_scans=args.skip_scans,
+        reuse_spool=args.reuse_spool,
+        cache_dir=args.cache_dir,
     )
     result = discover_inds(db, config)
     print(
@@ -161,6 +190,11 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         f"({format_duration(result.timings.total_seconds)}, "
         f"strategy={result.strategy})"
     )
+    if args.reuse_spool:
+        print(
+            f"spool cache: {'hit' if result.spool_cache_hit else 'miss'} "
+            f"({result.spool_path})"
+        )
     for ind in result.satisfied:
         print(f"  {ind}")
     if args.json_path:

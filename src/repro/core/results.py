@@ -53,6 +53,8 @@ class DiscoveryResult:
     spool_path: str | None = None
     export_values_scanned: int = 0
     export_values_written: int = 0
+    spool_cache_hit: bool = False  # export skipped: cached spool reused
+    validation_workers: int = 1
 
     @property
     def satisfied_count(self) -> int:
@@ -84,9 +86,12 @@ class DiscoveryResult:
                 "items_read": self.validator_stats.items_read,
                 "files_opened": self.validator_stats.files_opened,
                 "peak_open_files": self.validator_stats.peak_open_files,
+                "blocks_skipped": self.validator_stats.blocks_skipped,
+                "values_skipped": self.validator_stats.values_skipped,
                 "sql_rows_scanned": self.validator_stats.sql_rows_scanned,
                 "sql_statements": self.validator_stats.sql_statements,
                 "elapsed_seconds": self.validator_stats.elapsed_seconds,
+                "extra": dict(self.validator_stats.extra),
             },
             "timings": {
                 "profile_seconds": self.timings.profile_seconds,
@@ -100,4 +105,6 @@ class DiscoveryResult:
             "transitivity_inferred_refuted": self.transitivity_inferred_refuted,
             "export_values_scanned": self.export_values_scanned,
             "export_values_written": self.export_values_written,
+            "spool_cache_hit": self.spool_cache_hit,
+            "validation_workers": self.validation_workers,
         }

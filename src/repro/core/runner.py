@@ -45,16 +45,22 @@ from repro.db.stats import collect_column_stats
 from repro.errors import DiscoveryError
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.cursors import IOStats
-from repro.storage.exporter import export_database
+from repro.storage.exporter import ExportStats, export_database
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SPOOL_FORMATS, SpoolDirectory
+from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
 
 EXTERNAL_STRATEGIES = frozenset(
     {"brute-force", "single-pass", "merge-single-pass", "blockwise"}
 )
 SQL_STRATEGIES = frozenset({"sql-join", "sql-minus", "sql-notin"})
 SEQUENTIAL_STRATEGIES = frozenset({"brute-force", *SQL_STRATEGIES})
+#: Strategies with a multi-process validation engine (repro.parallel).
+PARALLEL_STRATEGIES = frozenset({"brute-force", "merge-single-pass"})
 ALL_STRATEGIES = frozenset({*EXTERNAL_STRATEGIES, *SQL_STRATEGIES, "reference"})
+
+#: Default root of the cross-run spool cache (``DiscoveryConfig.cache_dir``).
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-ind" / "spools"
 
 
 @dataclass
@@ -74,6 +80,10 @@ class DiscoveryConfig:
     spool_format: str = FORMAT_BINARY  # "binary" (v2 blocks) or "text" (v1)
     spool_block_size: int = DEFAULT_BLOCK_SIZE  # values per v2 block
     export_workers: int = 1  # parallel attribute spooling
+    validation_workers: int = 1  # worker processes (brute-force / merge-s-p)
+    skip_scans: bool = False  # per-block skip-scans (brute-force, v2 spools)
+    reuse_spool: bool = False  # content-addressed spool cache across runs
+    cache_dir: str | None = None  # spool cache root (default: user cache dir)
     max_items_in_memory: int = DEFAULT_RUN_SIZE
     max_open_files: int = 64  # blockwise strategy only
     blockwise_engine: str = "merge"
@@ -110,6 +120,32 @@ class DiscoveryConfig:
             raise DiscoveryError("spool_block_size must be >= 1")
         if self.export_workers < 1:
             raise DiscoveryError("export_workers must be >= 1")
+        if self.validation_workers < 1:
+            raise DiscoveryError("validation_workers must be >= 1")
+        if self.validation_workers > 1 and self.strategy not in PARALLEL_STRATEGIES:
+            raise DiscoveryError(
+                "parallel validation is implemented for "
+                f"{sorted(PARALLEL_STRATEGIES)}, not {self.strategy!r}"
+            )
+        if self.validation_workers > 1 and self.use_transitivity:
+            raise DiscoveryError(
+                "transitivity pruning is order-dependent and cannot run "
+                "across validation workers"
+            )
+        if self.skip_scans and self.strategy != "brute-force":
+            raise DiscoveryError(
+                "skip-scans only apply to the brute-force strategy"
+            )
+        if self.reuse_spool and self.strategy not in EXTERNAL_STRATEGIES:
+            raise DiscoveryError(
+                "reuse_spool caches spool directories and therefore "
+                f"requires an external strategy, not {self.strategy!r}"
+            )
+        if self.reuse_spool and self.spool_dir is not None:
+            raise DiscoveryError(
+                "reuse_spool stores the spool under cache_dir; it cannot "
+                "honour an explicit spool_dir — set one or the other"
+            )
         if self.candidate_mode == "all-pairs" and self.strategy == "sql-join":
             raise DiscoveryError(
                 "the join approach requires unique referenced attributes and "
@@ -148,12 +184,18 @@ def discover_inds(
     sampling_refuted = 0
     inferred_sat = 0
     inferred_unsat = 0
+    spool_cache_hit = False
     try:
         if cfg.strategy in EXTERNAL_STRATEGIES:
             with Stopwatch() as clock:
-                spool, spool_path, cleanup_dir, export_stats = _export(
-                    db, cfg, candidates
-                )
+                if cfg.reuse_spool:
+                    spool, spool_path, export_stats, spool_cache_hit = (
+                        _cached_export(db, cfg, candidates, column_stats)
+                    )
+                else:
+                    spool, spool_path, cleanup_dir, export_stats = _export(
+                        db, cfg, candidates
+                    )
             timings.export_seconds = clock.elapsed
             export_scanned = export_stats.values_scanned
             export_written = export_stats.values_written
@@ -191,18 +233,25 @@ def discover_inds(
         sampling_refuted=sampling_refuted,
         transitivity_inferred_satisfied=inferred_sat,
         transitivity_inferred_refuted=inferred_unsat,
-        spool_path=spool_path if cfg.keep_spool else None,
+        spool_path=spool_path if (cfg.keep_spool or cfg.reuse_spool) else None,
         export_values_scanned=export_scanned,
         export_values_written=export_written,
+        spool_cache_hit=spool_cache_hit,
+        validation_workers=cfg.validation_workers,
     )
 
 
 # ------------------------------------------------------------------ internals
-def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
-    """Spool exactly the attributes the surviving candidates touch."""
-    needed = sorted(
+def _needed_attributes(candidates: list[Candidate]):
+    """The attributes validation will touch — the only ones worth spooling."""
+    return sorted(
         {c.dependent for c in candidates} | {c.referenced for c in candidates}
     )
+
+
+def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
+    """Spool exactly the attributes the surviving candidates touch."""
+    needed = _needed_attributes(candidates)
     cleanup: tempfile.TemporaryDirectory | None = None
     if cfg.spool_dir is None:
         cleanup = tempfile.TemporaryDirectory(prefix="repro-spool-")
@@ -222,12 +271,62 @@ def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
     return spool, root, cleanup, export_stats
 
 
+def _cached_export(db, cfg, candidates: list[Candidate], column_stats):
+    """Reuse a cached spool for an unchanged catalog, or export and cache it.
+
+    Returns ``(spool, path, export_stats, hit)``.  On a hit the export phase
+    performs *zero* database reads and zero spool writes — ``export_stats``
+    stays all-zero, which the acceptance tests assert.  The entry lives in
+    the cache directory (never a temporary directory), so the normal
+    spool-cleanup path must not and does not touch it.
+    """
+    fingerprint = catalog_fingerprint(db.name, column_stats)
+    cache = SpoolCache(cfg.cache_dir or DEFAULT_CACHE_DIR)
+    needed = _needed_attributes(candidates)
+    cached = cache.lookup(
+        fingerprint,
+        needed=needed,
+        spool_format=cfg.spool_format,
+        block_size=cfg.spool_block_size,
+    )
+    if cached is not None:
+        return cached, str(cached.root), ExportStats(), True
+    staging = cache.prepare(fingerprint)
+    spool, export_stats = export_database(
+        db,
+        str(staging),
+        attributes=needed,
+        max_items_in_memory=cfg.max_items_in_memory,
+        spool_format=cfg.spool_format,
+        block_size=cfg.spool_block_size,
+        workers=cfg.export_workers,
+    )
+    spool = cache.publish(fingerprint, spool)
+    return spool, str(spool.root), export_stats, False
+
+
 def _build_validator(db, cfg, spool, column_stats):
     if cfg.strategy == "brute-force":
-        return BruteForceValidator(spool)
+        if cfg.validation_workers > 1:
+            # Imported lazily: repro.parallel builds on repro.core and must
+            # not be a hard dependency of importing the core package.
+            from repro.parallel.engine import ProcessPoolValidationEngine
+
+            return ProcessPoolValidationEngine(
+                spool,
+                workers=cfg.validation_workers,
+                skip_scan=cfg.skip_scans,
+            )
+        return BruteForceValidator(spool, skip_scan=cfg.skip_scans)
     if cfg.strategy == "single-pass":
         return SinglePassValidator(spool)
     if cfg.strategy == "merge-single-pass":
+        if cfg.validation_workers > 1:
+            from repro.parallel.merge import PartitionedMergeValidator
+
+            return PartitionedMergeValidator(
+                spool, workers=cfg.validation_workers
+            )
         return MergeSinglePassValidator(spool)
     if cfg.strategy == "blockwise":
         return BlockwiseValidator(

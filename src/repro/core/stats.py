@@ -29,6 +29,8 @@ class ValidatorStats:
     items_read: int = 0
     files_opened: int = 0
     peak_open_files: int = 0
+    blocks_skipped: int = 0  # skip-scan: frames seeked past without decoding
+    values_skipped: int = 0  # skip-scan: values inside those frames
     sql_rows_scanned: int = 0
     sql_statements: int = 0
     elapsed_seconds: float = 0.0
@@ -38,6 +40,8 @@ class ValidatorStats:
         self.items_read += io.items_read
         self.files_opened += io.files_opened
         self.peak_open_files = max(self.peak_open_files, io.peak_open_files)
+        self.blocks_skipped += io.blocks_skipped
+        self.values_skipped += io.values_skipped
 
 
 @dataclass
@@ -47,6 +51,9 @@ class ValidationResult:
     satisfied: INDSet
     decisions: dict[Candidate, bool]
     stats: ValidatorStats
+    #: Candidates decided without touching their data (empty dependent side).
+    #: Parallel shard merging needs this per candidate, not just the count.
+    vacuous: set[Candidate] = field(default_factory=set)
 
     @property
     def satisfied_inds(self) -> list[IND]:
@@ -63,6 +70,7 @@ class DecisionCollector:
         self.candidates = list(dict.fromkeys(candidates))  # de-dupe, keep order
         self.decisions: dict[Candidate, bool] = {}
         self.satisfied = INDSet()
+        self.vacuous: set[Candidate] = set()
         self.stats = ValidatorStats(
             validator=validator_name, candidates_total=len(self.candidates)
         )
@@ -77,6 +85,7 @@ class DecisionCollector:
         else:
             self.stats.refuted_count += 1
         if vacuous:
+            self.vacuous.add(candidate)
             self.stats.vacuous_count += 1
         else:
             self.stats.candidates_tested += 1
@@ -90,4 +99,5 @@ class DecisionCollector:
             satisfied=self.satisfied,
             decisions=self.decisions,
             stats=self.stats,
+            vacuous=self.vacuous,
         )

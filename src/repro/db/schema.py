@@ -36,6 +36,16 @@ class AttributeRef:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __getstate__(self) -> tuple[str, str]:
+        # The cached hash is salted per process (PYTHONHASHSEED); letting it
+        # cross a pickle boundary would poison every dict and set lookup in a
+        # worker with a different salt.  Ship only the identity.
+        return (self.table, self.column)
+
+    def __setstate__(self, state: tuple[str, str]) -> None:
+        object.__setattr__(self, "table", state[0])
+        object.__setattr__(self, "column", state[1])
+
     @property
     def qualified(self) -> str:
         return f"{self.table}.{self.column}"

@@ -10,6 +10,7 @@ Everything is computed in one pass per column.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from zlib import crc32
 
 from repro.db.database import Database
 from repro.db.schema import AttributeRef
@@ -35,6 +36,12 @@ class ColumnStats:
     #: ("99" > "150"); range analysis (Sec. 5) needs the numeric ones.
     numeric_min: float | None = None
     numeric_max: float | None = None
+    #: Order-insensitive CRC32 fold of the rendered distinct value set.
+    #: Counts and extrema alone cannot see every edit (swap a mid-range
+    #: value for another of equal length and they all stay put); the spool
+    #: cache needs a content signal, and this one is computed from the
+    #: distinct set the profiler builds anyway.
+    value_checksum: int = 0
 
     @property
     def non_null_count(self) -> int:
@@ -88,6 +95,9 @@ def profile_column(db: Database, ref: AttributeRef) -> ColumnStats:
                 numeric_max = numeric
         else:
             all_numeric = False
+    checksum = 0
+    for rendered in distinct:
+        checksum ^= crc32(rendered.encode("utf-8"))
     return ColumnStats(
         ref=ref,
         dtype=column.dtype,
@@ -100,6 +110,7 @@ def profile_column(db: Database, ref: AttributeRef) -> ColumnStats:
         max_length=max_len,
         numeric_min=numeric_min if all_numeric else None,
         numeric_max=numeric_max if all_numeric else None,
+        value_checksum=checksum,
     )
 
 

@@ -1,0 +1,49 @@
+"""Parallel validation engines over a shared read-only spool directory.
+
+Candidate validation dominates discovery cost and parallelises along two
+different axes, both implemented here:
+
+===================  =====================================================
+``planner``          :class:`ShardPlanner` — cost-balanced partitions of
+                     the candidate set, sized by spool value counts (LPT).
+``engine``           :class:`ProcessPoolValidationEngine` — brute-force
+                     shards in worker processes; decisions and summed I/O
+                     identical to the sequential validator.
+``merge``            :class:`PartitionedMergeValidator` — the heap merge
+                     split by first-value-byte ranges; each worker runs a
+                     complete merge over its contiguous slice of every
+                     sorted file and the parent unions the partial
+                     refutations.
+===================  =====================================================
+
+Workers always re-open the spool by path (``index.json`` describes every
+file), never inherit handles — see the picklability contract on
+:class:`repro.storage.sorted_sets.SpoolDirectory` and the file cursors.
+"""
+
+from repro.parallel.engine import (
+    ProcessPoolValidationEngine,
+    ShardOutcome,
+    merge_shard_outcomes,
+)
+from repro.parallel.merge import (
+    ByteRangeCursor,
+    PartitionedMergeValidator,
+    boundary_string,
+    first_byte,
+    partition_bounds,
+)
+from repro.parallel.planner import Shard, ShardPlanner
+
+__all__ = [
+    "ByteRangeCursor",
+    "PartitionedMergeValidator",
+    "ProcessPoolValidationEngine",
+    "Shard",
+    "ShardOutcome",
+    "ShardPlanner",
+    "boundary_string",
+    "first_byte",
+    "merge_shard_outcomes",
+    "partition_bounds",
+]

@@ -1,0 +1,173 @@
+"""Process-pool brute-force validation over a shared read-only spool.
+
+The paper's brute-force validator (Sec. 3.1) tests one candidate at a time
+and shares nothing between tests — the textbook embarrassingly parallel
+workload.  This engine cuts the pretested candidate set into cost-balanced
+shards (:mod:`repro.parallel.planner`), validates each shard in a worker
+process against the *same* spool directory, and folds the per-shard
+decisions and counters back into one :class:`ValidationResult` that is
+indistinguishable from the sequential run: identical decisions, identical
+satisfied set, identical summed ``items_read`` and ``comparisons`` (each
+candidate's test is a deterministic function of its two value files, so
+where it runs cannot matter).
+
+Workers receive the spool *path*, never file handles: every worker re-opens
+``index.json`` and its value files itself, so there is no shared file offset
+to corrupt and the design works identically under ``fork`` and ``spawn``
+start methods.  The spool must therefore have a saved index — everything
+:func:`repro.storage.exporter.export_database` produces qualifies.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro._util import Stopwatch
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
+from repro.errors import DiscoveryError, SpoolError
+from repro.parallel.planner import Shard, ShardPlanner
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker ships back: decisions plus its measured counters."""
+
+    shard_index: int
+    decisions: dict[Candidate, bool]
+    vacuous: set[Candidate]
+    stats: ValidatorStats
+
+
+def _validate_shard(
+    spool_root: str, candidates: tuple[Candidate, ...], shard_index: int,
+    skip_scan: bool,
+) -> ShardOutcome:
+    """Worker entry point: re-open the spool by path, validate one shard."""
+    spool = SpoolDirectory.open(spool_root)
+    result = BruteForceValidator(spool, skip_scan=skip_scan).validate(
+        list(candidates)
+    )
+    return ShardOutcome(
+        shard_index=shard_index,
+        decisions=result.decisions,
+        vacuous=result.vacuous,
+        stats=result.stats,
+    )
+
+
+def merge_shard_outcomes(
+    candidates: list[Candidate],
+    outcomes: list[ShardOutcome],
+    validator_name: str,
+) -> ValidationResult:
+    """Fold per-shard results into one, in the original candidate order.
+
+    Additive counters (items, comparisons, file opens, skip-scan counters)
+    sum; ``peak_open_files`` sums too, because the shards hold their cursors
+    *concurrently* — the sum is the fleet-wide worst case the operator has to
+    provision file descriptors for.  Raises if the shards do not jointly
+    cover the candidate list exactly once — that would be a planner bug, and
+    silently mis-merged decisions are the worst possible failure mode.
+    """
+    decided: dict[Candidate, bool] = {}
+    vacuous: set[Candidate] = set()
+    merged = ValidatorStats(validator=validator_name)
+    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
+        for candidate, satisfied in outcome.decisions.items():
+            if candidate in decided:
+                raise DiscoveryError(
+                    f"candidate {candidate} was validated by two shards"
+                )
+            decided[candidate] = satisfied
+        vacuous |= outcome.vacuous
+        merged.comparisons += outcome.stats.comparisons
+        merged.items_read += outcome.stats.items_read
+        merged.files_opened += outcome.stats.files_opened
+        merged.peak_open_files += outcome.stats.peak_open_files
+        merged.blocks_skipped += outcome.stats.blocks_skipped
+        merged.values_skipped += outcome.stats.values_skipped
+    collector = DecisionCollector(candidates, validator_name)
+    collector.stats = merged
+    merged.candidates_total = len(collector.candidates)
+    for candidate in collector.candidates:
+        if candidate not in decided:
+            raise DiscoveryError(
+                f"no shard validated candidate {candidate}"
+            )
+        collector.record(
+            candidate, decided[candidate], vacuous=candidate in vacuous
+        )
+    return collector.result()
+
+
+class ProcessPoolValidationEngine:
+    """Brute-force validation sharded across worker processes.
+
+    Drop-in replacement for :class:`BruteForceValidator` — same ``validate``
+    signature, same decisions, same summed I/O accounting; ``workers=1``
+    short-circuits to the sequential validator so there is exactly one code
+    path to trust at the bottom.
+    """
+
+    name = "brute-force"
+
+    def __init__(
+        self,
+        spool: SpoolDirectory,
+        workers: int,
+        skip_scan: bool = False,
+        planner: ShardPlanner | None = None,
+    ) -> None:
+        if workers < 1:
+            raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
+        self._spool = spool
+        self._workers = workers
+        self._skip_scan = skip_scan
+        self._planner = planner or ShardPlanner(spool)
+
+    def plan(self, candidates: list[Candidate]) -> list[Shard]:
+        return self._planner.plan(candidates, self._workers)
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        if self._workers == 1 or len(candidates) <= 1:
+            return BruteForceValidator(
+                self._spool, skip_scan=self._skip_scan
+            ).validate(candidates)
+        spool_root = str(self._spool.root)
+        if not (self._spool.root / "index.json").exists():
+            raise SpoolError(
+                f"spool {spool_root} has no saved index; workers cannot "
+                "re-open it"
+            )
+        with Stopwatch() as clock:
+            # Dedupe before planning, as the sequential collector would:
+            # LPT could otherwise place two copies in different shards and
+            # the merge would (rightly) refuse the double decision.
+            shards = self.plan(list(dict.fromkeys(candidates)))
+            with ProcessPoolExecutor(
+                max_workers=min(self._workers, max(len(shards), 1))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _validate_shard,
+                        spool_root,
+                        shard.candidates,
+                        shard.index,
+                        self._skip_scan,
+                    )
+                    for shard in shards
+                ]
+                outcomes = [future.result() for future in futures]
+        result = merge_shard_outcomes(candidates, outcomes, self.name)
+        result.stats.elapsed_seconds = clock.elapsed
+        result.stats.extra["validation_workers"] = float(self._workers)
+        result.stats.extra["shards"] = float(len(shards))
+        if outcomes:
+            result.stats.extra["slowest_shard_seconds"] = max(
+                o.stats.elapsed_seconds for o in outcomes
+            )
+        return result

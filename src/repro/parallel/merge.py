@@ -1,0 +1,239 @@
+"""Partitioned merge-single-pass: split the global value merge by byte range.
+
+The heap-merge validator (:mod:`repro.core.merge_single_pass`) is one global
+pass over every attribute cursor — inherently sequential as formulated.  It
+parallelises along a different axis than brute force: not by candidate but by
+*value range*.  Because every spool file is sorted and UTF-8 byte order
+equals code-point order, the values whose encoding starts with a byte in
+``[lo, hi)`` form one contiguous run in every file.  Each worker therefore
+runs a complete, independent heap merge restricted to its byte range of the
+first value byte, and decides every candidate *for that range*:
+
+* refuted — some dependent value in the range is missing from the reference;
+* satisfied — every dependent value in the range occurs (vacuously so when
+  the dependent has no value in the range).
+
+An IND holds iff it holds on every partition (the ranges cover all values,
+so a missing value is missing in exactly one partition), hence the parent
+unions the partial refutations: a candidate is satisfied iff no partition
+refuted it, vacuous iff it was vacuous everywhere.
+
+Workers re-open the spool by path and position themselves with the cursors'
+skip-scan (seek past blocks whose recorded max is below the range start), so
+a worker mostly reads its own slice, not the whole file.  ``items_read``
+counts what the workers physically consumed — summed across partitions it
+can exceed the sequential pass (boundary blocks are decoded by two
+neighbours), which is the honest price of the parallelism and is reported,
+never hidden.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from concurrent.futures import ProcessPoolExecutor
+
+from repro._util import Stopwatch
+from repro.core.candidates import Candidate
+from repro.core.merge_single_pass import MergeSinglePassValidator
+from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
+from repro.errors import DiscoveryError
+from repro.storage.cursors import DEFAULT_BATCH_SIZE, BufferedValueCursor, IOStats
+from repro.storage.sorted_sets import SpoolDirectory
+
+#: Highest byte that can open a UTF-8 encoded code point (0xF5..0xFF never do).
+_MAX_LEAD_BYTE = 0xF4
+
+
+def _lead_byte(codepoint: int) -> int:
+    """First byte of the UTF-8 encoding of ``codepoint`` (monotonic in it)."""
+    if codepoint < 0x80:
+        return codepoint
+    if codepoint < 0x800:
+        return 0xC0 | (codepoint >> 6)
+    if codepoint < 0x10000:
+        return 0xE0 | (codepoint >> 12)
+    return 0xF0 | (codepoint >> 18)
+
+
+def first_byte(value: str) -> int:
+    """Partition key: first UTF-8 byte of ``value`` (0 for the empty string)."""
+    return _lead_byte(ord(value[0])) if value else 0
+
+
+def boundary_string(first: int) -> str | None:
+    """Smallest string whose first UTF-8 byte is >= ``first``.
+
+    ``""`` for 0 (every string qualifies), ``None`` when no string can
+    qualify (``first`` above every possible lead byte).  Because the lead
+    byte is monotonic in the code point, a binary search over code points
+    finds the cut; the result never lands on a surrogate (the surrogate
+    block shares its lead byte 0xED with U+D000, which precedes it).
+    """
+    if first <= 0:
+        return ""
+    if first > _MAX_LEAD_BYTE:
+        return None
+    lo, hi = 0, 0x110000
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _lead_byte(mid) >= first:
+            hi = mid
+        else:
+            lo = mid + 1
+    return chr(lo)
+
+
+def partition_bounds(partitions: int) -> list[tuple[int, int]]:
+    """Contiguous first-byte ranges ``[lo, hi)`` covering 0..255.
+
+    At most 256 partitions are meaningful; ranges that would be empty are
+    dropped, and ranges starting above the highest possible lead byte are
+    dropped too (no UTF-8 value can land there).
+    """
+    if partitions < 1:
+        raise DiscoveryError(f"partitions must be >= 1, got {partitions!r}")
+    count = min(partitions, 256)
+    cuts = [(p * 256) // count for p in range(count + 1)]
+    return [
+        (lo, hi)
+        for lo, hi in zip(cuts, cuts[1:])
+        if lo < hi and lo <= _MAX_LEAD_BYTE
+    ]
+
+
+class ByteRangeCursor(BufferedValueCursor):
+    """View of a sorted cursor restricted to values in ``[start, end)``.
+
+    Positions itself with the inner cursor's skip-scan, trims the head below
+    ``start``, and stops pulling once a value at or past ``end`` shows up.
+    Accounting stays on the *inner* cursor: every value physically consumed
+    is charged there, whether or not it survives the trim — partition
+    workers report real I/O, not the subset they kept.
+    """
+
+    def __init__(
+        self,
+        inner,
+        start: str,
+        end: str | None,
+        label: str | None = None,
+    ) -> None:
+        self._inner = inner
+        self._start = start
+        self._end = end
+        self._positioned = False
+        self._done = False
+        super().__init__(None, label or getattr(inner, "_label", "<range>"))
+
+    def _load(self) -> list[str]:
+        if self._done:
+            return []
+        if not self._positioned:
+            self._positioned = True
+            if self._start:
+                self._inner.skip_blocks_below(self._start)
+        while True:
+            batch = self._inner.read_batch(DEFAULT_BATCH_SIZE)
+            if not batch:
+                self._done = True
+                return []
+            if self._start and batch[-1] < self._start:
+                continue  # still entirely below the range
+            if self._start and batch[0] < self._start:
+                batch = batch[bisect_left(batch, self._start):]
+            if self._end is not None and batch and batch[-1] >= self._end:
+                batch = batch[: bisect_left(batch, self._end)]
+                self._done = True
+                if not batch:
+                    return []
+            if batch:
+                return batch
+
+    def _do_close(self) -> None:
+        self._inner.close()
+
+
+class _PartitionSpoolView:
+    """Duck-typed spool whose cursors only see one byte range."""
+
+    def __init__(self, spool: SpoolDirectory, start: str, end: str | None) -> None:
+        self._spool = spool
+        self._start = start
+        self._end = end
+
+    def open_cursor(self, ref, stats: IOStats | None = None) -> ByteRangeCursor:
+        inner = self._spool.open_cursor(ref, stats)
+        return ByteRangeCursor(
+            inner, self._start, self._end, label=ref.qualified
+        )
+
+
+def _validate_partition(
+    spool_root: str,
+    candidates: tuple[Candidate, ...],
+    lo: int,
+    hi: int,
+) -> tuple[dict[Candidate, bool], set[Candidate], ValidatorStats]:
+    """Worker entry point: one full heap merge over one first-byte range."""
+    start = boundary_string(lo)
+    end = boundary_string(hi) if hi <= _MAX_LEAD_BYTE else None
+    assert start is not None  # parent drops ranges beyond the last lead byte
+    spool = SpoolDirectory.open(spool_root)
+    view = _PartitionSpoolView(spool, start, end)
+    result = MergeSinglePassValidator(view).validate(list(candidates))
+    return result.decisions, result.vacuous, result.stats
+
+
+class PartitionedMergeValidator:
+    """Merge-single-pass sharded by hash range of the first value byte.
+
+    Decisions match the sequential merge validator exactly (the partitions
+    tile the value space); the vacuous flag survives only for candidates
+    vacuous in *every* partition, i.e. whose dependent is empty overall —
+    the same set the sequential pass flags.  ``workers=1`` short-circuits
+    to the sequential validator.
+    """
+
+    name = "merge-single-pass"
+
+    def __init__(self, spool: SpoolDirectory, workers: int) -> None:
+        if workers < 1:
+            raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
+        self._spool = spool
+        self._workers = workers
+
+    def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        if self._workers == 1 or not candidates:
+            return MergeSinglePassValidator(self._spool).validate(candidates)
+        spool_root = str(self._spool.root)
+        bounds = partition_bounds(self._workers)
+        ordered = tuple(dict.fromkeys(candidates))
+        with Stopwatch() as clock:
+            with ProcessPoolExecutor(
+                max_workers=min(self._workers, len(bounds))
+            ) as pool:
+                futures = [
+                    pool.submit(_validate_partition, spool_root, ordered, lo, hi)
+                    for lo, hi in bounds
+                ]
+                outcomes = [future.result() for future in futures]
+        collector = DecisionCollector(candidates, self.name)
+        merged = collector.stats
+        for candidate in collector.candidates:
+            satisfied = all(decisions[candidate] for decisions, _, _ in outcomes)
+            vacuous = all(candidate in vac for _, vac, _ in outcomes)
+            collector.record(candidate, satisfied, vacuous=vacuous)
+        for _, _, stats in outcomes:
+            merged.comparisons += stats.comparisons
+            merged.items_read += stats.items_read
+            merged.files_opened += stats.files_opened
+            merged.peak_open_files += stats.peak_open_files
+            merged.blocks_skipped += stats.blocks_skipped
+            merged.values_skipped += stats.values_skipped
+        merged.elapsed_seconds = clock.elapsed
+        merged.extra["validation_workers"] = float(self._workers)
+        merged.extra["partitions"] = float(len(bounds))
+        merged.extra["slowest_partition_seconds"] = max(
+            (stats.elapsed_seconds for _, _, stats in outcomes), default=0.0
+        )
+        return collector.result()

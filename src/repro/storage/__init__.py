@@ -13,7 +13,9 @@ attribute values* extracted once from the database.  This package provides:
 * :mod:`repro.storage.cursors` — forward cursors with batched reads and
   item-read accounting (the counters behind Figure 5);
 * :mod:`repro.storage.exporter` — extraction of a whole database into a
-  spool directory, optionally with parallel workers.
+  spool directory, optionally with parallel workers;
+* :mod:`repro.storage.spool_cache` — content-addressed reuse of spool
+  directories across runs, keyed by a catalog fingerprint.
 """
 
 from repro.storage.blockio import (
@@ -40,6 +42,7 @@ from repro.storage.cursors import (
 )
 from repro.storage.exporter import export_database
 from repro.storage.external_sort import external_sort
+from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
 from repro.storage.sorted_sets import (
     FORMAT_BINARY,
     FORMAT_TEXT,
@@ -62,8 +65,10 @@ __all__ = [
     "MemoryValueCursor",
     "SPOOL_FORMATS",
     "SortedValueFile",
+    "SpoolCache",
     "SpoolDirectory",
     "ValueCursor",
+    "catalog_fingerprint",
     "decode_block",
     "encode_block",
     "escape_line",

@@ -24,7 +24,7 @@ from itertools import islice
 from typing import IO, Iterator, Protocol
 
 from repro.errors import SpoolError
-from repro.storage.blockio import BLOCK_HEADER, read_magic
+from repro.storage.blockio import BLOCK_HEADER, BlockMeta, read_magic
 from repro.storage.codec import decode_block, unescape_line
 
 #: Default number of values handed out per batched read.
@@ -42,6 +42,8 @@ class IOStats:
     files_opened: int = 0
     open_files: int = 0
     peak_open_files: int = 0
+    blocks_skipped: int = 0
+    values_skipped: int = 0
     reads_per_attribute: dict[str, int] = field(default_factory=dict)
 
     def record_open(self) -> None:
@@ -67,6 +69,15 @@ class IOStats:
             self.reads_per_attribute.get(label, 0) + count
         )
 
+    def record_skip(self, blocks: int, values: int) -> None:
+        """Account a skip-scan: whole blocks seeked past without decoding.
+
+        Skipped values are deliberately *not* ``items_read`` — the algorithm
+        never looked at them; that is the entire point of the skip.
+        """
+        self.blocks_skipped += blocks
+        self.values_skipped += values
+
     def merge(self, other: "IOStats") -> None:
         """Fold another run's counters into this one (block-wise validation).
 
@@ -81,6 +92,8 @@ class IOStats:
         self.peak_open_files = max(
             self.peak_open_files, other.peak_open_files, self.open_files
         )
+        self.blocks_skipped += other.blocks_skipped
+        self.values_skipped += other.values_skipped
         for label, count in other.reads_per_attribute.items():
             self.reads_per_attribute[label] = (
                 self.reads_per_attribute.get(label, 0) + count
@@ -99,6 +112,8 @@ class ValueCursor(Protocol):
     def advance(self, count: int) -> None: ...
 
     def read_batch(self, max_items: int) -> list[str]: ...
+
+    def skip_blocks_below(self, value: str) -> int: ...
 
     def close(self) -> None: ...
 
@@ -119,6 +134,7 @@ class BufferedValueCursor:
         self._pos = 0
         self._eof = False
         self._closed = False
+        self._consumed = 0  # logical position; lets a pickled cursor resume
         if stats is not None:
             stats.record_open()
 
@@ -161,6 +177,7 @@ class BufferedValueCursor:
             raise SpoolError(f"cursor {self._label} read past end")
         value = self._buf[self._pos]
         self._pos += 1
+        self._consumed += 1
         if self._stats is not None:
             self._stats.record_read(self._label)
         return value
@@ -187,6 +204,7 @@ class BufferedValueCursor:
                 f"({len(self._buf) - self._pos} buffered)"
             )
         self._pos += count
+        self._consumed += count
         if self._stats is not None:
             self._stats.record_read_batch(self._label, count)
 
@@ -195,6 +213,19 @@ class BufferedValueCursor:
         batch = self.peek_batch(max_items)
         self.advance(len(batch))
         return batch
+
+    # ----------------------------------------------------------- skip-scans
+    def skip_blocks_below(self, value: str) -> int:
+        """Seek past whole not-yet-decoded blocks whose max is below ``value``.
+
+        A no-op for formats without per-block metadata, so validators may call
+        it unconditionally.  Skipped values are never charged to
+        :class:`IOStats.items_read`; subclasses that actually skip record the
+        skip through :meth:`IOStats.record_skip` instead.
+        """
+        if self._closed:
+            raise SpoolError(f"cursor {self._label} used after close")
+        return 0
 
     # -------------------------------------------------------------- closing
     def close(self) -> None:
@@ -219,7 +250,60 @@ class MemoryValueCursor(BufferedValueCursor):
         return []
 
 
-class FileValueCursor(BufferedValueCursor):
+class _PicklableByPath:
+    """Pickle support for file-backed cursors: re-open by path, not by handle.
+
+    Worker processes must never inherit a parent's file descriptors — the
+    shared offset would corrupt both readers.  Pickling therefore captures
+    only ``(path, label, logical position)``; unpickling re-opens the file in
+    the receiving process and fast-forwards to the recorded position.  The
+    restored cursor carries no :class:`IOStats` (the receiving run attaches
+    its own accounting by opening fresh cursors when it wants counters).
+    """
+
+    def __getstate__(self) -> dict:
+        return {
+            "path": self._path,
+            "label": self._label,
+            "consumed": self._consumed,
+            "closed": self._closed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        if state["closed"]:
+            self._stats = None
+            self._label = state["label"]
+            self._path = state["path"]
+            self._buf = []
+            self._pos = 0
+            self._eof = True
+            self._closed = True
+            self._consumed = state["consumed"]
+            self._fh = None
+            self._init_reopened_extras()
+            return
+        self.__init__(state["path"], stats=None, label=state["label"])
+        self._fast_forward(state["consumed"])
+
+    def _init_reopened_extras(self) -> None:
+        """Subclass hook: restore fields beyond the base cursor state."""
+
+    def _fast_forward(self, count: int) -> None:
+        """Re-consume ``count`` values after re-opening (no stats attached)."""
+        remaining = count
+        while remaining:
+            batch = self.peek_batch(min(remaining, 4096))
+            if not batch:
+                raise SpoolError(
+                    f"value file {self._path} shrank: cannot restore cursor "
+                    f"position {count}"
+                )
+            take = min(remaining, len(batch))
+            self.advance(take)
+            remaining -= take
+
+
+class FileValueCursor(_PicklableByPath, BufferedValueCursor):
     """Cursor over a v1 escaped, newline-delimited sorted value file.
 
     Reads lazily in ~64 KB slabs of lines, so a refuted candidate never pays
@@ -230,6 +314,7 @@ class FileValueCursor(BufferedValueCursor):
     def __init__(
         self, path: str, stats: IOStats | None = None, label: str | None = None
     ) -> None:
+        self._path = path
         try:
             self._fh: IO[str] | None = open(path, encoding="utf-8")
         except OSError as exc:
@@ -247,18 +332,31 @@ class FileValueCursor(BufferedValueCursor):
             self._fh = None
 
 
-class BlockFileValueCursor(BufferedValueCursor):
+class BlockFileValueCursor(_PicklableByPath, BufferedValueCursor):
     """Cursor over a v2 binary block file (see :mod:`repro.storage.blockio`).
 
     One ``_load`` decodes one whole block — a single read, one
     ``bytes.decode`` and one split for up to ``block_size`` values, which is
     what makes the batched protocol cheap on the validator hot path.
+
+    When the caller hands over the per-block metadata recorded in the spool
+    index (``blocks``), the cursor can *skip-scan*: :meth:`skip_blocks_below`
+    seeks past whole frames whose recorded max value is below a sought value
+    — one small header read and one ``seek`` per skipped block, no payload
+    read, no decode.
     """
 
     def __init__(
-        self, path: str, stats: IOStats | None = None, label: str | None = None
+        self,
+        path: str,
+        stats: IOStats | None = None,
+        label: str | None = None,
+        blocks: tuple[BlockMeta, ...] | None = None,
     ) -> None:
         self._path = path
+        self._blocks = blocks
+        self._next_block = 0  # index of the next on-disk frame to read
+        self._skipped_values = 0
         try:
             self._fh: IO[bytes] | None = open(path, "rb")
         except OSError as exc:
@@ -287,12 +385,65 @@ class BlockFileValueCursor(BufferedValueCursor):
             )
         if count == 0:
             raise SpoolError(f"empty block frame in {self._path}")
+        self._next_block += 1
         return decode_block(payload, count)
+
+    def skip_blocks_below(self, value: str) -> int:
+        """Seek past on-disk blocks whose recorded max value is below ``value``.
+
+        Values already buffered are unaffected (they stay ahead of the sought
+        value or below it — either way the caller still sees them); only whole
+        frames not yet read are skipped.  Requires the per-block metadata from
+        the spool index; without it this is the base-class no-op.
+        """
+        if self._closed:
+            raise SpoolError(f"cursor {self._label} used after close")
+        if not self._blocks or self._eof:
+            return 0
+        blocks_skipped = 0
+        values_skipped = 0
+        while (
+            self._next_block < len(self._blocks)
+            and self._blocks[self._next_block].max_value < value
+        ):
+            values_skipped += self._seek_past_next_block()
+            blocks_skipped += 1
+        if blocks_skipped:
+            self._skipped_values += values_skipped
+            if self._stats is not None:
+                self._stats.record_skip(blocks_skipped, values_skipped)
+        return blocks_skipped
+
+    def _seek_past_next_block(self) -> int:
+        """Jump over one frame without reading its payload; returns its count."""
+        assert self._fh is not None
+        header = self._fh.read(BLOCK_HEADER.size)
+        if len(header) != BLOCK_HEADER.size:
+            raise SpoolError(f"truncated block header in {self._path}")
+        payload_len, count = BLOCK_HEADER.unpack(header)
+        self._fh.seek(payload_len, 1)
+        self._next_block += 1
+        return count
 
     def _do_close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        if self._skipped_values:
+            # The logical position no longer equals the file position; a
+            # fast-forward in the receiving process could not reproduce it.
+            raise SpoolError(
+                f"cursor {self._label} cannot be pickled after skip-scans"
+            )
+        return super().__getstate__()
+
+    def _init_reopened_extras(self) -> None:
+        self._blocks = None
+        self._next_block = 0
+        self._skipped_values = 0
 
 
 class CountingCursor(BufferedValueCursor):

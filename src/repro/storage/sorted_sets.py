@@ -22,6 +22,7 @@ legacy spools.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 from collections.abc import Iterable
@@ -68,7 +69,10 @@ class SortedValueFile:
     ) -> FileValueCursor | BlockFileValueCursor:
         if self.format == FORMAT_BINARY:
             return BlockFileValueCursor(
-                self.path, stats=stats, label=self.ref.qualified
+                self.path,
+                stats=stats,
+                label=self.ref.qualified,
+                blocks=self.blocks,
             )
         return FileValueCursor(self.path, stats=stats, label=self.ref.qualified)
 
@@ -111,6 +115,10 @@ class SpoolDirectory:
         self.root = root
         self.format = format
         self.block_size = block_size
+        #: SHA-256 fingerprint of the source database catalog, stamped by the
+        #: spool cache so a kept directory can be matched to an unchanged
+        #: database (see :mod:`repro.storage.spool_cache`).
+        self.catalog_hash: str | None = None
         self._files: dict[AttributeRef, SortedValueFile] = {}
         self._reserved: dict[AttributeRef, str] = {}
         self._lock = threading.Lock()
@@ -152,6 +160,7 @@ class SpoolDirectory:
                 f"(this build reads versions 1 and {INDEX_VERSION})"
             )
         spool = cls(path, format=format, block_size=block_size)
+        spool.catalog_hash = doc.get("catalog_hash")
         for entry in doc.get("attributes", []):
             ref = AttributeRef(entry["table"], entry["column"])
             file_path = path / entry["file"]
@@ -264,11 +273,17 @@ class SpoolDirectory:
         }
         if self.format == FORMAT_BINARY:
             doc["block_size"] = self.block_size
+        if self.catalog_hash is not None:
+            doc["catalog_hash"] = self.catalog_hash
         doc["attributes"] = [
             self._entry(ref, svf) for ref, svf in sorted(self._files.items())
         ]
-        with open(self.root / _INDEX_FILE, "w", encoding="utf-8") as fh:
+        # Write-then-rename: a reader (or a crash) can never observe a
+        # truncated index — it either sees the previous one or the new one.
+        tmp_path = self.root / f"{_INDEX_FILE}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
+        os.replace(tmp_path, self.root / _INDEX_FILE)
 
     @staticmethod
     def _entry(ref: AttributeRef, svf: SortedValueFile) -> dict:
@@ -296,6 +311,24 @@ class SpoolDirectory:
             suffix += 1
             candidate = f"{base}__{suffix}{extension}"
         return candidate
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle as a path: worker processes re-open files, never inherit them.
+
+        Requires a saved index — an unsaved in-construction directory cannot
+        be reconstructed in another process and must not pretend it can.
+        """
+        if not (self.root / _INDEX_FILE).exists():
+            raise SpoolError(
+                f"spool directory {self.root} has no saved index; call "
+                "save_index() before shipping it to worker processes"
+            )
+        return {"root": str(self.root)}
+
+    def __setstate__(self, state: dict) -> None:
+        reopened = SpoolDirectory.open(state["root"])
+        self.__dict__.update(reopened.__dict__)
 
     def discard(self, ref: AttributeRef) -> None:
         """Remove an attribute's spool file (used to drop empty attributes)."""

@@ -1,0 +1,253 @@
+"""Content-addressed spool reuse across discovery runs.
+
+Export is the single largest fixed cost of an external discovery run: every
+value of every candidate attribute is rendered, external-sorted and written
+once per run, even when the database has not changed since the last run.  The
+cache removes that cost.  A spool directory is keyed by a SHA-256 fingerprint
+of the *database catalog* — table and attribute names plus the per-column
+statistics the discovery pipeline profiles anyway (row/null/distinct counts,
+rendered min/max, length bounds).  Any change to schema or data moves at
+least one of those numbers, which moves the fingerprint, which misses the
+cache; an unchanged database hits and skips ``export_database`` entirely.
+
+The fingerprint is stamped into the spool's ``index.json`` as
+``catalog_hash``, so a cache entry is self-describing: a directory whose
+recorded hash does not match the requested fingerprint (manual tampering, a
+partially written entry, an older build) is evicted and rebuilt rather than
+trusted.
+
+Layout::
+
+    <cache_dir>/<fingerprint-prefix>/index.json + value files
+
+One entry per fingerprint.  The profiling statistics come in through
+:func:`catalog_fingerprint` from :func:`repro.db.stats.collect_column_stats`
+output — the runner computes those stats before export in any case, so cache
+keying adds zero extra scans over the database.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import SpoolError
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE
+from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
+
+if TYPE_CHECKING:  # repro.db imports repro.storage; keep the cycle type-only
+    from repro.db.schema import AttributeRef
+    from repro.db.stats import ColumnStats
+
+#: Directory-name length: 16 bytes of SHA-256 is plenty below any realistic
+#: collision risk while keeping paths short.
+_ENTRY_NAME_LENGTH = 32
+
+
+def catalog_fingerprint(
+    database_name: str, column_stats: dict[AttributeRef, ColumnStats]
+) -> str:
+    """SHA-256 hex digest of the catalog as the discovery pipeline sees it.
+
+    Covers everything the validators' inputs depend on: the database name,
+    every attribute's identity and type, the per-column profile (row, null
+    and distinct counts, rendered min/max, length bounds), and the
+    order-insensitive CRC32 fold of each column's rendered distinct value
+    set.  Counts and extrema alone cannot detect every edit (swapping one
+    mid-range value for another of equal length preserves all of them);
+    the checksum closes that hole — an edit then goes unnoticed only if the
+    CRCs of the added and removed values XOR-cancel, which is a hash
+    collision, not a constructible stats blind spot.
+    """
+    payload = {
+        "database": database_name,
+        "attributes": [
+            {
+                "table": ref.table,
+                "column": ref.column,
+                "dtype": st.dtype.value,
+                "rows": st.row_count,
+                "nulls": st.null_count,
+                "distinct": st.distinct_count,
+                "min": st.min_value,
+                "max": st.max_value,
+                "min_length": st.min_length,
+                "max_length": st.max_length,
+                "checksum": st.value_checksum,
+            }
+            for ref, st in sorted(column_stats.items())
+        ],
+    }
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SpoolCache:
+    """A directory of reusable spool directories, keyed by catalog fingerprint.
+
+    Entries are built in a per-process staging directory and moved into
+    place with one ``rename`` after they are complete and stamped, so a
+    reader can never observe a half-written entry and two concurrent
+    builders of the same fingerprint cannot delete files out from under
+    each other — the loser's finished entry simply replaces the winner's
+    equivalent one.
+
+    >>> cache = SpoolCache("~/.cache/repro-ind/spools")
+    >>> spool = cache.lookup(fp, needed=attrs, spool_format="binary")
+    >>> if spool is None:
+    ...     spool, _ = export_database(db, str(cache.prepare(fp)), ...)
+    ...     spool = cache.publish(fp, spool)
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.root = Path(cache_dir).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def entry_path(
+        self,
+        fingerprint: str,
+        spool_format: str = FORMAT_BINARY,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> Path:
+        """Slot for one (catalog, spool configuration) combination.
+
+        Format and block size are part of the entry *name*, so differently
+        configured runs over the same database coexist in the cache instead
+        of thrashing a single slot with alternating rebuilds.
+        """
+        if len(fingerprint) < _ENTRY_NAME_LENGTH:
+            raise SpoolError(
+                f"catalog fingerprint {fingerprint!r} is too short to key "
+                "a cache entry"
+            )
+        name = f"{fingerprint[:_ENTRY_NAME_LENGTH]}-{spool_format}"
+        if spool_format == FORMAT_BINARY:
+            name += f"-{block_size}"
+        return self.root / name
+
+    def lookup(
+        self,
+        fingerprint: str,
+        needed: list[AttributeRef] | None = None,
+        spool_format: str = FORMAT_BINARY,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> SpoolDirectory | None:
+        """Return a usable cached spool for ``fingerprint``, or ``None``.
+
+        A hit requires all of: the entry for this (fingerprint, format,
+        block size) opens cleanly, its recorded ``catalog_hash`` and on-disk
+        layout match what the entry name promises, and — when ``needed`` is
+        given — every required attribute is present.  An entry that cannot
+        be opened or whose recorded metadata disagrees with its name is
+        stale (tampering, an interrupted write, an older build) and is
+        evicted on the spot; a missing attribute is an honest miss and the
+        entry is simply replaced when the caller publishes its rebuild.
+        """
+        entry = self.entry_path(fingerprint, spool_format, block_size)
+        if not (entry / "index.json").exists():
+            return None
+        try:
+            spool = SpoolDirectory.open(entry)
+        except (SpoolError, OSError, ValueError, KeyError, TypeError):
+            # SpoolError: missing files / bad version; ValueError covers
+            # corrupt JSON (JSONDecodeError); KeyError/TypeError a malformed
+            # document.  All mean the same thing: not a trustworthy entry.
+            self._destroy(entry)
+            return None
+        if (
+            spool.catalog_hash != fingerprint
+            or spool.format != spool_format
+            or (spool.format == FORMAT_BINARY and spool.block_size != block_size)
+        ):
+            self._destroy(entry)
+            return None
+        if needed is not None and any(ref not in spool for ref in needed):
+            return None
+        return spool
+
+    def prepare(self, fingerprint: str) -> Path:
+        """Empty staging directory for a fresh export of this fingerprint.
+
+        Staging is private to this caller (``mkdtemp`` guarantees a unique
+        name even across concurrent builders of the same fingerprint);
+        nothing is visible under the entry path until :meth:`publish`
+        renames the finished directory in.
+        """
+        return Path(
+            tempfile.mkdtemp(
+                prefix=f".staging-{fingerprint[:_ENTRY_NAME_LENGTH]}-",
+                dir=self.root,
+            )
+        )
+
+    def publish(self, fingerprint: str, spool: SpoolDirectory) -> SpoolDirectory:
+        """Stamp the finished spool and move it into its entry slot.
+
+        Returns a :class:`SpoolDirectory` re-opened from the final location
+        (the argument's file paths still point into staging).  If another
+        process published the same slot first, its entry — built from the
+        same catalog and configuration — is replaced.  Replacement is two
+        renames (old entry aside, staging in), never a recursive delete of
+        the live path: a concurrent reader either holds file descriptors
+        into the old directory (which stay valid on POSIX until closed) or
+        re-opens by path and finds a complete entry on either side of the
+        swap.
+        """
+        spool.catalog_hash = fingerprint
+        spool.save_index()
+        entry = self.entry_path(fingerprint, spool.format, spool.block_size)
+        staging = Path(spool.root)
+        if staging == entry:
+            return spool
+        doomed: Path | None = None
+        if entry.exists():
+            doomed = Path(
+                tempfile.mkdtemp(prefix=".doomed-", dir=self.root)
+            ) / "entry"
+            entry.rename(doomed)
+        try:
+            staging.rename(entry)
+        except OSError:
+            # Lost the swap race to a concurrent publisher; their entry is
+            # equivalent (same slot).  Drop ours and use theirs.
+            shutil.rmtree(staging, ignore_errors=True)
+        if doomed is not None:
+            shutil.rmtree(doomed.parent, ignore_errors=True)
+        return SpoolDirectory.open(entry)
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop every entry of this fingerprint; True when anything was removed."""
+        removed = False
+        for entry in self.root.glob(f"{fingerprint[:_ENTRY_NAME_LENGTH]}-*"):
+            self._destroy(entry)
+            removed = True
+        return removed
+
+    def _destroy(self, entry: Path) -> None:
+        """Take an entry offline atomically, then reclaim its space.
+
+        Renaming first means no reader can ever open a half-deleted
+        directory; rmtree then works on a path nobody resolves.
+        """
+        if not entry.exists():
+            return
+        grave = Path(tempfile.mkdtemp(prefix=".doomed-", dir=self.root))
+        try:
+            entry.rename(grave / "entry")
+        except OSError:
+            pass  # a concurrent destroyer got it first
+        shutil.rmtree(grave, ignore_errors=True)
+
+    def entries(self) -> list[Path]:
+        """All entry directories currently in the cache (diagnostics)."""
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.is_dir() and not p.name.startswith((".staging-", ".doomed-"))
+        )

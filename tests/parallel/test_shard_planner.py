@@ -1,0 +1,87 @@
+"""Shard planning: coverage, balance, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.db.schema import AttributeRef
+from repro.errors import DiscoveryError
+from repro.parallel.planner import ShardPlanner
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+def _spool_with(tmp_path, sizes: dict[str, int]) -> SpoolDirectory:
+    spool = SpoolDirectory.create(tmp_path / "spool", format="binary")
+    for name, count in sizes.items():
+        ref = AttributeRef("t", name)
+        spool.add_values(ref, [f"{name}-{i:06d}" for i in range(count)])
+    spool.save_index()
+    return spool
+
+
+def _cand(dep: str, ref: str) -> Candidate:
+    return Candidate(AttributeRef("t", dep), AttributeRef("t", ref))
+
+
+class TestShardPlanner:
+    def test_every_candidate_lands_in_exactly_one_shard(self, tmp_path):
+        spool = _spool_with(tmp_path, {f"c{i}": 10 + i for i in range(6)})
+        candidates = [
+            _cand(f"c{i}", f"c{j}") for i in range(6) for j in range(6) if i != j
+        ]
+        shards = ShardPlanner(spool).plan(candidates, 4)
+        assert len(shards) == 4
+        seen = [c for shard in shards for c in shard.candidates]
+        assert sorted(map(str, seen)) == sorted(map(str, candidates))
+        assert len(seen) == len(candidates)
+
+    def test_balances_by_spool_size_not_candidate_count(self, tmp_path):
+        # One giant attribute and many tiny ones: counting candidates would
+        # put the giant's candidates together; costing by size spreads them.
+        sizes = {"big": 10_000} | {f"tiny{i}": 2 for i in range(8)}
+        spool = _spool_with(tmp_path, sizes)
+        candidates = [_cand(f"tiny{i}", "big") for i in range(8)]
+        candidates += [_cand(f"tiny{i}", f"tiny{(i + 1) % 8}") for i in range(8)]
+        shards = ShardPlanner(spool).plan(candidates, 4)
+        loads = [s.estimated_cost for s in shards]
+        # Each of the 4 shards must carry 2 of the 8 big-referencing
+        # candidates — any other split is at least ~10000 cost out of balance.
+        assert max(loads) < 2 * min(loads)
+        for shard in shards:
+            big_refs = sum(
+                1 for c in shard.candidates if c.referenced.column == "big"
+            )
+            assert big_refs == 2
+
+    def test_deterministic_and_order_preserving_within_shard(self, tmp_path):
+        spool = _spool_with(tmp_path, {f"c{i}": 5 * (i + 1) for i in range(5)})
+        candidates = [
+            _cand(f"c{i}", f"c{j}") for i in range(5) for j in range(5) if i != j
+        ]
+        planner = ShardPlanner(spool)
+        first = planner.plan(candidates, 3)
+        second = planner.plan(candidates, 3)
+        assert first == second
+        order = {str(c): i for i, c in enumerate(candidates)}
+        for shard in first:
+            positions = [order[str(c)] for c in shard.candidates]
+            assert positions == sorted(positions)
+
+    def test_single_shard_plan_replays_sequential_order(self, tmp_path):
+        spool = _spool_with(tmp_path, {"a": 3, "b": 9, "c": 1})
+        candidates = [_cand("a", "b"), _cand("c", "b"), _cand("c", "a")]
+        (shard,) = ShardPlanner(spool).plan(candidates, 1)
+        assert list(shard.candidates) == candidates
+
+    def test_more_shards_than_candidates_drops_empties(self, tmp_path):
+        spool = _spool_with(tmp_path, {"a": 3, "b": 9})
+        shards = ShardPlanner(spool).plan([_cand("a", "b")], 8)
+        assert len(shards) == 1
+
+    def test_empty_candidates_and_bad_shard_count(self, tmp_path):
+        spool = _spool_with(tmp_path, {"a": 1})
+        planner = ShardPlanner(spool)
+        assert planner.plan([], 4) == []
+        with pytest.raises(DiscoveryError):
+            planner.plan([_cand("a", "a")], 0)

@@ -1,0 +1,114 @@
+"""Regression tests: everything a worker process receives must re-open by path.
+
+Worker processes must never operate on inherited file handles (a shared file
+offset corrupts both sides), and must never trust another process's salted
+hashes.  These tests pin the pickling contract of :class:`SpoolDirectory`,
+the file cursors, and :class:`AttributeRef`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.db.schema import AttributeRef
+from repro.errors import SpoolError
+from repro.storage.sorted_sets import SpoolDirectory
+
+VALUES = [f"v{i:05d}" for i in range(100)]
+
+
+def _make_spool(tmp_path, fmt: str) -> SpoolDirectory:
+    spool = SpoolDirectory.create(tmp_path / fmt, format=fmt, block_size=7)
+    spool.add_values(AttributeRef("t", "a"), VALUES)
+    spool.save_index()
+    return spool
+
+
+class TestSpoolDirectoryPickling:
+    @pytest.mark.parametrize("fmt", ["text", "binary"])
+    def test_roundtrip_reopens_by_path(self, tmp_path, fmt):
+        spool = _make_spool(tmp_path, fmt)
+        clone = pickle.loads(pickle.dumps(spool))
+        assert clone.root == spool.root
+        assert clone.format == fmt
+        ref = AttributeRef("t", "a")
+        assert clone.get(ref).count == 100
+        assert clone.get(ref).values() == VALUES
+        # The clone owns an independent lock, not the parent's.
+        assert clone._lock is not spool._lock  # noqa: SLF001
+
+    def test_unsaved_directory_refuses_to_pickle(self, tmp_path):
+        spool = SpoolDirectory.create(tmp_path / "unsaved", format="binary")
+        spool.add_values(AttributeRef("t", "a"), ["1"])
+        with pytest.raises(SpoolError, match="no saved index"):
+            pickle.dumps(spool)
+
+
+class TestCursorPickling:
+    @pytest.mark.parametrize("fmt", ["text", "binary"])
+    def test_mid_read_cursor_resumes_at_logical_position(self, tmp_path, fmt):
+        spool = _make_spool(tmp_path, fmt)
+        cursor = spool.open_cursor(AttributeRef("t", "a"))
+        assert cursor.read_batch(33) == VALUES[:33]
+        clone = pickle.loads(pickle.dumps(cursor))
+        # The clone re-opened the file itself: reading the original does not
+        # disturb it and vice versa.
+        assert cursor.read_batch(10) == VALUES[33:43]
+        assert clone.read_batch(100) == VALUES[33:]
+        cursor.close()
+        clone.close()
+
+    @pytest.mark.parametrize("fmt", ["text", "binary"])
+    def test_closed_cursor_stays_closed(self, tmp_path, fmt):
+        spool = _make_spool(tmp_path, fmt)
+        cursor = spool.open_cursor(AttributeRef("t", "a"))
+        cursor.read_batch(5)
+        cursor.close()
+        clone = pickle.loads(pickle.dumps(cursor))
+        assert not clone.has_next()
+
+    def test_skip_scanned_cursor_refuses_to_pickle(self, tmp_path):
+        spool = _make_spool(tmp_path, "binary")
+        cursor = spool.open_cursor(AttributeRef("t", "a"))
+        assert cursor.skip_blocks_below("v00050") > 0
+        with pytest.raises(SpoolError, match="skip-scans"):
+            pickle.dumps(cursor)
+        cursor.close()
+
+    def test_restored_cursor_carries_no_foreign_stats(self, tmp_path):
+        from repro.storage.cursors import IOStats
+
+        spool = _make_spool(tmp_path, "binary")
+        io = IOStats()
+        cursor = spool.open_cursor(AttributeRef("t", "a"), io)
+        cursor.read_batch(10)
+        clone = pickle.loads(pickle.dumps(cursor))
+        clone.read_batch(10)
+        clone.close()
+        cursor.close()
+        # The parent's counters saw only the parent's reads.
+        assert io.items_read == 10
+        assert io.files_opened == 1
+        assert io.open_files == 0
+
+
+class TestAttributeRefPickling:
+    def test_cached_hash_never_crosses_the_boundary(self):
+        ref = AttributeRef("table", "column")
+        hash(ref)  # populate the per-process cache
+        assert "_hash" in ref.__dict__
+        clone = pickle.loads(pickle.dumps(ref))
+        assert "_hash" not in clone.__dict__
+        assert clone == ref
+        assert hash(clone) == hash(ref)  # same process, same salt
+
+    def test_candidate_and_nested_refs_roundtrip(self):
+        from repro.core.candidates import Candidate
+
+        candidate = Candidate(AttributeRef("a", "b"), AttributeRef("c", "d"))
+        hash(candidate.dependent)
+        clone = pickle.loads(pickle.dumps(candidate))
+        assert clone == candidate
+        assert "_hash" not in clone.dependent.__dict__

@@ -1,0 +1,128 @@
+"""Skip-scans: seeking past blocks whose recorded max is below a sought value."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.db.schema import AttributeRef
+from repro.errors import SpoolError
+from repro.storage.cursors import IOStats
+from repro.storage.sorted_sets import SpoolDirectory
+
+REF = AttributeRef("t", "a")
+
+
+def _spool(tmp_path, values, fmt="binary", block_size=4) -> SpoolDirectory:
+    spool = SpoolDirectory.create(tmp_path / fmt, format=fmt, block_size=block_size)
+    spool.add_values(REF, values)
+    spool.save_index()
+    return spool
+
+
+class TestSkipBlocksBelow:
+    def test_skips_whole_blocks_and_counts_them(self, tmp_path):
+        values = [f"{i:04d}" for i in range(20)]  # 5 blocks of 4
+        spool = _spool(tmp_path, values)
+        io = IOStats()
+        cursor = spool.open_cursor(REF, io)
+        skipped = cursor.skip_blocks_below("0013")
+        # Blocks 0-2 end at 0003/0007/0011 < 0013; block 3 ends at 0015.
+        assert skipped == 3
+        assert io.blocks_skipped == 3
+        assert io.values_skipped == 12
+        assert cursor.read_batch(3) == ["0012", "0013", "0014"]
+        assert io.items_read == 3
+        cursor.close()
+
+    def test_noop_when_nothing_qualifies(self, tmp_path):
+        spool = _spool(tmp_path, [f"{i:04d}" for i in range(8)])
+        io = IOStats()
+        cursor = spool.open_cursor(REF, io)
+        assert cursor.skip_blocks_below("0000") == 0
+        assert cursor.skip_blocks_below("") == 0
+        assert io.blocks_skipped == 0
+        cursor.close()
+
+    def test_buffered_values_survive_a_skip(self, tmp_path):
+        spool = _spool(tmp_path, [f"{i:04d}" for i in range(20)])
+        cursor = spool.open_cursor(REF)
+        assert cursor.read_batch(2) == ["0000", "0001"]  # block 0 buffered
+        cursor.skip_blocks_below("0013")
+        # 0002/0003 were already decoded into the buffer; the skip only
+        # affects frames still on disk.
+        assert cursor.read_batch(4) == ["0002", "0003", "0012", "0013"]
+        cursor.close()
+
+    def test_text_cursor_is_a_noop(self, tmp_path):
+        values = [f"{i:04d}" for i in range(20)]
+        spool = _spool(tmp_path, values, fmt="text")
+        io = IOStats()
+        cursor = spool.open_cursor(REF, io)
+        assert cursor.skip_blocks_below("0015") == 0
+        assert cursor.read_batch(1) == ["0000"]
+        assert io.blocks_skipped == 0
+        cursor.close()
+
+    def test_closed_cursor_raises(self, tmp_path):
+        spool = _spool(tmp_path, ["a", "b"])
+        cursor = spool.open_cursor(REF)
+        cursor.close()
+        with pytest.raises(SpoolError, match="after close"):
+            cursor.skip_blocks_below("z")
+
+
+class TestBruteForceSkipScan:
+    def _setup(self, tmp_path, fmt="binary"):
+        spool = SpoolDirectory.create(tmp_path / fmt, format=fmt, block_size=4)
+        dep = AttributeRef("t", "dep")
+        ref = AttributeRef("t", "ref")
+        # Sparse dependent against a dense reference: between consecutive
+        # dependent values lie whole reference blocks worth skipping.
+        spool.add_values(dep, [f"{i:05d}" for i in range(0, 400, 100)])
+        spool.add_values(ref, [f"{i:05d}" for i in range(0, 401)])
+        spool.save_index()
+        return spool, [Candidate(dep, ref)]
+
+    def test_same_decisions_fewer_items(self, tmp_path):
+        # Small batches so the scan hits refill points (the only places a
+        # skip can trigger) many times between the sparse dependent values.
+        spool, candidates = self._setup(tmp_path)
+        plain = BruteForceValidator(spool, batch_size=8).validate(candidates)
+        skipping = BruteForceValidator(
+            spool, skip_scan=True, batch_size=8
+        ).validate(candidates)
+        assert skipping.decisions == plain.decisions
+        assert skipping.stats.satisfied_count == 1
+        assert skipping.stats.blocks_skipped > 0
+        assert (
+            skipping.stats.items_read + skipping.stats.values_skipped
+            <= plain.stats.items_read
+        )
+        assert skipping.stats.items_read < plain.stats.items_read
+        assert plain.stats.blocks_skipped == 0
+
+    def test_refuted_candidates_unchanged(self, tmp_path):
+        spool = SpoolDirectory.create(tmp_path / "r", format="binary", block_size=4)
+        dep = AttributeRef("t", "dep")
+        ref = AttributeRef("t", "ref")
+        spool.add_values(dep, ["00050", "99999"])  # second value missing
+        spool.add_values(ref, [f"{i:05d}" for i in range(0, 400)])
+        spool.save_index()
+        candidates = [Candidate(dep, ref)]
+        plain = BruteForceValidator(spool, batch_size=8).validate(candidates)
+        skipping = BruteForceValidator(
+            spool, skip_scan=True, batch_size=8
+        ).validate(candidates)
+        assert plain.decisions == skipping.decisions
+        assert skipping.stats.refuted_count == 1
+        assert skipping.stats.blocks_skipped > 0
+
+    def test_text_spools_fall_back_to_plain_scans(self, tmp_path):
+        spool, candidates = self._setup(tmp_path, fmt="text")
+        plain = BruteForceValidator(spool).validate(candidates)
+        skipping = BruteForceValidator(spool, skip_scan=True).validate(candidates)
+        assert skipping.decisions == plain.decisions
+        assert skipping.stats.items_read == plain.stats.items_read
+        assert skipping.stats.blocks_skipped == 0

@@ -1,0 +1,251 @@
+"""The content-addressed spool cache: hit, miss, and stale invalidation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import DiscoveryConfig, discover_inds
+from repro.db import Column, Database, DataType, TableSchema
+from repro.db.stats import collect_column_stats
+from repro.storage import exporter
+from repro.storage.exporter import export_database
+from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
+
+
+def _db(rows: int = 20, extra: int | None = None) -> Database:
+    db = Database("cachedb")
+    table = db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER, unique=True),
+                Column("ref", DataType.INTEGER),
+            ],
+        )
+    )
+    for i in range(rows):
+        table.insert({"id": i, "ref": i % 7})
+    if extra is not None:
+        table.insert({"id": extra, "ref": extra % 7})
+    return db
+
+
+def _fingerprint(db: Database) -> str:
+    return catalog_fingerprint(db.name, collect_column_stats(db))
+
+
+class TestCatalogFingerprint:
+    def test_stable_for_identical_databases(self):
+        assert _fingerprint(_db()) == _fingerprint(_db())
+
+    def test_changes_on_any_data_or_schema_change(self):
+        base = _fingerprint(_db())
+        assert _fingerprint(_db(rows=21)) != base  # one extra row
+        assert _fingerprint(_db(extra=999)) != base  # one extra value
+        renamed = _db()
+        renamed.name = "other"
+        assert _fingerprint(renamed) != base
+
+    def test_detects_stats_preserving_value_swap(self):
+        """Counts and extrema can miss an edit; the value checksum must not.
+
+        Both columns hold 3 distinct single-character values with identical
+        min/max — every counted and extremal statistic agrees — yet the
+        databases differ, so reusing one's spool for the other would return
+        wrong INDs.
+        """
+
+        def tiny(values):
+            db = Database("swap")
+            table = db.create_table(
+                TableSchema("t", [Column("v", DataType.VARCHAR)])
+            )
+            for value in values:
+                table.insert({"v": value})
+            return db
+
+        assert _fingerprint(tiny(["a", "b", "d"])) != _fingerprint(
+            tiny(["a", "c", "d"])
+        )
+
+
+class TestSpoolCache:
+    def _populate(self, cache, db, fingerprint, **export_kwargs):
+        spool, _ = export_database(
+            db, str(cache.prepare(fingerprint)), **export_kwargs
+        )
+        return cache.publish(fingerprint, spool)
+
+    def test_miss_then_hit(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        assert cache.lookup(fingerprint) is None
+        spool = self._populate(cache, db, fingerprint)
+        assert Path(spool.root) == cache.entry_path(fingerprint)
+        cached = cache.lookup(fingerprint)
+        assert cached is not None
+        assert cached.catalog_hash == fingerprint
+        assert cached.total_values() == spool.total_values()
+        assert cache.entries() == [cache.entry_path(fingerprint)]
+
+    def test_changed_catalog_misses(self, tmp_path):
+        db = _db()
+        cache = SpoolCache(tmp_path / "cache")
+        self._populate(cache, db, _fingerprint(db))
+        assert cache.lookup(_fingerprint(_db(extra=999))) is None
+
+    def test_stale_entry_is_evicted_and_rebuilt_over(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        self._populate(cache, db, fingerprint)
+        # Corrupt the recorded hash: the entry no longer proves it belongs
+        # to this fingerprint and must not be trusted.
+        index = cache.entry_path(fingerprint) / "index.json"
+        doc = json.loads(index.read_text())
+        doc["catalog_hash"] = "0" * 64
+        index.write_text(json.dumps(doc))
+        assert cache.lookup(fingerprint) is None
+        assert not cache.entry_path(fingerprint).exists()  # evicted
+
+    def test_corrupt_index_is_evicted_not_fatal(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        self._populate(cache, db, fingerprint)
+        index = cache.entry_path(fingerprint) / "index.json"
+        index.write_text(index.read_text()[:40])  # truncated JSON
+        assert cache.lookup(fingerprint) is None
+        assert not cache.entry_path(fingerprint).exists()
+
+    def test_unpublished_staging_never_hits(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        export_database(db, str(cache.prepare(fingerprint)))
+        # Crash before publish(): nothing exists under the entry path.
+        assert cache.lookup(fingerprint) is None
+        assert not cache.entry_path(fingerprint).exists()
+        assert cache.entries() == []  # staging dirs are not entries
+
+    def test_differently_configured_entries_coexist(self, tmp_path):
+        """Format/block-size are part of the slot: no thrashing between runs."""
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        self._populate(cache, db, fingerprint, spool_format="text")
+        assert cache.lookup(fingerprint, spool_format="binary") is None
+        assert cache.entry_path(fingerprint, "text").exists()
+        self._populate(cache, db, fingerprint, spool_format="binary")
+        # Both formats now hit, each from its own entry.
+        assert cache.lookup(fingerprint, spool_format="text") is not None
+        assert cache.lookup(fingerprint, spool_format="binary") is not None
+        assert len(cache.entries()) == 2
+
+    def test_block_size_mismatch_is_a_miss(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        self._populate(
+            cache, db, fingerprint, spool_format="binary", block_size=8
+        )
+        assert cache.lookup(fingerprint, block_size=4) is None
+        assert cache.lookup(fingerprint, block_size=8) is not None
+        # Text spools have no blocks; the requested size is irrelevant.
+        cache2 = SpoolCache(tmp_path / "cache2")
+        self._populate(cache2, db, fingerprint, spool_format="text")
+        assert (
+            cache2.lookup(fingerprint, spool_format="text", block_size=4)
+            is not None
+        )
+
+    def test_concurrent_publish_replaces_equivalent_entry(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        staging_a = cache.prepare(fingerprint)
+        spool_a, _ = export_database(db, str(staging_a))
+        # A second process races past us and publishes first; our publish
+        # swaps its complete, equivalent entry for ours in one rename.
+        other = SpoolCache(tmp_path / "cache")
+        self._populate(other, db, fingerprint)
+        published = cache.publish(fingerprint, spool_a)
+        assert Path(published.root) == cache.entry_path(fingerprint)
+        assert not staging_a.exists()
+        assert cache.lookup(fingerprint) is not None
+
+
+class TestDiscoverIndsReuse:
+    def _config(self, cache_dir, **kwargs) -> DiscoveryConfig:
+        return DiscoveryConfig(
+            strategy="brute-force",
+            reuse_spool=True,
+            cache_dir=str(cache_dir),
+            **kwargs,
+        )
+
+    def test_second_run_performs_zero_export_work(self, tmp_path, monkeypatch):
+        db = _db()
+        calls = {"count": 0}
+        real_export = exporter.export_database
+
+        def counting_export(*args, **kwargs):
+            calls["count"] += 1
+            return real_export(*args, **kwargs)
+
+        # The runner resolves the exporter through its own import; patch both.
+        monkeypatch.setattr(exporter, "export_database", counting_export)
+        monkeypatch.setattr(
+            "repro.core.runner.export_database", counting_export
+        )
+        first = discover_inds(db, self._config(tmp_path / "cache"))
+        assert calls["count"] == 1
+        assert not first.spool_cache_hit
+        assert first.export_values_written > 0
+
+        second = discover_inds(db, self._config(tmp_path / "cache"))
+        assert calls["count"] == 1  # exporter never called again
+        assert second.spool_cache_hit
+        assert second.export_values_written == 0
+        assert second.export_values_scanned == 0
+        assert second.satisfied == first.satisfied
+        assert second.validator_stats.items_read == first.validator_stats.items_read
+
+    def test_changed_database_re_exports(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = discover_inds(_db(), self._config(cache))
+        changed = discover_inds(_db(extra=999), self._config(cache))
+        assert not first.spool_cache_hit
+        assert not changed.spool_cache_hit
+        assert changed.export_values_written > 0
+
+    def test_cache_survives_and_feeds_parallel_validation(self, tmp_path):
+        cache = tmp_path / "cache"
+        sequential = discover_inds(_db(), self._config(cache))
+        parallel = discover_inds(
+            _db(), self._config(cache, validation_workers=2)
+        )
+        assert parallel.spool_cache_hit
+        assert parallel.satisfied == sequential.satisfied
+
+    def test_reuse_requires_external_strategy(self, tmp_path):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError, match="external"):
+            DiscoveryConfig(
+                strategy="sql-join", reuse_spool=True, cache_dir=str(tmp_path)
+            ).validated()
+
+    def test_reuse_rejects_explicit_spool_dir(self, tmp_path):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError, match="spool_dir"):
+            DiscoveryConfig(
+                reuse_spool=True,
+                cache_dir=str(tmp_path / "cache"),
+                spool_dir=str(tmp_path / "spool"),
+            ).validated()

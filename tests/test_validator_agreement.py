@@ -28,6 +28,7 @@ from repro.core.merge_single_pass import MergeSinglePassValidator
 from repro.core.reference import ReferenceValidator
 from repro.core.runner import DiscoveryConfig, discover_inds
 from repro.core.single_pass import SinglePassValidator
+from repro.parallel import PartitionedMergeValidator, ProcessPoolValidationEngine
 from repro.core.sql_approaches import (
     SqlJoinValidator,
     SqlMinusValidator,
@@ -156,6 +157,75 @@ class TestExternalStrategiesAgree:
                 )
             }
         assert per_format["text"] == per_format["binary"]
+
+
+class TestParallelAgreement:
+    """The parallel engines replay the sequential decisions exactly.
+
+    Every seeded database runs the two parallel-capable strategies at 1, 2
+    and 4 workers against one shared exported spool.  Satisfied and refuted
+    sets must be identical to the sequential validator at every worker
+    count; for brute force — where each candidate's test is independent of
+    where it runs — the summed ``items_read`` and ``comparisons`` must also
+    be identical.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_workers_never_change_decisions(self, seed, spool_format, tmp_path):
+        db = build_random_db(seed)
+        _, candidates = _candidates(db)
+        if not candidates:
+            pytest.skip(f"seed {seed} generated no candidates")
+        spool, _ = export_database(
+            db, str(tmp_path / "spool"), spool_format=spool_format, block_size=3
+        )
+        sequential = {
+            "brute-force": BruteForceValidator(spool).validate(candidates),
+            "merge-single-pass": MergeSinglePassValidator(spool).validate(
+                candidates
+            ),
+        }
+        for workers in self.WORKER_COUNTS:
+            engines = {
+                "brute-force": ProcessPoolValidationEngine(spool, workers=workers),
+                "merge-single-pass": PartitionedMergeValidator(
+                    spool, workers=workers
+                ),
+            }
+            for strategy, engine in engines.items():
+                expected = sequential[strategy]
+                got = engine.validate(candidates)
+                assert _decision_key(got.decisions) == _decision_key(
+                    expected.decisions
+                ), f"{strategy} diverges at {workers} workers (seed {seed})"
+                assert got.satisfied == expected.satisfied
+                assert got.stats.satisfied_count == expected.stats.satisfied_count
+                assert got.stats.refuted_count == expected.stats.refuted_count
+                if strategy == "brute-force":
+                    assert got.stats.items_read == expected.stats.items_read
+                    assert got.stats.comparisons == expected.stats.comparisons
+
+    @pytest.mark.parametrize("seed", (1, 5))
+    def test_discover_inds_parallel_equals_sequential(self, seed):
+        db = build_random_db(seed)
+        for strategy in ("brute-force", "merge-single-pass"):
+            baseline = discover_inds(db, DiscoveryConfig(strategy=strategy))
+            for workers in (2, 4):
+                result = discover_inds(
+                    db,
+                    DiscoveryConfig(
+                        strategy=strategy,
+                        validation_workers=workers,
+                        spool_block_size=4,
+                    ),
+                )
+                assert {str(i) for i in result.satisfied} == {
+                    str(i) for i in baseline.satisfied
+                }, f"{strategy} at {workers} workers (seed {seed})"
+                assert result.validation_workers == workers
 
 
 class TestSqlStrategiesAgree:
