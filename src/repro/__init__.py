@@ -34,6 +34,7 @@ from repro.core import (
     Candidate,
     DiscoveryConfig,
     DiscoveryResult,
+    DiscoverySession,
     INDSet,
     MergeSinglePassValidator,
     PartialINDCalculator,
@@ -68,6 +69,7 @@ __all__ = [
     "Database",
     "DiscoveryConfig",
     "DiscoveryResult",
+    "DiscoverySession",
     "ForeignKey",
     "IND",
     "INDSet",

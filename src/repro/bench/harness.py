@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.core.candidates import PretestConfig
 from repro.core.results import DiscoveryResult
-from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.core.runner import DiscoveryConfig, DiscoverySession, discover_inds
 from repro.db.database import Database
 
 
@@ -20,29 +20,36 @@ class StrategyOutcome:
 
     @property
     def candidates(self) -> int:
+        """Candidates surviving the pretests (the validated set's size)."""
         return self.result.candidates_after_pretests
 
     @property
     def satisfied(self) -> int:
+        """Number of satisfied INDs the run found."""
         return self.result.satisfied_count
 
     @property
     def validate_seconds(self) -> float:
+        """Wall-clock seconds of the validation phase alone."""
         return self.result.timings.validate_seconds
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock seconds of the whole run (profile through validate)."""
         return self.result.timings.total_seconds
 
     @property
     def items_read(self) -> int:
+        """Spool values the validator consumed (external strategies)."""
         return self.result.validator_stats.items_read
 
     @property
     def sql_rows_scanned(self) -> int:
+        """Base-table rows the SQL substrate scanned (SQL strategies)."""
         return self.result.validator_stats.sql_rows_scanned
 
     def row(self) -> list[object]:
+        """This outcome as one row of the paper-style results table."""
         return [
             self.dataset,
             self.strategy,
@@ -109,3 +116,59 @@ def speedup_curve(outcomes: dict[int, StrategyOutcome]) -> dict[int, float]:
         n: (base / outcome.validate_seconds if outcome.validate_seconds else 1.0)
         for n, outcome in sorted(outcomes.items())
     }
+
+
+def run_pool_repeat_curve(
+    dataset_name: str,
+    db: Database,
+    strategy: str = "brute-force",
+    workers: int = 4,
+    runs: int = 5,
+    **config_kwargs,
+) -> tuple[dict[str, list[StrategyOutcome]], dict[str, int]]:
+    """Repeated discovery runs: sequential vs cold per-call pool vs warm pool.
+
+    The repeated-run shape is what a discovery *service* sees, and it is
+    where the persistent pool earns its keep: the ``cold`` leg builds and
+    drains a fresh :class:`~repro.parallel.pool.WorkerPool` inside every
+    ``validate()`` (the PR 2 behaviour), while the ``warm`` leg reuses one
+    :class:`~repro.core.runner.DiscoverySession` pool across all ``runs``,
+    paying process startup once.  ``sequential`` (1 worker, no processes) is
+    the floor both are measured against.
+
+    Returns ``(curves, pool_stats)``: curves keyed ``"sequential"`` /
+    ``"cold"`` / ``"warm"`` with one :class:`StrategyOutcome` per run, and
+    the warm session's pool counters (``spool_handle_reuses`` etc.).
+    Config kwargs are forwarded to every leg, so e.g. ``reuse_spool=True``
+    measures the service configuration end to end.
+    """
+
+    def config(n: int) -> DiscoveryConfig:
+        return DiscoveryConfig(
+            strategy=strategy,
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            validation_workers=n,
+            **config_kwargs,
+        )
+
+    curves: dict[str, list[StrategyOutcome]] = {
+        "sequential": [], "cold": [], "warm": [],
+    }
+    for _ in range(runs):
+        curves["sequential"].append(
+            StrategyOutcome(dataset_name, strategy, discover_inds(db, config(1)))
+        )
+    # Interleave the cold and warm legs so machine-load noise hits both
+    # alike; the session (and with it the warm fleet) spans the whole loop.
+    with DiscoverySession(config(workers)) as session:
+        for _ in range(runs):
+            curves["cold"].append(
+                StrategyOutcome(
+                    dataset_name, strategy, discover_inds(db, config(workers))
+                )
+            )
+            curves["warm"].append(
+                StrategyOutcome(dataset_name, strategy, session.discover(db))
+            )
+        stats = session.pool_stats
+    return curves, (stats.as_dict() if stats is not None else {})

@@ -5,6 +5,9 @@ Subcommands:
 * ``generate`` — write one of the synthetic paper datasets as a CSV directory;
 * ``profile``  — per-column statistics of a CSV directory;
 * ``discover`` — run IND discovery with any strategy, optionally dumping JSON;
+* ``serve``    — long-lived session: JSON-lines requests on stdin, one warm
+  worker pool across all of them, results as JSON lines on stdout;
+* ``cache``    — list or evict entries of the content-addressed spool cache;
 * ``accession`` — list accession-number candidates (strict or softened);
 * ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps.
 
@@ -15,12 +18,20 @@ executable documentation.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
+import time
 
 from repro._util import format_count, format_duration
 from repro.core.candidates import PretestConfig
-from repro.core.runner import ALL_STRATEGIES, DiscoveryConfig, discover_inds
+from repro.core.runner import (
+    ALL_STRATEGIES,
+    DEFAULT_CACHE_DIR,
+    DiscoveryConfig,
+    DiscoverySession,
+    discover_inds,
+)
 from repro.datagen import generate_biosql, generate_openmms, generate_scop
 from repro.datagen.sizes import SCALES
 from repro.db.csvio import load_csv_directory, write_csv_directory
@@ -28,6 +39,7 @@ from repro.db.stats import collect_column_stats
 from repro.discovery.accession import AccessionRule, find_accession_candidates
 from repro.discovery.pipeline import AladinPipeline
 from repro.errors import ReproError
+from repro.storage.spool_cache import SpoolCache
 
 _GENERATORS = {
     "biosql": generate_biosql,
@@ -36,7 +48,88 @@ _GENERATORS = {
 }
 
 
+def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
+    """Spool/parallel/cache flags shared by ``discover`` and ``serve``."""
+    parser.add_argument(
+        "--spool-format",
+        choices=("text", "binary"),
+        default="binary",
+        help="value-file layout: v1 newline-delimited text or v2 binary "
+        "blocks (default: binary)",
+    )
+    parser.add_argument(
+        "--export-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="spool this many attributes in parallel during export "
+        "(default: 1, sequential export)",
+    )
+    parser.add_argument(
+        "--validation-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="validate in N worker processes; applies only to the "
+        "brute-force and merge-single-pass strategies, and 1 (the default) "
+        "runs the plain sequential validator with no processes spawned. "
+        "Decisions are identical at every N",
+    )
+    parser.add_argument(
+        "--skip-scans",
+        action="store_true",
+        help="let brute-force seek past spool blocks below the sought value; "
+        "needs --spool-format binary (a no-op on text spools) and only the "
+        "brute-force strategy accepts it (default: off, matching the "
+        "paper's Figure 5 I/O accounting)",
+    )
+    parser.add_argument(
+        "--reuse-spool",
+        action="store_true",
+        help="reuse a cached spool when the database catalog is unchanged, "
+        "and cache this run's spool otherwise (default: off; external "
+        "strategies only, and mutually exclusive with an explicit spool "
+        "directory)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="spool cache root; only consulted with --reuse-spool "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU size budget for the spool cache: after each cached "
+        "export, least-recently-hit entries are evicted until the cache "
+        "fits; only consulted with --reuse-spool (default: unbounded)",
+    )
+
+
+def _validation_config_kwargs(args: argparse.Namespace) -> dict:
+    """The :class:`DiscoveryConfig` kwargs mirroring ``_add_validation_flags``.
+
+    Declaration (the flags) and consumption (these kwargs) live side by
+    side so a flag added to one cannot be silently dropped by the other's
+    copy in ``discover`` or ``serve``.
+    """
+    return {
+        "strategy": args.strategy,
+        "spool_format": args.spool_format,
+        "export_workers": args.export_workers,
+        "validation_workers": args.validation_workers,
+        "skip_scans": args.skip_scans,
+        "reuse_spool": args.reuse_spool,
+        "cache_dir": args.cache_dir,
+        "cache_max_bytes": args.cache_max_bytes,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the complete ``repro-ind`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-ind",
         description="Unary IND discovery for schema discovery "
@@ -61,45 +154,69 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--no-max-value-pretest", action="store_true")
     disc.add_argument("--sampling-size", type=int, default=0)
     disc.add_argument("--transitivity", action="store_true")
-    disc.add_argument(
-        "--spool-format",
-        choices=("text", "binary"),
-        default="binary",
-        help="value-file layout: v1 newline-delimited text or v2 binary "
-        "blocks (default: binary)",
+    _add_validation_flags(disc)
+    disc.add_argument("--json", dest="json_path", help="write full result JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="session mode: JSON-lines requests on stdin, one warm worker "
+        "pool reused across all of them",
+        description="Read requests as JSON lines from stdin — at minimum "
+        '{"directory": "<csv dump>"}, optionally {"strategy": ...} — and '
+        "answer each with one JSON result line on stdout.  The validation "
+        "worker pool is created once and reused by every request, and is "
+        "drained when stdin closes; pool statistics go to stderr on "
+        "shutdown.  Combine with --reuse-spool to also skip re-exporting "
+        "unchanged databases.",
     )
-    disc.add_argument(
-        "--export-workers",
-        type=int,
-        default=1,
-        help="spool this many attributes in parallel during export",
+    serve.add_argument(
+        "--strategy",
+        choices=sorted(ALL_STRATEGIES),
+        default="brute-force",
+        help="default strategy for requests that do not name one "
+        "(default: brute-force — the strategy the warm pool accelerates)",
     )
-    disc.add_argument(
-        "--validation-workers",
-        type=int,
-        default=1,
-        help="validate in this many worker processes "
-        "(brute-force and merge-single-pass strategies)",
+    _add_validation_flags(serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or evict the content-addressed spool cache"
     )
-    disc.add_argument(
-        "--skip-scans",
-        action="store_true",
-        help="let brute-force seek past spool blocks below the sought value "
-        "(binary spools)",
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_list = cache_sub.add_parser(
+        "list", help="list cache entries, stalest (= next evicted) first"
     )
-    disc.add_argument(
-        "--reuse-spool",
-        action="store_true",
-        help="reuse a cached spool when the database catalog is unchanged, "
-        "and cache this run's spool otherwise",
-    )
-    disc.add_argument(
+    cache_list.add_argument(
         "--cache-dir",
         default=None,
-        help="spool cache root for --reuse-spool "
-        "(default: ~/.cache/repro-ind/spools)",
+        metavar="DIR",
+        help=f"spool cache root (default: {DEFAULT_CACHE_DIR})",
     )
-    disc.add_argument("--json", dest="json_path", help="write full result JSON")
+    cache_evict = cache_sub.add_parser(
+        "evict", help="remove cache entries by fingerprint, budget, or all"
+    )
+    cache_evict.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"spool cache root (default: {DEFAULT_CACHE_DIR})",
+    )
+    which = cache_evict.add_mutually_exclusive_group(required=True)
+    which.add_argument(
+        "--fingerprint",
+        metavar="PREFIX",
+        help="evict entries whose catalog fingerprint starts with PREFIX "
+        "(as printed by 'cache list')",
+    )
+    which.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="BYTES",
+        help="LRU-evict least-recently-hit entries until the cache fits "
+        "the byte budget",
+    )
+    which.add_argument(
+        "--all", action="store_true", help="evict every entry"
+    )
 
     acc = sub.add_parser("accession", help="list accession-number candidates")
     acc.add_argument("directory")
@@ -117,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` (default ``sys.argv``), run, return exit code."""
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
@@ -132,6 +250,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_profile(args)
     if args.command == "discover":
         return _cmd_discover(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "accession":
         return _cmd_accession(args)
     if args.command == "pipeline":
@@ -169,18 +291,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_discover(args: argparse.Namespace) -> int:
     db = load_csv_directory(args.directory)
     config = DiscoveryConfig(
-        strategy=args.strategy,
         pretests=PretestConfig(
             cardinality=True, max_value=not args.no_max_value_pretest
         ),
         sampling_size=args.sampling_size,
         use_transitivity=args.transitivity,
-        spool_format=args.spool_format,
-        export_workers=args.export_workers,
-        validation_workers=args.validation_workers,
-        skip_scans=args.skip_scans,
-        reuse_spool=args.reuse_spool,
-        cache_dir=args.cache_dir,
+        **_validation_config_kwargs(args),
     )
     result = discover_inds(db, config)
     print(
@@ -201,6 +317,119 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2)
         print(f"full result written to {args.json_path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Session mode: serve JSON-line discovery requests over one warm pool."""
+    base = DiscoveryConfig(**_validation_config_kwargs(args))
+    served = 0
+    with DiscoverySession(base) as session:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit"):
+                break
+            try:
+                response = _serve_one(session, line)
+            except ReproError as exc:
+                response = {"error": str(exc)}
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                response = {"error": f"bad request: {exc}"}
+            else:
+                served += 1
+            print(json.dumps(response), flush=True)
+        stats = session.pool_stats
+        fields = stats.as_dict() if stats is not None else {}
+        print(
+            f"pool: workers={args.validation_workers} requests={served} "
+            + " ".join(
+                f"{key.replace('_', '-')}={value}"
+                for key, value in fields.items()
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _serve_one(session: DiscoverySession, line: str) -> dict:
+    """Answer one serve request line; raises on malformed input."""
+    request = json.loads(line)
+    if not isinstance(request, dict) or "directory" not in request:
+        raise KeyError("request must be a JSON object with a 'directory' key")
+    overrides = {
+        key: request[key]
+        for key in ("strategy", "candidate_mode", "validation_workers")
+        if key in request
+    }
+    config = (
+        dataclasses.replace(session.config, **overrides)
+        if overrides
+        else None
+    )
+    started = time.monotonic()
+    result = session.discover(load_csv_directory(request["directory"]), config)
+    return {
+        "database": result.database,
+        "strategy": result.strategy,
+        "candidates": result.candidates_after_pretests,
+        "satisfied_count": result.satisfied_count,
+        "satisfied": sorted(
+            [ind.dependent.qualified, ind.referenced.qualified]
+            for ind in result.satisfied
+        ),
+        "spool_cache_hit": result.spool_cache_hit,
+        "validation_workers": result.validation_workers,
+        "seconds": round(time.monotonic() - started, 6),
+    }
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro-ind cache list|evict`` — operate on the spool cache."""
+    cache = SpoolCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "list":
+        return _cmd_cache_list(cache)
+    if args.cache_command == "evict":
+        return _cmd_cache_evict(cache, args)
+    raise AssertionError(f"unhandled cache command {args.cache_command}")
+
+
+def _cmd_cache_list(cache: SpoolCache) -> int:
+    entries = cache.list_entries()
+    if not entries:
+        print(f"spool cache at {cache.root} is empty")
+        return 0
+    print(f"{'fingerprint':34} {'format':10} {'block':>6} {'attrs':>6} "
+          f"{'bytes':>12} last-hit")
+    for info in entries:
+        block = str(info.block_size) if info.block_size is not None else "-"
+        print(
+            f"{info.fingerprint_prefix:34} {info.spool_format:10} "
+            f"{block:>6} {info.attribute_count:>6} {info.size_bytes:>12,} "
+            + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
+        )
+    print(
+        f"total: {len(entries)} entries, "
+        f"{format_count(sum(i.size_bytes for i in entries))} bytes "
+        f"({cache.root}); listed stalest first — the eviction order"
+    )
+    return 0
+
+
+def _cmd_cache_evict(cache: SpoolCache, args: argparse.Namespace) -> int:
+    if args.all:
+        evicted = cache.evict_all()
+    elif args.fingerprint:
+        evicted = cache.evict_prefix(args.fingerprint)
+    else:
+        evicted = cache.enforce_budget(max_bytes=args.max_bytes)
+    for info in evicted:
+        print(f"evicted {info.name} ({info.size_bytes:,} bytes)")
+    print(
+        f"evicted {len(evicted)} entries; "
+        f"{format_count(cache.total_bytes())} bytes remain"
+    )
     return 0
 
 

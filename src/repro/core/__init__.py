@@ -40,7 +40,7 @@ from repro.core.merge_single_pass import MergeSinglePassValidator
 from repro.core.partial_inds import PartialIND, PartialINDCalculator
 from repro.core.reference import ReferenceValidator
 from repro.core.results import DiscoveryResult
-from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.core.runner import DiscoveryConfig, DiscoverySession, discover_inds
 from repro.core.single_pass import SinglePassValidator
 from repro.core.sql_approaches import (
     SqlJoinValidator,
@@ -55,6 +55,7 @@ __all__ = [
     "Candidate",
     "DiscoveryConfig",
     "DiscoveryResult",
+    "DiscoverySession",
     "IND",
     "INDSet",
     "MergeSinglePassValidator",

@@ -109,6 +109,7 @@ class BruteForceValidator:
         self._batch_size = batch_size
 
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        """Test every candidate in order; return decisions plus I/O counters."""
         collector = DecisionCollector(candidates, self.name)
         io = IOStats()
         with Stopwatch() as clock:

@@ -20,6 +20,7 @@ class PhaseTimings:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of all phases — the paper's end-to-end runtime."""
         return (
             self.profile_seconds
             + self.candidate_seconds
@@ -58,10 +59,12 @@ class DiscoveryResult:
 
     @property
     def satisfied_count(self) -> int:
+        """Number of satisfied INDs this run found."""
         return len(self.satisfied)
 
     @property
     def candidates_after_pretests(self) -> int:
+        """Candidates that survived the metadata pretests into validation."""
         return self.pretest_report.remaining
 
     def to_dict(self) -> dict:

@@ -9,6 +9,19 @@ the spool export, and one of the seven validators.
     >>> result = discover_inds(db, DiscoveryConfig(strategy="brute-force"))
     >>> for ind in result.satisfied:
     ...     print(ind)
+
+For repeated runs — a service answering discovery requests, a benchmark
+loop, a pipeline re-profiling the same sources — wrap the calls in a
+:class:`DiscoverySession`: it keeps one persistent
+:class:`~repro.parallel.pool.WorkerPool` alive across runs (warm worker
+processes, warm spool handles) and pairs naturally with
+``reuse_spool=True`` so an unchanged database skips its export entirely.
+
+    >>> with DiscoverySession(DiscoveryConfig(
+    ...     strategy="brute-force", validation_workers=4, reuse_spool=True
+    ... )) as session:
+    ...     first = session.discover(db)
+    ...     second = session.discover(db)  # warm pool + cached spool
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro._util import Stopwatch
 from repro.core.blockwise import BlockwiseValidator
@@ -50,6 +64,9 @@ from repro.storage.external_sort import DEFAULT_RUN_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SPOOL_FORMATS, SpoolDirectory
 from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
 
+if TYPE_CHECKING:  # imported lazily at runtime; see _build_validator
+    from repro.parallel.pool import PoolStats, WorkerPool
+
 EXTERNAL_STRATEGIES = frozenset(
     {"brute-force", "single-pass", "merge-single-pass", "blockwise"}
 )
@@ -65,7 +82,34 @@ DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-ind" / "spools"
 
 @dataclass
 class DiscoveryConfig:
-    """Tuning knobs for one discovery run; defaults are the sensible ones."""
+    """Tuning knobs for one discovery run; defaults are the sensible ones.
+
+    The fields group by pipeline phase:
+
+    * **Candidates** — ``candidate_mode`` ("unique-ref" follows the paper,
+      "all-pairs" lifts the unique-referenced restriction), ``pretests``
+      (metadata pretests of Sec. 4.1), ``sampling_size``/``sampling_seed``
+      (the Sec. 6 sampling pretest; external strategies only),
+      ``use_transitivity`` (online pruning; sequential strategies only).
+    * **Spooling** — ``spool_dir`` (explicit location; temporary when
+      ``None``), ``keep_spool``, ``spool_format`` ("binary" v2 blocks or
+      "text" v1), ``spool_block_size`` (values per v2 block),
+      ``export_workers`` (parallel attribute export),
+      ``max_items_in_memory`` (external-sort run size).
+    * **Validation** — ``strategy`` (one of :data:`ALL_STRATEGIES`),
+      ``validation_workers`` (worker processes for the brute-force and
+      merge-single-pass strategies; 1 = sequential), ``skip_scans``
+      (per-block skip-scans, brute-force on v2 spools),
+      ``max_open_files``/``blockwise_engine`` (blockwise strategy),
+      ``sql_null_safe`` (SQL strategies).
+    * **Caching** — ``reuse_spool`` (content-addressed spool cache keyed by
+      the catalog fingerprint), ``cache_dir`` (cache root; defaults to
+      :data:`DEFAULT_CACHE_DIR`), ``cache_max_bytes`` (LRU size budget for
+      that cache; ``None`` = unbounded).
+
+    Invalid combinations are rejected by :meth:`validated`, which every
+    entry point calls first.
+    """
 
     strategy: str = "merge-single-pass"
     candidate_mode: str = "unique-ref"  # or "all-pairs"
@@ -84,12 +128,14 @@ class DiscoveryConfig:
     skip_scans: bool = False  # per-block skip-scans (brute-force, v2 spools)
     reuse_spool: bool = False  # content-addressed spool cache across runs
     cache_dir: str | None = None  # spool cache root (default: user cache dir)
+    cache_max_bytes: int | None = None  # LRU size budget for the spool cache
     max_items_in_memory: int = DEFAULT_RUN_SIZE
     max_open_files: int = 64  # blockwise strategy only
     blockwise_engine: str = "merge"
     sql_null_safe: bool = True
 
     def validated(self) -> "DiscoveryConfig":
+        """Return ``self`` after rejecting inconsistent flag combinations."""
         if self.strategy not in ALL_STRATEGIES:
             raise DiscoveryError(
                 f"unknown strategy {self.strategy!r}; "
@@ -141,6 +187,8 @@ class DiscoveryConfig:
                 "reuse_spool caches spool directories and therefore "
                 f"requires an external strategy, not {self.strategy!r}"
             )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 0:
+            raise DiscoveryError("cache_max_bytes must be >= 0")
         if self.reuse_spool and self.spool_dir is not None:
             raise DiscoveryError(
                 "reuse_spool stores the spool under cache_dir; it cannot "
@@ -155,9 +203,25 @@ class DiscoveryConfig:
 
 
 def discover_inds(
-    db: Database, config: DiscoveryConfig | None = None
+    db: Database,
+    config: DiscoveryConfig | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> DiscoveryResult:
-    """Discover all satisfied unary INDs of ``db`` under ``config``."""
+    """Discover all satisfied unary INDs of ``db`` under ``config``.
+
+    Input: a loaded :class:`~repro.db.database.Database` plus an optional
+    :class:`DiscoveryConfig` (defaults used when ``None``); output: a
+    :class:`~repro.core.results.DiscoveryResult` with the satisfied IND set
+    and every counter the paper reports.  Which phases run is governed by
+    the config — see :class:`DiscoveryConfig` for the per-flag breakdown.
+
+    ``pool`` lends a persistent :class:`~repro.parallel.pool.WorkerPool` to
+    the parallel brute-force engine (``strategy="brute-force"`` with
+    ``validation_workers > 1``); the pool is borrowed, never shut down here.
+    Without it, parallel validation builds and drains a per-call pool.
+    :class:`DiscoverySession` manages the pool so callers rarely pass it
+    directly.
+    """
     cfg = (config or DiscoveryConfig()).validated()
     timings = PhaseTimings()
 
@@ -211,7 +275,7 @@ def discover_inds(
                     db, cfg, spool, candidates, column_stats
                 )
             else:
-                validator = _build_validator(db, cfg, spool, column_stats)
+                validator = _build_validator(db, cfg, spool, column_stats, pool)
                 validation = validator.validate(candidates)
         timings.validate_seconds = clock.elapsed
     finally:
@@ -281,7 +345,9 @@ def _cached_export(db, cfg, candidates: list[Candidate], column_stats):
     spool-cleanup path must not and does not touch it.
     """
     fingerprint = catalog_fingerprint(db.name, column_stats)
-    cache = SpoolCache(cfg.cache_dir or DEFAULT_CACHE_DIR)
+    cache = SpoolCache(
+        cfg.cache_dir or DEFAULT_CACHE_DIR, max_bytes=cfg.cache_max_bytes
+    )
     needed = _needed_attributes(candidates)
     cached = cache.lookup(
         fingerprint,
@@ -305,7 +371,8 @@ def _cached_export(db, cfg, candidates: list[Candidate], column_stats):
     return spool, str(spool.root), export_stats, False
 
 
-def _build_validator(db, cfg, spool, column_stats):
+def _build_validator(db, cfg, spool, column_stats, pool=None):
+    """Instantiate the validator ``cfg.strategy`` selects (internal)."""
     if cfg.strategy == "brute-force":
         if cfg.validation_workers > 1:
             # Imported lazily: repro.parallel builds on repro.core and must
@@ -316,6 +383,7 @@ def _build_validator(db, cfg, spool, column_stats):
                 spool,
                 workers=cfg.validation_workers,
                 skip_scan=cfg.skip_scans,
+                pool=pool,
             )
         return BruteForceValidator(spool, skip_scan=cfg.skip_scans)
     if cfg.strategy == "single-pass":
@@ -387,3 +455,82 @@ def _validate_sequential(db, cfg, spool, candidates, column_stats):
         collector.stats.sql_statements = engine.total_stats.statements
     result: ValidationResult = collector.result()
     return result, pruner.inferred_satisfied, pruner.inferred_refuted
+
+
+class DiscoverySession:
+    """Reusable discovery context: one warm worker pool across many runs.
+
+    A plain :func:`discover_inds` call with ``validation_workers > 1`` pays
+    pool startup on every invocation.  A session creates the
+    :class:`~repro.parallel.pool.WorkerPool` once — lazily, on the first
+    parallel brute-force run — and lends it to every subsequent
+    :meth:`discover`, so repeated runs validate on warm worker processes
+    holding warm spool handles.  ``repro-ind serve`` is a thin loop over
+    this class; benchmarks use it for the warm leg of the repeated-run
+    curve.
+
+    The session owns the pool: :meth:`close` (or leaving the ``with``
+    block) drains it, and closing twice is a no-op.  Sessions are not
+    thread-safe — one request at a time, which is also what the pool's
+    dispatch loop assumes.
+
+    Config flags that matter here: ``validation_workers`` sizes the pool
+    (and a value of 1 means no pool is ever created); ``strategy`` must be
+    ``"brute-force"`` for the pool to engage (other strategies run exactly
+    as in :func:`discover_inds`); ``reuse_spool``/``cache_dir`` pair well
+    with a session because a cache hit keeps the spool *path* stable across
+    runs, which is what lets workers reuse their handles.
+    """
+
+    def __init__(self, config: DiscoveryConfig | None = None) -> None:
+        """Create an idle session around ``config`` (the per-run default)."""
+        self.config = (config or DiscoveryConfig()).validated()
+        self._pool: "WorkerPool | None" = None
+        self._closed = False
+
+    def __enter__(self) -> "DiscoverySession":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain the pool."""
+        self.close()
+
+    @property
+    def pool_stats(self) -> "PoolStats | None":
+        """Lifetime counters of the session pool, or ``None`` before it spawns."""
+        return self._pool.stats if self._pool is not None else None
+
+    def discover(
+        self, db: Database, config: DiscoveryConfig | None = None
+    ) -> DiscoveryResult:
+        """Run one discovery over ``db``, reusing the session's warm pool.
+
+        ``config`` overrides the session default for this run only; the
+        pool is created by the first parallel brute-force run, sized by
+        that run's ``validation_workers``, and never resized afterwards —
+        resizing a live fleet would defeat the warm handles the session
+        exists to preserve.
+        """
+        if self._closed:
+            raise DiscoveryError("discovery session is closed")
+        cfg = (config or self.config).validated()
+        return discover_inds(db, cfg, pool=self._pool_for(cfg))
+
+    def _pool_for(self, cfg: DiscoveryConfig) -> "WorkerPool | None":
+        """Lazily create the shared pool when this run can use one."""
+        if cfg.strategy != "brute-force" or cfg.validation_workers <= 1:
+            return None
+        if self._pool is None:
+            from repro.parallel.pool import WorkerPool
+
+            self._pool = WorkerPool(cfg.validation_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Drain the worker pool; idempotent, like the pool's own shutdown."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()

@@ -37,6 +37,7 @@ class ValidatorStats:
     extra: dict[str, float] = field(default_factory=dict)
 
     def absorb_io(self, io: IOStats) -> None:
+        """Fold a cursor-level I/O tally into these validator counters."""
         self.items_read += io.items_read
         self.files_opened += io.files_opened
         self.peak_open_files = max(self.peak_open_files, io.peak_open_files)
@@ -57,9 +58,11 @@ class ValidationResult:
 
     @property
     def satisfied_inds(self) -> list[IND]:
+        """The satisfied INDs as a plain list."""
         return list(self.satisfied)
 
     def is_satisfied(self, candidate: Candidate) -> bool:
+        """Whether ``candidate`` was decided satisfied (False if undecided)."""
         return self.decisions.get(candidate, False)
 
 
@@ -76,6 +79,7 @@ class DecisionCollector:
         )
 
     def record(self, candidate: Candidate, satisfied: bool, vacuous: bool = False) -> None:
+        """Record one decision (first write wins; duplicates are ignored)."""
         if candidate in self.decisions:
             return
         self.decisions[candidate] = satisfied
@@ -92,9 +96,11 @@ class DecisionCollector:
 
     @property
     def undecided(self) -> list[Candidate]:
+        """Candidates not yet recorded, in their original order."""
         return [c for c in self.candidates if c not in self.decisions]
 
     def result(self) -> ValidationResult:
+        """Package the recorded decisions and counters as the final result."""
         return ValidationResult(
             satisfied=self.satisfied,
             decisions=self.decisions,

@@ -5,10 +5,16 @@ different axes, both implemented here:
 
 ===================  =====================================================
 ``planner``          :class:`ShardPlanner` — cost-balanced partitions of
-                     the candidate set, sized by spool value counts (LPT).
+                     the candidate set, sized by spool value counts: whole
+                     shards (LPT) or small work-stealing chunks.
+``pool``             :class:`WorkerPool` — persistent worker processes
+                     behind one shared chunked task queue; survives across
+                     ``validate()`` and ``discover_inds`` calls, requeues
+                     the chunks of dead workers, keeps spool handles warm.
 ``engine``           :class:`ProcessPoolValidationEngine` — brute-force
-                     shards in worker processes; decisions and summed I/O
-                     identical to the sequential validator.
+                     chunks dispatched through a pool (per-call or
+                     persistent); decisions and summed I/O identical to
+                     the sequential validator.
 ``merge``            :class:`PartitionedMergeValidator` — the heap merge
                      split by first-value-byte ranges; each worker runs a
                      complete merge over its contiguous slice of every
@@ -21,11 +27,7 @@ file), never inherit handles — see the picklability contract on
 :class:`repro.storage.sorted_sets.SpoolDirectory` and the file cursors.
 """
 
-from repro.parallel.engine import (
-    ProcessPoolValidationEngine,
-    ShardOutcome,
-    merge_shard_outcomes,
-)
+from repro.parallel.engine import ProcessPoolValidationEngine
 from repro.parallel.merge import (
     ByteRangeCursor,
     PartitionedMergeValidator,
@@ -33,15 +35,24 @@ from repro.parallel.merge import (
     first_byte,
     partition_bounds,
 )
-from repro.parallel.planner import Shard, ShardPlanner
+from repro.parallel.planner import Chunk, Shard, ShardPlanner
+from repro.parallel.pool import (
+    PoolStats,
+    ShardOutcome,
+    WorkerPool,
+    merge_shard_outcomes,
+)
 
 __all__ = [
     "ByteRangeCursor",
+    "Chunk",
     "PartitionedMergeValidator",
+    "PoolStats",
     "ProcessPoolValidationEngine",
     "Shard",
     "ShardOutcome",
     "ShardPlanner",
+    "WorkerPool",
     "boundary_string",
     "first_byte",
     "merge_shard_outcomes",

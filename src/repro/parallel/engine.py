@@ -2,14 +2,24 @@
 
 The paper's brute-force validator (Sec. 3.1) tests one candidate at a time
 and shares nothing between tests — the textbook embarrassingly parallel
-workload.  This engine cuts the pretested candidate set into cost-balanced
-shards (:mod:`repro.parallel.planner`), validates each shard in a worker
-process against the *same* spool directory, and folds the per-shard
-decisions and counters back into one :class:`ValidationResult` that is
-indistinguishable from the sequential run: identical decisions, identical
-satisfied set, identical summed ``items_read`` and ``comparisons`` (each
-candidate's test is a deterministic function of its two value files, so
-where it runs cannot matter).
+workload.  This engine cuts the pretested candidate set into small
+cost-bounded chunks (:meth:`repro.parallel.planner.ShardPlanner.plan_chunks`),
+pushes them through the work-stealing queue of a
+:class:`repro.parallel.pool.WorkerPool` — workers pull chunks as they finish,
+so a mispredicted early stop frees a worker immediately instead of stranding
+it behind a static plan — and folds the per-chunk decisions and counters back
+into one :class:`ValidationResult` that is indistinguishable from the
+sequential run: identical decisions, identical satisfied set, identical
+summed ``items_read`` and ``comparisons`` (each candidate's test is a
+deterministic function of its two value files, so where it runs cannot
+matter).
+
+The pool may be **per-call** (the default: built for this ``validate`` and
+drained afterwards, matching the PR 2 executor semantics) or **persistent**
+(pass ``pool=`` — typically via
+:class:`repro.core.runner.DiscoverySession` — and the same warm worker fleet
+serves every call, amortising process startup and keeping spool handles
+open across discovery runs).
 
 Workers receive the spool *path*, never file handles: every worker re-opens
 ``index.json`` and its value files itself, so there is no shared file offset
@@ -20,88 +30,24 @@ start methods.  The spool must therefore have a saved index — everything
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-
 from repro._util import Stopwatch
 from repro.core.brute_force import BruteForceValidator
 from repro.core.candidates import Candidate
-from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
+from repro.core.stats import ValidationResult
 from repro.errors import DiscoveryError, SpoolError
-from repro.parallel.planner import Shard, ShardPlanner
+from repro.parallel.planner import Chunk, Shard, ShardPlanner
+from repro.parallel.pool import (
+    ShardOutcome,
+    WorkerPool,
+    merge_shard_outcomes,
+)
 from repro.storage.sorted_sets import SpoolDirectory
 
-
-@dataclass
-class ShardOutcome:
-    """What one worker ships back: decisions plus its measured counters."""
-
-    shard_index: int
-    decisions: dict[Candidate, bool]
-    vacuous: set[Candidate]
-    stats: ValidatorStats
-
-
-def _validate_shard(
-    spool_root: str, candidates: tuple[Candidate, ...], shard_index: int,
-    skip_scan: bool,
-) -> ShardOutcome:
-    """Worker entry point: re-open the spool by path, validate one shard."""
-    spool = SpoolDirectory.open(spool_root)
-    result = BruteForceValidator(spool, skip_scan=skip_scan).validate(
-        list(candidates)
-    )
-    return ShardOutcome(
-        shard_index=shard_index,
-        decisions=result.decisions,
-        vacuous=result.vacuous,
-        stats=result.stats,
-    )
-
-
-def merge_shard_outcomes(
-    candidates: list[Candidate],
-    outcomes: list[ShardOutcome],
-    validator_name: str,
-) -> ValidationResult:
-    """Fold per-shard results into one, in the original candidate order.
-
-    Additive counters (items, comparisons, file opens, skip-scan counters)
-    sum; ``peak_open_files`` sums too, because the shards hold their cursors
-    *concurrently* — the sum is the fleet-wide worst case the operator has to
-    provision file descriptors for.  Raises if the shards do not jointly
-    cover the candidate list exactly once — that would be a planner bug, and
-    silently mis-merged decisions are the worst possible failure mode.
-    """
-    decided: dict[Candidate, bool] = {}
-    vacuous: set[Candidate] = set()
-    merged = ValidatorStats(validator=validator_name)
-    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
-        for candidate, satisfied in outcome.decisions.items():
-            if candidate in decided:
-                raise DiscoveryError(
-                    f"candidate {candidate} was validated by two shards"
-                )
-            decided[candidate] = satisfied
-        vacuous |= outcome.vacuous
-        merged.comparisons += outcome.stats.comparisons
-        merged.items_read += outcome.stats.items_read
-        merged.files_opened += outcome.stats.files_opened
-        merged.peak_open_files += outcome.stats.peak_open_files
-        merged.blocks_skipped += outcome.stats.blocks_skipped
-        merged.values_skipped += outcome.stats.values_skipped
-    collector = DecisionCollector(candidates, validator_name)
-    collector.stats = merged
-    merged.candidates_total = len(collector.candidates)
-    for candidate in collector.candidates:
-        if candidate not in decided:
-            raise DiscoveryError(
-                f"no shard validated candidate {candidate}"
-            )
-        collector.record(
-            candidate, decided[candidate], vacuous=candidate in vacuous
-        )
-    return collector.result()
+__all__ = [
+    "ProcessPoolValidationEngine",
+    "ShardOutcome",
+    "merge_shard_outcomes",
+]
 
 
 class ProcessPoolValidationEngine:
@@ -111,6 +57,13 @@ class ProcessPoolValidationEngine:
     signature, same decisions, same summed I/O accounting; ``workers=1``
     short-circuits to the sequential validator so there is exactly one code
     path to trust at the bottom.
+
+    Config flags that reach this engine: ``validation_workers`` selects it
+    (>1) and sizes the fleet, ``skip_scans`` is forwarded to every worker's
+    sequential validator.  With ``pool`` set the engine *borrows* the pool —
+    it never shuts it down — so one
+    :class:`~repro.parallel.pool.WorkerPool` can serve many engines and many
+    ``discover_inds`` calls.
     """
 
     name = "brute-force"
@@ -121,18 +74,38 @@ class ProcessPoolValidationEngine:
         workers: int,
         skip_scan: bool = False,
         planner: ShardPlanner | None = None,
+        pool: WorkerPool | None = None,
+        chunk_size: int | None = None,
     ) -> None:
+        """Wire the engine to ``spool``; spawn nothing yet.
+
+        ``workers`` sizes the per-call pool and the chunk plan; when a
+        persistent ``pool`` is supplied its fleet size wins at execution
+        time and ``workers`` only shapes the chunking.  ``chunk_size``
+        caps candidates per work-stealing chunk (default: see
+        :meth:`ShardPlanner.plan_chunks`).
+        """
         if workers < 1:
             raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
         self._spool = spool
         self._workers = workers
         self._skip_scan = skip_scan
         self._planner = planner or ShardPlanner(spool)
+        self._pool = pool
+        self._chunk_size = chunk_size
 
     def plan(self, candidates: list[Candidate]) -> list[Shard]:
+        """Static LPT plan (one shard per worker) — kept for diagnostics."""
         return self._planner.plan(candidates, self._workers)
 
+    def plan_chunks(self, candidates: list[Candidate]) -> list[Chunk]:
+        """The work-stealing chunk plan this engine would dispatch."""
+        return self._planner.plan_chunks(
+            candidates, self._workers, self._chunk_size
+        )
+
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        """Validate ``candidates``; decisions identical to the sequential run."""
         if self._workers == 1 or len(candidates) <= 1:
             return BruteForceValidator(
                 self._spool, skip_scan=self._skip_scan
@@ -145,27 +118,28 @@ class ProcessPoolValidationEngine:
             )
         with Stopwatch() as clock:
             # Dedupe before planning, as the sequential collector would:
-            # LPT could otherwise place two copies in different shards and
-            # the merge would (rightly) refuse the double decision.
-            shards = self.plan(list(dict.fromkeys(candidates)))
-            with ProcessPoolExecutor(
-                max_workers=min(self._workers, max(len(shards), 1))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _validate_shard,
-                        spool_root,
-                        shard.candidates,
-                        shard.index,
-                        self._skip_scan,
-                    )
-                    for shard in shards
-                ]
-                outcomes = [future.result() for future in futures]
+            # two copies in different chunks would make the merge (rightly)
+            # refuse the double decision.
+            chunks = self.plan_chunks(list(dict.fromkeys(candidates)))
+            pool = self._pool
+            ephemeral = pool is None
+            if ephemeral:
+                # Never spawn more workers than there are chunks to pull.
+                pool = WorkerPool(min(self._workers, max(len(chunks), 1)))
+            try:
+                outcomes = pool.run_job(
+                    spool_root,
+                    [chunk.candidates for chunk in chunks],
+                    skip_scan=self._skip_scan,
+                )
+            finally:
+                if ephemeral:
+                    pool.shutdown()
         result = merge_shard_outcomes(candidates, outcomes, self.name)
         result.stats.elapsed_seconds = clock.elapsed
         result.stats.extra["validation_workers"] = float(self._workers)
-        result.stats.extra["shards"] = float(len(shards))
+        result.stats.extra["shards"] = float(len(chunks))
+        result.stats.extra["pool_warm"] = 0.0 if ephemeral else 1.0
         if outcomes:
             result.stats.extra["slowest_shard_seconds"] = max(
                 o.stats.elapsed_seconds for o in outcomes

@@ -203,6 +203,7 @@ class PartitionedMergeValidator:
         self._workers = workers
 
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
+        """Merge every partition in parallel; decisions match the sequential pass."""
         if self._workers == 1 or not candidates:
             return MergeSinglePassValidator(self._spool).validate(candidates)
         spool_root = str(self._spool.root)

@@ -1,8 +1,8 @@
-"""Shard planning: balanced partitions of the pretested candidate set.
+"""Shard and chunk planning over the pretested candidate set.
 
 Brute-force validation is embarrassingly parallel per candidate — each test
 opens its own cursors and shares nothing — so the only scheduling question is
-*balance*: workers should finish together, or the slowest shard sets the wall
+*balance*: workers should finish together, or the slowest slice sets the wall
 clock.  Candidate costs are wildly skewed (a candidate referencing the
 largest spooled attribute can cost thousands of times one referencing a tiny
 lookup table), so round-robin dealing is not good enough.
@@ -10,10 +10,20 @@ lookup table), so round-robin dealing is not good enough.
 The planner estimates each candidate's cost from the spool index — the
 distinct-value counts of the attributes the test scans, dominated by the
 referenced side, at zero I/O since the index is already in memory — and
-packs candidates with the classic LPT greedy (sort by descending cost,
-always hand the next candidate to the lightest shard).  LPT is within 4/3 of
-optimal makespan, deterministic here because every tie breaks on candidate
-order, and costs nothing at the scale of candidate counts.
+offers two packings:
+
+* :meth:`ShardPlanner.plan` — exactly one shard per worker, packed with the
+  classic LPT greedy (sort by descending cost, always hand the next
+  candidate to the lightest shard; within 4/3 of the optimal makespan,
+  deterministic because ties break on candidate order).  Right when the
+  hand-out is static and each worker receives its whole share up front.
+
+* :meth:`ShardPlanner.plan_chunks` — many small cost-bounded chunks for the
+  work-stealing queue of :class:`repro.parallel.pool.WorkerPool`.  The cost
+  *estimates* ignore early stops, which can shrink a candidate's real cost
+  by up to its full size, so any static plan is wrong in practice; small
+  chunks pulled from a shared queue absorb the misestimates because a
+  worker whose chunks turned out cheap simply pulls more.
 """
 
 from __future__ import annotations
@@ -25,10 +35,29 @@ from repro.core.candidates import Candidate
 from repro.errors import DiscoveryError
 from repro.storage.sorted_sets import SpoolDirectory
 
+#: Work-stealing granularity: aim for this many chunks per worker, so the
+#: tail of a job — when some workers are already idle — is at most ~1/4 of
+#: one worker's share even if every estimate was maximally wrong.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: Upper bound on candidates per chunk regardless of cost: a chunk is also
+#: the requeue unit after a worker death, and repeating more than this many
+#: candidate tests on a replacement worker is wasted work we refuse to risk.
+MAX_CHUNK_CANDIDATES = 32
+
 
 @dataclass(frozen=True)
 class Shard:
     """One worker's slice of the candidate set."""
+
+    index: int
+    candidates: tuple[Candidate, ...]
+    estimated_cost: int
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One work-stealing unit: a small slice any worker may pull and run."""
 
     index: int
     candidates: tuple[Candidate, ...]
@@ -96,3 +125,70 @@ class ShardPlanner:
                 )
             )
         return out
+
+    def plan_chunks(
+        self,
+        candidates: list[Candidate],
+        workers: int,
+        chunk_size: int | None = None,
+    ) -> list[Chunk]:
+        """Cost-bounded chunks for the work-stealing queue, heaviest first.
+
+        Candidates are walked in descending estimated cost and grouped until
+        a chunk reaches the cost budget — the total estimated cost divided by
+        ``workers * DEFAULT_CHUNKS_PER_WORKER`` — or the per-chunk candidate
+        cap (``chunk_size``, default the smaller of
+        :data:`MAX_CHUNK_CANDIDATES` and an even split into
+        ``workers * DEFAULT_CHUNKS_PER_WORKER`` chunks).  Heavy chunks come
+        out first, so the queue dispatches them while cheap work remains to
+        backfill idle workers; within a chunk candidates keep their original
+        order, so a one-chunk plan replays the sequential run exactly.
+
+        Every candidate lands in exactly one chunk; the output is
+        deterministic for a given spool, candidate list, and parameters.
+        """
+        if workers < 1:
+            raise DiscoveryError(f"worker count must be >= 1, got {workers!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise DiscoveryError(f"chunk size must be >= 1, got {chunk_size!r}")
+        if not candidates:
+            return []
+        target_chunks = workers * DEFAULT_CHUNKS_PER_WORKER
+        cap = chunk_size or max(
+            1,
+            min(
+                MAX_CHUNK_CANDIDATES,
+                -(-len(candidates) // target_chunks),  # ceil division
+            ),
+        )
+        costed = sorted(
+            ((self.candidate_cost(c), seq, c) for seq, c in enumerate(candidates)),
+            key=lambda item: (-item[0], item[1]),
+        )
+        budget = max(1, sum(cost for cost, _, _ in costed) // target_chunks)
+        chunks: list[Chunk] = []
+        bucket: list[tuple[int, Candidate]] = []
+        bucket_cost = 0
+        for cost, seq, candidate in costed:
+            bucket.append((seq, candidate))
+            bucket_cost += cost
+            if bucket_cost >= budget or len(bucket) >= cap:
+                bucket.sort()
+                chunks.append(
+                    Chunk(
+                        index=len(chunks),
+                        candidates=tuple(c for _, c in bucket),
+                        estimated_cost=bucket_cost,
+                    )
+                )
+                bucket, bucket_cost = [], 0
+        if bucket:
+            bucket.sort()
+            chunks.append(
+                Chunk(
+                    index=len(chunks),
+                    candidates=tuple(c for _, c in bucket),
+                    estimated_cost=bucket_cost,
+                )
+            )
+        return chunks

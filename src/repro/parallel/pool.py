@@ -1,0 +1,552 @@
+"""Persistent worker pool with work-stealing dispatch.
+
+PR 2 parallelised brute-force validation by forking a fresh
+``ProcessPoolExecutor`` inside every ``validate()`` call and handing each
+worker one statically planned LPT shard.  Both halves of that design leave
+time on the table for the workloads the ROADMAP targets:
+
+* **Startup is paid per call.**  A discovery service answering repeated
+  requests forks (or spawns) the whole fleet again for every request, and
+  every worker re-parses the spool index from scratch.  :class:`WorkerPool`
+  keeps the worker processes alive across ``validate()`` — and across
+  :func:`repro.core.runner.discover_inds` — calls; workers cache the
+  :class:`~repro.storage.sorted_sets.SpoolDirectory` handles they have
+  opened, so a warm pool re-validates a cached spool without re-reading its
+  index (``PoolStats.spool_handle_reuses`` counts those wins).
+
+* **Static plans go stale.**  LPT balances *estimated* costs, but the
+  brute-force early stops make the real cost of a candidate unpredictable
+  up to its full size, so one unlucky shard routinely outlives the rest.
+  The pool therefore dispatches **chunks** (small cost-bounded slices of
+  the candidate set, :meth:`repro.parallel.planner.ShardPlanner.plan_chunks`)
+  through one shared queue: a worker that finishes early simply pulls the
+  next chunk — work-stealing without any inter-worker channel, because the
+  queue itself is the steal target.
+
+Correctness is inherited, not re-proven: every chunk is validated by the
+unchanged sequential :class:`~repro.core.brute_force.BruteForceValidator`,
+and the chunk outcomes are folded with :func:`merge_shard_outcomes`, which
+refuses double-validated or unvalidated candidates.  Each candidate's test
+is a deterministic function of its two sorted value files, so decisions,
+the satisfied set, and the summed ``items_read`` / ``comparisons`` are
+identical to the sequential run no matter which worker ran it or in what
+order — the agreement suite asserts this per seed.
+
+Fault tolerance uses an at-least-once/idempotent scheme: workers announce
+``claim`` before validating and ``done`` after; the parent requeues the
+claimed-but-unfinished chunks of any worker that died and spawns a
+replacement, and duplicate ``done`` messages (possible only after a
+requeue race) are dropped by task id.  Requeuing is therefore always safe,
+and a worker crash costs one chunk's worth of repeated work, never a wrong
+or missing decision.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
+from repro.errors import DiscoveryError
+from repro.storage.sorted_sets import SpoolDirectory
+
+#: How many spool directories one worker keeps warm (parsed index, interned
+#: attribute ids).  Handles hold no file descriptors — cursors are opened and
+#: closed per candidate — so the only cost of a cached entry is memory.
+WARM_SPOOL_LIMIT = 8
+
+#: Seconds without any queue message before the parent suspects a chunk was
+#: lost in the tiny window between a worker dequeuing it and announcing the
+#: claim (only possible if the worker died exactly there) and requeues the
+#: unclaimed remainder.  Duplicate execution is harmless — ``done`` messages
+#: are deduplicated by task id — so this can err toward firing; it only
+#: fires at all after a worker death was actually observed.
+STALL_TIMEOUT_SECONDS = 2.0
+
+#: Give up on a chunk after this many requeues.  Requeues happen only after
+#: worker deaths, so hitting the cap means the chunk *reliably* kills its
+#: worker (OOM, native crash in decoding) — respawning forever would hang
+#: ``run_job`` and leak a process every cycle.  Failing the job loudly is
+#: the only honest outcome.
+MAX_TASK_REQUEUES = 3
+
+_FAULT_ATTR_ENV = "REPRO_POOL_FAULT_ATTR"
+_FAULT_ONCE_DIR_ENV = "REPRO_POOL_FAULT_ONCE_DIR"
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker ships back: decisions plus its measured counters."""
+
+    shard_index: int
+    decisions: dict[Candidate, bool]
+    vacuous: set[Candidate]
+    stats: ValidatorStats
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One chunk of candidates queued for whichever worker pulls it first."""
+
+    job_id: int
+    task_id: int
+    spool_root: str
+    candidates: tuple[Candidate, ...]
+    skip_scan: bool
+
+
+@dataclass
+class PoolStats:
+    """Lifetime counters of one :class:`WorkerPool` (monotonic, additive)."""
+
+    jobs: int = 0
+    tasks_dispatched: int = 0
+    tasks_completed: int = 0
+    tasks_requeued: int = 0
+    workers_spawned: int = 0
+    workers_replaced: int = 0
+    spool_handle_reuses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for JSON reports and the ``serve`` shutdown line."""
+        return {
+            "jobs": self.jobs,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_completed": self.tasks_completed,
+            "tasks_requeued": self.tasks_requeued,
+            "workers_spawned": self.workers_spawned,
+            "workers_replaced": self.workers_replaced,
+            "spool_handle_reuses": self.spool_handle_reuses,
+        }
+
+
+def merge_shard_outcomes(
+    candidates: list[Candidate],
+    outcomes: list[ShardOutcome],
+    validator_name: str,
+) -> ValidationResult:
+    """Fold per-shard results into one, in the original candidate order.
+
+    Additive counters (items, comparisons, file opens, skip-scan counters)
+    sum; ``peak_open_files`` sums too, because the shards hold their cursors
+    *concurrently* — the sum is the fleet-wide worst case the operator has to
+    provision file descriptors for.  Raises if the shards do not jointly
+    cover the candidate list exactly once — that would be a planner bug, and
+    silently mis-merged decisions are the worst possible failure mode.
+    """
+    decided: dict[Candidate, bool] = {}
+    vacuous: set[Candidate] = set()
+    merged = ValidatorStats(validator=validator_name)
+    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
+        for candidate, satisfied in outcome.decisions.items():
+            if candidate in decided:
+                raise DiscoveryError(
+                    f"candidate {candidate} was validated by two shards"
+                )
+            decided[candidate] = satisfied
+        vacuous |= outcome.vacuous
+        merged.comparisons += outcome.stats.comparisons
+        merged.items_read += outcome.stats.items_read
+        merged.files_opened += outcome.stats.files_opened
+        merged.peak_open_files += outcome.stats.peak_open_files
+        merged.blocks_skipped += outcome.stats.blocks_skipped
+        merged.values_skipped += outcome.stats.values_skipped
+    collector = DecisionCollector(candidates, validator_name)
+    collector.stats = merged
+    merged.candidates_total = len(collector.candidates)
+    for candidate in collector.candidates:
+        if candidate not in decided:
+            raise DiscoveryError(
+                f"no shard validated candidate {candidate}"
+            )
+        collector.record(
+            candidate, decided[candidate], vacuous=candidate in vacuous
+        )
+    return collector.result()
+
+
+# ------------------------------------------------------------ worker process
+def _maybe_inject_fault(task: PoolTask) -> None:
+    """Test hook: die once, hard, when a chunk touches the marked attribute.
+
+    Only active when ``REPRO_POOL_FAULT_ATTR`` names an attribute one of the
+    chunk's candidates uses.  With ``REPRO_POOL_FAULT_ONCE_DIR`` set, an
+    ``O_EXCL`` marker file limits the crash to exactly one worker, so the
+    requeued chunk succeeds on the replacement — the shape the lifecycle
+    tests need.  ``os._exit`` deliberately skips all cleanup: a real worker
+    death (OOM kill, segfault) does not flush queues either.
+    """
+    attr = os.environ.get(_FAULT_ATTR_ENV)
+    if not attr:
+        return
+    touched = any(
+        attr in (c.dependent.qualified, c.referenced.qualified)
+        for c in task.candidates
+    )
+    if not touched:
+        return
+    marker_dir = os.environ.get(_FAULT_ONCE_DIR_ENV)
+    if marker_dir:
+        try:
+            fd = os.open(
+                os.path.join(marker_dir, "pool-fault-fired"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return  # the fault already fired once; behave normally now
+        os.close(fd)
+    os._exit(17)
+
+
+def _open_warm(
+    handles: "OrderedDict[str, tuple[int, SpoolDirectory]]", root: str
+) -> tuple[SpoolDirectory, bool]:
+    """Open ``root`` through the worker's warm-handle cache (LRU, bounded).
+
+    A cached handle counts as warm only while the spool's ``index.json``
+    mtime is unchanged — a re-export to the same path (explicit
+    ``spool_dir``, cache rebuild) must never be validated against a stale
+    parsed index, because stale per-block metadata could silently skip live
+    blocks under ``skip_scan``.  One ``stat`` per task buys that guarantee.
+    """
+    stamp = os.stat(os.path.join(root, "index.json")).st_mtime_ns
+    cached = handles.get(root)
+    if cached is not None and cached[0] == stamp:
+        handles.move_to_end(root)
+        return cached[1], True
+    spool = SpoolDirectory.open(root)
+    handles[root] = (stamp, spool)
+    handles.move_to_end(root)
+    while len(handles) > WARM_SPOOL_LIMIT:
+        handles.popitem(last=False)
+    return spool, False
+
+
+def _worker_loop(task_queue, result_queue) -> None:
+    """Long-lived worker: pull chunks until the ``None`` shutdown sentinel.
+
+    Every message is tagged with this worker's pid so the parent can map
+    claims to processes; ``claim`` strictly precedes ``done``/``error`` for
+    a given task (one queue, one producer — order is preserved), which is
+    what makes dead-worker requeuing sound.
+    """
+    pid = os.getpid()
+    handles: OrderedDict[str, tuple[int, SpoolDirectory]] = OrderedDict()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        result_queue.put(("claim", pid, task.job_id, task.task_id))
+        try:
+            _maybe_inject_fault(task)
+            spool, warm = _open_warm(handles, task.spool_root)
+            try:
+                result = BruteForceValidator(
+                    spool, skip_scan=task.skip_scan
+                ).validate(list(task.candidates))
+            except Exception:
+                # Belt and braces on top of the mtime check in _open_warm:
+                # drop the cached handle and retry cold exactly once.
+                handles.pop(task.spool_root, None)
+                spool, warm = _open_warm(handles, task.spool_root)
+                warm = False
+                result = BruteForceValidator(
+                    spool, skip_scan=task.skip_scan
+                ).validate(list(task.candidates))
+            outcome = ShardOutcome(
+                shard_index=task.task_id,
+                decisions=result.decisions,
+                vacuous=result.vacuous,
+                stats=result.stats,
+            )
+            result_queue.put(
+                ("done", pid, task.job_id, task.task_id, outcome, warm)
+            )
+        except Exception as exc:  # ship the failure, keep the worker alive
+            result_queue.put(
+                ("error", pid, task.job_id, task.task_id, repr(exc))
+            )
+
+
+# ------------------------------------------------------------------- the pool
+@dataclass
+class _JobState:
+    """Book-keeping for one in-flight :meth:`WorkerPool.run_job`."""
+
+    tasks: dict[int, PoolTask]
+    outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+    claims: dict[int, int] = field(default_factory=dict)  # task_id -> pid
+    requeues: dict[int, int] = field(default_factory=dict)  # task_id -> count
+    #: Bumped each time dead workers are reaped; the stall fallback requeues
+    #: a task at most once per generation (and not at all in generation 0).
+    death_generation: int = 0
+    stall_requeue_generation: dict[int, int] = field(default_factory=dict)
+    last_progress: float = field(default_factory=time.monotonic)
+
+
+class WorkerPool:
+    """Long-lived brute-force validation workers behind one shared task queue.
+
+    The pool is created cheaply (no processes yet) and spawns its workers on
+    the first :meth:`run_job`; it then survives any number of jobs until
+    :meth:`shutdown` drains it.  One pool instance serves one parent process;
+    it is not itself picklable and must not be shared across forks.
+
+    Use as a context manager or via
+    :class:`repro.core.runner.DiscoverySession`; passing the pool to
+    :class:`repro.parallel.engine.ProcessPoolValidationEngine` (or
+    ``discover_inds(..., pool=...)``) makes every call reuse the warm fleet
+    instead of forking a fresh one.
+
+    ``shutdown`` is idempotent — a second call is a no-op — and a drained
+    pool refuses further jobs with :class:`~repro.errors.DiscoveryError`.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        """Create an idle pool of ``workers`` processes (spawned lazily).
+
+        ``start_method`` overrides the platform's multiprocessing start
+        method (``fork``/``spawn``/``forkserver``); the protocol works
+        identically under all of them because tasks carry only picklable
+        paths and candidates, never handles.
+        """
+        if workers < 1:
+            raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
+        self._workers_target = workers
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._task_queue = None
+        self._result_queue = None
+        self._procs: list = []
+        self._ever_dead_pids: set[int] = set()
+        self._started = False
+        self._closed = False
+        self._job_counter = 0
+        self.stats = PoolStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured fleet size (the pool respawns toward this number)."""
+        return self._workers_target
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran; a closed pool accepts no jobs."""
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry: the pool itself (workers still lazy)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain the fleet."""
+        self.shutdown()
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise DiscoveryError("worker pool is shut down")
+        if self._started:
+            return
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self._workers_target):
+            self._spawn_worker()
+        self._started = True
+
+    def _spawn_worker(self) -> None:
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(self._task_queue, self._result_queue),
+            daemon=True,
+        )
+        proc.start()
+        self._procs.append(proc)
+        self.stats.workers_spawned += 1
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Drain the fleet: sentinel every worker, join, terminate stragglers.
+
+        Safe to call any number of times (double shutdown is a documented
+        no-op) and safe to call on a pool that never started.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for _ in self._procs:
+            self._task_queue.put(None)
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+        for q in (self._task_queue, self._result_queue):
+            q.close()
+            q.cancel_join_thread()
+
+    # -- dispatch ----------------------------------------------------------
+    def run_job(
+        self,
+        spool_root: str,
+        chunks: list[tuple[Candidate, ...]],
+        skip_scan: bool = False,
+    ) -> list[ShardOutcome]:
+        """Validate every chunk against ``spool_root``; return their outcomes.
+
+        Chunks are enqueued in order (callers put the heaviest first) and
+        workers pull them as they finish — the work-stealing hand-out.  The
+        call blocks until every chunk has exactly one outcome, requeuing the
+        chunks of any worker that died mid-task and replacing the worker.
+        A chunk that fails *in* the validator (not by worker death) raises
+        :class:`~repro.errors.DiscoveryError` after one cold retry inside
+        the worker.
+        """
+        self._ensure_started()
+        if not chunks:
+            return []
+        self._job_counter += 1
+        job = self._job_counter
+        tasks = {
+            index: PoolTask(
+                job_id=job,
+                task_id=index,
+                spool_root=spool_root,
+                candidates=tuple(chunk),
+                skip_scan=skip_scan,
+            )
+            for index, chunk in enumerate(chunks)
+        }
+        for task in tasks.values():
+            self._task_queue.put(task)
+        self.stats.jobs += 1
+        self.stats.tasks_dispatched += len(tasks)
+        state = _JobState(tasks=tasks)
+        try:
+            while len(state.outcomes) < len(tasks):
+                try:
+                    message = self._result_queue.get(timeout=0.05)
+                except queue.Empty:
+                    self._reap_dead_workers(state)
+                    if (
+                        time.monotonic() - state.last_progress
+                        > STALL_TIMEOUT_SECONDS
+                    ):
+                        self._requeue_unclaimed(state)
+                        state.last_progress = time.monotonic()
+                    continue
+                state.last_progress = time.monotonic()
+                kind = message[0]
+                if kind == "claim":
+                    _, pid, msg_job, task_id = message
+                    if msg_job != job or task_id in state.outcomes:
+                        continue
+                    if pid in self._ever_dead_pids:
+                        # The claimer was already reaped before its claim
+                        # became readable; recording it would strand the
+                        # chunk (no future reap will see this pid again).
+                        self._requeue(state, task_id)
+                    else:
+                        state.claims[task_id] = pid
+                elif kind == "done":
+                    _, pid, msg_job, task_id, outcome, warm = message
+                    if msg_job != job or task_id in state.outcomes:
+                        continue  # stale job, or the duplicate of a requeue
+                    state.outcomes[task_id] = outcome
+                    state.claims.pop(task_id, None)
+                    self.stats.tasks_completed += 1
+                    if warm:
+                        self.stats.spool_handle_reuses += 1
+                elif kind == "error":
+                    _, pid, msg_job, task_id, detail = message
+                    if msg_job != job or task_id in state.outcomes:
+                        continue
+                    raise DiscoveryError(
+                        f"pool worker {pid} failed validating chunk "
+                        f"{task_id}: {detail}"
+                    )
+        finally:
+            # Requeued chunks leave duplicates behind, and a failed job
+            # leaves its pending chunks; never let either bleed into (and
+            # stall) the next job's queue.
+            if state.requeues or len(state.outcomes) < len(tasks):
+                self._drain_task_queue()
+        return [state.outcomes[index] for index in sorted(state.outcomes)]
+
+    def _requeue(self, state: "_JobState", task_id: int) -> None:
+        """Requeue one task, failing the job at :data:`MAX_TASK_REQUEUES`."""
+        attempts = state.requeues.get(task_id, 0) + 1
+        if attempts > MAX_TASK_REQUEUES:
+            raise DiscoveryError(
+                f"chunk {task_id} killed its worker {attempts} times "
+                f"(candidates {[str(c) for c in state.tasks[task_id].candidates]}); "
+                "giving up instead of respawning forever"
+            )
+        state.requeues[task_id] = attempts
+        self._task_queue.put(state.tasks[task_id])
+        self.stats.tasks_requeued += 1
+
+    def _reap_dead_workers(self, state: "_JobState") -> None:
+        """Requeue the claims of dead workers; respawn toward fleet size."""
+        dead = [proc for proc in self._procs if not proc.is_alive()]
+        if not dead:
+            return
+        dead_pids = set()
+        for proc in dead:
+            proc.join(timeout=0)
+            dead_pids.add(proc.pid)
+            self._ever_dead_pids.add(proc.pid)
+            self._procs.remove(proc)
+        state.death_generation += 1
+        for task_id, pid in list(state.claims.items()):
+            if pid in dead_pids and task_id not in state.outcomes:
+                del state.claims[task_id]
+                self._requeue(state, task_id)
+        while len(self._procs) < self._workers_target:
+            self._spawn_worker()
+            self.stats.workers_replaced += 1
+
+    def _requeue_unclaimed(self, state: "_JobState") -> None:
+        """Stall fallback: requeue tasks nobody finished and nobody claims.
+
+        Covers the one unobservable failure window — a worker dying between
+        dequeuing a task and announcing its claim — so it only acts after a
+        worker death was actually observed (without one, every unclaimed
+        pending task is provably still sitting in the queue), and at most
+        once per task per observed death.  That keeps a merely *slow* job
+        (all workers busy on long chunks) from flooding the queue with
+        duplicates every stall interval; double execution remains harmless
+        because ``done`` is deduplicated by task id.
+        """
+        if state.death_generation == 0:
+            return
+        for task_id in state.tasks:
+            if (
+                task_id not in state.outcomes
+                and task_id not in state.claims
+                and state.stall_requeue_generation.get(task_id, -1)
+                < state.death_generation
+            ):
+                state.stall_requeue_generation[task_id] = state.death_generation
+                self._requeue(state, task_id)
+
+    def _drain_task_queue(self) -> None:
+        """Best-effort removal of leftover tasks after requeues or a failure."""
+        while True:
+            try:
+                self._task_queue.get_nowait()
+            except queue.Empty:
+                return

@@ -18,20 +18,36 @@ trusted.
 
 Layout::
 
-    <cache_dir>/<fingerprint-prefix>/index.json + value files
+    <cache_dir>/<fingerprint-prefix>-<format>[-<block>]/index.json + value files
 
-One entry per fingerprint.  The profiling statistics come in through
-:func:`catalog_fingerprint` from :func:`repro.db.stats.collect_column_stats`
-output — the runner computes those stats before export in any case, so cache
-keying adds zero extra scans over the database.
+One entry per (fingerprint, spool configuration).  The profiling statistics
+come in through :func:`catalog_fingerprint` from
+:func:`repro.db.stats.collect_column_stats` output — the runner computes
+those stats before export in any case, so cache keying adds zero extra scans
+over the database.
+
+**Eviction.**  Left alone the cache grows without bound — one entry per
+database version ever profiled.  The policy is LRU by entry mtime: every
+cache *hit* touches the entry directory's mtime, so recency is recorded in
+the filesystem itself (no sidecar state to corrupt, works across processes).
+:meth:`SpoolCache.enforce_budget` drops the stalest entries until the cache
+fits a byte budget; a cache built with ``max_bytes`` enforces it after every
+:meth:`SpoolCache.publish` (never evicting the entry just published), and
+``repro-ind cache list|evict`` exposes the same machinery to operators.
+Eviction is safe against concurrent readers: entries are renamed aside
+before deletion, so an open file descriptor stays valid and a concurrent
+``lookup`` either hits the complete entry or misses cleanly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -46,6 +62,24 @@ if TYPE_CHECKING:  # repro.db imports repro.storage; keep the cycle type-only
 #: Directory-name length: 16 bytes of SHA-256 is plenty below any realistic
 #: collision risk while keeping paths short.
 _ENTRY_NAME_LENGTH = 32
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One cache entry as the eviction policy and the CLI see it."""
+
+    path: Path
+    fingerprint_prefix: str
+    spool_format: str
+    block_size: int | None  # None for text entries (no block framing)
+    size_bytes: int
+    mtime: float  # last hit (or publish) — the LRU recency key
+    attribute_count: int
+
+    @property
+    def name(self) -> str:
+        """The entry's directory name (``<fp-prefix>-<format>[-<block>]``)."""
+        return self.path.name
 
 
 def catalog_fingerprint(
@@ -105,8 +139,20 @@ class SpoolCache:
     ...     spool = cache.publish(fp, spool)
     """
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(
+        self, cache_dir: str | Path, max_bytes: int | None = None
+    ) -> None:
+        """Open (and create if needed) the cache rooted at ``cache_dir``.
+
+        ``max_bytes`` arms the LRU size budget: every :meth:`publish` then
+        evicts least-recently-hit entries until the cache fits.  ``None``
+        (the default) disables automatic eviction; :meth:`enforce_budget`
+        can still be called explicitly, e.g. by ``repro-ind cache evict``.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise SpoolError(f"max_bytes must be >= 0, got {max_bytes!r}")
         self.root = Path(cache_dir).expanduser()
+        self.max_bytes = max_bytes
         self.root.mkdir(parents=True, exist_ok=True)
 
     def entry_path(
@@ -169,6 +215,7 @@ class SpoolCache:
             return None
         if needed is not None and any(ref not in spool for ref in needed):
             return None
+        self._touch(entry)
         return spool
 
     def prepare(self, fingerprint: str) -> Path:
@@ -219,6 +266,9 @@ class SpoolCache:
             shutil.rmtree(staging, ignore_errors=True)
         if doomed is not None:
             shutil.rmtree(doomed.parent, ignore_errors=True)
+        self._touch(entry)
+        if self.max_bytes is not None:
+            self.enforce_budget(protect=(entry,))
         return SpoolDirectory.open(entry)
 
     def evict(self, fingerprint: str) -> bool:
@@ -228,6 +278,125 @@ class SpoolCache:
             self._destroy(entry)
             removed = True
         return removed
+
+    def evict_prefix(self, prefix: str) -> list[CacheEntryInfo]:
+        """Drop every entry whose fingerprint prefix starts with ``prefix``.
+
+        The operator-facing variant of :meth:`evict` — accepts any prefix of
+        the hex fingerprint (as ``repro-ind cache list`` prints it), up to
+        and including the full 64-char digest (entry names store only the
+        first ``_ENTRY_NAME_LENGTH`` characters, so longer prefixes are
+        truncated to that before matching).  Returns the entries removed.
+        """
+        if not prefix:
+            raise SpoolError("an empty prefix would evict the whole cache; "
+                             "use evict_all() to say that explicitly")
+        prefix = prefix[:_ENTRY_NAME_LENGTH]
+        victims = [
+            info
+            for info in self.list_entries()
+            if info.fingerprint_prefix.startswith(prefix)
+        ]
+        for info in victims:
+            self._destroy(info.path)
+        return victims
+
+    def evict_all(self) -> list[CacheEntryInfo]:
+        """Empty the cache; returns the entries removed."""
+        victims = self.list_entries()
+        for info in victims:
+            self._destroy(info.path)
+        return victims
+
+    def enforce_budget(
+        self,
+        max_bytes: int | None = None,
+        protect: tuple[Path, ...] = (),
+    ) -> list[CacheEntryInfo]:
+        """LRU-evict entries until the cache fits ``max_bytes``.
+
+        Recency is the entry directory's mtime, which every hit refreshes;
+        the stalest entries go first.  ``protect`` exempts paths (publish
+        protects the entry it just wrote — evicting the bytes a caller is
+        about to read would turn the budget into a correctness bug).
+        Returns the evicted entries, stalest first.  ``max_bytes`` defaults
+        to the budget the cache was constructed with.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            raise SpoolError("no size budget given and none configured")
+        if budget < 0:
+            raise SpoolError(f"size budget must be >= 0, got {budget!r}")
+        shielded = {Path(p).resolve() for p in protect}
+        entries = self.list_entries()  # stalest-first, see below
+        total = sum(info.size_bytes for info in entries)
+        evicted: list[CacheEntryInfo] = []
+        for info in entries:
+            if total <= budget:
+                break
+            if info.path.resolve() in shielded:
+                continue
+            self._destroy(info.path)
+            total -= info.size_bytes
+            evicted.append(info)
+        return evicted
+
+    def list_entries(self) -> list[CacheEntryInfo]:
+        """Every entry with its size, recency, and layout — stalest first.
+
+        Stalest-first is the eviction order, so ``repro-ind cache list``
+        output doubles as the answer to "what goes next when the budget
+        bites?".  Entries that vanish mid-listing (concurrent eviction) are
+        skipped, not errors.
+        """
+        infos = []
+        for entry in self.entries():
+            info = self._entry_info(entry)
+            if info is not None:
+                infos.append(info)
+        infos.sort(key=lambda info: (info.mtime, info.name))
+        return infos
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by all cache entries."""
+        return sum(info.size_bytes for info in self.list_entries())
+
+    def _entry_info(self, entry: Path) -> CacheEntryInfo | None:
+        """Describe one entry directory; ``None`` if it vanished or is corrupt.
+
+        Format and block size come from the entry's own ``index.json`` —
+        the document :meth:`SpoolDirectory.save_index` writes — never from
+        re-parsing the directory name; only the fingerprint prefix lives in
+        the name alone.
+        """
+        try:
+            mtime = entry.stat().st_mtime
+            size = sum(
+                f.stat().st_size for f in entry.rglob("*") if f.is_file()
+            )
+            document = json.loads(
+                (entry / "index.json").read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None  # concurrently evicted or corrupt; not listable
+        if not isinstance(document, dict):
+            return None
+        return CacheEntryInfo(
+            path=entry,
+            fingerprint_prefix=entry.name.split("-", 1)[0],
+            spool_format=str(document.get("format", "text")),
+            block_size=document.get("block_size"),
+            size_bytes=size,
+            mtime=mtime,
+            attribute_count=len(document.get("attributes", [])),
+        )
+
+    def _touch(self, entry: Path) -> None:
+        """Refresh the entry's mtime — the LRU recency signal — on a hit."""
+        try:
+            os.utime(entry, (time.time(), time.time()))
+        except OSError:
+            pass  # entry concurrently evicted; the caller's spool stays valid
 
     def _destroy(self, entry: Path) -> None:
         """Take an entry offline atomically, then reclaim its space.

@@ -1,0 +1,222 @@
+"""Lifecycle tests of the persistent worker pool.
+
+Cross-validator agreement of the pool-backed engine lives in
+``tests/test_validator_agreement.py``; this file covers what only the pool
+can get wrong: surviving across jobs, dying workers, double shutdown, warm
+spool-handle reuse, and the work-stealing chunk plan it dispatches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import BruteForceValidator
+from repro.core.candidates import Candidate
+from repro.db.schema import AttributeRef
+from repro.errors import DiscoveryError
+from repro.parallel.engine import ProcessPoolValidationEngine
+from repro.parallel.planner import ShardPlanner
+from repro.parallel.pool import WorkerPool
+from repro.storage.sorted_sets import SpoolDirectory
+
+
+def _cand(dep: str, ref: str) -> Candidate:
+    return Candidate(AttributeRef("t", dep), AttributeRef("t", ref))
+
+
+@pytest.fixture()
+def spool(tmp_path) -> SpoolDirectory:
+    spool = SpoolDirectory.create(tmp_path / "spool", format="binary", block_size=4)
+    for name, count in (
+        ("a", 3), ("b", 9), ("c", 5), ("d", 7), ("e", 11), ("f", 2),
+    ):
+        ref = AttributeRef("t", name)
+        spool.add_values(ref, [f"{name}{i:03d}" for i in range(count)])
+    spool.save_index()
+    return spool
+
+
+@pytest.fixture()
+def candidates() -> list[Candidate]:
+    names = ["a", "b", "c", "d", "e", "f"]
+    return [_cand(d, r) for d in names for r in names if d != r]
+
+
+class TestPoolLifecycle:
+    def test_pool_survives_across_jobs_and_reuses_handles(
+        self, spool, candidates
+    ):
+        sequential = BruteForceValidator(spool).validate(candidates)
+        with WorkerPool(2) as pool:
+            engine = ProcessPoolValidationEngine(spool, workers=2, pool=pool)
+            first = engine.validate(candidates)
+            second = engine.validate(candidates)
+            assert first.decisions == sequential.decisions
+            assert second.decisions == sequential.decisions
+            assert first.stats.items_read == sequential.stats.items_read
+            assert second.stats.comparisons == sequential.stats.comparisons
+            assert pool.stats.jobs == 2
+            # The fleet was spawned once, not per job...
+            assert pool.stats.workers_spawned == 2
+            assert pool.stats.workers_replaced == 0
+            # ...and the second job found every spool handle warm.
+            assert pool.stats.spool_handle_reuses > 0
+            assert second.stats.extra["pool_warm"] == 1.0
+
+    def test_double_shutdown_is_noop_and_closed_pool_refuses_jobs(
+        self, spool, candidates
+    ):
+        pool = WorkerPool(2)
+        engine = ProcessPoolValidationEngine(spool, workers=2, pool=pool)
+        engine.validate(candidates)
+        pool.shutdown()
+        pool.shutdown()  # documented no-op
+        assert pool.closed
+        with pytest.raises(DiscoveryError, match="shut down"):
+            engine.validate(candidates)
+
+    def test_shutdown_before_first_job_is_safe(self):
+        pool = WorkerPool(3)
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.stats.workers_spawned == 0
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(DiscoveryError):
+            WorkerPool(0)
+
+    def test_worker_death_mid_chunk_requeues_and_agrees(
+        self, spool, candidates, tmp_path, monkeypatch
+    ):
+        """A worker killed mid-shard must not lose or corrupt decisions.
+
+        The fault hook makes exactly one worker ``os._exit`` the first time
+        it picks up a chunk touching the marked attribute; the parent must
+        requeue that chunk, replace the worker, and still produce the
+        sequential run's exact decisions and counters.
+        """
+        sequential = BruteForceValidator(spool).validate(candidates)
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t.e")
+        monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
+        with WorkerPool(2) as pool:
+            got = ProcessPoolValidationEngine(
+                spool, workers=2, pool=pool
+            ).validate(candidates)
+            assert got.decisions == sequential.decisions
+            assert got.satisfied == sequential.satisfied
+            assert got.stats.items_read == sequential.stats.items_read
+            assert got.stats.comparisons == sequential.stats.comparisons
+            assert pool.stats.tasks_requeued >= 1
+            assert pool.stats.workers_replaced >= 1
+        assert (tmp_path / "pool-fault-fired").exists()
+
+    def test_repeated_worker_deaths_fail_the_job_instead_of_hanging(
+        self, spool, candidates, monkeypatch
+    ):
+        """A chunk that reliably kills its worker must fail loudly.
+
+        No once-marker here: every worker that picks up a chunk touching
+        the marked attribute dies, which models a deterministic crasher
+        (OOM kill, native segfault).  The requeue cap must turn that into
+        a DiscoveryError after a few respawns — never an infinite
+        respawn-and-requeue loop.
+        """
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t.e")
+        with WorkerPool(2) as pool:
+            with pytest.raises(DiscoveryError, match="killed its worker"):
+                ProcessPoolValidationEngine(
+                    spool, workers=2, pool=pool
+                ).validate(candidates)
+            assert pool.stats.tasks_requeued >= 1
+
+    def test_validator_error_inside_worker_propagates(self, spool):
+        """A failing chunk (not a dying worker) raises, not hangs."""
+        missing = [_cand("a", "nosuch"), _cand("b", "a"), _cand("c", "a")]
+        with WorkerPool(2) as pool:
+            with pytest.raises(DiscoveryError, match="failed validating"):
+                pool.run_job(
+                    str(spool.root), [(c,) for c in missing], skip_scan=False
+                )
+            # The pool survives a failed job and serves the next one.
+            outcomes = pool.run_job(
+                str(spool.root), [(_cand("a", "b"),)], skip_scan=False
+            )
+            assert len(outcomes) == 1
+
+    def test_empty_job_returns_no_outcomes(self, spool):
+        with WorkerPool(2) as pool:
+            assert pool.run_job(str(spool.root), []) == []
+
+    def test_warm_handle_invalidated_when_spool_rewritten_in_place(
+        self, tmp_path
+    ):
+        """A re-export to the same path must not be served a stale index."""
+        from collections import OrderedDict
+
+        from repro.parallel.pool import _open_warm
+
+        root = tmp_path / "s"
+
+        def write(values):
+            spool = SpoolDirectory.create(root, format="binary", block_size=4)
+            spool.add_values(AttributeRef("t", "a"), values)
+            spool.save_index()
+
+        write(["a", "b"])
+        handles: OrderedDict = OrderedDict()
+        _, warm = _open_warm(handles, str(root))
+        assert not warm
+        _, warm = _open_warm(handles, str(root))
+        assert warm  # unchanged index => warm hit
+        write(["a", "b", "c"])  # same path, new content, new index mtime
+        spool, warm = _open_warm(handles, str(root))
+        assert not warm, "stale handle must be dropped after a rewrite"
+        assert spool.get(AttributeRef("t", "a")).count == 3
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_exactly_once_and_heaviest_first(
+        self, spool, candidates
+    ):
+        planner = ShardPlanner(spool)
+        chunks = planner.plan_chunks(candidates, workers=2)
+        seen = [c for chunk in chunks for c in chunk.candidates]
+        assert sorted(map(str, seen)) == sorted(map(str, candidates))
+        assert len(seen) == len(candidates)
+        # The heaviest candidate is queued first so it cannot become the
+        # tail of the job (chunk costs are not strictly monotone — the
+        # candidate cap can close a chunk early — but the front of the
+        # queue always carries the most expensive work).
+        heaviest = max(candidates, key=planner.candidate_cost)
+        assert heaviest in chunks[0].candidates
+
+    def test_chunk_size_caps_candidates_per_chunk(self, spool, candidates):
+        chunks = ShardPlanner(spool).plan_chunks(
+            candidates, workers=2, chunk_size=3
+        )
+        assert all(len(chunk.candidates) <= 3 for chunk in chunks)
+
+    def test_deterministic_for_same_inputs(self, spool, candidates):
+        planner = ShardPlanner(spool)
+        first = planner.plan_chunks(candidates, workers=3)
+        second = planner.plan_chunks(candidates, workers=3)
+        assert first == second
+
+    def test_single_chunk_preserves_sequential_order(self, spool, candidates):
+        chunks = ShardPlanner(spool).plan_chunks(
+            candidates, workers=1, chunk_size=len(candidates)
+        )
+        # Cost budgeting may still split; force one chunk to check ordering.
+        if len(chunks) == 1:
+            assert list(chunks[0].candidates) == candidates
+        for chunk in chunks:
+            positions = [candidates.index(c) for c in chunk.candidates]
+            assert positions == sorted(positions)
+
+    def test_rejects_bad_parameters(self, spool, candidates):
+        planner = ShardPlanner(spool)
+        with pytest.raises(DiscoveryError):
+            planner.plan_chunks(candidates, workers=0)
+        with pytest.raises(DiscoveryError):
+            planner.plan_chunks(candidates, workers=2, chunk_size=0)
+        assert planner.plan_chunks([], workers=2) == []

@@ -249,3 +249,127 @@ class TestDiscoverIndsReuse:
                 cache_dir=str(tmp_path / "cache"),
                 spool_dir=str(tmp_path / "spool"),
             ).validated()
+
+
+class TestLruEviction:
+    """The LRU-by-mtime eviction policy behind `repro-ind cache` and budgets."""
+
+    def _entries(self, cache, count):
+        """Publish `count` distinct-fingerprint entries, oldest first."""
+        import os
+        import time
+
+        infos = []
+        for i in range(count):
+            db = _db(rows=10 + i)
+            db.name = f"lru{i}"  # distinct catalog => distinct fingerprint
+            fingerprint = catalog_fingerprint(db.name, collect_column_stats(db))
+            spool, _ = export_database(db, str(cache.prepare(fingerprint)))
+            cache.publish(fingerprint, spool)
+            entry = cache.entry_path(fingerprint)
+            # Deterministic, well-spread recency regardless of clock tick.
+            stamp = time.time() - 1000 + i * 10
+            os.utime(entry, (stamp, stamp))
+            infos.append((fingerprint, entry))
+        return infos
+
+    def test_list_entries_reports_metadata_stalest_first(self, tmp_path):
+        cache = SpoolCache(tmp_path / "cache")
+        published = self._entries(cache, 3)
+        listed = cache.list_entries()
+        assert [info.path for info in listed] == [e for _, e in published]
+        for info in listed:
+            assert info.spool_format == "binary"
+            assert info.block_size is not None
+            assert info.size_bytes > 0
+            assert info.attribute_count == 2  # id + ref
+            assert any(fp.startswith(info.fingerprint_prefix)
+                       for fp, _ in published)
+        assert cache.total_bytes() == sum(i.size_bytes for i in listed)
+
+    def test_enforce_budget_evicts_stalest_first(self, tmp_path):
+        cache = SpoolCache(tmp_path / "cache")
+        published = self._entries(cache, 3)
+        sizes = {i.path: i.size_bytes for i in cache.list_entries()}
+        keep_two = sizes[published[1][1]] + sizes[published[2][1]]
+        evicted = cache.enforce_budget(max_bytes=keep_two)
+        assert [info.path for info in evicted] == [published[0][1]]
+        assert not published[0][1].exists()
+        assert published[1][1].exists() and published[2][1].exists()
+        assert cache.total_bytes() <= keep_two
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = SpoolCache(tmp_path / "cache")
+        published = self._entries(cache, 3)
+        oldest_fp = published[0][0]
+        assert cache.lookup(oldest_fp) is not None  # touch: now most recent
+        listed = cache.list_entries()
+        assert listed[-1].path == published[0][1], (
+            "a hit must move the entry to the most-recent end"
+        )
+        # Budget for one entry: the freshly hit one must be the survivor.
+        evicted = cache.enforce_budget(max_bytes=listed[-1].size_bytes)
+        assert published[0][1].exists()
+        assert {info.path for info in evicted} == {
+            published[1][1], published[2][1]
+        }
+
+    def test_publish_with_budget_never_evicts_its_own_entry(self, tmp_path):
+        cache = SpoolCache(tmp_path / "cache", max_bytes=1)  # absurdly small
+        db = _db()
+        fingerprint = _fingerprint(db)
+        spool, _ = export_database(db, str(cache.prepare(fingerprint)))
+        published = cache.publish(fingerprint, spool)
+        # Over budget, but the just-published entry is protected...
+        assert Path(published.root).exists()
+        assert cache.lookup(fingerprint) is not None
+        # ...while the next publish evicts it as the stalest unprotected one.
+        other = _db(rows=33)
+        other.name = "lru-other"
+        fp2 = catalog_fingerprint(other.name, collect_column_stats(other))
+        spool2, _ = export_database(other, str(cache.prepare(fp2)))
+        cache.publish(fp2, spool2)
+        assert cache.lookup(fingerprint) is None
+        assert cache.lookup(fp2) is not None
+
+    def test_eviction_racing_a_concurrent_hit_is_safe(self, tmp_path):
+        """A reader holding a cursor survives eviction of its entry."""
+        cache = SpoolCache(tmp_path / "cache")
+        db = _db(rows=50)
+        fingerprint = _fingerprint(db)
+        spool, _ = export_database(db, str(cache.prepare(fingerprint)))
+        cache.publish(fingerprint, spool)
+        hit = cache.lookup(fingerprint)
+        ref = hit.attributes()[0]
+        cursor = hit.open_cursor(ref)
+        first = cursor.read_batch(5)
+        assert len(first) == 5
+        # Eviction renames the entry aside before deleting, so the open
+        # file descriptor keeps working (POSIX) and a subsequent lookup
+        # is a clean miss, never a torn read.
+        assert cache.evict(fingerprint)
+        rest = cursor.read_batch(10_000)
+        assert len(first) + len(rest) == hit.get(ref).count
+        cursor.close()
+        assert cache.lookup(fingerprint) is None
+
+    def test_evict_prefix_accepts_the_full_fingerprint(self, tmp_path):
+        """The full 64-char digest (longer than the stored 32-char entry
+        prefix, and the natural thing to paste from logs) must match."""
+        cache = SpoolCache(tmp_path / "cache")
+        published = self._entries(cache, 1)
+        full = published[0][0]
+        assert len(full) == 64
+        assert [i.path for i in cache.evict_prefix(full)] == [published[0][1]]
+        assert cache.list_entries() == []
+
+    def test_evict_prefix_and_evict_all(self, tmp_path):
+        cache = SpoolCache(tmp_path / "cache")
+        published = self._entries(cache, 2)
+        prefix = published[0][0][:8]
+        evicted = cache.evict_prefix(prefix)
+        assert [info.path for info in evicted] == [published[0][1]]
+        with pytest.raises(Exception, match="empty prefix"):
+            cache.evict_prefix("")
+        assert [i.path for i in cache.evict_all()] == [published[1][1]]
+        assert cache.list_entries() == []

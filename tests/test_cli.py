@@ -136,3 +136,152 @@ class TestPipeline:
             ["pipeline", str(biosql_dump), "--no-surrogate-filter"]
         ) == 0
         assert "surrogate filter" not in capsys.readouterr().out
+
+
+class TestHelpText:
+    """The PR 2 flags must state their defaults and interactions (self-doc)."""
+
+    def _discover_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["discover", "--help"])
+        # argparse wraps help text at terminal width; normalise so the
+        # assertions are about content, not line breaks.
+        return " ".join(capsys.readouterr().out.split())
+
+    def test_validation_workers_help_states_default_and_scope(self, capsys):
+        out = self._discover_help(capsys)
+        assert "--validation-workers" in out
+        assert "1 (the default)" in out
+        assert "brute-force and merge-single-pass" in out
+
+    def test_reuse_spool_and_cache_dir_help_state_interaction(self, capsys):
+        out = self._discover_help(capsys)
+        assert "default: off" in out
+        assert "only consulted with --reuse-spool" in out
+        assert "repro-ind/spools" in out  # the actual default path is shown
+
+    def test_serve_and_cache_are_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "cache" in out
+
+
+class TestServe:
+    def _serve(self, monkeypatch, capsys, lines, *extra_args):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        code = main(["serve", *extra_args])
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        return code, responses, captured.err
+
+    def test_two_requests_share_one_session(
+        self, biosql_dump, tmp_path, monkeypatch, capsys
+    ):
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        code, responses, err = self._serve(
+            monkeypatch,
+            capsys,
+            [request, request],
+            "--validation-workers", "2",
+            "--reuse-spool", "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert len(responses) == 2
+        assert responses[0]["satisfied"] == responses[1]["satisfied"]
+        assert responses[0]["satisfied_count"] > 0
+        assert not responses[0]["spool_cache_hit"]
+        assert responses[1]["spool_cache_hit"]
+        assert "pool:" in err and "requests=2" in err
+        reuses = int(err.split("spool-handle-reuses=")[1].split()[0])
+        assert reuses > 0, "second request must find warm spool handles"
+
+    def test_bad_request_answers_error_and_keeps_serving(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            "not json\n",
+            json.dumps({"no_directory": True}) + "\n",
+            json.dumps({"directory": str(biosql_dump)}) + "\n",
+        ]
+        code, responses, err = self._serve(monkeypatch, capsys, lines)
+        assert code == 0
+        assert "error" in responses[0]
+        assert "error" in responses[1]
+        assert responses[2]["satisfied_count"] > 0
+
+    def test_request_can_override_strategy(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            json.dumps(
+                {"directory": str(biosql_dump), "strategy": "merge-single-pass"}
+            )
+            + "\n",
+        ]
+        code, responses, _ = self._serve(monkeypatch, capsys, lines)
+        assert code == 0
+        assert responses[0]["strategy"] == "merge-single-pass"
+
+    def test_quit_stops_the_loop(self, biosql_dump, monkeypatch, capsys):
+        lines = ["quit\n", json.dumps({"directory": str(biosql_dump)}) + "\n"]
+        code, responses, _ = self._serve(monkeypatch, capsys, lines)
+        assert code == 0
+        assert responses == []
+
+
+class TestCacheCommand:
+    def _warm_cache(self, dump, cache_dir):
+        assert main([
+            "discover", str(dump), "--strategy", "brute-force",
+            "--reuse-spool", "--cache-dir", str(cache_dir),
+        ]) == 0
+
+    def test_list_shows_entries_then_evict_all_empties(
+        self, biosql_dump, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        self._warm_cache(biosql_dump, cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "binary" in out
+        assert "total: 1 entries" in out
+        assert "eviction order" in out
+        assert main(
+            ["cache", "evict", "--cache-dir", str(cache_dir), "--all"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 entries" in out
+        assert main(["cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_evict_by_budget_and_fingerprint(
+        self, biosql_dump, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        self._warm_cache(biosql_dump, cache_dir)
+        capsys.readouterr()
+        assert main([
+            "cache", "evict", "--cache-dir", str(cache_dir),
+            "--max-bytes", "1000000000",
+        ]) == 0
+        assert "evicted 0 entries" in capsys.readouterr().out
+        assert main(["cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        fingerprint = capsys.readouterr().out.splitlines()[1].split()[0]
+        assert main([
+            "cache", "evict", "--cache-dir", str(cache_dir),
+            "--fingerprint", fingerprint[:10],
+        ]) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+
+    def test_evict_requires_exactly_one_selector(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "evict", "--cache-dir", str(tmp_path)])

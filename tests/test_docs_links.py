@@ -1,0 +1,67 @@
+"""Intra-repo link integrity of the markdown documentation.
+
+Every relative link in ``docs/*.md`` and the repo-level markdown files must
+resolve to a file that exists — a broken link in the architecture map is a
+documentation bug, and CI runs this module as its docs job.  External links
+(http/https/mailto) and pure in-page anchors are out of scope: checking them
+needs the network or a markdown-to-anchor renderer, neither of which belongs
+in a hermetic test.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — good enough for the plain links these docs use
+#: (no reference-style links, no angle-bracket autolinks in scope).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        REPO_ROOT.glob("docs/**/*.md")
+    )
+    assert files, "no markdown files found — wrong repo root?"
+    return files
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "md_file", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(md_file: Path):
+    broken = []
+    for target in _links(md_file):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]  # drop any anchor suffix
+        if not relative:
+            continue
+        resolved = (md_file.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{md_file.relative_to(REPO_ROOT)} has broken intra-repo links: "
+        f"{broken}"
+    )
+
+
+def test_docs_index_mentions_every_docs_file():
+    """docs/README.md is the index; a doc it does not link is undiscoverable."""
+    index = REPO_ROOT / "docs" / "README.md"
+    assert index.exists(), "docs/README.md index is missing"
+    text = index.read_text(encoding="utf-8")
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if doc.name == "README.md":
+            continue
+        assert doc.name in text, f"docs/README.md does not link {doc.name}"

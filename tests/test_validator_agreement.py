@@ -208,6 +208,46 @@ class TestParallelAgreement:
                     assert got.stats.items_read == expected.stats.items_read
                     assert got.stats.comparisons == expected.stats.comparisons
 
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_warm_pool_replays_sequential_across_jobs(self, workers, tmp_path):
+        """One persistent pool serving many spools/jobs never drifts.
+
+        The work-stealing dispatch makes chunk-to-worker placement
+        nondeterministic, and warm spool handles mean later jobs run on
+        state cached from earlier ones — exactly the two things that could
+        make a long-lived service diverge from one-shot runs.  Decisions
+        and summed counters must still match the sequential validator for
+        every seed, with all seeds flowing through the *same* pool.
+        """
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(workers) as pool:
+            jobs = 0
+            for seed in (1, 3, 5):
+                db = build_random_db(seed)
+                _, candidates = _candidates(db)
+                if not candidates:
+                    continue
+                spool, _ = export_database(
+                    db, str(tmp_path / f"spool{seed}"), block_size=3
+                )
+                sequential = BruteForceValidator(spool).validate(candidates)
+                engine = ProcessPoolValidationEngine(
+                    spool, workers=workers, pool=pool
+                )
+                for _ in range(2):  # second pass runs on warm handles
+                    got = engine.validate(candidates)
+                    assert _decision_key(got.decisions) == _decision_key(
+                        sequential.decisions
+                    ), f"warm pool diverges (seed {seed}, {workers} workers)"
+                    assert got.satisfied == sequential.satisfied
+                    assert got.stats.items_read == sequential.stats.items_read
+                    assert got.stats.comparisons == sequential.stats.comparisons
+                    jobs += 1
+            assert pool.stats.jobs == jobs
+            assert pool.stats.workers_spawned == workers
+            assert pool.stats.spool_handle_reuses > 0
+
     @pytest.mark.parametrize("seed", (1, 5))
     def test_discover_inds_parallel_equals_sequential(self, seed):
         db = build_random_db(seed)
