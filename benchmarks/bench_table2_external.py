@@ -23,6 +23,7 @@ import pytest
 from repro._util import Stopwatch
 from repro.bench.harness import (
     RESULT_HEADERS,
+    run_merge_pool_curve,
     run_parallel_curve,
     run_pool_repeat_curve,
     run_strategy,
@@ -383,6 +384,119 @@ def test_table2_pool_repeated_runs(workloads, report):
             f"warm pool ({seconds(totals['warm'])}) must beat the cold "
             f"per-call pool ({seconds(totals['cold'])}) over {runs} repeated "
             "runs on a 4+ core machine"
+        )
+
+
+def test_table2_merge_pool_repeated_runs(workloads, report):
+    """Pool-backed merge acceptance: per-call executor vs warm shared pool.
+
+    The partitioned merge used to fork a throwaway executor inside every
+    call; it now dispatches ``merge-partition`` tasks through the same
+    :class:`~repro.parallel.pool.WorkerPool` as brute force.  This
+    experiment runs ``discover_inds`` with ``strategy=merge-single-pass``
+    five times per leg on the BioSQL workload and emits
+    ``BENCH_merge_pool.json``: ``sequential`` (one in-process heap merge),
+    ``cold`` (a fresh pool built and drained per call — the old per-call
+    cost model) and ``warm`` (one ``DiscoverySession`` pool across all five
+    runs).
+
+    Asserted unconditionally: identical satisfied sets on every leg and
+    run, **identical ``items_read``** on every leg (the component-planned
+    merge preserves the sequential pass's I/O exactly — the property the
+    byte-range split could never offer), warm runs on the borrowed pool,
+    nonzero warm spool-handle reuse, and a single fleet spawn.  *Warm beats
+    cold* is asserted only on 4+ core machines, where the pool is a
+    sensible configuration at all.
+    """
+    dataset = workloads.biosql()
+    runs, workers = 5, 4
+    # The service configuration end to end: reuse_spool keeps the spool
+    # *path* stable across runs, which is what lets workers serve a later
+    # run's merge partition from the handle an earlier run warmed (a merge
+    # plan is often a single group, so reuse here is cross-run, not
+    # cross-chunk as in the brute-force curve).
+    with tempfile.TemporaryDirectory(prefix="repro-mergepool-") as cache_dir:
+        curves, pool_stats = run_merge_pool_curve(
+            "UniProt(BioSQL)",
+            dataset.db,
+            runs=runs,
+            workers=workers,
+            reuse_spool=True,
+            cache_dir=cache_dir,
+        )
+    reference = {str(i) for i in curves["sequential"][0].result.satisfied}
+    reference_items = curves["sequential"][0].result.validator_stats.items_read
+    for mode, outcomes in curves.items():
+        for outcome in outcomes:
+            assert {
+                str(i) for i in outcome.result.satisfied
+            } == reference, f"{mode} leg diverges from the sequential run"
+            assert (
+                outcome.result.validator_stats.items_read == reference_items
+            ), f"{mode} leg reads a different number of items"
+    for outcome in curves["warm"]:
+        assert outcome.result.validator_stats.extra.get("pool_warm") == 1.0
+        assert outcome.result.pool_stats["tasks_by_kind"].keys() == {
+            "merge-partition"
+        }
+    for outcome in curves["cold"]:
+        assert outcome.result.validator_stats.extra.get("pool_warm") == 0.0
+    assert pool_stats.get("spool_handle_reuses", 0) > 0, (
+        "warm pool never reused a spool handle across merge partitions"
+    )
+    assert pool_stats.get("workers_spawned") == workers, (
+        "warm leg must spawn its fleet exactly once"
+    )
+    totals = {
+        mode: sum(o.validate_seconds for o in outcomes)
+        for mode, outcomes in curves.items()
+    }
+    warm_vs_cold = (
+        totals["cold"] / totals["warm"] if totals["warm"] else float("inf")
+    )
+    doc = {
+        "dataset": "UniProt(BioSQL)",
+        "strategy": "merge-single-pass",
+        "runs": runs,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "validate_seconds": {
+            mode: [round(o.validate_seconds, 6) for o in outcomes]
+            for mode, outcomes in curves.items()
+        },
+        "totals": {mode: round(t, 6) for mode, t in totals.items()},
+        "warm_vs_cold_speedup": round(warm_vs_cold, 3),
+        "items_read": reference_items,
+        "pool": pool_stats,
+        "satisfied": len(reference),
+    }
+    with open("BENCH_merge_pool.json", "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+    report(
+        paper_vs_measured(
+            f"Pool-backed merge / {runs} repeated runs on BioSQL",
+            [
+                ("validate total (sequential)", "-", seconds(totals["sequential"])),
+                ("validate total (cold pool)", "-", seconds(totals["cold"])),
+                ("validate total (warm pool)", "-", seconds(totals["warm"])),
+                ("warm vs cold", "> 1x on 4+ cores", f"{warm_vs_cold:.2f}x"),
+                ("items read (every leg)", "identical", f"{reference_items:,}"),
+                (
+                    "spool handle reuses",
+                    "> 0",
+                    f"{pool_stats.get('spool_handle_reuses', 0):,}",
+                ),
+            ],
+            note="merge groups follow candidate-graph components, so the "
+            "parallel merge replays the sequential pass's I/O exactly; "
+            "the warm pool pays worker startup once, the cold pool per call",
+        )
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert totals["warm"] < totals["cold"], (
+            f"warm pool ({seconds(totals['warm'])}) must beat the cold "
+            f"per-call pool ({seconds(totals['cold'])}) over {runs} repeated "
+            "merge runs on a 4+ core machine"
         )
 
 

@@ -125,7 +125,7 @@ def run_pool_repeat_curve(
     workers: int = 4,
     runs: int = 5,
     **config_kwargs,
-) -> tuple[dict[str, list[StrategyOutcome]], dict[str, int]]:
+) -> tuple[dict[str, list[StrategyOutcome]], dict[str, object]]:
     """Repeated discovery runs: sequential vs cold per-call pool vs warm pool.
 
     The repeated-run shape is what a discovery *service* sees, and it is
@@ -172,3 +172,33 @@ def run_pool_repeat_curve(
             )
         stats = session.pool_stats
     return curves, (stats.as_dict() if stats is not None else {})
+
+
+def run_merge_pool_curve(
+    dataset_name: str,
+    db: Database,
+    workers: int = 4,
+    runs: int = 5,
+    **config_kwargs,
+) -> tuple[dict[str, list[StrategyOutcome]], dict[str, object]]:
+    """The repeated-run curve for the *pool-backed partitioned merge*.
+
+    Same three legs as :func:`run_pool_repeat_curve` — ``sequential`` (one
+    in-process heap merge), ``cold`` (a fresh :class:`~repro.parallel.pool.WorkerPool`
+    built and drained inside every call, the per-call-executor shape the
+    merge validator had before it joined the shared pool) and ``warm`` (one
+    :class:`~repro.core.runner.DiscoverySession` pool reused across all
+    ``runs``) — but with ``strategy="merge-single-pass"``, so every
+    parallel run dispatches ``merge-partition`` tasks.  Because the merge
+    plan cuts along candidate-graph components, every leg's decisions *and*
+    ``items_read`` are expected byte-identical; ``BENCH_merge_pool.json``
+    records the timings and the warm pool's counters.
+    """
+    return run_pool_repeat_curve(
+        dataset_name,
+        db,
+        strategy="merge-single-pass",
+        workers=workers,
+        runs=runs,
+        **config_kwargs,
+    )

@@ -6,7 +6,9 @@ Subcommands:
 * ``profile``  — per-column statistics of a CSV directory;
 * ``discover`` — run IND discovery with any strategy, optionally dumping JSON;
 * ``serve``    — long-lived session: JSON-lines requests on stdin, one warm
-  worker pool across all of them, results as JSON lines on stdout;
+  worker pool multiplexed across all of them (up to ``--max-inflight``
+  concurrently), id-tagged results as JSON lines on stdout, clean drain on
+  SIGINT/SIGTERM;
 * ``cache``    — list or evict entries of the content-addressed spool cache;
 * ``accession`` — list accession-number candidates (strict or softened);
 * ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps.
@@ -20,8 +22,12 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
+import signal
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro._util import format_count, format_duration
 from repro.core.candidates import PretestConfig
@@ -162,12 +168,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="session mode: JSON-lines requests on stdin, one warm worker "
         "pool reused across all of them",
         description="Read requests as JSON lines from stdin — at minimum "
-        '{"directory": "<csv dump>"}, optionally {"strategy": ...} — and '
-        "answer each with one JSON result line on stdout.  The validation "
-        "worker pool is created once and reused by every request, and is "
-        "drained when stdin closes; pool statistics go to stderr on "
-        "shutdown.  Combine with --reuse-spool to also skip re-exporting "
-        "unchanged databases.",
+        '{"directory": "<csv dump>"}, optionally {"strategy": ...} and a '
+        'client-chosen {"id": ...} — and answer each with one JSON result '
+        'line on stdout, tagged with the request id ("line-<n>" for input '
+        "line n when the request names none — namespaced apart from bare "
+        "integer ids; clients choosing their own ids should keep them "
+        "unique).  Requests run off the "
+        "reading thread, up to --max-inflight at a time, all multiplexed "
+        "over one warm validation worker pool; responses are emitted in "
+        "completion order, so overlapping requests rely on the id to "
+        "match them up.  SIGINT/SIGTERM stop intake, drain the in-flight "
+        "requests, and shut the pool down cleanly.  Pool statistics go to "
+        "stderr on shutdown.  Combine with --reuse-spool to also skip "
+        "re-exporting unchanged databases.",
     )
     serve.add_argument(
         "--strategy",
@@ -175,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="brute-force",
         help="default strategy for requests that do not name one "
         "(default: brute-force — the strategy the warm pool accelerates)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1,
+        metavar="N",
+        help="answer up to N requests concurrently over the shared pool "
+        "(default: 1 — responses then keep request order; above 1 they "
+        "arrive in completion order, matched by id)",
     )
     _add_validation_flags(serve)
 
@@ -320,44 +342,188 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stdin_lines():
+    """Yield stdin lines without holding Python buffer locks while blocked.
+
+    ``for line in sys.stdin`` blocks *inside* the text wrapper's lock.  That
+    is fatal for concurrent serve: request threads fork pool workers, each
+    forked child's ``multiprocessing`` bootstrap closes its inherited
+    ``sys.stdin`` — which needs that same (forked-while-held, never to be
+    released) lock — and the child deadlocks before reaching its worker
+    loop.  Reading the raw file descriptor with ``os.read`` keeps the
+    blocked state lock-free, so forks started by other threads are safe.
+    Falls back to plain iteration when stdin has no file descriptor (tests
+    and embedded callers substitute ``io.StringIO``, and they also run
+    single-shot pools from the main thread, where the lock is moot).
+    """
+    try:
+        fd = sys.stdin.fileno()
+    except (AttributeError, OSError, ValueError):
+        yield from sys.stdin
+        return
+    pending = b""
+    while True:
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            if pending:
+                yield pending.decode("utf-8", errors="replace")
+            return
+        pending += chunk
+        while b"\n" in pending:
+            line, pending = pending.split(b"\n", 1)
+            yield line.decode("utf-8", errors="replace")
+
+
+class _ServeDrain(Exception):
+    """Raised by the serve signal handler to unwind into the drain path."""
+
+    def __init__(self, signum: int) -> None:
+        """Remember which signal asked for the drain."""
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _serve_signal_handlers() -> dict[int, object]:
+    """Install SIGINT/SIGTERM → :class:`_ServeDrain`; return the old handlers.
+
+    Either signal stops request intake and lets the in-flight jobs finish
+    instead of dying mid-job with orphaned worker processes.  The previous
+    handlers are restored before the drain, so a *second* signal falls
+    through to the default behaviour — the operator's escape hatch when a
+    drain hangs.  Installing is skipped quietly off the main thread, where
+    CPython forbids it.
+    """
+    previous: dict[int, object] = {}
+
+    def handler(signum, frame):
+        raise _ServeDrain(signum)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except ValueError:  # not the main thread (embedded callers)
+            pass
+    return previous
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Session mode: serve JSON-line discovery requests over one warm pool."""
+    """Session mode: serve JSON-line discovery requests over one warm pool.
+
+    The stdin loop only reads and parses; every request executes on an
+    executor thread (at most ``--max-inflight`` at a time), all sharing the
+    session's one warm :class:`~repro.parallel.pool.WorkerPool`.  Responses
+    are written as they complete, tagged with the request id, under a lock
+    so concurrent completions never interleave bytes.
+    """
+    if args.max_inflight < 1:
+        raise ReproError(
+            f"--max-inflight must be >= 1, got {args.max_inflight}"
+        )
     base = DiscoveryConfig(**_validation_config_kwargs(args))
-    served = 0
-    with DiscoverySession(base) as session:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            if line.lower() in ("quit", "exit"):
-                break
-            try:
-                response = _serve_one(session, line)
-            except ReproError as exc:
-                response = {"error": str(exc)}
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                response = {"error": f"bad request: {exc}"}
-            else:
-                served += 1
+    counters = {"served": 0, "errors": 0}
+    counters_lock = threading.Lock()
+    write_lock = threading.Lock()
+
+    def emit(response: dict) -> None:
+        with write_lock:
             print(json.dumps(response), flush=True)
+
+    def run_request(request_id, request: dict) -> None:
+        try:
+            response = _serve_one(session, request)
+            response["id"] = request_id
+            with counters_lock:
+                counters["served"] += 1
+        except ReproError as exc:
+            response = {"id": request_id, "error": str(exc)}
+            with counters_lock:
+                counters["errors"] += 1
+        except Exception as exc:  # never die silently on an executor thread
+            response = {"id": request_id, "error": f"internal error: {exc!r}"}
+            with counters_lock:
+                counters["errors"] += 1
+        emit(response)
+
+    drained_by: int | None = None
+    previous_handlers = _serve_signal_handlers()
+    with DiscoverySession(base) as session:
+        executor = ThreadPoolExecutor(
+            max_workers=args.max_inflight, thread_name_prefix="serve"
+        )
+        gate = threading.BoundedSemaphore(args.max_inflight)
+
+        def run_gated(request_id, request: dict) -> None:
+            try:
+                run_request(request_id, request)
+            finally:
+                gate.release()
+
+        try:
+            for ordinal, line in enumerate(_stdin_lines(), start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.lower() in ("quit", "exit"):
+                    break
+                # The fallback id is namespaced ("line-3", never bare 3) so
+                # it cannot collide with a client-chosen integer id; clients
+                # that pick their own ids own their uniqueness.
+                try:
+                    request = _parse_request(line)
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    with counters_lock:
+                        counters["errors"] += 1
+                    emit({"id": f"line-{ordinal}", "error": f"bad request: {exc}"})
+                    continue
+                request_id = request.get("id", f"line-{ordinal}")
+                gate.acquire()  # bound in-flight work; backpressure on stdin
+                executor.submit(run_gated, request_id, request)
+        except _ServeDrain as drain:
+            drained_by = drain.signum
+        finally:
+            # Restore handlers first: a second signal during the drain gets
+            # the default (fatal) behaviour instead of another drain.
+            for signum, old in previous_handlers.items():
+                signal.signal(signum, old)
+            executor.shutdown(wait=True)
         stats = session.pool_stats
         fields = stats.as_dict() if stats is not None else {}
+        rendered = " ".join(
+            f"{key.replace('_', '-')}={_render_stat(value)}"
+            for key, value in fields.items()
+        )
+        drain_note = (
+            f" drained-on-signal={signal.Signals(drained_by).name}"
+            if drained_by is not None
+            else ""
+        )
         print(
-            f"pool: workers={args.validation_workers} requests={served} "
-            + " ".join(
-                f"{key.replace('_', '-')}={value}"
-                for key, value in fields.items()
-            ),
+            f"pool: workers={args.validation_workers} "
+            f"max-inflight={args.max_inflight} "
+            f"requests={counters['served']} errors={counters['errors']}"
+            f"{drain_note} {rendered}".rstrip(),
             file=sys.stderr,
         )
     return 0
 
 
-def _serve_one(session: DiscoverySession, line: str) -> dict:
-    """Answer one serve request line; raises on malformed input."""
+def _render_stat(value: object) -> str:
+    """One pool-stats value for the stderr line (dicts flatten to k:v,...)."""
+    if isinstance(value, dict):
+        return ",".join(f"{k}:{v}" for k, v in value.items()) or "-"
+    return str(value)
+
+
+def _parse_request(line: str) -> dict:
+    """Parse one serve request line; raises on malformed input."""
     request = json.loads(line)
     if not isinstance(request, dict) or "directory" not in request:
         raise KeyError("request must be a JSON object with a 'directory' key")
+    return request
+
+
+def _serve_one(session: DiscoverySession, request: dict) -> dict:
+    """Answer one parsed serve request (runs on an executor thread)."""
     overrides = {
         key: request[key]
         for key in ("strategy", "candidate_mode", "validation_workers")
@@ -381,6 +547,7 @@ def _serve_one(session: DiscoverySession, line: str) -> dict:
         ),
         "spool_cache_hit": result.spool_cache_hit,
         "validation_workers": result.validation_workers,
+        "pool": result.pool_stats,
         "seconds": round(time.monotonic() - started, 6),
     }
 

@@ -56,6 +56,9 @@ class DiscoveryResult:
     export_values_written: int = 0
     spool_cache_hit: bool = False  # export skipped: cached spool reused
     validation_workers: int = 1
+    #: Per-job worker-pool counters (tasks run, requeues, warm spool-handle
+    #: hits, tasks by kind) when validation ran on a pool; ``None`` otherwise.
+    pool_stats: dict | None = None
 
     @property
     def satisfied_count(self) -> int:
@@ -110,4 +113,5 @@ class DiscoveryResult:
             "export_values_written": self.export_values_written,
             "spool_cache_hit": self.spool_cache_hit,
             "validation_workers": self.validation_workers,
+            "pool": self.pool_stats,
         }

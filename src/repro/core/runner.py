@@ -27,6 +27,7 @@ processes, warm spool handles) and pairs naturally with
 from __future__ import annotations
 
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -216,11 +217,13 @@ def discover_inds(
     the config — see :class:`DiscoveryConfig` for the per-flag breakdown.
 
     ``pool`` lends a persistent :class:`~repro.parallel.pool.WorkerPool` to
-    the parallel brute-force engine (``strategy="brute-force"`` with
-    ``validation_workers > 1``); the pool is borrowed, never shut down here.
-    Without it, parallel validation builds and drains a per-call pool.
-    :class:`DiscoverySession` manages the pool so callers rarely pass it
-    directly.
+    the parallel validation engines (``strategy`` in
+    :data:`PARALLEL_STRATEGIES` with ``validation_workers > 1`` — brute
+    force dispatches candidate chunks, merge-single-pass dispatches merge
+    partitions, both as typed pool tasks); the pool is borrowed, never shut
+    down here.  Without it, parallel validation builds and drains a
+    per-call pool.  :class:`DiscoverySession` manages the pool so callers
+    rarely pass it directly.
     """
     cfg = (config or DiscoveryConfig()).validated()
     timings = PhaseTimings()
@@ -302,6 +305,7 @@ def discover_inds(
         export_values_written=export_written,
         spool_cache_hit=spool_cache_hit,
         validation_workers=cfg.validation_workers,
+        pool_stats=validation.pool,
     )
 
 
@@ -393,7 +397,7 @@ def _build_validator(db, cfg, spool, column_stats, pool=None):
             from repro.parallel.merge import PartitionedMergeValidator
 
             return PartitionedMergeValidator(
-                spool, workers=cfg.validation_workers
+                spool, workers=cfg.validation_workers, pool=pool
             )
         return MergeSinglePassValidator(spool)
     if cfg.strategy == "blockwise":
@@ -463,29 +467,31 @@ class DiscoverySession:
     A plain :func:`discover_inds` call with ``validation_workers > 1`` pays
     pool startup on every invocation.  A session creates the
     :class:`~repro.parallel.pool.WorkerPool` once — lazily, on the first
-    parallel brute-force run — and lends it to every subsequent
-    :meth:`discover`, so repeated runs validate on warm worker processes
-    holding warm spool handles.  ``repro-ind serve`` is a thin loop over
-    this class; benchmarks use it for the warm leg of the repeated-run
-    curve.
+    parallel run — and lends it to every subsequent :meth:`discover`, so
+    repeated runs validate on warm worker processes holding warm spool
+    handles.  ``repro-ind serve`` is a thin loop over this class;
+    benchmarks use it for the warm legs of the repeated-run curves.
 
     The session owns the pool: :meth:`close` (or leaving the ``with``
-    block) drains it, and closing twice is a no-op.  Sessions are not
-    thread-safe — one request at a time, which is also what the pool's
-    dispatch loop assumes.
+    block) drains it, and closing twice is a no-op.  :meth:`discover` is
+    thread-safe: concurrent calls multiplex their validation jobs over the
+    one shared pool (``repro-ind serve --max-inflight`` relies on exactly
+    this), each request getting its own deterministic result.
 
     Config flags that matter here: ``validation_workers`` sizes the pool
     (and a value of 1 means no pool is ever created); ``strategy`` must be
-    ``"brute-force"`` for the pool to engage (other strategies run exactly
-    as in :func:`discover_inds`); ``reuse_spool``/``cache_dir`` pair well
-    with a session because a cache hit keeps the spool *path* stable across
-    runs, which is what lets workers reuse their handles.
+    a parallel one (``"brute-force"`` or ``"merge-single-pass"``) for the
+    pool to engage — other strategies run exactly as in
+    :func:`discover_inds`; ``reuse_spool``/``cache_dir`` pair well with a
+    session because a cache hit keeps the spool *path* stable across runs,
+    which is what lets workers reuse their handles.
     """
 
     def __init__(self, config: DiscoveryConfig | None = None) -> None:
         """Create an idle session around ``config`` (the per-run default)."""
         self.config = (config or DiscoveryConfig()).validated()
         self._pool: "WorkerPool | None" = None
+        self._pool_lock = threading.Lock()
         self._closed = False
 
     def __enter__(self) -> "DiscoverySession":
@@ -507,10 +513,11 @@ class DiscoverySession:
         """Run one discovery over ``db``, reusing the session's warm pool.
 
         ``config`` overrides the session default for this run only; the
-        pool is created by the first parallel brute-force run, sized by
-        that run's ``validation_workers``, and never resized afterwards —
-        resizing a live fleet would defeat the warm handles the session
-        exists to preserve.
+        pool is created by the first parallel run (brute-force or
+        merge-single-pass), sized by that run's ``validation_workers``, and
+        never resized afterwards — resizing a live fleet would defeat the
+        warm handles the session exists to preserve.  Safe to call from
+        several threads at once; concurrent runs share the pool.
         """
         if self._closed:
             raise DiscoveryError("discovery session is closed")
@@ -518,14 +525,22 @@ class DiscoverySession:
         return discover_inds(db, cfg, pool=self._pool_for(cfg))
 
     def _pool_for(self, cfg: DiscoveryConfig) -> "WorkerPool | None":
-        """Lazily create the shared pool when this run can use one."""
-        if cfg.strategy != "brute-force" or cfg.validation_workers <= 1:
-            return None
-        if self._pool is None:
-            from repro.parallel.pool import WorkerPool
+        """Lazily create the shared pool when this run can use one.
 
-            self._pool = WorkerPool(cfg.validation_workers)
-        return self._pool
+        Creation is lock-protected so concurrent first requests cannot
+        race two fleets into existence (one would leak its processes).
+        """
+        if (
+            cfg.strategy not in PARALLEL_STRATEGIES
+            or cfg.validation_workers <= 1
+        ):
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                from repro.parallel.pool import WorkerPool
+
+                self._pool = WorkerPool(cfg.validation_workers)
+            return self._pool
 
     def close(self) -> None:
         """Drain the worker pool; idempotent, like the pool's own shutdown."""

@@ -55,6 +55,10 @@ class ValidationResult:
     #: Candidates decided without touching their data (empty dependent side).
     #: Parallel shard merging needs this per candidate, not just the count.
     vacuous: set[Candidate] = field(default_factory=set)
+    #: Per-job :class:`repro.parallel.pool.PoolStats` snapshot (as a plain
+    #: dict) when a worker pool ran this validation; ``None`` for
+    #: sequential and SQL validators.
+    pool: dict[str, object] | None = None
 
     @property
     def satisfied_inds(self) -> list[IND]:

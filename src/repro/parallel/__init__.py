@@ -1,25 +1,32 @@
 """Parallel validation engines over a shared read-only spool directory.
 
 Candidate validation dominates discovery cost and parallelises along two
-different axes, both implemented here:
+different axes, both dispatched through one shared task substrate:
 
 ===================  =====================================================
+``tasks``            The typed task model: :class:`TaskSpec` /
+                     :class:`PoolTask`, the task-kind registry
+                     (:func:`register_task_kind`), and the two built-in
+                     kinds — brute-force chunks and merge partitions.
 ``planner``          :class:`ShardPlanner` — cost-balanced partitions of
                      the candidate set, sized by spool value counts: whole
-                     shards (LPT) or small work-stealing chunks.
+                     shards (LPT), small work-stealing chunks, or merge
+                     groups cut along candidate-graph components.
 ``pool``             :class:`WorkerPool` — persistent worker processes
-                     behind one shared chunked task queue; survives across
-                     ``validate()`` and ``discover_inds`` calls, requeues
-                     the chunks of dead workers, keeps spool handles warm.
+                     behind one shared task queue; survives across
+                     ``validate()`` and ``discover_inds`` calls, runs any
+                     registered task kind, serves concurrent jobs from
+                     multiple caller threads, requeues the tasks of dead
+                     workers, keeps spool handles warm across kinds.
 ``engine``           :class:`ProcessPoolValidationEngine` — brute-force
                      chunks dispatched through a pool (per-call or
                      persistent); decisions and summed I/O identical to
                      the sequential validator.
 ``merge``            :class:`PartitionedMergeValidator` — the heap merge
-                     split by first-value-byte ranges; each worker runs a
-                     complete merge over its contiguous slice of every
-                     sorted file and the parent unions the partial
-                     refutations.
+                     split along candidate-graph components (decisions
+                     *and* I/O counters identical to the sequential pass)
+                     with first-byte ranges as an explicit escape hatch,
+                     dispatched through the same pool.
 ===================  =====================================================
 
 Workers always re-open the spool by path (``index.json`` describes every
@@ -30,31 +37,50 @@ file), never inherit handles — see the picklability contract on
 from repro.parallel.engine import ProcessPoolValidationEngine
 from repro.parallel.merge import (
     ByteRangeCursor,
+    PartitionSpoolView,
     PartitionedMergeValidator,
     boundary_string,
     first_byte,
+    make_partition_view,
     partition_bounds,
 )
-from repro.parallel.planner import Chunk, Shard, ShardPlanner
-from repro.parallel.pool import (
-    PoolStats,
+from repro.parallel.planner import Chunk, MergeGroup, Shard, ShardPlanner
+from repro.parallel.pool import JobResult, PoolStats, WorkerPool
+from repro.parallel.tasks import (
+    KIND_BRUTE_FORCE,
+    KIND_MERGE_PARTITION,
+    PoolTask,
     ShardOutcome,
-    WorkerPool,
+    TaskSpec,
     merge_shard_outcomes,
+    register_task_kind,
+    resolve_task_kind,
+    task_kinds,
 )
 
 __all__ = [
     "ByteRangeCursor",
     "Chunk",
+    "JobResult",
+    "KIND_BRUTE_FORCE",
+    "KIND_MERGE_PARTITION",
+    "MergeGroup",
+    "PartitionSpoolView",
     "PartitionedMergeValidator",
     "PoolStats",
+    "PoolTask",
     "ProcessPoolValidationEngine",
     "Shard",
     "ShardOutcome",
     "ShardPlanner",
+    "TaskSpec",
     "WorkerPool",
     "boundary_string",
     "first_byte",
+    "make_partition_view",
     "merge_shard_outcomes",
     "partition_bounds",
+    "register_task_kind",
+    "resolve_task_kind",
+    "task_kinds",
 ]

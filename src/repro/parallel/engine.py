@@ -36,9 +36,11 @@ from repro.core.candidates import Candidate
 from repro.core.stats import ValidationResult
 from repro.errors import DiscoveryError, SpoolError
 from repro.parallel.planner import Chunk, Shard, ShardPlanner
-from repro.parallel.pool import (
+from repro.parallel.pool import WorkerPool, run_specs
+from repro.parallel.tasks import (
+    KIND_BRUTE_FORCE,
     ShardOutcome,
-    WorkerPool,
+    TaskSpec,
     merge_shard_outcomes,
 )
 from repro.storage.sorted_sets import SpoolDirectory
@@ -121,27 +123,25 @@ class ProcessPoolValidationEngine:
             # two copies in different chunks would make the merge (rightly)
             # refuse the double decision.
             chunks = self.plan_chunks(list(dict.fromkeys(candidates)))
-            pool = self._pool
-            ephemeral = pool is None
-            if ephemeral:
-                # Never spawn more workers than there are chunks to pull.
-                pool = WorkerPool(min(self._workers, max(len(chunks), 1)))
-            try:
-                outcomes = pool.run_job(
-                    spool_root,
-                    [chunk.candidates for chunk in chunks],
-                    skip_scan=self._skip_scan,
+            specs = [
+                TaskSpec(
+                    kind=KIND_BRUTE_FORCE,
+                    candidates=chunk.candidates,
+                    payload=(self._skip_scan,),
                 )
-            finally:
-                if ephemeral:
-                    pool.shutdown()
-        result = merge_shard_outcomes(candidates, outcomes, self.name)
+                for chunk in chunks
+            ]
+            job, ephemeral = run_specs(
+                self._pool, self._workers, spool_root, specs
+            )
+        result = merge_shard_outcomes(candidates, job.outcomes, self.name)
+        result.pool = job.stats.as_dict()
         result.stats.elapsed_seconds = clock.elapsed
         result.stats.extra["validation_workers"] = float(self._workers)
         result.stats.extra["shards"] = float(len(chunks))
         result.stats.extra["pool_warm"] = 0.0 if ephemeral else 1.0
-        if outcomes:
+        if job.outcomes:
             result.stats.extra["slowest_shard_seconds"] = max(
-                o.stats.elapsed_seconds for o in outcomes
+                o.stats.elapsed_seconds for o in job.outcomes
             )
         return result

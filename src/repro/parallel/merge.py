@@ -1,42 +1,59 @@
-"""Partitioned merge-single-pass: split the global value merge by byte range.
+"""Pool-backed partitioned merge: the heap merge split along exact seams.
 
 The heap-merge validator (:mod:`repro.core.merge_single_pass`) is one global
-pass over every attribute cursor — inherently sequential as formulated.  It
-parallelises along a different axis than brute force: not by candidate but by
-*value range*.  Because every spool file is sorted and UTF-8 byte order
-equals code-point order, the values whose encoding starts with a byte in
-``[lo, hi)`` form one contiguous run in every file.  Each worker therefore
-runs a complete, independent heap merge restricted to its byte range of the
-first value byte, and decides every candidate *for that range*:
+pass over every attribute cursor — inherently sequential as formulated.  Two
+independent ways of splitting it live here:
 
-* refuted — some dependent value in the range is missing from the reference;
-* satisfied — every dependent value in the range occurs (vacuously so when
-  the dependent has no value in the range).
+* **Candidate-graph components** (the default production path).  The merge
+  reads an attribute until every candidate *touching* it is decided, so an
+  attribute's consumption depends only on its connected component in the
+  candidate graph.  :meth:`~repro.parallel.planner.ShardPlanner.plan_merge_groups`
+  packs whole components into cost-budgeted groups, each group runs one
+  complete heap merge in a pool worker, and the summed result — decisions,
+  satisfied set, ``items_read``, ``comparisons`` — is **byte-identical** to
+  the sequential pass.  This is the seam PR 2's byte-range split could not
+  offer: ranges tile the *values*, so every partition had to re-read
+  attributes the global pass had already closed, and the summed I/O
+  honestly exceeded the sequential run.
 
-An IND holds iff it holds on every partition (the ranges cover all values,
-so a missing value is missing in exactly one partition), hence the parent
-unions the partial refutations: a candidate is satisfied iff no partition
-refuted it, vacuous iff it was vacuous everywhere.
+* **First-byte ranges** (the explicit ``range_split`` escape hatch, and the
+  payload the :data:`~repro.parallel.tasks.KIND_MERGE_PARTITION` task kind
+  understands).  Because every spool file is sorted and UTF-8 byte order
+  equals code-point order, the values whose encoding starts with a byte in
+  ``[lo, hi)`` form one contiguous run in every file; a worker can run a
+  complete, independent merge restricted to that run and decide every
+  candidate *for that range*.  An IND holds iff it holds on every range, so
+  the parent unions the partial refutations.  Ranges parallelise even a
+  single giant component — the one shape components cannot cut — at the
+  documented price: ``items_read`` sums what the workers physically
+  consumed, which can exceed the sequential pass (boundary blocks are
+  decoded by two neighbours; a range cannot know another range refuted its
+  candidate).  Decisions and satisfied sets remain exact either way.
 
-Workers re-open the spool by path and position themselves with the cursors'
-skip-scan (seek past blocks whose recorded max is below the range start), so
-a worker mostly reads its own slice, not the whole file.  ``items_read``
-counts what the workers physically consumed — summed across partitions it
-can exceed the sequential pass (boundary blocks are decoded by two
-neighbours), which is the honest price of the parallelism and is reported,
-never hidden.
+Both shapes dispatch through the shared
+:class:`~repro.parallel.pool.WorkerPool` as ``merge-partition`` tasks —
+there is no private executor here any more — so merge partitions ride the
+same warm fleet, warm spool handles, work stealing and crash requeues as
+brute-force chunks, and ``repro-ind serve`` multiplexes them alike.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from concurrent.futures import ProcessPoolExecutor
 
 from repro._util import Stopwatch
 from repro.core.candidates import Candidate
 from repro.core.merge_single_pass import MergeSinglePassValidator
-from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
-from repro.errors import DiscoveryError
+from repro.core.stats import ValidationResult, ValidatorStats
+from repro.errors import DiscoveryError, SpoolError
+from repro.parallel.planner import MergeGroup, ShardPlanner
+from repro.parallel.pool import WorkerPool, run_specs
+from repro.parallel.tasks import (
+    KIND_MERGE_PARTITION,
+    ShardOutcome,
+    TaskSpec,
+    merge_shard_outcomes,
+)
 from repro.storage.cursors import DEFAULT_BATCH_SIZE, BufferedValueCursor, IOStats
 from repro.storage.sorted_sets import SpoolDirectory
 
@@ -153,88 +170,200 @@ class ByteRangeCursor(BufferedValueCursor):
         self._inner.close()
 
 
-class _PartitionSpoolView:
+class PartitionSpoolView:
     """Duck-typed spool whose cursors only see one byte range."""
 
     def __init__(self, spool: SpoolDirectory, start: str, end: str | None) -> None:
+        """Wrap ``spool`` so every cursor is clipped to ``[start, end)``."""
         self._spool = spool
         self._start = start
         self._end = end
 
     def open_cursor(self, ref, stats: IOStats | None = None) -> ByteRangeCursor:
+        """Open a range-restricted cursor over ``ref`` (I/O charged inward)."""
         inner = self._spool.open_cursor(ref, stats)
         return ByteRangeCursor(
             inner, self._start, self._end, label=ref.qualified
         )
 
 
-def _validate_partition(
-    spool_root: str,
-    candidates: tuple[Candidate, ...],
-    lo: int,
-    hi: int,
-) -> tuple[dict[Candidate, bool], set[Candidate], ValidatorStats]:
-    """Worker entry point: one full heap merge over one first-byte range."""
+def make_partition_view(spool: SpoolDirectory, lo: int, hi: int):
+    """The spool view a ``merge-partition`` task payload ``(lo, hi)`` names.
+
+    The full range ``(0, 256)`` returns the spool itself — a whole-group
+    merge runs with no range machinery at all, which is what keeps the
+    component-planned path's accounting identical to the sequential
+    validator.  Restricted ranges return a :class:`PartitionSpoolView`.
+    """
+    if lo <= 0 and hi > _MAX_LEAD_BYTE:
+        return spool
     start = boundary_string(lo)
+    if start is None:
+        raise DiscoveryError(
+            f"merge partition starts past every UTF-8 lead byte: {lo:#x}"
+        )
     end = boundary_string(hi) if hi <= _MAX_LEAD_BYTE else None
-    assert start is not None  # parent drops ranges beyond the last lead byte
-    spool = SpoolDirectory.open(spool_root)
-    view = _PartitionSpoolView(spool, start, end)
-    result = MergeSinglePassValidator(view).validate(list(candidates))
-    return result.decisions, result.vacuous, result.stats
+    return PartitionSpoolView(spool, start, end)
 
 
 class PartitionedMergeValidator:
-    """Merge-single-pass sharded by hash range of the first value byte.
+    """Merge-single-pass dispatched through the shared worker pool.
 
-    Decisions match the sequential merge validator exactly (the partitions
-    tile the value space); the vacuous flag survives only for candidates
-    vacuous in *every* partition, i.e. whose dependent is empty overall —
-    the same set the sequential pass flags.  ``workers=1`` short-circuits
-    to the sequential validator.
+    The default plan splits candidates into whole candidate-graph
+    components (:meth:`ShardPlanner.plan_merge_groups`), which keeps
+    decisions, the satisfied set, ``items_read`` and ``comparisons``
+    byte-identical to the sequential merge validator at every worker count
+    — asserted per seed in the agreement suite.  ``range_split=N`` (N > 1)
+    additionally splits every group into N first-byte ranges: decisions
+    stay exact, parallelism survives even one giant component, but summed
+    I/O counters may exceed the sequential pass (reported honestly, never
+    hidden).
+
+    ``workers=1`` short-circuits to the sequential validator.  With a
+    borrowed ``pool`` the validator reuses the warm fleet (and never shuts
+    it down); without one it builds a per-call
+    :class:`~repro.parallel.pool.WorkerPool` and drains it afterwards.
     """
 
     name = "merge-single-pass"
 
-    def __init__(self, spool: SpoolDirectory, workers: int) -> None:
+    def __init__(
+        self,
+        spool: SpoolDirectory,
+        workers: int,
+        pool: WorkerPool | None = None,
+        planner: ShardPlanner | None = None,
+        range_split: int = 0,
+    ) -> None:
+        """Wire the validator to ``spool``; spawn nothing yet.
+
+        ``workers`` sizes the per-call pool and the group plan; when a
+        persistent ``pool`` is supplied its fleet size wins at execution
+        time and ``workers`` only shapes the planning.  ``range_split``
+        (0 or 1 = off) turns on the byte-range escape hatch described on
+        the class.
+        """
         if workers < 1:
             raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
+        if range_split < 0:
+            raise DiscoveryError(
+                f"range_split must be >= 0, got {range_split!r}"
+            )
         self._spool = spool
         self._workers = workers
+        self._pool = pool
+        self._planner = planner or ShardPlanner(spool)
+        self._range_split = range_split
+
+    def plan(self, candidates: list[Candidate]) -> list[MergeGroup]:
+        """The component-grouped merge plan this validator would dispatch."""
+        return self._planner.plan_merge_groups(candidates, self._workers)
 
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
-        """Merge every partition in parallel; decisions match the sequential pass."""
+        """Validate ``candidates``; decisions identical to the sequential pass."""
         if self._workers == 1 or not candidates:
             return MergeSinglePassValidator(self._spool).validate(candidates)
         spool_root = str(self._spool.root)
-        bounds = partition_bounds(self._workers)
-        ordered = tuple(dict.fromkeys(candidates))
+        if not (self._spool.root / "index.json").exists():
+            raise SpoolError(
+                f"spool {spool_root} has no saved index; workers cannot "
+                "re-open it"
+            )
         with Stopwatch() as clock:
-            with ProcessPoolExecutor(
-                max_workers=min(self._workers, len(bounds))
-            ) as pool:
-                futures = [
-                    pool.submit(_validate_partition, spool_root, ordered, lo, hi)
-                    for lo, hi in bounds
-                ]
-                outcomes = [future.result() for future in futures]
-        collector = DecisionCollector(candidates, self.name)
-        merged = collector.stats
-        for candidate in collector.candidates:
-            satisfied = all(decisions[candidate] for decisions, _, _ in outcomes)
-            vacuous = all(candidate in vac for _, vac, _ in outcomes)
-            collector.record(candidate, satisfied, vacuous=vacuous)
-        for _, _, stats in outcomes:
-            merged.comparisons += stats.comparisons
-            merged.items_read += stats.items_read
-            merged.files_opened += stats.files_opened
-            merged.peak_open_files += stats.peak_open_files
-            merged.blocks_skipped += stats.blocks_skipped
-            merged.values_skipped += stats.values_skipped
-        merged.elapsed_seconds = clock.elapsed
-        merged.extra["validation_workers"] = float(self._workers)
-        merged.extra["partitions"] = float(len(bounds))
-        merged.extra["slowest_partition_seconds"] = max(
-            (stats.elapsed_seconds for _, _, stats in outcomes), default=0.0
-        )
-        return collector.result()
+            groups = self.plan(list(dict.fromkeys(candidates)))
+            specs: list[TaskSpec] = []
+            spec_group: list[int] = []
+            ranges = (
+                partition_bounds(self._range_split)
+                if self._range_split > 1
+                else [(0, 256)]
+            )
+            for group in groups:
+                for lo, hi in ranges:
+                    specs.append(
+                        TaskSpec(
+                            kind=KIND_MERGE_PARTITION,
+                            candidates=group.candidates,
+                            payload=(lo, hi),
+                        )
+                    )
+                    spec_group.append(group.index)
+            job, ephemeral = run_specs(
+                self._pool, self._workers, spool_root, specs
+            )
+            group_outcomes = self._fold_ranges(groups, spec_group, job.outcomes)
+        result = merge_shard_outcomes(candidates, group_outcomes, self.name)
+        result.pool = job.stats.as_dict()
+        result.stats.elapsed_seconds = clock.elapsed
+        result.stats.extra["validation_workers"] = float(self._workers)
+        result.stats.extra["merge_groups"] = float(len(groups))
+        result.stats.extra["partitions"] = float(len(specs))
+        result.stats.extra["pool_warm"] = 0.0 if ephemeral else 1.0
+        if job.outcomes:
+            result.stats.extra["slowest_partition_seconds"] = max(
+                o.stats.elapsed_seconds for o in job.outcomes
+            )
+        return result
+
+    @staticmethod
+    def _fold_ranges(
+        groups: list[MergeGroup],
+        spec_group: list[int],
+        outcomes: list[ShardOutcome],
+    ) -> list[ShardOutcome]:
+        """Union each group's range outcomes into one outcome per group.
+
+        A candidate is satisfied iff no range refuted it (the ranges tile
+        the value space, so a missing value is missing in exactly one
+        range) and vacuous iff it was vacuous in every range (i.e. its
+        dependent is empty overall — the same set the sequential pass
+        flags).  Counters sum; elapsed takes the slowest range.  With one
+        full-range task per group (the default plan) this is the identity.
+        """
+        by_group: dict[int, list[ShardOutcome]] = {}
+        for outcome in outcomes:
+            by_group.setdefault(spec_group[outcome.shard_index], []).append(
+                outcome
+            )
+        folded: list[ShardOutcome] = []
+        for group in groups:
+            parts = by_group.get(group.index)
+            if not parts:
+                raise DiscoveryError(
+                    f"merge group {group.index} produced no outcomes"
+                )
+            if len(parts) == 1:
+                folded.append(
+                    ShardOutcome(
+                        shard_index=group.index,
+                        decisions=parts[0].decisions,
+                        vacuous=parts[0].vacuous,
+                        stats=parts[0].stats,
+                    )
+                )
+                continue
+            decisions = {
+                candidate: all(part.decisions[candidate] for part in parts)
+                for candidate in parts[0].decisions
+            }
+            vacuous = set.intersection(*(part.vacuous for part in parts))
+            stats = ValidatorStats(validator=parts[0].stats.validator)
+            for part in parts:
+                stats.comparisons += part.stats.comparisons
+                stats.items_read += part.stats.items_read
+                stats.files_opened += part.stats.files_opened
+                stats.peak_open_files += part.stats.peak_open_files
+                stats.blocks_skipped += part.stats.blocks_skipped
+                stats.values_skipped += part.stats.values_skipped
+                stats.elapsed_seconds = max(
+                    stats.elapsed_seconds, part.stats.elapsed_seconds
+                )
+            folded.append(
+                ShardOutcome(
+                    shard_index=group.index,
+                    decisions=decisions,
+                    vacuous=vacuous,
+                    stats=stats,
+                )
+            )
+        return folded

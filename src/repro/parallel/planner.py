@@ -24,6 +24,11 @@ offers two packings:
   by up to its full size, so any static plan is wrong in practice; small
   chunks pulled from a shared queue absorb the misestimates because a
   worker whose chunks turned out cheap simply pulls more.
+
+* :meth:`ShardPlanner.plan_merge_groups` — cost-budgeted groups of whole
+  candidate-graph *components* for the pool-backed partitioned merge.
+  Component boundaries are the one cut that keeps the parallel merge's
+  decisions **and** I/O accounting byte-identical to the sequential pass.
 """
 
 from __future__ import annotations
@@ -62,6 +67,26 @@ class Chunk:
     index: int
     candidates: tuple[Candidate, ...]
     estimated_cost: int
+
+
+@dataclass(frozen=True)
+class MergeGroup:
+    """One merge-partition task: whole candidate-graph components.
+
+    A group is the unit the pool-backed merge validator dispatches: a heap
+    merge over ``candidates`` runs in one worker.  Groups are unions of
+    *connected components* of the candidate–attribute graph, never parts of
+    one, which is what keeps the summed ``items_read`` / ``comparisons`` of
+    the parallel merge byte-identical to the sequential pass (see
+    :meth:`ShardPlanner.plan_merge_groups`).  ``components`` counts how many
+    components the group carries; ``estimated_cost`` sums their attributes'
+    spooled value counts.
+    """
+
+    index: int
+    candidates: tuple[Candidate, ...]
+    estimated_cost: int
+    components: int
 
 
 class ShardPlanner:
@@ -192,3 +217,97 @@ class ShardPlanner:
                 )
             )
         return chunks
+
+    def plan_merge_groups(
+        self, candidates: list[Candidate], workers: int
+    ) -> list[MergeGroup]:
+        """Cost-budgeted merge groups made of whole candidate-graph components.
+
+        The heap merge reads an attribute until all candidates *touching*
+        that attribute are decided, so the set of values it consumes from an
+        attribute depends only on the attribute's connected component in the
+        candidate graph (candidates are edges between their dependent and
+        referenced attributes).  Splitting the candidate set along component
+        boundaries therefore preserves the sequential pass **exactly**: each
+        group's merge makes the same decisions, reads the same values and
+        performs the same comparisons the global pass spends on that
+        group's attributes — summed across groups, ``items_read`` and
+        ``comparisons`` are byte-identical to one sequential merge.  (A
+        split *through* a component would break this: the fragment that
+        refutes a candidate cannot tell the other fragment to stop
+        reading.)
+
+        Components are costed by their attributes' spooled value counts and
+        packed heaviest-first into cost-budgeted groups — the total cost
+        divided by ``workers * DEFAULT_CHUNKS_PER_WORKER`` — for the pool's
+        work-stealing queue, like :meth:`plan_chunks` but at component
+        granularity.  Candidates keep their original order within a group,
+        so a one-group plan replays the sequential run exactly.  Output is
+        deterministic for a given spool and candidate list; every candidate
+        lands in exactly one group.
+        """
+        if workers < 1:
+            raise DiscoveryError(f"worker count must be >= 1, got {workers!r}")
+        ordered = list(dict.fromkeys(candidates))
+        if not ordered:
+            return []
+        # Union-find over attributes; each candidate is an edge.
+        parent: dict = {}
+
+        def find(attr):
+            root = attr
+            while parent[root] is not root:
+                root = parent[root]
+            while parent[attr] is not root:  # path compression
+                parent[attr], attr = root, parent[attr]
+            return root
+
+        for candidate in ordered:
+            for attr in (candidate.dependent, candidate.referenced):
+                parent.setdefault(attr, attr)
+            a, b = find(candidate.dependent), find(candidate.referenced)
+            if a is not b:
+                parent[b] = a
+        components: dict = {}
+        for seq, candidate in enumerate(ordered):
+            components.setdefault(find(candidate.dependent), []).append(
+                (seq, candidate)
+            )
+        costed = []
+        for members in components.values():
+            attrs = {c.dependent for _, c in members}
+            attrs |= {c.referenced for _, c in members}
+            cost = sum(self._spool.get(attr).count for attr in attrs) + 1
+            costed.append((cost, members[0][0], members))
+        costed.sort(key=lambda item: (-item[0], item[1]))
+        budget = max(
+            1,
+            sum(cost for cost, _, _ in costed)
+            // (workers * DEFAULT_CHUNKS_PER_WORKER),
+        )
+        groups: list[MergeGroup] = []
+        bucket: list[tuple[int, Candidate]] = []
+        bucket_cost = bucket_components = 0
+
+        def close_bucket() -> None:
+            nonlocal bucket, bucket_cost, bucket_components
+            bucket.sort()
+            groups.append(
+                MergeGroup(
+                    index=len(groups),
+                    candidates=tuple(c for _, c in bucket),
+                    estimated_cost=bucket_cost,
+                    components=bucket_components,
+                )
+            )
+            bucket, bucket_cost, bucket_components = [], 0, 0
+
+        for cost, _, members in costed:
+            bucket.extend(members)
+            bucket_cost += cost
+            bucket_components += 1
+            if bucket_cost >= budget:
+                close_bucket()
+        if bucket:
+            close_bucket()
+        return groups

@@ -1,44 +1,45 @@
-"""Persistent worker pool with work-stealing dispatch.
+"""Persistent worker pool: a generic task-execution substrate.
 
 PR 2 parallelised brute-force validation by forking a fresh
-``ProcessPoolExecutor`` inside every ``validate()`` call and handing each
-worker one statically planned LPT shard.  Both halves of that design leave
-time on the table for the workloads the ROADMAP targets:
+``ProcessPoolExecutor`` inside every ``validate()`` call; PR 3 replaced that
+with a persistent fleet behind one work-stealing queue, but the fleet could
+run exactly one shape of work (brute-force chunks) for exactly one caller at
+a time.  This revision generalises both axes:
 
-* **Startup is paid per call.**  A discovery service answering repeated
-  requests forks (or spawns) the whole fleet again for every request, and
-  every worker re-parses the spool index from scratch.  :class:`WorkerPool`
-  keeps the worker processes alive across ``validate()`` — and across
-  :func:`repro.core.runner.discover_inds` — calls; workers cache the
-  :class:`~repro.storage.sorted_sets.SpoolDirectory` handles they have
-  opened, so a warm pool re-validates a cached spool without re-reading its
-  index (``PoolStats.spool_handle_reuses`` counts those wins).
+* **Typed tasks.**  Every queued task carries a ``kind`` resolved through
+  the registry in :mod:`repro.parallel.tasks`; the worker loop no longer
+  knows what a task *does*, only how to open the spool it runs against.
+  Brute-force chunks and merge byte-range partitions ship as built-in
+  kinds, and one job may mix kinds freely.
 
-* **Static plans go stale.**  LPT balances *estimated* costs, but the
-  brute-force early stops make the real cost of a candidate unpredictable
-  up to its full size, so one unlucky shard routinely outlives the rest.
-  The pool therefore dispatches **chunks** (small cost-bounded slices of
-  the candidate set, :meth:`repro.parallel.planner.ShardPlanner.plan_chunks`)
-  through one shared queue: a worker that finishes early simply pulls the
-  next chunk — work-stealing without any inter-worker channel, because the
-  queue itself is the steal target.
+* **Concurrent jobs.**  A dedicated dispatcher thread owns the result queue
+  and routes messages to per-job states, so any number of caller threads
+  can :meth:`WorkerPool.run_job` simultaneously — the shape ``repro-ind
+  serve`` needs to multiplex overlapping requests over one warm fleet.
+  Each ``run_job`` returns its own per-job :class:`PoolStats` delta next to
+  the outcomes, so callers can surface pool behaviour per request.
 
-Correctness is inherited, not re-proven: every chunk is validated by the
-unchanged sequential :class:`~repro.core.brute_force.BruteForceValidator`,
-and the chunk outcomes are folded with :func:`merge_shard_outcomes`, which
-refuses double-validated or unvalidated candidates.  Each candidate's test
-is a deterministic function of its two sorted value files, so decisions,
-the satisfied set, and the summed ``items_read`` / ``comparisons`` are
-identical to the sequential run no matter which worker ran it or in what
-order — the agreement suite asserts this per seed.
+The warm-handle story is unchanged and now shared across kinds: workers
+keep an LRU of parsed :class:`~repro.storage.sorted_sets.SpoolDirectory`
+indexes, so a merge partition scheduled after a brute-force chunk over the
+same spool reuses the same warm handle
+(``PoolStats.spool_handle_reuses`` counts those wins, per kind in
+``tasks_by_kind``).
+
+Correctness is inherited, not re-proven: every task is executed by an
+unchanged sequential validator, and each task's result is a deterministic
+function of the spool contents and the task itself, so decisions and summed
+counters are identical to the sequential run no matter which worker ran it
+or in what order — the agreement suite asserts this per seed for both
+built-in kinds.
 
 Fault tolerance uses an at-least-once/idempotent scheme: workers announce
-``claim`` before validating and ``done`` after; the parent requeues the
-claimed-but-unfinished chunks of any worker that died and spawns a
-replacement, and duplicate ``done`` messages (possible only after a
-requeue race) are dropped by task id.  Requeuing is therefore always safe,
-and a worker crash costs one chunk's worth of repeated work, never a wrong
-or missing decision.
+``claim`` before executing and ``done`` after; the dispatcher requeues the
+claimed-but-unfinished tasks of any worker that died and spawns a
+replacement, and duplicate ``done`` messages (possible only after a requeue
+race) are dropped by task id.  Requeuing is therefore always safe, and a
+worker crash costs one task's worth of repeated work, never a wrong or
+missing decision.
 """
 
 from __future__ import annotations
@@ -46,64 +47,74 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.core.brute_force import BruteForceValidator
 from repro.core.candidates import Candidate
-from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
 from repro.errors import DiscoveryError
+from repro.parallel.tasks import (
+    PoolTask,
+    ShardOutcome,
+    TaskSpec,
+    merge_shard_outcomes,
+    resolve_task_kind,
+)
 from repro.storage.sorted_sets import SpoolDirectory
+
+__all__ = [
+    "JobResult",
+    "PoolStats",
+    "PoolTask",
+    "ShardOutcome",
+    "TaskSpec",
+    "WorkerPool",
+    "merge_shard_outcomes",
+    "run_specs",
+]
 
 #: How many spool directories one worker keeps warm (parsed index, interned
 #: attribute ids).  Handles hold no file descriptors — cursors are opened and
-#: closed per candidate — so the only cost of a cached entry is memory.
+#: closed per task — so the only cost of a cached entry is memory.  The cache
+#: is shared by every task kind: a merge partition lands on the handle a
+#: brute-force chunk warmed, and vice versa.
 WARM_SPOOL_LIMIT = 8
 
-#: Seconds without any queue message before the parent suspects a chunk was
-#: lost in the tiny window between a worker dequeuing it and announcing the
-#: claim (only possible if the worker died exactly there) and requeues the
-#: unclaimed remainder.  Duplicate execution is harmless — ``done`` messages
-#: are deduplicated by task id — so this can err toward firing; it only
-#: fires at all after a worker death was actually observed.
+#: Seconds without any queue message for a job before the dispatcher
+#: suspects a task was lost in the tiny window between a worker dequeuing it
+#: and announcing the claim (only possible if the worker died exactly there)
+#: and requeues the unclaimed remainder.  Duplicate execution is harmless —
+#: ``done`` messages are deduplicated by task id — so this can err toward
+#: firing; it only fires at all after a worker death was actually observed
+#: during the job's lifetime.
 STALL_TIMEOUT_SECONDS = 2.0
 
-#: Give up on a chunk after this many requeues.  Requeues happen only after
-#: worker deaths, so hitting the cap means the chunk *reliably* kills its
+#: Give up on a task after this many requeues.  Requeues happen only after
+#: worker deaths, so hitting the cap means the task *reliably* kills its
 #: worker (OOM, native crash in decoding) — respawning forever would hang
-#: ``run_job`` and leak a process every cycle.  Failing the job loudly is
-#: the only honest outcome.
+#: the job and leak a process every cycle.  Failing the job loudly is the
+#: only honest outcome.
 MAX_TASK_REQUEUES = 3
+
+#: How often (seconds) the dispatcher reaps dead workers and checks stalls
+#: even while result messages keep arriving — a busy queue must not starve
+#: crash recovery for the job whose worker just died.
+_MAINTENANCE_INTERVAL = 0.25
 
 _FAULT_ATTR_ENV = "REPRO_POOL_FAULT_ATTR"
 _FAULT_ONCE_DIR_ENV = "REPRO_POOL_FAULT_ONCE_DIR"
 
 
 @dataclass
-class ShardOutcome:
-    """What one worker ships back: decisions plus its measured counters."""
-
-    shard_index: int
-    decisions: dict[Candidate, bool]
-    vacuous: set[Candidate]
-    stats: ValidatorStats
-
-
-@dataclass(frozen=True)
-class PoolTask:
-    """One chunk of candidates queued for whichever worker pulls it first."""
-
-    job_id: int
-    task_id: int
-    spool_root: str
-    candidates: tuple[Candidate, ...]
-    skip_scan: bool
-
-
-@dataclass
 class PoolStats:
-    """Lifetime counters of one :class:`WorkerPool` (monotonic, additive)."""
+    """Counters of pool activity (monotonic, additive).
+
+    One instance lives on the pool for its lifetime totals; each
+    :meth:`WorkerPool.run_job` additionally returns a fresh instance holding
+    that job's delta, which is what ``DiscoveryResult.pool_stats`` and the
+    per-request ``serve`` output surface.
+    """
 
     jobs: int = 0
     tasks_dispatched: int = 0
@@ -112,9 +123,15 @@ class PoolStats:
     workers_spawned: int = 0
     workers_replaced: int = 0
     spool_handle_reuses: int = 0
+    #: Completed tasks per task kind, e.g. ``{"brute-force": 12}``.
+    tasks_by_kind: dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
-        """Plain-dict view for JSON reports and the ``serve`` shutdown line."""
+    def count_kind(self, kind: str) -> None:
+        """Bump the completed-task counter of ``kind``."""
+        self.tasks_by_kind[kind] = self.tasks_by_kind.get(kind, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for JSON reports and the ``serve`` stats lines."""
         return {
             "jobs": self.jobs,
             "tasks_dispatched": self.tasks_dispatched,
@@ -123,62 +140,56 @@ class PoolStats:
             "workers_spawned": self.workers_spawned,
             "workers_replaced": self.workers_replaced,
             "spool_handle_reuses": self.spool_handle_reuses,
+            "tasks_by_kind": dict(sorted(self.tasks_by_kind.items())),
         }
 
 
-def merge_shard_outcomes(
-    candidates: list[Candidate],
-    outcomes: list[ShardOutcome],
-    validator_name: str,
-) -> ValidationResult:
-    """Fold per-shard results into one, in the original candidate order.
+@dataclass
+class JobResult:
+    """What one :meth:`WorkerPool.run_job` produced.
 
-    Additive counters (items, comparisons, file opens, skip-scan counters)
-    sum; ``peak_open_files`` sums too, because the shards hold their cursors
-    *concurrently* — the sum is the fleet-wide worst case the operator has to
-    provision file descriptors for.  Raises if the shards do not jointly
-    cover the candidate list exactly once — that would be a planner bug, and
-    silently mis-merged decisions are the worst possible failure mode.
+    ``outcomes`` are ordered by task id (i.e. by the caller's spec order);
+    ``stats`` is this job's own counter delta, independent of the pool's
+    lifetime :attr:`WorkerPool.stats`.
     """
-    decided: dict[Candidate, bool] = {}
-    vacuous: set[Candidate] = set()
-    merged = ValidatorStats(validator=validator_name)
-    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
-        for candidate, satisfied in outcome.decisions.items():
-            if candidate in decided:
-                raise DiscoveryError(
-                    f"candidate {candidate} was validated by two shards"
-                )
-            decided[candidate] = satisfied
-        vacuous |= outcome.vacuous
-        merged.comparisons += outcome.stats.comparisons
-        merged.items_read += outcome.stats.items_read
-        merged.files_opened += outcome.stats.files_opened
-        merged.peak_open_files += outcome.stats.peak_open_files
-        merged.blocks_skipped += outcome.stats.blocks_skipped
-        merged.values_skipped += outcome.stats.values_skipped
-    collector = DecisionCollector(candidates, validator_name)
-    collector.stats = merged
-    merged.candidates_total = len(collector.candidates)
-    for candidate in collector.candidates:
-        if candidate not in decided:
-            raise DiscoveryError(
-                f"no shard validated candidate {candidate}"
-            )
-        collector.record(
-            candidate, decided[candidate], vacuous=candidate in vacuous
-        )
-    return collector.result()
+
+    outcomes: list[ShardOutcome]
+    stats: PoolStats
+
+
+def run_specs(
+    pool: "WorkerPool | None",
+    workers: int,
+    spool_root: str,
+    specs: list[TaskSpec],
+) -> tuple[JobResult, bool]:
+    """Run ``specs`` on ``pool``, or on a right-sized throwaway fleet.
+
+    The one place both validation engines share their borrowed-vs-ephemeral
+    pool policy: with ``pool=None`` a per-call :class:`WorkerPool` is built
+    — never larger than the number of specs, since extra workers would have
+    nothing to pull — and drained afterwards; a supplied pool is borrowed
+    and left running.  Returns ``(job, ephemeral)`` so callers can report
+    ``pool_warm`` honestly.
+    """
+    ephemeral = pool is None
+    if ephemeral:
+        pool = WorkerPool(min(workers, max(len(specs), 1)))
+    try:
+        return pool.run_job(spool_root, specs), ephemeral
+    finally:
+        if ephemeral:
+            pool.shutdown()
 
 
 # ------------------------------------------------------------ worker process
 def _maybe_inject_fault(task: PoolTask) -> None:
-    """Test hook: die once, hard, when a chunk touches the marked attribute.
+    """Test hook: die once, hard, when a task touches the marked attribute.
 
     Only active when ``REPRO_POOL_FAULT_ATTR`` names an attribute one of the
-    chunk's candidates uses.  With ``REPRO_POOL_FAULT_ONCE_DIR`` set, an
+    task's candidates uses.  With ``REPRO_POOL_FAULT_ONCE_DIR`` set, an
     ``O_EXCL`` marker file limits the crash to exactly one worker, so the
-    requeued chunk succeeds on the replacement — the shape the lifecycle
+    requeued task succeeds on the replacement — the shape the lifecycle
     tests need.  ``os._exit`` deliberately skips all cleanup: a real worker
     death (OOM kill, segfault) does not flush queues either.
     """
@@ -229,9 +240,12 @@ def _open_warm(
 
 
 def _worker_loop(task_queue, result_queue) -> None:
-    """Long-lived worker: pull chunks until the ``None`` shutdown sentinel.
+    """Long-lived worker: pull tasks until the ``None`` shutdown sentinel.
 
-    Every message is tagged with this worker's pid so the parent can map
+    The loop is kind-agnostic: it resolves every task's executor through the
+    registry in :mod:`repro.parallel.tasks` and only owns the two concerns
+    shared by all kinds — warm spool handles and the claim/done protocol.
+    Every message is tagged with this worker's pid so the dispatcher can map
     claims to processes; ``claim`` strictly precedes ``done``/``error`` for
     a given task (one queue, one producer — order is preserved), which is
     what makes dead-worker requeuing sound.
@@ -245,26 +259,17 @@ def _worker_loop(task_queue, result_queue) -> None:
         result_queue.put(("claim", pid, task.job_id, task.task_id))
         try:
             _maybe_inject_fault(task)
+            executor = resolve_task_kind(task.kind)
             spool, warm = _open_warm(handles, task.spool_root)
             try:
-                result = BruteForceValidator(
-                    spool, skip_scan=task.skip_scan
-                ).validate(list(task.candidates))
+                outcome = executor(spool, task)
             except Exception:
                 # Belt and braces on top of the mtime check in _open_warm:
                 # drop the cached handle and retry cold exactly once.
                 handles.pop(task.spool_root, None)
                 spool, warm = _open_warm(handles, task.spool_root)
                 warm = False
-                result = BruteForceValidator(
-                    spool, skip_scan=task.skip_scan
-                ).validate(list(task.candidates))
-            outcome = ShardOutcome(
-                shard_index=task.task_id,
-                decisions=result.decisions,
-                vacuous=result.vacuous,
-                stats=result.stats,
-            )
+                outcome = executor(spool, task)
             result_queue.put(
                 ("done", pid, task.job_id, task.task_id, outcome, warm)
             )
@@ -279,30 +284,47 @@ def _worker_loop(task_queue, result_queue) -> None:
 class _JobState:
     """Book-keeping for one in-flight :meth:`WorkerPool.run_job`."""
 
+    job_id: int
     tasks: dict[int, PoolTask]
+    #: The pool-wide death generation when this job started; the stall
+    #: fallback only acts on deaths observed *after* that point.
+    birth_generation: int
     outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
     claims: dict[int, int] = field(default_factory=dict)  # task_id -> pid
     requeues: dict[int, int] = field(default_factory=dict)  # task_id -> count
-    #: Bumped each time dead workers are reaped; the stall fallback requeues
-    #: a task at most once per generation (and not at all in generation 0).
-    death_generation: int = 0
     stall_requeue_generation: dict[int, int] = field(default_factory=dict)
     last_progress: float = field(default_factory=time.monotonic)
+    stats: PoolStats = field(default_factory=PoolStats)
+    error: DiscoveryError | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def fail(self, error: DiscoveryError) -> None:
+        """Mark the job failed and release its waiting caller."""
+        if self.error is None:
+            self.error = error
+        self.done.set()
 
 
 class WorkerPool:
-    """Long-lived brute-force validation workers behind one shared task queue.
+    """Long-lived task-execution workers behind one shared work queue.
 
-    The pool is created cheaply (no processes yet) and spawns its workers on
+    The pool is created cheaply (no processes yet) and spawns its workers —
+    plus one parent-side dispatcher thread that owns the result queue — on
     the first :meth:`run_job`; it then survives any number of jobs until
-    :meth:`shutdown` drains it.  One pool instance serves one parent process;
-    it is not itself picklable and must not be shared across forks.
+    :meth:`shutdown` drains it.  One pool instance serves one parent
+    process; it is not itself picklable and must not be shared across forks.
+
+    ``run_job`` is thread-safe: any number of caller threads may have jobs
+    in flight at once (``repro-ind serve`` multiplexes overlapping requests
+    this way), and every job gets back its own outcomes and its own
+    :class:`PoolStats` delta.  Tasks are typed — see
+    :mod:`repro.parallel.tasks` — so one warm fleet executes brute-force
+    chunks and merge partitions interchangeably.
 
     Use as a context manager or via
-    :class:`repro.core.runner.DiscoverySession`; passing the pool to
-    :class:`repro.parallel.engine.ProcessPoolValidationEngine` (or
-    ``discover_inds(..., pool=...)``) makes every call reuse the warm fleet
-    instead of forking a fresh one.
+    :class:`repro.core.runner.DiscoverySession`; passing the pool to the
+    validation engines (or ``discover_inds(..., pool=...)``) makes every
+    call reuse the warm fleet instead of forking a fresh one.
 
     ``shutdown`` is idempotent — a second call is a no-op — and a drained
     pool refuses further jobs with :class:`~repro.errors.DiscoveryError`.
@@ -314,7 +336,10 @@ class WorkerPool:
         ``start_method`` overrides the platform's multiprocessing start
         method (``fork``/``spawn``/``forkserver``); the protocol works
         identically under all of them because tasks carry only picklable
-        paths and candidates, never handles.
+        paths, candidates and payloads, never handles.  (Task kinds
+        registered dynamically at runtime — rather than at import time of a
+        module workers also import — are visible to workers only under
+        ``fork``.)
         """
         if workers < 1:
             raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
@@ -331,6 +356,11 @@ class WorkerPool:
         self._started = False
         self._closed = False
         self._job_counter = 0
+        self._jobs: dict[int, _JobState] = {}
+        self._lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._dispatcher_stop = threading.Event()
+        self._death_generation = 0
         self.stats = PoolStats()
 
     # -- lifecycle ---------------------------------------------------------
@@ -353,15 +383,20 @@ class WorkerPool:
         self.shutdown()
 
     def _ensure_started(self) -> None:
-        if self._closed:
-            raise DiscoveryError("worker pool is shut down")
-        if self._started:
-            return
-        self._task_queue = self._ctx.Queue()
-        self._result_queue = self._ctx.Queue()
-        for _ in range(self._workers_target):
-            self._spawn_worker()
-        self._started = True
+        with self._lock:
+            if self._closed:
+                raise DiscoveryError("worker pool is shut down")
+            if self._started:
+                return
+            self._task_queue = self._ctx.Queue()
+            self._result_queue = self._ctx.Queue()
+            for _ in range(self._workers_target):
+                self._spawn_worker()
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="pool-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+            self._started = True
 
     def _spawn_worker(self) -> None:
         proc = self._ctx.Process(
@@ -377,13 +412,24 @@ class WorkerPool:
         """Drain the fleet: sentinel every worker, join, terminate stragglers.
 
         Safe to call any number of times (double shutdown is a documented
-        no-op) and safe to call on a pool that never started.
+        no-op) and safe to call on a pool that never started.  Jobs still in
+        flight fail with :class:`~repro.errors.DiscoveryError` rather than
+        hang; callers draining a service should let their requests finish
+        first (``repro-ind serve`` does).
         """
-        if self._closed:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+            for state in self._jobs.values():
+                state.fail(DiscoveryError("worker pool is shut down"))
+            self._jobs.clear()
+        if not started:
             return
-        self._closed = True
-        if not self._started:
-            return
+        self._dispatcher_stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
         for _ in self._procs:
             self._task_queue.put(None)
         deadline = time.monotonic() + timeout
@@ -399,108 +445,187 @@ class WorkerPool:
             q.cancel_join_thread()
 
     # -- dispatch ----------------------------------------------------------
-    def run_job(
-        self,
-        spool_root: str,
-        chunks: list[tuple[Candidate, ...]],
-        skip_scan: bool = False,
-    ) -> list[ShardOutcome]:
-        """Validate every chunk against ``spool_root``; return their outcomes.
+    def run_job(self, spool_root: str, specs: list[TaskSpec]) -> JobResult:
+        """Execute every spec against ``spool_root``; return outcomes + stats.
 
-        Chunks are enqueued in order (callers put the heaviest first) and
+        Specs are enqueued in order (callers put the heaviest first) and
         workers pull them as they finish — the work-stealing hand-out.  The
-        call blocks until every chunk has exactly one outcome, requeuing the
-        chunks of any worker that died mid-task and replacing the worker.
-        A chunk that fails *in* the validator (not by worker death) raises
+        call blocks until every task has exactly one outcome, requeuing the
+        tasks of any worker that died mid-task and replacing the worker.  A
+        task that fails *in* its executor (not by worker death) raises
         :class:`~repro.errors.DiscoveryError` after one cold retry inside
-        the worker.
+        the worker.  Thread-safe: concurrent ``run_job`` calls interleave
+        over the same fleet, each getting its own results and stats delta.
         """
+        for spec in specs:
+            resolve_task_kind(spec.kind)  # unknown kinds fail in the caller
+        if not specs:
+            if self._closed:
+                raise DiscoveryError("worker pool is shut down")
+            return JobResult(outcomes=[], stats=PoolStats())
         self._ensure_started()
-        if not chunks:
-            return []
-        self._job_counter += 1
-        job = self._job_counter
-        tasks = {
-            index: PoolTask(
-                job_id=job,
-                task_id=index,
-                spool_root=spool_root,
-                candidates=tuple(chunk),
-                skip_scan=skip_scan,
+        with self._lock:
+            if self._closed:
+                raise DiscoveryError("worker pool is shut down")
+            self._job_counter += 1
+            job_id = self._job_counter
+            tasks = {
+                index: PoolTask(
+                    job_id=job_id,
+                    task_id=index,
+                    kind=spec.kind,
+                    spool_root=spool_root,
+                    candidates=tuple(spec.candidates),
+                    payload=tuple(spec.payload),
+                )
+                for index, spec in enumerate(specs)
+            }
+            state = _JobState(
+                job_id=job_id,
+                tasks=tasks,
+                birth_generation=self._death_generation,
             )
-            for index, chunk in enumerate(chunks)
-        }
-        for task in tasks.values():
-            self._task_queue.put(task)
-        self.stats.jobs += 1
-        self.stats.tasks_dispatched += len(tasks)
-        state = _JobState(tasks=tasks)
+            state.stats.jobs = 1
+            state.stats.tasks_dispatched = len(tasks)
+            self._jobs[job_id] = state
+            self.stats.jobs += 1
+            self.stats.tasks_dispatched += len(tasks)
         try:
-            while len(state.outcomes) < len(tasks):
-                try:
-                    message = self._result_queue.get(timeout=0.05)
-                except queue.Empty:
-                    self._reap_dead_workers(state)
-                    if (
-                        time.monotonic() - state.last_progress
-                        > STALL_TIMEOUT_SECONDS
-                    ):
-                        self._requeue_unclaimed(state)
-                        state.last_progress = time.monotonic()
-                    continue
-                state.last_progress = time.monotonic()
-                kind = message[0]
-                if kind == "claim":
-                    _, pid, msg_job, task_id = message
-                    if msg_job != job or task_id in state.outcomes:
-                        continue
-                    if pid in self._ever_dead_pids:
-                        # The claimer was already reaped before its claim
-                        # became readable; recording it would strand the
-                        # chunk (no future reap will see this pid again).
-                        self._requeue(state, task_id)
-                    else:
-                        state.claims[task_id] = pid
-                elif kind == "done":
-                    _, pid, msg_job, task_id, outcome, warm = message
-                    if msg_job != job or task_id in state.outcomes:
-                        continue  # stale job, or the duplicate of a requeue
-                    state.outcomes[task_id] = outcome
-                    state.claims.pop(task_id, None)
-                    self.stats.tasks_completed += 1
-                    if warm:
-                        self.stats.spool_handle_reuses += 1
-                elif kind == "error":
-                    _, pid, msg_job, task_id, detail = message
-                    if msg_job != job or task_id in state.outcomes:
-                        continue
-                    raise DiscoveryError(
-                        f"pool worker {pid} failed validating chunk "
-                        f"{task_id}: {detail}"
-                    )
+            for task in tasks.values():
+                self._task_queue.put(task)
+        except (OSError, ValueError):  # shutdown closed the queue mid-put
+            raise DiscoveryError("worker pool is shut down") from None
+        try:
+            while not state.done.wait(timeout=0.1):
+                if self._closed:
+                    raise DiscoveryError("worker pool is shut down")
+                if (
+                    self._dispatcher is not None
+                    and not self._dispatcher.is_alive()
+                ):
+                    # Belt and braces under the dispatcher's own exception
+                    # guard: should the thread die anyway (MemoryError,
+                    # interpreter teardown), waiting would hang forever.
+                    raise DiscoveryError("pool dispatcher thread died")
+            if state.error is not None:
+                raise state.error
+            return JobResult(
+                outcomes=[
+                    state.outcomes[index] for index in sorted(state.outcomes)
+                ],
+                stats=state.stats,
+            )
         finally:
-            # Requeued chunks leave duplicates behind, and a failed job
-            # leaves its pending chunks; never let either bleed into (and
-            # stall) the next job's queue.
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            # Requeued tasks leave duplicates behind, and a failed job
+            # leaves its pending tasks; sweep the shared queue so neither
+            # wastes the next jobs' worker time (live jobs' tasks are
+            # re-queued untouched).
             if state.requeues or len(state.outcomes) < len(tasks):
-                self._drain_task_queue()
-        return [state.outcomes[index] for index in sorted(state.outcomes)]
+                self._sweep_stale_tasks()
 
-    def _requeue(self, state: "_JobState", task_id: int) -> None:
-        """Requeue one task, failing the job at :data:`MAX_TASK_REQUEUES`."""
+    # -- dispatcher thread -------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Own the result queue: route messages, reap deaths, requeue stalls.
+
+        Worker reaping runs both on queue idleness *and* on a fixed cadence
+        while messages keep flowing — under a sustained multi-job load the
+        queue may never go quiet, and a crashed worker's claimed task must
+        still be requeued promptly.
+        """
+        last_maintenance = time.monotonic()
+        while not self._dispatcher_stop.is_set():
+            try:
+                message = self._result_queue.get(timeout=0.05)
+            except queue.Empty:
+                message = None
+            except (OSError, ValueError):  # queue closed mid-shutdown
+                return
+            try:
+                if message is not None:
+                    with self._lock:
+                        self._handle_message(message)
+                now = time.monotonic()
+                if (
+                    message is None
+                    or now - last_maintenance > _MAINTENANCE_INTERVAL
+                ):
+                    last_maintenance = now
+                    with self._lock:
+                        self._reap_dead_workers()
+                        self._requeue_stalled_unclaimed()
+            except Exception as exc:
+                # The dispatcher is the only thread driving jobs forward; if
+                # it died silently (respawn failing under memory pressure, a
+                # queue racing shutdown) every in-flight run_job would hang
+                # forever.  Fail the current jobs loudly and keep serving —
+                # a persistent fault simply keeps failing jobs, which is
+                # observable, unlike a dead thread.
+                with self._lock:
+                    for state in self._jobs.values():
+                        state.fail(
+                            DiscoveryError(f"pool dispatcher failed: {exc!r}")
+                        )
+
+    def _handle_message(self, message: tuple) -> None:
+        """Apply one worker message to its job's state (lock held)."""
+        kind = message[0]
+        job_id, task_id = message[2], message[3]
+        state = self._jobs.get(job_id)
+        if state is None or task_id in state.outcomes:
+            return  # stale job, or the duplicate of a requeue
+        state.last_progress = time.monotonic()
+        if kind == "claim":
+            pid = message[1]
+            if pid in self._ever_dead_pids:
+                # The claimer was already reaped before its claim became
+                # readable; recording it would strand the task (no future
+                # reap will see this pid again).
+                self._requeue(state, task_id)
+            else:
+                state.claims[task_id] = pid
+        elif kind == "done":
+            _, _, _, _, outcome, warm = message
+            task_kind = state.tasks[task_id].kind
+            state.outcomes[task_id] = outcome
+            state.claims.pop(task_id, None)
+            for stats in (self.stats, state.stats):
+                stats.tasks_completed += 1
+                stats.count_kind(task_kind)
+                if warm:
+                    stats.spool_handle_reuses += 1
+            if len(state.outcomes) == len(state.tasks):
+                state.done.set()
+        elif kind == "error":
+            pid, detail = message[1], message[4]
+            state.fail(
+                DiscoveryError(
+                    f"pool worker {pid} failed executing "
+                    f"{state.tasks[task_id].kind!r} task {task_id}: {detail}"
+                )
+            )
+
+    def _requeue(self, state: _JobState, task_id: int) -> None:
+        """Requeue one task, failing its job at :data:`MAX_TASK_REQUEUES`."""
         attempts = state.requeues.get(task_id, 0) + 1
         if attempts > MAX_TASK_REQUEUES:
-            raise DiscoveryError(
-                f"chunk {task_id} killed its worker {attempts} times "
-                f"(candidates {[str(c) for c in state.tasks[task_id].candidates]}); "
-                "giving up instead of respawning forever"
+            state.fail(
+                DiscoveryError(
+                    f"task {task_id} killed its worker {attempts} times "
+                    f"(candidates "
+                    f"{[str(c) for c in state.tasks[task_id].candidates]}); "
+                    "giving up instead of respawning forever"
+                )
             )
+            return
         state.requeues[task_id] = attempts
         self._task_queue.put(state.tasks[task_id])
         self.stats.tasks_requeued += 1
+        state.stats.tasks_requeued += 1
 
-    def _reap_dead_workers(self, state: "_JobState") -> None:
-        """Requeue the claims of dead workers; respawn toward fleet size."""
+    def _reap_dead_workers(self) -> None:
+        """Requeue dead workers' claims; respawn toward fleet size (lock held)."""
         dead = [proc for proc in self._procs if not proc.is_alive()]
         if not dead:
             return
@@ -510,43 +635,95 @@ class WorkerPool:
             dead_pids.add(proc.pid)
             self._ever_dead_pids.add(proc.pid)
             self._procs.remove(proc)
-        state.death_generation += 1
-        for task_id, pid in list(state.claims.items()):
-            if pid in dead_pids and task_id not in state.outcomes:
-                del state.claims[task_id]
-                self._requeue(state, task_id)
+        self._death_generation += 1
+        for state in self._jobs.values():
+            for task_id, pid in list(state.claims.items()):
+                if pid in dead_pids and task_id not in state.outcomes:
+                    del state.claims[task_id]
+                    self._requeue(state, task_id)
         while len(self._procs) < self._workers_target:
             self._spawn_worker()
             self.stats.workers_replaced += 1
 
-    def _requeue_unclaimed(self, state: "_JobState") -> None:
+    def _requeue_stalled_unclaimed(self) -> None:
         """Stall fallback: requeue tasks nobody finished and nobody claims.
 
         Covers the one unobservable failure window — a worker dying between
-        dequeuing a task and announcing its claim — so it only acts after a
-        worker death was actually observed (without one, every unclaimed
-        pending task is provably still sitting in the queue), and at most
-        once per task per observed death.  That keeps a merely *slow* job
-        (all workers busy on long chunks) from flooding the queue with
-        duplicates every stall interval; double execution remains harmless
-        because ``done`` is deduplicated by task id.
-        """
-        if state.death_generation == 0:
-            return
-        for task_id in state.tasks:
-            if (
-                task_id not in state.outcomes
-                and task_id not in state.claims
-                and state.stall_requeue_generation.get(task_id, -1)
-                < state.death_generation
-            ):
-                state.stall_requeue_generation[task_id] = state.death_generation
-                self._requeue(state, task_id)
+        dequeuing a task and announcing its claim (the claim message can die
+        unflushed with the worker).  Three gates keep it honest:
 
-    def _drain_task_queue(self) -> None:
-        """Best-effort removal of leftover tasks after requeues or a failure."""
+        * a worker death must have been observed *during the job* — without
+          one, nothing can have been consumed-but-lost;
+        * the shared **task queue must look empty** — while any task is
+          still queued, an unclaimed pending task is most likely simply
+          waiting its turn (typically behind *another* job's work during a
+          crash storm), and requeuing it would both flood the queue and
+          charge an innocent job's kill cap;
+        * at most once per task per observed death generation.
+
+        With the queue drained and the job quiet for
+        :data:`STALL_TIMEOUT_SECONDS`, an unclaimed pending task really was
+        consumed by a worker that died before its claim surfaced, so the
+        requeue rightly counts toward :data:`MAX_TASK_REQUEUES` — this is
+        exactly how a poison task whose claims always die with it is caught
+        instead of being respawned forever.  Double execution stays
+        harmless because ``done`` is deduplicated by task id.
+        """
+        if not self._jobs:
+            return
+        try:
+            if not self._task_queue.empty():
+                return
+        except (OSError, ValueError):  # closed mid-shutdown
+            return
+        now = time.monotonic()
+        for state in self._jobs.values():
+            if self._death_generation <= state.birth_generation:
+                continue
+            if now - state.last_progress <= STALL_TIMEOUT_SECONDS:
+                continue
+            state.last_progress = now
+            for task_id in state.tasks:
+                if (
+                    task_id not in state.outcomes
+                    and task_id not in state.claims
+                    and state.stall_requeue_generation.get(
+                        task_id, state.birth_generation
+                    )
+                    < self._death_generation
+                ):
+                    state.stall_requeue_generation[task_id] = (
+                        self._death_generation
+                    )
+                    self._requeue(state, task_id)
+
+    def _sweep_stale_tasks(self) -> None:
+        """Best-effort queue sweep: drop finished/failed jobs' leftover tasks.
+
+        Pops everything currently readable and re-enqueues only tasks whose
+        job is still live and still waiting on that task — concurrent jobs
+        keep their work, dead jobs stop wasting workers.  Racing workers are
+        harmless: a task they grab mid-sweep is either live (normal) or
+        stale (its result is dropped by the job-id check).
+        """
+        keep = []
         while True:
             try:
-                self._task_queue.get_nowait()
+                task = self._task_queue.get_nowait()
             except queue.Empty:
+                break
+            except (OSError, ValueError):  # closed mid-shutdown
                 return
+            with self._lock:
+                state = self._jobs.get(task.job_id)
+                live = state is not None and task.task_id not in state.outcomes
+            if live:
+                keep.append(task)
+        try:
+            for task in keep:
+                self._task_queue.put(task)
+        except (OSError, ValueError):
+            # Shutdown closed the queue between the sweep's get and put;
+            # swallowing here keeps run_job's finally from masking the
+            # job's real error with a queue-closed complaint.
+            return

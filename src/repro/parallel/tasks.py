@@ -1,0 +1,220 @@
+"""The pool's task model: typed task kinds and their worker-side executors.
+
+PR 3's :class:`~repro.parallel.pool.WorkerPool` could run exactly one shape
+of work — a brute-force candidate chunk — because the task tuple and the
+worker loop both hard-coded that validator.  Everything else the ROADMAP
+wants to push through the warm fleet (merge partitions today; export or
+sampling work tomorrow) would have meant another bespoke pool.  This module
+makes the pool a *substrate* instead:
+
+* a :class:`TaskSpec` names **what** to run (a task ``kind``, the candidates
+  it covers, and a kind-specific ``payload``) without saying **where**;
+* a registry maps each kind to the function a worker process calls to
+  execute it (:func:`register_task_kind` / :func:`resolve_task_kind`);
+* two kinds ship built in: :data:`KIND_BRUTE_FORCE` (a cost-bounded chunk of
+  candidates through the sequential
+  :class:`~repro.core.brute_force.BruteForceValidator`) and
+  :data:`KIND_MERGE_PARTITION` (a complete heap merge over a candidate
+  group, optionally restricted to a first-byte range of the value space).
+
+Executors run **in the worker process** against the worker's warm
+:class:`~repro.storage.sorted_sets.SpoolDirectory` handle and return a
+:class:`ShardOutcome`; they must be pure functions of the spool contents and
+the task (no ambient state), which is what makes requeue-after-crash safe
+for every kind at once.  Custom kinds registered at import time of a module
+both parent and workers import work under every multiprocessing start
+method; kinds registered dynamically (e.g. inside a test) require the
+``fork`` start method, where workers inherit the parent's registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.candidates import Candidate
+from repro.core.stats import DecisionCollector, ValidationResult, ValidatorStats
+from repro.errors import DiscoveryError
+
+if TYPE_CHECKING:  # circular-import guard: pool builds on this module
+    from repro.storage.sorted_sets import SpoolDirectory
+
+#: Registry key of the built-in brute-force chunk executor.  Payload:
+#: ``(skip_scan,)`` — forwarded to the sequential validator.
+KIND_BRUTE_FORCE = "brute-force"
+
+#: Registry key of the built-in merge-partition executor.  Payload:
+#: ``(lo, hi)`` — the first-byte range ``[lo, hi)`` of the value space this
+#: partition merges; ``(0, 256)`` means the whole space (no range cursors).
+KIND_MERGE_PARTITION = "merge-partition"
+
+
+@dataclass
+class ShardOutcome:
+    """What one executed task ships back: decisions plus measured counters."""
+
+    shard_index: int
+    decisions: dict[Candidate, bool]
+    vacuous: set[Candidate]
+    stats: ValidatorStats
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of pool work: a kind, its candidates, a kind-specific payload.
+
+    Specs are what callers hand to :meth:`~repro.parallel.pool.WorkerPool.run_job`;
+    the pool stamps job/task ids onto them to form the queued
+    :class:`PoolTask`.  ``payload`` must be picklable and is interpreted
+    only by the kind's executor.
+    """
+
+    kind: str
+    candidates: tuple[Candidate, ...]
+    payload: tuple = ()
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """A queued :class:`TaskSpec`: job- and task-stamped, ready for a worker."""
+
+    job_id: int
+    task_id: int
+    kind: str
+    spool_root: str
+    candidates: tuple[Candidate, ...]
+    payload: tuple = ()
+
+
+#: A worker-side executor: runs one task against the (possibly warm) spool
+#: handle and returns its outcome.  Must be deterministic in (spool, task).
+TaskExecutor = Callable[["SpoolDirectory", PoolTask], ShardOutcome]
+
+_REGISTRY: dict[str, TaskExecutor] = {}
+
+
+def register_task_kind(
+    kind: str, executor: TaskExecutor, replace: bool = False
+) -> None:
+    """Map ``kind`` to a worker-side ``executor``.
+
+    Refuses to overwrite an existing kind unless ``replace=True`` — two
+    modules silently fighting over one kind name would make task behaviour
+    depend on import order.  Registration must happen in code the worker
+    processes also import (module scope) to work under ``spawn``; under
+    ``fork`` the workers inherit whatever the parent registered.
+    """
+    if not kind or not isinstance(kind, str):
+        raise DiscoveryError(f"task kind must be a non-empty string, got {kind!r}")
+    if not replace and kind in _REGISTRY:
+        raise DiscoveryError(
+            f"task kind {kind!r} is already registered; pass replace=True "
+            "to override it deliberately"
+        )
+    _REGISTRY[kind] = executor
+
+
+def resolve_task_kind(kind: str) -> TaskExecutor:
+    """Return the executor registered for ``kind``; loud about unknowns."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise DiscoveryError(
+            f"unknown task kind {kind!r}; registered kinds: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def task_kinds() -> tuple[str, ...]:
+    """The currently registered kinds, sorted (built-ins always present)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def merge_shard_outcomes(
+    candidates: list[Candidate],
+    outcomes: list[ShardOutcome],
+    validator_name: str,
+) -> ValidationResult:
+    """Fold per-task results into one, in the original candidate order.
+
+    Additive counters (items, comparisons, file opens, skip-scan counters)
+    sum; ``peak_open_files`` sums too, because the tasks hold their cursors
+    *concurrently* — the sum is the fleet-wide worst case the operator has to
+    provision file descriptors for.  Raises if the outcomes do not jointly
+    cover the candidate list exactly once — that would be a planner bug, and
+    silently mis-merged decisions are the worst possible failure mode.
+    """
+    decided: dict[Candidate, bool] = {}
+    vacuous: set[Candidate] = set()
+    merged = ValidatorStats(validator=validator_name)
+    for outcome in sorted(outcomes, key=lambda o: o.shard_index):
+        for candidate, satisfied in outcome.decisions.items():
+            if candidate in decided:
+                raise DiscoveryError(
+                    f"candidate {candidate} was validated by two shards"
+                )
+            decided[candidate] = satisfied
+        vacuous |= outcome.vacuous
+        merged.comparisons += outcome.stats.comparisons
+        merged.items_read += outcome.stats.items_read
+        merged.files_opened += outcome.stats.files_opened
+        merged.peak_open_files += outcome.stats.peak_open_files
+        merged.blocks_skipped += outcome.stats.blocks_skipped
+        merged.values_skipped += outcome.stats.values_skipped
+    collector = DecisionCollector(candidates, validator_name)
+    collector.stats = merged
+    merged.candidates_total = len(collector.candidates)
+    for candidate in collector.candidates:
+        if candidate not in decided:
+            raise DiscoveryError(
+                f"no shard validated candidate {candidate}"
+            )
+        collector.record(
+            candidate, decided[candidate], vacuous=candidate in vacuous
+        )
+    return collector.result()
+
+
+# --------------------------------------------------------- built-in executors
+def _run_brute_force_chunk(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
+    """Built-in executor: one brute-force chunk via the sequential validator."""
+    from repro.core.brute_force import BruteForceValidator
+
+    (skip_scan,) = task.payload or (False,)
+    result = BruteForceValidator(spool, skip_scan=skip_scan).validate(
+        list(task.candidates)
+    )
+    return ShardOutcome(
+        shard_index=task.task_id,
+        decisions=result.decisions,
+        vacuous=result.vacuous,
+        stats=result.stats,
+    )
+
+
+def _run_merge_partition(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
+    """Built-in executor: one heap merge over a candidate group.
+
+    With a restricted payload range the merge runs behind
+    :class:`~repro.parallel.merge.ByteRangeCursor` views — a complete,
+    independent pass over the values whose first UTF-8 byte falls in
+    ``[lo, hi)``; with the full ``(0, 256)`` range it runs straight on the
+    spool, so a whole-group task is byte-for-byte the sequential validator
+    on that group.
+    """
+    from repro.core.merge_single_pass import MergeSinglePassValidator
+    from repro.parallel.merge import make_partition_view
+
+    lo, hi = task.payload or (0, 256)
+    view = make_partition_view(spool, lo, hi)
+    result = MergeSinglePassValidator(view).validate(list(task.candidates))
+    return ShardOutcome(
+        shard_index=task.task_id,
+        decisions=result.decisions,
+        vacuous=result.vacuous,
+        stats=result.stats,
+    )
+
+
+register_task_kind(KIND_BRUTE_FORCE, _run_brute_force_chunk)
+register_task_kind(KIND_MERGE_PARTITION, _run_merge_partition)

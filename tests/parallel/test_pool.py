@@ -17,11 +17,24 @@ from repro.errors import DiscoveryError
 from repro.parallel.engine import ProcessPoolValidationEngine
 from repro.parallel.planner import ShardPlanner
 from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import KIND_BRUTE_FORCE, KIND_MERGE_PARTITION, TaskSpec
 from repro.storage.sorted_sets import SpoolDirectory
 
 
 def _cand(dep: str, ref: str) -> Candidate:
     return Candidate(AttributeRef("t", dep), AttributeRef("t", ref))
+
+
+def _brute_specs(chunks, skip_scan: bool = False) -> list[TaskSpec]:
+    """One brute-force spec per chunk; a bare candidate becomes its own chunk."""
+    return [
+        TaskSpec(
+            kind=KIND_BRUTE_FORCE,
+            candidates=chunk if isinstance(chunk, tuple) else (chunk,),
+            payload=(skip_scan,),
+        )
+        for chunk in chunks
+    ]
 
 
 @pytest.fixture()
@@ -133,19 +146,113 @@ class TestPoolLifecycle:
         """A failing chunk (not a dying worker) raises, not hangs."""
         missing = [_cand("a", "nosuch"), _cand("b", "a"), _cand("c", "a")]
         with WorkerPool(2) as pool:
-            with pytest.raises(DiscoveryError, match="failed validating"):
-                pool.run_job(
-                    str(spool.root), [(c,) for c in missing], skip_scan=False
-                )
+            with pytest.raises(DiscoveryError, match="failed executing"):
+                pool.run_job(str(spool.root), _brute_specs(missing))
             # The pool survives a failed job and serves the next one.
-            outcomes = pool.run_job(
-                str(spool.root), [(_cand("a", "b"),)], skip_scan=False
-            )
-            assert len(outcomes) == 1
+            job = pool.run_job(str(spool.root), _brute_specs([_cand("a", "b")]))
+            assert len(job.outcomes) == 1
+            assert job.stats.tasks_completed == 1
 
     def test_empty_job_returns_no_outcomes(self, spool):
         with WorkerPool(2) as pool:
-            assert pool.run_job(str(spool.root), []) == []
+            job = pool.run_job(str(spool.root), [])
+            assert job.outcomes == []
+            assert job.stats.jobs == 0
+
+    def test_unknown_task_kind_fails_in_the_caller(self, spool, candidates):
+        """A bad kind raises before anything is queued or spawned."""
+        with WorkerPool(2) as pool:
+            with pytest.raises(DiscoveryError, match="unknown task kind"):
+                pool.run_job(
+                    str(spool.root),
+                    [TaskSpec(kind="nosuch", candidates=(candidates[0],))],
+                )
+            assert pool.stats.jobs == 0
+            assert pool.stats.workers_spawned == 0
+
+    def test_per_job_stats_are_deltas_not_lifetime_totals(
+        self, spool, candidates
+    ):
+        """Each run_job reports its own counters next to the pool's totals."""
+        with WorkerPool(2) as pool:
+            engine = ProcessPoolValidationEngine(spool, workers=2, pool=pool)
+            first = engine.validate(candidates)
+            second = engine.validate(candidates)
+            assert first.pool is not None and second.pool is not None
+            assert first.pool["jobs"] == second.pool["jobs"] == 1
+            assert (
+                first.pool["tasks_completed"]
+                == first.pool["tasks_dispatched"]
+                > 0
+            )
+            assert first.pool["tasks_by_kind"] == {
+                "brute-force": first.pool["tasks_completed"]
+            }
+            # The second job runs entirely on warm handles; the first job
+            # may warm some of its own chunks but never all of them.
+            assert second.pool["spool_handle_reuses"] == second.pool[
+                "tasks_completed"
+            ]
+            assert (
+                pool.stats.tasks_completed
+                == first.pool["tasks_completed"] + second.pool["tasks_completed"]
+            )
+
+    def test_concurrent_jobs_multiplex_one_fleet(self, spool, candidates):
+        """Several threads share one pool; every job gets exact results."""
+        import threading
+
+        sequential = BruteForceValidator(spool).validate(candidates)
+        results: dict[int, object] = {}
+        errors: list[Exception] = []
+        with WorkerPool(2) as pool:
+            def run(slot: int) -> None:
+                try:
+                    engine = ProcessPoolValidationEngine(
+                        spool, workers=2, pool=pool
+                    )
+                    results[slot] = engine.validate(candidates)
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert pool.stats.jobs == 4
+            assert pool.stats.workers_spawned == 2
+        for got in results.values():
+            assert got.decisions == sequential.decisions
+            assert got.stats.items_read == sequential.stats.items_read
+            assert got.stats.comparisons == sequential.stats.comparisons
+
+    def test_one_job_may_mix_task_kinds(self, spool, candidates):
+        """Brute-force chunks and merge partitions ride one job together."""
+        brute = candidates[:4]
+        merge_group = candidates[4:8]
+        specs = _brute_specs([tuple(brute)]) + [
+            TaskSpec(
+                kind=KIND_MERGE_PARTITION,
+                candidates=tuple(merge_group),
+                payload=(0, 256),
+            )
+        ]
+        sequential = BruteForceValidator(spool).validate(candidates[:8])
+        with WorkerPool(2) as pool:
+            job = pool.run_job(str(spool.root), specs)
+        assert job.stats.tasks_by_kind == {
+            "brute-force": 1, "merge-partition": 1,
+        }
+        decisions = {}
+        for outcome in job.outcomes:
+            decisions.update(outcome.decisions)
+        assert {str(c): ok for c, ok in decisions.items()} == {
+            str(c): ok for c, ok in sequential.decisions.items()
+        }
 
     def test_warm_handle_invalidated_when_spool_rewritten_in_place(
         self, tmp_path

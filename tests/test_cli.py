@@ -236,6 +236,158 @@ class TestServe:
         assert code == 0
         assert responses == []
 
+    def test_responses_carry_request_ids_and_pool_stats(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            json.dumps({"directory": str(biosql_dump), "id": "mine"}) + "\n",
+            json.dumps({"directory": str(biosql_dump)}) + "\n",
+            "not json\n",
+        ]
+        code, responses, _ = self._serve(
+            monkeypatch, capsys, lines, "--validation-workers", "2"
+        )
+        assert code == 0
+        by_id = {r["id"]: r for r in responses}
+        # Explicit id, then namespaced line fallbacks (never a bare ordinal,
+        # which could collide with a client-chosen integer id).
+        assert set(by_id) == {"mine", "line-2", "line-3"}
+        assert "error" in by_id["line-3"]
+        # Per-request pool stats: each request ran its own job on the pool.
+        assert by_id["mine"]["pool"]["jobs"] == 1
+        assert by_id["mine"]["pool"]["tasks_by_kind"].keys() == {"brute-force"}
+
+    def test_rejects_bad_max_inflight(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--max-inflight", "0"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+
+class TestServeConcurrent:
+    """Overlapping requests over one warm pool answer exactly like serial."""
+
+    def _serve(self, monkeypatch, capsys, lines, *extra_args):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+        code = main(["serve", *extra_args])
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        return code, responses, captured.err
+
+    def test_overlapping_requests_agree_with_serial_by_id(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            json.dumps({"directory": str(biosql_dump), "id": "r1"}) + "\n",
+            json.dumps(
+                {
+                    "directory": str(biosql_dump),
+                    "id": "r2",
+                    "strategy": "merge-single-pass",
+                }
+            )
+            + "\n",
+            json.dumps({"directory": str(biosql_dump), "id": "r3"}) + "\n",
+        ]
+        runs = {}
+        for label, inflight in (("serial", "1"), ("concurrent", "3")):
+            code, responses, err = self._serve(
+                monkeypatch,
+                capsys,
+                lines,
+                "--validation-workers", "2",
+                "--max-inflight", inflight,
+            )
+            assert code == 0
+            assert f"max-inflight={inflight}" in err
+            assert "requests=3" in err
+            runs[label] = {r["id"]: r for r in responses}
+        assert set(runs["serial"]) == set(runs["concurrent"]) == {
+            "r1", "r2", "r3",
+        }
+        for request_id in runs["serial"]:
+            serial = dict(runs["serial"][request_id])
+            concurrent = dict(runs["concurrent"][request_id])
+            # Timing and pool-placement counters legitimately differ
+            # between the two modes; everything the request *answers* must
+            # be byte-identical.
+            for volatile in ("seconds", "pool"):
+                serial.pop(volatile), concurrent.pop(volatile)
+            assert serial == concurrent, f"request {request_id} diverges"
+
+
+class TestServeSignals:
+    """SIGINT/SIGTERM drain in-flight work instead of orphaning workers."""
+
+    @pytest.mark.parametrize("signum_name", ["SIGINT", "SIGTERM"])
+    def test_signal_drains_and_exits_cleanly(
+        self, biosql_dump, tmp_path, signum_name
+    ):
+        import os
+        import pathlib
+        import signal as signal_module
+        import subprocess
+        import sys as sys_module
+
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+        proc = subprocess.Popen(
+            [
+                sys_module.executable, "-m", "repro.cli", "serve",
+                "--validation-workers", "2", "--max-inflight", "2",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=str(repo_root),
+            env=env,
+        )
+        try:
+            proc.stdin.write(
+                json.dumps({"directory": str(biosql_dump), "id": "one"}) + "\n"
+            )
+            proc.stdin.flush()
+            response = json.loads(proc.stdout.readline())
+            assert response["id"] == "one"
+            assert response["satisfied_count"] > 0
+            proc.send_signal(getattr(signal_module, signum_name))
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "pool:" in err
+        assert f"drained-on-signal={signum_name}" in err
+        assert "requests=1" in err
+
+    def test_second_signal_falls_through_to_default(self, tmp_path):
+        """The drain restores the old handlers before waiting (escape hatch)."""
+        import signal as signal_module
+
+        from repro.cli import _serve_signal_handlers
+
+        old_int = signal_module.getsignal(signal_module.SIGINT)
+        old_term = signal_module.getsignal(signal_module.SIGTERM)
+        previous = _serve_signal_handlers()
+        try:
+            assert previous[signal_module.SIGINT] is old_int
+            assert previous[signal_module.SIGTERM] is old_term
+            assert signal_module.getsignal(signal_module.SIGINT) is not old_int
+        finally:
+            for signum, handler in previous.items():
+                signal_module.signal(signum, handler)
+        assert signal_module.getsignal(signal_module.SIGINT) is old_int
+        assert signal_module.getsignal(signal_module.SIGTERM) is old_term
+
 
 class TestCacheCommand:
     def _warm_cache(self, dump, cache_dir):

@@ -27,6 +27,7 @@ DOCUMENTED_MODULES = [
     "repro.parallel.planner",
     "repro.parallel.pool",
     "repro.parallel.merge",
+    "repro.parallel.tasks",
     "repro.storage.spool_cache",
 ]
 

@@ -165,9 +165,11 @@ class TestParallelAgreement:
     Every seeded database runs the two parallel-capable strategies at 1, 2
     and 4 workers against one shared exported spool.  Satisfied and refuted
     sets must be identical to the sequential validator at every worker
-    count; for brute force — where each candidate's test is independent of
-    where it runs — the summed ``items_read`` and ``comparisons`` must also
-    be identical.
+    count — and so must the summed ``items_read`` and ``comparisons``: for
+    brute force because each candidate's test is independent of where it
+    runs, for the pool-backed merge because its groups are whole
+    candidate-graph components, the one cut that preserves the sequential
+    pass's I/O exactly.
     """
 
     WORKER_COUNTS = (1, 2, 4)
@@ -204,9 +206,12 @@ class TestParallelAgreement:
                 assert got.satisfied == expected.satisfied
                 assert got.stats.satisfied_count == expected.stats.satisfied_count
                 assert got.stats.refuted_count == expected.stats.refuted_count
-                if strategy == "brute-force":
-                    assert got.stats.items_read == expected.stats.items_read
-                    assert got.stats.comparisons == expected.stats.comparisons
+                assert got.stats.items_read == expected.stats.items_read, (
+                    f"{strategy} reads diverge at {workers} workers "
+                    f"(seed {seed})"
+                )
+                assert got.stats.comparisons == expected.stats.comparisons
+                assert got.stats.files_opened == expected.stats.files_opened
 
     @pytest.mark.parametrize("workers", (2, 4))
     def test_warm_pool_replays_sequential_across_jobs(self, workers, tmp_path):
@@ -247,6 +252,84 @@ class TestParallelAgreement:
             assert pool.stats.jobs == jobs
             assert pool.stats.workers_spawned == workers
             assert pool.stats.spool_handle_reuses > 0
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_warm_pool_merge_replays_sequential_across_jobs(
+        self, workers, tmp_path
+    ):
+        """The pool-backed merge on a warm fleet never drifts either.
+
+        Same shape as the brute-force warm-pool test, but through
+        ``merge-partition`` tasks: one pool serves several seeds twice
+        each, and decisions *and* I/O counters must equal the sequential
+        merge validator every time.  The second pass must find the spool
+        handles the first pass warmed.
+        """
+        from repro.parallel import PartitionedMergeValidator, WorkerPool
+
+        with WorkerPool(workers) as pool:
+            for seed in (1, 5):
+                db = build_random_db(seed)
+                _, candidates = _candidates(db)
+                if not candidates:
+                    continue
+                spool, _ = export_database(
+                    db, str(tmp_path / f"spool{seed}"), block_size=3
+                )
+                sequential = MergeSinglePassValidator(spool).validate(
+                    candidates
+                )
+                validator = PartitionedMergeValidator(
+                    spool, workers=workers, pool=pool
+                )
+                # workers+1 passes: these tiny databases often plan a single
+                # merge group, so only the pigeonhole guarantees some worker
+                # sees the same spool twice (a warm-handle hit).
+                for _ in range(workers + 1):
+                    got = validator.validate(candidates)
+                    assert _decision_key(got.decisions) == _decision_key(
+                        sequential.decisions
+                    ), f"warm merge pool diverges (seed {seed})"
+                    assert got.satisfied == sequential.satisfied
+                    assert got.stats.items_read == sequential.stats.items_read
+                    assert got.stats.comparisons == sequential.stats.comparisons
+                    assert got.pool is not None
+                    assert got.pool["tasks_by_kind"].keys() == {
+                        "merge-partition"
+                    }
+            assert pool.stats.workers_spawned == workers
+            assert pool.stats.spool_handle_reuses > 0
+            assert pool.stats.tasks_by_kind["merge-partition"] > 0
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_range_split_merge_keeps_decisions_exact(self, seed, tmp_path):
+        """The byte-range escape hatch trades I/O accounting, never answers.
+
+        ``range_split=N`` additionally cuts every merge group into N
+        first-byte ranges — the partitioning that parallelises even one
+        giant candidate-graph component.  Decisions and satisfied sets must
+        still match the sequential pass exactly; ``items_read`` may only
+        grow (boundary re-reads are the documented price and must never be
+        hidden by undercounting).
+        """
+        from repro.parallel import PartitionedMergeValidator
+
+        db = build_random_db(seed)
+        _, candidates = _candidates(db)
+        if not candidates:
+            pytest.skip(f"seed {seed} generated no candidates")
+        spool, _ = export_database(
+            db, str(tmp_path / "spool"), block_size=3
+        )
+        sequential = MergeSinglePassValidator(spool).validate(candidates)
+        got = PartitionedMergeValidator(
+            spool, workers=2, range_split=4
+        ).validate(candidates)
+        assert _decision_key(got.decisions) == _decision_key(
+            sequential.decisions
+        )
+        assert got.satisfied == sequential.satisfied
+        assert got.stats.items_read >= sequential.stats.items_read
 
     @pytest.mark.parametrize("seed", (1, 5))
     def test_discover_inds_parallel_equals_sequential(self, seed):
