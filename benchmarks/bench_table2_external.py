@@ -23,6 +23,7 @@ import pytest
 from repro._util import Stopwatch
 from repro.bench.harness import (
     RESULT_HEADERS,
+    run_e2e_pool_curve,
     run_merge_pool_curve,
     run_parallel_curve,
     run_pool_repeat_curve,
@@ -497,6 +498,118 @@ def test_table2_merge_pool_repeated_runs(workloads, report):
             f"warm pool ({seconds(totals['warm'])}) must beat the cold "
             f"per-call pool ({seconds(totals['cold'])}) over {runs} repeated "
             "merge runs on a 4+ core machine"
+        )
+
+
+def test_table2_e2e_pool_repeated_runs(workloads, report):
+    """End-to-end pooled pipeline acceptance: export + pretest + validate.
+
+    The last two PRs put validation on the warm fleet; this experiment
+    measures the *whole pipeline* riding it — the export phase dispatched
+    as ``spool-export`` tasks, the sampling pretest as ``sample-pretest``
+    tasks, validation as ``brute-force`` chunks — over five runs per leg
+    on the BioSQL workload, and emits ``BENCH_e2e_pool.json`` with the
+    per-run **total** (profile-through-validate) timings: ``sequential``
+    (all phases in-process), ``cold`` (one per-call fleet per
+    ``discover_inds``, shared by its three phases) and ``warm`` (one
+    ``DiscoverySession`` fleet across all runs).  No spool cache: the
+    export phase must do real work every run, that being the phase under
+    test.
+
+    Asserted unconditionally: identical satisfied sets, identical
+    ``sampling_refuted`` counts, identical validator ``items_read`` and
+    export ``values_scanned``/``values_written`` on every leg and run (the
+    pooled pipeline is byte-exact, not approximately right), and the warm
+    session's lifetime ``tasks_by_kind`` covering all three kinds.  *Warm
+    beats cold end-to-end* is asserted on 4+ core machines only, where the
+    fleet is a sensible configuration at all.
+    """
+    dataset = workloads.biosql()
+    runs, workers = 5, 4
+    curves, pool_stats = run_e2e_pool_curve(
+        "UniProt(BioSQL)", dataset.db, runs=runs, workers=workers
+    )
+    reference = curves["sequential"][0].result
+    reference_satisfied = {str(i) for i in reference.satisfied}
+    for mode, outcomes in curves.items():
+        for outcome in outcomes:
+            result = outcome.result
+            assert {
+                str(i) for i in result.satisfied
+            } == reference_satisfied, f"{mode} leg diverges"
+            assert result.sampling_refuted == reference.sampling_refuted, (
+                f"{mode} leg prunes a different candidate set"
+            )
+            assert (
+                result.validator_stats.items_read
+                == reference.validator_stats.items_read
+            ), f"{mode} leg reads a different number of items"
+            assert (
+                result.export_values_scanned == reference.export_values_scanned
+            )
+            assert (
+                result.export_values_written == reference.export_values_written
+            )
+    for outcome in curves["cold"] + curves["warm"]:
+        kinds = outcome.result.pool_stats["tasks_by_kind"].keys()
+        assert "spool-export" in kinds and "sample-pretest" in kinds, kinds
+    lifetime_kinds = pool_stats.get("tasks_by_kind", {})
+    assert {"spool-export", "sample-pretest", "brute-force"} <= set(
+        lifetime_kinds
+    ), lifetime_kinds
+    assert pool_stats.get("workers_spawned") == workers, (
+        "warm leg must spawn its fleet exactly once"
+    )
+    totals = {
+        mode: sum(o.total_seconds for o in outcomes)
+        for mode, outcomes in curves.items()
+    }
+    warm_vs_cold = (
+        totals["cold"] / totals["warm"] if totals["warm"] else float("inf")
+    )
+    doc = {
+        "dataset": "UniProt(BioSQL)",
+        "strategy": "brute-force",
+        "runs": runs,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "total_seconds": {
+            mode: [round(o.total_seconds, 6) for o in outcomes]
+            for mode, outcomes in curves.items()
+        },
+        "totals": {mode: round(t, 6) for mode, t in totals.items()},
+        "warm_vs_cold_speedup": round(warm_vs_cold, 3),
+        "sampling_refuted": reference.sampling_refuted,
+        "items_read": reference.validator_stats.items_read,
+        "pool": pool_stats,
+        "satisfied": len(reference_satisfied),
+    }
+    with open("BENCH_e2e_pool.json", "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+    report(
+        paper_vs_measured(
+            f"End-to-end pooled pipeline / {runs} repeated runs on BioSQL",
+            [
+                ("total (sequential)", "-", seconds(totals["sequential"])),
+                ("total (cold pool)", "-", seconds(totals["cold"])),
+                ("total (warm pool)", "-", seconds(totals["warm"])),
+                ("warm vs cold", "> 1x on 4+ cores", f"{warm_vs_cold:.2f}x"),
+                (
+                    "task kinds (warm fleet)",
+                    "export+pretest+validate",
+                    ",".join(sorted(lifetime_kinds)),
+                ),
+            ],
+            note="export, sampling pretest and validation all dispatch as "
+            "typed tasks; satisfied sets, pruned candidates, items_read and "
+            "export counters identical on every leg and run (asserted)",
+        )
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert totals["warm"] < totals["cold"], (
+            f"warm fleet ({seconds(totals['warm'])}) must beat per-call "
+            f"fleets ({seconds(totals['cold'])}) end-to-end over {runs} "
+            "repeated runs on a 4+ core machine"
         )
 
 

@@ -174,6 +174,70 @@ def run_pool_repeat_curve(
     return curves, (stats.as_dict() if stats is not None else {})
 
 
+def run_e2e_pool_curve(
+    dataset_name: str,
+    db: Database,
+    strategy: str = "brute-force",
+    workers: int = 4,
+    runs: int = 5,
+    sampling_size: int = 8,
+    **config_kwargs,
+) -> tuple[dict[str, list[StrategyOutcome]], dict[str, object]]:
+    """Repeated *end-to-end* runs with the whole pipeline on the pool.
+
+    Unlike :func:`run_pool_repeat_curve`, which pools only validation,
+    every parallel leg here runs export, sampling pretest **and**
+    validation as pool tasks (``parallel_export=True``,
+    ``parallel_pretest=True``) — so the curve measures what the ROADMAP's
+    "end-to-end parallel" session actually buys, total wall clock, not
+    just the validate phase.  Three legs: ``sequential`` (one worker, all
+    phases in-process), ``cold`` (each ``discover_inds`` call builds one
+    per-call fleet shared by its three phases and drains it), ``warm``
+    (one :class:`~repro.core.runner.DiscoverySession` fleet across all
+    ``runs``), cold and warm interleaved so load noise hits both alike.
+    No spool cache is involved — the export phase must do real work on
+    every run, that being the phase under test.
+
+    Returns ``(curves, pool_stats)`` like the other curve helpers; the
+    warm session's lifetime ``tasks_by_kind`` shows all three kinds.
+    """
+
+    def config(n: int, pooled: bool) -> DiscoveryConfig:
+        return DiscoveryConfig(
+            strategy=strategy,
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            validation_workers=n,
+            sampling_size=sampling_size,
+            parallel_export=pooled,
+            parallel_pretest=pooled and sampling_size > 0,
+            **config_kwargs,
+        )
+
+    curves: dict[str, list[StrategyOutcome]] = {
+        "sequential": [], "cold": [], "warm": [],
+    }
+    for _ in range(runs):
+        curves["sequential"].append(
+            StrategyOutcome(
+                dataset_name, strategy, discover_inds(db, config(1, False))
+            )
+        )
+    with DiscoverySession(config(workers, True)) as session:
+        for _ in range(runs):
+            curves["cold"].append(
+                StrategyOutcome(
+                    dataset_name,
+                    strategy,
+                    discover_inds(db, config(workers, True)),
+                )
+            )
+            curves["warm"].append(
+                StrategyOutcome(dataset_name, strategy, session.discover(db))
+            )
+        stats = session.pool_stats
+    return curves, (stats.as_dict() if stats is not None else {})
+
+
 def run_merge_pool_curve(
     dataset_name: str,
     db: Database,

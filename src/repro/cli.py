@@ -82,6 +82,32 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         "Decisions are identical at every N",
     )
     parser.add_argument(
+        "--sampling-size",
+        type=int,
+        default=0,
+        metavar="K",
+        help="pretest each candidate against a K-value random sample of its "
+        "dependent attribute before full validation; external strategies "
+        "only (default: 0, pretest off)",
+    )
+    parser.add_argument(
+        "--parallel-export",
+        action="store_true",
+        help="run the spool export as pool tasks on the validation worker "
+        "fleet (one task group per attribute set, sized by estimated row "
+        "counts); requires an external strategy, produces byte-identical "
+        "spools and statistics (default: off — in-process export, "
+        "optionally threaded via --export-workers)",
+    )
+    parser.add_argument(
+        "--parallel-pretest",
+        action="store_true",
+        help="run the sampling pretest as pool tasks on the validation "
+        "worker fleet; requires --sampling-size > 0 and an external "
+        "strategy, prunes the identical candidate set at every worker "
+        "count (default: off — in-process pretest)",
+    )
+    parser.add_argument(
         "--skip-scans",
         action="store_true",
         help="let brute-force seek past spool blocks below the sought value; "
@@ -126,6 +152,9 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
         "strategy": args.strategy,
         "spool_format": args.spool_format,
         "export_workers": args.export_workers,
+        "sampling_size": args.sampling_size,
+        "parallel_export": args.parallel_export,
+        "parallel_pretest": args.parallel_pretest,
         "validation_workers": args.validation_workers,
         "skip_scans": args.skip_scans,
         "reuse_spool": args.reuse_spool,
@@ -158,7 +187,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=sorted(ALL_STRATEGIES), default="merge-single-pass"
     )
     disc.add_argument("--no-max-value-pretest", action="store_true")
-    disc.add_argument("--sampling-size", type=int, default=0)
     disc.add_argument("--transitivity", action="store_true")
     _add_validation_flags(disc)
     disc.add_argument("--json", dest="json_path", help="write full result JSON")
@@ -239,6 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
     which.add_argument(
         "--all", action="store_true", help="evict every entry"
     )
+    which.add_argument(
+        "--orphans",
+        action="store_true",
+        help="reclaim orphaned working directories (in-progress or "
+        "abandoned .staging-* exports that never published, interrupted "
+        ".doomed-* deletions) without touching published entries; run "
+        "only when no export is in flight",
+    )
 
     acc = sub.add_parser("accession", help="list accession-number candidates")
     acc.add_argument("directory")
@@ -316,7 +352,6 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         pretests=PretestConfig(
             cardinality=True, max_value=not args.no_max_value_pretest
         ),
-        sampling_size=args.sampling_size,
         use_transitivity=args.transitivity,
         **_validation_config_kwargs(args),
     )
@@ -564,28 +599,49 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_cache_list(cache: SpoolCache) -> int:
     entries = cache.list_entries()
-    if not entries:
+    orphans = cache.list_orphans()
+    if not entries and not orphans:
         print(f"spool cache at {cache.root} is empty")
         return 0
-    print(f"{'fingerprint':34} {'format':10} {'block':>6} {'attrs':>6} "
-          f"{'bytes':>12} last-hit")
-    for info in entries:
-        block = str(info.block_size) if info.block_size is not None else "-"
+    if entries:
+        print(f"{'fingerprint':34} {'format':10} {'block':>6} {'attrs':>6} "
+              f"{'bytes':>12} last-hit")
+        for info in entries:
+            block = str(info.block_size) if info.block_size is not None else "-"
+            print(
+                f"{info.fingerprint_prefix:34} {info.spool_format:10} "
+                f"{block:>6} {info.attribute_count:>6} {info.size_bytes:>12,} "
+                + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
+            )
         print(
-            f"{info.fingerprint_prefix:34} {info.spool_format:10} "
-            f"{block:>6} {info.attribute_count:>6} {info.size_bytes:>12,} "
-            + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
+            f"total: {len(entries)} entries, "
+            f"{format_count(sum(i.size_bytes for i in entries))} bytes "
+            f"({cache.root}); listed stalest first — the eviction order"
         )
-    print(
-        f"total: {len(entries)} entries, "
-        f"{format_count(sum(i.size_bytes for i in entries))} bytes "
-        f"({cache.root}); listed stalest first — the eviction order"
-    )
+    else:
+        print(f"no published entries ({cache.root})")
+    if orphans:
+        # Published entries are complete by construction (atomic rename);
+        # anything below never finished and never serves a hit.
+        print(
+            f"orphans: {len(orphans)} in-progress/abandoned temp dirs, "
+            f"{format_count(sum(o.size_bytes for o in orphans))} bytes — "
+            "reclaim with 'cache evict --orphans' once no export is in flight"
+        )
+        for orphan in orphans:
+            print(
+                f"  {orphan.kind:8} {orphan.name:44} {orphan.size_bytes:>12,} "
+                + time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(orphan.mtime)
+                )
+            )
     return 0
 
 
 def _cmd_cache_evict(cache: SpoolCache, args: argparse.Namespace) -> int:
-    if args.all:
+    if args.orphans:
+        evicted = cache.evict_orphans()
+    elif args.all:
         evicted = cache.evict_all()
     elif args.fingerprint:
         evicted = cache.evict_prefix(args.fingerprint)

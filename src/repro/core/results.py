@@ -56,8 +56,10 @@ class DiscoveryResult:
     export_values_written: int = 0
     spool_cache_hit: bool = False  # export skipped: cached spool reused
     validation_workers: int = 1
-    #: Per-job worker-pool counters (tasks run, requeues, warm spool-handle
-    #: hits, tasks by kind) when validation ran on a pool; ``None`` otherwise.
+    #: Worker-pool counters (tasks run, requeues, warm spool-handle hits,
+    #: tasks by kind) summed over every pipeline phase that ran on a pool —
+    #: spool export, sampling pretest, validation — so ``tasks_by_kind``
+    #: covers the whole run; ``None`` when no phase used a pool.
     pool_stats: dict | None = None
 
     @property

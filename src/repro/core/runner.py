@@ -95,8 +95,15 @@ class DiscoveryConfig:
     * **Spooling** — ``spool_dir`` (explicit location; temporary when
       ``None``), ``keep_spool``, ``spool_format`` ("binary" v2 blocks or
       "text" v1), ``spool_block_size`` (values per v2 block),
-      ``export_workers`` (parallel attribute export),
+      ``export_workers`` (thread-parallel attribute export),
       ``max_items_in_memory`` (external-sort run size).
+    * **Pooled pipeline** — ``parallel_export`` dispatches the export
+      phase as ``spool-export`` pool tasks, ``parallel_pretest`` the
+      sampling pretest as ``sample-pretest`` tasks (requires
+      ``sampling_size``); both ride the same worker fleet as parallel
+      validation — the session pool when one is lent, else one per-call
+      pool shared by every phase of the run — and leave all results
+      byte-identical to the in-process phases.
     * **Validation** — ``strategy`` (one of :data:`ALL_STRATEGIES`),
       ``validation_workers`` (worker processes for the brute-force and
       merge-single-pass strategies; 1 = sequential), ``skip_scans``
@@ -124,7 +131,9 @@ class DiscoveryConfig:
     keep_spool: bool = False
     spool_format: str = FORMAT_BINARY  # "binary" (v2 blocks) or "text" (v1)
     spool_block_size: int = DEFAULT_BLOCK_SIZE  # values per v2 block
-    export_workers: int = 1  # parallel attribute spooling
+    export_workers: int = 1  # thread-parallel attribute spooling
+    parallel_export: bool = False  # export as spool-export pool tasks
+    parallel_pretest: bool = False  # sampling pretest as pool tasks
     validation_workers: int = 1  # worker processes (brute-force / merge-s-p)
     skip_scans: bool = False  # per-block skip-scans (brute-force, v2 spools)
     reuse_spool: bool = False  # content-addressed spool cache across runs
@@ -179,6 +188,21 @@ class DiscoveryConfig:
                 "transitivity pruning is order-dependent and cannot run "
                 "across validation workers"
             )
+        if self.parallel_export and self.strategy not in EXTERNAL_STRATEGIES:
+            raise DiscoveryError(
+                "parallel_export spools value files and therefore requires "
+                f"an external strategy, not {self.strategy!r}"
+            )
+        if self.parallel_pretest and self.strategy not in EXTERNAL_STRATEGIES:
+            raise DiscoveryError(
+                "parallel_pretest reads spool files and therefore requires "
+                f"an external strategy, not {self.strategy!r}"
+            )
+        if self.parallel_pretest and not self.sampling_size:
+            raise DiscoveryError(
+                "parallel_pretest dispatches the sampling pretest and "
+                "therefore requires sampling_size > 0"
+            )
         if self.skip_scans and self.strategy != "brute-force":
             raise DiscoveryError(
                 "skip-scans only apply to the brute-force strategy"
@@ -217,13 +241,20 @@ def discover_inds(
     the config — see :class:`DiscoveryConfig` for the per-flag breakdown.
 
     ``pool`` lends a persistent :class:`~repro.parallel.pool.WorkerPool` to
-    the parallel validation engines (``strategy`` in
-    :data:`PARALLEL_STRATEGIES` with ``validation_workers > 1`` — brute
-    force dispatches candidate chunks, merge-single-pass dispatches merge
-    partitions, both as typed pool tasks); the pool is borrowed, never shut
-    down here.  Without it, parallel validation builds and drains a
-    per-call pool.  :class:`DiscoverySession` manages the pool so callers
-    rarely pass it directly.
+    every pool-capable phase of the pipeline: the parallel validation
+    engines (``strategy`` in :data:`PARALLEL_STRATEGIES` with
+    ``validation_workers > 1`` — brute force dispatches candidate chunks,
+    merge-single-pass dispatches merge partitions), the export phase
+    (``parallel_export`` — ``spool-export`` tasks) and the sampling
+    pretest (``parallel_pretest`` — ``sample-pretest`` tasks), all as
+    typed tasks on the same warm fleet; the pool is borrowed, never shut
+    down here.  Without it, a run that pools its export or pretest builds
+    **one** per-call pool shared by all its phases (drained before
+    returning), and plain parallel validation builds its per-call pool
+    inside the engine.  :class:`DiscoverySession` manages the pool so
+    callers rarely pass it directly.  ``DiscoveryResult.pool_stats`` sums
+    the per-phase pool deltas, so ``tasks_by_kind`` covers the whole
+    pipeline.
     """
     cfg = (config or DiscoveryConfig()).validated()
     timings = PhaseTimings()
@@ -252,16 +283,30 @@ def discover_inds(
     inferred_sat = 0
     inferred_unsat = 0
     spool_cache_hit = False
+    export_pool_stats: dict | None = None
+    pretest_pool_stats: dict | None = None
+    owned_pool = None
+    if pool is None and (cfg.parallel_export or cfg.parallel_pretest):
+        # One per-call fleet for the whole pipeline: export, pretest and
+        # validation jobs all dispatch to it instead of each phase paying
+        # its own pool startup.
+        from repro.parallel.pool import WorkerPool
+
+        owned_pool = pool = WorkerPool(cfg.validation_workers)
     try:
         if cfg.strategy in EXTERNAL_STRATEGIES:
             with Stopwatch() as clock:
                 if cfg.reuse_spool:
-                    spool, spool_path, export_stats, spool_cache_hit = (
-                        _cached_export(db, cfg, candidates, column_stats)
-                    )
+                    (
+                        spool,
+                        spool_path,
+                        export_stats,
+                        spool_cache_hit,
+                        export_pool_stats,
+                    ) = _cached_export(db, cfg, candidates, column_stats, pool)
                 else:
-                    spool, spool_path, cleanup_dir, export_stats = _export(
-                        db, cfg, candidates
+                    spool, spool_path, cleanup_dir, export_stats, export_pool_stats = (
+                        _export(db, cfg, candidates, pool)
                     )
             timings.export_seconds = clock.elapsed
             export_scanned = export_stats.values_scanned
@@ -269,9 +314,14 @@ def discover_inds(
 
         with Stopwatch() as clock:
             if cfg.sampling_size and spool is not None:
-                candidates, sampling_refuted_list = _sampling_pretest(
-                    spool, cfg, candidates
-                )
+                if cfg.parallel_pretest:
+                    candidates, sampling_refuted_list, pretest_pool_stats = (
+                        _sampling_pretest_pooled(spool, cfg, candidates, pool)
+                    )
+                else:
+                    candidates, sampling_refuted_list = _sampling_pretest(
+                        spool, cfg, candidates
+                    )
                 sampling_refuted = len(sampling_refuted_list)
             if cfg.use_transitivity:
                 validation, inferred_sat, inferred_unsat = _validate_sequential(
@@ -282,9 +332,19 @@ def discover_inds(
                 validation = validator.validate(candidates)
         timings.validate_seconds = clock.elapsed
     finally:
+        if owned_pool is not None:
+            owned_pool.shutdown()
         if cleanup_dir is not None and not cfg.keep_spool:
             cleanup_dir.cleanup()
             spool_path = None
+
+    if owned_pool is not None and "pool_warm" in validation.stats.extra:
+        # The run owned its fleet: honest reporting says the validation
+        # phase did not run on a *warm* (cross-call) pool.
+        validation.stats.extra["pool_warm"] = 0.0
+    pool_stats = _merged_pool_stats(
+        export_pool_stats, pretest_pool_stats, validation.pool
+    )
 
     return DiscoveryResult(
         database=db.name,
@@ -305,7 +365,7 @@ def discover_inds(
         export_values_written=export_written,
         spool_cache_hit=spool_cache_hit,
         validation_workers=cfg.validation_workers,
-        pool_stats=validation.pool,
+        pool_stats=pool_stats,
     )
 
 
@@ -317,16 +377,27 @@ def _needed_attributes(candidates: list[Candidate]):
     )
 
 
-def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
-    """Spool exactly the attributes the surviving candidates touch."""
-    needed = _needed_attributes(candidates)
-    cleanup: tempfile.TemporaryDirectory | None = None
-    if cfg.spool_dir is None:
-        cleanup = tempfile.TemporaryDirectory(prefix="repro-spool-")
-        root = cleanup.name
-    else:
-        root = cfg.spool_dir
-        Path(root).mkdir(parents=True, exist_ok=True)
+def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
+    """Export ``needed`` into ``root`` — pooled tasks or in-process threads.
+
+    The one switch between the two export engines, shared by the
+    temporary-directory and cache-staging paths.  Returns
+    ``(spool, export_stats, pool_stats_dict_or_None)``; both engines
+    produce byte-identical spool contents, index documents and statistics.
+    """
+    if cfg.parallel_export:
+        from repro.parallel.export import pooled_export
+
+        return pooled_export(
+            db,
+            root,
+            workers=cfg.validation_workers,
+            pool=pool,
+            attributes=needed,
+            max_items_in_memory=cfg.max_items_in_memory,
+            spool_format=cfg.spool_format,
+            block_size=cfg.spool_block_size,
+        )
     spool, export_stats = export_database(
         db,
         root,
@@ -336,17 +407,38 @@ def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate]):
         block_size=cfg.spool_block_size,
         workers=cfg.export_workers,
     )
-    return spool, root, cleanup, export_stats
+    return spool, export_stats, None
 
 
-def _cached_export(db, cfg, candidates: list[Candidate], column_stats):
+def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate], pool):
+    """Spool exactly the attributes the surviving candidates touch."""
+    needed = _needed_attributes(candidates)
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if cfg.spool_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-spool-")
+        root = cleanup.name
+    else:
+        root = cfg.spool_dir
+        Path(root).mkdir(parents=True, exist_ok=True)
+    spool, export_stats, pool_stats = _export_into(db, cfg, root, needed, pool)
+    return spool, root, cleanup, export_stats, pool_stats
+
+
+def _cached_export(db, cfg, candidates: list[Candidate], column_stats, pool):
     """Reuse a cached spool for an unchanged catalog, or export and cache it.
 
-    Returns ``(spool, path, export_stats, hit)``.  On a hit the export phase
-    performs *zero* database reads and zero spool writes — ``export_stats``
-    stays all-zero, which the acceptance tests assert.  The entry lives in
-    the cache directory (never a temporary directory), so the normal
-    spool-cleanup path must not and does not touch it.
+    Returns ``(spool, path, export_stats, hit, pool_stats)``.  On a hit the
+    export phase performs *zero* database reads and zero spool writes —
+    ``export_stats`` stays all-zero, which the acceptance tests assert.
+    The entry lives in the cache directory (never a temporary directory),
+    so the normal spool-cleanup path must not and does not touch it.
+
+    A miss rebuilds in a private staging directory and publishes with one
+    atomic rename only after the export completed — pooled or not — so a
+    worker (or whole-process) death mid-export can never expose a
+    half-written entry: the staging directory carries no ``catalog_hash``
+    and is invisible to :meth:`~repro.storage.spool_cache.SpoolCache.lookup`
+    (``repro-ind cache list`` reports such leftovers as orphans).
     """
     fingerprint = catalog_fingerprint(db.name, column_stats)
     cache = SpoolCache(
@@ -360,19 +452,22 @@ def _cached_export(db, cfg, candidates: list[Candidate], column_stats):
         block_size=cfg.spool_block_size,
     )
     if cached is not None:
-        return cached, str(cached.root), ExportStats(), True
+        return cached, str(cached.root), ExportStats(), True, None
     staging = cache.prepare(fingerprint)
-    spool, export_stats = export_database(
-        db,
-        str(staging),
-        attributes=needed,
-        max_items_in_memory=cfg.max_items_in_memory,
-        spool_format=cfg.spool_format,
-        block_size=cfg.spool_block_size,
-        workers=cfg.export_workers,
+    spool, export_stats, pool_stats = _export_into(
+        db, cfg, str(staging), needed, pool
     )
     spool = cache.publish(fingerprint, spool)
-    return spool, str(spool.root), export_stats, False
+    return spool, str(spool.root), export_stats, False, pool_stats
+
+
+def _merged_pool_stats(*parts: dict | None) -> dict | None:
+    """Sum the per-phase pool deltas into the run's ``pool_stats``."""
+    if all(part is None for part in parts):
+        return None
+    from repro.parallel.pool import merge_pool_stat_dicts
+
+    return merge_pool_stat_dicts(list(parts))
 
 
 def _build_validator(db, cfg, spool, column_stats, pool=None):
@@ -430,6 +525,50 @@ def _sampling_pretest(spool, cfg, candidates):
     return survivors, refuted
 
 
+def _sampling_pretest_pooled(spool, cfg, candidates, pool):
+    """The sampling pretest as ``sample-pretest`` pool tasks.
+
+    Chunks are planned per dependent attribute
+    (:meth:`~repro.parallel.planner.ShardPlanner.plan_pretest_chunks`) so a
+    chunk's worker draws each reservoir sample once; every candidate's
+    verdict is a pure function of the spool and the seed, so the surviving
+    and refuted sets — in original candidate order — are identical to
+    :func:`_sampling_pretest` at every worker count.  Returns
+    ``(survivors, refuted, pool_stats_dict)``.
+    """
+    from repro.parallel.planner import ShardPlanner
+    from repro.parallel.pool import run_specs
+    from repro.parallel.tasks import KIND_SAMPLE_PRETEST, TaskSpec
+
+    ordered = list(dict.fromkeys(candidates))
+    if not ordered:
+        return [], [], None
+    chunks = ShardPlanner(spool).plan_pretest_chunks(
+        ordered, cfg.validation_workers
+    )
+    specs = [
+        TaskSpec(
+            kind=KIND_SAMPLE_PRETEST,
+            candidates=chunk.candidates,
+            payload=(cfg.sampling_size, cfg.sampling_seed),
+        )
+        for chunk in chunks
+    ]
+    job, _ = run_specs(pool, cfg.validation_workers, str(spool.root), specs)
+    decided: dict[Candidate, bool] = {}
+    for outcome in job.outcomes:
+        decided.update(outcome.decisions)
+    survivors: list[Candidate] = []
+    refuted: list[Candidate] = []
+    for candidate in ordered:
+        if candidate not in decided:
+            raise DiscoveryError(
+                f"no pretest task covered candidate {candidate}"
+            )
+        (survivors if decided[candidate] else refuted).append(candidate)
+    return survivors, refuted, job.stats.as_dict()
+
+
 def _validate_sequential(db, cfg, spool, candidates, column_stats):
     """Sequential validation with online transitivity pruning (Sec. 6)."""
     pruner = TransitivityPruner()
@@ -478,13 +617,16 @@ class DiscoverySession:
     one shared pool (``repro-ind serve --max-inflight`` relies on exactly
     this), each request getting its own deterministic result.
 
-    Config flags that matter here: ``validation_workers`` sizes the pool
-    (and a value of 1 means no pool is ever created); ``strategy`` must be
-    a parallel one (``"brute-force"`` or ``"merge-single-pass"``) for the
-    pool to engage — other strategies run exactly as in
-    :func:`discover_inds`; ``reuse_spool``/``cache_dir`` pair well with a
-    session because a cache hit keeps the spool *path* stable across runs,
-    which is what lets workers reuse their handles.
+    Config flags that matter here: ``validation_workers`` sizes the pool;
+    the pool engages for parallel validation (``strategy`` of
+    ``"brute-force"`` or ``"merge-single-pass"`` with more than one
+    worker) and for the pooled pipeline phases (``parallel_export`` /
+    ``parallel_pretest``), so a fully pooled session runs export, pretest
+    and validation on one warm fleet; other configurations run exactly as
+    in :func:`discover_inds` with no pool ever created.
+    ``reuse_spool``/``cache_dir`` pair well with a session because a cache
+    hit keeps the spool *path* stable across runs, which is what lets
+    workers reuse their handles.
     """
 
     def __init__(self, config: DiscoveryConfig | None = None) -> None:
@@ -513,11 +655,12 @@ class DiscoverySession:
         """Run one discovery over ``db``, reusing the session's warm pool.
 
         ``config`` overrides the session default for this run only; the
-        pool is created by the first parallel run (brute-force or
-        merge-single-pass), sized by that run's ``validation_workers``, and
-        never resized afterwards — resizing a live fleet would defeat the
-        warm handles the session exists to preserve.  Safe to call from
-        several threads at once; concurrent runs share the pool.
+        pool is created by the first run that can use it (parallel
+        validation, pooled export, or pooled pretest), sized by that run's
+        ``validation_workers``, and never resized afterwards — resizing a
+        live fleet would defeat the warm handles the session exists to
+        preserve.  Safe to call from several threads at once; concurrent
+        runs share the pool.
         """
         if self._closed:
             raise DiscoveryError("discovery session is closed")
@@ -527,13 +670,18 @@ class DiscoverySession:
     def _pool_for(self, cfg: DiscoveryConfig) -> "WorkerPool | None":
         """Lazily create the shared pool when this run can use one.
 
+        A run can use the pool when parallel validation applies
+        (``strategy`` in :data:`PARALLEL_STRATEGIES` with more than one
+        worker) *or* when it pools an earlier phase
+        (``parallel_export`` / ``parallel_pretest`` — those engage even at
+        one worker, so the task path is exercised at every worker count).
         Creation is lock-protected so concurrent first requests cannot
         race two fleets into existence (one would leak its processes).
         """
-        if (
-            cfg.strategy not in PARALLEL_STRATEGIES
-            or cfg.validation_workers <= 1
-        ):
+        wants_pool = (
+            cfg.strategy in PARALLEL_STRATEGIES and cfg.validation_workers > 1
+        ) or cfg.parallel_export or cfg.parallel_pretest
+        if not wants_pool:
             return None
         with self._pool_lock:
             if self._pool is None:

@@ -6,8 +6,14 @@ different axes, both dispatched through one shared task substrate:
 ===================  =====================================================
 ``tasks``            The typed task model: :class:`TaskSpec` /
                      :class:`PoolTask`, the task-kind registry
-                     (:func:`register_task_kind`), and the two built-in
-                     kinds — brute-force chunks and merge partitions.
+                     (:func:`register_task_kind`), and the four built-in
+                     kinds — brute-force chunks, merge partitions, spool
+                     export units, and sampling-pretest chunks.
+``export``           :func:`pooled_export` — the export phase as
+                     ``spool-export`` tasks: workers render, sort and
+                     atomically write per-attribute value files; the
+                     parent assembles the index.  Byte-identical output
+                     to the sequential exporter.
 ``planner``          :class:`ShardPlanner` — cost-balanced partitions of
                      the candidate set, sized by spool value counts: whole
                      shards (LPT), small work-stealing chunks, or merge
@@ -35,6 +41,7 @@ file), never inherit handles — see the picklability contract on
 """
 
 from repro.parallel.engine import ProcessPoolValidationEngine
+from repro.parallel.export import pooled_export
 from repro.parallel.merge import (
     ByteRangeCursor,
     PartitionSpoolView,
@@ -44,11 +51,24 @@ from repro.parallel.merge import (
     make_partition_view,
     partition_bounds,
 )
-from repro.parallel.planner import Chunk, MergeGroup, Shard, ShardPlanner
-from repro.parallel.pool import JobResult, PoolStats, WorkerPool
+from repro.parallel.planner import (
+    Chunk,
+    MergeGroup,
+    Shard,
+    ShardPlanner,
+    pack_cost_groups,
+)
+from repro.parallel.pool import (
+    JobResult,
+    PoolStats,
+    WorkerPool,
+    merge_pool_stat_dicts,
+)
 from repro.parallel.tasks import (
     KIND_BRUTE_FORCE,
     KIND_MERGE_PARTITION,
+    KIND_SAMPLE_PRETEST,
+    KIND_SPOOL_EXPORT,
     PoolTask,
     ShardOutcome,
     TaskSpec,

@@ -1,0 +1,119 @@
+"""Pool-backed spool export: the export phase as ``spool-export`` tasks.
+
+The export phase is the most I/O-bound stage of an external discovery run
+and embarrassingly parallel per attribute (render → external sort → write,
+nothing shared).  PR 1 fanned it out over *threads*; this module dispatches
+it over the same warm :class:`~repro.parallel.pool.WorkerPool` that runs
+validation, so a :class:`~repro.core.runner.DiscoverySession` keeps one
+fleet busy through the whole pipeline instead of idling it until the
+validate phase.
+
+Protocol:
+
+1. the parent creates the spool directory and saves a **bare index**
+   (format + block size, no attributes) so worker processes can open the
+   root like any other spool;
+2. :func:`repro.storage.exporter.plan_export_units` packages each
+   attribute — raw values, dtype, and a parent-reserved file name — into a
+   picklable :class:`~repro.storage.exporter.ExportUnit`; units are packed
+   into cost-budgeted groups by estimated row count
+   (:func:`~repro.parallel.planner.pack_cost_groups`) and dispatched as
+   ``spool-export`` tasks;
+3. each task writes its units' value files with an atomic
+   rename-on-complete (:func:`~repro.storage.sorted_sets.write_value_file`)
+   and ships the per-attribute metadata back in its outcome payload;
+4. the parent registers the metadata, folds
+   :class:`~repro.storage.exporter.ExportStats` in unit order — the same
+   order the sequential export folds them — and saves the final index.
+
+A worker death mid-task therefore never corrupts the spool: unfinished
+value files exist only under temporary names, the requeued task rewrites
+them deterministically, and the index mentions an attribute only after its
+file is complete.  The spool content, the index document and the export
+statistics are byte-identical to :func:`~repro.storage.exporter.export_database`
+at every worker count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.schema import AttributeRef
+from repro.parallel.planner import pack_cost_groups
+from repro.parallel.pool import WorkerPool, run_specs
+from repro.parallel.tasks import KIND_SPOOL_EXPORT, TaskSpec
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE
+from repro.storage.exporter import ExportStats, plan_export_units
+from repro.storage.external_sort import DEFAULT_RUN_SIZE
+from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
+
+__all__ = ["pooled_export"]
+
+
+def pooled_export(
+    db: Database,
+    spool_root: str,
+    workers: int,
+    pool: WorkerPool | None = None,
+    attributes: list[AttributeRef] | None = None,
+    max_items_in_memory: int = DEFAULT_RUN_SIZE,
+    include_empty: bool = False,
+    spool_format: str = FORMAT_BINARY,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> tuple[SpoolDirectory, ExportStats, dict | None]:
+    """Export ``db`` into ``spool_root`` via ``spool-export`` pool tasks.
+
+    Drop-in replacement for :func:`repro.storage.exporter.export_database`
+    with the same spool contents, index document and statistics — plus the
+    job's pool-stats delta as a third return value (``None`` when there was
+    nothing to export).  ``pool`` borrows a persistent fleet; without one a
+    right-sized throwaway pool is built and drained, exactly like the
+    validation engines (:func:`~repro.parallel.pool.run_specs`).
+    """
+    spool = SpoolDirectory.create(
+        spool_root, format=spool_format, block_size=block_size
+    )
+    # Workers open spools through index.json; publish a bare one before the
+    # first task can possibly run.  The final index replaces it atomically.
+    spool.save_index()
+    units = plan_export_units(db, attributes, spool)
+    stats = ExportStats()
+    if not units:
+        return spool, stats, None
+    groups = pack_cost_groups(
+        [(len(unit.values) + 1, unit) for unit in units], workers
+    )
+    specs = [
+        TaskSpec(
+            kind=KIND_SPOOL_EXPORT,
+            candidates=(),
+            payload=(tuple(group), spool_format, block_size, max_items_in_memory),
+        )
+        for group in groups
+    ]
+    job, _ = run_specs(pool, workers, str(spool.root), specs)
+    written = {}
+    for outcome in job.outcomes:
+        for svf in outcome.payload:
+            written[svf.ref] = svf
+    for unit in units:
+        ref = AttributeRef(unit.table, unit.column)
+        svf = written[ref]
+        stats.values_scanned += len(unit.values)
+        if svf.is_empty and not include_empty:
+            spool.release(ref)
+            Path(svf.path).unlink(missing_ok=True)
+            stats.skipped_empty += 1
+            continue
+        spool.register(svf)
+        stats.attributes_exported += 1
+        stats.values_written += svf.count
+        stats.per_attribute_counts[unit.qualified] = svf.count
+    # A worker that died mid-write leaves its unit's temporary file behind;
+    # the requeued task wrote the real one, so strays are pure junk (and
+    # must not ride a cache publish into an entry).
+    for stray in Path(spool.root).glob("*.tmp-*"):
+        stray.unlink(missing_ok=True)
+    spool.save_index()
+    return spool, stats, job.stats.as_dict()

@@ -29,6 +29,14 @@ offers two packings:
   candidate-graph *components* for the pool-backed partitioned merge.
   Component boundaries are the one cut that keeps the parallel merge's
   decisions **and** I/O accounting byte-identical to the sequential pass.
+
+* :meth:`ShardPlanner.plan_pretest_chunks` — chunks of the sampling
+  pretest, grouped by dependent attribute so each attribute's reservoir
+  sample is drawn once per chunk instead of once per candidate.
+
+* :func:`pack_cost_groups` — the shared heaviest-first budget packer the
+  chunk-shaped plans (and the export planner in
+  :mod:`repro.parallel.export`) are built on.
 """
 
 from __future__ import annotations
@@ -49,6 +57,57 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 #: the requeue unit after a worker death, and repeating more than this many
 #: candidate tests on a replacement worker is wasted work we refuse to risk.
 MAX_CHUNK_CANDIDATES = 32
+
+
+def pack_cost_groups(
+    costed_items: list[tuple[int, object]],
+    workers: int,
+    max_items: int | None = None,
+) -> list[list[object]]:
+    """Pack ``(cost, item)`` pairs into cost-budgeted groups, heaviest first.
+
+    The one packing rule every chunk-shaped plan shares — candidate chunks,
+    merge groups, pretest chunks, export units are all built on this:
+    items are walked in descending cost (ties broken by input position, so
+    the output is deterministic), a group closes when it reaches the
+    budget — total cost divided by ``workers *
+    DEFAULT_CHUNKS_PER_WORKER`` — or, when ``max_items`` is given, the
+    per-group item cap; within a group items keep their input order.
+    Heavy groups come out first so the work-stealing queue dispatches them
+    while cheap work remains to backfill idle workers.  Every item lands
+    in exactly one group.
+    """
+    if workers < 1:
+        raise DiscoveryError(f"worker count must be >= 1, got {workers!r}")
+    if max_items is not None and max_items < 1:
+        raise DiscoveryError(f"chunk size must be >= 1, got {max_items!r}")
+    if not costed_items:
+        return []
+    costed = sorted(
+        ((cost, seq, item) for seq, (cost, item) in enumerate(costed_items)),
+        key=lambda entry: (-entry[0], entry[1]),
+    )
+    budget = max(
+        1,
+        sum(cost for cost, _, _ in costed)
+        // (workers * DEFAULT_CHUNKS_PER_WORKER),
+    )
+    groups: list[list[object]] = []
+    bucket: list[tuple[int, object]] = []
+    bucket_cost = 0
+    for cost, seq, item in costed:
+        bucket.append((seq, item))
+        bucket_cost += cost
+        if bucket_cost >= budget or (
+            max_items is not None and len(bucket) >= max_items
+        ):
+            bucket.sort()
+            groups.append([item for _, item in bucket])
+            bucket, bucket_cost = [], 0
+    if bucket:
+        bucket.sort()
+        groups.append([item for _, item in bucket])
+    return groups
 
 
 @dataclass(frozen=True)
@@ -178,42 +237,68 @@ class ShardPlanner:
             raise DiscoveryError(f"chunk size must be >= 1, got {chunk_size!r}")
         if not candidates:
             return []
-        target_chunks = workers * DEFAULT_CHUNKS_PER_WORKER
         cap = chunk_size or max(
             1,
             min(
                 MAX_CHUNK_CANDIDATES,
-                -(-len(candidates) // target_chunks),  # ceil division
+                # Ceil division into the target chunk count.
+                -(-len(candidates) // (workers * DEFAULT_CHUNKS_PER_WORKER)),
             ),
         )
-        costed = sorted(
-            ((self.candidate_cost(c), seq, c) for seq, c in enumerate(candidates)),
-            key=lambda item: (-item[0], item[1]),
+        costed = [(self.candidate_cost(c), c) for c in candidates]
+        packed = pack_cost_groups(
+            [(cost, (cost, c)) for cost, c in costed], workers, max_items=cap
         )
-        budget = max(1, sum(cost for cost, _, _ in costed) // target_chunks)
+        return [
+            Chunk(
+                index=index,
+                candidates=tuple(c for _, c in group),
+                estimated_cost=sum(cost for cost, _ in group),
+            )
+            for index, group in enumerate(packed)
+        ]
+
+    def plan_pretest_chunks(
+        self, candidates: list[Candidate], workers: int
+    ) -> list[Chunk]:
+        """Sampling-pretest chunks: grouped by dependent attribute, budgeted.
+
+        A pretest of ``dep ⊆ ref`` draws a reservoir sample of ``dep``'s
+        spool file once (cached per sampler) and merges it against
+        ``ref``'s file.  Keeping every candidate of one dependent
+        attribute in the same chunk lets the chunk's worker-side sampler
+        reuse the sample across all of them — splitting a dependent group
+        would only duplicate the sampling scan, never change a decision,
+        because each candidate's pretest is a pure function of the spool
+        and the seed.  Groups are costed by the dependent's spooled value
+        count (the sample scan) plus the referenced counts of its
+        candidates (the merges) and packed with :func:`pack_cost_groups`;
+        within a chunk candidates keep their original order.  Every
+        candidate lands in exactly one chunk; output is deterministic.
+        """
+        ordered = list(dict.fromkeys(candidates))
+        if not ordered:
+            return []
+        by_dependent: dict = {}
+        for candidate in ordered:
+            by_dependent.setdefault(candidate.dependent, []).append(candidate)
+        costed_groups = []
+        for dependent, members in by_dependent.items():
+            cost = self._spool.get(dependent).count + 1
+            cost += sum(self._spool.get(c.referenced).count for c in members)
+            costed_groups.append((cost, (cost, members)))
+        packed = pack_cost_groups(costed_groups, workers)
+        position = {candidate: seq for seq, candidate in enumerate(ordered)}
         chunks: list[Chunk] = []
-        bucket: list[tuple[int, Candidate]] = []
-        bucket_cost = 0
-        for cost, seq, candidate in costed:
-            bucket.append((seq, candidate))
-            bucket_cost += cost
-            if bucket_cost >= budget or len(bucket) >= cap:
-                bucket.sort()
-                chunks.append(
-                    Chunk(
-                        index=len(chunks),
-                        candidates=tuple(c for _, c in bucket),
-                        estimated_cost=bucket_cost,
-                    )
-                )
-                bucket, bucket_cost = [], 0
-        if bucket:
-            bucket.sort()
+        for group in packed:
+            members = sorted(
+                (c for _, part in group for c in part), key=position.__getitem__
+            )
             chunks.append(
                 Chunk(
                     index=len(chunks),
-                    candidates=tuple(c for _, c in bucket),
-                    estimated_cost=bucket_cost,
+                    candidates=tuple(members),
+                    estimated_cost=sum(cost for cost, _ in group),
                 )
             )
         return chunks
@@ -278,36 +363,22 @@ class ShardPlanner:
             attrs = {c.dependent for _, c in members}
             attrs |= {c.referenced for _, c in members}
             cost = sum(self._spool.get(attr).count for attr in attrs) + 1
-            costed.append((cost, members[0][0], members))
-        costed.sort(key=lambda item: (-item[0], item[1]))
-        budget = max(
-            1,
-            sum(cost for cost, _, _ in costed)
-            // (workers * DEFAULT_CHUNKS_PER_WORKER),
-        )
+            costed.append((cost, (cost, members)))
+        # Components are discovered in first-candidate order, so the
+        # packer's input-position tie-break replays the old
+        # first-member-sequence tie-break exactly.
+        packed = pack_cost_groups(costed, workers)
         groups: list[MergeGroup] = []
-        bucket: list[tuple[int, Candidate]] = []
-        bucket_cost = bucket_components = 0
-
-        def close_bucket() -> None:
-            nonlocal bucket, bucket_cost, bucket_components
-            bucket.sort()
+        for group in packed:
+            bucket = sorted(
+                (entry for _, members in group for entry in members)
+            )
             groups.append(
                 MergeGroup(
                     index=len(groups),
                     candidates=tuple(c for _, c in bucket),
-                    estimated_cost=bucket_cost,
-                    components=bucket_components,
+                    estimated_cost=sum(cost for cost, _ in group),
+                    components=len(group),
                 )
             )
-            bucket, bucket_cost, bucket_components = [], 0, 0
-
-        for cost, _, members in costed:
-            bucket.extend(members)
-            bucket_cost += cost
-            bucket_components += 1
-            if bucket_cost >= budget:
-                close_bucket()
-        if bucket:
-            close_bucket()
         return groups

@@ -70,6 +70,7 @@ __all__ = [
     "ShardOutcome",
     "TaskSpec",
     "WorkerPool",
+    "merge_pool_stat_dicts",
     "merge_shard_outcomes",
     "run_specs",
 ]
@@ -157,6 +158,32 @@ class JobResult:
     stats: PoolStats
 
 
+def merge_pool_stat_dicts(parts: list[dict | None]) -> dict | None:
+    """Fold per-phase pool-stats dicts into one pipeline-wide summary.
+
+    ``discover_inds`` runs up to three pool jobs per call (spool export,
+    sampling pretest, validation), each reporting its own
+    :meth:`PoolStats.as_dict` delta; the result object surfaces their sum
+    so ``tasks_by_kind`` covers the whole pipeline.  ``None`` entries
+    (phases that ran in-process) are skipped; all-``None`` input returns
+    ``None``, meaning no pool ran at all.
+    """
+    live = [part for part in parts if part]
+    if not live:
+        return None
+    merged = PoolStats()
+    for part in live:
+        for key, value in part.items():
+            if key == "tasks_by_kind":
+                for kind, count in value.items():
+                    merged.tasks_by_kind[kind] = (
+                        merged.tasks_by_kind.get(kind, 0) + count
+                    )
+            elif hasattr(merged, key):
+                setattr(merged, key, getattr(merged, key) + value)
+    return merged.as_dict()
+
+
 def run_specs(
     pool: "WorkerPool | None",
     workers: int,
@@ -183,11 +210,28 @@ def run_specs(
 
 
 # ------------------------------------------------------------ worker process
+def _payload_mentions(payload: object, attr: str) -> bool:
+    """Does ``payload`` contain ``attr`` as a string, at any tuple depth?
+
+    The kind-agnostic half of the fault hook's trigger: tasks without
+    candidates (``spool-export`` units are plain nested tuples carrying
+    their qualified attribute names) can still be marked for a crash by
+    naming the attribute.  Only ever called on the test-hook path.
+    """
+    if isinstance(payload, str):
+        return payload == attr
+    if isinstance(payload, (tuple, list)):
+        return any(_payload_mentions(item, attr) for item in payload)
+    return False
+
+
 def _maybe_inject_fault(task: PoolTask) -> None:
     """Test hook: die once, hard, when a task touches the marked attribute.
 
     Only active when ``REPRO_POOL_FAULT_ATTR`` names an attribute one of the
-    task's candidates uses.  With ``REPRO_POOL_FAULT_ONCE_DIR`` set, an
+    task's candidates uses — or, for candidate-free kinds like
+    ``spool-export``, an attribute whose qualified name appears in the task
+    payload.  With ``REPRO_POOL_FAULT_ONCE_DIR`` set, an
     ``O_EXCL`` marker file limits the crash to exactly one worker, so the
     requeued task succeeds on the replacement — the shape the lifecycle
     tests need.  ``os._exit`` deliberately skips all cleanup: a real worker
@@ -199,7 +243,7 @@ def _maybe_inject_fault(task: PoolTask) -> None:
     touched = any(
         attr in (c.dependent.qualified, c.referenced.qualified)
         for c in task.candidates
-    )
+    ) or _payload_mentions(task.payload, attr)
     if not touched:
         return
     marker_dir = os.environ.get(_FAULT_ONCE_DIR_ENV)

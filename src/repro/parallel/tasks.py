@@ -11,11 +11,16 @@ makes the pool a *substrate* instead:
   it covers, and a kind-specific ``payload``) without saying **where**;
 * a registry maps each kind to the function a worker process calls to
   execute it (:func:`register_task_kind` / :func:`resolve_task_kind`);
-* two kinds ship built in: :data:`KIND_BRUTE_FORCE` (a cost-bounded chunk of
+* four kinds ship built in: :data:`KIND_BRUTE_FORCE` (a cost-bounded chunk of
   candidates through the sequential
-  :class:`~repro.core.brute_force.BruteForceValidator`) and
+  :class:`~repro.core.brute_force.BruteForceValidator`),
   :data:`KIND_MERGE_PARTITION` (a complete heap merge over a candidate
-  group, optionally restricted to a first-byte range of the value space).
+  group, optionally restricted to a first-byte range of the value space),
+  :data:`KIND_SPOOL_EXPORT` (a group of export units: render → external
+  sort → atomic value-file write, metadata shipped back for the parent to
+  assemble the index), and :data:`KIND_SAMPLE_PRETEST` (the Sec. 4.1
+  sampling pretest over a candidate chunk — a cheap first-k-values
+  inclusion check that prunes candidates before full validation).
 
 Executors run **in the worker process** against the worker's warm
 :class:`~repro.storage.sorted_sets.SpoolDirectory` handle and return a
@@ -48,15 +53,33 @@ KIND_BRUTE_FORCE = "brute-force"
 #: partition merges; ``(0, 256)`` means the whole space (no range cursors).
 KIND_MERGE_PARTITION = "merge-partition"
 
+#: Registry key of the built-in spool-export executor.  Payload:
+#: ``(units, spool_format, block_size, max_items_in_memory)`` where
+#: ``units`` is a tuple of :class:`repro.storage.exporter.ExportUnit`.
+#: Carries no candidates; the written files' metadata comes back in the
+#: outcome's ``payload``.
+KIND_SPOOL_EXPORT = "spool-export"
+
+#: Registry key of the built-in sampling-pretest executor.  Payload:
+#: ``(sample_size, seed)``; ``decisions`` maps each candidate to ``True``
+#: (survives into full validation) or ``False`` (refuted by its sample).
+KIND_SAMPLE_PRETEST = "sample-pretest"
+
 
 @dataclass
 class ShardOutcome:
-    """What one executed task ships back: decisions plus measured counters."""
+    """What one executed task ships back: decisions plus measured counters.
+
+    ``payload`` carries kind-specific result data beyond decisions —
+    ``spool-export`` tasks ship the written files' metadata there; the
+    validation kinds leave it ``None``.
+    """
 
     shard_index: int
     decisions: dict[Candidate, bool]
     vacuous: set[Candidate]
     stats: ValidatorStats
+    payload: object = None
 
 
 @dataclass(frozen=True)
@@ -216,5 +239,69 @@ def _run_merge_partition(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcom
     )
 
 
+def _run_spool_export(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
+    """Built-in executor: render, sort and write one group of export units.
+
+    Ignores the warm ``spool`` handle — the directory it runs against is
+    still being built (the parent saved a bare index so workers can open
+    the root) — and writes each unit's value file with an atomic
+    rename-on-complete, so a worker death mid-unit can never leave a torn
+    file at a final path: the requeued task simply rewrites it.  The
+    outcome's ``payload`` is the tuple of written
+    :class:`~repro.storage.sorted_sets.SortedValueFile` metadata, in unit
+    order, for the parent to register and fold into the final index.
+    """
+    from repro.storage.exporter import run_export_unit
+
+    units, spool_format, block_size, max_items = task.payload
+    written = tuple(
+        run_export_unit(
+            task.spool_root,
+            unit,
+            spool_format=spool_format,
+            block_size=block_size,
+            max_items_in_memory=max_items,
+        )
+        for unit in units
+    )
+    return ShardOutcome(
+        shard_index=task.task_id,
+        decisions={},
+        vacuous=set(),
+        stats=ValidatorStats(validator=KIND_SPOOL_EXPORT),
+        payload=written,
+    )
+
+
+def _run_sample_pretest(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
+    """Built-in executor: the sampling pretest over one candidate chunk.
+
+    Each candidate's verdict is a pure function of the spool and the seed:
+    the reservoir sample of the dependent attribute is drawn by a
+    dedicated ``random.Random(f"{seed}-{attribute}")``, so the same
+    candidate pretested in any worker — or in the caller's process, as the
+    sequential pipeline does — sees the identical sample and returns the
+    identical verdict.  ``decisions[c] is True`` means the candidate
+    survives into full validation; ``False`` means its sample refuted it.
+    The chunk shares one sampler so candidates with a common dependent
+    attribute reuse the sample (the planner groups them deliberately).
+    """
+    from repro.core.pruning import SamplingPretest
+
+    sample_size, seed = task.payload
+    sampler = SamplingPretest(spool, sample_size=sample_size, seed=seed)
+    decisions = {
+        candidate: sampler.pretest(candidate) for candidate in task.candidates
+    }
+    return ShardOutcome(
+        shard_index=task.task_id,
+        decisions=decisions,
+        vacuous=set(),
+        stats=ValidatorStats(validator=KIND_SAMPLE_PRETEST),
+    )
+
+
 register_task_kind(KIND_BRUTE_FORCE, _run_brute_force_chunk)
 register_task_kind(KIND_MERGE_PARTITION, _run_merge_partition)
+register_task_kind(KIND_SPOOL_EXPORT, _run_spool_export)
+register_task_kind(KIND_SAMPLE_PRETEST, _run_sample_pretest)

@@ -47,6 +47,90 @@ INDEX_VERSION = 2
 _EXTENSIONS = {FORMAT_TEXT: ".vals", FORMAT_BINARY: ".valsb"}
 
 
+def write_value_file(
+    ref: AttributeRef,
+    file_path: str | Path,
+    sorted_distinct_values: Iterable[str],
+    dtype: str = "VARCHAR",
+    format: str = FORMAT_TEXT,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> "SortedValueFile":
+    """Write one sorted distinct value file atomically; return its metadata.
+
+    The shared writing primitive behind :meth:`SpoolDirectory.add_values`
+    and the pool's ``spool-export`` tasks.  The payload is written to a
+    process-unique temporary name and renamed onto ``file_path`` only once
+    complete, so a reader (or a concurrent duplicate execution of the same
+    export task after a stall requeue) can never observe a half-written
+    file — the last complete writer wins, and both writers produce
+    byte-identical content because the input is deterministic.
+
+    The input **must already be sorted and duplicate-free**; this is
+    verified while writing (one comparison per value) because a mis-sorted
+    spool file silently breaks every validator.
+    """
+    final_path = Path(file_path)
+    tmp_path = final_path.with_name(f"{final_path.name}.tmp-{os.getpid()}")
+    try:
+        if format == FORMAT_BINARY:
+            with BlockFileWriter(str(tmp_path), block_size=block_size) as writer:
+                for value in _checked_ascending(ref, sorted_distinct_values):
+                    writer.write(value)
+            svf = SortedValueFile(
+                ref=ref,
+                path=str(final_path),
+                count=writer.count,
+                min_value=writer.min_value,
+                max_value=writer.max_value,
+                dtype=dtype,
+                format=FORMAT_BINARY,
+                blocks=tuple(writer.blocks),
+            )
+        elif format == FORMAT_TEXT:
+            count = 0
+            first: str | None = None
+            last: str | None = None
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                for value in _checked_ascending(ref, sorted_distinct_values):
+                    if first is None:
+                        first = value
+                    last = value
+                    fh.write(escape_line(value))
+                    fh.write("\n")
+                    count += 1
+            svf = SortedValueFile(
+                ref=ref,
+                path=str(final_path),
+                count=count,
+                min_value=first,
+                max_value=last,
+                dtype=dtype,
+                format=FORMAT_TEXT,
+            )
+        else:
+            raise SpoolError(
+                f"unknown spool format {format!r}; choose from {SPOOL_FORMATS}"
+            )
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    os.replace(tmp_path, final_path)
+    return svf
+
+
+def _checked_ascending(ref: AttributeRef, values: Iterable[str]):
+    """Yield ``values`` verifying strict ascent; loud on the first violation."""
+    last: str | None = None
+    for value in values:
+        if last is not None and value <= last:
+            raise SpoolError(
+                f"values for {ref} are not strictly ascending: "
+                f"{value!r} after {last!r}"
+            )
+        last = value
+        yield value
+
+
 @dataclass(frozen=True)
 class SortedValueFile:
     """One attribute's sorted distinct value set on disk, plus its metadata."""
@@ -193,78 +277,63 @@ class SpoolDirectory:
         verified while writing (cheap, one comparison per value) because a
         mis-sorted spool file silently breaks every validator.
         """
-        with self._lock:
-            if ref in self._files or ref in self._reserved:
-                raise SpoolError(f"attribute {ref} already spooled")
-            file_name = self._file_name(ref)
-            self._reserved[ref] = file_name
+        file_name = self.reserve_name(ref)
         file_path = self.root / file_name
         try:
-            if self.format == FORMAT_BINARY:
-                svf = self._write_binary(ref, file_path, sorted_distinct_values, dtype)
-            else:
-                svf = self._write_text(ref, file_path, sorted_distinct_values, dtype)
+            svf = write_value_file(
+                ref,
+                file_path,
+                sorted_distinct_values,
+                dtype=dtype,
+                format=self.format,
+                block_size=self.block_size,
+            )
         except BaseException:
             with self._lock:
                 self._reserved.pop(ref, None)
             file_path.unlink(missing_ok=True)
             raise
-        with self._lock:
-            self._reserved.pop(ref, None)
-            self._files[ref] = svf
+        self.register(svf)
         return svf
 
-    def _checked_ascending(self, ref: AttributeRef, values: Iterable[str]):
-        last: str | None = None
-        for value in values:
-            if last is not None and value <= last:
-                raise SpoolError(
-                    f"values for {ref} are not strictly ascending: "
-                    f"{value!r} after {last!r}"
-                )
-            last = value
-            yield value
+    def reserve_name(self, ref: AttributeRef) -> str:
+        """Claim a unique spool file name for ``ref`` without writing it.
 
-    def _write_text(
-        self, ref: AttributeRef, file_path: Path, values: Iterable[str], dtype: str
-    ) -> SortedValueFile:
-        count = 0
-        first: str | None = None
-        last: str | None = None
-        with open(file_path, "w", encoding="utf-8") as fh:
-            for value in self._checked_ascending(ref, values):
-                if first is None:
-                    first = value
-                last = value
-                fh.write(escape_line(value))
-                fh.write("\n")
-                count += 1
-        return SortedValueFile(
-            ref=ref,
-            path=str(file_path),
-            count=count,
-            min_value=first,
-            max_value=last,
-            dtype=dtype,
-            format=FORMAT_TEXT,
-        )
+        The task-shaped export path plans every attribute's file name in the
+        parent — worker processes each hold their own registry copy, so
+        collision avoidance must happen where the full picture lives — and
+        ships the name to the worker inside the export unit.  The
+        reservation blocks both duplicate spooling of ``ref`` and name
+        reuse until :meth:`register` (or a failure) releases it.
+        """
+        with self._lock:
+            if ref in self._files or ref in self._reserved:
+                raise SpoolError(f"attribute {ref} already spooled")
+            file_name = self._file_name(ref)
+            self._reserved[ref] = file_name
+            return file_name
 
-    def _write_binary(
-        self, ref: AttributeRef, file_path: Path, values: Iterable[str], dtype: str
-    ) -> SortedValueFile:
-        with BlockFileWriter(str(file_path), block_size=self.block_size) as writer:
-            for value in self._checked_ascending(ref, values):
-                writer.write(value)
-        return SortedValueFile(
-            ref=ref,
-            path=str(file_path),
-            count=writer.count,
-            min_value=writer.min_value,
-            max_value=writer.max_value,
-            dtype=dtype,
-            format=FORMAT_BINARY,
-            blocks=tuple(writer.blocks),
-        )
+    def register(self, svf: SortedValueFile) -> SortedValueFile:
+        """Install an externally written value file into the registry.
+
+        The counterpart of :meth:`reserve_name`: the parent folds the
+        :class:`SortedValueFile` metadata a worker's export task produced
+        back into the directory, after which :meth:`save_index` persists
+        it like any locally written attribute.  The file must already
+        exist at its recorded path.
+        """
+        with self._lock:
+            if svf.ref in self._files:
+                raise SpoolError(f"attribute {svf.ref} already spooled")
+            self._reserved.pop(svf.ref, None)
+            self._files[svf.ref] = svf
+        return svf
+
+    def release(self, ref: AttributeRef) -> None:
+        """Drop the name reservation of ``ref`` (an export unit that failed
+        or produced an empty attribute the caller decided not to keep)."""
+        with self._lock:
+            self._reserved.pop(ref, None)
 
     def save_index(self) -> None:
         doc: dict = {

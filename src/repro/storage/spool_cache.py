@@ -37,6 +37,17 @@ fits a byte budget; a cache built with ``max_bytes`` enforces it after every
 Eviction is safe against concurrent readers: entries are renamed aside
 before deletion, so an open file descriptor stays valid and a concurrent
 ``lookup`` either hits the complete entry or misses cleanly.
+
+**Completeness.**  Every listed *entry* is complete by construction —
+publication is one atomic rename of a finished, fingerprint-stamped staging
+directory, so a half-written export is never an entry.  What a crash (of
+the exporting process, or of a pool worker mid ``spool-export`` task whose
+job then failed) leaves behind is an *orphan*: a ``.staging-*`` directory
+that never published, or a ``.doomed-*`` eviction leftover.  Orphans never
+serve hits but hold disk; :meth:`SpoolCache.list_orphans` surfaces them
+(``repro-ind cache list`` prints them below the entries) and
+:meth:`SpoolCache.evict_orphans` (``repro-ind cache evict --orphans``)
+reclaims them.
 """
 
 from __future__ import annotations
@@ -62,6 +73,30 @@ if TYPE_CHECKING:  # repro.db imports repro.storage; keep the cycle type-only
 #: Directory-name length: 16 bytes of SHA-256 is plenty below any realistic
 #: collision risk while keeping paths short.
 _ENTRY_NAME_LENGTH = 32
+
+
+@dataclass(frozen=True)
+class OrphanInfo:
+    """A leftover working directory inside the cache root.
+
+    ``staging`` directories are in-progress (or abandoned) exports that
+    were never published — a crash mid-export, pooled or not, leaves
+    exactly this shape behind, invisible to :meth:`SpoolCache.lookup`;
+    ``doomed`` directories are eviction/replacement leftovers whose
+    deletion was interrupted.  Neither ever serves a hit, but both consume
+    disk silently, which is why ``repro-ind cache list`` surfaces them and
+    ``repro-ind cache evict --orphans`` reclaims them.
+    """
+
+    path: Path
+    kind: str  # "staging" | "doomed"
+    size_bytes: int
+    mtime: float
+
+    @property
+    def name(self) -> str:
+        """The orphan's directory name."""
+        return self.path.name
 
 
 @dataclass(frozen=True)
@@ -360,6 +395,55 @@ class SpoolCache:
     def total_bytes(self) -> int:
         """Bytes currently held by all cache entries."""
         return sum(info.size_bytes for info in self.list_entries())
+
+    def list_orphans(self) -> list[OrphanInfo]:
+        """Leftover staging/doomed directories — never-published partials.
+
+        A publishable entry becomes visible only through the final atomic
+        rename, so anything still named ``.staging-*`` is an export that
+        did not complete (in progress right now, or abandoned by a crash)
+        and anything named ``.doomed-*`` is an interrupted deletion.
+        Sorted stalest first, like :meth:`list_entries`.  Directories that
+        vanish mid-listing (a concurrent publish or cleanup) are skipped.
+        """
+        orphans: list[OrphanInfo] = []
+        for path in self.root.iterdir():
+            if not path.is_dir():
+                continue
+            if path.name.startswith(".staging-"):
+                kind = "staging"
+            elif path.name.startswith(".doomed-"):
+                kind = "doomed"
+            else:
+                continue
+            try:
+                mtime = path.stat().st_mtime
+                size = sum(
+                    f.stat().st_size for f in path.rglob("*") if f.is_file()
+                )
+            except OSError:
+                continue  # concurrently published or reclaimed
+            orphans.append(
+                OrphanInfo(path=path, kind=kind, size_bytes=size, mtime=mtime)
+            )
+        orphans.sort(key=lambda info: (info.mtime, info.name))
+        return orphans
+
+    def evict_orphans(self) -> list[OrphanInfo]:
+        """Reclaim every orphaned staging/doomed directory; returns them.
+
+        Safe against published entries (they are never matched) but **not**
+        against an export that is genuinely still running in another
+        process — its staging directory looks identical to an abandoned
+        one, and evicting it fails that export loudly at publish time
+        rather than corrupting anything (publish renames, so the loser
+        simply errors).  Operators should run this when no export is in
+        flight, which is also when orphans can exist at all.
+        """
+        victims = self.list_orphans()
+        for info in victims:
+            shutil.rmtree(info.path, ignore_errors=True)
+        return victims
 
     def _entry_info(self, entry: Path) -> CacheEntryInfo | None:
         """Describe one entry directory; ``None`` if it vanished or is corrupt.

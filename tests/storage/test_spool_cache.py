@@ -373,3 +373,52 @@ class TestLruEviction:
             cache.evict_prefix("")
         assert [i.path for i in cache.evict_all()] == [published[1][1]]
         assert cache.list_entries() == []
+
+
+class TestOrphans:
+    """Operator visibility into never-published working directories."""
+
+    def test_empty_cache_has_no_orphans(self, tmp_path):
+        assert SpoolCache(tmp_path / "cache").list_orphans() == []
+
+    def test_abandoned_staging_is_listed_and_reclaimed(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        # A completed export that crashed before publish: full spool files
+        # in staging, no catalog_hash, invisible to lookup.
+        export_database(db, str(cache.prepare(fingerprint)))
+        orphans = cache.list_orphans()
+        assert [o.kind for o in orphans] == ["staging"]
+        assert orphans[0].size_bytes > 0
+        assert orphans[0].name.startswith(".staging-")
+        assert cache.lookup(fingerprint) is None
+        evicted = cache.evict_orphans()
+        assert evicted == orphans
+        assert cache.list_orphans() == []
+        assert not orphans[0].path.exists()
+
+    def test_published_entries_are_never_orphans(self, tmp_path):
+        db = _db()
+        fingerprint = _fingerprint(db)
+        cache = SpoolCache(tmp_path / "cache")
+        spool, _ = export_database(db, str(cache.prepare(fingerprint)))
+        cache.publish(fingerprint, spool)
+        assert cache.list_orphans() == []
+        assert cache.evict_orphans() == []
+        # Eviction of orphans must leave the real entry untouched.
+        (cache.root / ".doomed-leftover").mkdir()
+        assert [o.kind for o in cache.list_orphans()] == ["doomed"]
+        cache.evict_orphans()
+        assert cache.lookup(fingerprint) is not None
+
+    def test_orphans_listed_stalest_first(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = SpoolCache(tmp_path / "cache")
+        old = cache.prepare("a" * 64)
+        new = cache.prepare("b" * 64)
+        stamp = _time.time() - 3600
+        _os.utime(old, (stamp, stamp))
+        assert [o.path for o in cache.list_orphans()] == [old, new]

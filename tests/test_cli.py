@@ -437,3 +437,100 @@ class TestCacheCommand:
     def test_evict_requires_exactly_one_selector(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["cache", "evict", "--cache-dir", str(tmp_path)])
+
+
+class TestPipelineFlags:
+    """The pooled-pipeline flags: self-documenting help, end-to-end wiring."""
+
+    def _discover_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["discover", "--help"])
+        return " ".join(capsys.readouterr().out.split())
+
+    def test_parallel_flags_document_defaults_and_requirements(self, capsys):
+        out = self._discover_help(capsys)
+        assert "--parallel-export" in out
+        assert "--parallel-pretest" in out
+        assert "--sampling-size" in out
+        assert "requires --sampling-size > 0" in out
+        assert "byte-identical" in out
+
+    def test_serve_accepts_the_pipeline_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        assert "--parallel-export" in out
+        assert "--parallel-pretest" in out
+
+    def test_discover_runs_the_pooled_pipeline(self, biosql_dump, capsys):
+        assert main([
+            "discover", str(biosql_dump), "--strategy", "brute-force",
+            "--validation-workers", "2", "--sampling-size", "4",
+            "--parallel-export", "--parallel-pretest",
+        ]) == 0
+        pooled = capsys.readouterr().out
+        assert main([
+            "discover", str(biosql_dump), "--strategy", "brute-force",
+            "--sampling-size", "4",
+        ]) == 0
+        sequential = capsys.readouterr().out
+        # Identical discovery summary and IND list, pooled or not.
+        assert [
+            line for line in pooled.splitlines() if line.startswith("  ")
+        ] == [
+            line for line in sequential.splitlines() if line.startswith("  ")
+        ]
+
+    def test_parallel_pretest_without_sampling_is_rejected(
+        self, biosql_dump, capsys
+    ):
+        assert main([
+            "discover", str(biosql_dump), "--parallel-pretest",
+        ]) == 2
+        assert "sampling_size" in capsys.readouterr().err
+
+    def test_serve_response_pool_covers_all_task_kinds(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        import io
+
+        request = json.dumps({"directory": str(biosql_dump), "id": "r1"}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(request))
+        assert main([
+            "serve", "--strategy", "brute-force", "--validation-workers", "2",
+            "--sampling-size", "4", "--parallel-export", "--parallel-pretest",
+        ]) == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.splitlines()[0])
+        kinds = response["pool"]["tasks_by_kind"]
+        assert {"spool-export", "sample-pretest", "brute-force"} <= set(kinds)
+        # The shutdown stats line aggregates the same kinds.
+        assert "spool-export" in captured.err
+
+
+class TestCacheOrphans:
+    def test_list_surfaces_orphans_and_evict_reclaims_them(
+        self, tmp_path, capsys
+    ):
+        from repro.storage.spool_cache import SpoolCache
+
+        cache_dir = tmp_path / "cache"
+        SpoolCache(cache_dir).prepare("f" * 64)  # crashed-export shape
+        assert main(["cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "orphans: 1 in-progress/abandoned temp dirs" in out
+        assert "staging" in out
+        assert "evict --orphans" in out
+        assert main(
+            ["cache", "evict", "--cache-dir", str(cache_dir), "--orphans"]
+        ) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+        assert main(["cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_orphan_eviction_is_exclusive_with_other_selectors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "cache", "evict", "--cache-dir", str(tmp_path),
+                "--orphans", "--all",
+            ])

@@ -24,6 +24,7 @@ DOCUMENTED_MODULES = [
     "repro.core.stats",
     "repro.parallel",
     "repro.parallel.engine",
+    "repro.parallel.export",
     "repro.parallel.planner",
     "repro.parallel.pool",
     "repro.parallel.merge",

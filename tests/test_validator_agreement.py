@@ -16,6 +16,7 @@ with the full ``discover_inds`` pipeline including parallel export.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
@@ -26,7 +27,7 @@ from repro.core.candidates import apply_pretests, generate_unique_ref_candidates
 from repro.core.candidates import PretestConfig
 from repro.core.merge_single_pass import MergeSinglePassValidator
 from repro.core.reference import ReferenceValidator
-from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.core.runner import DiscoveryConfig, DiscoverySession, discover_inds
 from repro.core.single_pass import SinglePassValidator
 from repro.parallel import PartitionedMergeValidator, ProcessPoolValidationEngine
 from repro.core.sql_approaches import (
@@ -349,6 +350,109 @@ class TestParallelAgreement:
                     str(i) for i in baseline.satisfied
                 }, f"{strategy} at {workers} workers (seed {seed})"
                 assert result.validation_workers == workers
+
+
+def _pipeline_view(result_dict: dict) -> dict:
+    """``DiscoveryResult.to_dict()`` minus timings and pool/placement noise.
+
+    What must be byte-identical between the sequential and the pooled
+    pipeline: decisions, satisfied sets, pretest and sampling reductions,
+    export counters, ``items_read``/``comparisons``/``files_opened``.
+    What legitimately differs: wall-clock timings, per-job pool counters,
+    the worker count echoed from the config, the engine's ``extra``
+    diagnostics, and ``peak_open_files`` (documented to *sum* across
+    concurrently held shard cursors rather than track one process's max).
+    """
+    view = json.loads(json.dumps(result_dict))  # deep copy, JSON-safe proof
+    view.pop("timings")
+    view.pop("pool")
+    view.pop("validation_workers")
+    view["validator"].pop("elapsed_seconds")
+    view["validator"].pop("extra")
+    view["validator"].pop("peak_open_files")
+    return view
+
+
+class TestEndToEndPipelineAgreement:
+    """The pooled pipeline replays the sequential pipeline to the byte.
+
+    ``parallel_export`` + ``parallel_pretest`` + parallel validation move
+    every phase of ``discover_inds`` onto the worker fleet; this matrix —
+    seeded random DBs × workers {1, 2, 4} × both spool formats × {pooled,
+    sequential} — asserts the *entire result object* (minus timings and
+    pool stats) is identical, including the candidate set the sampling
+    pretest pruned and the export counters.  Workers=1 matters: the task
+    path must be exact even when the fleet is a single process.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+    SAMPLING = 2  # small on purpose: samples must refute some candidates
+
+    def _config(self, strategy, spool_format, **overrides):
+        return DiscoveryConfig(
+            strategy=strategy,
+            spool_format=spool_format,
+            spool_block_size=3,
+            sampling_size=self.SAMPLING,
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("strategy", ("brute-force", "merge-single-pass"))
+    @pytest.mark.parametrize("seed", (5, 6, 9))
+    def test_pooled_pipeline_to_dict_identical(
+        self, seed, strategy, spool_format
+    ):
+        db = build_random_db(seed)
+        baseline = discover_inds(db, self._config(strategy, spool_format))
+        assert baseline.pool_stats is None  # fully in-process run
+        expected = _pipeline_view(baseline.to_dict())
+        assert baseline.sampling_refuted > 0, (
+            "seed must exercise the pretest for the matrix to mean anything"
+        )
+        for workers in self.WORKER_COUNTS:
+            pooled = discover_inds(
+                db,
+                self._config(
+                    strategy,
+                    spool_format,
+                    validation_workers=workers,
+                    parallel_export=True,
+                    parallel_pretest=True,
+                ),
+            )
+            assert _pipeline_view(pooled.to_dict()) == expected, (
+                f"pooled pipeline diverges at {workers} workers "
+                f"(seed {seed}, {strategy}, {spool_format} spools)"
+            )
+            kinds = set(pooled.pool_stats["tasks_by_kind"])
+            assert "spool-export" in kinds and "sample-pretest" in kinds
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_warm_session_runs_whole_pipeline_on_one_fleet(
+        self, workers, tmp_path
+    ):
+        """A session pools all three phases and never drifts across runs."""
+        db = build_random_db(5)
+        baseline = discover_inds(db, self._config("brute-force", "binary"))
+        expected = _pipeline_view(baseline.to_dict())
+        config = self._config(
+            "brute-force",
+            "binary",
+            validation_workers=workers,
+            parallel_export=True,
+            parallel_pretest=True,
+        )
+        with DiscoverySession(config) as session:
+            for _ in range(2):
+                got = session.discover(db)
+                assert _pipeline_view(got.to_dict()) == expected
+            stats = session.pool_stats.as_dict()
+        assert stats["workers_spawned"] == workers  # one fleet, both runs
+        assert {"spool-export", "sample-pretest", "brute-force"} <= set(
+            stats["tasks_by_kind"]
+        )
 
 
 class TestSqlStrategiesAgree:
