@@ -1,10 +1,20 @@
-"""Strategy runners shared by the benchmark files."""
+"""Strategy runners shared by the benchmark files.
+
+Besides the paper-table runners this module hosts the two adaptive-engine
+helpers: :func:`run_calibration` (the ``repro-ind calibrate`` micro-bench
+that measures this machine's per-item and pool-overhead constants) and
+:func:`run_adaptive_comparison` (one workload timed under every fixed
+engine plus the adaptive router, the shape ``BENCH_adaptive.json``
+records).
+"""
 
 from __future__ import annotations
 
+import tempfile
+import time
 from dataclasses import dataclass
 
-from repro.core.candidates import PretestConfig
+from repro.core.candidates import Candidate, PretestConfig
 from repro.core.results import DiscoveryResult
 from repro.core.runner import DiscoveryConfig, DiscoverySession, discover_inds
 from repro.db.database import Database
@@ -236,6 +246,138 @@ def run_e2e_pool_curve(
             )
         stats = session.pool_stats
     return curves, (stats.as_dict() if stats is not None else {})
+
+
+def run_calibration(rows: int = 20000, workers: int = 2) -> "CalibrationProfile":
+    """Measure this machine's adaptive-model constants on a synthetic spool.
+
+    Builds a throwaway binary spool of four ``rows``-value attributes,
+    then times the same accounting units the cost model multiplies:
+
+    * ``seq_item_seconds`` — one in-process brute-force validation over
+      all ordered attribute pairs, divided by the planner's summed
+      ``candidate_cost`` (the model's brute-force work unit);
+    * ``merge_item_seconds`` — one in-process heap merge over the same
+      candidates, divided by summed attribute counts + candidate count;
+    * ``task_overhead_seconds`` — a *warm* pooled run minus the predicted
+      compute makespan, divided by the tasks dispatched;
+    * ``pool_startup_seconds`` — cold pooled run minus warm pooled run,
+      divided by the worker count.
+
+    Overheads are floored at small positive values so a noisy fast box
+    never produces a zero (which would make the model blind to the pool
+    tax this whole exercise exists to price).  The caller persists the
+    returned profile via
+    :meth:`~repro.parallel.planner.CalibrationProfile.save`.
+    """
+    from repro.core.brute_force import BruteForceValidator
+    from repro.core.merge_single_pass import MergeSinglePassValidator
+    from repro.db.schema import AttributeRef
+    from repro.parallel.engine import ProcessPoolValidationEngine
+    from repro.parallel.planner import CalibrationProfile, ShardPlanner
+    from repro.parallel.pool import WorkerPool
+    from repro.storage.sorted_sets import SpoolDirectory
+
+    if rows < 100:
+        raise ValueError(f"rows must be >= 100, got {rows}")
+    with tempfile.TemporaryDirectory(prefix="repro-calibrate-") as tmp:
+        spool = SpoolDirectory.create(f"{tmp}/spool", format="binary")
+        names = ("a", "b", "c", "d")
+        for offset, name in enumerate(names):
+            ref = AttributeRef("calib", name)
+            # Overlapping shifted ranges: every pair is a near-miss, so
+            # both validators walk essentially the whole files — the
+            # steady-state cost the model predicts, not an early exit.
+            spool.add_values(
+                ref, [f"v{offset * 7 + i:09d}" for i in range(rows)]
+            )
+        spool.save_index()
+        refs = [AttributeRef("calib", name) for name in names]
+        candidates = [
+            Candidate(d, r) for d in refs for r in refs if d != r
+        ]
+        planner = ShardPlanner(spool)
+        bf_work = sum(planner.candidate_cost(c) for c in candidates)
+        merge_work = sum(spool.get(ref).count for ref in refs) + len(candidates)
+
+        started = time.perf_counter()
+        BruteForceValidator(spool).validate(candidates)
+        seq_item = (time.perf_counter() - started) / bf_work
+
+        started = time.perf_counter()
+        MergeSinglePassValidator(spool).validate(candidates)
+        merge_item = (time.perf_counter() - started) / merge_work
+
+        with WorkerPool(workers) as pool:
+            engine = ProcessPoolValidationEngine(
+                spool, workers=workers, pool=pool
+            )
+            started = time.perf_counter()
+            engine.validate(candidates)  # cold: pays worker startup
+            cold_seconds = time.perf_counter() - started
+            tasks_cold = pool.stats.tasks_completed
+            started = time.perf_counter()
+            engine.validate(candidates)  # warm: pure dispatch + compute
+            warm_seconds = time.perf_counter() - started
+            tasks_warm = pool.stats.tasks_completed - tasks_cold
+        compute = bf_work * seq_item / max(1, workers)
+        task_overhead = max(
+            2e-4, (warm_seconds - compute) / max(1, tasks_warm)
+        )
+        pool_startup = max(
+            5e-3, (cold_seconds - warm_seconds) / max(1, workers)
+        )
+    return CalibrationProfile(
+        seq_item_seconds=seq_item,
+        merge_item_seconds=merge_item,
+        pool_startup_seconds=pool_startup,
+        task_overhead_seconds=task_overhead,
+        source="calibrated",
+    )
+
+
+def run_adaptive_comparison(
+    dataset_name: str,
+    db: Database,
+    workers: int = 4,
+    runs: int = 3,
+    **config_kwargs,
+) -> dict[str, list[StrategyOutcome]]:
+    """Time one workload under every fixed engine and the adaptive router.
+
+    Four interleaved legs, one :class:`StrategyOutcome` per run each:
+    ``sequential`` (best fixed sequential baseline: brute-force, 1 worker),
+    ``sequential-merge`` (merge, 1 worker), ``pooled`` (brute-force with
+    ``workers`` per-call cold pool — the "always pooled" configuration the
+    adaptive engine must beat on small workloads), and ``adaptive``
+    (``strategy="adaptive"`` with the same worker budget, free to route).
+    Legs are interleaved round-robin so machine-load noise hits all alike;
+    ``BENCH_adaptive.json`` summarises the medians.
+    """
+
+    def config(strategy: str, n: int) -> DiscoveryConfig:
+        return DiscoveryConfig(
+            strategy=strategy,
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            validation_workers=n,
+            **config_kwargs,
+        )
+
+    legs = {
+        "sequential": config("brute-force", 1),
+        "sequential-merge": config("merge-single-pass", 1),
+        "pooled": config("brute-force", workers),
+        "adaptive": config("adaptive", workers),
+    }
+    curves: dict[str, list[StrategyOutcome]] = {name: [] for name in legs}
+    for _ in range(runs):
+        for name, cfg in legs.items():
+            curves[name].append(
+                StrategyOutcome(
+                    dataset_name, cfg.strategy, discover_inds(db, cfg)
+                )
+            )
+    return curves
 
 
 def run_merge_pool_curve(

@@ -10,6 +10,9 @@ Subcommands:
   concurrently), id-tagged results as JSON lines on stdout, clean drain on
   SIGINT/SIGTERM;
 * ``cache``    — list or evict entries of the content-addressed spool cache;
+* ``calibrate`` — micro-bench this machine's per-item validation costs and
+  pool overheads, persisting the profile next to the spool cache for the
+  adaptive engine router;
 * ``accession`` — list accession-number candidates (strict or softened);
 * ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps.
 
@@ -108,6 +111,17 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         "count (default: off — in-process pretest)",
     )
     parser.add_argument(
+        "--range-split",
+        type=int,
+        default=0,
+        metavar="N",
+        help="force merge validation into N first-byte ranges instead of "
+        "candidate-graph components; merge-single-pass and adaptive only, "
+        "needs --validation-workers > 1 (default: 0 — component split, "
+        "with adaptive cutting one-giant-component graphs automatically "
+        "from the spool's block histogram)",
+    )
+    parser.add_argument(
         "--skip-scans",
         action="store_true",
         help="let brute-force seek past spool blocks below the sought value; "
@@ -156,6 +170,7 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
         "parallel_export": args.parallel_export,
         "parallel_pretest": args.parallel_pretest,
         "validation_workers": args.validation_workers,
+        "range_split": args.range_split,
         "skip_scans": args.skip_scans,
         "reuse_spool": args.reuse_spool,
         "cache_dir": args.cache_dir,
@@ -226,6 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1 — responses then keep request order; above 1 they "
         "arrive in completion order, matched by id)",
     )
+    serve.add_argument(
+        "--idle-reap-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="after each request, drain pool workers that have been idle "
+        "for at least S seconds — a stretch of sequential-routed adaptive "
+        "requests then releases the warm fleet instead of pinning it; the "
+        "next pooled request respawns workers at the cold price "
+        "(default: never reap)",
+    )
     _add_validation_flags(serve)
 
     cache = sub.add_parser(
@@ -276,6 +302,39 @@ def build_parser() -> argparse.ArgumentParser:
         "only when no export is in flight",
     )
 
+    calib = sub.add_parser(
+        "calibrate",
+        help="micro-bench per-item costs and pool overheads for the "
+        "adaptive router",
+        description="Time a small synthetic workload on this machine — "
+        "sequential brute-force and merge per-item seconds, pool worker "
+        "startup, per-task dispatch overhead — and persist the profile as "
+        "calibration.json next to the spool cache, where "
+        "strategy='adaptive' picks it up on every later run.  Without a "
+        "profile the router falls back to conservative built-in defaults "
+        "that bias close calls toward sequential.",
+    )
+    calib.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory to persist calibration.json in "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    calib.add_argument(
+        "--rows",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="values per synthetic attribute in the micro-bench "
+        "(default: 20000; larger is slower but steadier)",
+    )
+    calib.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and print the profile without persisting it",
+    )
+
     acc = sub.add_parser("accession", help="list accession-number candidates")
     acc.add_argument("directory")
     acc.add_argument(
@@ -312,6 +371,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "accession":
         return _cmd_accession(args)
     if args.command == "pipeline":
@@ -364,9 +425,18 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         f"strategy={result.strategy})"
     )
     if args.reuse_spool:
+        skipped = " (parallel export skipped)" if result.export_skipped else ""
         print(
-            f"spool cache: {'hit' if result.spool_cache_hit else 'miss'} "
-            f"({result.spool_path})"
+            f"spool cache: {'hit' if result.spool_cache_hit else 'miss'}"
+            f"{skipped} ({result.spool_path})"
+        )
+    if result.engine_choice is not None:
+        choice = result.engine_choice
+        predicted = choice["predicted_seconds"].get(choice["engine"])
+        print(
+            f"adaptive: chose {choice['engine']} "
+            f"(predicted {predicted}s, actual {choice['actual_seconds']}s, "
+            f"calibration={choice['calibration']})"
         )
     for ind in result.satisfied:
         print(f"  {ind}")
@@ -481,7 +551,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     drained_by: int | None = None
     previous_handlers = _serve_signal_handlers()
-    with DiscoverySession(base) as session:
+    with DiscoverySession(
+        base, idle_reap_seconds=args.idle_reap_seconds
+    ) as session:
         executor = ThreadPoolExecutor(
             max_workers=args.max_inflight, thread_name_prefix="serve"
         )
@@ -581,7 +653,9 @@ def _serve_one(session: DiscoverySession, request: dict) -> dict:
             for ind in result.satisfied
         ),
         "spool_cache_hit": result.spool_cache_hit,
+        "export_skipped": result.export_skipped,
         "validation_workers": result.validation_workers,
+        "engine_choice": result.engine_choice,
         "pool": result.pool_stats,
         "seconds": round(time.monotonic() - started, 6),
     }
@@ -653,6 +727,29 @@ def _cmd_cache_evict(cache: SpoolCache, args: argparse.Namespace) -> int:
         f"evicted {len(evicted)} entries; "
         f"{format_count(cache.total_bytes())} bytes remain"
     )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """``repro-ind calibrate`` — measure and persist a calibration profile."""
+    from repro.bench.harness import run_calibration
+    from repro.parallel.planner import calibration_path
+
+    if args.rows < 100:
+        raise ReproError(f"--rows must be >= 100, got {args.rows}")
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    print(f"calibrating on {args.rows} rows per attribute ...")
+    profile = run_calibration(rows=args.rows)
+    print(f"  seq_item_seconds     = {profile.seq_item_seconds:.3e}")
+    print(f"  merge_item_seconds   = {profile.merge_item_seconds:.3e}")
+    print(f"  pool_startup_seconds = {profile.pool_startup_seconds:.3e}")
+    print(f"  task_overhead_seconds = {profile.task_overhead_seconds:.3e}")
+    if args.dry_run:
+        print("dry run: profile not persisted")
+        return 0
+    path = calibration_path(cache_dir)
+    profile.save(path)
+    print(f"calibration written to {path}")
     return 0
 
 

@@ -68,13 +68,27 @@ from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
 if TYPE_CHECKING:  # imported lazily at runtime; see _build_validator
     from repro.parallel.pool import PoolStats, WorkerPool
 
+#: The cost-model strategy: route each request to the predicted-cheapest
+#: of the brute-force and merge engines (sequential, pooled, or range-split
+#: merge) instead of fixing one up front.
+ADAPTIVE_STRATEGY = "adaptive"
 EXTERNAL_STRATEGIES = frozenset(
-    {"brute-force", "single-pass", "merge-single-pass", "blockwise"}
+    {
+        "brute-force",
+        "single-pass",
+        "merge-single-pass",
+        "blockwise",
+        ADAPTIVE_STRATEGY,
+    }
 )
 SQL_STRATEGIES = frozenset({"sql-join", "sql-minus", "sql-notin"})
 SEQUENTIAL_STRATEGIES = frozenset({"brute-force", *SQL_STRATEGIES})
 #: Strategies with a multi-process validation engine (repro.parallel).
-PARALLEL_STRATEGIES = frozenset({"brute-force", "merge-single-pass"})
+PARALLEL_STRATEGIES = frozenset(
+    {"brute-force", "merge-single-pass", ADAPTIVE_STRATEGY}
+)
+#: Strategies the adaptive router may pin via ``DiscoveryConfig.adaptive``.
+ADAPTIVE_BASE_STRATEGIES = frozenset({"brute-force", "merge-single-pass"})
 ALL_STRATEGIES = frozenset({*EXTERNAL_STRATEGIES, *SQL_STRATEGIES, "reference"})
 
 #: Default root of the cross-run spool cache (``DiscoveryConfig.cache_dir``).
@@ -104,12 +118,21 @@ class DiscoveryConfig:
       validation — the session pool when one is lent, else one per-call
       pool shared by every phase of the run — and leave all results
       byte-identical to the in-process phases.
-    * **Validation** — ``strategy`` (one of :data:`ALL_STRATEGIES`),
-      ``validation_workers`` (worker processes for the brute-force and
-      merge-single-pass strategies; 1 = sequential), ``skip_scans``
-      (per-block skip-scans, brute-force on v2 spools),
-      ``max_open_files``/``blockwise_engine`` (blockwise strategy),
-      ``sql_null_safe`` (SQL strategies).
+    * **Validation** — ``strategy`` (one of :data:`ALL_STRATEGIES`;
+      ``"adaptive"`` routes each run to the predicted-cheapest of the
+      brute-force and merge engines), ``adaptive`` (cost-model routing
+      restricted to the *configured* strategy's engines — sequential vs
+      pooled — valid only with the strategies in
+      :data:`ADAPTIVE_BASE_STRATEGIES`), ``validation_workers`` (worker
+      processes for the strategies in :data:`PARALLEL_STRATEGIES`;
+      1 = sequential), ``skip_scans`` (per-block skip-scans, brute-force
+      on v2 spools — including ``adaptive=True`` routing pinned to
+      brute-force, but not ``strategy="adaptive"``, which may route to
+      merge), ``range_split`` (byte-range split of merge validation; 0 =
+      off, and the adaptive router engages it automatically for
+      one-component merge graphs), ``max_open_files``/
+      ``blockwise_engine`` (blockwise strategy), ``sql_null_safe`` (SQL
+      strategies).
     * **Caching** — ``reuse_spool`` (content-addressed spool cache keyed by
       the catalog fingerprint), ``cache_dir`` (cache root; defaults to
       :data:`DEFAULT_CACHE_DIR`), ``cache_max_bytes`` (LRU size budget for
@@ -135,6 +158,8 @@ class DiscoveryConfig:
     parallel_export: bool = False  # export as spool-export pool tasks
     parallel_pretest: bool = False  # sampling pretest as pool tasks
     validation_workers: int = 1  # worker processes (brute-force / merge-s-p)
+    adaptive: bool = False  # cost-model routing pinned to this strategy
+    range_split: int = 0  # byte-range merge split (0 = off; needs workers > 1)
     skip_scans: bool = False  # per-block skip-scans (brute-force, v2 spools)
     reuse_spool: bool = False  # content-addressed spool cache across runs
     cache_dir: str | None = None  # spool cache root (default: user cache dir)
@@ -143,6 +168,17 @@ class DiscoveryConfig:
     max_open_files: int = 64  # blockwise strategy only
     blockwise_engine: str = "merge"
     sql_null_safe: bool = True
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when this run routes engines by predicted cost.
+
+        Either form counts: ``strategy="adaptive"`` (free choice across
+        the brute-force and merge engines) or ``adaptive=True`` on a
+        fixed strategy (sequential-vs-pooled choice for that strategy
+        only).
+        """
+        return self.strategy == ADAPTIVE_STRATEGY or self.adaptive
 
     def validated(self) -> "DiscoveryConfig":
         """Return ``self`` after rejecting inconsistent flag combinations."""
@@ -159,6 +195,38 @@ class DiscoveryConfig:
             raise DiscoveryError(
                 "transitivity pruning requires a sequential strategy "
                 f"({sorted(SEQUENTIAL_STRATEGIES)}), not {self.strategy!r}"
+            )
+        if self.adaptive and self.strategy not in (
+            ADAPTIVE_BASE_STRATEGIES | {ADAPTIVE_STRATEGY}
+        ):
+            raise DiscoveryError(
+                "adaptive routing covers the engines of "
+                f"{sorted(ADAPTIVE_BASE_STRATEGIES)}; pin one of those (or "
+                f"use strategy='adaptive'), not {self.strategy!r}"
+            )
+        if self.use_transitivity and self.is_adaptive:
+            raise DiscoveryError(
+                "transitivity pruning is order-dependent; adaptive routing "
+                "may pick a pooled engine, so the two cannot combine"
+            )
+        if self.range_split < 0 or self.range_split == 1:
+            raise DiscoveryError(
+                "range_split must be 0 (off) or >= 2 partitions, got "
+                f"{self.range_split!r}"
+            )
+        if self.range_split and self.strategy not in (
+            "merge-single-pass",
+            ADAPTIVE_STRATEGY,
+        ):
+            raise DiscoveryError(
+                "range_split cuts merge validation into byte ranges and "
+                "therefore requires the merge-single-pass or adaptive "
+                f"strategy, not {self.strategy!r}"
+            )
+        if self.range_split and self.validation_workers == 1:
+            raise DiscoveryError(
+                "range_split only adds boundary re-reads without parallel "
+                "workers; raise validation_workers or drop the split"
             )
         if self.sampling_size and self.strategy not in EXTERNAL_STRATEGIES:
             raise DiscoveryError(
@@ -205,7 +273,9 @@ class DiscoveryConfig:
             )
         if self.skip_scans and self.strategy != "brute-force":
             raise DiscoveryError(
-                "skip-scans only apply to the brute-force strategy"
+                "skip-scans only apply to the brute-force strategy "
+                "(strategy='adaptive' may route to merge; pin "
+                "strategy='brute-force' with adaptive=True to keep both)"
             )
         if self.reuse_spool and self.strategy not in EXTERNAL_STRATEGIES:
             raise DiscoveryError(
@@ -285,6 +355,7 @@ def discover_inds(
     spool_cache_hit = False
     export_pool_stats: dict | None = None
     pretest_pool_stats: dict | None = None
+    engine_decision = None
     owned_pool = None
     if pool is None and (cfg.parallel_export or cfg.parallel_pretest):
         # One per-call fleet for the whole pipeline: export, pretest and
@@ -323,14 +394,31 @@ def discover_inds(
                         spool, cfg, candidates
                     )
                 sampling_refuted = len(sampling_refuted_list)
-            if cfg.use_transitivity:
+        pretest_seconds = clock.elapsed
+        # Engine routing is planning work, not validation work: it runs
+        # outside the validate stopwatch so validate_seconds stays
+        # comparable across fixed and adaptive runs, and its own cost is
+        # surfaced as engine_choice["routing_seconds"].
+        routing_seconds = 0.0
+        if cfg.use_transitivity:
+            with Stopwatch() as clock:
                 validation, inferred_sat, inferred_unsat = _validate_sequential(
                     db, cfg, spool, candidates, column_stats
                 )
+        else:
+            if cfg.is_adaptive:
+                with Stopwatch() as clock:
+                    engine_decision, validator = _route_adaptive(
+                        cfg, spool, candidates, pool
+                    )
+                routing_seconds = clock.elapsed
             else:
-                validator = _build_validator(db, cfg, spool, column_stats, pool)
+                validator = _build_validator(
+                    db, cfg, spool, column_stats, pool
+                )
+            with Stopwatch() as clock:
                 validation = validator.validate(candidates)
-        timings.validate_seconds = clock.elapsed
+        timings.validate_seconds = pretest_seconds + clock.elapsed
     finally:
         if owned_pool is not None:
             owned_pool.shutdown()
@@ -345,6 +433,11 @@ def discover_inds(
     pool_stats = _merged_pool_stats(
         export_pool_stats, pretest_pool_stats, validation.pool
     )
+    engine_choice = None
+    if engine_decision is not None:
+        engine_choice = engine_decision.as_dict()
+        engine_choice["actual_seconds"] = round(timings.validate_seconds, 6)
+        engine_choice["routing_seconds"] = round(routing_seconds, 6)
 
     return DiscoveryResult(
         database=db.name,
@@ -364,7 +457,12 @@ def discover_inds(
         export_values_scanned=export_scanned,
         export_values_written=export_written,
         spool_cache_hit=spool_cache_hit,
+        # A cache hit silently skips the export phase; when the caller asked
+        # for a *pooled* export, say so explicitly instead of leaving an
+        # absent "spool-export" task kind as the only clue.
+        export_skipped=spool_cache_hit and cfg.parallel_export,
         validation_workers=cfg.validation_workers,
+        engine_choice=engine_choice,
         pool_stats=pool_stats,
     )
 
@@ -470,8 +568,67 @@ def _merged_pool_stats(*parts: dict | None) -> dict | None:
     return merge_pool_stat_dicts(list(parts))
 
 
+def _route_adaptive(cfg, spool, candidates, pool):
+    """Pick and build the predicted-cheapest engine for this request.
+
+    The decision runs *outside* the validate stopwatch — routing is
+    planning work, and charging it to ``validate_seconds`` would make
+    adaptive runs look slower than the identical fixed-engine validation
+    they execute.  Its cost is reported separately as
+    ``engine_choice["routing_seconds"]``.  ``strategy="adaptive"`` lets the
+    model choose across the brute-force and merge engine families;
+    ``adaptive=True`` on a fixed strategy restricts it to that family's
+    sequential-vs-pooled choice.  Returns ``(decision, validator)``; the
+    decision is surfaced on the result so the routing is observable.
+    """
+    from repro.parallel.planner import choose_engine, load_calibration
+
+    calibration = load_calibration(cfg.cache_dir or DEFAULT_CACHE_DIR)
+    strategies = (
+        tuple(sorted(ADAPTIVE_BASE_STRATEGIES))
+        if cfg.strategy == ADAPTIVE_STRATEGY
+        else (cfg.strategy,)
+    )
+    decision = choose_engine(
+        spool,
+        candidates,
+        strategies=strategies,
+        workers=cfg.validation_workers,
+        calibration=calibration,
+        warm_pool=pool is not None and pool.alive_workers > 0,
+        range_split=cfg.range_split,
+    )
+    if decision.strategy == "brute-force":
+        if decision.workers == 1:
+            return decision, BruteForceValidator(
+                spool, skip_scan=cfg.skip_scans
+            )
+        from repro.parallel.engine import ProcessPoolValidationEngine
+
+        return decision, ProcessPoolValidationEngine(
+            spool,
+            workers=decision.workers,
+            skip_scan=cfg.skip_scans,
+            pool=pool,
+        )
+    if decision.workers == 1:
+        return decision, MergeSinglePassValidator(spool)
+    from repro.parallel.merge import PartitionedMergeValidator
+
+    return decision, PartitionedMergeValidator(
+        spool,
+        workers=decision.workers,
+        pool=pool,
+        range_split=decision.range_split,
+    )
+
+
 def _build_validator(db, cfg, spool, column_stats, pool=None):
     """Instantiate the validator ``cfg.strategy`` selects (internal)."""
+    if cfg.strategy == ADAPTIVE_STRATEGY:
+        raise DiscoveryError(
+            "adaptive strategy must be routed through the cost model"
+        )
     if cfg.strategy == "brute-force":
         if cfg.validation_workers > 1:
             # Imported lazily: repro.parallel builds on repro.core and must
@@ -492,7 +649,10 @@ def _build_validator(db, cfg, spool, column_stats, pool=None):
             from repro.parallel.merge import PartitionedMergeValidator
 
             return PartitionedMergeValidator(
-                spool, workers=cfg.validation_workers, pool=pool
+                spool,
+                workers=cfg.validation_workers,
+                pool=pool,
+                range_split=cfg.range_split,
             )
         return MergeSinglePassValidator(spool)
     if cfg.strategy == "blockwise":
@@ -629,9 +789,26 @@ class DiscoverySession:
     workers reuse their handles.
     """
 
-    def __init__(self, config: DiscoveryConfig | None = None) -> None:
-        """Create an idle session around ``config`` (the per-run default)."""
+    def __init__(
+        self,
+        config: DiscoveryConfig | None = None,
+        idle_reap_seconds: float | None = None,
+    ) -> None:
+        """Create an idle session around ``config`` (the per-run default).
+
+        ``idle_reap_seconds`` arms idle-worker reaping: after each run,
+        a pool that has had no job for at least that many seconds is
+        drained (:meth:`~repro.parallel.pool.WorkerPool.reap_idle`) —
+        the shape an *adaptive* session needs, where a stretch of
+        sequential-routed requests would otherwise keep a warm fleet
+        pinned doing nothing.  The pool itself stays open; the next
+        pooled request respawns workers at the usual cold price.
+        ``None`` (the default) never reaps.
+        """
         self.config = (config or DiscoveryConfig()).validated()
+        if idle_reap_seconds is not None and idle_reap_seconds < 0:
+            raise DiscoveryError("idle_reap_seconds must be >= 0")
+        self.idle_reap_seconds = idle_reap_seconds
         self._pool: "WorkerPool | None" = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -665,7 +842,14 @@ class DiscoverySession:
         if self._closed:
             raise DiscoveryError("discovery session is closed")
         cfg = (config or self.config).validated()
-        return discover_inds(db, cfg, pool=self._pool_for(cfg))
+        try:
+            return discover_inds(db, cfg, pool=self._pool_for(cfg))
+        finally:
+            # A run that used the pool just stamped its activity, so this
+            # only fires after a stretch of runs that left the fleet idle
+            # (e.g. adaptive routing kept choosing sequential engines).
+            if self.idle_reap_seconds is not None and self._pool is not None:
+                self._pool.reap_idle(self.idle_reap_seconds)
 
     def _pool_for(self, cfg: DiscoveryConfig) -> "WorkerPool | None":
         """Lazily create the shared pool when this run can use one.

@@ -17,7 +17,11 @@ different axes, both dispatched through one shared task substrate:
 ``planner``          :class:`ShardPlanner` — cost-balanced partitions of
                      the candidate set, sized by spool value counts: whole
                      shards (LPT), small work-stealing chunks, or merge
-                     groups cut along candidate-graph components.
+                     groups cut along candidate-graph components.  Also
+                     hosts the adaptive cost model: :func:`choose_engine`
+                     predicts sequential vs pooled vs range-split cost per
+                     request from the same stats, tuned by a persisted
+                     :class:`CalibrationProfile`.
 ``pool``             :class:`WorkerPool` — persistent worker processes
                      behind one shared task queue; survives across
                      ``validate()`` and ``discover_inds`` calls, runs any
@@ -52,10 +56,15 @@ from repro.parallel.merge import (
     partition_bounds,
 )
 from repro.parallel.planner import (
+    CalibrationProfile,
     Chunk,
+    EngineDecision,
     MergeGroup,
     Shard,
     ShardPlanner,
+    calibration_path,
+    choose_engine,
+    load_calibration,
     pack_cost_groups,
 )
 from repro.parallel.pool import (
@@ -80,7 +89,9 @@ from repro.parallel.tasks import (
 
 __all__ = [
     "ByteRangeCursor",
+    "CalibrationProfile",
     "Chunk",
+    "EngineDecision",
     "JobResult",
     "KIND_BRUTE_FORCE",
     "KIND_MERGE_PARTITION",
@@ -96,7 +107,10 @@ __all__ = [
     "TaskSpec",
     "WorkerPool",
     "boundary_string",
+    "calibration_path",
+    "choose_engine",
     "first_byte",
+    "load_calibration",
     "make_partition_view",
     "merge_shard_outcomes",
     "partition_bounds",

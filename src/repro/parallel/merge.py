@@ -46,7 +46,14 @@ from repro.core.candidates import Candidate
 from repro.core.merge_single_pass import MergeSinglePassValidator
 from repro.core.stats import ValidationResult, ValidatorStats
 from repro.errors import DiscoveryError, SpoolError
-from repro.parallel.planner import MergeGroup, ShardPlanner
+from repro.parallel.planner import (
+    _MAX_LEAD_BYTE,
+    MergeGroup,
+    ShardPlanner,
+    boundary_string,
+    first_byte,
+    partition_bounds,
+)
 from repro.parallel.pool import WorkerPool, run_specs
 from repro.parallel.tasks import (
     KIND_MERGE_PARTITION,
@@ -57,65 +64,15 @@ from repro.parallel.tasks import (
 from repro.storage.cursors import DEFAULT_BATCH_SIZE, BufferedValueCursor, IOStats
 from repro.storage.sorted_sets import SpoolDirectory
 
-#: Highest byte that can open a UTF-8 encoded code point (0xF5..0xFF never do).
-_MAX_LEAD_BYTE = 0xF4
-
-
-def _lead_byte(codepoint: int) -> int:
-    """First byte of the UTF-8 encoding of ``codepoint`` (monotonic in it)."""
-    if codepoint < 0x80:
-        return codepoint
-    if codepoint < 0x800:
-        return 0xC0 | (codepoint >> 6)
-    if codepoint < 0x10000:
-        return 0xE0 | (codepoint >> 12)
-    return 0xF0 | (codepoint >> 18)
-
-
-def first_byte(value: str) -> int:
-    """Partition key: first UTF-8 byte of ``value`` (0 for the empty string)."""
-    return _lead_byte(ord(value[0])) if value else 0
-
-
-def boundary_string(first: int) -> str | None:
-    """Smallest string whose first UTF-8 byte is >= ``first``.
-
-    ``""`` for 0 (every string qualifies), ``None`` when no string can
-    qualify (``first`` above every possible lead byte).  Because the lead
-    byte is monotonic in the code point, a binary search over code points
-    finds the cut; the result never lands on a surrogate (the surrogate
-    block shares its lead byte 0xED with U+D000, which precedes it).
-    """
-    if first <= 0:
-        return ""
-    if first > _MAX_LEAD_BYTE:
-        return None
-    lo, hi = 0, 0x110000
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if _lead_byte(mid) >= first:
-            hi = mid
-        else:
-            lo = mid + 1
-    return chr(lo)
-
-
-def partition_bounds(partitions: int) -> list[tuple[int, int]]:
-    """Contiguous first-byte ranges ``[lo, hi)`` covering 0..255.
-
-    At most 256 partitions are meaningful; ranges that would be empty are
-    dropped, and ranges starting above the highest possible lead byte are
-    dropped too (no UTF-8 value can land there).
-    """
-    if partitions < 1:
-        raise DiscoveryError(f"partitions must be >= 1, got {partitions!r}")
-    count = min(partitions, 256)
-    cuts = [(p * 256) // count for p in range(count + 1)]
-    return [
-        (lo, hi)
-        for lo, hi in zip(cuts, cuts[1:])
-        if lo < hi and lo <= _MAX_LEAD_BYTE
-    ]
+__all__ = [
+    "ByteRangeCursor",
+    "PartitionSpoolView",
+    "PartitionedMergeValidator",
+    "boundary_string",
+    "first_byte",
+    "make_partition_view",
+    "partition_bounds",
+]
 
 
 class ByteRangeCursor(BufferedValueCursor):
@@ -214,10 +171,14 @@ class PartitionedMergeValidator:
     decisions, the satisfied set, ``items_read`` and ``comparisons``
     byte-identical to the sequential merge validator at every worker count
     — asserted per seed in the agreement suite.  ``range_split=N`` (N > 1)
-    additionally splits every group into N first-byte ranges: decisions
-    stay exact, parallelism survives even one giant component, but summed
-    I/O counters may exceed the sequential pass (reported honestly, never
-    hidden).
+    additionally splits every group into up to N first-byte ranges, cut at
+    the value-count quantiles of the block-index histogram
+    (:meth:`ShardPlanner.range_bounds`): decisions stay exact, parallelism
+    survives even one giant component, but summed I/O counters may exceed
+    the sequential pass (reported honestly, never hidden).  The adaptive
+    router engages this engine automatically when a one-component merge
+    graph would otherwise serialise — the manual flag remains as an
+    explicit override.
 
     ``workers=1`` short-circuits to the sequential validator.  With a
     borrowed ``pool`` the validator reuses the warm fleet (and never shuts
@@ -270,11 +231,16 @@ class PartitionedMergeValidator:
                 "re-open it"
             )
         with Stopwatch() as clock:
-            groups = self.plan(list(dict.fromkeys(candidates)))
+            ordered = list(dict.fromkeys(candidates))
+            groups = self.plan(ordered)
             specs: list[TaskSpec] = []
             spec_group: list[int] = []
+            # Histogram-balanced cuts from the block index replace the old
+            # uniform split: each range carries roughly equal estimated
+            # work.  Any tiling keeps decisions exact, so this only moves
+            # the balance, never the answers.
             ranges = (
-                partition_bounds(self._range_split)
+                self._planner.range_bounds(ordered, self._range_split)
                 if self._range_split > 1
                 else [(0, 256)]
             )

@@ -37,12 +37,25 @@ offers two packings:
 * :func:`pack_cost_groups` — the shared heaviest-first budget packer the
   chunk-shaped plans (and the export planner in
   :mod:`repro.parallel.export`) are built on.
+
+The same spool statistics also feed the **adaptive cost model**
+(:func:`choose_engine`): given the candidate set, the worker count and a
+:class:`CalibrationProfile` of machine constants, it predicts the
+wall-clock cost of every execution engine the configured strategy allows —
+sequential, pooled chunks, component-planned pooled merge, byte-range
+split merge — and returns the cheapest as an :class:`EngineDecision`.
+:func:`repro.core.runner.discover_inds` consults it under
+``strategy="adaptive"`` so small requests stop paying the pool tax the
+benchmarks documented.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.candidates import Candidate
 from repro.errors import DiscoveryError
@@ -57,6 +70,78 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 #: the requeue unit after a worker death, and repeating more than this many
 #: candidate tests on a replacement worker is wasted work we refuse to risk.
 MAX_CHUNK_CANDIDATES = 32
+
+#: Highest byte that can open a UTF-8 encoded code point (0xF5..0xFF never do).
+_MAX_LEAD_BYTE = 0xF4
+
+#: Predicted I/O inflation of a byte-range merge split relative to the
+#: sequential pass: neighbouring ranges re-decode boundary blocks and a
+#: range cannot learn another range already refuted its candidate.  The
+#: factor is deliberately pessimistic so the model only picks the range
+#: split when the parallel win clearly survives the over-read.
+RANGE_SPLIT_OVERREAD = 1.15
+
+#: File name of the persisted calibration profile, stored next to the spool
+#: cache (``<cache_dir>/calibration.json``) by ``repro-ind calibrate``.
+CALIBRATION_FILENAME = "calibration.json"
+
+
+def _lead_byte(codepoint: int) -> int:
+    """First byte of the UTF-8 encoding of ``codepoint`` (monotonic in it)."""
+    if codepoint < 0x80:
+        return codepoint
+    if codepoint < 0x800:
+        return 0xC0 | (codepoint >> 6)
+    if codepoint < 0x10000:
+        return 0xE0 | (codepoint >> 12)
+    return 0xF0 | (codepoint >> 18)
+
+
+def first_byte(value: str) -> int:
+    """Partition key: first UTF-8 byte of ``value`` (0 for the empty string)."""
+    return _lead_byte(ord(value[0])) if value else 0
+
+
+def boundary_string(first: int) -> str | None:
+    """Smallest string whose first UTF-8 byte is >= ``first``.
+
+    ``""`` for 0 (every string qualifies), ``None`` when no string can
+    qualify (``first`` above every possible lead byte).  Because the lead
+    byte is monotonic in the code point, a binary search over code points
+    finds the cut; the result never lands on a surrogate (the surrogate
+    block shares its lead byte 0xED with U+D000, which precedes it).
+    """
+    if first <= 0:
+        return ""
+    if first > _MAX_LEAD_BYTE:
+        return None
+    lo, hi = 0, 0x110000
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _lead_byte(mid) >= first:
+            hi = mid
+        else:
+            lo = mid + 1
+    return chr(lo)
+
+
+def partition_bounds(partitions: int) -> list[tuple[int, int]]:
+    """Contiguous first-byte ranges ``[lo, hi)`` covering 0..255, uniformly.
+
+    At most 256 partitions are meaningful; ranges that would be empty are
+    dropped, and ranges starting above the highest possible lead byte are
+    dropped too (no UTF-8 value can land there).  This is the blind cut —
+    :meth:`ShardPlanner.range_bounds` produces the histogram-balanced one.
+    """
+    if partitions < 1:
+        raise DiscoveryError(f"partitions must be >= 1, got {partitions!r}")
+    count = min(partitions, 256)
+    cuts = [(p * 256) // count for p in range(count + 1)]
+    return [
+        (lo, hi)
+        for lo, hi in zip(cuts, cuts[1:])
+        if lo < hi and lo <= _MAX_LEAD_BYTE
+    ]
 
 
 def pack_cost_groups(
@@ -382,3 +467,329 @@ class ShardPlanner:
                 )
             )
         return groups
+
+    def first_byte_histogram(self, candidates: list[Candidate]) -> list[int]:
+        """Estimated value count per first UTF-8 byte, over touched attributes.
+
+        Built from the v2 block index: every block contributes its value
+        count to the bucket of its ``min_value``'s lead byte — per-block
+        min/max is exactly the histogram the index already stores, so this
+        costs zero I/O.  Text spools carry no block metadata; their whole
+        attribute lands on its ``min_value``'s bucket, which degrades the
+        estimate but never its safety (the bounds built from it always tile
+        the full byte space).
+        """
+        attrs = {c.dependent for c in candidates}
+        attrs |= {c.referenced for c in candidates}
+        hist = [0] * 256
+        for attr in sorted(attrs):
+            svf = self._spool.get(attr)
+            blocks = getattr(svf, "blocks", ()) or ()
+            if blocks:
+                for block in blocks:
+                    hist[first_byte(block.min_value)] += block.count
+            elif svf.count and svf.min_value is not None:
+                hist[first_byte(svf.min_value)] += svf.count
+        return hist
+
+    def range_bounds(
+        self, candidates: list[Candidate], splits: int
+    ) -> list[tuple[int, int]]:
+        """Histogram-balanced first-byte ranges tiling the whole byte space.
+
+        Cuts are placed at the value-count quantiles of
+        :meth:`first_byte_histogram`, so each range carries roughly equal
+        estimated work — the balance a uniform :func:`partition_bounds`
+        cut cannot promise on skewed data (most real values share a few
+        lead bytes).  Heavily skewed histograms collapse coinciding cuts,
+        so fewer than ``splits`` ranges may come back; with no histogram
+        mass at all the uniform cut is the fallback.  The ranges always
+        tile 0..255 completely (minus the impossible >0xF4 tail): tiling,
+        not balance, is what the range-merge's correctness rests on.
+        """
+        if splits < 1:
+            raise DiscoveryError(f"splits must be >= 1, got {splits!r}")
+        hist = self.first_byte_histogram(candidates)
+        total = sum(hist)
+        if total == 0:
+            return partition_bounds(splits)
+        targets = [total * k / splits for k in range(1, min(splits, 256))]
+        boundaries: list[int] = []
+        cumulative = 0
+        next_target = 0
+        for byte in range(256):
+            cumulative += hist[byte]
+            while (
+                next_target < len(targets)
+                and cumulative >= targets[next_target]
+            ):
+                boundaries.append(byte + 1)
+                next_target += 1
+        cuts = [0, *sorted(set(boundaries)), 256]
+        return [
+            (lo, hi)
+            for lo, hi in zip(cuts, cuts[1:])
+            if lo < hi and lo <= _MAX_LEAD_BYTE
+        ]
+
+
+# --------------------------------------------------------------- cost model
+@dataclass(frozen=True)
+class CalibrationProfile:
+    """Machine constants the adaptive cost model multiplies its work by.
+
+    The defaults are deliberately conservative round numbers measured on
+    commodity hardware: they overestimate pool startup slightly, which
+    biases the model toward sequential execution in close calls — the
+    cheap mistake, since the documented bug is pooled runs *losing* to
+    sequential on small workloads, never the reverse by the same margin.
+    ``repro-ind calibrate`` replaces them with measured values persisted
+    next to the spool cache.
+    """
+
+    #: Seconds one in-process brute-force scan spends per spooled value.
+    seq_item_seconds: float = 8e-7
+    #: Seconds one in-process heap merge spends per spooled value.
+    merge_item_seconds: float = 1.0e-6
+    #: Seconds to spawn one pool worker process (paid only on cold pools).
+    pool_startup_seconds: float = 0.08
+    #: Seconds of queue/pickle overhead per dispatched pool task.
+    task_overhead_seconds: float = 0.004
+    #: Where the constants came from: ``"default"`` or ``"calibrated"``.
+    source: str = "default"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (what ``save`` writes)."""
+        return {
+            "seq_item_seconds": self.seq_item_seconds,
+            "merge_item_seconds": self.merge_item_seconds,
+            "pool_startup_seconds": self.pool_startup_seconds,
+            "task_overhead_seconds": self.task_overhead_seconds,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CalibrationProfile":
+        """Rebuild a profile from :meth:`to_dict` output (unknown keys ignored)."""
+        defaults = cls()
+        return cls(
+            seq_item_seconds=float(
+                doc.get("seq_item_seconds", defaults.seq_item_seconds)
+            ),
+            merge_item_seconds=float(
+                doc.get("merge_item_seconds", defaults.merge_item_seconds)
+            ),
+            pool_startup_seconds=float(
+                doc.get("pool_startup_seconds", defaults.pool_startup_seconds)
+            ),
+            task_overhead_seconds=float(
+                doc.get("task_overhead_seconds", defaults.task_overhead_seconds)
+            ),
+            source=str(doc.get("source", "calibrated")),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the profile as JSON at ``path`` (parents created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2), "utf-8")
+        return target
+
+
+def calibration_path(cache_dir: str | Path) -> Path:
+    """Where a cache rooted at ``cache_dir`` keeps its calibration profile."""
+    return Path(cache_dir) / CALIBRATION_FILENAME
+
+
+def load_calibration(cache_dir: str | Path) -> CalibrationProfile:
+    """Load the persisted profile next to the cache, or the defaults.
+
+    A missing, unreadable or corrupt file silently falls back to the
+    built-in defaults — the cost model must never fail a discovery run
+    over a stale side file.
+    """
+    try:
+        doc = json.loads(calibration_path(cache_dir).read_text("utf-8"))
+        if not isinstance(doc, dict):
+            return CalibrationProfile()
+        return CalibrationProfile.from_dict(doc)
+    except (OSError, ValueError):
+        return CalibrationProfile()
+
+
+@dataclass(frozen=True)
+class EngineDecision:
+    """The adaptive router's verdict for one validation request.
+
+    ``engine`` names the winner (one of ``sequential-brute-force``,
+    ``pooled-brute-force``, ``sequential-merge``, ``pooled-merge``,
+    ``range-split-merge``); ``strategy`` is its underlying fixed strategy
+    and ``workers`` / ``range_split`` how to instantiate it.
+    ``predicted_seconds`` keeps every considered engine's predicted cost so
+    the choice is auditable, and ``calibration`` says whether measured or
+    default constants priced it.
+    """
+
+    engine: str
+    strategy: str
+    workers: int
+    range_split: int
+    predicted_seconds: dict[str, float] = field(default_factory=dict)
+    calibration: str = "default"
+
+    def as_dict(self) -> dict:
+        """JSON view for ``DiscoveryResult.to_dict()`` and serve responses."""
+        return {
+            "engine": self.engine,
+            "strategy": self.strategy,
+            "workers": self.workers,
+            "range_split": self.range_split,
+            "predicted_seconds": {
+                name: round(cost, 6)
+                for name, cost in sorted(self.predicted_seconds.items())
+            },
+            "calibration": self.calibration,
+        }
+
+
+def choose_engine(
+    spool: SpoolDirectory,
+    candidates: list[Candidate],
+    strategies: tuple[str, ...],
+    workers: int,
+    calibration: CalibrationProfile | None = None,
+    warm_pool: bool = False,
+    range_split: int = 0,
+    cpu_count: int | None = None,
+) -> EngineDecision:
+    """Predict the cheapest execution engine for this validation request.
+
+    Inputs are exactly what the planner already holds: per-attribute
+    spooled value counts (via :meth:`ShardPlanner.candidate_cost` and the
+    merge component plan), the candidate count, the worker budget, and the
+    machine constants of ``calibration``.  ``strategies`` restricts the
+    engines considered (``("brute-force",)``, ``("merge-single-pass",)``
+    or both for ``strategy="adaptive"``); ``warm_pool`` drops the pool
+    startup term (a session fleet is already running); ``range_split > 1``
+    forces that split count onto the range-merge engine instead of the
+    automatic one-giant-component selection; ``cpu_count`` overrides
+    :func:`os.cpu_count` (tests).
+
+    Deterministic: ties break toward the engine listed first, and
+    sequential engines are priced before pooled ones — when the model
+    cannot tell them apart, not paying the pool tax wins.
+    """
+    if workers < 1:
+        raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
+    if not strategies:
+        raise DiscoveryError("choose_engine needs at least one strategy")
+    cal = calibration or CalibrationProfile()
+    cpus = max(1, cpu_count if cpu_count is not None else (os.cpu_count() or 1))
+    planner = ShardPlanner(spool)
+    ordered = list(dict.fromkeys(candidates))
+    predicted: dict[str, float] = {}
+    builders: dict[str, tuple[str, int, int]] = {}
+
+    def consider(engine: str, strategy: str, n: int, split: int, cost: float):
+        predicted[engine] = cost
+        builders[engine] = (strategy, n, split)
+
+    def startup(units: int) -> float:
+        if warm_pool:
+            return 0.0
+        return cal.pool_startup_seconds * min(workers, max(units, 1))
+
+    if "brute-force" in strategies:
+        bf_work = sum(planner.candidate_cost(c) for c in ordered)
+        consider(
+            "sequential-brute-force",
+            "brute-force",
+            1,
+            0,
+            bf_work * cal.seq_item_seconds,
+        )
+        if workers > 1 and len(ordered) > 1:
+            chunks = planner.plan_chunks(ordered, workers)
+            lanes = max(1, min(workers, cpus, len(chunks)))
+            heaviest = max(chunk.estimated_cost for chunk in chunks)
+            makespan = max(bf_work / lanes, heaviest) * cal.seq_item_seconds
+            consider(
+                "pooled-brute-force",
+                "brute-force",
+                workers,
+                0,
+                startup(len(chunks))
+                + cal.task_overhead_seconds * len(chunks)
+                + makespan,
+            )
+    if "merge-single-pass" in strategies:
+        attrs = {c.dependent for c in ordered} | {c.referenced for c in ordered}
+        merge_work = sum(spool.get(attr).count for attr in attrs) + len(ordered)
+        consider(
+            "sequential-merge",
+            "merge-single-pass",
+            1,
+            0,
+            merge_work * cal.merge_item_seconds,
+        )
+        if workers > 1 and ordered:
+            groups = planner.plan_merge_groups(ordered, workers)
+            if len(groups) > 1:
+                lanes = max(1, min(workers, cpus, len(groups)))
+                heaviest = max(group.estimated_cost for group in groups)
+                makespan = (
+                    max(merge_work / lanes, heaviest) * cal.merge_item_seconds
+                )
+                consider(
+                    "pooled-merge",
+                    "merge-single-pass",
+                    workers,
+                    0,
+                    startup(len(groups))
+                    + cal.task_overhead_seconds * len(groups)
+                    + makespan,
+                )
+            splits = range_split if range_split > 1 else workers
+            if range_split > 1 or len(groups) == 1:
+                bounds = planner.range_bounds(ordered, splits)
+                if len(bounds) > 1:
+                    hist = planner.first_byte_histogram(ordered)
+                    weights = [sum(hist[lo:hi]) for lo, hi in bounds]
+                    tasks = len(bounds) * len(groups)
+                    lanes = max(1, min(workers, cpus, tasks))
+                    inflated = merge_work * RANGE_SPLIT_OVERREAD
+                    makespan = (
+                        max(inflated / lanes, max(weights) * RANGE_SPLIT_OVERREAD)
+                        * cal.merge_item_seconds
+                    )
+                    consider(
+                        "range-split-merge",
+                        "merge-single-pass",
+                        workers,
+                        splits,
+                        startup(tasks)
+                        + cal.task_overhead_seconds * tasks
+                        + makespan,
+                    )
+    winner = min(predicted, key=lambda name: (predicted[name], _rank(name)))
+    strategy, n, split = builders[winner]
+    return EngineDecision(
+        engine=winner,
+        strategy=strategy,
+        workers=n,
+        range_split=split,
+        predicted_seconds=predicted,
+        calibration=cal.source,
+    )
+
+
+def _rank(engine: str) -> int:
+    """Tie-break order of engines at equal predicted cost (sequential first)."""
+    order = (
+        "sequential-brute-force",
+        "sequential-merge",
+        "pooled-brute-force",
+        "pooled-merge",
+        "range-split-merge",
+    )
+    return order.index(engine) if engine in order else len(order)

@@ -123,6 +123,7 @@ class PoolStats:
     tasks_requeued: int = 0
     workers_spawned: int = 0
     workers_replaced: int = 0
+    workers_reaped: int = 0
     spool_handle_reuses: int = 0
     #: Completed tasks per task kind, e.g. ``{"brute-force": 12}``.
     tasks_by_kind: dict[str, int] = field(default_factory=dict)
@@ -140,6 +141,7 @@ class PoolStats:
             "tasks_requeued": self.tasks_requeued,
             "workers_spawned": self.workers_spawned,
             "workers_replaced": self.workers_replaced,
+            "workers_reaped": self.workers_reaped,
             "spool_handle_reuses": self.spool_handle_reuses,
             "tasks_by_kind": dict(sorted(self.tasks_by_kind.items())),
         }
@@ -405,6 +407,7 @@ class WorkerPool:
         self._dispatcher: threading.Thread | None = None
         self._dispatcher_stop = threading.Event()
         self._death_generation = 0
+        self._last_activity = time.monotonic()
         self.stats = PoolStats()
 
     # -- lifecycle ---------------------------------------------------------
@@ -417,6 +420,26 @@ class WorkerPool:
     def closed(self) -> bool:
         """True once :meth:`shutdown` ran; a closed pool accepts no jobs."""
         return self._closed
+
+    @property
+    def started(self) -> bool:
+        """True once the first job spawned the fleet (queues/dispatcher live).
+
+        Stays true after :meth:`reap_idle` drains the worker processes —
+        the next job simply respawns them.
+        """
+        return self._started
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker processes currently alive — the cost model's warmth signal.
+
+        Zero before the first job and after :meth:`reap_idle`; in both
+        cases the next pooled job pays worker startup, so a cost model
+        should only drop its startup term when this is positive.
+        """
+        with self._lock:
+            return sum(1 for proc in self._procs if proc.is_alive())
 
     def __enter__(self) -> "WorkerPool":
         """Context-manager entry: the pool itself (workers still lazy)."""
@@ -441,6 +464,7 @@ class WorkerPool:
             )
             self._dispatcher.start()
             self._started = True
+            self._last_activity = time.monotonic()
 
     def _spawn_worker(self) -> None:
         proc = self._ctx.Process(
@@ -488,6 +512,53 @@ class WorkerPool:
             q.close()
             q.cancel_join_thread()
 
+    def reap_idle(
+        self, max_idle_seconds: float = 0.0, timeout: float = 5.0
+    ) -> int:
+        """Drain an idle fleet without closing the pool; returns workers reaped.
+
+        An adaptive session that keeps routing requests to sequential
+        engines would otherwise pin a warm fleet of processes doing
+        nothing; this releases them once the pool has had no job activity
+        for ``max_idle_seconds``.  The pool stays open: the next
+        :meth:`run_job` simply respawns toward the configured fleet size
+        (counted in ``workers_spawned`` again, plus ``workers_reaped``
+        here), at the usual cold-start price.  A busy pool (jobs in
+        flight), a never-started pool, or one active too recently reaps
+        nothing and returns 0.
+
+        The whole drain runs under the pool lock, so a concurrent
+        ``run_job`` blocks until the victims consumed their shutdown
+        sentinels — sentinels can therefore never poison the workers that
+        job respawns.
+        """
+        with self._lock:
+            if (
+                not self._started
+                or self._closed
+                or self._jobs
+                or not self._procs
+            ):
+                return 0
+            if time.monotonic() - self._last_activity < max_idle_seconds:
+                return 0
+            victims = list(self._procs)
+            self._procs.clear()
+            for _ in victims:
+                self._task_queue.put(None)
+            deadline = time.monotonic() + timeout
+            for proc in victims:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            for proc in victims:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                # Reaped pids must not be mistaken for crashes by the claim
+                # router if a stale claim message ever surfaces later.
+                self._ever_dead_pids.add(proc.pid)
+            self.stats.workers_reaped += len(victims)
+            return len(victims)
+
     # -- dispatch ----------------------------------------------------------
     def run_job(self, spool_root: str, specs: list[TaskSpec]) -> JobResult:
         """Execute every spec against ``spool_root``; return outcomes + stats.
@@ -511,6 +582,10 @@ class WorkerPool:
         with self._lock:
             if self._closed:
                 raise DiscoveryError("worker pool is shut down")
+            # Respawn a fleet reap_idle released; a no-op on the hot path
+            # (the fleet is already at target size).
+            while len(self._procs) < self._workers_target:
+                self._spawn_worker()
             self._job_counter += 1
             job_id = self._job_counter
             tasks = {
@@ -562,6 +637,7 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._jobs.pop(job_id, None)
+                self._last_activity = time.monotonic()
             # Requeued tasks leave duplicates behind, and a failed job
             # leaves its pending tasks; sweep the shared queue so neither
             # wastes the next jobs' worker time (live jobs' tasks are

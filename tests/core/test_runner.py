@@ -53,6 +53,73 @@ class TestConfigValidation:
         with pytest.raises(DiscoveryError, match="export_workers"):
             DiscoveryConfig(export_workers=0).validated()
 
+    # --- adaptive × cross-flag audit: one test per rejected pair ---
+
+    def test_adaptive_flag_needs_routable_strategy(self):
+        with pytest.raises(DiscoveryError, match="adaptive routing covers"):
+            DiscoveryConfig(strategy="sql-join", adaptive=True).validated()
+
+    def test_adaptive_flag_pins_base_strategy_ok(self):
+        DiscoveryConfig(strategy="brute-force", adaptive=True).validated()
+        DiscoveryConfig(strategy="merge-single-pass", adaptive=True).validated()
+        DiscoveryConfig(strategy="adaptive").validated()
+
+    def test_adaptive_flag_rejects_transitivity(self):
+        with pytest.raises(DiscoveryError, match="order-dependent"):
+            DiscoveryConfig(
+                strategy="brute-force", adaptive=True, use_transitivity=True
+            ).validated()
+
+    def test_adaptive_strategy_rejects_transitivity(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryConfig(
+                strategy="adaptive", use_transitivity=True
+            ).validated()
+
+    def test_range_split_of_one_rejected(self):
+        with pytest.raises(DiscoveryError, match=">= 2 partitions"):
+            DiscoveryConfig(
+                strategy="merge-single-pass",
+                range_split=1,
+                validation_workers=2,
+            ).validated()
+
+    def test_negative_range_split_rejected(self):
+        with pytest.raises(DiscoveryError, match=">= 2 partitions"):
+            DiscoveryConfig(
+                strategy="merge-single-pass",
+                range_split=-2,
+                validation_workers=2,
+            ).validated()
+
+    def test_range_split_needs_merge_or_adaptive_strategy(self):
+        with pytest.raises(DiscoveryError, match="merge-single-pass or adaptive"):
+            DiscoveryConfig(
+                strategy="brute-force", range_split=2, validation_workers=2
+            ).validated()
+
+    def test_range_split_needs_parallel_workers(self):
+        with pytest.raises(DiscoveryError, match="without parallel workers"):
+            DiscoveryConfig(
+                strategy="merge-single-pass", range_split=2
+            ).validated()
+
+    def test_range_split_with_adaptive_strategy_ok(self):
+        DiscoveryConfig(
+            strategy="adaptive", range_split=4, validation_workers=2
+        ).validated()
+
+    def test_skip_scans_rejects_adaptive_strategy(self):
+        # strategy="adaptive" may route to merge, where skip-scans have no
+        # meaning; the documented escape hatch is pinning via adaptive=True.
+        with pytest.raises(DiscoveryError, match="skip-scans only apply"):
+            DiscoveryConfig(strategy="adaptive", skip_scans=True).validated()
+
+    def test_skip_scans_with_pinned_adaptive_brute_force_ok(self):
+        DiscoveryConfig(
+            strategy="brute-force", adaptive=True, skip_scans=True
+        ).validated()
+
 
 class TestStrategies:
     def test_all_strategies_agree(self, fk_db):

@@ -7,7 +7,7 @@ import pytest
 from repro.core.candidates import Candidate
 from repro.db.schema import AttributeRef
 from repro.errors import DiscoveryError
-from repro.parallel.planner import ShardPlanner
+from repro.parallel.planner import ShardPlanner, pack_cost_groups
 from repro.storage.sorted_sets import SpoolDirectory
 
 
@@ -159,3 +159,43 @@ class TestMergeGroupPlanning:
         assert planner.plan_merge_groups([], workers=2) == []
         with pytest.raises(DiscoveryError):
             planner.plan_merge_groups([_cand("a", "a")], workers=0)
+
+
+class TestPackCostGroups:
+    """Boundary behaviour of the shared packer the adaptive planner leans on."""
+
+    def test_zero_cost_items_all_land_in_one_trailing_group(self):
+        items = [(0, f"i{i}") for i in range(10)]
+        groups = pack_cost_groups(items, workers=3)
+        # The budget floors at 1, so zero-cost items never close a group
+        # mid-walk: they all ride the trailing flush, in input order, and
+        # none is silently dropped.
+        assert groups == [[f"i{i}" for i in range(10)]]
+
+    def test_single_item_heavier_than_whole_budget_gets_own_group(self):
+        items = [(1000, "whale")] + [(1, f"minnow{i}") for i in range(8)]
+        groups = pack_cost_groups(items, workers=2)
+        # Heaviest-first: the over-budget item closes its group alone and
+        # comes out first so a worker starts on it immediately.
+        assert groups[0] == ["whale"]
+        flat = [item for group in groups for item in group]
+        assert sorted(flat) == sorted(item for _, item in items)
+        assert len(flat) == len(items)
+
+    def test_equal_costs_tie_break_stably_by_input_position(self):
+        items = [(5, f"t{i}") for i in range(6)]
+        first = pack_cost_groups(items, workers=1)
+        second = pack_cost_groups(items, workers=1)
+        assert first == second
+        # At equal cost the walk order is the input order, so groups are
+        # contiguous runs of the input — never an interleaving.
+        flat = [item for group in first for item in group]
+        assert flat == [f"t{i}" for i in range(6)]
+
+    def test_workers_exceeding_item_count_split_one_item_per_group(self):
+        items = [(7, "a"), (3, "b")]
+        groups = pack_cost_groups(items, workers=64)
+        # Budget collapses to the floor of 1: every item closes its own
+        # group (heaviest first), and no empty groups are emitted for the
+        # 62 workers with nothing to do.
+        assert groups == [["a"], ["b"]]

@@ -507,6 +507,66 @@ class TestPipelineFlags:
         # The shutdown stats line aggregates the same kinds.
         assert "spool-export" in captured.err
 
+    def test_cache_hit_reports_skipped_parallel_export(
+        self, biosql_dump, tmp_path, monkeypatch, capsys
+    ):
+        """A reuse-spool hit must *say* it ignored parallel_export.
+
+        Before the fix the only evidence was a missing ``spool-export``
+        key in ``tasks_by_kind`` — indistinguishable from an export that
+        was never requested.  The response now carries ``export_skipped``
+        explicitly, and this smoke asserts it on both legs.
+        """
+        import io
+
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + request))
+        assert main([
+            "serve", "--strategy", "brute-force", "--validation-workers", "2",
+            "--parallel-export", "--reuse-spool",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert len(responses) == 2
+        assert responses[0]["spool_cache_hit"] is False
+        assert responses[0]["export_skipped"] is False
+        assert responses[1]["spool_cache_hit"] is True
+        assert responses[1]["export_skipped"] is True
+        # The old inference still holds — the hit dispatched no export task.
+        assert "spool-export" in responses[0]["pool"]["tasks_by_kind"]
+        assert "spool-export" not in responses[1]["pool"]["tasks_by_kind"]
+
+    def test_serve_idle_reap_drains_fleet_between_requests(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        """``--idle-reap-seconds 0`` reaps after every request; answers hold."""
+        import io
+
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + request))
+        assert main([
+            "serve", "--strategy", "brute-force", "--validation-workers", "2",
+            "--idle-reap-seconds", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        assert len(responses) == 2
+        assert responses[0]["satisfied"] == responses[1]["satisfied"]
+        assert responses[0]["satisfied_count"] > 0
+        # Both requests reaped their 2 workers; the second respawned a
+        # full fleet first (4 spawned overall, none counted as deaths).
+        assert "workers-reaped=4" in captured.err
+        assert "workers-spawned=4" in captured.err
+        assert "workers-replaced=0" in captured.err
+
 
 class TestCacheOrphans:
     def test_list_surfaces_orphans_and_evict_reclaims_them(
