@@ -23,6 +23,7 @@ import pytest
 from repro._util import Stopwatch
 from repro.bench.harness import (
     RESULT_HEADERS,
+    phase_totals,
     run_adaptive_comparison,
     run_e2e_pool_curve,
     run_merge_pool_curve,
@@ -271,6 +272,10 @@ def test_table2_parallel_bruteforce_curve(workloads, report):
                 for n, outcome in sorted(curve.items())
             },
             "speedup": {str(n): round(s, 3) for n, s in speedups.items()},
+            "phases": {
+                str(n): outcome.phase_seconds
+                for n, outcome in sorted(curve.items())
+            },
             "satisfied": len(satisfied[1]),
         }
         report(
@@ -358,6 +363,9 @@ def test_table2_pool_repeated_runs(workloads, report):
         },
         "totals": {mode: round(t, 6) for mode, t in totals.items()},
         "warm_vs_cold_speedup": round(warm_vs_cold, 3),
+        "phases": {
+            mode: phase_totals(outcomes) for mode, outcomes in curves.items()
+        },
         "pool": pool_stats,
         "satisfied": len(reference),
     }
@@ -468,6 +476,9 @@ def test_table2_merge_pool_repeated_runs(workloads, report):
         },
         "totals": {mode: round(t, 6) for mode, t in totals.items()},
         "warm_vs_cold_speedup": round(warm_vs_cold, 3),
+        "phases": {
+            mode: phase_totals(outcomes) for mode, outcomes in curves.items()
+        },
         "items_read": reference_items,
         "pool": pool_stats,
         "satisfied": len(reference),
@@ -580,6 +591,9 @@ def test_table2_e2e_pool_repeated_runs(workloads, report):
         },
         "totals": {mode: round(t, 6) for mode, t in totals.items()},
         "warm_vs_cold_speedup": round(warm_vs_cold, 3),
+        "phases": {
+            mode: phase_totals(outcomes) for mode, outcomes in curves.items()
+        },
         "sampling_refuted": reference.sampling_refuted,
         "items_read": reference.validator_stats.items_read,
         "pool": pool_stats,
@@ -709,6 +723,10 @@ def test_table2_adaptive_engine(workloads, report):
             },
             "median_seconds": {
                 mode: round(value, 6) for mode, value in medians.items()
+            },
+            "phases": {
+                mode: phase_totals(outcomes)
+                for mode, outcomes in curves.items()
             },
             "engine_choices": choices,
             "satisfied": len(reference),

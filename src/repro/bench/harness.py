@@ -18,6 +18,7 @@ from repro.core.candidates import Candidate, PretestConfig
 from repro.core.results import DiscoveryResult
 from repro.core.runner import DiscoveryConfig, DiscoverySession, discover_inds
 from repro.db.database import Database
+from repro.obs import phase_summary
 
 
 @dataclass
@@ -54,6 +55,30 @@ class StrategyOutcome:
         return self.result.validator_stats.items_read
 
     @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase wall clock, finer than :class:`PhaseTimings`.
+
+        Traced runs (the harness default) decompose into the span tree's
+        top-level phases — setup, cache lookup, export, pretest, routing,
+        validate; untraced runs fall back to the coarse four-phase timings
+        so the key is always present in ``BENCH_*.json`` legs.
+        """
+        if self.result.trace is not None:
+            return {
+                name: round(seconds, 6)
+                for name, seconds in sorted(
+                    phase_summary(self.result.trace).items()
+                )
+            }
+        timings = self.result.timings
+        return {
+            "profile": round(timings.profile_seconds, 6),
+            "candidates": round(timings.candidate_seconds, 6),
+            "export": round(timings.export_seconds, 6),
+            "validate": round(timings.validate_seconds, 6),
+        }
+
+    @property
     def sql_rows_scanned(self) -> int:
         """Base-table rows the SQL substrate scanned (SQL strategies)."""
         return self.result.validator_stats.sql_rows_scanned
@@ -75,6 +100,19 @@ RESULT_HEADERS = [
 ]
 
 
+def phase_totals(outcomes: list[StrategyOutcome]) -> dict[str, float]:
+    """Per-phase seconds summed across one benchmark leg's runs.
+
+    The trace-backed decomposition of a leg's total wall clock — what the
+    ``"phases"`` key of every ``BENCH_*.json`` leg records.
+    """
+    totals: dict[str, float] = {}
+    for outcome in outcomes:
+        for name, seconds in outcome.phase_seconds.items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return {name: round(seconds, 6) for name, seconds in sorted(totals.items())}
+
+
 def run_strategy(
     dataset_name: str,
     db: Database,
@@ -87,7 +125,12 @@ def run_strategy(
     The Sec. 2/3 experiments use only the cardinality pretest; the Sec. 4.1
     experiment turns the max-value pretest on — hence the explicit flag with
     a paper-faithful default instead of the library default.
+
+    Tracing is on unless the caller opts out: traces cost microseconds,
+    change no other output byte, and give every benchmark leg its
+    per-phase decomposition (:attr:`StrategyOutcome.phase_seconds`).
     """
+    config_kwargs.setdefault("trace", True)
     config = DiscoveryConfig(
         strategy=strategy,
         pretests=PretestConfig(cardinality=True, max_value=max_value_pretest),
@@ -152,6 +195,7 @@ def run_pool_repeat_curve(
     Config kwargs are forwarded to every leg, so e.g. ``reuse_spool=True``
     measures the service configuration end to end.
     """
+    config_kwargs.setdefault("trace", True)
 
     def config(n: int) -> DiscoveryConfig:
         return DiscoveryConfig(
@@ -211,6 +255,7 @@ def run_e2e_pool_curve(
     Returns ``(curves, pool_stats)`` like the other curve helpers; the
     warm session's lifetime ``tasks_by_kind`` shows all three kinds.
     """
+    config_kwargs.setdefault("trace", True)
 
     def config(n: int, pooled: bool) -> DiscoveryConfig:
         return DiscoveryConfig(
@@ -354,6 +399,7 @@ def run_adaptive_comparison(
     Legs are interleaved round-robin so machine-load noise hits all alike;
     ``BENCH_adaptive.json`` summarises the medians.
     """
+    config_kwargs.setdefault("trace", True)
 
     def config(strategy: str, n: int) -> DiscoveryConfig:
         return DiscoveryConfig(

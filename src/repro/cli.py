@@ -14,7 +14,9 @@ Subcommands:
   pool overheads, persisting the profile next to the spool cache for the
   adaptive engine router;
 * ``accession`` — list accession-number candidates (strict or softened);
-* ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps.
+* ``pipeline`` — run the Aladin-style pipeline over one or more CSV dumps;
+* ``trace``    — dump the span tree of a ``discover --trace --json`` result
+  as plain JSON or Chrome ``chrome://tracing`` events.
 
 Everything the CLI does goes through the public library API, so it doubles as
 executable documentation.
@@ -25,6 +27,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import logging
 import os
 import signal
 import sys
@@ -48,6 +51,7 @@ from repro.db.stats import collect_column_stats
 from repro.discovery.accession import AccessionRule, find_accession_candidates
 from repro.discovery.pipeline import AladinPipeline
 from repro.errors import ReproError
+from repro.obs import chrome_events, coverage, get_registry, phase_summary
 from repro.storage.spool_cache import SpoolCache
 
 _GENERATORS = {
@@ -153,6 +157,15 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         "export, least-recently-hit entries are evicted until the cache "
         "fits; only consulted with --reuse-spool (default: unbounded)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree of the run — per-phase spans plus "
+        "worker-stamped per-task spans — attached to the result as the "
+        "'trace' key (discover: in the --json file; serve: in each "
+        "response); every other output byte is identical with tracing on "
+        "or off (default: off)",
+    )
 
 
 def _validation_config_kwargs(args: argparse.Namespace) -> dict:
@@ -175,6 +188,7 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
         "reuse_spool": args.reuse_spool,
         "cache_dir": args.cache_dir,
         "cache_max_bytes": args.cache_max_bytes,
+        "trace": args.trace,
     }
 
 
@@ -184,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-ind",
         description="Unary IND discovery for schema discovery "
         "(Bauckmann/Leser/Naumann, ICDE 2006 reproduction).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        metavar="LEVEL",
+        help="emit repro.* log records at LEVEL or above to stderr — "
+        "pool lifecycle events (worker spawn/death/requeue/reap) log at "
+        "debug/warning/info (default: logging stays unconfigured)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -220,10 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
         "reading thread, up to --max-inflight at a time, all multiplexed "
         "over one warm validation worker pool; responses are emitted in "
         "completion order, so overlapping requests rely on the id to "
-        "match them up.  SIGINT/SIGTERM stop intake, drain the in-flight "
-        "requests, and shut the pool down cleanly.  Pool statistics go to "
-        "stderr on shutdown.  Combine with --reuse-spool to also skip "
-        "re-exporting unchanged databases.",
+        "match them up.  A request of {\"kind\": \"stats\"} answers with "
+        "the process metrics snapshot and pool statistics instead of "
+        "running a discovery; every response carries a trace_id.  "
+        "SIGINT/SIGTERM stop intake, drain the in-flight "
+        "requests, and shut the pool down cleanly.  Shutdown statistics "
+        "go to stderr as one JSON object.  Combine with --reuse-spool to "
+        "also skip re-exporting unchanged databases.",
     )
     serve.add_argument(
         "--strategy",
@@ -347,12 +373,62 @@ def build_parser() -> argparse.ArgumentParser:
     pipe = sub.add_parser("pipeline", help="run the Aladin pipeline")
     pipe.add_argument("directories", nargs="+", help="one CSV dump per source")
     pipe.add_argument("--no-surrogate-filter", action="store_true")
+
+    trace = sub.add_parser(
+        "trace", help="inspect span trees recorded by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_dump = trace_sub.add_parser(
+        "dump",
+        help="export a traced result's span tree",
+        description="Read a result file written by 'discover --trace "
+        "--json RESULT.json' (or a bare trace object) and write its span "
+        "tree as plain JSON or as Chrome trace events loadable in "
+        "chrome://tracing / Perfetto.",
+    )
+    trace_dump.add_argument(
+        "result_json",
+        help="result JSON from 'discover --trace --json', or a bare "
+        "trace object with a 'spans' key",
+    )
+    trace_dump.add_argument(
+        "--format",
+        choices=("chrome", "json"),
+        default="chrome",
+        help="chrome: chrome://tracing event list; json: the trace "
+        "object verbatim (default: chrome)",
+    )
+    trace_dump.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="OUT",
+        help="write to OUT instead of stdout",
+    )
     return parser
+
+
+def _configure_logging(level: str) -> None:
+    """Point the ``repro`` logger hierarchy at stderr at the given level.
+
+    Idempotent: repeated calls (tests invoke :func:`main` many times in one
+    process) adjust the level but never stack a second handler.
+    """
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse ``argv`` (default ``sys.argv``), run, return exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        _configure_logging(args.log_level)
     try:
         return _dispatch(args)
     except ReproError as exc:
@@ -377,6 +453,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_accession(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 
@@ -430,13 +508,22 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             f"spool cache: {'hit' if result.spool_cache_hit else 'miss'}"
             f"{skipped} ({result.spool_path})"
         )
-    if result.engine_choice is not None:
-        choice = result.engine_choice
+    choice = result.engine_choice or {}
+    if choice.get("engine"):  # fixed-strategy runs carry the null choice
         predicted = choice["predicted_seconds"].get(choice["engine"])
         print(
             f"adaptive: chose {choice['engine']} "
             f"(predicted {predicted}s, actual {choice['actual_seconds']}s, "
             f"calibration={choice['calibration']})"
+        )
+    if result.trace is not None:
+        phases = " ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in sorted(phase_summary(result.trace).items())
+        )
+        print(
+            f"trace {result.trace['trace_id']}: "
+            f"coverage={coverage(result.trace):.1%} {phases}"
         )
     for ind in result.satisfied:
         print(f"  {ind}")
@@ -594,56 +681,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 signal.signal(signum, old)
             executor.shutdown(wait=True)
         stats = session.pool_stats
-        fields = stats.as_dict() if stats is not None else {}
-        rendered = " ".join(
-            f"{key.replace('_', '-')}={_render_stat(value)}"
-            for key, value in fields.items()
-        )
-        drain_note = (
-            f" drained-on-signal={signal.Signals(drained_by).name}"
-            if drained_by is not None
-            else ""
-        )
-        print(
-            f"pool: workers={args.validation_workers} "
-            f"max-inflight={args.max_inflight} "
-            f"requests={counters['served']} errors={counters['errors']}"
-            f"{drain_note} {rendered}".rstrip(),
-            file=sys.stderr,
-        )
+        shutdown = {
+            "event": "serve-shutdown",
+            "workers": args.validation_workers,
+            "max_inflight": args.max_inflight,
+            "requests": counters["served"],
+            "errors": counters["errors"],
+            "drained-on-signal": (
+                signal.Signals(drained_by).name
+                if drained_by is not None
+                else None
+            ),
+            "pool": stats.as_dict() if stats is not None else None,
+        }
+        print(json.dumps(shutdown), file=sys.stderr)
     return 0
-
-
-def _render_stat(value: object) -> str:
-    """One pool-stats value for the stderr line (dicts flatten to k:v,...)."""
-    if isinstance(value, dict):
-        return ",".join(f"{k}:{v}" for k, v in value.items()) or "-"
-    return str(value)
 
 
 def _parse_request(line: str) -> dict:
     """Parse one serve request line; raises on malformed input."""
     request = json.loads(line)
-    if not isinstance(request, dict) or "directory" not in request:
-        raise KeyError("request must be a JSON object with a 'directory' key")
+    if not isinstance(request, dict):
+        raise KeyError("request must be a JSON object")
+    if request.get("kind") == "stats":
+        return request
+    if "directory" not in request:
+        raise KeyError(
+            "request must be a JSON object with a 'directory' key "
+            "(or {\"kind\": \"stats\"})"
+        )
     return request
 
 
 def _serve_one(session: DiscoverySession, request: dict) -> dict:
     """Answer one parsed serve request (runs on an executor thread)."""
+    if request.get("kind") == "stats":
+        return _serve_stats(session)
     overrides = {
         key: request[key]
         for key in ("strategy", "candidate_mode", "validation_workers")
         if key in request
     }
-    config = (
-        dataclasses.replace(session.config, **overrides)
-        if overrides
-        else None
-    )
+    # Every request is traced — the span tree costs microseconds and gives
+    # each response a trace_id — but the full tree is only shipped back
+    # when the session (--trace) or the request ({"trace": true}) asks.
+    config = dataclasses.replace(session.config, trace=True, **overrides)
     started = time.monotonic()
     result = session.discover(load_csv_directory(request["directory"]), config)
-    return {
+    response = {
         "database": result.database,
         "strategy": result.strategy,
         "candidates": result.candidates_after_pretests,
@@ -658,6 +743,22 @@ def _serve_one(session: DiscoverySession, request: dict) -> dict:
         "engine_choice": result.engine_choice,
         "pool": result.pool_stats,
         "seconds": round(time.monotonic() - started, 6),
+        "trace_id": result.trace["trace_id"] if result.trace else None,
+    }
+    if result.trace is not None and (
+        session.config.trace or request.get("trace")
+    ):
+        response["trace"] = result.trace
+    return response
+
+
+def _serve_stats(session: DiscoverySession) -> dict:
+    """Answer a ``{"kind": "stats"}`` serve request: telemetry, no discovery."""
+    stats = session.pool_stats
+    return {
+        "kind": "stats",
+        "metrics": get_registry().snapshot(),
+        "pool": stats.as_dict() if stats is not None else None,
     }
 
 
@@ -792,6 +893,38 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             print(f"  duplicate rows: {db_report.duplicate_rows}")
     for link in report.links:
         print(f"link: {link}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro-ind trace dump`` — export a recorded span tree."""
+    try:
+        with open(args.result_json, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.result_json}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.result_json} is not JSON: {exc}") from exc
+    if isinstance(doc, dict) and "spans" in doc:
+        trace = doc  # a bare trace object, e.g. a previous 'trace dump --format json'
+    elif isinstance(doc, dict) and isinstance(doc.get("trace"), dict):
+        trace = doc["trace"]
+    else:
+        raise ReproError(
+            f"{args.result_json} carries no trace — rerun discover with "
+            "--trace --json"
+        )
+    payload = chrome_events(trace) if args.format == "chrome" else trace
+    rendered = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(
+            f"trace {trace.get('trace_id', '?')}: {len(trace['spans'])} "
+            f"spans written to {args.output} ({args.format} format)"
+        )
+    else:
+        print(rendered)
     return 0
 
 

@@ -60,13 +60,20 @@ class DiscoveryResult:
     export_skipped: bool = False
     validation_workers: int = 1
     #: Adaptive router's verdict (engine name, predicted per-engine seconds,
-    #: calibration source, actual seconds); ``None`` for fixed strategies.
+    #: calibration source, actual seconds).  Always a dict: fixed-strategy
+    #: runs report the null choice ``{"strategy": None, "engine": None,
+    #: "routing_seconds": 0.0}`` so consumers can index ``routing_seconds``
+    #: without guards.
     engine_choice: dict | None = None
     #: Worker-pool counters (tasks run, requeues, warm spool-handle hits,
     #: tasks by kind) summed over every pipeline phase that ran on a pool —
     #: spool export, sampling pretest, validation — so ``tasks_by_kind``
     #: covers the whole run; ``None`` when no phase used a pool.
     pool_stats: dict | None = None
+    #: Serialised span tree of this run (:meth:`repro.obs.trace.Tracer.to_dict`)
+    #: when ``DiscoveryConfig.trace`` was on; ``None`` otherwise.  Purely
+    #: additive: every other field is byte-identical with tracing on or off.
+    trace: dict | None = None
 
     @property
     def satisfied_count(self) -> int:
@@ -79,8 +86,15 @@ class DiscoveryResult:
         return self.pretest_report.remaining
 
     def to_dict(self) -> dict:
-        """JSON-serialisable summary (INDs as qualified-name pairs)."""
-        return {
+        """JSON-serialisable summary (INDs as qualified-name pairs).
+
+        The ``trace`` key appears only when the run was traced — an
+        untraced result dict is byte-identical to one produced before the
+        observability layer existed, and a traced dict minus ``trace`` is
+        byte-identical to the untraced one (asserted by the agreement
+        matrix).
+        """
+        doc = {
             "database": self.database,
             "strategy": self.strategy,
             "attribute_count": self.attribute_count,
@@ -125,3 +139,6 @@ class DiscoveryResult:
             "engine_choice": self.engine_choice,
             "pool": self.pool_stats,
         }
+        if self.trace is not None:
+            doc["trace"] = self.trace
+        return doc

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import tempfile
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -58,6 +59,8 @@ from repro.core.stats import DecisionCollector, ValidationResult
 from repro.db.database import Database
 from repro.db.stats import collect_column_stats
 from repro.errors import DiscoveryError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer, maybe_span
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.cursors import IOStats
 from repro.storage.exporter import ExportStats, export_database
@@ -137,6 +140,11 @@ class DiscoveryConfig:
       the catalog fingerprint), ``cache_dir`` (cache root; defaults to
       :data:`DEFAULT_CACHE_DIR`), ``cache_max_bytes`` (LRU size budget for
       that cache; ``None`` = unbounded).
+    * **Observability** — ``trace`` records a span tree for the run (one
+      span per pipeline phase, one per pool task, stamped worker-side) and
+      surfaces it as ``DiscoveryResult.trace``; every other result field
+      is byte-identical with tracing on or off.  See
+      ``docs/observability.md``.
 
     Invalid combinations are rejected by :meth:`validated`, which every
     entry point calls first.
@@ -168,6 +176,7 @@ class DiscoveryConfig:
     max_open_files: int = 64  # blockwise strategy only
     blockwise_engine: str = "merge"
     sql_null_safe: bool = True
+    trace: bool = False  # record a span tree on DiscoveryResult.trace
 
     @property
     def is_adaptive(self) -> bool:
@@ -328,21 +337,29 @@ def discover_inds(
     """
     cfg = (config or DiscoveryConfig()).validated()
     timings = PhaseTimings()
+    tracer = Tracer() if cfg.trace else None
+    # The root span covers the pipeline phases only; it is sealed (in the
+    # finally below) before pool shutdown and spool cleanup run, so trace
+    # coverage measures the work, not the teardown.
+    trace_stack = ExitStack()
+    trace_stack.enter_context(
+        maybe_span(tracer, "discover", database=db.name, strategy=cfg.strategy)
+    )
 
-    with Stopwatch() as clock:
+    with maybe_span(tracer, "profile"), Stopwatch() as clock:
         column_stats = collect_column_stats(db)
     timings.profile_seconds = clock.elapsed
 
-    with Stopwatch() as clock:
+    with maybe_span(tracer, "candidates") as cand_span, Stopwatch() as clock:
         if cfg.candidate_mode == "unique-ref":
             raw = generate_unique_ref_candidates(column_stats)
         else:
             raw = generate_all_pairs_candidates(column_stats)
         candidates, pretest_report = apply_pretests(raw, column_stats, cfg.pretests)
+        if cand_span is not None:
+            cand_span.attrs["raw"] = len(raw)
+            cand_span.attrs["surviving"] = len(candidates)
     timings.candidate_seconds = clock.elapsed
-
-    deps = dependent_attributes(column_stats)
-    refs = referenced_attributes(column_stats)
 
     spool: SpoolDirectory | None = None
     spool_path: str | None = None
@@ -357,16 +374,25 @@ def discover_inds(
     pretest_pool_stats: dict | None = None
     engine_decision = None
     owned_pool = None
-    if pool is None and (cfg.parallel_export or cfg.parallel_pretest):
-        # One per-call fleet for the whole pipeline: export, pretest and
-        # validation jobs all dispatch to it instead of each phase paying
-        # its own pool startup.
-        from repro.parallel.pool import WorkerPool
+    # The setup span times the work between the candidate and export
+    # phases — attribute planning plus (on pooled runs) the lazy import of
+    # the parallel machinery, which dominates a cold first call and would
+    # otherwise show up as an untimed hole in the trace.
+    with maybe_span(tracer, "setup"):
+        deps = dependent_attributes(column_stats)
+        refs = referenced_attributes(column_stats)
+        if pool is None and (cfg.parallel_export or cfg.parallel_pretest):
+            # One per-call fleet for the whole pipeline: export, pretest and
+            # validation jobs all dispatch to it instead of each phase paying
+            # its own pool startup.
+            from repro.parallel.pool import WorkerPool
 
-        owned_pool = pool = WorkerPool(cfg.validation_workers)
+            owned_pool = pool = WorkerPool(cfg.validation_workers)
     try:
         if cfg.strategy in EXTERNAL_STRATEGIES:
-            with Stopwatch() as clock:
+            with maybe_span(tracer, "export") as export_span, (
+                Stopwatch()
+            ) as clock:
                 if cfg.reuse_spool:
                     (
                         spool,
@@ -374,21 +400,41 @@ def discover_inds(
                         export_stats,
                         spool_cache_hit,
                         export_pool_stats,
-                    ) = _cached_export(db, cfg, candidates, column_stats, pool)
-                else:
-                    spool, spool_path, cleanup_dir, export_stats, export_pool_stats = (
-                        _export(db, cfg, candidates, pool)
+                        export_spans,
+                    ) = _cached_export(
+                        db, cfg, candidates, column_stats, pool, tracer
                     )
+                else:
+                    (
+                        spool,
+                        spool_path,
+                        cleanup_dir,
+                        export_stats,
+                        export_pool_stats,
+                        export_spans,
+                    ) = _export(db, cfg, candidates, pool)
+                if export_span is not None:
+                    export_span.attrs["cache_hit"] = spool_cache_hit
+                    tracer.add_task_spans(export_span.span_id, export_spans)
             timings.export_seconds = clock.elapsed
             export_scanned = export_stats.values_scanned
             export_written = export_stats.values_written
 
-        with Stopwatch() as clock:
+        with maybe_span(tracer, "pretest") as pretest_span, (
+            Stopwatch()
+        ) as clock:
             if cfg.sampling_size and spool is not None:
                 if cfg.parallel_pretest:
-                    candidates, sampling_refuted_list, pretest_pool_stats = (
-                        _sampling_pretest_pooled(spool, cfg, candidates, pool)
-                    )
+                    (
+                        candidates,
+                        sampling_refuted_list,
+                        pretest_pool_stats,
+                        pretest_spans,
+                    ) = _sampling_pretest_pooled(spool, cfg, candidates, pool)
+                    if pretest_span is not None:
+                        tracer.add_task_spans(
+                            pretest_span.span_id, pretest_spans
+                        )
                 else:
                     candidates, sampling_refuted_list = _sampling_pretest(
                         spool, cfg, candidates
@@ -401,25 +447,41 @@ def discover_inds(
         # surfaced as engine_choice["routing_seconds"].
         routing_seconds = 0.0
         if cfg.use_transitivity:
-            with Stopwatch() as clock:
+            with maybe_span(tracer, "validate"), Stopwatch() as clock:
                 validation, inferred_sat, inferred_unsat = _validate_sequential(
                     db, cfg, spool, candidates, column_stats
                 )
         else:
             if cfg.is_adaptive:
-                with Stopwatch() as clock:
+                with maybe_span(tracer, "routing") as route_span, (
+                    Stopwatch()
+                ) as clock:
                     engine_decision, validator = _route_adaptive(
                         cfg, spool, candidates, pool
                     )
+                    if route_span is not None:
+                        route_span.attrs["strategy"] = engine_decision.strategy
+                        route_span.attrs["workers"] = engine_decision.workers
                 routing_seconds = clock.elapsed
             else:
                 validator = _build_validator(
                     db, cfg, spool, column_stats, pool
                 )
-            with Stopwatch() as clock:
+            with maybe_span(tracer, "validate") as validate_span, (
+                Stopwatch()
+            ) as clock:
                 validation = validator.validate(candidates)
+                if validate_span is not None:
+                    validate_span.attrs["validator"] = (
+                        validation.stats.validator
+                    )
+                    if validation.task_spans:
+                        tracer.add_task_spans(
+                            validate_span.span_id, validation.task_spans
+                        )
         timings.validate_seconds = pretest_seconds + clock.elapsed
     finally:
+        trace_stack.close()  # seal the root span before teardown work
         if owned_pool is not None:
             owned_pool.shutdown()
         if cleanup_dir is not None and not cfg.keep_spool:
@@ -433,11 +495,28 @@ def discover_inds(
     pool_stats = _merged_pool_stats(
         export_pool_stats, pretest_pool_stats, validation.pool
     )
-    engine_choice = None
+    # engine_choice is always a dict so downstream consumers can index
+    # "routing_seconds" without .get guards; a fixed-strategy run reports
+    # the null choice (no engine picked, zero routing cost) — deterministic
+    # values only, so agreement views stay byte-identical across runs.
     if engine_decision is not None:
         engine_choice = engine_decision.as_dict()
         engine_choice["actual_seconds"] = round(timings.validate_seconds, 6)
         engine_choice["routing_seconds"] = round(routing_seconds, 6)
+    else:
+        engine_choice = {
+            "strategy": None,
+            "engine": None,
+            "routing_seconds": 0.0,
+        }
+
+    registry = get_registry()
+    registry.inc("discoveries_total")
+    registry.inc("inds_validated_total", len(validation.decisions))
+    registry.inc("inds_satisfied_total", len(validation.satisfied))
+    registry.observe("validate_seconds", timings.validate_seconds)
+    if cfg.strategy in EXTERNAL_STRATEGIES:
+        registry.observe("export_seconds", timings.export_seconds)
 
     return DiscoveryResult(
         database=db.name,
@@ -464,6 +543,7 @@ def discover_inds(
         validation_workers=cfg.validation_workers,
         engine_choice=engine_choice,
         pool_stats=pool_stats,
+        trace=tracer.to_dict() if tracer is not None else None,
     )
 
 
@@ -480,8 +560,10 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
 
     The one switch between the two export engines, shared by the
     temporary-directory and cache-staging paths.  Returns
-    ``(spool, export_stats, pool_stats_dict_or_None)``; both engines
-    produce byte-identical spool contents, index documents and statistics.
+    ``(spool, export_stats, pool_stats_dict_or_None, task_spans)``; both
+    engines produce byte-identical spool contents, index documents and
+    statistics (``task_spans`` is empty for the in-process engine —
+    there are no workers to stamp them).
     """
     if cfg.parallel_export:
         from repro.parallel.export import pooled_export
@@ -505,7 +587,7 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
         block_size=cfg.spool_block_size,
         workers=cfg.export_workers,
     )
-    return spool, export_stats, None
+    return spool, export_stats, None, []
 
 
 def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate], pool):
@@ -518,18 +600,25 @@ def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate], poo
     else:
         root = cfg.spool_dir
         Path(root).mkdir(parents=True, exist_ok=True)
-    spool, export_stats, pool_stats = _export_into(db, cfg, root, needed, pool)
-    return spool, root, cleanup, export_stats, pool_stats
+    spool, export_stats, pool_stats, task_spans = _export_into(
+        db, cfg, root, needed, pool
+    )
+    return spool, root, cleanup, export_stats, pool_stats, task_spans
 
 
-def _cached_export(db, cfg, candidates: list[Candidate], column_stats, pool):
+def _cached_export(
+    db, cfg, candidates: list[Candidate], column_stats, pool, tracer=None
+):
     """Reuse a cached spool for an unchanged catalog, or export and cache it.
 
-    Returns ``(spool, path, export_stats, hit, pool_stats)``.  On a hit the
-    export phase performs *zero* database reads and zero spool writes —
-    ``export_stats`` stays all-zero, which the acceptance tests assert.
-    The entry lives in the cache directory (never a temporary directory),
-    so the normal spool-cleanup path must not and does not touch it.
+    Returns ``(spool, path, export_stats, hit, pool_stats, task_spans)``.
+    On a hit the export phase performs *zero* database reads and zero spool
+    writes — ``export_stats`` stays all-zero, which the acceptance tests
+    assert.  The entry lives in the cache directory (never a temporary
+    directory), so the normal spool-cleanup path must not and does not
+    touch it.  With a ``tracer`` the cache probe is wrapped in a
+    ``cache-lookup`` span (a child of the enclosing export span) so hits
+    and misses are visible on the timeline.
 
     A miss rebuilds in a private staging directory and publishes with one
     atomic rename only after the export completed — pooled or not — so a
@@ -543,20 +632,23 @@ def _cached_export(db, cfg, candidates: list[Candidate], column_stats, pool):
         cfg.cache_dir or DEFAULT_CACHE_DIR, max_bytes=cfg.cache_max_bytes
     )
     needed = _needed_attributes(candidates)
-    cached = cache.lookup(
-        fingerprint,
-        needed=needed,
-        spool_format=cfg.spool_format,
-        block_size=cfg.spool_block_size,
-    )
+    with maybe_span(tracer, "cache-lookup") as lookup_span:
+        cached = cache.lookup(
+            fingerprint,
+            needed=needed,
+            spool_format=cfg.spool_format,
+            block_size=cfg.spool_block_size,
+        )
+        if lookup_span is not None:
+            lookup_span.attrs["hit"] = cached is not None
     if cached is not None:
-        return cached, str(cached.root), ExportStats(), True, None
+        return cached, str(cached.root), ExportStats(), True, None, []
     staging = cache.prepare(fingerprint)
-    spool, export_stats, pool_stats = _export_into(
+    spool, export_stats, pool_stats, task_spans = _export_into(
         db, cfg, str(staging), needed, pool
     )
     spool = cache.publish(fingerprint, spool)
-    return spool, str(spool.root), export_stats, False, pool_stats
+    return spool, str(spool.root), export_stats, False, pool_stats, task_spans
 
 
 def _merged_pool_stats(*parts: dict | None) -> dict | None:
@@ -694,7 +786,7 @@ def _sampling_pretest_pooled(spool, cfg, candidates, pool):
     verdict is a pure function of the spool and the seed, so the surviving
     and refuted sets — in original candidate order — are identical to
     :func:`_sampling_pretest` at every worker count.  Returns
-    ``(survivors, refuted, pool_stats_dict)``.
+    ``(survivors, refuted, pool_stats_dict, task_spans)``.
     """
     from repro.parallel.planner import ShardPlanner
     from repro.parallel.pool import run_specs
@@ -702,7 +794,7 @@ def _sampling_pretest_pooled(spool, cfg, candidates, pool):
 
     ordered = list(dict.fromkeys(candidates))
     if not ordered:
-        return [], [], None
+        return [], [], None, []
     chunks = ShardPlanner(spool).plan_pretest_chunks(
         ordered, cfg.validation_workers
     )
@@ -726,7 +818,7 @@ def _sampling_pretest_pooled(spool, cfg, candidates, pool):
                 f"no pretest task covered candidate {candidate}"
             )
         (survivors if decided[candidate] else refuted).append(candidate)
-    return survivors, refuted, job.stats.as_dict()
+    return survivors, refuted, job.stats.as_dict(), job.task_spans
 
 
 def _validate_sequential(db, cfg, spool, candidates, column_stats):

@@ -59,6 +59,10 @@ class ValidationResult:
     #: dict) when a worker pool ran this validation; ``None`` for
     #: sequential and SQL validators.
     pool: dict[str, object] | None = None
+    #: Worker-stamped per-task span dicts (:func:`repro.obs.trace.stamp`)
+    #: when a worker pool ran this validation; the runner adopts them under
+    #: its validate phase span when tracing is on.  ``None`` otherwise.
+    task_spans: list[dict] | None = None
 
     @property
     def satisfied_inds(self) -> list[IND]:

@@ -1,0 +1,41 @@
+"""Observability: tracing spans and a metrics registry, dependency-free.
+
+``repro.obs`` is the bottom-most layer after ``repro.errors`` — it
+imports only the standard library, so every other layer (pool, spool
+cache, runner, CLI, bench) can instrument itself without import cycles.
+Two halves:
+
+- :mod:`repro.obs.trace` — per-request span trees.  The runner wraps
+  each pipeline phase, workers stamp per-task spans that ride back in
+  task outcomes, and the assembled tree serialises to JSON or Chrome
+  ``chrome://tracing`` format.
+- :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and histograms with a snapshot API, surfaced by the serve
+  ``stats`` request.
+
+See ``docs/observability.md`` for the span model and metric names.
+"""
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry, get_registry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    chrome_events,
+    coverage,
+    maybe_span,
+    phase_summary,
+    stamp,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "chrome_events",
+    "coverage",
+    "maybe_span",
+    "phase_summary",
+    "stamp",
+]

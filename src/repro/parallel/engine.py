@@ -143,6 +143,7 @@ class ProcessPoolValidationEngine:
             )
         result = merge_shard_outcomes(candidates, job.outcomes, self.name)
         result.pool = job.stats.as_dict()
+        result.task_spans = job.task_spans
         result.stats.elapsed_seconds = clock.elapsed
         result.stats.extra["validation_workers"] = float(self._workers)
         result.stats.extra["shards"] = float(len(chunks))

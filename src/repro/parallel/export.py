@@ -61,15 +61,18 @@ def pooled_export(
     include_empty: bool = False,
     spool_format: str = FORMAT_BINARY,
     block_size: int = DEFAULT_BLOCK_SIZE,
-) -> tuple[SpoolDirectory, ExportStats, dict | None]:
+) -> tuple[SpoolDirectory, ExportStats, dict | None, list[dict]]:
     """Export ``db`` into ``spool_root`` via ``spool-export`` pool tasks.
 
     Drop-in replacement for :func:`repro.storage.exporter.export_database`
     with the same spool contents, index document and statistics — plus the
     job's pool-stats delta as a third return value (``None`` when there was
-    nothing to export).  ``pool`` borrows a persistent fleet; without one a
-    right-sized throwaway pool is built and drained, exactly like the
-    validation engines (:func:`~repro.parallel.pool.run_specs`).
+    nothing to export) and the job's worker-stamped per-task spans as a
+    fourth (empty when nothing ran; see
+    :attr:`~repro.parallel.pool.JobResult.task_spans`).  ``pool`` borrows a
+    persistent fleet; without one a right-sized throwaway pool is built and
+    drained, exactly like the validation engines
+    (:func:`~repro.parallel.pool.run_specs`).
     """
     spool = SpoolDirectory.create(
         spool_root, format=spool_format, block_size=block_size
@@ -80,7 +83,7 @@ def pooled_export(
     units = plan_export_units(db, attributes, spool)
     stats = ExportStats()
     if not units:
-        return spool, stats, None
+        return spool, stats, None, []
     groups = pack_cost_groups(
         [(len(unit.values) + 1, unit) for unit in units], workers
     )
@@ -116,4 +119,4 @@ def pooled_export(
     for stray in Path(spool.root).glob("*.tmp-*"):
         stray.unlink(missing_ok=True)
     spool.save_index()
-    return spool, stats, job.stats.as_dict()
+    return spool, stats, job.stats.as_dict(), job.task_spans

@@ -260,6 +260,7 @@ class PartitionedMergeValidator:
             group_outcomes = self._fold_ranges(groups, spec_group, job.outcomes)
         result = merge_shard_outcomes(candidates, group_outcomes, self.name)
         result.pool = job.stats.as_dict()
+        result.task_spans = job.task_spans
         result.stats.elapsed_seconds = clock.elapsed
         result.stats.extra["validation_workers"] = float(self._workers)
         result.stats.extra["merge_groups"] = float(len(groups))

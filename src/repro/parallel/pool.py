@@ -44,6 +44,7 @@ missing decision.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import queue
@@ -54,6 +55,8 @@ from dataclasses import dataclass, field
 
 from repro.core.candidates import Candidate
 from repro.errors import DiscoveryError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import stamp
 from repro.parallel.tasks import (
     PoolTask,
     ShardOutcome,
@@ -106,6 +109,10 @@ _MAINTENANCE_INTERVAL = 0.25
 _FAULT_ATTR_ENV = "REPRO_POOL_FAULT_ATTR"
 _FAULT_ONCE_DIR_ENV = "REPRO_POOL_FAULT_ONCE_DIR"
 
+#: Pool lifecycle events (worker spawn/death/requeue/reap) log here; wire a
+#: handler via ``repro-ind --log-level`` or the standard ``logging`` config.
+logger = logging.getLogger("repro.parallel.pool")
+
 
 @dataclass
 class PoolStats:
@@ -153,11 +160,16 @@ class JobResult:
 
     ``outcomes`` are ordered by task id (i.e. by the caller's spec order);
     ``stats`` is this job's own counter delta, independent of the pool's
-    lifetime :attr:`WorkerPool.stats`.
+    lifetime :attr:`WorkerPool.stats`.  ``task_spans`` carries one
+    worker-stamped span dict per completed task (ordered by task id, each
+    annotated with ``task_id`` and its requeue count) for callers that
+    assemble a request trace; pure observability, never folded into
+    outcomes.
     """
 
     outcomes: list[ShardOutcome]
     stats: PoolStats
+    task_spans: list[dict] = field(default_factory=list)
 
 
 def merge_pool_stat_dicts(parts: list[dict | None]) -> dict | None:
@@ -295,6 +307,12 @@ def _worker_loop(task_queue, result_queue) -> None:
     claims to processes; ``claim`` strictly precedes ``done``/``error`` for
     a given task (one queue, one producer — order is preserved), which is
     what makes dead-worker requeuing sound.
+
+    Every completed task carries a worker-stamped timing span
+    (:func:`repro.obs.trace.stamp`) on its outcome — two monotonic clock
+    reads and a small dict, cheap enough to run unconditionally, and
+    ``CLOCK_MONOTONIC`` is system-wide so the parent can place it directly
+    on the request's timeline.
     """
     pid = os.getpid()
     handles: OrderedDict[str, tuple[int, SpoolDirectory]] = OrderedDict()
@@ -306,6 +324,7 @@ def _worker_loop(task_queue, result_queue) -> None:
         try:
             _maybe_inject_fault(task)
             executor = resolve_task_kind(task.kind)
+            started = time.monotonic()
             spool, warm = _open_warm(handles, task.spool_root)
             try:
                 outcome = executor(spool, task)
@@ -316,6 +335,14 @@ def _worker_loop(task_queue, result_queue) -> None:
                 spool, warm = _open_warm(handles, task.spool_root)
                 warm = False
                 outcome = executor(spool, task)
+            outcome.span = stamp(
+                f"task:{task.kind}",
+                started,
+                time.monotonic(),
+                kind=task.kind,
+                chunk_size=len(task.candidates),
+                warm=warm,
+            )
             result_queue.put(
                 ("done", pid, task.job_id, task.task_id, outcome, warm)
             )
@@ -336,6 +363,7 @@ class _JobState:
     #: fallback only acts on deaths observed *after* that point.
     birth_generation: int
     outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+    task_spans: dict[int, dict] = field(default_factory=dict)  # by task_id
     claims: dict[int, int] = field(default_factory=dict)  # task_id -> pid
     requeues: dict[int, int] = field(default_factory=dict)  # task_id -> count
     stall_requeue_generation: dict[int, int] = field(default_factory=dict)
@@ -475,6 +503,8 @@ class WorkerPool:
         proc.start()
         self._procs.append(proc)
         self.stats.workers_spawned += 1
+        get_registry().inc("pool_workers_spawned_total")
+        logger.debug("spawned pool worker pid=%s", proc.pid)
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Drain the fleet: sentinel every worker, join, terminate stragglers.
@@ -557,6 +587,12 @@ class WorkerPool:
                 # router if a stale claim message ever surfaces later.
                 self._ever_dead_pids.add(proc.pid)
             self.stats.workers_reaped += len(victims)
+            get_registry().inc("pool_workers_reaped_total", len(victims))
+            logger.info(
+                "reaped %s idle pool worker(s): %s",
+                len(victims),
+                [proc.pid for proc in victims],
+            )
             return len(victims)
 
     # -- dispatch ----------------------------------------------------------
@@ -633,6 +669,10 @@ class WorkerPool:
                     state.outcomes[index] for index in sorted(state.outcomes)
                 ],
                 stats=state.stats,
+                task_spans=[
+                    state.task_spans[index]
+                    for index in sorted(state.task_spans)
+                ],
             )
         finally:
             with self._lock:
@@ -710,11 +750,25 @@ class WorkerPool:
             task_kind = state.tasks[task_id].kind
             state.outcomes[task_id] = outcome
             state.claims.pop(task_id, None)
+            if outcome.span is not None:
+                # One span per task, guaranteed by the dedup guard above:
+                # the duplicate done of a requeued task never reaches here.
+                span = dict(outcome.span)
+                span["attrs"] = dict(
+                    span.get("attrs", {}),
+                    task_id=task_id,
+                    requeues=state.requeues.get(task_id, 0),
+                )
+                state.task_spans[task_id] = span
             for stats in (self.stats, state.stats):
                 stats.tasks_completed += 1
                 stats.count_kind(task_kind)
                 if warm:
                     stats.spool_handle_reuses += 1
+            registry = get_registry()
+            registry.inc("pool_tasks_total", kind=task_kind)
+            if warm:
+                registry.inc("spool_handle_reuses_total")
             if len(state.outcomes) == len(state.tasks):
                 state.done.set()
         elif kind == "error":
@@ -743,6 +797,15 @@ class WorkerPool:
         self._task_queue.put(state.tasks[task_id])
         self.stats.tasks_requeued += 1
         state.stats.tasks_requeued += 1
+        get_registry().inc("pool_tasks_requeued_total")
+        logger.warning(
+            "requeued %r task %s of job %s (attempt %s of %s)",
+            state.tasks[task_id].kind,
+            task_id,
+            state.job_id,
+            attempts,
+            MAX_TASK_REQUEUES,
+        )
 
     def _reap_dead_workers(self) -> None:
         """Requeue dead workers' claims; respawn toward fleet size (lock held)."""
@@ -755,6 +818,12 @@ class WorkerPool:
             dead_pids.add(proc.pid)
             self._ever_dead_pids.add(proc.pid)
             self._procs.remove(proc)
+            get_registry().inc("pool_workers_died_total")
+            logger.warning(
+                "pool worker pid=%s died (exitcode=%s)",
+                proc.pid,
+                proc.exitcode,
+            )
         self._death_generation += 1
         for state in self._jobs.values():
             for task_id, pid in list(state.claims.items()):
@@ -764,6 +833,7 @@ class WorkerPool:
         while len(self._procs) < self._workers_target:
             self._spawn_worker()
             self.stats.workers_replaced += 1
+            get_registry().inc("pool_workers_replaced_total")
 
     def _requeue_stalled_unclaimed(self) -> None:
         """Stall fallback: requeue tasks nobody finished and nobody claims.

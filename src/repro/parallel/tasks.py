@@ -72,7 +72,10 @@ class ShardOutcome:
 
     ``payload`` carries kind-specific result data beyond decisions —
     ``spool-export`` tasks ship the written files' metadata there; the
-    validation kinds leave it ``None``.
+    validation kinds leave it ``None``.  ``span`` is the worker-stamped
+    timing record (:func:`repro.obs.trace.stamp`) the worker loop attaches
+    after execution; it is observability data only — never folded into
+    decisions or counters, so tracing cannot perturb results.
     """
 
     shard_index: int
@@ -80,6 +83,7 @@ class ShardOutcome:
     vacuous: set[Candidate]
     stats: ValidatorStats
     payload: object = None
+    span: dict | None = None
 
 
 @dataclass(frozen=True)

@@ -63,6 +63,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.errors import SpoolError
+from repro.obs.metrics import get_registry
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
 
@@ -231,7 +232,9 @@ class SpoolCache:
         entry is simply replaced when the caller publishes its rebuild.
         """
         entry = self.entry_path(fingerprint, spool_format, block_size)
+        registry = get_registry()
         if not (entry / "index.json").exists():
+            registry.inc("spool_cache_misses_total")
             return None
         try:
             spool = SpoolDirectory.open(entry)
@@ -240,6 +243,7 @@ class SpoolCache:
             # corrupt JSON (JSONDecodeError); KeyError/TypeError a malformed
             # document.  All mean the same thing: not a trustworthy entry.
             self._destroy(entry)
+            registry.inc("spool_cache_misses_total")
             return None
         if (
             spool.catalog_hash != fingerprint
@@ -247,10 +251,13 @@ class SpoolCache:
             or (spool.format == FORMAT_BINARY and spool.block_size != block_size)
         ):
             self._destroy(entry)
+            registry.inc("spool_cache_misses_total")
             return None
         if needed is not None and any(ref not in spool for ref in needed):
+            registry.inc("spool_cache_misses_total")
             return None
         self._touch(entry)
+        registry.inc("spool_cache_hits_total")
         return spool
 
     def prepare(self, fingerprint: str) -> Path:
@@ -374,6 +381,8 @@ class SpoolCache:
             self._destroy(info.path)
             total -= info.size_bytes
             evicted.append(info)
+        if evicted:
+            get_registry().inc("spool_cache_evictions_total", len(evicted))
         return evicted
 
     def list_entries(self) -> list[CacheEntryInfo]:

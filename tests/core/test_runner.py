@@ -273,3 +273,22 @@ class TestResultSerialisation:
         assert doc["satisfied_count"] == len(result.satisfied)
         assert ["child.pid", "parent.id"] in doc["satisfied"]
         assert doc["timings"]["total_seconds"] >= 0
+
+    def test_engine_choice_always_carries_routing_seconds(self, fk_db):
+        """Consumers index ``routing_seconds`` without ``.get`` guards.
+
+        Fixed-strategy runs emit the deterministic null choice — same
+        bytes every run, so agreement views stay byte-identical — and
+        adaptive runs emit the router's real verdict; both carry the key.
+        """
+        for strategy in ("brute-force", "merge-single-pass", "sql-join"):
+            result = discover_inds(fk_db, DiscoveryConfig(strategy=strategy))
+            assert result.engine_choice == {
+                "strategy": None, "engine": None, "routing_seconds": 0.0,
+            }, strategy
+        adaptive = discover_inds(
+            fk_db,
+            DiscoveryConfig(strategy="adaptive", validation_workers=2),
+        )
+        assert adaptive.engine_choice["engine"] is not None
+        assert adaptive.engine_choice["routing_seconds"] > 0.0

@@ -1,0 +1,209 @@
+"""Runner-level tracing: coverage on a paper dataset, faults, metrics.
+
+The byte-exactness matrix for traced runs lives in
+``tests/test_validator_agreement.py::TestTracedPipelineExactness``; this
+file covers the remaining acceptance surface: the span tree accounts for
+(almost) all of the wall clock on the paper's BioSQL workload, it stays
+well-formed when a worker dies and its task is requeued, and the runner
+feeds the process-global metrics registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import PretestConfig
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.datagen import generate_biosql
+from repro.db import Column, Database, DataType, TableSchema
+from repro.obs import coverage, get_registry, phase_summary
+
+
+def _assert_no_orphans(trace: dict) -> None:
+    by_id = {span["id"]: span for span in trace["spans"]}
+    for span in trace["spans"]:
+        if span["parent"] is not None:
+            assert span["parent"] in by_id, f"orphan span: {span}"
+
+
+def _fault_db() -> Database:
+    """Two small tables; ``t0.c0`` is the fault hook's marked attribute."""
+    db = Database("tracefault")
+    t0 = db.create_table(
+        TableSchema(
+            "t0",
+            [
+                Column("id", DataType.INTEGER, unique=True),
+                Column("c0", DataType.INTEGER),
+            ],
+        )
+    )
+    t1 = db.create_table(
+        TableSchema(
+            "t1",
+            [
+                Column("id", DataType.INTEGER, unique=True),
+                Column("c0", DataType.INTEGER),
+            ],
+        )
+    )
+    for row in range(20):
+        t0.insert({"id": row, "c0": row % 12})
+    for row in range(12):
+        t1.insert({"id": row + 3, "c0": row % 12})
+    return db
+
+
+class TestCoverage:
+    def test_biosql_trace_covers_wall_clock(self):
+        """Acceptance gate: top-level spans cover >= 95% of the run."""
+        db = generate_biosql("tiny", seed=7).db
+        result = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy="brute-force",
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=2,
+                sampling_size=4,
+                parallel_export=True,
+                parallel_pretest=True,
+                trace=True,
+            ),
+        )
+        trace = result.trace
+        assert trace is not None
+        covered = coverage(trace)
+        assert covered >= 0.95, (
+            f"span tree covers only {covered:.1%} of wall clock: "
+            f"{phase_summary(trace)}"
+        )
+        # Per-task spans attributed to worker pids, not the parent's.
+        root_pid = next(
+            s["pid"] for s in trace["spans"] if s["parent"] is None
+        )
+        task_pids = {
+            s["pid"] for s in trace["spans"] if s["name"].startswith("task:")
+        }
+        assert task_pids and root_pid not in task_pids
+
+    def test_sequential_run_is_also_covered(self):
+        db = generate_biosql("tiny", seed=7).db
+        result = discover_inds(
+            db,
+            DiscoveryConfig(strategy="merge-single-pass", trace=True),
+        )
+        assert coverage(result.trace) >= 0.95
+        # No pool involved: every span was stamped by this process.
+        assert {s["pid"] for s in result.trace["spans"]} == {
+            result.trace["spans"][0]["pid"]
+        }
+
+    def test_untraced_run_carries_no_trace(self):
+        db = generate_biosql("tiny", seed=7).db
+        result = discover_inds(db, DiscoveryConfig(strategy="brute-force"))
+        assert result.trace is None
+        assert "trace" not in result.to_dict()
+
+
+class TestFaultTolerance:
+    def test_worker_death_requeue_leaves_no_orphan_spans(
+        self, tmp_path, monkeypatch
+    ):
+        """A requeued task yields exactly one span, still phase-parented."""
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
+        monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
+        result = discover_inds(
+            _fault_db(),
+            DiscoveryConfig(
+                strategy="brute-force",
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=2,
+                parallel_export=True,
+                trace=True,
+            ),
+        )
+        assert (tmp_path / "pool-fault-fired").exists(), "fault never fired"
+        assert result.pool_stats["tasks_requeued"] >= 1
+        trace = result.trace
+        _assert_no_orphans(trace)
+        by_id = {span["id"]: span for span in trace["spans"]}
+        task_spans = [
+            s for s in trace["spans"] if s["name"].startswith("task:")
+        ]
+        assert task_spans
+        for span in task_spans:
+            assert by_id[span["parent"]]["name"] in (
+                "export", "pretest", "validate",
+            )
+        # The dispatcher dedups done-messages by task id: the killed
+        # worker's task appears once, annotated with its retry count.
+        requeued = [
+            s for s in task_spans if s["attrs"].get("requeues", 0) >= 1
+        ]
+        assert requeued, "no span recorded the requeue"
+        # Task ids are per job, so uniqueness holds within each phase.
+        for parent_id in {s["parent"] for s in task_spans}:
+            ids = [
+                s["attrs"]["task_id"]
+                for s in task_spans
+                if s["parent"] == parent_id
+            ]
+            assert len(ids) == len(set(ids)), (
+                f"duplicate task spans under {by_id[parent_id]['name']}"
+            )
+
+
+class TestRunnerMetrics:
+    def test_discovery_populates_registry(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        db = generate_biosql("tiny", seed=7).db
+        result = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy="brute-force",
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=2,
+            ),
+        )
+        after = registry.snapshot()
+
+        def delta(name: str) -> float:
+            return after["counters"].get(name, 0.0) - before["counters"].get(
+                name, 0.0
+            )
+
+        assert delta("discoveries_total") == 1.0
+        # No sampling pretest here, so every post-pretest candidate got a
+        # validation decision.
+        assert delta("inds_validated_total") == result.candidates_after_pretests
+        assert delta("inds_satisfied_total") == result.satisfied_count
+        assert delta("pool_tasks_total{kind=brute-force}") > 0
+        hist = after["histograms"]["validate_seconds"]
+        prior = before["histograms"].get("validate_seconds", {"count": 0})
+        assert hist["count"] == prior["count"] + 1
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_pool_task_counters_match_pool_stats(self, workers):
+        registry = get_registry()
+        before = registry.snapshot()["counters"].get(
+            "pool_tasks_total{kind=brute-force}", 0.0
+        )
+        result = discover_inds(
+            _fault_db(),
+            DiscoveryConfig(
+                strategy="brute-force",
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=workers,
+            ),
+        )
+        after = registry.snapshot()["counters"].get(
+            "pool_tasks_total{kind=brute-force}", 0.0
+        )
+        if workers == 1:
+            assert result.pool_stats is None  # sequential: no pool, no series
+            assert after == before
+        else:
+            assert after - before == result.pool_stats["tasks_by_kind"][
+                "brute-force"
+            ]

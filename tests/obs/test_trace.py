@@ -1,0 +1,206 @@
+"""Unit tests for the tracer: span trees, adoption, serialisation."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.obs import (
+    Tracer,
+    chrome_events,
+    coverage,
+    maybe_span,
+    phase_summary,
+    stamp,
+)
+
+
+class TestSpans:
+    def test_nesting_is_implicit(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        doc = tracer.to_dict()
+        by_name = {s["name"]: s for s in doc["spans"]}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == outer.span_id
+        assert inner.parent_id == outer.span_id
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in tracer.to_dict()["spans"]] == ["doomed"]
+
+    def test_live_span_accepts_attrs_mid_flight(self):
+        tracer = Tracer()
+        with tracer.span("lookup", probe=1) as sp:
+            sp.attrs["hit"] = True
+        (span,) = tracer.to_dict()["spans"]
+        assert span["attrs"] == {"probe": 1, "hit": True}
+
+    def test_threads_have_independent_parent_stacks(self):
+        tracer = Tracer()
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            ready.wait()
+            with tracer.span(name):
+                time.sleep(0.01)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Neither thread's span adopted the other as parent.
+        assert all(s["parent"] is None for s in tracer.to_dict()["spans"])
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span_id() == a.span_id
+        assert tracer.current_span_id() is None
+
+    def test_maybe_span_is_noop_without_tracer(self):
+        with maybe_span(None, "anything") as sp:
+            assert sp is None
+
+    def test_maybe_span_delegates_with_tracer(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "phase") as sp:
+            assert sp is not None
+        assert [s["name"] for s in tracer.to_dict()["spans"]] == ["phase"]
+
+
+class TestAdoption:
+    def test_task_spans_adopted_under_parent(self):
+        tracer = Tracer()
+        with tracer.span("validate") as phase:
+            raws = [stamp("task:x", 1.0, 1.5, kind="x", chunk_size=3)]
+            tracer.add_task_spans(phase.span_id, raws)
+        doc = tracer.to_dict()
+        task = next(s for s in doc["spans"] if s["name"] == "task:x")
+        assert task["parent"] == phase.span_id
+        assert task["duration"] == 0.5
+        assert task["attrs"]["chunk_size"] == 3
+        assert task["pid"] > 0
+
+    def test_malformed_entries_are_skipped_not_raised(self):
+        tracer = Tracer()
+        tracer.add_task_spans(None, [None, 42, {"no_name": 1}, "str"])
+        assert tracer.to_dict()["spans"] == []
+
+    def test_empty_adoption_is_noop(self):
+        tracer = Tracer()
+        tracer.add_task_spans(None, [])
+        tracer.add_task_spans(None, None)
+        assert tracer.to_dict()["spans"] == []
+
+
+class TestSerialisation:
+    def test_empty_trace_shape(self):
+        doc = Tracer().to_dict()
+        assert doc["spans"] == []
+        assert doc["total_seconds"] == 0.0
+        assert doc["clock"] == "monotonic"
+        assert len(doc["trace_id"]) == 16
+
+    def test_starts_normalised_to_epoch_and_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        doc = tracer.to_dict()
+        assert min(s["start"] for s in doc["spans"]) == 0.0
+        assert doc["total_seconds"] >= max(
+            s["start"] + s["duration"] for s in doc["spans"]
+        ) - min(s["start"] for s in doc["spans"]) - 1e-9
+        json.dumps(doc)  # must serialise without a custom encoder
+
+    def test_chrome_events_shape(self):
+        tracer = Tracer()
+        with tracer.span("root", db="x"):
+            with tracer.span("child"):
+                pass
+        events = chrome_events(tracer.to_dict())
+        assert len(events) == 2
+        root = next(e for e in events if e["name"] == "root")
+        child = next(e for e in events if e["name"] == "child")
+        assert root["ph"] == child["ph"] == "X"
+        assert root["cat"] == "repro"
+        assert root["args"]["db"] == "x"
+        assert child["args"]["parent"] == root["args"]["span_id"]
+        assert root["ts"] == 0.0  # microseconds from epoch
+        json.dumps(events)
+
+
+class TestSummaries:
+    def _trace(self, phases):
+        """A synthetic single-root trace with the given (name, dur) phases."""
+        spans = [
+            {
+                "id": 1,
+                "parent": None,
+                "name": "discover",
+                "start": 0.0,
+                "duration": 1.0,
+                "pid": 1,
+                "attrs": {},
+            }
+        ]
+        cursor = 0.0
+        for i, (name, dur) in enumerate(phases, start=2):
+            spans.append(
+                {
+                    "id": i,
+                    "parent": 1,
+                    "name": name,
+                    "start": cursor,
+                    "duration": dur,
+                    "pid": 1,
+                    "attrs": {},
+                }
+            )
+            cursor += dur
+        return {
+            "trace_id": "t",
+            "clock": "monotonic",
+            "total_seconds": 1.0,
+            "spans": spans,
+        }
+
+    def test_phase_summary_sums_by_name(self):
+        trace = self._trace([("export", 0.2), ("validate", 0.3),
+                             ("validate", 0.4)])
+        summary = phase_summary(trace)
+        assert summary["export"] == 0.2
+        assert abs(summary["validate"] - 0.7) < 1e-12
+
+    def test_coverage_against_single_root(self):
+        assert coverage(self._trace([("validate", 0.5)])) == 0.5
+        assert coverage(self._trace([("a", 0.6), ("b", 0.6)])) == 1.0  # clamp
+
+    def test_coverage_of_empty_trace_is_one(self):
+        assert coverage(Tracer().to_dict()) == 1.0
+
+    def test_rootless_trace_uses_total_seconds(self):
+        trace = {
+            "total_seconds": 2.0,
+            "spans": [
+                {"id": 1, "parent": None, "name": "a", "start": 0.0,
+                 "duration": 1.0, "pid": 1, "attrs": {}},
+                {"id": 2, "parent": None, "name": "b", "start": 1.0,
+                 "duration": 0.5, "pid": 1, "attrs": {}},
+            ],
+        }
+        assert coverage(trace) == 0.75
+        assert phase_summary(trace) == {"a": 1.0, "b": 0.5}

@@ -411,10 +411,20 @@ class TestAdaptiveRouting:
         assert choice["routing_seconds"] >= 0
         assert result.to_dict()["engine_choice"] == choice
 
-    def test_fixed_strategy_reports_no_engine_choice(self, fk_db):
+    def test_fixed_strategy_reports_null_engine_choice(self, fk_db):
+        """Non-adaptive runs emit the null choice, not a missing key.
+
+        ``routing_seconds`` is always present (0.0 when no routing ran) so
+        downstream consumers never need ``.get`` guards; ``engine`` stays
+        ``None`` so "was this run routed?" remains one comparison.
+        """
         result = discover_inds(fk_db, DiscoveryConfig(strategy="brute-force"))
-        assert result.engine_choice is None
-        assert result.to_dict()["engine_choice"] is None
+        assert result.engine_choice == {
+            "strategy": None,
+            "engine": None,
+            "routing_seconds": 0.0,
+        }
+        assert result.to_dict()["engine_choice"] == result.engine_choice
 
     def test_forced_pooled_routing_agrees_with_sequential(
         self, fk_db, tmp_path, monkeypatch

@@ -103,7 +103,7 @@ class TestExportFaults:
         monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
         monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
         with WorkerPool(2) as pool:
-            spool, stats, pool_stats = pooled_export(
+            spool, stats, pool_stats, task_spans = pooled_export(
                 db,
                 str(tmp_path / "pooled"),
                 workers=2,
@@ -113,6 +113,10 @@ class TestExportFaults:
             )
             assert pool.stats.tasks_requeued >= 1
             assert pool.stats.workers_replaced >= 1
+        # Exactly one span per task survives the requeue (done-dedup), and
+        # the requeued task's span records its retry count.
+        assert len(task_spans) == pool_stats["tasks_dispatched"]
+        assert max(s["attrs"]["requeues"] for s in task_spans) >= 1
         assert (tmp_path / "pool-fault-fired").exists()
         assert stats == seq_stats
         assert pool_stats["tasks_by_kind"].keys() == {"spool-export"}
@@ -227,7 +231,7 @@ class TestExportFaults:
         assert got.decisions == sequential.decisions
         assert got.stats.items_read == sequential.stats.items_read
         assert got.stats.comparisons == sequential.stats.comparisons
-        _, export_stats, _ = results["export"]
+        _, export_stats, _, _ = results["export"]
         assert export_stats.values_written > 0
 
 
@@ -356,7 +360,7 @@ class TestPooledExportAgreement:
             db, str(tmp_path / "seq"), spool_format=spool_format, block_size=3
         )
         # pool=None: the ephemeral right-sized fleet, like the engines.
-        pooled, stats, pool_stats = pooled_export(
+        pooled, stats, pool_stats, _ = pooled_export(
             db,
             str(tmp_path / "pooled"),
             workers=3,
@@ -382,7 +386,7 @@ class TestPooledExportAgreement:
         sequential, seq_stats = export_database(
             db, str(tmp_path / "seq"), attributes=attrs
         )
-        pooled, stats, _ = pooled_export(
+        pooled, stats, _, _ = pooled_export(
             db, str(tmp_path / "pooled"), workers=2, attributes=attrs
         )
         assert stats.skipped_empty == seq_stats.skipped_empty == 1
@@ -393,9 +397,10 @@ class TestPooledExportAgreement:
 
     def test_nothing_to_export_returns_no_pool_stats(self, tmp_path):
         db = Database("bare")
-        pooled, stats, pool_stats = pooled_export(
+        pooled, stats, pool_stats, task_spans = pooled_export(
             db, str(tmp_path / "pooled"), workers=2
         )
         assert len(pooled) == 0
         assert stats.values_scanned == 0
         assert pool_stats is None
+        assert task_spans == []

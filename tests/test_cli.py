@@ -7,6 +7,15 @@ import pytest
 from repro.cli import main
 
 
+def _shutdown_stats(err: str) -> dict:
+    """The serve shutdown JSON object — the last JSON line on stderr."""
+    for line in reversed(err.splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            return json.loads(line)
+    raise AssertionError(f"no shutdown JSON on stderr: {err!r}")
+
+
 @pytest.fixture()
 def biosql_dump(tmp_path):
     path = tmp_path / "dump"
@@ -199,9 +208,11 @@ class TestServe:
         assert responses[0]["satisfied_count"] > 0
         assert not responses[0]["spool_cache_hit"]
         assert responses[1]["spool_cache_hit"]
-        assert "pool:" in err and "requests=2" in err
-        reuses = int(err.split("spool-handle-reuses=")[1].split()[0])
-        assert reuses > 0, "second request must find warm spool handles"
+        shutdown = _shutdown_stats(err)
+        assert shutdown["event"] == "serve-shutdown"
+        assert shutdown["requests"] == 2
+        assert shutdown["pool"]["spool_handle_reuses"] > 0, \
+            "second request must find warm spool handles"
 
     def test_bad_request_answers_error_and_keeps_serving(
         self, biosql_dump, monkeypatch, capsys
@@ -264,6 +275,146 @@ class TestServe:
         assert main(["serve", "--max-inflight", "0"]) == 2
         assert "--max-inflight" in capsys.readouterr().err
 
+    def test_stats_request_returns_metrics_and_trace_ids(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            json.dumps({"directory": str(biosql_dump), "id": "d1"}) + "\n",
+            json.dumps({"kind": "stats", "id": "s1"}) + "\n",
+        ]
+        code, responses, _ = self._serve(
+            monkeypatch, capsys, lines, "--validation-workers", "2"
+        )
+        assert code == 0
+        by_id = {r["id"]: r for r in responses}
+        # Every discovery response carries a per-request trace id ...
+        assert isinstance(by_id["d1"]["trace_id"], str)
+        assert "trace" not in by_id["d1"]  # ... but not the tree, untraced
+        # ... and the stats kind answers with the metrics snapshot.
+        stats = by_id["s1"]
+        assert stats["kind"] == "stats"
+        counters = stats["metrics"]["counters"]
+        assert counters["pool_tasks_total{kind=brute-force}"] > 0
+        assert stats["pool"]["tasks_completed"] > 0
+        assert "validate_seconds" in stats["metrics"]["histograms"]
+
+    def test_request_can_opt_into_full_trace(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        lines = [
+            json.dumps(
+                {"directory": str(biosql_dump), "id": "t1", "trace": True}
+            )
+            + "\n",
+        ]
+        code, responses, _ = self._serve(monkeypatch, capsys, lines)
+        assert code == 0
+        trace = responses[0]["trace"]
+        assert trace["trace_id"] == responses[0]["trace_id"]
+        names = {span["name"] for span in trace["spans"]}
+        assert "discover" in names and "validate" in names
+
+
+class TestTraceDump:
+    def _traced_result(self, biosql_dump, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main([
+            "discover", str(biosql_dump), "--strategy", "brute-force",
+            "--validation-workers", "2", "--trace", "--json", str(out),
+        ]) == 0
+        assert "coverage=" in capsys.readouterr().out
+        return out
+
+    def test_dump_chrome_format(self, biosql_dump, tmp_path, capsys):
+        result = self._traced_result(biosql_dump, tmp_path, capsys)
+        target = tmp_path / "trace.json"
+        assert main([
+            "trace", "dump", str(result), "-o", str(target),
+        ]) == 0
+        assert "spans written" in capsys.readouterr().out
+        events = json.loads(target.read_text())
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {e["name"] for e in events} >= {"discover", "validate"}
+        # Worker-stamped task spans land in their own pid lanes.
+        assert len({e["pid"] for e in events}) > 1
+
+    def test_dump_json_format_to_stdout(self, biosql_dump, tmp_path, capsys):
+        result = self._traced_result(biosql_dump, tmp_path, capsys)
+        assert main(["trace", "dump", str(result), "--format", "json"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["clock"] == "monotonic"
+        assert trace["spans"]
+
+    def test_dump_accepts_bare_trace_object(
+        self, biosql_dump, tmp_path, capsys
+    ):
+        result = self._traced_result(biosql_dump, tmp_path, capsys)
+        bare = tmp_path / "bare.json"
+        assert main([
+            "trace", "dump", str(result), "--format", "json",
+            "-o", str(bare),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "dump", str(bare), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["spans"]
+
+    def test_dump_untraced_result_is_an_error(
+        self, biosql_dump, tmp_path, capsys
+    ):
+        out = tmp_path / "untraced.json"
+        assert main([
+            "discover", str(biosql_dump), "--json", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "dump", str(out)]) == 2
+        assert "no trace" in capsys.readouterr().err
+
+    def test_dump_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "dump", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLogging:
+    def test_log_level_configures_repro_logger_idempotently(self):
+        import logging
+
+        from repro.cli import _configure_logging
+
+        logger = logging.getLogger("repro")
+        before_handlers = list(logger.handlers)
+        before_level = logger.level
+        try:
+            _configure_logging("debug")
+            assert logger.level == logging.DEBUG
+            first = [
+                h for h in logger.handlers if h not in before_handlers
+            ]
+            _configure_logging("warning")
+            assert logger.level == logging.WARNING
+            # Repeated configuration never stacks a second handler.
+            assert [
+                h for h in logger.handlers if h not in before_handlers
+            ] == first
+        finally:
+            logger.setLevel(before_level)
+            for handler in list(logger.handlers):
+                if handler not in before_handlers:
+                    logger.removeHandler(handler)
+
+    def test_pool_lifecycle_events_are_logged(self, biosql_dump, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.parallel.pool"):
+            assert main([
+                "discover", str(biosql_dump), "--strategy", "brute-force",
+                "--validation-workers", "2",
+            ]) == 0
+        spawns = [
+            r for r in caplog.records
+            if r.name == "repro.parallel.pool" and "spawned" in r.message
+        ]
+        assert len(spawns) == 2
+
 
 class TestServeConcurrent:
     """Overlapping requests over one warm pool answer exactly like serial."""
@@ -306,8 +457,9 @@ class TestServeConcurrent:
                 "--max-inflight", inflight,
             )
             assert code == 0
-            assert f"max-inflight={inflight}" in err
-            assert "requests=3" in err
+            shutdown = _shutdown_stats(err)
+            assert shutdown["max_inflight"] == int(inflight)
+            assert shutdown["requests"] == 3
             runs[label] = {r["id"]: r for r in responses}
         assert set(runs["serial"]) == set(runs["concurrent"]) == {
             "r1", "r2", "r3",
@@ -315,10 +467,10 @@ class TestServeConcurrent:
         for request_id in runs["serial"]:
             serial = dict(runs["serial"][request_id])
             concurrent = dict(runs["concurrent"][request_id])
-            # Timing and pool-placement counters legitimately differ
-            # between the two modes; everything the request *answers* must
-            # be byte-identical.
-            for volatile in ("seconds", "pool"):
+            # Timing, pool-placement counters, and per-request trace ids
+            # legitimately differ between the two modes; everything the
+            # request *answers* must be byte-identical.
+            for volatile in ("seconds", "pool", "trace_id"):
                 serial.pop(volatile), concurrent.pop(volatile)
             assert serial == concurrent, f"request {request_id} diverges"
 
@@ -365,9 +517,10 @@ class TestServeSignals:
                 proc.kill()
                 proc.communicate()
         assert proc.returncode == 0, err
-        assert "pool:" in err
-        assert f"drained-on-signal={signum_name}" in err
-        assert "requests=1" in err
+        shutdown = _shutdown_stats(err)
+        assert shutdown["event"] == "serve-shutdown"
+        assert shutdown["drained-on-signal"] == signum_name
+        assert shutdown["requests"] == 1
 
     def test_second_signal_falls_through_to_default(self, tmp_path):
         """The drain restores the old handlers before waiting (escape hatch)."""
@@ -504,8 +657,9 @@ class TestPipelineFlags:
         response = json.loads(captured.out.splitlines()[0])
         kinds = response["pool"]["tasks_by_kind"]
         assert {"spool-export", "sample-pretest", "brute-force"} <= set(kinds)
-        # The shutdown stats line aggregates the same kinds.
-        assert "spool-export" in captured.err
+        # The shutdown stats object aggregates the same kinds.
+        shutdown = _shutdown_stats(captured.err)
+        assert "spool-export" in shutdown["pool"]["tasks_by_kind"]
 
     def test_cache_hit_reports_skipped_parallel_export(
         self, biosql_dump, tmp_path, monkeypatch, capsys
@@ -563,9 +717,10 @@ class TestPipelineFlags:
         assert responses[0]["satisfied_count"] > 0
         # Both requests reaped their 2 workers; the second respawned a
         # full fleet first (4 spawned overall, none counted as deaths).
-        assert "workers-reaped=4" in captured.err
-        assert "workers-spawned=4" in captured.err
-        assert "workers-replaced=0" in captured.err
+        shutdown = _shutdown_stats(captured.err)
+        assert shutdown["pool"]["workers_reaped"] == 4
+        assert shutdown["pool"]["workers_spawned"] == 4
+        assert shutdown["pool"]["workers_replaced"] == 0
 
 
 class TestCacheOrphans:

@@ -22,6 +22,9 @@ DOCUMENTED_MODULES = [
     "repro.core.results",
     "repro.core.runner",
     "repro.core.stats",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.parallel",
     "repro.parallel.engine",
     "repro.parallel.export",

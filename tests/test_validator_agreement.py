@@ -367,6 +367,7 @@ def _pipeline_view(result_dict: dict) -> dict:
     view.pop("timings")
     view.pop("pool")
     view.pop("validation_workers")
+    view.pop("trace", None)  # additive observability, never part of the answer
     view["validator"].pop("elapsed_seconds")
     view["validator"].pop("extra")
     view["validator"].pop("peak_open_files")
@@ -453,6 +454,97 @@ class TestEndToEndPipelineAgreement:
         assert {"spool-export", "sample-pretest", "brute-force"} <= set(
             stats["tasks_by_kind"]
         )
+
+
+def _assert_well_formed_trace(trace: dict) -> None:
+    """Structural invariants of a serialised span tree.
+
+    One ``discover`` root, every other span parented to a live span id (no
+    orphans), and every worker-stamped ``task:*`` span hanging off the
+    phase that dispatched it.
+    """
+    spans = trace["spans"]
+    assert spans, "traced run produced no spans"
+    by_id = {span["id"]: span for span in spans}
+    roots = [span for span in spans if span["parent"] is None]
+    assert [root["name"] for root in roots] == ["discover"], roots
+    for span in spans:
+        assert span["start"] >= 0.0 and span["duration"] >= 0.0, span
+        if span["parent"] is not None:
+            assert span["parent"] in by_id, f"orphan span: {span}"
+        if span["name"].startswith("task:"):
+            parent = by_id[span["parent"]]
+            assert parent["name"] in ("export", "pretest", "validate"), (
+                f"task span parented to {parent['name']!r}"
+            )
+            assert span["attrs"]["kind"] in span["name"]
+            assert "task_id" in span["attrs"] and "requeues" in span["attrs"]
+
+
+class TestTracedPipelineExactness:
+    """Tracing is observationally free — and the span tree is coherent.
+
+    The same pooled matrix as :class:`TestEndToEndPipelineAgreement` but
+    with ``trace=True``: decisions, ``items_read``, the pruned candidate
+    set and every export counter must be byte-identical to the untraced
+    sequential baseline at workers {1, 2, 4} on both spool formats, the
+    result dict must differ *only* by the ``trace`` key, and the recorded
+    tree must be well-formed with per-task spans attributed to worker pids.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    def _config(self, spool_format, **overrides):
+        return DiscoveryConfig(
+            strategy="brute-force",
+            spool_format=spool_format,
+            spool_block_size=3,
+            sampling_size=2,
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    def test_traced_matrix_byte_exact_and_well_formed(self, spool_format):
+        db = build_random_db(5)
+        baseline = discover_inds(db, self._config(spool_format))
+        baseline_doc = baseline.to_dict()
+        assert "trace" not in baseline_doc  # untraced dict is pre-obs shape
+        expected = _pipeline_view(baseline_doc)
+        assert baseline.sampling_refuted > 0
+        for workers in self.WORKER_COUNTS:
+            traced = discover_inds(
+                db,
+                self._config(
+                    spool_format,
+                    validation_workers=workers,
+                    parallel_export=True,
+                    parallel_pretest=True,
+                    trace=True,
+                ),
+            )
+            doc = traced.to_dict()
+            trace = doc.pop("trace")
+            assert set(doc) == set(baseline_doc), (
+                "tracing must add only the 'trace' key"
+            )
+            assert _pipeline_view(doc) == expected, (
+                f"tracing changed the answer at {workers} workers "
+                f"({spool_format} spools)"
+            )
+            _assert_well_formed_trace(trace)
+            # Pool task spans were stamped worker-side: their pids are the
+            # fleet's, never this process's.
+            root_pid = next(
+                span["pid"] for span in trace["spans"]
+                if span["parent"] is None
+            )
+            task_pids = {
+                span["pid"] for span in trace["spans"]
+                if span["name"].startswith("task:")
+            }
+            assert task_pids, "pooled run recorded no task spans"
+            assert root_pid not in task_pids
 
 
 class TestAdaptiveAgreement:
