@@ -27,6 +27,7 @@ from repro.bench.harness import (
     run_adaptive_comparison,
     run_e2e_pool_curve,
     run_merge_pool_curve,
+    run_overlap_comparison,
     run_parallel_curve,
     run_pool_repeat_curve,
     run_strategy,
@@ -770,6 +771,199 @@ def test_table2_adaptive_engine(workloads, report):
                     ),
                 )
                 for name, values in doc_workloads.items()
+            ],
+            note="\n".join(leg_lines),
+        )
+    )
+
+
+def test_table2_overlap_streaming(workloads, report):
+    """Streaming-overlap acceptance: wall clock toward max(phase), not sum.
+
+    ROADMAP item 3's claim rendered as an experiment: the dependency-graph
+    pipeline (``overlap=True``) runs export, sampling pretest and
+    validation with no inter-phase barrier, so its graph-section wall
+    clock should approach the *slowest single phase* of the barriered
+    pipeline instead of the sum of all three.  Three interleaved legs on
+    the BioSQL workload — ``sequential``, ``barriered`` (pooled phases
+    back to back, the PR 5 shape) and ``overlapped`` — warm fleets, cold
+    spool export on every recorded run; emits ``BENCH_overlap.json`` with
+    per-run totals, graph walls, per-phase trace summaries and the
+    overlapped runs' ``overlap`` documents.
+
+    Asserted unconditionally on every box: identical satisfied sets,
+    ``sampling_refuted``, validator ``items_read`` and export counters on
+    every leg and run (the graph reorders work, never answers); every
+    overlapped run rode the graph in full mode with all three task phases
+    pooled.  The headline — overlapped graph wall ≤ 1.15 × the barriered
+    leg's slowest phase — needs real cores to be physically possible, so
+    it asserts on 4+ core machines only and is ``[measured]``-reported
+    everywhere else, per the established convention.
+    """
+    dataset = workloads.biosql()
+    runs, workers = 3, 4
+    median = lambda xs: sorted(xs)[len(xs) // 2]  # noqa: E731 - tiny helper
+    many_cores = (os.cpu_count() or 1) >= 4
+    curves = run_overlap_comparison(
+        "UniProt(BioSQL)", dataset.db, workers=workers, runs=runs
+    )
+    reference = curves["sequential"][0].result
+    reference_satisfied = {str(i) for i in reference.satisfied}
+    claims: list[dict] = []
+
+    def claim(name: str, asserted: bool, detail: str) -> None:
+        claims.append({"name": name, "asserted": asserted, "detail": detail})
+
+    for mode, outcomes in curves.items():
+        for outcome in outcomes:
+            result = outcome.result
+            assert {
+                str(i) for i in result.satisfied
+            } == reference_satisfied, f"{mode} leg diverges"
+            assert result.sampling_refuted == reference.sampling_refuted, (
+                f"{mode} leg prunes a different candidate set"
+            )
+            assert (
+                result.validator_stats.items_read
+                == reference.validator_stats.items_read
+            ), f"{mode} leg reads a different number of items"
+            assert (
+                result.export_values_scanned == reference.export_values_scanned
+            )
+            assert (
+                result.export_values_written == reference.export_values_written
+            )
+    claim("identical answers on all legs", True,
+          f"{len(reference_satisfied)} INDs, "
+          f"{reference.validator_stats.items_read:,} items on every run")
+    for outcome in curves["overlapped"]:
+        doc = outcome.result.overlap
+        assert doc is not None and doc["mode"] == "full", doc
+        kinds = outcome.result.pool_stats["tasks_by_kind"].keys()
+        assert {"spool-export", "sample-pretest", "brute-force"} <= set(
+            kinds
+        ), kinds
+    for outcome in curves["sequential"] + curves["barriered"]:
+        assert outcome.result.overlap is None
+    claim("every overlapped run rode the full dependency graph", True,
+          "mode=full, export+pretest+validate all pooled")
+
+    # The overlapped graph-section wall: in full mode export_seconds +
+    # validate_seconds sum to exactly the graph's start-to-drain window.
+    graph_walls = [
+        o.result.timings.export_seconds + o.result.timings.validate_seconds
+        for o in curves["overlapped"]
+    ]
+    # The barriered leg's slowest single phase, per run, from the trace
+    # decomposition (there pretest is its own top-level span, not folded
+    # into validate the way the coarse timings fold it).
+    barriered_max = [
+        max(
+            o.phase_seconds.get(name, 0.0)
+            for name in ("export", "pretest", "validate")
+        )
+        for o in curves["barriered"]
+    ]
+    overlap_wall = median(graph_walls)
+    max_phase = median(barriered_max)
+    ratio = overlap_wall / max_phase if max_phase else float("inf")
+    within = ratio <= 1.15
+    if many_cores:
+        assert within, (
+            f"overlapped graph wall ({overlap_wall:.4f}s) must be within "
+            f"1.15x of the barriered pipeline's slowest phase "
+            f"({max_phase:.4f}s); measured {ratio:.2f}x"
+        )
+    claim(
+        "overlapped wall <= 1.15 x max(barriered phase)",
+        many_cores,
+        f"graph wall {overlap_wall:.4f}s vs max phase {max_phase:.4f}s "
+        f"= {ratio:.2f}x" + ("" if within else " (MISSED - measured only)"),
+    )
+    totals = {
+        mode: [round(o.total_seconds, 6) for o in outcomes]
+        for mode, outcomes in curves.items()
+    }
+    overlap_docs = [o.result.overlap for o in curves["overlapped"]]
+    doc = {
+        "dataset": "UniProt(BioSQL)",
+        "strategy": "brute-force",
+        "runs": runs,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "total_seconds": totals,
+        "graph_wall_seconds": [round(w, 6) for w in graph_walls],
+        "barriered_max_phase_seconds": [round(m, 6) for m in barriered_max],
+        "overlap_vs_max_phase_ratio": round(ratio, 3),
+        "phases": {
+            mode: phase_totals(outcomes) for mode, outcomes in curves.items()
+        },
+        "phases_per_run": {
+            mode: [o.phase_seconds for o in outcomes]
+            for mode, outcomes in curves.items()
+        },
+        "overlap": {
+            "max_concurrency": {
+                phase: max(d["max_concurrency"].get(phase, 0) for d in overlap_docs)
+                for d0 in overlap_docs[:1]
+                for phase in d0["max_concurrency"]
+            },
+            "cross_phase_overlap_seconds": round(
+                median(
+                    [d["cross_phase_overlap_seconds"] for d in overlap_docs]
+                ),
+                6,
+            ),
+            "nodes": overlap_docs[0]["nodes"],
+            "edges": overlap_docs[0]["edges"],
+            "tasks_by_phase": overlap_docs[0]["tasks_by_phase"],
+        },
+        "sampling_refuted": reference.sampling_refuted,
+        "items_read": reference.validator_stats.items_read,
+        "satisfied": len(reference_satisfied),
+        "claims": claims,
+    }
+    with open("BENCH_overlap.json", "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+    leg_lines = [
+        f"  [{'asserted' if c['asserted'] else 'measured'}] "
+        f"{c['name']} — {c['detail']}"
+        for c in claims
+    ]
+    # Printed (not just collected) so a bare `pytest -s` run and the CI
+    # log both show which claims a 1-core box proved vs only measured.
+    print("\noverlap bench claims:")
+    for line in leg_lines:
+        print(line)
+    report(
+        paper_vs_measured(
+            f"Streaming phase overlap / {runs} runs x {workers} workers",
+            [
+                (
+                    "total (sequential)",
+                    "-",
+                    seconds(median(totals["sequential"])),
+                ),
+                (
+                    "total (barriered pool)",
+                    "-",
+                    seconds(median(totals["barriered"])),
+                ),
+                (
+                    "total (overlapped)",
+                    "-",
+                    seconds(median(totals["overlapped"])),
+                ),
+                (
+                    "graph wall vs max(phase)",
+                    "<= 1.15x on 4+ cores",
+                    f"{ratio:.2f}x",
+                ),
+                (
+                    "cross-phase overlap",
+                    "> 0s on 4+ cores",
+                    seconds(doc["overlap"]["cross_phase_overlap_seconds"]),
+                ),
             ],
             note="\n".join(leg_lines),
         )

@@ -293,6 +293,79 @@ def run_e2e_pool_curve(
     return curves, (stats.as_dict() if stats is not None else {})
 
 
+def run_overlap_comparison(
+    dataset_name: str,
+    db: Database,
+    workers: int = 4,
+    runs: int = 3,
+    sampling_size: int = 8,
+    **config_kwargs,
+) -> dict[str, list[StrategyOutcome]]:
+    """Time the pipeline barriered vs overlapped — the ``sum`` vs ``max`` story.
+
+    Three interleaved legs, one :class:`StrategyOutcome` per run each:
+    ``sequential`` (one worker, every phase in-process — the floor),
+    ``barriered`` (export, sampling pretest and validation all pooled, but
+    run back to back with an inter-phase join, the PR 5 shape) and
+    ``overlapped`` (``overlap=True`` — the same tasks as one dependency
+    graph on :meth:`~repro.parallel.pool.WorkerPool.run_graph`, no
+    barriers).  Both pooled legs run on *warm* session fleets primed by one
+    unrecorded warm-up run, so worker startup never pollutes the phase
+    windows the comparison is about; the spool cache is never involved
+    (``reuse_spool`` off), so every recorded run exports cold — the
+    overlap has to earn its wall-clock on real work, not a cache hit.
+
+    The headline ``BENCH_overlap.json`` extracts from the curves: the
+    overlapped leg's graph-section wall clock
+    (``export_seconds + validate_seconds``, which in full-overlap mode sum
+    to exactly the dependency graph's start-to-drain window) against the
+    *barriered* leg's slowest single phase — ROADMAP item 3's
+    "``max(phase)`` instead of ``sum(phases)``" rendered as a ratio.
+    """
+    config_kwargs.setdefault("trace", True)
+
+    def config(mode: str) -> DiscoveryConfig:
+        pooled = mode != "sequential"
+        return DiscoveryConfig(
+            strategy="brute-force",
+            pretests=PretestConfig(cardinality=True, max_value=False),
+            validation_workers=workers if pooled else 1,
+            sampling_size=sampling_size,
+            parallel_export=mode == "barriered",
+            parallel_pretest=mode == "barriered" and sampling_size > 0,
+            overlap=mode == "overlapped",
+            **config_kwargs,
+        )
+
+    curves: dict[str, list[StrategyOutcome]] = {
+        "sequential": [], "barriered": [], "overlapped": [],
+    }
+    with DiscoverySession(config("barriered")) as barriered:
+        with DiscoverySession(config("overlapped")) as overlapped:
+            barriered.discover(db)  # warm-up: pay worker startup off the books
+            overlapped.discover(db)
+            # Interleave the legs so machine-load noise hits all alike.
+            for _ in range(runs):
+                curves["sequential"].append(
+                    StrategyOutcome(
+                        dataset_name,
+                        "brute-force",
+                        discover_inds(db, config("sequential")),
+                    )
+                )
+                curves["barriered"].append(
+                    StrategyOutcome(
+                        dataset_name, "brute-force", barriered.discover(db)
+                    )
+                )
+                curves["overlapped"].append(
+                    StrategyOutcome(
+                        dataset_name, "brute-force", overlapped.discover(db)
+                    )
+                )
+    return curves
+
+
 def run_calibration(rows: int = 20000, workers: int = 2) -> "CalibrationProfile":
     """Measure this machine's adaptive-model constants on a synthetic spool.
 

@@ -115,6 +115,18 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         "count (default: off — in-process pretest)",
     )
     parser.add_argument(
+        "--overlap",
+        action="store_true",
+        help="drop the barriers between export, sampling pretest and "
+        "validation: plan the phases as one dependency-scheduled task "
+        "graph and drain it on a single worker fleet, releasing each task "
+        "the moment its prerequisites land (fixed brute-force/merge runs "
+        "overlap all three phases; adaptive or range-split runs overlap "
+        "export+pretest and validate afterwards on the same pool); "
+        "results are byte-identical to the barriered pipeline "
+        "(default: off)",
+    )
+    parser.add_argument(
         "--range-split",
         type=int,
         default=0,
@@ -182,6 +194,7 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
         "sampling_size": args.sampling_size,
         "parallel_export": args.parallel_export,
         "parallel_pretest": args.parallel_pretest,
+        "overlap": args.overlap,
         "validation_workers": args.validation_workers,
         "range_split": args.range_split,
         "skip_scans": args.skip_scans,

@@ -74,6 +74,13 @@ class DiscoveryResult:
     #: when ``DiscoveryConfig.trace`` was on; ``None`` otherwise.  Purely
     #: additive: every other field is byte-identical with tracing on or off.
     trace: dict | None = None
+    #: Scheduling summary of an overlapped run (``DiscoveryConfig.overlap``):
+    #: graph shape (nodes, edges, cancellations), tasks per phase, observed
+    #: per-kind peak concurrency and the seconds during which tasks of
+    #: different phases ran simultaneously.  ``None`` when the run used
+    #: phase barriers.  Concurrency numbers are scheduling observations,
+    #: not results — agreement views drop this key like ``timings``.
+    overlap: dict | None = None
 
     @property
     def satisfied_count(self) -> int:
@@ -138,6 +145,7 @@ class DiscoveryResult:
             "validation_workers": self.validation_workers,
             "engine_choice": self.engine_choice,
             "pool": self.pool_stats,
+            "overlap": self.overlap,
         }
         if self.trace is not None:
             doc["trace"] = self.trace

@@ -120,7 +120,16 @@ class DiscoveryConfig:
       ``sampling_size``); both ride the same worker fleet as parallel
       validation — the session pool when one is lent, else one per-call
       pool shared by every phase of the run — and leave all results
-      byte-identical to the in-process phases.
+      byte-identical to the in-process phases.  ``overlap`` goes further:
+      it drops the joins *between* the phases, planning export, pretest
+      and (for fixed brute-force/merge runs) validation as one
+      dependency-scheduled task graph drained by a single pool — a
+      pretest chunk dispatches the moment its two spool files land, a
+      validation chunk the moment its pretest verdicts land (refuted
+      candidates are dropped at release time; fully-refuted chunks are
+      cancelled before dispatch).  Results stay byte-identical to the
+      barriered pipeline; ``DiscoveryResult.overlap`` reports the graph
+      shape and observed cross-phase concurrency.
     * **Validation** — ``strategy`` (one of :data:`ALL_STRATEGIES`;
       ``"adaptive"`` routes each run to the predicted-cheapest of the
       brute-force and merge engines), ``adaptive`` (cost-model routing
@@ -165,6 +174,7 @@ class DiscoveryConfig:
     export_workers: int = 1  # thread-parallel attribute spooling
     parallel_export: bool = False  # export as spool-export pool tasks
     parallel_pretest: bool = False  # sampling pretest as pool tasks
+    overlap: bool = False  # dependency-scheduled graph, no phase barriers
     validation_workers: int = 1  # worker processes (brute-force / merge-s-p)
     adaptive: bool = False  # cost-model routing pinned to this strategy
     range_split: int = 0  # byte-range merge split (0 = off; needs workers > 1)
@@ -280,6 +290,18 @@ class DiscoveryConfig:
                 "parallel_pretest dispatches the sampling pretest and "
                 "therefore requires sampling_size > 0"
             )
+        if self.overlap and self.strategy not in PARALLEL_STRATEGIES:
+            raise DiscoveryError(
+                "overlapped discovery schedules pool tasks and therefore "
+                f"requires one of {sorted(PARALLEL_STRATEGIES)}, "
+                f"not {self.strategy!r}"
+            )
+        if self.overlap and self.use_transitivity:
+            raise DiscoveryError(
+                "transitivity pruning is order-dependent; overlapped "
+                "validation chunks complete in scheduling order, so the "
+                "two cannot combine"
+            )
         if self.skip_scans and self.strategy != "brute-force":
             raise DiscoveryError(
                 "skip-scans only apply to the brute-force strategy "
@@ -381,15 +403,48 @@ def discover_inds(
     with maybe_span(tracer, "setup"):
         deps = dependent_attributes(column_stats)
         refs = referenced_attributes(column_stats)
-        if pool is None and (cfg.parallel_export or cfg.parallel_pretest):
+        if pool is None and (
+            cfg.parallel_export or cfg.parallel_pretest or cfg.overlap
+        ):
             # One per-call fleet for the whole pipeline: export, pretest and
             # validation jobs all dispatch to it instead of each phase paying
             # its own pool startup.
             from repro.parallel.pool import WorkerPool
 
             owned_pool = pool = WorkerPool(cfg.validation_workers)
+        if cfg.overlap:
+            # Imported inside the setup span, like the rest of the parallel
+            # machinery: a cold first import must not open a hole in the
+            # trace between setup and the overlapped section.
+            from repro.parallel.overlap import run_overlapped
+    overlap_run = None
     try:
-        if cfg.strategy in EXTERNAL_STRATEGIES:
+        if cfg.overlap:
+            # One graph, one pool, no inter-phase join: run_overlapped
+            # drains export + pretest (+ validation for fixed brute-force /
+            # merge runs) and hands back everything the barriered blocks
+            # below would have produced.
+            overlap_run = run_overlapped(
+                db, cfg, candidates, column_stats, pool, tracer
+            )
+            spool = overlap_run.spool
+            spool_path = overlap_run.spool_path
+            cleanup_dir = overlap_run.cleanup_dir
+            spool_cache_hit = overlap_run.spool_cache_hit
+            export_pool_stats = overlap_run.pool_stats
+            export_scanned = overlap_run.export_stats.values_scanned
+            export_written = overlap_run.export_stats.values_written
+            candidates = overlap_run.survivors
+            sampling_refuted = len(overlap_run.sampling_refuted)
+            # Phase attribution when phases interleave: export gets its
+            # task window; the rest of the graph's wall clock lands on the
+            # pretest bucket (full-overlap validation has no exclusive
+            # window of its own — see timings.validate_seconds below).
+            timings.export_seconds = overlap_run.export_seconds
+            pretest_seconds = max(
+                0.0, overlap_run.graph_seconds - overlap_run.export_seconds
+            )
+        elif cfg.strategy in EXTERNAL_STRATEGIES:
             with maybe_span(tracer, "export") as export_span, (
                 Stopwatch()
             ) as clock:
@@ -420,33 +475,43 @@ def discover_inds(
             export_scanned = export_stats.values_scanned
             export_written = export_stats.values_written
 
-        with maybe_span(tracer, "pretest") as pretest_span, (
-            Stopwatch()
-        ) as clock:
-            if cfg.sampling_size and spool is not None:
-                if cfg.parallel_pretest:
-                    (
-                        candidates,
-                        sampling_refuted_list,
-                        pretest_pool_stats,
-                        pretest_spans,
-                    ) = _sampling_pretest_pooled(spool, cfg, candidates, pool)
-                    if pretest_span is not None:
-                        tracer.add_task_spans(
-                            pretest_span.span_id, pretest_spans
+        if not cfg.overlap:
+            with maybe_span(tracer, "pretest") as pretest_span, (
+                Stopwatch()
+            ) as clock:
+                if cfg.sampling_size and spool is not None:
+                    if cfg.parallel_pretest:
+                        (
+                            candidates,
+                            sampling_refuted_list,
+                            pretest_pool_stats,
+                            pretest_spans,
+                        ) = _sampling_pretest_pooled(
+                            spool, cfg, candidates, pool
                         )
-                else:
-                    candidates, sampling_refuted_list = _sampling_pretest(
-                        spool, cfg, candidates
-                    )
-                sampling_refuted = len(sampling_refuted_list)
-        pretest_seconds = clock.elapsed
+                        if pretest_span is not None:
+                            tracer.add_task_spans(
+                                pretest_span.span_id, pretest_spans
+                            )
+                    else:
+                        candidates, sampling_refuted_list = _sampling_pretest(
+                            spool, cfg, candidates
+                        )
+                    sampling_refuted = len(sampling_refuted_list)
+            pretest_seconds = clock.elapsed
         # Engine routing is planning work, not validation work: it runs
         # outside the validate stopwatch so validate_seconds stays
         # comparable across fixed and adaptive runs, and its own cost is
         # surfaced as engine_choice["routing_seconds"].
         routing_seconds = 0.0
-        if cfg.use_transitivity:
+        if overlap_run is not None and overlap_run.validation is not None:
+            # Full-overlap mode: validation already rode the graph.  Its
+            # wall clock is inseparable from the pretest tail it overlapped
+            # with, so the graph's post-export time (already attributed to
+            # pretest_seconds above) is the whole validate bucket.
+            validation = overlap_run.validation
+            timings.validate_seconds = pretest_seconds
+        elif cfg.use_transitivity:
             with maybe_span(tracer, "validate"), Stopwatch() as clock:
                 validation, inferred_sat, inferred_unsat = _validate_sequential(
                     db, cfg, spool, candidates, column_stats
@@ -479,7 +544,8 @@ def discover_inds(
                         tracer.add_task_spans(
                             validate_span.span_id, validation.task_spans
                         )
-        timings.validate_seconds = pretest_seconds + clock.elapsed
+        if overlap_run is None or overlap_run.validation is None:
+            timings.validate_seconds = pretest_seconds + clock.elapsed
     finally:
         trace_stack.close()  # seal the root span before teardown work
         if owned_pool is not None:
@@ -539,11 +605,13 @@ def discover_inds(
         # A cache hit silently skips the export phase; when the caller asked
         # for a *pooled* export, say so explicitly instead of leaving an
         # absent "spool-export" task kind as the only clue.
-        export_skipped=spool_cache_hit and cfg.parallel_export,
+        export_skipped=spool_cache_hit
+        and (cfg.parallel_export or cfg.overlap),
         validation_workers=cfg.validation_workers,
         engine_choice=engine_choice,
         pool_stats=pool_stats,
         trace=tracer.to_dict() if tracer is not None else None,
+        overlap=overlap_run.overlap_doc if overlap_run is not None else None,
     )
 
 
@@ -955,8 +1023,14 @@ class DiscoverySession:
         race two fleets into existence (one would leak its processes).
         """
         wants_pool = (
-            cfg.strategy in PARALLEL_STRATEGIES and cfg.validation_workers > 1
-        ) or cfg.parallel_export or cfg.parallel_pretest
+            (
+                cfg.strategy in PARALLEL_STRATEGIES
+                and cfg.validation_workers > 1
+            )
+            or cfg.parallel_export
+            or cfg.parallel_pretest
+            or cfg.overlap
+        )
         if not wants_pool:
             return None
         with self._pool_lock:

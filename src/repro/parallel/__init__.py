@@ -28,6 +28,12 @@ different axes, both dispatched through one shared task substrate:
                      registered task kind, serves concurrent jobs from
                      multiple caller threads, requeues the tasks of dead
                      workers, keeps spool handles warm across kinds.
+``overlap``          :func:`run_overlapped` — the whole pipeline as one
+                     dependency-scheduled task graph on a single pool:
+                     export, sampling pretest and (fixed-engine runs)
+                     validation with no inter-phase join; pretest verdicts
+                     gate validation tasks at release time.  Byte-identical
+                     results to the barriered pipeline.
 ``engine``           :class:`ProcessPoolValidationEngine` — brute-force
                      chunks dispatched through a pool (per-call or
                      persistent); decisions and summed I/O identical to
@@ -67,13 +73,16 @@ from repro.parallel.planner import (
     load_calibration,
     pack_cost_groups,
 )
+from repro.parallel.overlap import OverlapRun, run_overlapped
 from repro.parallel.pool import (
+    GraphResult,
     JobResult,
     PoolStats,
     WorkerPool,
     merge_pool_stat_dicts,
 )
 from repro.parallel.tasks import (
+    GraphNode,
     KIND_BRUTE_FORCE,
     KIND_MERGE_PARTITION,
     KIND_SAMPLE_PRETEST,
@@ -92,10 +101,13 @@ __all__ = [
     "CalibrationProfile",
     "Chunk",
     "EngineDecision",
+    "GraphNode",
+    "GraphResult",
     "JobResult",
     "KIND_BRUTE_FORCE",
     "KIND_MERGE_PARTITION",
     "MergeGroup",
+    "OverlapRun",
     "PartitionSpoolView",
     "PartitionedMergeValidator",
     "PoolStats",
@@ -116,5 +128,6 @@ __all__ = [
     "partition_bounds",
     "register_task_kind",
     "resolve_task_kind",
+    "run_overlapped",
     "task_kinds",
 ]

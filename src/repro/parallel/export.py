@@ -32,6 +32,15 @@ them deterministically, and the index mentions an attribute only after its
 file is complete.  The spool content, the index document and the export
 statistics are byte-identical to :func:`~repro.storage.exporter.export_database`
 at every worker count.
+
+This module runs export as its *own* job with a join at the end.  Under
+``overlap=True`` the same ``spool-export`` tasks instead become the root
+nodes of a dependency graph (:func:`repro.parallel.overlap.run_overlapped`
+→ :meth:`~repro.parallel.pool.WorkerPool.run_graph`): pretest and
+validation tasks release per-node as their spool files land, with no
+barrier between the phases.  The unit planning, group packing, stats
+folding and index finalisation there mirror this module step for step, so
+both paths stay byte-identical to the sequential exporter.
 """
 
 from __future__ import annotations

@@ -234,10 +234,33 @@ class MergeGroup:
 
 
 class ShardPlanner:
-    """Packs candidates into ``shards`` cost-balanced buckets."""
+    """Packs candidates into ``shards`` cost-balanced buckets.
 
-    def __init__(self, spool: SpoolDirectory) -> None:
+    Costs normally come from the spool index (exact spooled value counts);
+    a ``counts`` override maps attributes to counts known *before* the
+    export lands — the overlapped pipeline plans pretest and validation
+    chunks from column-profile distinct counts while export tasks are still
+    running.  For non-LOB attributes the profile's rendered-distinct count
+    equals the spooled count, so the override changes nothing; and because
+    chunk/group composition never affects summed validator counters (tasks
+    are per-candidate independent or whole-component), an approximate count
+    could only ever affect load balance, never results.
+    """
+
+    def __init__(
+        self, spool: SpoolDirectory, counts: dict | None = None
+    ) -> None:
         self._spool = spool
+        self._counts = counts
+
+    def _count(self, attr) -> int:
+        """Spooled value count of ``attr``, preferring the override."""
+        if self._counts is not None:
+            try:
+                return self._counts[attr]
+            except KeyError:
+                pass
+        return self._spool.get(attr).count
 
     def candidate_cost(self, candidate: Candidate) -> int:
         """Worst-case items a brute-force test of this candidate reads.
@@ -248,8 +271,8 @@ class ShardPlanner:
         producing zero-cost candidates, which would let LPT stack an
         unbounded number of them on one shard.
         """
-        dep = self._spool.get(candidate.dependent).count
-        ref = self._spool.get(candidate.referenced).count
+        dep = self._count(candidate.dependent)
+        ref = self._count(candidate.referenced)
         return dep + ref + 1
 
     def plan(self, candidates: list[Candidate], shards: int) -> list[Shard]:
@@ -369,8 +392,8 @@ class ShardPlanner:
             by_dependent.setdefault(candidate.dependent, []).append(candidate)
         costed_groups = []
         for dependent, members in by_dependent.items():
-            cost = self._spool.get(dependent).count + 1
-            cost += sum(self._spool.get(c.referenced).count for c in members)
+            cost = self._count(dependent) + 1
+            cost += sum(self._count(c.referenced) for c in members)
             costed_groups.append((cost, (cost, members)))
         packed = pack_cost_groups(costed_groups, workers)
         position = {candidate: seq for seq, candidate in enumerate(ordered)}
@@ -447,7 +470,7 @@ class ShardPlanner:
         for members in components.values():
             attrs = {c.dependent for _, c in members}
             attrs |= {c.referenced for _, c in members}
-            cost = sum(self._spool.get(attr).count for attr in attrs) + 1
+            cost = sum(self._count(attr) for attr in attrs) + 1
             costed.append((cost, (cost, members)))
         # Components are discovered in first-candidate order, so the
         # packer's input-position tie-break replays the old

@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Loading this conftest also puts ``tests/`` on ``sys.path``, which is what
+lets test modules at any depth import the shared seeded builders
+(``from seeded_dbs import build_db, build_random_db, spool_with``) — see
+``tests/seeded_dbs.py``.
+"""
 
 from __future__ import annotations
 

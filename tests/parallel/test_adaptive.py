@@ -33,13 +33,7 @@ from repro.parallel.pool import WorkerPool
 from repro.storage.sorted_sets import SpoolDirectory
 
 
-def _spool_with(tmp_path, sizes: dict[str, int]) -> SpoolDirectory:
-    spool = SpoolDirectory.create(tmp_path / "spool", format="binary")
-    for name, count in sizes.items():
-        ref = AttributeRef("t", name)
-        spool.add_values(ref, [f"{name}-{i:06d}" for i in range(count)])
-    spool.save_index()
-    return spool
+from seeded_dbs import spool_with as _spool_with
 
 
 def _cand(dep: str, ref: str) -> Candidate:

@@ -1,0 +1,368 @@
+"""Randomized stress-agreement harness for the overlapped (barrier-free) pipeline.
+
+The tentpole contract: ``DiscoveryConfig(overlap=True)`` plans export,
+sampling pretest and validation as **one dependency-scheduled task graph**
+on a single worker pool — and everything except wall clock must be
+byte-identical to the barriered pipeline.  Two layers of defence:
+
+* a fixed small matrix (workers {1, 2, 4} × both spool formats × both
+  fixed engines) against the plain *sequential* pipeline — the paper's
+  reference semantics;
+* a seeded random sweep: each seed derives a database **and** a config
+  vector (workers, spool format, strategy incl. adaptive, sampling size,
+  ``reuse_spool``, ``range_split``), runs the same vector barriered and
+  overlapped, and diffs the full ``to_dict()`` view.  The seed is printed
+  on failure so any counterexample replays with
+  ``pytest -k <seed> tests/parallel/test_overlap_stress.py``.
+
+Plus the fault matrix: a worker killed while export, pretest and
+validation tasks are simultaneously in flight must requeue and converge
+byte-exactly with no orphan trace spans; a crash-looping graph task must
+fail loudly (never wedge the held dependents) and leave the pool usable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from seeded_dbs import build_db, build_random_db
+from test_validator_agreement import _assert_well_formed_trace
+
+from repro.core.candidates import PretestConfig
+from repro.core.runner import DiscoveryConfig, discover_inds
+from repro.errors import DiscoveryError
+from repro.obs.trace import coverage
+from repro.parallel.pool import WorkerPool
+
+#: Fixed seed list: CI replays exactly these, failures print the seed.
+STRESS_SEEDS = tuple(range(10))
+
+WORKER_COUNTS = (1, 2, 4)
+SPOOL_FORMATS = ("text", "binary")
+
+
+def _stress_view(result_dict: dict) -> dict:
+    """``to_dict()`` minus scheduling noise — what must match byte-for-byte.
+
+    Popped (and nothing else): wall-clock ``timings``, per-job ``pool``
+    counters, the additive ``trace`` and ``overlap`` documents, the
+    worker count echoed from the config, the engine's ``extra``/
+    ``elapsed_seconds``/``peak_open_files`` diagnostics, and the measured
+    halves of ``engine_choice``.  Decisions, satisfied sets, pretest and
+    sampling reductions, export counters, summed I/O and the routed
+    engine name all stay in.
+    """
+    view = json.loads(json.dumps(result_dict))
+    view.pop("timings")
+    view.pop("pool")
+    view.pop("trace", None)
+    view.pop("overlap")
+    view.pop("validation_workers")
+    view["validator"].pop("elapsed_seconds")
+    view["validator"].pop("extra")
+    view["validator"].pop("peak_open_files")
+    if view.get("engine_choice"):
+        view["engine_choice"].pop("routing_seconds", None)
+        view["engine_choice"].pop("actual_seconds", None)
+    return view
+
+
+def _config_vector(seed: int) -> dict:
+    """Derive a full config vector (plus db seed) from one stress seed."""
+    rng = random.Random(seed ^ 0xA5A5)
+    strategy = rng.choice(("brute-force", "merge-single-pass", "adaptive"))
+    workers = rng.choice(WORKER_COUNTS)
+    range_split = 0
+    if (
+        strategy == "merge-single-pass"
+        and workers > 1
+        and rng.random() < 0.4
+    ):
+        range_split = 2
+    return {
+        "db_seed": rng.randrange(1000),
+        "strategy": strategy,
+        "workers": workers,
+        "spool_format": rng.choice(SPOOL_FORMATS),
+        "sampling": rng.choice((0, 2, 3)),
+        "reuse_spool": rng.random() < 0.3,
+        "range_split": range_split,
+    }
+
+
+def _discovery_config(vector: dict, *, overlap: bool, cache_dir) -> DiscoveryConfig:
+    """The barriered twin differs from the overlapped one ONLY in scheduling.
+
+    The baseline keeps every phase on the pool (``parallel_export`` /
+    ``parallel_pretest``) so owned-pool handling, cache-hit bookkeeping and
+    task-kind coverage are identical on both sides — barriers in, barriers
+    out is the *only* delta under test.  ``cache_dir`` is always a fresh
+    per-side directory: the two runs must not share spool-cache entries or
+    calibration state through the user-level default cache.
+    """
+    return DiscoveryConfig(
+        strategy=vector["strategy"],
+        spool_format=vector["spool_format"],
+        spool_block_size=3,
+        sampling_size=vector["sampling"],
+        pretests=PretestConfig(cardinality=True, max_value=False),
+        validation_workers=vector["workers"],
+        range_split=vector["range_split"],
+        reuse_spool=vector["reuse_spool"],
+        cache_dir=str(cache_dir),
+        overlap=overlap,
+        parallel_export=not overlap,
+        parallel_pretest=not overlap and vector["sampling"] > 0,
+    )
+
+
+class TestOverlapMatrix:
+    """Fixed matrix vs the *sequential* pipeline: the paper's semantics."""
+
+    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("strategy", ("brute-force", "merge-single-pass"))
+    def test_overlap_equals_sequential_across_worker_counts(
+        self, strategy, spool_format
+    ):
+        db = build_random_db(5)
+        sequential = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy=strategy,
+                spool_format=spool_format,
+                spool_block_size=3,
+                sampling_size=2,
+                pretests=PretestConfig(cardinality=True, max_value=False),
+            ),
+        )
+        assert sequential.sampling_refuted > 0, (
+            "seed must exercise the pretest for the matrix to mean anything"
+        )
+        assert sequential.overlap is None
+        expected = _stress_view(sequential.to_dict())
+        for workers in WORKER_COUNTS:
+            overlapped = discover_inds(
+                db,
+                DiscoveryConfig(
+                    strategy=strategy,
+                    spool_format=spool_format,
+                    spool_block_size=3,
+                    sampling_size=2,
+                    pretests=PretestConfig(
+                        cardinality=True, max_value=False
+                    ),
+                    validation_workers=workers,
+                    overlap=True,
+                ),
+            )
+            assert _stress_view(overlapped.to_dict()) == expected, (
+                f"overlapped pipeline diverges from sequential at "
+                f"{workers} workers ({strategy}, {spool_format} spools)"
+            )
+            doc = overlapped.overlap
+            assert doc is not None and doc["mode"] == "full"
+            assert doc["nodes"] == sum(doc["tasks_by_phase"].values())
+            assert doc["tasks_by_phase"]["validate"] >= 1
+            # Pretest verdicts gated validation dynamically: with refuted
+            # candidates present, either whole chunks were cancelled or
+            # their specs were rewritten — never validated and discarded.
+            refuted = overlapped.sampling_refuted
+            tested = overlapped.validator_stats.candidates_tested
+            assert tested == sequential.validator_stats.candidates_tested
+            assert refuted == sequential.sampling_refuted
+
+
+class TestOverlapStressAgreement:
+    """Seeded random config vectors: barriered vs overlapped, byte-exact."""
+
+    @pytest.mark.parametrize("seed", STRESS_SEEDS)
+    def test_random_vector_agrees(self, seed, tmp_path):
+        vector = _config_vector(seed)
+        db = build_random_db(vector["db_seed"])
+        rounds = 2 if vector["reuse_spool"] else 1  # cold miss, then warm hit
+        for round_index in range(rounds):
+            barriered = discover_inds(
+                db,
+                _discovery_config(
+                    vector, overlap=False, cache_dir=tmp_path / "cache-a"
+                ),
+            )
+            overlapped = discover_inds(
+                db,
+                _discovery_config(
+                    vector, overlap=True, cache_dir=tmp_path / "cache-b"
+                ),
+            )
+            context = (
+                f"stress seed {seed} round {round_index} diverged — replay "
+                f"with this vector: {vector!r}"
+            )
+            assert (
+                _stress_view(overlapped.to_dict())
+                == _stress_view(barriered.to_dict())
+            ), context
+            expect_hit = vector["reuse_spool"] and round_index == 1
+            assert barriered.spool_cache_hit is expect_hit, context
+            assert overlapped.spool_cache_hit is expect_hit, context
+            assert barriered.overlap is None, context
+            doc = overlapped.overlap
+            assert doc is not None, context
+            full = (
+                vector["strategy"] in ("brute-force", "merge-single-pass")
+                and vector["range_split"] == 0
+            )
+            assert doc["mode"] == ("full" if full else "staged"), context
+            if expect_hit:
+                assert doc["tasks_by_phase"]["export"] == 0, context
+
+    def test_traced_overlap_is_well_formed_and_covered(self):
+        """Spans released while other phases run still adopt cleanly."""
+        db = build_random_db(0)
+        result = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy="merge-single-pass",
+                sampling_size=2,
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=4,
+                overlap=True,
+                trace=True,
+            ),
+        )
+        _assert_well_formed_trace(result.trace)
+        covered = coverage(result.trace)
+        assert covered >= 0.9, f"overlapped trace covers only {covered:.1%}"
+        # Tracing is observationally free here too.
+        untraced = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy="merge-single-pass",
+                sampling_size=2,
+                pretests=PretestConfig(cardinality=True, max_value=False),
+                validation_workers=4,
+                overlap=True,
+            ),
+        )
+        assert _stress_view(result.to_dict()) == _stress_view(
+            untraced.to_dict()
+        )
+
+
+def _fault_config(**overrides) -> DiscoveryConfig:
+    defaults = dict(
+        strategy="brute-force",
+        spool_format="binary",
+        spool_block_size=4,
+        pretests=PretestConfig(cardinality=True, max_value=False),
+        validation_workers=2,
+        overlap=True,
+    )
+    defaults.update(overrides)
+    return DiscoveryConfig(**defaults)
+
+
+class TestOverlapFaults:
+    """Worker death with the whole graph in flight: converge or fail loudly."""
+
+    def test_worker_death_mid_export_with_held_dependents(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill during export while pretest + validation nodes are held.
+
+        ``t0.c0`` sits in an export unit, in pretest chunks and in
+        validation chunks, so the one-shot fault fires on the first task
+        that touches it — with every downstream node still waiting on
+        dependency edges.  The requeued task must complete on the
+        replacement worker and the drained graph must match the sequential
+        pipeline byte-for-byte, with no orphan trace spans.
+        """
+        db = build_db()
+        expected = _stress_view(
+            discover_inds(
+                db, _fault_config(overlap=False, sampling_size=2)
+            ).to_dict()
+        )
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
+        monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
+        with WorkerPool(2) as pool:
+            result = discover_inds(
+                db, _fault_config(sampling_size=2, trace=True), pool=pool
+            )
+            assert pool.stats.tasks_requeued >= 1
+            assert pool.stats.workers_replaced >= 1
+        assert _stress_view(result.to_dict()) == expected
+        _assert_well_formed_trace(result.trace)
+        # Done-dedup: exactly one span per graph node survives the requeue.
+        task_spans = [
+            s for s in result.trace["spans"] if s["name"].startswith("task:")
+        ]
+        assert len(task_spans) == result.overlap["nodes"] - result.overlap[
+            "cancelled"
+        ]
+
+    def test_worker_death_mid_pretest_with_validation_held(
+        self, tmp_path, monkeypatch
+    ):
+        """Warm spool cache first, so the graph starts at the pretest layer."""
+        db = build_db()
+        cache = tmp_path / "cache"
+        warm = _fault_config(
+            sampling_size=2, reuse_spool=True, cache_dir=str(cache)
+        )
+        discover_inds(db, warm)  # cold run populates the cache
+        expected = _stress_view(discover_inds(db, warm).to_dict())  # warm twin
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
+        monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
+        with WorkerPool(2) as pool:
+            result = discover_inds(db, warm, pool=pool)
+            assert pool.stats.tasks_requeued >= 1
+        assert result.spool_cache_hit is True
+        assert result.overlap["tasks_by_phase"]["export"] == 0
+        assert _stress_view(result.to_dict()) == expected
+
+    def test_worker_death_mid_validation(self, tmp_path, monkeypatch):
+        """Sampling off + cache hit: the graph is pure validation nodes."""
+        db = build_db()
+        cache = tmp_path / "cache"
+        warm = _fault_config(reuse_spool=True, cache_dir=str(cache))
+        discover_inds(db, warm)  # cold run populates the cache
+        expected = _stress_view(discover_inds(db, warm).to_dict())  # warm twin
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
+        monkeypatch.setenv("REPRO_POOL_FAULT_ONCE_DIR", str(tmp_path))
+        with WorkerPool(2) as pool:
+            result = discover_inds(db, warm, pool=pool)
+            assert pool.stats.tasks_requeued >= 1
+        assert result.overlap["tasks_by_phase"] == {
+            "export": 0,
+            "pretest": 0,
+            "validate": result.overlap["nodes"],
+        }
+        assert _stress_view(result.to_dict()) == expected
+
+    def test_crash_looping_graph_task_fails_loudly_not_wedged(
+        self, monkeypatch
+    ):
+        """No ONCE marker: every worker that picks the task dies.
+
+        The requeue cap must fail the *job* with the established error —
+        promptly, leaving neither the held dependent nodes nor the pool
+        wedged: a clean run on the same fleet right after must succeed.
+        """
+        db = build_db()
+        clean = _stress_view(
+            discover_inds(db, _fault_config(sampling_size=2)).to_dict()
+        )
+        monkeypatch.setenv("REPRO_POOL_FAULT_ATTR", "t0.c0")
+        with WorkerPool(2) as pool:
+            with pytest.raises(DiscoveryError, match="killed its worker"):
+                discover_inds(
+                    db, _fault_config(sampling_size=2), pool=pool
+                )
+            monkeypatch.delenv("REPRO_POOL_FAULT_ATTR")
+            result = discover_inds(
+                db, _fault_config(sampling_size=2), pool=pool
+            )
+        assert _stress_view(result.to_dict()) == clean

@@ -36,33 +36,7 @@ from repro.storage.exporter import export_database
 from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
 
 
-def build_db(seed: int = 0) -> Database:
-    """Two tables with overlapping integer ranges: INDs in both directions."""
-    db = Database(f"pipeline{seed}")
-    t0 = db.create_table(
-        TableSchema(
-            "t0",
-            [
-                Column("id", DataType.INTEGER, unique=True),
-                Column("c0", DataType.INTEGER),
-                Column("c1", DataType.VARCHAR),
-            ],
-        )
-    )
-    t1 = db.create_table(
-        TableSchema(
-            "t1",
-            [
-                Column("id", DataType.INTEGER, unique=True),
-                Column("c0", DataType.INTEGER),
-            ],
-        )
-    )
-    for row in range(20):
-        t0.insert({"id": row, "c0": (row * 7 + seed) % 12, "c1": f"v{row % 5}"})
-    for row in range(12):
-        t1.insert({"id": row + 3, "c0": row % 12})
-    return db
+from seeded_dbs import build_db
 
 
 def _candidates(db: Database) -> list[Candidate]:

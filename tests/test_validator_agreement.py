@@ -17,7 +17,6 @@ with the full ``discover_inds`` pipeline including parallel export.
 from __future__ import annotations
 
 import json
-import random
 
 import pytest
 
@@ -35,56 +34,14 @@ from repro.core.sql_approaches import (
     SqlMinusValidator,
     SqlNotInValidator,
 )
-from repro.db import Column, Database, DataType, TableSchema
+from repro.db import Database
 from repro.db.stats import collect_column_stats
 from repro.storage.exporter import export_database
 
+from seeded_dbs import build_random_db
+
 SPOOL_FORMATS = ("text", "binary")
 SEEDS = tuple(range(10))
-
-# Small value pools force collisions across columns (satisfied INDs) while
-# awkward strings exercise the codecs; integers collide with their rendered
-# string forms (the paper's TO_CHAR semantics).
-_STRING_POOL = [
-    "a", "b", "ab", "0", "1", "7", "42",
-    "x\ny", "back\\slash", "nul\x00byte", "tab\tchar", "",
-]
-
-
-def build_random_db(seed: int) -> Database:
-    """A deterministic random database of 1-3 tables with messy values.
-
-    Every table gets an id-like first column (unique, drawn from overlapping
-    integer ranges so inter-table INDs arise) plus random payload columns, so
-    the unique-ref candidate generator always has work to do.
-    """
-    rng = random.Random(seed)
-    db = Database(f"agree{seed}")
-    for t in range(rng.randint(1, 3)):
-        columns = [Column("id", DataType.INTEGER, unique=True)]
-        columns += [
-            Column(
-                f"c{i}",
-                rng.choice([DataType.INTEGER, DataType.VARCHAR]),
-            )
-            for i in range(rng.randint(1, 3))
-        ]
-        table = db.create_table(TableSchema(f"t{t}", columns))
-        offset = rng.choice([0, 0, 3, 10])
-        for row_index in range(rng.randint(1, 30)):
-            row = {"id": offset + row_index}
-            for col in columns[1:]:
-                roll = rng.random()
-                if roll < 0.15:
-                    row[col.name] = None
-                elif col.dtype is DataType.INTEGER:
-                    # Overlaps the id ranges: integer payloads are often
-                    # included in some table's id column, and vice versa.
-                    row[col.name] = rng.randint(0, 12)
-                else:
-                    row[col.name] = rng.choice(_STRING_POOL)
-            table.insert(row)
-    return db
 
 
 def _candidates(db: Database):
