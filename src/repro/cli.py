@@ -10,6 +10,8 @@ Subcommands:
   concurrently), id-tagged results as JSON lines on stdout, clean drain on
   SIGINT/SIGTERM;
 * ``cache``    — list or evict entries of the content-addressed spool cache;
+* ``spool``    — inspect an on-disk spool directory: format version,
+  compression ratio, per-attribute block counts and value coverage;
 * ``calibrate`` — micro-bench this machine's per-item validation costs and
   pool overheads, persisting the profile next to the spool cache for the
   adaptive engine router;
@@ -69,6 +71,23 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         default="binary",
         help="value-file layout: v1 newline-delimited text or v2 binary "
         "blocks (default: binary)",
+    )
+    parser.add_argument(
+        "--spool-compression",
+        choices=("none", "zlib"),
+        default="none",
+        help="per-block payload compression; 'zlib' writes v3 frames and "
+        "needs --spool-format binary (default: none — v2 frames, "
+        "byte-identical to older builds)",
+    )
+    parser.add_argument(
+        "--mmap-reads",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="serve binary block reads from a shared memory mapping instead "
+        "of per-cursor file handles; 'auto' turns it on exactly when "
+        "--spool-format is binary, 'on' insists (and rejects text spools), "
+        "'off' keeps buffered file reads (default: auto)",
     )
     parser.add_argument(
         "--export-workers",
@@ -140,10 +159,12 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--skip-scans",
         action="store_true",
-        help="let brute-force seek past spool blocks below the sought value; "
-        "needs --spool-format binary (a no-op on text spools) and only the "
-        "brute-force strategy accepts it (default: off, matching the "
-        "paper's Figure 5 I/O accounting)",
+        help="skip whole spool blocks the validator can prove irrelevant: "
+        "brute-force seeks past blocks below the sought value, and the "
+        "merge engine seeks purely-referenced attributes to the dependent "
+        "frontier; needs --spool-format binary (a no-op on text spools) "
+        "and the brute-force, merge-single-pass or adaptive strategies "
+        "(default: off, matching the paper's Figure 5 I/O accounting)",
     )
     parser.add_argument(
         "--reuse-spool",
@@ -190,6 +211,10 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
     return {
         "strategy": args.strategy,
         "spool_format": args.spool_format,
+        "spool_compression": args.spool_compression,
+        "mmap_reads": {"auto": "auto", "on": True, "off": False}[
+            args.mmap_reads
+        ],
         "export_workers": args.export_workers,
         "sampling_size": args.sampling_size,
         "parallel_export": args.parallel_export,
@@ -341,6 +366,26 @@ def build_parser() -> argparse.ArgumentParser:
         "only when no export is in flight",
     )
 
+    spool_cmd = sub.add_parser(
+        "spool", help="inspect on-disk spool directories"
+    )
+    spool_sub = spool_cmd.add_subparsers(dest="spool_command", required=True)
+    spool_inspect = spool_sub.add_parser(
+        "inspect",
+        help="describe one spool directory: format version, compression, "
+        "per-attribute block counts and value coverage",
+        description="Open PATH (a directory with an index.json, e.g. one "
+        "kept via --spool-dir/--keep-spool or a cache entry printed by "
+        "'cache list') without touching any value payloads, and print its "
+        "frame version (v1 text, v2 binary, v3 compressed binary), block "
+        "size, per-attribute value/block counts with min..max coverage, "
+        "and — for compressed spools — the raw vs stored payload bytes "
+        "and overall compression ratio.",
+    )
+    spool_inspect.add_argument(
+        "path", help="spool directory (contains index.json)"
+    )
+
     calib = sub.add_parser(
         "calibrate",
         help="micro-bench per-item costs and pool overheads for the "
@@ -460,6 +505,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "spool":
+        return _cmd_spool(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "accession":
@@ -753,6 +800,8 @@ def _serve_one(session: DiscoverySession, request: dict) -> dict:
         "spool_cache_hit": result.spool_cache_hit,
         "export_skipped": result.export_skipped,
         "validation_workers": result.validation_workers,
+        "bytes_read": result.validator_stats.bytes_read,
+        "bytes_stored": result.validator_stats.bytes_stored,
         "engine_choice": result.engine_choice,
         "pool": result.pool_stats,
         "seconds": round(time.monotonic() - started, 6),
@@ -792,12 +841,13 @@ def _cmd_cache_list(cache: SpoolCache) -> int:
         print(f"spool cache at {cache.root} is empty")
         return 0
     if entries:
-        print(f"{'fingerprint':34} {'format':10} {'block':>6} {'attrs':>6} "
-              f"{'bytes':>12} last-hit")
+        print(f"{'fingerprint':34} {'format':10} {'comp':6} {'block':>6} "
+              f"{'attrs':>6} {'bytes':>12} last-hit")
         for info in entries:
             block = str(info.block_size) if info.block_size is not None else "-"
             print(
                 f"{info.fingerprint_prefix:34} {info.spool_format:10} "
+                f"{info.compression:6} "
                 f"{block:>6} {info.attribute_count:>6} {info.size_bytes:>12,} "
                 + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
             )
@@ -841,6 +891,80 @@ def _cmd_cache_evict(cache: SpoolCache, args: argparse.Namespace) -> int:
         f"evicted {len(evicted)} entries; "
         f"{format_count(cache.total_bytes())} bytes remain"
     )
+    return 0
+
+
+def _cmd_spool(args: argparse.Namespace) -> int:
+    """``repro-ind spool inspect`` — describe an on-disk spool directory."""
+    if args.spool_command == "inspect":
+        return _cmd_spool_inspect(args)
+    raise AssertionError(f"unhandled spool command {args.spool_command}")
+
+
+def _spool_frame_version(format: str, compression: str) -> int:
+    """The value-file frame version a spool's files carry."""
+    from repro.storage.codec import COMPRESSION_NONE
+    from repro.storage.sorted_sets import FORMAT_BINARY
+
+    if format != FORMAT_BINARY:
+        return 1
+    return 2 if compression == COMPRESSION_NONE else 3
+
+
+def _clip(value: str | None, width: int = 16) -> str:
+    """A value shortened for the coverage column, with an ellipsis marker."""
+    if value is None:
+        return "-"
+    return value if len(value) <= width else value[: width - 1] + "…"
+
+
+def _cmd_spool_inspect(args: argparse.Namespace) -> int:
+    """Print format version, per-attribute blocks and compression ratio.
+
+    Reads only the index document — value payloads are never touched, so
+    inspecting a multi-gigabyte spool costs one JSON parse.
+    """
+    from repro.storage.sorted_sets import SpoolDirectory
+
+    spool = SpoolDirectory.open(args.path)
+    attributes = sorted(spool.attributes())
+    version = _spool_frame_version(spool.format, spool.compression)
+    print(
+        f"spool at {spool.root}: frame v{version} ({spool.format}), "
+        f"compression {spool.compression}, block size {spool.block_size}, "
+        f"{len(attributes)} attributes, "
+        f"{format_count(spool.total_values())} values"
+    )
+    if not attributes:
+        return 0
+    print(
+        f"{'attribute':36} {'values':>9} {'blocks':>7} {'raw':>12} "
+        f"{'stored':>12} coverage"
+    )
+    total_raw = total_stored = 0
+    for ref in attributes:
+        svf = spool.get(ref)
+        raw = sum(block.raw_bytes for block in svf.blocks)
+        stored = sum(block.stored_bytes for block in svf.blocks)
+        total_raw += raw
+        total_stored += stored
+        coverage = (
+            f"{_clip(svf.min_value)} .. {_clip(svf.max_value)}"
+            if svf.count
+            else "(empty)"
+        )
+        blocks = str(len(svf.blocks)) if svf.blocks else "-"
+        print(
+            f"{ref.qualified:36} {svf.count:>9} {blocks:>7} "
+            f"{raw if raw else '-':>12} {stored if stored else '-':>12} "
+            f"{coverage}"
+        )
+    if total_stored:
+        ratio = total_raw / total_stored
+        print(
+            f"compression: {total_raw:,} raw -> {total_stored:,} stored "
+            f"payload bytes ({ratio:.2f}x)"
+        )
     return 0
 
 

@@ -32,7 +32,7 @@ from repro.core.candidates import Candidate
 from repro.core.stats import DecisionCollector, ValidationResult
 from repro.db.schema import AttributeRef
 from repro.errors import ValidatorError
-from repro.storage.cursors import BatchReader, IOStats
+from repro.storage.cursors import DEFAULT_BATCH_SIZE, BatchReader, IOStats
 from repro.storage.sorted_sets import SpoolDirectory
 
 
@@ -41,9 +41,11 @@ class _AttributeCursor:
 
     __slots__ = ("ref", "reader", "live_refs", "ref_usage", "closed")
 
-    def __init__(self, ref: AttributeRef, cursor) -> None:
+    def __init__(
+        self, ref: AttributeRef, cursor, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
         self.ref = ref
-        self.reader = BatchReader(cursor)
+        self.reader = BatchReader(cursor, batch_size=batch_size)
         # Ids of surviving referenced attributes of this dependent side.
         self.live_refs: set[int] = set()
         # Number of undecided candidates where this attribute is referenced.
@@ -61,12 +63,32 @@ class _AttributeCursor:
 
 
 class MergeSinglePassValidator:
-    """All candidates in one synchronisation-free pass over every file."""
+    """All candidates in one synchronisation-free pass over every file.
+
+    ``skip_scan=True`` enables the merge-side frontier skip: a *purely
+    referenced* attribute (one that is no candidate's dependent side) only
+    matters where some dependent still holding it could match, and every such
+    dependent's future values are at or above its current heap value.  Before
+    refilling a purely referenced cursor, the validator therefore seeks it
+    past whole on-disk blocks whose recorded ``max`` is below the minimum
+    current value of its live dependents (the *frontier*).  Decisions,
+    ``satisfied`` and ``comparisons`` are unchanged — skipped values could
+    only ever have formed matchless singleton groups — but ``items_read``
+    legitimately drops (skipped values are tallied as ``blocks_skipped`` /
+    ``values_skipped`` instead), which is why the flag defaults off.
+    """
 
     name = "merge-single-pass"
 
-    def __init__(self, spool: SpoolDirectory) -> None:
+    def __init__(
+        self,
+        spool: SpoolDirectory,
+        skip_scan: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
         self._spool = spool
+        self._skip_scan = bool(skip_scan)
+        self._batch_size = batch_size
 
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
         collector = DecisionCollector(candidates, self.name)
@@ -95,43 +117,58 @@ class MergeSinglePassValidator:
         order = sorted(involved)
         index = {ref: aid for aid, ref in enumerate(order)}
         states = [
-            _AttributeCursor(ref, self._spool.open_cursor(ref, io))
+            _AttributeCursor(
+                ref, self._spool.open_cursor(ref, io), self._batch_size
+            )
             for ref in order
         ]
+        # holders[rid] = dependent ids still holding rid in live_refs; the
+        # reverse of live_refs, kept in sync at every mutation so the frontier
+        # of a referenced attribute is one min() over its live dependents.
+        holders: list[set[int]] = [set() for _ in states]
         for candidate in collector.candidates:
-            states[index[candidate.dependent]].live_refs.add(
-                index[candidate.referenced]
-            )
-            states[index[candidate.referenced]].ref_usage += 1
+            dep = index[candidate.dependent]
+            rid = index[candidate.referenced]
+            states[dep].live_refs.add(rid)
+            states[rid].ref_usage += 1
+            holders[rid].add(dep)
 
         # Decide empty-dependent candidates up front (vacuously satisfied),
         # exactly as the observer implementation does.
-        for state in states:
+        for aid, state in enumerate(states):
             if state.live_refs and not state.reader.has_more():
                 for rid in sorted(state.live_refs):
                     collector.record(
                         Candidate(state.ref, states[rid].ref), True, vacuous=True
                     )
                     states[rid].ref_usage -= 1
+                    holders[rid].discard(aid)
                 state.live_refs.clear()
         for state in states:
             if not state.is_needed:
                 state.close()
 
-        # Seed the heap with each needed attribute's first value.
+        # Seed the heap with each needed attribute's first value.  current[]
+        # mirrors the value each live attribute last pushed — a dependent's
+        # future values are always >= its current entry, which is what makes
+        # the frontier a sound skip bound.
         heap: list[tuple[str, int]] = []
+        current: list[str] = [""] * len(states)
         for aid, state in enumerate(states):
             if state.closed:
                 continue
             if state.reader.has_more():
-                heapq.heappush(heap, (state.reader.next(), aid))
+                first = state.reader.next()
+                current[aid] = first
+                heapq.heappush(heap, (first, aid))
             else:
                 # Empty attribute that is only referenced: every dependent
                 # with a value will drop it at its first merge step; an empty
                 # referenced set can also be decided immediately.
-                self._refute_all_into(aid, states, collector)
+                self._refute_all_into(aid, states, holders, collector)
                 state.close()
 
+        skip = self._skip_scan
         group: list[int] = []
         while heap:
             value, aid = heapq.heappop(heap)
@@ -139,16 +176,26 @@ class MergeSinglePassValidator:
             group.append(aid)
             while heap and heap[0][0] == value:
                 group.append(heapq.heappop(heap)[1])
-            self._process_group(group, states, collector)
+            self._process_group(group, states, holders, collector)
             for member in group:
                 state = states[member]
                 if state.closed or not state.is_needed:
                     state.close()
                     continue
+                if skip and not state.live_refs and holders[member]:
+                    # Purely referenced here: seek past whole blocks no live
+                    # dependent can reach any more.  Conservative by design —
+                    # a dependent in this very group may still show its old
+                    # (= this group's) value, which only lowers the frontier.
+                    frontier = min(current[dep] for dep in holders[member])
+                    if frontier > value:
+                        state.reader.skip_below(frontier)
                 if state.reader.has_more():
-                    heapq.heappush(heap, (state.reader.next(), member))
+                    nxt = state.reader.next()
+                    current[member] = nxt
+                    heapq.heappush(heap, (nxt, member))
                 else:
-                    self._exhaust(state, states, collector)
+                    self._exhaust(state, member, states, holders, collector)
 
         undecided = collector.undecided
         if undecided:
@@ -163,6 +210,7 @@ class MergeSinglePassValidator:
         self,
         group: list[int],
         states: list[_AttributeCursor],
+        holders: list[set[int]],
         collector: DecisionCollector,
     ) -> None:
         """Intersect every dependent's surviving references with the group."""
@@ -175,18 +223,22 @@ class MergeSinglePassValidator:
             dropped = state.live_refs - present
             for rid in sorted(dropped):
                 state.live_refs.discard(rid)
+                holders[rid].discard(member)
                 collector.record(Candidate(state.ref, states[rid].ref), False)
                 self._release_ref(states[rid])
 
     def _exhaust(
         self,
         state: _AttributeCursor,
+        aid: int,
         states: list[_AttributeCursor],
+        holders: list[set[int]],
         collector: DecisionCollector,
     ) -> None:
         """A dependent ran out of values: its surviving candidates hold."""
         for rid in sorted(state.live_refs):
             collector.record(Candidate(state.ref, states[rid].ref), True)
+            holders[rid].discard(aid)
             self._release_ref(states[rid])
         state.live_refs.clear()
         if not state.is_needed:
@@ -202,13 +254,15 @@ class MergeSinglePassValidator:
         self,
         empty_rid: int,
         states: list[_AttributeCursor],
+        holders: list[set[int]],
         collector: DecisionCollector,
     ) -> None:
         """An empty referenced attribute refutes all non-vacuous candidates."""
         empty_state = states[empty_rid]
-        for state in states:
+        for aid, state in enumerate(states):
             if empty_rid in state.live_refs:
                 state.live_refs.discard(empty_rid)
+                holders[empty_rid].discard(aid)
                 collector.record(
                     Candidate(state.ref, empty_state.ref), False
                 )

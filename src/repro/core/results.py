@@ -123,6 +123,8 @@ class DiscoveryResult:
                 "peak_open_files": self.validator_stats.peak_open_files,
                 "blocks_skipped": self.validator_stats.blocks_skipped,
                 "values_skipped": self.validator_stats.values_skipped,
+                "bytes_read": self.validator_stats.bytes_read,
+                "bytes_stored": self.validator_stats.bytes_stored,
                 "sql_rows_scanned": self.validator_stats.sql_rows_scanned,
                 "sql_statements": self.validator_stats.sql_statements,
                 "elapsed_seconds": self.validator_stats.elapsed_seconds,

@@ -62,6 +62,7 @@ from repro.errors import DiscoveryError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import Tracer, maybe_span
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
+from repro.storage.codec import COMPRESSION_NONE, SPOOL_COMPRESSIONS
 from repro.storage.cursors import IOStats
 from repro.storage.exporter import ExportStats, export_database
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
@@ -137,10 +138,11 @@ class DiscoveryConfig:
       pooled — valid only with the strategies in
       :data:`ADAPTIVE_BASE_STRATEGIES`), ``validation_workers`` (worker
       processes for the strategies in :data:`PARALLEL_STRATEGIES`;
-      1 = sequential), ``skip_scans`` (per-block skip-scans, brute-force
-      on v2 spools — including ``adaptive=True`` routing pinned to
-      brute-force, but not ``strategy="adaptive"``, which may route to
-      merge), ``range_split`` (byte-range split of merge validation; 0 =
+      1 = sequential), ``skip_scans`` (per-block skip-scans on v2/v3
+      spools: brute-force seeks past blocks below its probe, and the
+      merge engines seek purely referenced cursors past blocks below the
+      dependent frontier — decisions stay exact, ``items_read`` may
+      legitimately drop), ``range_split`` (byte-range split of merge validation; 0 =
       off, and the adaptive router engages it automatically for
       one-component merge graphs), ``max_open_files``/
       ``blockwise_engine`` (blockwise strategy), ``sql_null_safe`` (SQL
@@ -171,6 +173,8 @@ class DiscoveryConfig:
     keep_spool: bool = False
     spool_format: str = FORMAT_BINARY  # "binary" (v2 blocks) or "text" (v1)
     spool_block_size: int = DEFAULT_BLOCK_SIZE  # values per v2 block
+    spool_compression: str = COMPRESSION_NONE  # "zlib" writes v3 frames
+    mmap_reads: bool | str = "auto"  # mmap-backed block cursors (binary only)
     export_workers: int = 1  # thread-parallel attribute spooling
     parallel_export: bool = False  # export as spool-export pool tasks
     parallel_pretest: bool = False  # sampling pretest as pool tasks
@@ -178,7 +182,7 @@ class DiscoveryConfig:
     validation_workers: int = 1  # worker processes (brute-force / merge-s-p)
     adaptive: bool = False  # cost-model routing pinned to this strategy
     range_split: int = 0  # byte-range merge split (0 = off; needs workers > 1)
-    skip_scans: bool = False  # per-block skip-scans (brute-force, v2 spools)
+    skip_scans: bool = False  # per-block skip-scans (brute-force + merge)
     reuse_spool: bool = False  # content-addressed spool cache across runs
     cache_dir: str | None = None  # spool cache root (default: user cache dir)
     cache_max_bytes: int | None = None  # LRU size budget for the spool cache
@@ -187,6 +191,17 @@ class DiscoveryConfig:
     blockwise_engine: str = "merge"
     sql_null_safe: bool = True
     trace: bool = False  # record a span tree on DiscoveryResult.trace
+
+    @property
+    def resolved_mmap_reads(self) -> bool:
+        """The mmap decision as a plain bool: ``"auto"`` means binary-only.
+
+        Text spools have no block framing to map, so auto resolves to
+        ``True`` exactly when the run spools the binary format.
+        """
+        if self.mmap_reads == "auto":
+            return self.spool_format == FORMAT_BINARY
+        return bool(self.mmap_reads)
 
     @property
     def is_adaptive(self) -> bool:
@@ -261,6 +276,30 @@ class DiscoveryConfig:
             )
         if self.spool_block_size < 1:
             raise DiscoveryError("spool_block_size must be >= 1")
+        if self.spool_compression not in SPOOL_COMPRESSIONS:
+            raise DiscoveryError(
+                f"unknown spool compression {self.spool_compression!r}; "
+                f"choose from {sorted(SPOOL_COMPRESSIONS)}"
+            )
+        if (
+            self.spool_compression != COMPRESSION_NONE
+            and self.spool_format != FORMAT_BINARY
+        ):
+            raise DiscoveryError(
+                "spool compression requires the binary spool format; "
+                f"the {self.spool_format!r} format has no block frames"
+            )
+        if self.mmap_reads not in (True, False, "auto"):
+            raise DiscoveryError(
+                f"mmap_reads must be True, False or 'auto', got "
+                f"{self.mmap_reads!r}"
+            )
+        if self.mmap_reads is True and self.spool_format != FORMAT_BINARY:
+            raise DiscoveryError(
+                "mmap_reads maps binary block files; the "
+                f"{self.spool_format!r} format has none (use 'auto' to let "
+                "the format decide)"
+            )
         if self.export_workers < 1:
             raise DiscoveryError("export_workers must be >= 1")
         if self.validation_workers < 1:
@@ -302,11 +341,15 @@ class DiscoveryConfig:
                 "validation chunks complete in scheduling order, so the "
                 "two cannot combine"
             )
-        if self.skip_scans and self.strategy != "brute-force":
+        if self.skip_scans and self.strategy not in (
+            "brute-force",
+            "merge-single-pass",
+            ADAPTIVE_STRATEGY,
+        ):
             raise DiscoveryError(
-                "skip-scans only apply to the brute-force strategy "
-                "(strategy='adaptive' may route to merge; pin "
-                "strategy='brute-force' with adaptive=True to keep both)"
+                "skip-scans only apply to the brute-force and "
+                "merge-single-pass strategies (or adaptive routing across "
+                f"them), not {self.strategy!r}"
             )
         if self.reuse_spool and self.strategy not in EXTERNAL_STRATEGIES:
             raise DiscoveryError(
@@ -645,6 +688,8 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
             max_items_in_memory=cfg.max_items_in_memory,
             spool_format=cfg.spool_format,
             block_size=cfg.spool_block_size,
+            compression=cfg.spool_compression,
+            mmap_reads=cfg.resolved_mmap_reads,
         )
     spool, export_stats = export_database(
         db,
@@ -654,6 +699,8 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
         spool_format=cfg.spool_format,
         block_size=cfg.spool_block_size,
         workers=cfg.export_workers,
+        compression=cfg.spool_compression,
+        mmap_reads=cfg.resolved_mmap_reads,
     )
     return spool, export_stats, None, []
 
@@ -706,6 +753,8 @@ def _cached_export(
             needed=needed,
             spool_format=cfg.spool_format,
             block_size=cfg.spool_block_size,
+            compression=cfg.spool_compression,
+            mmap_reads=cfg.resolved_mmap_reads,
         )
         if lookup_span is not None:
             lookup_span.attrs["hit"] = cached is not None
@@ -757,6 +806,7 @@ def _route_adaptive(cfg, spool, candidates, pool):
         calibration=calibration,
         warm_pool=pool is not None and pool.alive_workers > 0,
         range_split=cfg.range_split,
+        skip_scan=cfg.skip_scans,
     )
     if decision.strategy == "brute-force":
         if decision.workers == 1:
@@ -772,7 +822,9 @@ def _route_adaptive(cfg, spool, candidates, pool):
             pool=pool,
         )
     if decision.workers == 1:
-        return decision, MergeSinglePassValidator(spool)
+        return decision, MergeSinglePassValidator(
+            spool, skip_scan=cfg.skip_scans
+        )
     from repro.parallel.merge import PartitionedMergeValidator
 
     return decision, PartitionedMergeValidator(
@@ -780,6 +832,7 @@ def _route_adaptive(cfg, spool, candidates, pool):
         workers=decision.workers,
         pool=pool,
         range_split=decision.range_split,
+        skip_scan=cfg.skip_scans,
     )
 
 
@@ -813,8 +866,9 @@ def _build_validator(db, cfg, spool, column_stats, pool=None):
                 workers=cfg.validation_workers,
                 pool=pool,
                 range_split=cfg.range_split,
+                skip_scan=cfg.skip_scans,
             )
-        return MergeSinglePassValidator(spool)
+        return MergeSinglePassValidator(spool, skip_scan=cfg.skip_scans)
     if cfg.strategy == "blockwise":
         return BlockwiseValidator(
             spool, max_open_files=cfg.max_open_files, engine=cfg.blockwise_engine

@@ -31,6 +31,8 @@ class ValidatorStats:
     peak_open_files: int = 0
     blocks_skipped: int = 0  # skip-scan: frames seeked past without decoding
     values_skipped: int = 0  # skip-scan: values inside those frames
+    bytes_read: int = 0  # uncompressed payload bytes decoded from spool files
+    bytes_stored: int = 0  # on-disk payload bytes fetched (smaller when zlib)
     sql_rows_scanned: int = 0
     sql_statements: int = 0
     elapsed_seconds: float = 0.0
@@ -43,6 +45,8 @@ class ValidatorStats:
         self.peak_open_files = max(self.peak_open_files, io.peak_open_files)
         self.blocks_skipped += io.blocks_skipped
         self.values_skipped += io.values_skipped
+        self.bytes_read += io.bytes_read
+        self.bytes_stored += io.bytes_stored
 
 
 @dataclass

@@ -53,6 +53,7 @@ from repro.parallel.planner import pack_cost_groups
 from repro.parallel.pool import WorkerPool, run_specs
 from repro.parallel.tasks import KIND_SPOOL_EXPORT, TaskSpec
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
+from repro.storage.codec import COMPRESSION_NONE
 from repro.storage.exporter import ExportStats, plan_export_units
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
@@ -70,6 +71,8 @@ def pooled_export(
     include_empty: bool = False,
     spool_format: str = FORMAT_BINARY,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    compression: str = COMPRESSION_NONE,
+    mmap_reads: bool = False,
 ) -> tuple[SpoolDirectory, ExportStats, dict | None, list[dict]]:
     """Export ``db`` into ``spool_root`` via ``spool-export`` pool tasks.
 
@@ -84,7 +87,11 @@ def pooled_export(
     (:func:`~repro.parallel.pool.run_specs`).
     """
     spool = SpoolDirectory.create(
-        spool_root, format=spool_format, block_size=block_size
+        spool_root,
+        format=spool_format,
+        block_size=block_size,
+        compression=compression,
+        mmap_reads=mmap_reads,
     )
     # Workers open spools through index.json; publish a bare one before the
     # first task can possibly run.  The final index replaces it atomically.
@@ -100,7 +107,13 @@ def pooled_export(
         TaskSpec(
             kind=KIND_SPOOL_EXPORT,
             candidates=(),
-            payload=(tuple(group), spool_format, block_size, max_items_in_memory),
+            payload=(
+                tuple(group),
+                spool_format,
+                block_size,
+                max_items_in_memory,
+                compression,
+            ),
         )
         for group in groups
     ]

@@ -195,6 +195,7 @@ class PartitionedMergeValidator:
         pool: WorkerPool | None = None,
         planner: ShardPlanner | None = None,
         range_split: int = 0,
+        skip_scan: bool = False,
     ) -> None:
         """Wire the validator to ``spool``; spawn nothing yet.
 
@@ -202,7 +203,10 @@ class PartitionedMergeValidator:
         persistent ``pool`` is supplied its fleet size wins at execution
         time and ``workers`` only shapes the planning.  ``range_split``
         (0 or 1 = off) turns on the byte-range escape hatch described on
-        the class.
+        the class.  ``skip_scan`` forwards the merge-side frontier skip to
+        every partition's validator (decisions stay exact; ``items_read``
+        may legitimately drop — see
+        :class:`~repro.core.merge_single_pass.MergeSinglePassValidator`).
         """
         if workers < 1:
             raise DiscoveryError(f"workers must be >= 1, got {workers!r}")
@@ -215,6 +219,7 @@ class PartitionedMergeValidator:
         self._pool = pool
         self._planner = planner or ShardPlanner(spool)
         self._range_split = range_split
+        self._skip_scan = bool(skip_scan)
 
     def plan(self, candidates: list[Candidate]) -> list[MergeGroup]:
         """The component-grouped merge plan this validator would dispatch."""
@@ -223,7 +228,9 @@ class PartitionedMergeValidator:
     def validate(self, candidates: list[Candidate]) -> ValidationResult:
         """Validate ``candidates``; decisions identical to the sequential pass."""
         if self._workers == 1 or not candidates:
-            return MergeSinglePassValidator(self._spool).validate(candidates)
+            return MergeSinglePassValidator(
+                self._spool, skip_scan=self._skip_scan
+            ).validate(candidates)
         spool_root = str(self._spool.root)
         if not (self._spool.root / "index.json").exists():
             raise SpoolError(
@@ -250,7 +257,7 @@ class PartitionedMergeValidator:
                         TaskSpec(
                             kind=KIND_MERGE_PARTITION,
                             candidates=group.candidates,
-                            payload=(lo, hi),
+                            payload=(lo, hi, self._skip_scan),
                         )
                     )
                     spec_group.append(group.index)
@@ -322,6 +329,8 @@ class PartitionedMergeValidator:
                 stats.peak_open_files += part.stats.peak_open_files
                 stats.blocks_skipped += part.stats.blocks_skipped
                 stats.values_skipped += part.stats.values_skipped
+                stats.bytes_read += part.stats.bytes_read
+                stats.bytes_stored += part.stats.bytes_stored
                 stats.elapsed_seconds = max(
                     stats.elapsed_seconds, part.stats.elapsed_seconds
                 )

@@ -227,6 +227,8 @@ def run_overlapped(
                 needed=needed,
                 spool_format=cfg.spool_format,
                 block_size=cfg.spool_block_size,
+                compression=cfg.spool_compression,
+                mmap_reads=cfg.resolved_mmap_reads,
             )
             if lookup_span is not None:
                 lookup_span.attrs["hit"] = cached is not None
@@ -244,7 +246,11 @@ def run_overlapped(
     units: list = []
     if not cache_hit:
         spool = SpoolDirectory.create(
-            root, format=cfg.spool_format, block_size=cfg.spool_block_size
+            root,
+            format=cfg.spool_format,
+            block_size=cfg.spool_block_size,
+            compression=cfg.spool_compression,
+            mmap_reads=cfg.resolved_mmap_reads,
         )
         # Workers open spools through index.json; publish a bare one before
         # the first task can possibly run (same protocol as pooled_export).
@@ -278,6 +284,7 @@ def run_overlapped(
                             cfg.spool_format,
                             cfg.spool_block_size,
                             cfg.max_items_in_memory,
+                            cfg.spool_compression,
                         ),
                     )
                 )
@@ -323,7 +330,7 @@ def run_overlapped(
             merge_groups = planner.plan_merge_groups(ordered, workers)
             merge_group_count = len(merge_groups)
             plans = [
-                (group.candidates, KIND_MERGE_PARTITION, (0, 256))
+                (group.candidates, KIND_MERGE_PARTITION, (0, 256, cfg.skip_scans))
                 for group in merge_groups
             ]
         for group_candidates, kind, payload in plans:

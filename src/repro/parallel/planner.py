@@ -59,7 +59,7 @@ from pathlib import Path
 
 from repro.core.candidates import Candidate
 from repro.errors import DiscoveryError
-from repro.storage.sorted_sets import SpoolDirectory
+from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
 
 #: Work-stealing granularity: aim for this many chunks per worker, so the
 #: tail of a job — when some workers are already idle — is at most ~1/4 of
@@ -80,6 +80,14 @@ _MAX_LEAD_BYTE = 0xF4
 #: factor is deliberately pessimistic so the model only picks the range
 #: split when the parallel win clearly survives the over-read.
 RANGE_SPLIT_OVERREAD = 1.15
+
+#: Predicted fraction of merge work that remains when the merge-side
+#: frontier skip (``skip_scans`` on a block-indexed spool) is enabled: the
+#: purely referenced side seeks past whole blocks below the dependent
+#: frontier instead of decoding them.  Deliberately conservative — skewed
+#: sparse-dependent/dense-referenced workloads skip far more — so the model
+#: never routes *to* merge on the strength of a skip it cannot verify.
+MERGE_SKIP_FACTOR = 0.75
 
 #: File name of the persisted calibration profile, stored next to the spool
 #: cache (``<cache_dir>/calibration.json``) by ``repro-ind calibrate``.
@@ -684,6 +692,7 @@ def choose_engine(
     warm_pool: bool = False,
     range_split: int = 0,
     cpu_count: int | None = None,
+    skip_scan: bool = False,
 ) -> EngineDecision:
     """Predict the cheapest execution engine for this validation request.
 
@@ -696,7 +705,9 @@ def choose_engine(
     startup term (a session fleet is already running); ``range_split > 1``
     forces that split count onto the range-merge engine instead of the
     automatic one-giant-component selection; ``cpu_count`` overrides
-    :func:`os.cpu_count` (tests).
+    :func:`os.cpu_count` (tests); ``skip_scan`` discounts the merge
+    engines by :data:`MERGE_SKIP_FACTOR` on block-indexed spools, where
+    the frontier skip seeks purely referenced cursors past whole blocks.
 
     Deterministic: ties break toward the engine listed first, and
     sequential engines are priced before pooled ones — when the model
@@ -748,6 +759,9 @@ def choose_engine(
     if "merge-single-pass" in strategies:
         attrs = {c.dependent for c in ordered} | {c.referenced for c in ordered}
         merge_work = sum(spool.get(attr).count for attr in attrs) + len(ordered)
+        if skip_scan and spool.format == FORMAT_BINARY:
+            # Frontier skips need per-block metadata; text spools have none.
+            merge_work *= MERGE_SKIP_FACTOR
         consider(
             "sequential-merge",
             "merge-single-pass",

@@ -49,15 +49,17 @@ if TYPE_CHECKING:  # circular-import guard: pool builds on this module
 KIND_BRUTE_FORCE = "brute-force"
 
 #: Registry key of the built-in merge-partition executor.  Payload:
-#: ``(lo, hi)`` — the first-byte range ``[lo, hi)`` of the value space this
-#: partition merges; ``(0, 256)`` means the whole space (no range cursors).
+#: ``(lo, hi)`` or ``(lo, hi, skip_scan)`` — the first-byte range
+#: ``[lo, hi)`` of the value space this partition merges (``(0, 256)``
+#: means the whole space, no range cursors) plus the optional frontier
+#: skip-scan flag forwarded to the merge validator.
 KIND_MERGE_PARTITION = "merge-partition"
 
 #: Registry key of the built-in spool-export executor.  Payload:
-#: ``(units, spool_format, block_size, max_items_in_memory)`` where
-#: ``units`` is a tuple of :class:`repro.storage.exporter.ExportUnit`.
-#: Carries no candidates; the written files' metadata comes back in the
-#: outcome's ``payload``.
+#: ``(units, spool_format, block_size, max_items_in_memory)`` or the same
+#: plus a trailing ``compression``, where ``units`` is a tuple of
+#: :class:`repro.storage.exporter.ExportUnit`.  Carries no candidates; the
+#: written files' metadata comes back in the outcome's ``payload``.
 KIND_SPOOL_EXPORT = "spool-export"
 
 #: Registry key of the built-in sampling-pretest executor.  Payload:
@@ -206,6 +208,8 @@ def merge_shard_outcomes(
         merged.peak_open_files += outcome.stats.peak_open_files
         merged.blocks_skipped += outcome.stats.blocks_skipped
         merged.values_skipped += outcome.stats.values_skipped
+        merged.bytes_read += outcome.stats.bytes_read
+        merged.bytes_stored += outcome.stats.bytes_stored
     collector = DecisionCollector(candidates, validator_name)
     collector.stats = merged
     merged.candidates_total = len(collector.candidates)
@@ -250,9 +254,12 @@ def _run_merge_partition(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcom
     from repro.core.merge_single_pass import MergeSinglePassValidator
     from repro.parallel.merge import make_partition_view
 
-    lo, hi = task.payload or (0, 256)
+    lo, hi, *rest = task.payload or (0, 256)
+    skip_scan = bool(rest[0]) if rest else False
     view = make_partition_view(spool, lo, hi)
-    result = MergeSinglePassValidator(view).validate(list(task.candidates))
+    result = MergeSinglePassValidator(view, skip_scan=skip_scan).validate(
+        list(task.candidates)
+    )
     return ShardOutcome(
         shard_index=task.task_id,
         decisions=result.decisions,
@@ -273,9 +280,11 @@ def _run_spool_export(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
     :class:`~repro.storage.sorted_sets.SortedValueFile` metadata, in unit
     order, for the parent to register and fold into the final index.
     """
+    from repro.storage.codec import COMPRESSION_NONE
     from repro.storage.exporter import run_export_unit
 
-    units, spool_format, block_size, max_items = task.payload
+    units, spool_format, block_size, max_items, *rest = task.payload
+    compression = rest[0] if rest else COMPRESSION_NONE
     written = tuple(
         run_export_unit(
             task.spool_root,
@@ -283,6 +292,7 @@ def _run_spool_export(spool: "SpoolDirectory", task: PoolTask) -> ShardOutcome:
             spool_format=spool_format,
             block_size=block_size,
             max_items_in_memory=max_items,
+            compression=compression,
         )
         for unit in units
     )

@@ -25,6 +25,9 @@ from repro.storage.blockio import (
     sniff_block_file,
 )
 from repro.storage.codec import (
+    COMPRESSION_NONE,
+    COMPRESSION_ZLIB,
+    SPOOL_COMPRESSIONS,
     decode_block,
     encode_block,
     escape_line,
@@ -38,6 +41,7 @@ from repro.storage.cursors import (
     FileValueCursor,
     IOStats,
     MemoryValueCursor,
+    MmapBlockFileValueCursor,
     ValueCursor,
 )
 from repro.storage.exporter import export_database
@@ -56,6 +60,8 @@ __all__ = [
     "BlockFileValueCursor",
     "BlockFileWriter",
     "BlockMeta",
+    "COMPRESSION_NONE",
+    "COMPRESSION_ZLIB",
     "CountingCursor",
     "DEFAULT_BLOCK_SIZE",
     "FORMAT_BINARY",
@@ -63,6 +69,8 @@ __all__ = [
     "FileValueCursor",
     "IOStats",
     "MemoryValueCursor",
+    "MmapBlockFileValueCursor",
+    "SPOOL_COMPRESSIONS",
     "SPOOL_FORMATS",
     "SortedValueFile",
     "SpoolCache",

@@ -1,19 +1,29 @@
-"""Framing of spool format v2: length-prefixed binary block files.
+"""Framing of spool formats v2 and v3: length-prefixed binary block files.
 
-A v2 value file is::
+A binary value file is::
 
     MAGIC (8 bytes)  [block]*
 
 where each block is::
 
-    header  = struct '<II'  → (payload_bytes, value_count)
-    payload = encode_block(values)   (see repro.storage.codec)
+    header  = struct '<II'  → (stored_payload_bytes, value_count)
+    payload = encode_block(values)   (see repro.storage.codec),
+              zlib-deflated when the frame flags say so
+
+The 8-byte magic is ``b"RSPL2"`` + a version byte + a flags byte + ``\\n``.
+The v2 frame (version ``0x02``) left the flags byte as a zero pad; the v3
+frame (version ``0x03``) uses it: bit 0 (:data:`FLAG_ZLIB`) marks every
+block payload in the file as zlib-compressed.  v2 files written by older
+code therefore stay readable byte-for-byte, and a v2-only reader rejects a
+v3 file loudly at the magic instead of misparsing compressed bytes.
 
 Blocks hold a fixed number of values (``block_size``, the last block may be
 short), so a cursor amortises one read + decode over thousands of values —
 the batched-read design the paper's follow-up work points at (Sec. 7).  The
-writer records per-block value counts and min/max values; the spool index
-persists them, which later enables skip-scans without touching the file.
+writer records per-block value counts, min/max values and (for compressed
+files) raw/stored payload byte counts; the spool index persists them, which
+enables skip-scans and compression-ratio reporting without touching the
+file.
 
 Empty attributes produce a file holding only the magic — a zero-block file is
 valid and distinct from a missing or truncated one.
@@ -26,12 +36,26 @@ from dataclasses import dataclass
 from typing import IO
 
 from repro.errors import SpoolError
-from repro.storage.codec import encode_block
+from repro.storage.codec import (
+    COMPRESSION_NONE,
+    COMPRESSION_ZLIB,
+    compress_payload,
+    encode_block,
+)
 
-#: File magic of spool format v2 value files ("RSPL2" + version byte + pad).
+#: Common prefix of every binary spool magic ("RSPL2" + version + flags + LF).
+MAGIC_PREFIX = b"RSPL2"
+
+#: File magic of spool format v2 value files (version 2, zero flags byte).
 MAGIC = b"RSPL2\x02\x00\n"
 
-#: Per-block frame header: little-endian (payload_bytes, value_count).
+#: File magic of v3 value files with zlib-compressed payloads.
+MAGIC_V3_ZLIB = b"RSPL2\x03\x01\n"
+
+#: v3 flags-byte bit: every block payload in the file is zlib-deflated.
+FLAG_ZLIB = 0x01
+
+#: Per-block frame header: little-endian (stored_payload_bytes, value_count).
 BLOCK_HEADER = struct.Struct("<II")
 
 #: Default number of values per block.  Large enough that per-block Python
@@ -42,46 +66,78 @@ DEFAULT_BLOCK_SIZE = 1024
 
 @dataclass(frozen=True)
 class BlockMeta:
-    """Per-block metadata recorded by the writer and persisted in the index."""
+    """Per-block metadata recorded by the writer and persisted in the index.
+
+    ``raw_bytes``/``stored_bytes`` are the uncompressed and on-disk payload
+    sizes.  They are recorded (and serialised) only for compressed files, so
+    the v2 index document stays byte-identical to what older code wrote.
+    """
 
     count: int
     min_value: str
     max_value: str
+    raw_bytes: int = 0
+    stored_bytes: int = 0
 
     def to_doc(self) -> dict:
-        return {"count": self.count, "min": self.min_value, "max": self.max_value}
+        doc = {"count": self.count, "min": self.min_value, "max": self.max_value}
+        if self.stored_bytes:
+            doc["raw"] = self.raw_bytes
+            doc["stored"] = self.stored_bytes
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "BlockMeta":
         return cls(
-            count=doc["count"], min_value=doc["min"], max_value=doc["max"]
+            count=doc["count"],
+            min_value=doc["min"],
+            max_value=doc["max"],
+            raw_bytes=doc.get("raw", 0),
+            stored_bytes=doc.get("stored", 0),
         )
 
 
 class BlockFileWriter:
-    """Streams sorted values into a v2 block file.
+    """Streams sorted values into a v2 (or v3-compressed) block file.
 
     The caller feeds values one at a time (they must already be sorted and
     distinct — :class:`~repro.storage.sorted_sets.SpoolDirectory` verifies
     that); the writer packs them into ``block_size``-value blocks and tracks
-    the per-block metadata.  Use as a context manager or call :meth:`close`.
+    the per-block metadata.  ``compression="zlib"`` deflates every block
+    payload and writes the v3 magic; the default writes a v2 file identical
+    to older builds.  Use as a context manager or call :meth:`close`.
     """
 
-    def __init__(self, path: str, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(
+        self,
+        path: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
+    ) -> None:
         if block_size < 1:
             raise SpoolError(f"block_size must be >= 1, got {block_size!r}")
+        if compression not in (COMPRESSION_NONE, COMPRESSION_ZLIB):
+            raise SpoolError(
+                f"unknown spool compression {compression!r} "
+                f"(expected 'none' or 'zlib')"
+            )
         self.path = path
         self.block_size = block_size
+        self.compression = compression
         self.count = 0
         self.min_value: str | None = None
         self.max_value: str | None = None
         self.blocks: list[BlockMeta] = []
+        self.raw_payload_bytes = 0
+        self.stored_payload_bytes = 0
         self._pending: list[str] = []
         try:
             self._fh: IO[bytes] | None = open(path, "wb")
         except OSError as exc:
             raise SpoolError(f"cannot create value file {path}: {exc}") from exc
-        self._fh.write(MAGIC)
+        self._fh.write(
+            MAGIC_V3_ZLIB if compression == COMPRESSION_ZLIB else MAGIC
+        )
 
     def write(self, value: str) -> None:
         if self._fh is None:
@@ -96,11 +152,25 @@ class BlockFileWriter:
             return
         assert self._fh is not None
         payload = encode_block(values)
+        raw_len = len(payload)
+        if self.compression == COMPRESSION_ZLIB:
+            payload = compress_payload(payload)
+            meta = BlockMeta(
+                count=len(values),
+                min_value=values[0],
+                max_value=values[-1],
+                raw_bytes=raw_len,
+                stored_bytes=len(payload),
+            )
+        else:
+            meta = BlockMeta(
+                count=len(values), min_value=values[0], max_value=values[-1]
+            )
         self._fh.write(BLOCK_HEADER.pack(len(payload), len(values)))
         self._fh.write(payload)
-        self.blocks.append(
-            BlockMeta(count=len(values), min_value=values[0], max_value=values[-1])
-        )
+        self.blocks.append(meta)
+        self.raw_payload_bytes += raw_len
+        self.stored_payload_bytes += len(payload)
         self.count += len(values)
         if self.min_value is None:
             self.min_value = values[0]
@@ -120,19 +190,52 @@ class BlockFileWriter:
         self.close()
 
 
-def read_magic(fh: IO[bytes], path: str) -> None:
-    """Consume and verify the v2 magic at the start of ``fh``."""
-    head = fh.read(len(MAGIC))
-    if head != MAGIC:
+def parse_magic(head: bytes, path: str) -> str:
+    """Decode an 8-byte spool magic; returns the file's compression scheme.
+
+    Accepts the v2 frame (``none``) and the v3 frame with known flags
+    (``zlib``).  Anything else — wrong prefix, short read, unknown version
+    or unknown flag bits — raises :class:`SpoolError` rather than letting a
+    reader misinterpret the blocks that follow.
+    """
+    if head == MAGIC:
+        return COMPRESSION_NONE
+    if (
+        len(head) == len(MAGIC)
+        and head.startswith(MAGIC_PREFIX)
+        and head[5] == 3
+        and head[7] == 0x0A
+    ):
+        flags = head[6]
+        if flags == FLAG_ZLIB:
+            return COMPRESSION_ZLIB
         raise SpoolError(
-            f"{path} is not a spool v2 value file (bad magic {head!r})"
+            f"{path} is a spool v3 value file with unknown flags "
+            f"0x{flags:02x} (this build understands 0x{FLAG_ZLIB:02x})"
         )
+    raise SpoolError(
+        f"{path} is not a spool v2/v3 value file (bad magic {head!r})"
+    )
+
+
+def read_magic(fh: IO[bytes], path: str) -> str:
+    """Consume and verify the magic at the start of ``fh``.
+
+    Returns the compression scheme the flags byte declares (``"none"`` for
+    v2 files).
+    """
+    return parse_magic(fh.read(len(MAGIC)), path)
 
 
 def sniff_block_file(path: str) -> bool:
-    """True when ``path`` starts with the v2 magic (format sniffing helper)."""
+    """True when ``path`` starts with a known binary magic (v2 or v3)."""
     try:
         with open(path, "rb") as fh:
-            return fh.read(len(MAGIC)) == MAGIC
+            head = fh.read(len(MAGIC))
     except OSError as exc:
         raise SpoolError(f"cannot open value file {path}: {exc}") from exc
+    try:
+        parse_magic(head, path)
+    except SpoolError:
+        return False
+    return True

@@ -25,13 +25,29 @@ Two codecs share the escaping rules:
   blocks (:func:`encode_block` / :func:`decode_block`), so a reader decodes a
   few thousand values with one ``bytes.decode`` + ``str.split`` instead of one
   Python-level line read per value.  See ``docs/spool_format.md``.
+
+The v3 layout reuses the v2 block codec and adds an optional zlib layer
+around each payload (:func:`compress_payload` / :func:`decompress_payload`)
+— CPU-for-I/O on large exports, selected per file by the frame flags byte
+(:mod:`repro.storage.blockio`).
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Any
 
 from repro.errors import SpoolError
+
+#: Spool payload compression schemes.  ``zlib`` upgrades the file to the v3
+#: frame (flags byte ``0x01``); ``none`` keeps the v2 frame byte-identical.
+COMPRESSION_NONE = "none"
+COMPRESSION_ZLIB = "zlib"
+SPOOL_COMPRESSIONS = (COMPRESSION_NONE, COMPRESSION_ZLIB)
+
+#: zlib level 6: the default trade-off — decompression speed is level
+#: independent, and the validator hot path only ever decompresses.
+_ZLIB_LEVEL = 6
 
 
 def render_value(value: Any) -> str:
@@ -131,6 +147,26 @@ def decode_block(payload: bytes, count: int) -> list[str]:
     # Values without escape sequences (the overwhelming majority) skip the
     # per-character unescape loop entirely.
     return [unescape_line(line) if "\\" in line else line for line in lines]
+
+
+def compress_payload(payload: bytes) -> bytes:
+    """Deflate one block payload for a v3 compressed frame."""
+    return zlib.compress(payload, _ZLIB_LEVEL)
+
+
+def decompress_payload(payload: bytes, path: str, ordinal: int) -> bytes:
+    """Inflate one v3 block payload, failing loudly on corruption.
+
+    A bad stream raises :class:`SpoolError` naming the file and the block
+    ordinal — never a bare ``zlib.error`` — so a truncated or bit-flipped
+    spool is diagnosable from the exception alone.
+    """
+    try:
+        return zlib.decompress(payload)
+    except zlib.error as exc:
+        raise SpoolError(
+            f"corrupt compressed block {ordinal} in {path}: {exc}"
+        ) from exc
 
 
 def render_distinct_sorted(values: list[Any]) -> list[str]:

@@ -19,13 +19,19 @@ items read"), and it must not change with the on-disk format.
 
 from __future__ import annotations
 
+import mmap
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import IO, Iterator, Protocol
 
 from repro.errors import SpoolError
 from repro.storage.blockio import BLOCK_HEADER, BlockMeta, read_magic
-from repro.storage.codec import decode_block, unescape_line
+from repro.storage.codec import (
+    COMPRESSION_ZLIB,
+    decode_block,
+    decompress_payload,
+    unescape_line,
+)
 
 #: Default number of values handed out per batched read.
 DEFAULT_BATCH_SIZE = 1024
@@ -44,6 +50,8 @@ class IOStats:
     peak_open_files: int = 0
     blocks_skipped: int = 0
     values_skipped: int = 0
+    bytes_read: int = 0
+    bytes_stored: int = 0
     reads_per_attribute: dict[str, int] = field(default_factory=dict)
 
     def record_open(self) -> None:
@@ -78,6 +86,17 @@ class IOStats:
         self.blocks_skipped += blocks
         self.values_skipped += values
 
+    def record_bytes(self, raw: int, stored: int) -> None:
+        """Account one physical payload fetch.
+
+        ``raw`` is the decoded (uncompressed) payload size — the
+        format-comparable measure of data the cursor materialised; ``stored``
+        is what actually came off disk (smaller for compressed spools).
+        Charged at decode time, so skip-scans visibly reduce both.
+        """
+        self.bytes_read += raw
+        self.bytes_stored += stored
+
     def merge(self, other: "IOStats") -> None:
         """Fold another run's counters into this one (block-wise validation).
 
@@ -94,6 +113,8 @@ class IOStats:
         )
         self.blocks_skipped += other.blocks_skipped
         self.values_skipped += other.values_skipped
+        self.bytes_read += other.bytes_read
+        self.bytes_stored += other.bytes_stored
         for label, count in other.reads_per_attribute.items():
             self.reads_per_attribute[label] = (
                 self.reads_per_attribute.get(label, 0) + count
@@ -324,6 +345,11 @@ class FileValueCursor(_PicklableByPath, BufferedValueCursor):
     def _load(self) -> list[str]:
         assert self._fh is not None
         lines = self._fh.readlines(_TEXT_READ_HINT)
+        if lines and self._stats is not None:
+            # Text mode: character count stands in for bytes (exact for
+            # ASCII values, the overwhelming majority).
+            loaded = sum(len(line) for line in lines)
+            self._stats.record_bytes(loaded, loaded)
         return [unescape_line(line.rstrip("\n")) for line in lines]
 
     def _do_close(self) -> None:
@@ -333,11 +359,15 @@ class FileValueCursor(_PicklableByPath, BufferedValueCursor):
 
 
 class BlockFileValueCursor(_PicklableByPath, BufferedValueCursor):
-    """Cursor over a v2 binary block file (see :mod:`repro.storage.blockio`).
+    """Cursor over a v2/v3 binary block file (see :mod:`repro.storage.blockio`).
 
     One ``_load`` decodes one whole block — a single read, one
     ``bytes.decode`` and one split for up to ``block_size`` values, which is
-    what makes the batched protocol cheap on the validator hot path.
+    what makes the batched protocol cheap on the validator hot path.  The
+    magic's flags byte decides per file whether payloads are inflated first
+    (v3 compressed frames); corruption anywhere — short header, short
+    payload, bad inflate, wrong value count — raises :class:`SpoolError`
+    naming the file and the block ordinal.
 
     When the caller hands over the per-block metadata recorded in the spool
     index (``blocks``), the cursor can *skip-scan*: :meth:`skip_blocks_below`
@@ -362,31 +392,62 @@ class BlockFileValueCursor(_PicklableByPath, BufferedValueCursor):
         except OSError as exc:
             raise SpoolError(f"cannot open value file {path}: {exc}") from exc
         try:
-            read_magic(self._fh, path)
+            self._compression = read_magic(self._fh, path)
+            self._init_byte_source()
         except SpoolError:
             self._fh.close()
             self._fh = None
             raise
         super().__init__(stats, label or path)
 
-    def _load(self) -> list[str]:
+    # ------------------------------------------------------ byte-source hooks
+    def _init_byte_source(self) -> None:
+        """Subclass hook: set up the frame byte source (after the magic)."""
+
+    def _read_frame_bytes(self, size: int) -> bytes:
+        """Read up to ``size`` bytes at the current frame position."""
         assert self._fh is not None
-        header = self._fh.read(BLOCK_HEADER.size)
+        return self._fh.read(size)
+
+    def _seek_forward(self, size: int) -> None:
+        """Advance the frame position ``size`` bytes without reading."""
+        assert self._fh is not None
+        self._fh.seek(size, 1)
+
+    # ------------------------------------------------------------- decoding
+    def _load(self) -> list[str]:
+        header = self._read_frame_bytes(BLOCK_HEADER.size)
         if header == b"":
             return []
         if len(header) != BLOCK_HEADER.size:
-            raise SpoolError(f"truncated block header in {self._path}")
+            raise SpoolError(
+                f"truncated block header in {self._path} "
+                f"(block {self._next_block})"
+            )
         payload_len, count = BLOCK_HEADER.unpack(header)
-        payload = self._fh.read(payload_len)
+        payload = self._read_frame_bytes(payload_len)
         if len(payload) != payload_len:
             raise SpoolError(
-                f"truncated block in {self._path}: expected {payload_len} "
-                f"payload bytes, got {len(payload)}"
+                f"truncated block {self._next_block} in {self._path}: "
+                f"expected {payload_len} payload bytes, got {len(payload)}"
             )
         if count == 0:
-            raise SpoolError(f"empty block frame in {self._path}")
+            raise SpoolError(
+                f"empty block frame in {self._path} (block {self._next_block})"
+            )
+        stored = len(payload)
+        if self._compression == COMPRESSION_ZLIB:
+            payload = decompress_payload(payload, self._path, self._next_block)
+        try:
+            values = decode_block(payload, count)
+        except SpoolError as exc:
+            raise SpoolError(
+                f"corrupt block {self._next_block} in {self._path}: {exc}"
+            ) from exc
+        if self._stats is not None:
+            self._stats.record_bytes(len(payload), stored)
         self._next_block += 1
-        return decode_block(payload, count)
+        return values
 
     def skip_blocks_below(self, value: str) -> int:
         """Seek past on-disk blocks whose recorded max value is below ``value``.
@@ -416,12 +477,14 @@ class BlockFileValueCursor(_PicklableByPath, BufferedValueCursor):
 
     def _seek_past_next_block(self) -> int:
         """Jump over one frame without reading its payload; returns its count."""
-        assert self._fh is not None
-        header = self._fh.read(BLOCK_HEADER.size)
+        header = self._read_frame_bytes(BLOCK_HEADER.size)
         if len(header) != BLOCK_HEADER.size:
-            raise SpoolError(f"truncated block header in {self._path}")
+            raise SpoolError(
+                f"truncated block header in {self._path} "
+                f"(block {self._next_block})"
+            )
         payload_len, count = BLOCK_HEADER.unpack(header)
-        self._fh.seek(payload_len, 1)
+        self._seek_forward(payload_len)
         self._next_block += 1
         return count
 
@@ -444,6 +507,52 @@ class BlockFileValueCursor(_PicklableByPath, BufferedValueCursor):
         self._blocks = None
         self._next_block = 0
         self._skipped_values = 0
+        self._compression = None  # closed cursor: never decodes again
+
+
+class MmapBlockFileValueCursor(BlockFileValueCursor):
+    """Block cursor decoding lazily out of one shared memory mapping.
+
+    Maps the whole value file once and reads frames by slicing the mapping,
+    so the dozens of concurrent cursors a merge or pooled run opens on the
+    same referenced-side file share the OS page cache instead of each
+    carrying a private stdio buffer.  Identical protocol, accounting and
+    pickling semantics to :class:`BlockFileValueCursor` — only the byte
+    source differs, so decisions and every counter stay byte-exact either
+    way.
+    """
+
+    def _init_byte_source(self) -> None:
+        assert self._fh is not None
+        try:
+            self._map: mmap.mmap | None = mmap.mmap(
+                self._fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (OSError, ValueError) as exc:
+            raise SpoolError(
+                f"cannot mmap value file {self._path}: {exc}"
+            ) from exc
+        self._offset = self._fh.tell()  # just past the magic
+
+    def _read_frame_bytes(self, size: int) -> bytes:
+        assert self._map is not None
+        data = self._map[self._offset : self._offset + size]
+        self._offset += len(data)
+        return data
+
+    def _seek_forward(self, size: int) -> None:
+        self._offset += size
+
+    def _do_close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        super()._do_close()
+
+    def _init_reopened_extras(self) -> None:
+        super()._init_reopened_extras()
+        self._map = None
+        self._offset = 0
 
 
 class CountingCursor(BufferedValueCursor):
@@ -514,6 +623,17 @@ class BatchReader:
             self._cursor.advance(self._idx)
             self._buf = self._buf[self._idx :]
             self._idx = 0
+
+    def skip_below(self, value: str) -> int:
+        """Seek the cursor past whole undecoded blocks below ``value``.
+
+        Flushes pending consumption first, then delegates to the cursor's
+        ``skip_blocks_below``.  Values already buffered — here or inside the
+        cursor — are unaffected, so the caller still sees them; only frames
+        not yet decoded are skipped.  Returns the number of blocks skipped.
+        """
+        self.flush()
+        return self._cursor.skip_blocks_below(value)
 
     def close(self) -> None:
         self.flush()

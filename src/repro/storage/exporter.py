@@ -41,7 +41,7 @@ from repro.db.database import Database
 from repro.db.schema import AttributeRef
 from repro.errors import SpoolError
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
-from repro.storage.codec import render_value
+from repro.storage.codec import COMPRESSION_NONE, render_value
 from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
 from repro.storage.sorted_sets import (
     FORMAT_BINARY,
@@ -107,6 +107,7 @@ def run_export_unit(
     spool_format: str,
     block_size: int,
     max_items_in_memory: int = DEFAULT_RUN_SIZE,
+    compression: str = COMPRESSION_NONE,
 ) -> SortedValueFile:
     """Render → external-sort → write one export unit (worker-side).
 
@@ -127,6 +128,7 @@ def run_export_unit(
         dtype=unit.dtype,
         format=spool_format,
         block_size=block_size,
+        compression=compression,
     )
 
 
@@ -151,6 +153,8 @@ def export_database(
     spool_format: str = FORMAT_BINARY,
     block_size: int = DEFAULT_BLOCK_SIZE,
     workers: int = 1,
+    compression: str = COMPRESSION_NONE,
+    mmap_reads: bool = False,
 ) -> tuple[SpoolDirectory, ExportStats]:
     """Spool the sorted distinct value set of every attribute of ``db``.
 
@@ -158,13 +162,19 @@ def export_database(
     grows the attribute subset).  Empty attributes are skipped unless
     ``include_empty`` is set — the paper's candidate rules only ever consider
     non-empty columns, so their files would never be read.  ``spool_format``
-    selects between the v1 text and v2 binary block layouts; ``workers``
-    spools that many attributes concurrently.
+    selects between the v1 text and v2 binary block layouts;
+    ``compression="zlib"`` upgrades binary files to v3 compressed frames;
+    ``mmap_reads`` makes the returned directory serve mmap-backed cursors;
+    ``workers`` spools that many attributes concurrently.
     """
     if workers < 1:
         raise SpoolError(f"workers must be >= 1, got {workers!r}")
     spool = SpoolDirectory.create(
-        spool_root, format=spool_format, block_size=block_size
+        spool_root,
+        format=spool_format,
+        block_size=block_size,
+        compression=compression,
+        mmap_reads=mmap_reads,
     )
     stats = ExportStats()
     targets = attributes if attributes is not None else db.attributes()

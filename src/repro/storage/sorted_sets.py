@@ -7,16 +7,22 @@ an ``index.json`` with per-attribute metadata (distinct count, min/max value,
 source type).  The metadata is what makes the Sec. 4.1 pretests free: the
 cardinality and max-value tests read the index, not the files.
 
-Two on-disk formats coexist (``docs/spool_format.md``):
+Three on-disk formats coexist (``docs/spool_format.md``):
 
 * **v1 (text)** — one escaped value per line, ``.vals`` files;
 * **v2 (binary)** — length-prefixed blocks of escaped values, ``.valsb``
-  files, with per-block value counts and min/max persisted in the index.
+  files, with per-block value counts and min/max persisted in the index;
+* **v3 (binary, compressed)** — the v2 block layout with zlib-deflated
+  payloads, declared by the frame flags byte and an index
+  ``version: 3`` + ``compression`` field, with per-block raw/stored byte
+  counts persisted alongside the min/max.
 
 The ``version`` field of ``index.json`` is the format sniff: a v1 index has
-no such field and is read as text.  Directories of either format open through
+no such field and is read as text.  Directories of any format open through
 the same API and feed the same cursors, so every validator runs unchanged on
-legacy spools.
+legacy spools.  ``mmap_reads=True`` serves binary cursors out of a shared
+memory mapping instead of per-cursor stdio buffers — a pure byte-source
+swap, identical results and accounting.
 """
 
 from __future__ import annotations
@@ -32,17 +38,30 @@ from pathlib import Path
 from repro.db.schema import AttributeRef
 from repro.errors import SpoolError
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE, BlockFileWriter, BlockMeta
-from repro.storage.codec import escape_line
-from repro.storage.cursors import BlockFileValueCursor, FileValueCursor, IOStats
+from repro.storage.codec import (
+    COMPRESSION_NONE,
+    SPOOL_COMPRESSIONS,
+    escape_line,
+)
+from repro.storage.cursors import (
+    BlockFileValueCursor,
+    FileValueCursor,
+    IOStats,
+    MmapBlockFileValueCursor,
+)
 
 _INDEX_FILE = "index.json"
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
 
-#: Spool format identifiers and the current index schema version.
+#: Spool format identifiers and the index schema versions.
 FORMAT_TEXT = "text"
 FORMAT_BINARY = "binary"
 SPOOL_FORMATS = (FORMAT_TEXT, FORMAT_BINARY)
 INDEX_VERSION = 2
+#: Index version written for compressed (v3) spools, so builds that predate
+#: compression reject the directory loudly at the index instead of failing
+#: deeper at the frame magic.
+COMPRESSED_INDEX_VERSION = 3
 
 _EXTENSIONS = {FORMAT_TEXT: ".vals", FORMAT_BINARY: ".valsb"}
 
@@ -54,6 +73,7 @@ def write_value_file(
     dtype: str = "VARCHAR",
     format: str = FORMAT_TEXT,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    compression: str = COMPRESSION_NONE,
 ) -> "SortedValueFile":
     """Write one sorted distinct value file atomically; return its metadata.
 
@@ -71,9 +91,16 @@ def write_value_file(
     """
     final_path = Path(file_path)
     tmp_path = final_path.with_name(f"{final_path.name}.tmp-{os.getpid()}")
+    if compression != COMPRESSION_NONE and format != FORMAT_BINARY:
+        raise SpoolError(
+            f"spool compression {compression!r} requires the binary format, "
+            f"not {format!r}"
+        )
     try:
         if format == FORMAT_BINARY:
-            with BlockFileWriter(str(tmp_path), block_size=block_size) as writer:
+            with BlockFileWriter(
+                str(tmp_path), block_size=block_size, compression=compression
+            ) as writer:
                 for value in _checked_ascending(ref, sorted_distinct_values):
                     writer.write(value)
             svf = SortedValueFile(
@@ -149,10 +176,13 @@ class SortedValueFile:
         return self.count == 0
 
     def open_cursor(
-        self, stats: IOStats | None = None
+        self, stats: IOStats | None = None, mmap_reads: bool = False
     ) -> FileValueCursor | BlockFileValueCursor:
         if self.format == FORMAT_BINARY:
-            return BlockFileValueCursor(
+            cursor_cls = (
+                MmapBlockFileValueCursor if mmap_reads else BlockFileValueCursor
+            )
+            return cursor_cls(
                 self.path,
                 stats=stats,
                 label=self.ref.qualified,
@@ -189,6 +219,8 @@ class SpoolDirectory:
         root: Path,
         format: str = FORMAT_TEXT,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
+        mmap_reads: bool = False,
     ) -> None:
         if format not in SPOOL_FORMATS:
             raise SpoolError(
@@ -196,9 +228,24 @@ class SpoolDirectory:
             )
         if block_size < 1:
             raise SpoolError(f"block_size must be >= 1, got {block_size!r}")
+        if compression not in SPOOL_COMPRESSIONS:
+            raise SpoolError(
+                f"unknown spool compression {compression!r}; choose from "
+                f"{SPOOL_COMPRESSIONS}"
+            )
+        if compression != COMPRESSION_NONE and format != FORMAT_BINARY:
+            raise SpoolError(
+                f"spool compression {compression!r} requires the binary "
+                f"format, not {format!r}"
+            )
         self.root = root
         self.format = format
         self.block_size = block_size
+        self.compression = compression
+        #: Serve binary cursors from a shared memory mapping.  A reader-side
+        #: toggle only — it never changes what is on disk, and it rides the
+        #: pickled-by-path state so pool workers inherit the caller's choice.
+        self.mmap_reads = mmap_reads
         #: SHA-256 fingerprint of the source database catalog, stamped by the
         #: spool cache so a kept directory can be matched to an unchanged
         #: database (see :mod:`repro.storage.spool_cache`).
@@ -214,13 +261,23 @@ class SpoolDirectory:
         root: str | Path,
         format: str = FORMAT_TEXT,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
+        mmap_reads: bool = False,
     ) -> "SpoolDirectory":
         path = Path(root)
         path.mkdir(parents=True, exist_ok=True)
-        return cls(path, format=format, block_size=block_size)
+        return cls(
+            path,
+            format=format,
+            block_size=block_size,
+            compression=compression,
+            mmap_reads=mmap_reads,
+        )
 
     @classmethod
-    def open(cls, root: str | Path) -> "SpoolDirectory":
+    def open(
+        cls, root: str | Path, mmap_reads: bool = False
+    ) -> "SpoolDirectory":
         path = Path(root)
         index_path = path / _INDEX_FILE
         if not index_path.exists():
@@ -228,22 +285,37 @@ class SpoolDirectory:
         with open(index_path, encoding="utf-8") as fh:
             doc = json.load(fh)
         version = doc.get("version", 1)
+        compression = COMPRESSION_NONE
         if version == 1:
             format = FORMAT_TEXT
             block_size = DEFAULT_BLOCK_SIZE
-        elif version == INDEX_VERSION:
+        elif version in (INDEX_VERSION, COMPRESSED_INDEX_VERSION):
             format = doc.get("format", FORMAT_TEXT)
             if format not in SPOOL_FORMATS:
                 raise SpoolError(
                     f"spool index of {path} names unknown format {format!r}"
                 )
             block_size = doc.get("block_size", DEFAULT_BLOCK_SIZE)
+            if version == COMPRESSED_INDEX_VERSION:
+                compression = doc.get("compression", COMPRESSION_NONE)
+                if compression not in SPOOL_COMPRESSIONS:
+                    raise SpoolError(
+                        f"spool index of {path} names unknown compression "
+                        f"{compression!r}"
+                    )
         else:
             raise SpoolError(
                 f"spool index version {version!r} of {path} is not supported "
-                f"(this build reads versions 1 and {INDEX_VERSION})"
+                f"(this build reads versions 1, {INDEX_VERSION} and "
+                f"{COMPRESSED_INDEX_VERSION})"
             )
-        spool = cls(path, format=format, block_size=block_size)
+        spool = cls(
+            path,
+            format=format,
+            block_size=block_size,
+            compression=compression,
+            mmap_reads=mmap_reads,
+        )
         spool.catalog_hash = doc.get("catalog_hash")
         for entry in doc.get("attributes", []):
             ref = AttributeRef(entry["table"], entry["column"])
@@ -287,6 +359,7 @@ class SpoolDirectory:
                 dtype=dtype,
                 format=self.format,
                 block_size=self.block_size,
+                compression=self.compression,
             )
         except BaseException:
             with self._lock:
@@ -336,10 +409,13 @@ class SpoolDirectory:
             self._reserved.pop(ref, None)
 
     def save_index(self) -> None:
+        compressed = self.compression != COMPRESSION_NONE
         doc: dict = {
-            "version": INDEX_VERSION,
+            "version": COMPRESSED_INDEX_VERSION if compressed else INDEX_VERSION,
             "format": self.format,
         }
+        if compressed:
+            doc["compression"] = self.compression
         if self.format == FORMAT_BINARY:
             doc["block_size"] = self.block_size
         if self.catalog_hash is not None:
@@ -393,10 +469,12 @@ class SpoolDirectory:
                 f"spool directory {self.root} has no saved index; call "
                 "save_index() before shipping it to worker processes"
             )
-        return {"root": str(self.root)}
+        return {"root": str(self.root), "mmap_reads": self.mmap_reads}
 
     def __setstate__(self, state: dict) -> None:
-        reopened = SpoolDirectory.open(state["root"])
+        reopened = SpoolDirectory.open(
+            state["root"], mmap_reads=state.get("mmap_reads", False)
+        )
         self.__dict__.update(reopened.__dict__)
 
     def discard(self, ref: AttributeRef) -> None:
@@ -425,7 +503,7 @@ class SpoolDirectory:
     def open_cursor(
         self, ref: AttributeRef, stats: IOStats | None = None
     ) -> FileValueCursor | BlockFileValueCursor:
-        return self.get(ref).open_cursor(stats)
+        return self.get(ref).open_cursor(stats, mmap_reads=self.mmap_reads)
 
     def total_values(self) -> int:
         return sum(f.count for f in self._files.values())

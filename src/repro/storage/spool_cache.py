@@ -65,6 +65,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SpoolError
 from repro.obs.metrics import get_registry
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
+from repro.storage.codec import COMPRESSION_NONE
 from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
 
 if TYPE_CHECKING:  # repro.db imports repro.storage; keep the cycle type-only
@@ -111,6 +112,7 @@ class CacheEntryInfo:
     size_bytes: int
     mtime: float  # last hit (or publish) — the LRU recency key
     attribute_count: int
+    compression: str = "none"  # payload compression ("none" or "zlib")
 
     @property
     def name(self) -> str:
@@ -196,12 +198,15 @@ class SpoolCache:
         fingerprint: str,
         spool_format: str = FORMAT_BINARY,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
     ) -> Path:
         """Slot for one (catalog, spool configuration) combination.
 
-        Format and block size are part of the entry *name*, so differently
-        configured runs over the same database coexist in the cache instead
-        of thrashing a single slot with alternating rebuilds.
+        Format, block size and compression are part of the entry *name*, so
+        differently configured runs over the same database coexist in the
+        cache instead of thrashing a single slot with alternating rebuilds.
+        Uncompressed entries keep their pre-compression names, so caches
+        built by older versions stay addressable.
         """
         if len(fingerprint) < _ENTRY_NAME_LENGTH:
             raise SpoolError(
@@ -211,6 +216,8 @@ class SpoolCache:
         name = f"{fingerprint[:_ENTRY_NAME_LENGTH]}-{spool_format}"
         if spool_format == FORMAT_BINARY:
             name += f"-{block_size}"
+        if compression != COMPRESSION_NONE:
+            name += f"-{compression}"
         return self.root / name
 
     def lookup(
@@ -219,6 +226,8 @@ class SpoolCache:
         needed: list[AttributeRef] | None = None,
         spool_format: str = FORMAT_BINARY,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
+        mmap_reads: bool = False,
     ) -> SpoolDirectory | None:
         """Return a usable cached spool for ``fingerprint``, or ``None``.
 
@@ -231,13 +240,13 @@ class SpoolCache:
         evicted on the spot; a missing attribute is an honest miss and the
         entry is simply replaced when the caller publishes its rebuild.
         """
-        entry = self.entry_path(fingerprint, spool_format, block_size)
+        entry = self.entry_path(fingerprint, spool_format, block_size, compression)
         registry = get_registry()
         if not (entry / "index.json").exists():
             registry.inc("spool_cache_misses_total")
             return None
         try:
-            spool = SpoolDirectory.open(entry)
+            spool = SpoolDirectory.open(entry, mmap_reads=mmap_reads)
         except (SpoolError, OSError, ValueError, KeyError, TypeError):
             # SpoolError: missing files / bad version; ValueError covers
             # corrupt JSON (JSONDecodeError); KeyError/TypeError a malformed
@@ -248,6 +257,7 @@ class SpoolCache:
         if (
             spool.catalog_hash != fingerprint
             or spool.format != spool_format
+            or spool.compression != compression
             or (spool.format == FORMAT_BINARY and spool.block_size != block_size)
         ):
             self._destroy(entry)
@@ -290,7 +300,9 @@ class SpoolCache:
         """
         spool.catalog_hash = fingerprint
         spool.save_index()
-        entry = self.entry_path(fingerprint, spool.format, spool.block_size)
+        entry = self.entry_path(
+            fingerprint, spool.format, spool.block_size, spool.compression
+        )
         staging = Path(spool.root)
         if staging == entry:
             return spool
@@ -311,7 +323,7 @@ class SpoolCache:
         self._touch(entry)
         if self.max_bytes is not None:
             self.enforce_budget(protect=(entry,))
-        return SpoolDirectory.open(entry)
+        return SpoolDirectory.open(entry, mmap_reads=spool.mmap_reads)
 
     def evict(self, fingerprint: str) -> bool:
         """Drop every entry of this fingerprint; True when anything was removed."""
@@ -482,6 +494,7 @@ class SpoolCache:
             size_bytes=size,
             mtime=mtime,
             attribute_count=len(document.get("attributes", [])),
+            compression=str(document.get("compression", "none")),
         )
 
     def _touch(self, entry: Path) -> None:

@@ -109,16 +109,45 @@ class TestConfigValidation:
             strategy="adaptive", range_split=4, validation_workers=2
         ).validated()
 
-    def test_skip_scans_rejects_adaptive_strategy(self):
-        # strategy="adaptive" may route to merge, where skip-scans have no
-        # meaning; the documented escape hatch is pinning via adaptive=True.
+    def test_skip_scans_with_adaptive_strategy_ok(self):
+        # Both engine families understand skip-scans now (brute-force probes
+        # and the merge frontier), so adaptive routing may carry the flag.
+        DiscoveryConfig(strategy="adaptive", skip_scans=True).validated()
+
+    def test_skip_scans_with_merge_strategy_ok(self):
+        DiscoveryConfig(
+            strategy="merge-single-pass", skip_scans=True
+        ).validated()
+
+    def test_skip_scans_reject_non_skippable_strategy(self):
         with pytest.raises(DiscoveryError, match="skip-scans only apply"):
-            DiscoveryConfig(strategy="adaptive", skip_scans=True).validated()
+            DiscoveryConfig(strategy="single-pass", skip_scans=True).validated()
 
     def test_skip_scans_with_pinned_adaptive_brute_force_ok(self):
         DiscoveryConfig(
             strategy="brute-force", adaptive=True, skip_scans=True
         ).validated()
+
+    def test_compression_requires_binary_format(self):
+        with pytest.raises(DiscoveryError, match="binary spool format"):
+            DiscoveryConfig(
+                spool_format="text", spool_compression="zlib"
+            ).validated()
+
+    def test_unknown_compression_rejected(self):
+        with pytest.raises(DiscoveryError, match="unknown spool compression"):
+            DiscoveryConfig(spool_compression="lz4").validated()
+
+    def test_mmap_reads_requires_binary_format(self):
+        with pytest.raises(DiscoveryError, match="mmap_reads maps binary"):
+            DiscoveryConfig(spool_format="text", mmap_reads=True).validated()
+
+    def test_mmap_reads_auto_resolves_by_format(self):
+        assert DiscoveryConfig().validated().resolved_mmap_reads is True
+        assert (
+            DiscoveryConfig(spool_format="text").validated().resolved_mmap_reads
+            is False
+        )
 
 
 class TestStrategies:

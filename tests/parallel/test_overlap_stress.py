@@ -29,7 +29,7 @@ import random
 import pytest
 
 from seeded_dbs import build_db, build_random_db
-from test_validator_agreement import _assert_well_formed_trace
+from test_validator_agreement import SPOOL_VARIANTS, _assert_well_formed_trace
 
 from repro.core.candidates import PretestConfig
 from repro.core.runner import DiscoveryConfig, discover_inds
@@ -82,11 +82,19 @@ def _config_vector(seed: int) -> dict:
         and rng.random() < 0.4
     ):
         range_split = 2
+    spool_format = rng.choice(SPOOL_FORMATS)
+    compression = "none"
+    mmap_reads: bool | str = "auto"
+    if spool_format == "binary":
+        compression = rng.choice(("none", "zlib"))
+        mmap_reads = rng.choice((True, False, "auto"))
     return {
         "db_seed": rng.randrange(1000),
         "strategy": strategy,
         "workers": workers,
-        "spool_format": rng.choice(SPOOL_FORMATS),
+        "spool_format": spool_format,
+        "compression": compression,
+        "mmap_reads": mmap_reads,
         "sampling": rng.choice((0, 2, 3)),
         "reuse_spool": rng.random() < 0.3,
         "range_split": range_split,
@@ -106,6 +114,8 @@ def _discovery_config(vector: dict, *, overlap: bool, cache_dir) -> DiscoveryCon
     return DiscoveryConfig(
         strategy=vector["strategy"],
         spool_format=vector["spool_format"],
+        spool_compression=vector["compression"],
+        mmap_reads=vector["mmap_reads"],
         spool_block_size=3,
         sampling_size=vector["sampling"],
         pretests=PretestConfig(cardinality=True, max_value=False),
@@ -122,17 +132,20 @@ def _discovery_config(vector: dict, *, overlap: bool, cache_dir) -> DiscoveryCon
 class TestOverlapMatrix:
     """Fixed matrix vs the *sequential* pipeline: the paper's semantics."""
 
-    @pytest.mark.parametrize("spool_format", SPOOL_FORMATS)
+    @pytest.mark.parametrize("variant", SPOOL_VARIANTS)
     @pytest.mark.parametrize("strategy", ("brute-force", "merge-single-pass"))
     def test_overlap_equals_sequential_across_worker_counts(
-        self, strategy, spool_format
+        self, strategy, variant
     ):
+        spool_format, compression, mmap_reads = variant
         db = build_random_db(5)
         sequential = discover_inds(
             db,
             DiscoveryConfig(
                 strategy=strategy,
                 spool_format=spool_format,
+                spool_compression=compression,
+                mmap_reads=mmap_reads,
                 spool_block_size=3,
                 sampling_size=2,
                 pretests=PretestConfig(cardinality=True, max_value=False),
@@ -149,6 +162,8 @@ class TestOverlapMatrix:
                 DiscoveryConfig(
                     strategy=strategy,
                     spool_format=spool_format,
+                    spool_compression=compression,
+                    mmap_reads=mmap_reads,
                     spool_block_size=3,
                     sampling_size=2,
                     pretests=PretestConfig(
@@ -160,7 +175,7 @@ class TestOverlapMatrix:
             )
             assert _stress_view(overlapped.to_dict()) == expected, (
                 f"overlapped pipeline diverges from sequential at "
-                f"{workers} workers ({strategy}, {spool_format} spools)"
+                f"{workers} workers ({strategy}, {variant} spools)"
             )
             doc = overlapped.overlap
             assert doc is not None and doc["mode"] == "full"

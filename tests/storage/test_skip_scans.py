@@ -126,3 +126,173 @@ class TestBruteForceSkipScan:
         assert skipping.decisions == plain.decisions
         assert skipping.stats.items_read == plain.stats.items_read
         assert skipping.stats.blocks_skipped == 0
+
+
+class TestMergeFrontierSkipScan:
+    """The merge validator's frontier skips: purely referenced sides only.
+
+    A sparse dependent against a dense reference is the paying shape: when
+    the dependent jumps from 00100 to 00200, the reference side holds whole
+    blocks of values in between that can never match anything — the frontier
+    seeks past them.  Decisions, comparisons and the satisfied set must be
+    identical to the plain merge; only the I/O counters may improve.
+    """
+
+    def _setup(self, tmp_path, fmt="binary"):
+        from repro.core.merge_single_pass import MergeSinglePassValidator
+
+        spool = SpoolDirectory.create(tmp_path / fmt, format=fmt, block_size=4)
+        dep = AttributeRef("t", "dep")
+        ref = AttributeRef("t", "ref")
+        spool.add_values(dep, [f"{i:05d}" for i in range(0, 400, 100)])
+        spool.add_values(ref, [f"{i:05d}" for i in range(0, 401)])
+        spool.save_index()
+        return spool, [Candidate(dep, ref)], MergeSinglePassValidator
+
+    def test_same_decisions_fewer_items_and_bytes(self, tmp_path):
+        # Small batches so refills (the only places a frontier seek can
+        # trigger) happen many times between the sparse dependent values.
+        spool, candidates, validator_cls = self._setup(tmp_path)
+        plain = validator_cls(spool, batch_size=8).validate(candidates)
+        skipping = validator_cls(
+            spool, skip_scan=True, batch_size=8
+        ).validate(candidates)
+        assert skipping.decisions == plain.decisions
+        assert skipping.stats.satisfied_count == 1
+        assert skipping.stats.comparisons == plain.stats.comparisons
+        assert skipping.stats.blocks_skipped > 0
+        assert skipping.stats.items_read < plain.stats.items_read
+        assert (
+            skipping.stats.items_read + skipping.stats.values_skipped
+            <= plain.stats.items_read
+        )
+        assert skipping.stats.bytes_read < plain.stats.bytes_read
+        assert plain.stats.blocks_skipped == 0
+
+    def test_refuted_candidates_unchanged(self, tmp_path):
+        from repro.core.merge_single_pass import MergeSinglePassValidator
+
+        spool = SpoolDirectory.create(
+            tmp_path / "r", format="binary", block_size=4
+        )
+        dep = AttributeRef("t", "dep")
+        ref = AttributeRef("t", "ref")
+        spool.add_values(dep, ["00050", "99999"])  # second value missing
+        spool.add_values(ref, [f"{i:05d}" for i in range(0, 400)])
+        spool.save_index()
+        candidates = [Candidate(dep, ref)]
+        plain = MergeSinglePassValidator(spool, batch_size=8).validate(
+            candidates
+        )
+        skipping = MergeSinglePassValidator(
+            spool, skip_scan=True, batch_size=8
+        ).validate(candidates)
+        assert plain.decisions == skipping.decisions
+        assert skipping.stats.refuted_count == 1
+        assert skipping.stats.blocks_skipped > 0
+
+    def test_attribute_on_both_sides_never_skipped(self, tmp_path):
+        """A live dependent side pins its attribute: no frontier seeks.
+
+        With a [= b and b [= c, attribute b is referenced *and* dependent,
+        so the frontier must leave it alone — its own containment test
+        needs every value.  Only c, purely referenced, may skip.
+        """
+        from repro.core.merge_single_pass import MergeSinglePassValidator
+
+        spool = SpoolDirectory.create(
+            tmp_path / "chain", format="binary", block_size=4
+        )
+        a = AttributeRef("t", "a")
+        b = AttributeRef("t", "b")
+        c = AttributeRef("t", "c")
+        spool.add_values(a, [f"{i:05d}" for i in range(0, 300, 150)])
+        spool.add_values(b, [f"{i:05d}" for i in range(0, 301, 3)])
+        spool.add_values(c, [f"{i:05d}" for i in range(0, 302)])
+        spool.save_index()
+        candidates = [Candidate(a, b), Candidate(b, c)]
+        plain = MergeSinglePassValidator(spool, batch_size=8).validate(
+            candidates
+        )
+        skipping = MergeSinglePassValidator(
+            spool, skip_scan=True, batch_size=8
+        ).validate(candidates)
+        assert skipping.decisions == plain.decisions
+        assert skipping.stats.satisfied_count == plain.stats.satisfied_count
+
+    def test_text_spools_fall_back_to_plain_scans(self, tmp_path):
+        spool, candidates, validator_cls = self._setup(tmp_path, fmt="text")
+        plain = validator_cls(spool).validate(candidates)
+        skipping = validator_cls(spool, skip_scan=True).validate(candidates)
+        assert skipping.decisions == plain.decisions
+        assert skipping.stats.items_read == plain.stats.items_read
+        assert skipping.stats.blocks_skipped == 0
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_partitioned_merge_propagates_skip_scan(self, tmp_path, workers):
+        """Workers run default batch sizes, so the spread must exceed one batch."""
+        from repro.core.merge_single_pass import MergeSinglePassValidator
+        from repro.parallel import PartitionedMergeValidator
+
+        spool = SpoolDirectory.create(
+            tmp_path / "wide", format="binary", block_size=16
+        )
+        dep = AttributeRef("t", "dep")
+        ref = AttributeRef("t", "ref")
+        spool.add_values(dep, ["00000", "08999"])
+        spool.add_values(ref, [f"{i:05d}" for i in range(0, 9000)])
+        spool.save_index()
+        candidates = [Candidate(dep, ref)]
+        sequential = MergeSinglePassValidator(
+            spool, skip_scan=True
+        ).validate(candidates)
+        assert sequential.stats.blocks_skipped > 0
+        pooled = PartitionedMergeValidator(
+            spool, workers=workers, skip_scan=True
+        ).validate(candidates)
+        assert pooled.decisions == sequential.decisions
+        assert pooled.stats.blocks_skipped == sequential.stats.blocks_skipped
+        assert pooled.stats.items_read == sequential.stats.items_read
+        assert pooled.stats.bytes_read == sequential.stats.bytes_read
+
+    def test_discover_inds_merge_skip_scans_end_to_end(self, tmp_path):
+        """The config flag reaches the merge engine through the runner."""
+        from repro.core.runner import DiscoveryConfig, discover_inds
+        from repro.db.database import Database
+        from repro.db.schema import Column, TableSchema
+        from repro.db.types import DataType
+
+        db = Database("skippy")
+        table = db.create_table(
+            TableSchema(
+                "t",
+                [Column("dep", DataType.VARCHAR),
+                 Column("ref", DataType.VARCHAR)],
+            )
+        )
+        # The runner's merge validator reads default-sized batches, so the
+        # reference spread must exceed one batch for any frontier seek.
+        for r in range(6000):
+            table.insert(
+                {"dep": "00000" if r % 2 else "05999", "ref": f"{r:05d}"}
+            )
+        plain = discover_inds(
+            db,
+            DiscoveryConfig(strategy="merge-single-pass", spool_block_size=16),
+        )
+        skipping = discover_inds(
+            db,
+            DiscoveryConfig(
+                strategy="merge-single-pass",
+                spool_block_size=16,
+                skip_scans=True,
+            ),
+        )
+        assert {str(i) for i in skipping.satisfied} == {
+            str(i) for i in plain.satisfied
+        }
+        assert skipping.validator_stats.blocks_skipped > 0
+        assert (
+            skipping.validator_stats.bytes_read
+            < plain.validator_stats.bytes_read
+        )

@@ -117,6 +117,83 @@ class TestDiscover:
         ) == 2
         assert "export_workers" in capsys.readouterr().err
 
+    def test_discover_compression_and_mmap_flags(self, biosql_dump, capsys):
+        outputs = []
+        for extra in (
+            ("--spool-compression", "zlib", "--mmap-reads", "on"),
+            ("--spool-compression", "none", "--mmap-reads", "off"),
+        ):
+            assert main(["discover", str(biosql_dump), *extra]) == 0
+            out = capsys.readouterr().out
+            assert "satisfied INDs" in out
+            outputs.append(sorted(l for l in out.splitlines() if "[=" in l))
+        # Neither compression nor the byte source changes any answer.
+        assert outputs[0] == outputs[1]
+
+    def test_discover_rejects_compression_on_text_spools(
+        self, biosql_dump, capsys
+    ):
+        assert main(
+            ["discover", str(biosql_dump), "--spool-format", "text",
+             "--spool-compression", "zlib"]
+        ) == 2
+        assert "binary spool format" in capsys.readouterr().err
+
+    def test_discover_rejects_mmap_on_text_spools(self, biosql_dump, capsys):
+        assert main(
+            ["discover", str(biosql_dump), "--spool-format", "text",
+             "--mmap-reads", "on"]
+        ) == 2
+        assert "mmap_reads" in capsys.readouterr().err
+
+
+class TestSpoolInspect:
+    def _keep_spool(self, biosql_dump, tmp_path, **config_kwargs):
+        from repro.core.runner import DiscoveryConfig, discover_inds
+        from repro.db.csvio import load_csv_directory
+
+        spool_dir = tmp_path / "spool"
+        discover_inds(
+            load_csv_directory(str(biosql_dump)),
+            DiscoveryConfig(
+                spool_dir=str(spool_dir), keep_spool=True, **config_kwargs
+            ),
+        )
+        return spool_dir
+
+    def test_inspect_compressed_spool(self, biosql_dump, tmp_path, capsys):
+        spool_dir = self._keep_spool(
+            biosql_dump, tmp_path, spool_compression="zlib"
+        )
+        assert main(["spool", "inspect", str(spool_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "frame v3 (binary)" in out
+        assert "compression zlib" in out
+        assert "sg_bioentry.accession" in out
+        assert "compression:" in out and "stored payload bytes" in out
+
+    def test_inspect_uncompressed_binary_spool(
+        self, biosql_dump, tmp_path, capsys
+    ):
+        spool_dir = self._keep_spool(biosql_dump, tmp_path)
+        assert main(["spool", "inspect", str(spool_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "frame v2 (binary)" in out
+        assert "compression none" in out
+        # Uncompressed indexes carry no byte counts — no ratio line.
+        assert "stored payload bytes" not in out
+
+    def test_inspect_text_spool(self, biosql_dump, tmp_path, capsys):
+        spool_dir = self._keep_spool(
+            biosql_dump, tmp_path, spool_format="text"
+        )
+        assert main(["spool", "inspect", str(spool_dir)]) == 0
+        assert "frame v1 (text)" in capsys.readouterr().out
+
+    def test_inspect_missing_directory_is_error(self, tmp_path, capsys):
+        assert main(["spool", "inspect", str(tmp_path / "nope")]) == 2
+        assert "not a spool directory" in capsys.readouterr().err
+
 
 class TestAccession:
     def test_accession_strict(self, biosql_dump, capsys):
@@ -213,6 +290,17 @@ class TestServe:
         assert shutdown["requests"] == 2
         assert shutdown["pool"]["spool_handle_reuses"] > 0, \
             "second request must find warm spool handles"
+
+    def test_response_carries_bytes_counters(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        code, responses, _ = self._serve(monkeypatch, capsys, [request])
+        assert code == 0
+        (response,) = responses
+        # Binary spools (the default) charge decoded payload bytes.
+        assert response["bytes_read"] > 0
+        assert response["bytes_stored"] > 0
 
     def test_bad_request_answers_error_and_keeps_serving(
         self, biosql_dump, monkeypatch, capsys
