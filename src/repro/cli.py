@@ -9,6 +9,10 @@ Subcommands:
   worker pool multiplexed across all of them (up to ``--max-inflight``
   concurrently), id-tagged results as JSON lines on stdout, clean drain on
   SIGINT/SIGTERM;
+* ``watch``    — poll a CSV directory on an interval and keep its
+  satisfied-IND set current with incremental (delta-planned) runs on one
+  warm session, emitting one JSON line per round with the delta
+  accounting;
 * ``cache``    — list or evict entries of the content-addressed spool cache;
 * ``spool``    — inspect an on-disk spool directory: format version,
   compression ratio, per-attribute block counts and value coverage;
@@ -199,6 +203,17 @@ def _add_validation_flags(parser: argparse.ArgumentParser) -> None:
         "response); every other output byte is identical with tracing on "
         "or off (default: off)",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="delta-plan each run against the previous result over the "
+        "same database: only candidates touching changed columns (per the "
+        "per-attribute fingerprint map) re-validate, the rest re-derive "
+        "from the prior, and the result carries a 'delta' accounting key; "
+        "answers are byte-identical to full re-runs.  External strategies "
+        "only; the first run (no prior) is a full run that seeds the "
+        "chain (default: off)",
+    )
 
 
 def _validation_config_kwargs(args: argparse.Namespace) -> dict:
@@ -227,6 +242,7 @@ def _validation_config_kwargs(args: argparse.Namespace) -> dict:
         "cache_dir": args.cache_dir,
         "cache_max_bytes": args.cache_max_bytes,
         "trace": args.trace,
+        "incremental": args.incremental,
     }
 
 
@@ -317,6 +333,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: never reap)",
     )
     _add_validation_flags(serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll a CSV directory and keep its satisfied-IND set current "
+        "with incremental runs on one warm session",
+        description="Re-load DIRECTORY every --interval seconds and run an "
+        "incremental discovery against the previous round's result: the "
+        "per-attribute fingerprint map pins down which columns changed, "
+        "only candidates touching them re-validate, and every other "
+        "decision is re-derived from the prior.  Each round prints one "
+        "JSON line with the satisfied set and the delta accounting "
+        "(attributes_changed / candidates_revalidated / decisions_reused)."
+        "  The first round has no prior and runs full.  Combine with "
+        "--reuse-spool to also adopt unchanged columns' spool files "
+        "instead of re-exporting them.  Stop with Ctrl-C or --rounds.",
+    )
+    watch.add_argument("directory", help="CSV dump directory to poll")
+    watch.add_argument(
+        "--strategy",
+        choices=sorted(ALL_STRATEGIES),
+        default="merge-single-pass",
+        help="validation strategy for every round (must be external: "
+        "delta planning replays per-candidate set decisions; "
+        "default: merge-single-pass)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds to sleep between rounds (default: 2.0)",
+    )
+    watch.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N rounds (default: 0 = poll until interrupted)",
+    )
+    _add_validation_flags(watch)
 
     cache = sub.add_parser(
         "cache", help="inspect or evict the content-addressed spool cache"
@@ -503,6 +559,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_discover(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "spool":
@@ -568,6 +626,16 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             f"spool cache: {'hit' if result.spool_cache_hit else 'miss'}"
             f"{skipped} ({result.spool_path})"
         )
+    if result.delta is not None:
+        if result.delta.get("mode") == "delta":
+            print(
+                f"delta: {result.delta['attributes_changed']} attributes "
+                f"changed, {result.delta['candidates_revalidated']} "
+                f"candidates revalidated, "
+                f"{result.delta['decisions_reused']} decisions reused"
+            )
+        else:
+            print(f"delta: full run ({result.delta.get('reason')})")
     choice = result.engine_choice or {}
     if choice.get("engine"):  # fixed-strategy runs carry the null choice
         predicted = choice["predicted_seconds"].get(choice["engine"])
@@ -804,6 +872,7 @@ def _serve_one(session: DiscoverySession, request: dict) -> dict:
         "bytes_stored": result.validator_stats.bytes_stored,
         "engine_choice": result.engine_choice,
         "pool": result.pool_stats,
+        "delta": result.delta,
         "seconds": round(time.monotonic() - started, 6),
         "trace_id": result.trace["trace_id"] if result.trace else None,
     }
@@ -812,6 +881,54 @@ def _serve_one(session: DiscoverySession, request: dict) -> dict:
     ):
         response["trace"] = result.trace
     return response
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Poll a CSV directory; keep its IND set current with delta runs.
+
+    One :class:`~repro.core.runner.DiscoverySession` survives the whole
+    loop, so the warm worker fleet and the remembered prior both carry
+    across rounds: the session threads each round's result in as the next
+    round's prior automatically.  Every round emits exactly one JSON line
+    (flushed — the loop is built to be tailed by another process), carrying
+    the full satisfied set and the planner's ``delta`` accounting.
+    """
+    if args.interval < 0:
+        raise ReproError(f"--interval must be >= 0, got {args.interval}")
+    if args.rounds < 0:
+        raise ReproError(f"--rounds must be >= 0, got {args.rounds}")
+    overrides = _validation_config_kwargs(args)
+    overrides["incremental"] = True
+    base = DiscoveryConfig(**overrides)
+    rounds_done = 0
+    with DiscoverySession(base) as session:
+        try:
+            while True:
+                rounds_done += 1
+                started = time.monotonic()
+                db = load_csv_directory(args.directory)
+                result = session.discover(db)
+                line = {
+                    "round": rounds_done,
+                    "database": result.database,
+                    "strategy": result.strategy,
+                    "candidates": result.candidates_after_pretests,
+                    "satisfied_count": result.satisfied_count,
+                    "satisfied": sorted(
+                        [ind.dependent.qualified, ind.referenced.qualified]
+                        for ind in result.satisfied
+                    ),
+                    "delta": result.delta,
+                    "spool_cache_hit": result.spool_cache_hit,
+                    "seconds": round(time.monotonic() - started, 6),
+                }
+                print(json.dumps(line), flush=True)
+                if args.rounds and rounds_done >= args.rounds:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 def _serve_stats(session: DiscoverySession) -> dict:

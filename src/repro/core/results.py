@@ -81,6 +81,24 @@ class DiscoveryResult:
     #: phase barriers.  Concurrency numbers are scheduling observations,
     #: not results — agreement views drop this key like ``timings``.
     overlap: dict | None = None
+    #: Delta-planner accounting of an incremental run
+    #: (``DiscoveryConfig.incremental``): ``mode`` (``"delta"`` or
+    #: ``"full"`` with a ``reason`` for falling back), and under delta the
+    #: work avoided — ``attributes_changed``, ``candidates_revalidated``,
+    #: ``decisions_reused``.  ``None`` on non-incremental runs.  Like
+    #: ``overlap``, this is work accounting, not an answer: equivalence
+    #: views drop it when comparing against a full re-run.
+    delta: dict | None = None
+    #: Prior-run carriers for the *next* incremental run — deliberately not
+    #: serialised (they are inputs to delta planning, not results): the
+    #: per-attribute fingerprint map this run was profiled with, the exact
+    #: candidate pairs the sampling pretest refuted, and the signature of
+    #: the config knobs a prior must share to be reusable.  Stamped on
+    #: every ``incremental=True`` run — including a full-mode first run, so
+    #: it can seed the chain.
+    prior_fingerprints: dict | None = None
+    prior_sampling_refuted: frozenset | None = None
+    prior_config_signature: tuple | None = None
 
     @property
     def satisfied_count(self) -> int:
@@ -149,6 +167,8 @@ class DiscoveryResult:
             "pool": self.pool_stats,
             "overlap": self.overlap,
         }
+        if self.delta is not None:
+            doc["delta"] = self.delta
         if self.trace is not None:
             doc["trace"] = self.trace
         return doc

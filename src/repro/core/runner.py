@@ -45,6 +45,7 @@ from repro.core.candidates import (
     generate_unique_ref_candidates,
     referenced_attributes,
 )
+from repro.core.ind import INDSet
 from repro.core.merge_single_pass import MergeSinglePassValidator
 from repro.core.pruning import SamplingPretest, TransitivityPruner
 from repro.core.reference import ReferenceValidator
@@ -64,10 +65,14 @@ from repro.obs.trace import Tracer, maybe_span
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE
 from repro.storage.codec import COMPRESSION_NONE, SPOOL_COMPRESSIONS
 from repro.storage.cursors import IOStats
-from repro.storage.exporter import ExportStats, export_database
+from repro.storage.exporter import ExportStats, export_database, export_into
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SPOOL_FORMATS, SpoolDirectory
-from repro.storage.spool_cache import SpoolCache, catalog_fingerprint
+from repro.storage.spool_cache import (
+    SpoolCache,
+    attribute_fingerprints,
+    catalog_fingerprint,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime; see _build_validator
     from repro.parallel.pool import PoolStats, WorkerPool
@@ -156,6 +161,16 @@ class DiscoveryConfig:
       surfaces it as ``DiscoveryResult.trace``; every other result field
       is byte-identical with tracing on or off.  See
       ``docs/observability.md``.
+    * **Incremental** — ``incremental`` turns on delta planning against a
+      ``prior`` result (``discover_inds(..., prior=...)``; a
+      :class:`DiscoverySession` threads the prior automatically): only
+      candidates touching changed attributes are re-validated, every other
+      decision is re-derived from the prior, and the run reports its
+      savings as ``DiscoveryResult.delta``.  The answer is byte-identical
+      to a full re-run — see ``docs/incremental.md`` for the exactness
+      argument.  Requires an external strategy; incompatible with
+      ``use_transitivity`` (inference order spans reused decisions) and
+      ``overlap`` (the graph scheduler plans phases whole).
 
     Invalid combinations are rejected by :meth:`validated`, which every
     entry point calls first.
@@ -191,6 +206,7 @@ class DiscoveryConfig:
     blockwise_engine: str = "merge"
     sql_null_safe: bool = True
     trace: bool = False  # record a span tree on DiscoveryResult.trace
+    incremental: bool = False  # delta-plan against a prior DiscoveryResult
 
     @property
     def resolved_mmap_reads(self) -> bool:
@@ -363,6 +379,23 @@ class DiscoveryConfig:
                 "reuse_spool stores the spool under cache_dir; it cannot "
                 "honour an explicit spool_dir — set one or the other"
             )
+        if self.incremental and self.strategy not in EXTERNAL_STRATEGIES:
+            raise DiscoveryError(
+                "incremental discovery re-exports changed columns into "
+                "spool files and therefore requires an external strategy, "
+                f"not {self.strategy!r}"
+            )
+        if self.incremental and self.use_transitivity:
+            raise DiscoveryError(
+                "transitivity pruning infers decisions in validation order, "
+                "which a delta run does not replay; the two cannot combine"
+            )
+        if self.incremental and self.overlap:
+            raise DiscoveryError(
+                "overlapped discovery plans its task graph over the full "
+                "candidate set before the delta plan exists; run "
+                "incremental with phase barriers"
+            )
         if self.candidate_mode == "all-pairs" and self.strategy == "sql-join":
             raise DiscoveryError(
                 "the join approach requires unique referenced attributes and "
@@ -375,6 +408,7 @@ def discover_inds(
     db: Database,
     config: DiscoveryConfig | None = None,
     pool: "WorkerPool | None" = None,
+    prior: DiscoveryResult | None = None,
 ) -> DiscoveryResult:
     """Discover all satisfied unary INDs of ``db`` under ``config``.
 
@@ -399,6 +433,14 @@ def discover_inds(
     callers rarely pass it directly.  ``DiscoveryResult.pool_stats`` sums
     the per-phase pool deltas, so ``tasks_by_kind`` covers the whole
     pipeline.
+
+    ``prior`` feeds the delta planner of an ``incremental`` run: a result
+    of a previous ``incremental`` run over the same database (any mode —
+    even a first full-mode run carries the fingerprint map the next run
+    diffs against).  Ignored unless ``config.incremental`` is set; an
+    unusable prior (different database, different decision-affecting
+    config, missing carriers) falls back to a full run and says why in
+    ``DiscoveryResult.delta``.
     """
     cfg = (config or DiscoveryConfig()).validated()
     timings = PhaseTimings()
@@ -426,12 +468,31 @@ def discover_inds(
             cand_span.attrs["surviving"] = len(candidates)
     timings.candidate_seconds = clock.elapsed
 
+    # Delta planning runs between candidates and export: the fresh profile
+    # *is* the change detector (the per-attribute fingerprints are pure
+    # functions of the stats just collected), candidate generation and the
+    # metadata pretests are re-run in full (pure metadata work — identical
+    # raw/pretest counters either way), and only the validation-shaped work
+    # downstream — export, sampling, validation — is restricted to the
+    # affected candidates.
+    fingerprints = None
+    delta_plan = None
+    all_candidates = candidates
+    if cfg.incremental:
+        with maybe_span(tracer, "delta-plan") as delta_span:
+            fingerprints = attribute_fingerprints(column_stats)
+            delta_plan = _plan_delta(db, cfg, prior, candidates, fingerprints)
+            if delta_span is not None:
+                delta_span.attrs.update(delta_plan.doc)
+        candidates = delta_plan.affected
+
     spool: SpoolDirectory | None = None
     spool_path: str | None = None
     export_scanned = 0
     export_written = 0
     cleanup_dir: tempfile.TemporaryDirectory | None = None
     sampling_refuted = 0
+    sampling_refuted_list: list[Candidate] = []
     inferred_sat = 0
     inferred_unsat = 0
     spool_cache_hit = False
@@ -492,6 +553,11 @@ def discover_inds(
                 Stopwatch()
             ) as clock:
                 if cfg.reuse_spool:
+                    # Incremental runs export over the *full* candidate
+                    # set (unchanged attributes adopt their donor files,
+                    # only changed ones re-export), so published entries
+                    # stay as complete as a full run's — a later exact hit
+                    # must find every attribute it needs.
                     (
                         spool,
                         spool_path,
@@ -500,7 +566,13 @@ def discover_inds(
                         export_pool_stats,
                         export_spans,
                     ) = _cached_export(
-                        db, cfg, candidates, column_stats, pool, tracer
+                        db,
+                        cfg,
+                        all_candidates,
+                        column_stats,
+                        pool,
+                        tracer,
+                        fingerprints=fingerprints,
                     )
                 else:
                     (
@@ -554,6 +626,16 @@ def discover_inds(
             # pretest_seconds above) is the whole validate bucket.
             validation = overlap_run.validation
             timings.validate_seconds = pretest_seconds
+        elif cfg.incremental and not candidates:
+            # The delta plan (or pretests) left nothing to validate:
+            # synthesise the empty validation result instead of spinning an
+            # engine up for zero candidates.  Only the work-accounting
+            # fields differ from a full run's engine-built empties, and
+            # equivalence views drop those by design.
+            with maybe_span(tracer, "validate"), Stopwatch() as clock:
+                validation = DecisionCollector(
+                    [], f"{cfg.strategy}+delta"
+                ).result()
         elif cfg.use_transitivity:
             with maybe_span(tracer, "validate"), Stopwatch() as clock:
                 validation, inferred_sat, inferred_unsat = _validate_sequential(
@@ -619,13 +701,38 @@ def discover_inds(
             "routing_seconds": 0.0,
         }
 
+    # A delta run's answer is the union of what it validated and what it
+    # re-derived; sampling_refuted likewise folds the reused refutations
+    # back in so the counter matches a full run's, decision for decision.
+    satisfied = validation.satisfied
+    if delta_plan is not None and delta_plan.mode == "delta":
+        satisfied = satisfied.union(INDSet(delta_plan.reused_satisfied))
+        sampling_refuted += delta_plan.reused_sampling_refuted
+    prior_refuted = None
+    if cfg.incremental:
+        prior_refuted = frozenset(
+            (c.dependent, c.referenced) for c in sampling_refuted_list
+        )
+        if delta_plan is not None and delta_plan.mode == "delta":
+            prior_refuted |= delta_plan.reused_refuted_pairs
+
     registry = get_registry()
     registry.inc("discoveries_total")
     registry.inc("inds_validated_total", len(validation.decisions))
-    registry.inc("inds_satisfied_total", len(validation.satisfied))
+    registry.inc("inds_satisfied_total", len(satisfied))
     registry.observe("validate_seconds", timings.validate_seconds)
     if cfg.strategy in EXTERNAL_STRATEGIES:
         registry.observe("export_seconds", timings.export_seconds)
+    if delta_plan is not None and delta_plan.mode == "delta":
+        registry.inc("delta_runs_total")
+        registry.inc(
+            "delta_candidates_total",
+            delta_plan.doc["candidates_revalidated"],
+        )
+        registry.inc(
+            "delta_decisions_reused_total",
+            delta_plan.doc["decisions_reused"],
+        )
 
     return DiscoveryResult(
         database=db.name,
@@ -635,7 +742,7 @@ def discover_inds(
         referenced_count=len(refs),
         raw_candidates=len(raw),
         pretest_report=pretest_report,
-        satisfied=validation.satisfied,
+        satisfied=satisfied,
         validator_stats=validation.stats,
         timings=timings,
         sampling_refuted=sampling_refuted,
@@ -655,6 +762,12 @@ def discover_inds(
         pool_stats=pool_stats,
         trace=tracer.to_dict() if tracer is not None else None,
         overlap=overlap_run.overlap_doc if overlap_run is not None else None,
+        delta=delta_plan.doc if delta_plan is not None else None,
+        prior_fingerprints=fingerprints,
+        prior_sampling_refuted=prior_refuted,
+        prior_config_signature=(
+            _config_signature(cfg) if cfg.incremental else None
+        ),
     )
 
 
@@ -666,7 +779,135 @@ def _needed_attributes(candidates: list[Candidate]):
     )
 
 
-def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
+def _config_signature(cfg: DiscoveryConfig) -> tuple:
+    """The config knobs a prior must share for its decisions to be reusable.
+
+    Every per-candidate decision is a pure function of the two attributes'
+    value sets *and* these knobs: candidate mode and pretests shape which
+    candidates exist, sampling size/seed decide which get refuted before
+    validation.  Strategy and worker count are deliberately absent — all
+    validators agree (the agreement suites prove it), so a brute-force
+    prior is reusable by a merge run and vice versa.
+    """
+    return (
+        "delta-v1",
+        cfg.candidate_mode,
+        cfg.pretests.cardinality,
+        cfg.pretests.max_value,
+        cfg.pretests.min_value,
+        cfg.pretests.datatype,
+        cfg.sampling_size,
+        cfg.sampling_seed,
+    )
+
+
+@dataclass
+class _DeltaPlan:
+    """What the delta planner decided: who re-validates, who re-derives."""
+
+    doc: dict
+    affected: list[Candidate] = field(default_factory=list)
+    unaffected: list[Candidate] = field(default_factory=list)
+    reused_satisfied: list = field(default_factory=list)  # IND objects
+    reused_sampling_refuted: int = 0
+    reused_refuted_pairs: frozenset = frozenset()
+
+    @property
+    def mode(self) -> str:
+        return self.doc["mode"]
+
+
+def _plan_delta(
+    db: Database,
+    cfg: DiscoveryConfig,
+    prior: DiscoveryResult | None,
+    candidates: list[Candidate],
+    fingerprints: dict,
+) -> _DeltaPlan:
+    """Split the candidates into re-validate and re-derive-from-prior sets.
+
+    Soundness rests on two facts.  First, candidate membership and every
+    per-candidate decision (pretest verdict, sampling verdict, validation
+    verdict) are pure functions of the two attributes' profiled stats and
+    value sets plus the knobs in :func:`_config_signature` — so a candidate
+    whose both attributes carry unchanged content fingerprints was a
+    candidate in the prior run *and* would receive the identical decision
+    from a fresh run.  Second, the prior's carriers are complete: its
+    ``satisfied`` set and refuted-pair carrier cover every candidate it
+    had, whether that run validated them itself or re-derived them from
+    *its* prior — so chains of delta runs never thin the record out.
+
+    An unusable prior degrades to a full run (``mode: "full"`` with a
+    ``reason``), never to a wrong answer.  Changed-attribute detection
+    compares content fingerprints per :class:`~repro.db.schema.AttributeRef`
+    key: an attribute that appeared, disappeared, or changed content is
+    "changed"; a renamed column shows up as one disappearance plus one
+    appearance, both changed, exactly as correctness requires (its pairs
+    must re-validate under the new identity).
+    """
+    reason = None
+    if prior is None:
+        reason = "no-prior"
+    elif prior.database != db.name:
+        reason = "database-mismatch"
+    elif (
+        prior.prior_fingerprints is None
+        or prior.prior_sampling_refuted is None
+        or prior.prior_config_signature is None
+    ):
+        reason = "prior-incomplete"
+    elif prior.prior_config_signature != _config_signature(cfg):
+        reason = "config-mismatch"
+    if reason is not None:
+        return _DeltaPlan(
+            doc={"mode": "full", "reason": reason},
+            affected=list(candidates),
+        )
+    before = prior.prior_fingerprints
+    changed = {
+        ref
+        for ref, digest in fingerprints.items()
+        if before.get(ref) != digest
+    }
+    changed |= set(before) - set(fingerprints)
+    affected: list[Candidate] = []
+    unaffected: list[Candidate] = []
+    for candidate in candidates:
+        if candidate.dependent in changed or candidate.referenced in changed:
+            affected.append(candidate)
+        else:
+            unaffected.append(candidate)
+    satisfied_pairs = {
+        (ind.dependent, ind.referenced) for ind in prior.satisfied
+    }
+    reused_satisfied = []
+    reused_refuted = 0
+    kept_refuted = set()
+    for candidate in unaffected:
+        pair = (candidate.dependent, candidate.referenced)
+        if pair in satisfied_pairs:
+            reused_satisfied.append(candidate.as_ind())
+        elif pair in prior.prior_sampling_refuted:
+            reused_refuted += 1
+            kept_refuted.add(pair)
+        # else: validated-unsatisfied in the prior; staying absent from
+        # both sets *is* the reused decision.
+    return _DeltaPlan(
+        doc={
+            "mode": "delta",
+            "attributes_changed": len(changed),
+            "candidates_revalidated": len(affected),
+            "decisions_reused": len(unaffected),
+        },
+        affected=affected,
+        unaffected=unaffected,
+        reused_satisfied=reused_satisfied,
+        reused_sampling_refuted=reused_refuted,
+        reused_refuted_pairs=frozenset(kept_refuted),
+    )
+
+
+def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool, spool=None):
     """Export ``needed`` into ``root`` — pooled tasks or in-process threads.
 
     The one switch between the two export engines, shared by the
@@ -675,10 +916,24 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
     engines produce byte-identical spool contents, index documents and
     statistics (``task_spans`` is empty for the in-process engine —
     there are no workers to stamp them).
+
+    ``spool`` passes a pre-created directory that may already hold
+    attributes (a partial rebuild that adopted unchanged value files from
+    a donor cache entry); both engines then skip the present attributes
+    and export only the rest into it.
     """
     if cfg.parallel_export:
-        from repro.parallel.export import pooled_export
+        from repro.parallel.export import pooled_export, pooled_export_into
 
+        if spool is not None:
+            return pooled_export_into(
+                db,
+                spool,
+                workers=cfg.validation_workers,
+                pool=pool,
+                attributes=needed,
+                max_items_in_memory=cfg.max_items_in_memory,
+            )
         return pooled_export(
             db,
             root,
@@ -691,6 +946,15 @@ def _export_into(db, cfg: DiscoveryConfig, root: str, needed, pool):
             compression=cfg.spool_compression,
             mmap_reads=cfg.resolved_mmap_reads,
         )
+    if spool is not None:
+        export_stats = export_into(
+            db,
+            spool,
+            attributes=needed,
+            max_items_in_memory=cfg.max_items_in_memory,
+            workers=cfg.export_workers,
+        )
+        return spool, export_stats, None, []
     spool, export_stats = export_database(
         db,
         root,
@@ -722,7 +986,13 @@ def _export(db: Database, cfg: DiscoveryConfig, candidates: list[Candidate], poo
 
 
 def _cached_export(
-    db, cfg, candidates: list[Candidate], column_stats, pool, tracer=None
+    db,
+    cfg,
+    candidates: list[Candidate],
+    column_stats,
+    pool,
+    tracer=None,
+    fingerprints=None,
 ):
     """Reuse a cached spool for an unchanged catalog, or export and cache it.
 
@@ -741,8 +1011,27 @@ def _cached_export(
     half-written entry: the staging directory carries no ``catalog_hash``
     and is invisible to :meth:`~repro.storage.spool_cache.SpoolCache.lookup`
     (``repro-ind cache list`` reports such leftovers as orphans).
+
+    ``fingerprints`` (a per-attribute content map, passed by incremental
+    runs) arms partial reuse on a miss: a donor entry of the same database
+    and spool configuration lends the unchanged attributes' value files
+    (hardlinked into staging), and only the changed columns re-export.
+    The published entry is byte-identical to a from-scratch rebuild either
+    way — adopted files were written by exactly the export that a fresh
+    run would repeat.  The map (re-derived from ``column_stats`` when not
+    passed) is stamped into the published index so *every* cached entry
+    can act as a future donor.
     """
     fingerprint = catalog_fingerprint(db.name, column_stats)
+    # Adoption only engages for callers that *planned* a delta (they pass
+    # the map they diffed); plain reuse_spool misses keep their long-tested
+    # full-export behaviour.  The stamp map, by contrast, goes onto every
+    # published entry — stamping is free and makes the entry donor-capable.
+    stamp_fingerprints = (
+        fingerprints
+        if fingerprints is not None
+        else attribute_fingerprints(column_stats)
+    )
     cache = SpoolCache(
         cfg.cache_dir or DEFAULT_CACHE_DIR, max_bytes=cfg.cache_max_bytes
     )
@@ -761,10 +1050,34 @@ def _cached_export(
     if cached is not None:
         return cached, str(cached.root), ExportStats(), True, None, []
     staging = cache.prepare(fingerprint)
+    staged_spool = None
+    donor = None
+    if fingerprints is not None:
+        donor = cache.find_partial(
+            fingerprint,
+            db.name,
+            fingerprints,
+            needed,
+            spool_format=cfg.spool_format,
+            block_size=cfg.spool_block_size,
+            compression=cfg.spool_compression,
+        )
+    if donor is not None:
+        donor_spool, reusable = donor
+        staged_spool = SpoolDirectory.create(
+            str(staging),
+            format=cfg.spool_format,
+            block_size=cfg.spool_block_size,
+            compression=cfg.spool_compression,
+            mmap_reads=cfg.resolved_mmap_reads,
+        )
+        SpoolCache.adopt(staged_spool, donor_spool, reusable)
     spool, export_stats, pool_stats, task_spans = _export_into(
-        db, cfg, str(staging), needed, pool
+        db, cfg, str(staging), needed, pool, spool=staged_spool
     )
-    spool = cache.publish(fingerprint, spool)
+    spool = cache.publish(
+        fingerprint, spool, database=db.name, fingerprints=stamp_fingerprints
+    )
     return spool, str(spool.root), export_stats, False, pool_stats, task_spans
 
 
@@ -1026,6 +1339,12 @@ class DiscoverySession:
         self._pool: "WorkerPool | None" = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        #: Last result per database name — the automatic ``prior`` for the
+        #: next ``incremental`` run over that database (``repro-ind watch``
+        #: and serve lean on this).  Guarded by its own lock: priors are
+        #: touched on every discover, the pool only on creation.
+        self._priors: dict[str, DiscoveryResult] = {}
+        self._prior_lock = threading.Lock()
 
     def __enter__(self) -> "DiscoverySession":
         """Context-manager entry: the session itself."""
@@ -1041,7 +1360,10 @@ class DiscoverySession:
         return self._pool.stats if self._pool is not None else None
 
     def discover(
-        self, db: Database, config: DiscoveryConfig | None = None
+        self,
+        db: Database,
+        config: DiscoveryConfig | None = None,
+        prior: DiscoveryResult | None = None,
     ) -> DiscoveryResult:
         """Run one discovery over ``db``, reusing the session's warm pool.
 
@@ -1052,12 +1374,26 @@ class DiscoverySession:
         live fleet would defeat the warm handles the session exists to
         preserve.  Safe to call from several threads at once; concurrent
         runs share the pool.
+
+        On ``incremental`` runs the session remembers each database's last
+        result and threads it as the next run's ``prior`` automatically;
+        pass ``prior`` explicitly to override (or to seed a fresh
+        session from a result produced elsewhere).
         """
         if self._closed:
             raise DiscoveryError("discovery session is closed")
         cfg = (config or self.config).validated()
+        if cfg.incremental and prior is None:
+            with self._prior_lock:
+                prior = self._priors.get(db.name)
         try:
-            return discover_inds(db, cfg, pool=self._pool_for(cfg))
+            result = discover_inds(
+                db, cfg, pool=self._pool_for(cfg), prior=prior
+            )
+            if cfg.incremental:
+                with self._prior_lock:
+                    self._priors[db.name] = result
+            return result
         finally:
             # A run that used the pool just stamped its activity, so this
             # only fires after a stretch of runs that left the fleet idle

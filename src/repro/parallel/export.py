@@ -58,7 +58,7 @@ from repro.storage.exporter import ExportStats, plan_export_units
 from repro.storage.external_sort import DEFAULT_RUN_SIZE
 from repro.storage.sorted_sets import FORMAT_BINARY, SpoolDirectory
 
-__all__ = ["pooled_export"]
+__all__ = ["pooled_export", "pooled_export_into"]
 
 
 def pooled_export(
@@ -93,6 +93,40 @@ def pooled_export(
         compression=compression,
         mmap_reads=mmap_reads,
     )
+    return pooled_export_into(
+        db,
+        spool,
+        workers,
+        pool=pool,
+        attributes=attributes,
+        max_items_in_memory=max_items_in_memory,
+        include_empty=include_empty,
+    )
+
+
+def pooled_export_into(
+    db: Database,
+    spool: SpoolDirectory,
+    workers: int,
+    pool: WorkerPool | None = None,
+    attributes: list[AttributeRef] | None = None,
+    max_items_in_memory: int = DEFAULT_RUN_SIZE,
+    include_empty: bool = False,
+) -> tuple[SpoolDirectory, ExportStats, dict | None, list[dict]]:
+    """Dispatch export tasks into an *existing* spool directory.
+
+    The pooled counterpart of :func:`repro.storage.exporter.export_into`
+    (and the body of :func:`pooled_export`, which delegates here after
+    creating the directory): a delta run adopts unchanged attributes'
+    files first, then ships only the changed attributes through the pool.
+    Attributes already registered in ``spool`` are skipped by unit
+    planning; the bare index saved before dispatch includes them, which is
+    harmless — workers only *read* the index to open the root, and the
+    final index rewrite is atomic either way.
+    """
+    spool_format = spool.format
+    block_size = spool.block_size
+    compression = spool.compression
     # Workers open spools through index.json; publish a bare one before the
     # first task can possibly run.  The final index replaces it atomically.
     spool.save_index()

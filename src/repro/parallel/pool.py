@@ -294,17 +294,25 @@ def _maybe_inject_fault(task: PoolTask) -> None:
 
 
 def _open_warm(
-    handles: "OrderedDict[str, tuple[int, SpoolDirectory]]", root: str
+    handles: "OrderedDict[str, tuple[tuple, SpoolDirectory]]", root: str
 ) -> tuple[SpoolDirectory, bool]:
     """Open ``root`` through the worker's warm-handle cache (LRU, bounded).
 
     A cached handle counts as warm only while the spool's ``index.json``
-    mtime is unchanged — a re-export to the same path (explicit
-    ``spool_dir``, cache rebuild) must never be validated against a stale
-    parsed index, because stale per-block metadata could silently skip live
-    blocks under ``skip_scan``.  One ``stat`` per task buys that guarantee.
+    is provably the same file — a re-export to the same path (explicit
+    ``spool_dir``, cache rebuild, a partial delta re-export) must never be
+    validated against a stale parsed index, because stale per-block
+    metadata could silently skip live blocks under ``skip_scan``.  The
+    identity stamp is ``(mtime_ns, size, inode)``: mtime alone misses a
+    rewrite landing within one clock tick of the original (coarse
+    filesystem timestamps make that reachable for back-to-back delta
+    rounds), but ``save_index`` always publishes via ``os.replace`` of a
+    freshly created temp file, so every rewrite carries a new inode even
+    when size and mtime collide.  One ``stat`` per task buys that
+    guarantee.
     """
-    stamp = os.stat(os.path.join(root, "index.json")).st_mtime_ns
+    st = os.stat(os.path.join(root, "index.json"))
+    stamp = (st.st_mtime_ns, st.st_size, st.st_ino)
     cached = handles.get(root)
     if cached is not None and cached[0] == stamp:
         handles.move_to_end(root)
@@ -335,7 +343,7 @@ def _worker_loop(task_queue, result_queue) -> None:
     on the request's timeline.
     """
     pid = os.getpid()
-    handles: OrderedDict[str, tuple[int, SpoolDirectory]] = OrderedDict()
+    handles: OrderedDict[str, tuple[tuple, SpoolDirectory]] = OrderedDict()
     while True:
         task = task_queue.get()
         if task is None:

@@ -85,6 +85,8 @@ def plan_export_units(
     units: list[ExportUnit] = []
     for ref in targets:
         db.resolve(ref)
+        if ref in spool:
+            continue  # adopted from a donor entry; its file is already final
         dtype = db.table(ref.table).column_def(ref.column).dtype
         if dtype.is_lob:
             continue
@@ -167,8 +169,6 @@ def export_database(
     ``mmap_reads`` makes the returned directory serve mmap-backed cursors;
     ``workers`` spools that many attributes concurrently.
     """
-    if workers < 1:
-        raise SpoolError(f"workers must be >= 1, got {workers!r}")
     spool = SpoolDirectory.create(
         spool_root,
         format=spool_format,
@@ -176,11 +176,47 @@ def export_database(
         compression=compression,
         mmap_reads=mmap_reads,
     )
+    stats = export_into(
+        db,
+        spool,
+        attributes=attributes,
+        max_items_in_memory=max_items_in_memory,
+        include_empty=include_empty,
+        use_sql_engine=use_sql_engine,
+        workers=workers,
+    )
+    return spool, stats
+
+
+def export_into(
+    db: Database,
+    spool: SpoolDirectory,
+    attributes: list[AttributeRef] | None = None,
+    max_items_in_memory: int = DEFAULT_RUN_SIZE,
+    include_empty: bool = False,
+    use_sql_engine: bool = False,
+    workers: int = 1,
+) -> ExportStats:
+    """Spool attributes of ``db`` into an *existing* directory.
+
+    The partial-rebuild primitive behind :func:`export_database` (which
+    delegates to it after creating the directory): a delta run first adopts
+    unchanged attributes' value files from a donor cache entry, then calls
+    this with only the changed attributes.  Attributes already present in
+    ``spool`` (adopted, or exported earlier) are skipped, never rewritten —
+    their files are byte-exact by construction, and a rewrite would race
+    readers for nothing.  Statistics cover only what *this* call scanned
+    and wrote, which is exactly what delta accounting wants to report.
+    """
+    if workers < 1:
+        raise SpoolError(f"workers must be >= 1, got {workers!r}")
     stats = ExportStats()
     targets = attributes if attributes is not None else db.attributes()
     jobs: list[tuple[AttributeRef, str]] = []
     for ref in targets:
         db.resolve(ref)
+        if ref in spool:
+            continue
         dtype = db.table(ref.table).column_def(ref.column).dtype
         if dtype.is_lob:
             # LOB columns are excluded from dependent *and* referenced sides
@@ -217,7 +253,7 @@ def export_database(
         stats.values_written += svf.count
         stats.per_attribute_counts[ref.qualified] = svf.count
     spool.save_index()
-    return spool, stats
+    return stats
 
 
 def _export_one(

@@ -250,6 +250,15 @@ class SpoolDirectory:
         #: spool cache so a kept directory can be matched to an unchanged
         #: database (see :mod:`repro.storage.spool_cache`).
         self.catalog_hash: str | None = None
+        #: Source database name and per-attribute fingerprint map
+        #: (qualified name → content digest), stamped alongside
+        #: ``catalog_hash`` by the spool cache.  They let a *different*
+        #: fingerprint's rebuild identify which of this directory's value
+        #: files cover unchanged columns and adopt them instead of
+        #: re-exporting (``SpoolCache.find_partial``).  ``None`` on spools
+        #: written before the map existed — those still serve exact hits.
+        self.database_name: str | None = None
+        self.attribute_fingerprints: dict[str, str] | None = None
         self._files: dict[AttributeRef, SortedValueFile] = {}
         self._reserved: dict[AttributeRef, str] = {}
         self._lock = threading.Lock()
@@ -317,6 +326,12 @@ class SpoolDirectory:
             mmap_reads=mmap_reads,
         )
         spool.catalog_hash = doc.get("catalog_hash")
+        spool.database_name = doc.get("database")
+        fingerprints = doc.get("attribute_fingerprints")
+        if isinstance(fingerprints, dict):
+            spool.attribute_fingerprints = {
+                str(k): str(v) for k, v in fingerprints.items()
+            }
         for entry in doc.get("attributes", []):
             ref = AttributeRef(entry["table"], entry["column"])
             file_path = path / entry["file"]
@@ -420,6 +435,13 @@ class SpoolDirectory:
             doc["block_size"] = self.block_size
         if self.catalog_hash is not None:
             doc["catalog_hash"] = self.catalog_hash
+        if self.database_name is not None:
+            doc["database"] = self.database_name
+        if self.attribute_fingerprints is not None:
+            doc["attribute_fingerprints"] = {
+                k: self.attribute_fingerprints[k]
+                for k in sorted(self.attribute_fingerprints)
+            }
         doc["attributes"] = [
             self._entry(ref, svf) for ref, svf in sorted(self._files.items())
         ]

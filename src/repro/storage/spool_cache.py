@@ -120,6 +120,63 @@ class CacheEntryInfo:
         return self.path.name
 
 
+def _content_entry(st: ColumnStats) -> dict:
+    """The identity-free half of one attribute's fingerprint payload.
+
+    Everything the validators' decisions about this column's *value set*
+    depend on — profile counts, rendered extrema, length bounds, and the
+    order-insensitive CRC32 fold of the rendered distinct values — but not
+    the table/column name.  Keeping identity out is what makes the
+    per-attribute fingerprint a pure content signal: renaming a column or
+    holding the same values in a differently named column leaves it
+    untouched, while any multiset change moves at least one field.
+    """
+    return {
+        "dtype": st.dtype.value,
+        "rows": st.row_count,
+        "nulls": st.null_count,
+        "distinct": st.distinct_count,
+        "min": st.min_value,
+        "max": st.max_value,
+        "min_length": st.min_length,
+        "max_length": st.max_length,
+        "checksum": st.value_checksum,
+    }
+
+
+def _canonical_digest(payload) -> str:
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def attribute_fingerprint(st: ColumnStats) -> str:
+    """SHA-256 hex digest of one column's value-set profile.
+
+    A content-only fingerprint (see :func:`_content_entry`): equal across
+    renames and row reorderings, different whenever the column's multiset
+    of values changed — up to a checksum collision, the same caveat the
+    whole-catalog fingerprint has always carried.
+    """
+    return _canonical_digest(_content_entry(st))
+
+
+def attribute_fingerprints(
+    column_stats: dict[AttributeRef, ColumnStats]
+) -> dict[AttributeRef, str]:
+    """Per-attribute fingerprint map: ``ref`` → :func:`attribute_fingerprint`.
+
+    The delta planner diffs two of these maps to find the changed-attribute
+    set, and :meth:`SpoolCache.publish` stamps the map into ``index.json``
+    (keyed by qualified name) so a cache entry can donate unchanged
+    attributes' value files to a later partial rebuild.
+    """
+    return {
+        ref: attribute_fingerprint(st) for ref, st in column_stats.items()
+    }
+
+
 def catalog_fingerprint(
     database_name: str, column_stats: dict[AttributeRef, ColumnStats]
 ) -> str:
@@ -134,30 +191,22 @@ def catalog_fingerprint(
     the checksum closes that hole — an edit then goes unnoticed only if the
     CRCs of the added and removed values XOR-cancel, which is a hash
     collision, not a constructible stats blind spot.
+
+    Derived from the same per-attribute entries
+    :func:`attribute_fingerprint` digests, plus each attribute's identity
+    and the database name — so the whole-catalog hash moves exactly when
+    the fingerprint *map* (keys or values) moves, while staying
+    byte-identical to the pre-per-column builds: existing cache entries
+    keep hitting.
     """
     payload = {
         "database": database_name,
         "attributes": [
-            {
-                "table": ref.table,
-                "column": ref.column,
-                "dtype": st.dtype.value,
-                "rows": st.row_count,
-                "nulls": st.null_count,
-                "distinct": st.distinct_count,
-                "min": st.min_value,
-                "max": st.max_value,
-                "min_length": st.min_length,
-                "max_length": st.max_length,
-                "checksum": st.value_checksum,
-            }
+            {"table": ref.table, "column": ref.column, **_content_entry(st)}
             for ref, st in sorted(column_stats.items())
         ],
     }
-    canonical = json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return _canonical_digest(payload)
 
 
 class SpoolCache:
@@ -285,7 +334,118 @@ class SpoolCache:
             )
         )
 
-    def publish(self, fingerprint: str, spool: SpoolDirectory) -> SpoolDirectory:
+    def find_partial(
+        self,
+        fingerprint: str,
+        database: str,
+        fingerprints: dict[AttributeRef, str],
+        needed: list[AttributeRef],
+        spool_format: str = FORMAT_BINARY,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        compression: str = COMPRESSION_NONE,
+    ) -> tuple[SpoolDirectory, list[AttributeRef]] | None:
+        """A donor entry whose unchanged value files a rebuild can adopt.
+
+        Called after an exact :meth:`lookup` missed: scans the entries of
+        the *same* spool configuration and database for the one whose
+        stamped per-attribute fingerprint map matches the most of
+        ``needed`` (ties broken by entry name for determinism), and returns
+        it together with the reusable attribute list.  ``None`` when no
+        entry donates anything — entries published before the fingerprint
+        map existed carry no map and never match, which is the safe
+        default: they keep serving exact hits but cannot vouch for
+        individual columns.
+
+        The donor is only *read*; the caller copies its files into a
+        private staging directory (:meth:`adopt`) and publishes under the
+        new ``fingerprint``, so a concurrent eviction of the donor costs
+        at worst a re-export, never correctness.
+        """
+        target = self.entry_path(
+            fingerprint, spool_format, block_size, compression
+        )
+        suffix = target.name[_ENTRY_NAME_LENGTH:]
+        best: tuple[SpoolDirectory, list[AttributeRef]] | None = None
+        for entry in self.entries():
+            if entry.name == target.name:
+                continue  # the exact slot already missed
+            if entry.name[_ENTRY_NAME_LENGTH:] != suffix:
+                continue  # different spool configuration
+            try:
+                spool = SpoolDirectory.open(entry)
+            except (SpoolError, OSError, ValueError, KeyError, TypeError):
+                continue  # not a trustworthy donor; lookup() handles eviction
+            if (
+                spool.database_name != database
+                or spool.attribute_fingerprints is None
+            ):
+                continue
+            stamped = spool.attribute_fingerprints
+            reusable = [
+                ref
+                for ref in needed
+                if ref in spool
+                and stamped.get(ref.qualified) == fingerprints.get(ref)
+            ]
+            if not reusable:
+                continue
+            if best is None or (len(reusable), entry.name) > (
+                len(best[1]),
+                best[0].root.name,
+            ):
+                best = (spool, reusable)
+        if best is not None:
+            get_registry().inc("spool_cache_partial_hits_total")
+        return best
+
+    @staticmethod
+    def adopt(
+        staging: SpoolDirectory,
+        donor: SpoolDirectory,
+        refs: list[AttributeRef],
+    ) -> list[AttributeRef]:
+        """Copy ``refs``' value files from ``donor`` into ``staging``.
+
+        Hardlinks where the filesystem allows (entries are never mutated in
+        place — every rewrite is an atomic rename to a fresh inode, so a
+        shared inode is safe), falling back to a byte copy across devices.
+        The donor's recorded per-attribute metadata is registered verbatim;
+        the adopted files are byte-identical to what a fresh export of the
+        unchanged column would write, which is what keeps partial rebuilds
+        inside the byte-exactness contract.  Returns the refs actually
+        adopted — a donor file that vanished mid-adoption (concurrent
+        eviction) is silently skipped and simply re-exported by the caller.
+        """
+        from dataclasses import replace
+
+        adopted: list[AttributeRef] = []
+        for ref in refs:
+            svf = donor.get(ref)
+            file_name = staging.reserve_name(ref)
+            destination = Path(staging.root) / file_name
+            try:
+                try:
+                    os.link(svf.path, destination)
+                except OSError:
+                    shutil.copy2(svf.path, destination)
+            except OSError:
+                staging.release(ref)
+                continue
+            staging.register(replace(svf, path=str(destination)))
+            adopted.append(ref)
+        if adopted:
+            get_registry().inc(
+                "spool_cache_files_reused_total", len(adopted)
+            )
+        return adopted
+
+    def publish(
+        self,
+        fingerprint: str,
+        spool: SpoolDirectory,
+        database: str | None = None,
+        fingerprints: dict[AttributeRef, str] | None = None,
+    ) -> SpoolDirectory:
         """Stamp the finished spool and move it into its entry slot.
 
         Returns a :class:`SpoolDirectory` re-opened from the final location
@@ -297,8 +457,20 @@ class SpoolCache:
         into the old directory (which stay valid on POSIX until closed) or
         re-opens by path and finds a complete entry on either side of the
         swap.
+
+        ``database`` and ``fingerprints`` (a per-attribute map from
+        :func:`attribute_fingerprints`) are stamped into the index alongside
+        ``catalog_hash`` when given; they are what lets a *later* fingerprint
+        miss reuse this entry's unchanged value files through
+        :meth:`find_partial` instead of re-exporting everything.
         """
         spool.catalog_hash = fingerprint
+        if database is not None:
+            spool.database_name = database
+        if fingerprints is not None:
+            spool.attribute_fingerprints = {
+                ref.qualified: digest for ref, digest in fingerprints.items()
+            }
         spool.save_index()
         entry = self.entry_path(
             fingerprint, spool.format, spool.block_size, spool.compression

@@ -94,6 +94,52 @@ class TestCursorPickling:
         assert io.open_files == 0
 
 
+class TestWarmHandleStaleness:
+    """The warm-handle LRU must notice every index rewrite — even sneaky ones.
+
+    A delta re-export rewrites ``index.json`` at the *same path* with
+    possibly the same byte size, and back-to-back incremental rounds can
+    land inside one filesystem timestamp tick.  The identity stamp is
+    ``(mtime_ns, size, inode)``: ``save_index`` publishes via ``os.replace``
+    of a fresh temp file, so the inode always moves even when the other two
+    collide.
+    """
+
+    def test_same_size_same_mtime_rewrite_is_not_warm(self, tmp_path):
+        import os
+        from collections import OrderedDict
+
+        from repro.parallel.pool import _open_warm
+
+        spool = _make_spool(tmp_path, "binary")
+        index = os.path.join(str(spool.root), "index.json")
+        handles: OrderedDict = OrderedDict()
+        _, warm = _open_warm(handles, str(spool.root))
+        assert warm is False
+        _, warm = _open_warm(handles, str(spool.root))
+        assert warm is True
+
+        before = os.stat(index)
+        spool.save_index()  # byte-identical rewrite: same size, new inode
+        # Force the worst case: pin mtime (and atime) back to the original
+        # rewrite-within-one-clock-tick values.
+        os.utime(index, ns=(before.st_atime_ns, before.st_mtime_ns))
+        after = os.stat(index)
+        assert after.st_size == before.st_size
+        assert after.st_mtime_ns == before.st_mtime_ns
+        assert after.st_ino != before.st_ino, (
+            "save_index must publish a fresh inode via os.replace"
+        )
+
+        reopened, warm = _open_warm(handles, str(spool.root))
+        assert warm is False, (
+            "stale parsed index served as warm despite the rewrite"
+        )
+        # The replacement handle is cached under the new stamp.
+        _, warm = _open_warm(handles, str(spool.root))
+        assert warm is True
+
+
 class TestAttributeRefPickling:
     def test_cached_hash_never_crosses_the_boundary(self):
         ref = AttributeRef("table", "column")

@@ -837,3 +837,106 @@ class TestCacheOrphans:
                 "cache", "evict", "--cache-dir", str(tmp_path),
                 "--orphans", "--all",
             ])
+
+
+class TestIncrementalCli:
+    def test_discover_incremental_first_run_reports_full(
+        self, biosql_dump, capsys
+    ):
+        assert main(["discover", str(biosql_dump), "--incremental"]) == 0
+        assert "delta: full run (no-prior)" in capsys.readouterr().out
+
+    def test_discover_incremental_rejects_transitivity(
+        self, biosql_dump, capsys
+    ):
+        assert main(
+            ["discover", str(biosql_dump), "--incremental", "--transitivity"]
+        ) == 2
+        assert "transitivity" in capsys.readouterr().err
+
+    def test_watch_rounds_emit_delta_accounting(self, biosql_dump, capsys):
+        assert main(
+            ["watch", str(biosql_dump), "--rounds", "2", "--interval", "0"]
+        ) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert [line["round"] for line in lines] == [1, 2]
+        assert lines[0]["delta"] == {"mode": "full", "reason": "no-prior"}
+        assert lines[1]["delta"]["mode"] == "delta"
+        assert lines[1]["delta"]["attributes_changed"] == 0
+        assert lines[1]["delta"]["candidates_revalidated"] == 0
+        assert lines[1]["satisfied"] == lines[0]["satisfied"]
+        assert lines[1]["satisfied_count"] > 0
+
+    def test_watch_picks_up_mutations_between_rounds(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        """The poll loop's sleep is the mutation window: drop one CSV row."""
+        target = max(
+            biosql_dump.glob("*.csv"),
+            key=lambda p: len(p.read_text().splitlines()),
+        )
+
+        def mutate(_seconds):
+            rows = target.read_text().splitlines()
+            target.write_text("\n".join(rows[:-1]) + "\n")
+
+        monkeypatch.setattr("repro.cli.time.sleep", mutate)
+        assert main(
+            ["watch", str(biosql_dump), "--rounds", "2", "--interval", "1"]
+        ) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        delta = lines[1]["delta"]
+        assert delta["mode"] == "delta"
+        assert delta["attributes_changed"] >= 1
+        assert delta["decisions_reused"] >= 1, (
+            "a one-table edit must not revalidate the whole candidate set"
+        )
+
+    def test_watch_rejects_negative_rounds(self, biosql_dump, capsys):
+        assert main(
+            ["watch", str(biosql_dump), "--rounds", "-1"]
+        ) == 2
+        assert "--rounds" in capsys.readouterr().err
+
+
+class TestServeDelta:
+    def test_response_carries_null_delta_without_incremental(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        import io
+
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(request))
+        assert main(["serve"]) == 0
+        (response,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert response["delta"] is None
+
+    def test_incremental_serve_reports_delta_per_request(
+        self, biosql_dump, monkeypatch, capsys
+    ):
+        import io
+
+        request = json.dumps({"directory": str(biosql_dump)}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + request))
+        assert main(["serve", "--incremental"]) == 0
+        first, second = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert first["delta"] == {"mode": "full", "reason": "no-prior"}
+        assert second["delta"]["mode"] == "delta"
+        assert second["delta"]["attributes_changed"] == 0
+        assert second["satisfied"] == first["satisfied"]
